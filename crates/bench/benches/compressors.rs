@@ -1,0 +1,58 @@
+//! Compressor ablation (DESIGN.md §5.4): throughput and achieved ratio of the three codec
+//! families on encoded protein samples and on their permutations — the raw material of every
+//! compressibility measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pasoa_bioseq::grouping::StandardGrouping;
+use pasoa_bioseq::shuffle::shuffle_with_seed;
+use pasoa_bioseq::synthetic::{SyntheticConfig, SyntheticGenerator};
+use pasoa_compress::{compression_ratio, Method};
+
+fn encoded_sample(len: usize) -> Vec<u8> {
+    let generator = SyntheticGenerator::new(SyntheticConfig {
+        sequence_count: 4,
+        sequence_length: len / 4 + 1,
+        ..Default::default()
+    });
+    let sample: Vec<u8> = generator
+        .proteins()
+        .into_iter()
+        .flat_map(|s| s.residues)
+        .take(len)
+        .collect();
+    StandardGrouping::Dayhoff6.coding().encode(&sample).unwrap()
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compressors");
+    group.sample_size(10);
+
+    let sample = encoded_sample(32 * 1024);
+    let permuted = shuffle_with_seed(&sample, 7);
+
+    for method in Method::ALL {
+        let compressor = method.compressor();
+        group.throughput(Throughput::Bytes(sample.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encoded_sample", method.name()),
+            &sample,
+            |b, data| b.iter(|| compressor.compressed_len(data)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("permuted_sample", method.name()),
+            &permuted,
+            |b, data| b.iter(|| compressor.compressed_len(data)),
+        );
+        println!(
+            "[ablation] {:>6}: encoded ratio {:.4}, permuted ratio {:.4}",
+            method.name(),
+            compression_ratio(sample.len(), compressor.compressed_len(&sample)),
+            compression_ratio(permuted.len(), compressor.compressed_len(&permuted)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors);
+criterion_main!(benches);

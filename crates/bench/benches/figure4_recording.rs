@@ -1,0 +1,62 @@
+//! E2 — Figure 4: "Recording Provenance".
+//!
+//! Measures the overall execution time of the compressibility workflow for an increasing number
+//! of permutations under the four recording configurations. Criterion measures a reduced-scale
+//! sweep (real compression work, fast-local latency); the printed summary reports linearity,
+//! configuration ordering and the asynchronous overhead — the paper's qualitative claims.
+//! Full-scale series are produced by `cargo run --release --example figure4_recording -- --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pasoa_experiment::figure4::Figure4Series;
+use pasoa_experiment::{ExperimentConfig, ExperimentRunner, RunRecording, StoreDeployment};
+use pasoa_wire::NetworkProfile;
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig {
+        permutations_per_script: 10_000, // serial sweep: the paper's single-machine deployment
+        ..ExperimentConfig::small(0, RunRecording::None)
+    }
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_figure4_recording");
+    group.sample_size(10);
+
+    for permutations in [10usize, 20] {
+        for recording in RunRecording::ALL {
+            let id = BenchmarkId::new(recording.label().replace(' ', "_"), permutations);
+            group.bench_with_input(id, &permutations, |b, &permutations| {
+                b.iter(|| {
+                    let deployment = StoreDeployment::in_memory(
+                        NetworkProfile::FastLocal.latency_model(),
+                        false,
+                    );
+                    let runner = ExperimentRunner::new(deployment);
+                    let config = ExperimentConfig { permutations, recording, ..base_config() };
+                    runner.run(&config)
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // One full grid, printed as the Figure 4 table with the paper's observation checks.
+    let deployment =
+        StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
+    let series = Figure4Series::collect(deployment, &[10, 20, 30], &base_config());
+    println!("\n[E2] Figure 4 (reduced scale)\n{}", series.render_table());
+    for recording in RunRecording::ALL {
+        println!(
+            "[E2] {:<52} r = {:.4}, overhead vs baseline = {:+.1} %",
+            recording.label(),
+            series.linearity(recording.label()),
+            series.mean_overhead_vs_baseline(recording.label()) * 100.0
+        );
+    }
+    let violations = series.check_paper_observations(0.15);
+    println!("[E2] paper-observation violations: {violations:?}");
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E3/E4 — Figure 5: "Execution Comparison and Semantic Validity".
+//!
+//! Measures use case 1 (script categorisation: one store call per interaction record) and use
+//! case 2 (semantic validation: one store call plus ~10 registry calls per interaction record)
+//! against stores of increasing size, and prints the slope ratio, which the paper reports as
+//! ≈11×. Full-scale series: `cargo run --release --example figure5_usecases -- --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pasoa_experiment::passertions::populate_interactions;
+use pasoa_usecases::figure5::{Figure5Deployment, Figure5Series};
+use pasoa_usecases::{ScriptCategorizer, SemanticValidator};
+use pasoa_wire::{NetworkProfile, TransportConfig};
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_E4_figure5_usecases");
+    group.sample_size(10);
+
+    for &records in &[50usize, 100] {
+        // A fresh deployment per size, populated once; the reasoners run against it repeatedly.
+        let deployment = Figure5Deployment::new(NetworkProfile::InProcess.latency_model());
+        let populate = deployment.host.transport(TransportConfig::free());
+        populate_interactions(&populate, &format!("bench-{records}"), 1, records);
+
+        group.bench_with_input(
+            BenchmarkId::new("script_comparison", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let categorizer =
+                        ScriptCategorizer::new(deployment.host.transport(TransportConfig::free()));
+                    categorizer.categorize().unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("semantic_validity", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let validator = SemanticValidator::new(
+                        deployment.host.transport(TransportConfig::free()),
+                        deployment.host.transport(TransportConfig::free()),
+                    );
+                    validator.validate_store().unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The figure itself, with the paper's latency model charged virtually.
+    let deployment = Figure5Deployment::new(NetworkProfile::Paper2005.latency_model());
+    let series = Figure5Series::collect(&deployment, &[50, 100, 200, 400]);
+    println!("\n[E3/E4] Figure 5 (reduced scale)\n{}", series.render_table());
+    println!(
+        "[E3/E4] linearity: comparison r = {:.4}, semantic r = {:.4}",
+        series.linearity(false),
+        series.linearity(true)
+    );
+    println!(
+        "[E3/E4] semantic/comparison slope ratio = {:.2} (paper: ~11); per-record script retrieval = {:.2} ms",
+        series.slope_ratio(),
+        series.mean_script_retrieval().as_secs_f64() * 1e3
+    );
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

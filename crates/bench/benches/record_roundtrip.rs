@@ -1,0 +1,113 @@
+//! E1 — the PReServ micro-benchmark (§6 prose).
+//!
+//! "It takes approximately 18 ms round trip to record one pre-generated message in PReServ."
+//! We measure the same operation against our store: once with no modelled network (the raw cost
+//! of the translator + plug-in + backend) and once with the paper-2005 latency model charged on
+//! the virtual clock (which reproduces the ~18 ms figure by construction).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pasoa_core::ids::IdGenerator;
+use pasoa_core::prep::PrepMessage;
+use pasoa_experiment::passertions::pregenerated_record_message;
+use pasoa_preserv::PreservService;
+use pasoa_wire::{Envelope, NetworkProfile, ServiceHost, Transport, TransportConfig};
+
+/// Minimal scoped temporary directory (avoids an external dependency).
+struct TempDirGuard {
+    path: std::path::PathBuf,
+}
+
+impl TempDirGuard {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "pasoa-bench-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDirGuard { path }
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn deploy(backend: &str) -> (ServiceHost, Arc<PreservService>, TempDirGuard) {
+    let host = ServiceHost::new();
+    let guard = TempDirGuard::new(backend);
+    let service = match backend {
+        "database" => Arc::new(PreservService::with_database_backend(&guard.path).unwrap()),
+        "file-system" => Arc::new(PreservService::with_file_backend(&guard.path).unwrap()),
+        _ => Arc::new(PreservService::in_memory().unwrap()),
+    };
+    service.register(&host);
+    (host, service, guard)
+}
+
+fn send(transport: &Transport, message: &PrepMessage) {
+    let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, message.action())
+        .with_json_payload(message)
+        .unwrap();
+    transport.call(envelope).unwrap();
+}
+
+fn bench_record_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_record_roundtrip");
+    group.sample_size(20);
+
+    // Raw in-process cost per backend (what our substrate costs without any network model).
+    for backend in ["memory", "file-system", "database"] {
+        let (host, _service, _guard) = deploy(backend);
+        let transport = host.transport(TransportConfig::free());
+        let ids = IdGenerator::new(format!("bench-{backend}"));
+        let mut n = 0usize;
+        group.bench_function(format!("record_one_message/{backend}"), |b| {
+            b.iter_batched(
+                || {
+                    n += 1;
+                    pregenerated_record_message(&ids, n)
+                },
+                |message| send(&transport, &message),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // The paper-2005 deployment model (latency charged virtually): the modelled per-message
+    // cost is what the paper's ~18 ms corresponds to.
+    let (host, _service, _guard) = deploy("memory");
+    let transport = host
+        .transport(TransportConfig::virtual_time(NetworkProfile::Paper2005.latency_model()));
+    let ids = IdGenerator::new("bench-paper");
+    let mut n = 0usize;
+    group.bench_function("record_one_message/paper2005_modelled", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                pregenerated_record_message(&ids, n)
+            },
+            |message| send(&transport, &message),
+            BatchSize::SmallInput,
+        )
+    });
+    let stats = transport.stats();
+    println!(
+        "\n[E1] paper-2005 modelled round trip: {:.1} ms per record message (paper reports ~18 ms)",
+        stats.mean_round_trip().as_secs_f64() * 1e3
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_roundtrip);
+criterion_main!(benches);

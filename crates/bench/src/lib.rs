@@ -1,0 +1,3 @@
+//! Benchmark-only crate: the Criterion harnesses in `benches/` regenerate every figure and
+//! table of the paper's evaluation (see DESIGN.md §2 and EXPERIMENTS.md). There is no library
+//! code here.

@@ -1,0 +1,140 @@
+//! Residue alphabets.
+//!
+//! The 20 standard amino acids use one-letter codes `ACDEFGHIKLMNPQRSTVWY`; nucleotides use
+//! `ACGT`. The nucleotide letters are a strict subset of the amino-acid letters, which is why
+//! the paper's use case 2 exists: a nucleotide sequence fed into the protein pipeline raises no
+//! syntactic error, yet the result is meaningless.
+
+/// The 20 standard amino-acid one-letter codes, in alphabetical order.
+pub const AMINO_ACIDS: [u8; 20] = [
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
+    b'S', b'T', b'V', b'W', b'Y',
+];
+
+/// The four DNA nucleotide codes.
+pub const NUCLEOTIDES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// A residue alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Alphabet {
+    /// The 20 standard amino acids.
+    AminoAcid,
+    /// The 4 DNA nucleotides.
+    Nucleotide,
+}
+
+impl Alphabet {
+    /// The symbols of this alphabet, upper-case, sorted.
+    pub fn symbols(self) -> &'static [u8] {
+        match self {
+            Alphabet::AminoAcid => &AMINO_ACIDS,
+            Alphabet::Nucleotide => &NUCLEOTIDES,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn size(self) -> usize {
+        self.symbols().len()
+    }
+
+    /// Whether `residue` (case-insensitive) belongs to this alphabet.
+    pub fn contains(self, residue: u8) -> bool {
+        let upper = residue.to_ascii_uppercase();
+        self.symbols().contains(&upper)
+    }
+
+    /// Whether every byte of `sequence` belongs to this alphabet.
+    pub fn validates(self, sequence: &[u8]) -> bool {
+        sequence.iter().all(|&r| self.contains(r))
+    }
+
+    /// Index of `residue` within the alphabet, if present.
+    pub fn index_of(self, residue: u8) -> Option<usize> {
+        let upper = residue.to_ascii_uppercase();
+        self.symbols().iter().position(|&s| s == upper)
+    }
+}
+
+/// Classify a residue string: which alphabets accept it?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphabetFit {
+    /// The sequence is valid as a nucleotide sequence.
+    pub nucleotide: bool,
+    /// The sequence is valid as an amino-acid sequence.
+    pub amino_acid: bool,
+}
+
+/// Determine which alphabets accept `sequence`.
+pub fn classify(sequence: &[u8]) -> AlphabetFit {
+    AlphabetFit {
+        nucleotide: Alphabet::Nucleotide.validates(sequence),
+        amino_acid: Alphabet::AminoAcid.validates(sequence),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amino_acids_are_twenty_unique_letters() {
+        let mut set = std::collections::BTreeSet::new();
+        for &a in &AMINO_ACIDS {
+            assert!(a.is_ascii_uppercase());
+            set.insert(a);
+        }
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn nucleotides_are_subset_of_amino_acids() {
+        // This inclusion is the root cause of the paper's semantic-validity use case.
+        for &n in &NUCLEOTIDES {
+            assert!(AMINO_ACIDS.contains(&n), "nucleotide {} not an amino-acid code", n as char);
+        }
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        assert!(Alphabet::AminoAcid.contains(b'm'));
+        assert!(Alphabet::AminoAcid.contains(b'M'));
+        assert!(!Alphabet::AminoAcid.contains(b'B'));
+        assert!(!Alphabet::Nucleotide.contains(b'M'));
+        assert!(Alphabet::Nucleotide.contains(b'g'));
+    }
+
+    #[test]
+    fn validates_whole_sequences() {
+        assert!(Alphabet::AminoAcid.validates(b"MKVLAAGG"));
+        assert!(!Alphabet::AminoAcid.validates(b"MKVX"));
+        assert!(Alphabet::Nucleotide.validates(b"ACGTACGT"));
+        assert!(!Alphabet::Nucleotide.validates(b"ACGU"));
+        assert!(Alphabet::AminoAcid.validates(b""));
+    }
+
+    #[test]
+    fn classify_detects_the_dangerous_overlap() {
+        // A DNA sequence is accepted by BOTH alphabets — syntactically fine, semantically a trap.
+        let dna = classify(b"ACGTGGTTAACC");
+        assert!(dna.nucleotide && dna.amino_acid);
+        let protein = classify(b"MKVLWYSTP");
+        assert!(protein.amino_acid && !protein.nucleotide);
+        let garbage = classify(b"XYZ123");
+        assert!(!garbage.amino_acid && !garbage.nucleotide);
+    }
+
+    #[test]
+    fn index_of_matches_symbol_order() {
+        assert_eq!(Alphabet::AminoAcid.index_of(b'A'), Some(0));
+        assert_eq!(Alphabet::AminoAcid.index_of(b'Y'), Some(19));
+        assert_eq!(Alphabet::AminoAcid.index_of(b'y'), Some(19));
+        assert_eq!(Alphabet::AminoAcid.index_of(b'Z'), None);
+        assert_eq!(Alphabet::Nucleotide.index_of(b'T'), Some(3));
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Alphabet::AminoAcid.size(), 20);
+        assert_eq!(Alphabet::Nucleotide.size(), 4);
+    }
+}

@@ -1,0 +1,171 @@
+//! FASTA parsing and formatting.
+//!
+//! The experiment's input is "sequence data of microbial proteins" downloaded in FASTA format.
+//! The parser here is deliberately forgiving about line lengths and blank lines (real FASTA
+//! files vary), but strict about structure: residue data before the first header is an error.
+
+use crate::sequence::Sequence;
+
+/// Error produced while parsing FASTA text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FASTA parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parse FASTA text into sequences.
+pub fn parse_fasta(text: &str) -> Result<Vec<Sequence>, FastaError> {
+    let mut sequences = Vec::new();
+    let mut current: Option<(String, String, Vec<u8>)> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, desc, residues)) = current.take() {
+                sequences.push(Sequence::new(id, desc, &residues));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                return Err(FastaError { line: line_no, reason: "empty header".into() });
+            }
+            let (id, desc) = match header.split_once(char::is_whitespace) {
+                Some((id, desc)) => (id.to_string(), desc.trim().to_string()),
+                None => (header.to_string(), String::new()),
+            };
+            current = Some((id, desc, Vec::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, _, residues)) => {
+                    for b in line.bytes() {
+                        if !b.is_ascii_whitespace() {
+                            residues.push(b);
+                        }
+                    }
+                }
+                None => {
+                    return Err(FastaError {
+                        line: line_no,
+                        reason: "residue data before the first '>' header".into(),
+                    })
+                }
+            }
+        }
+    }
+    if let Some((id, desc, residues)) = current.take() {
+        sequences.push(Sequence::new(id, desc, &residues));
+    }
+    Ok(sequences)
+}
+
+/// Format sequences as FASTA text with 60-column wrapping.
+pub fn write_fasta(sequences: &[Sequence]) -> String {
+    let mut out = String::new();
+    for seq in sequences {
+        out.push('>');
+        out.push_str(&seq.id);
+        if !seq.description.is_empty() {
+            out.push(' ');
+            out.push_str(&seq.description);
+        }
+        out.push('\n');
+        for chunk in seq.residues.chunks(60) {
+            out.push_str(&String::from_utf8_lossy(chunk));
+            out.push('\n');
+        }
+        if seq.residues.is_empty() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+>sp|P12345 test protein one
+MKVLAAGGST
+LLQNWYP
+>seq2
+ACDEFGHIKLMNPQRSTVWY
+
+>seq3 a nucleotide impostor
+ACGTACGTACGT
+";
+
+    #[test]
+    fn parse_multiple_records() {
+        let seqs = parse_fasta(SAMPLE).unwrap();
+        assert_eq!(seqs.len(), 3);
+        assert_eq!(seqs[0].id, "sp|P12345");
+        assert_eq!(seqs[0].description, "test protein one");
+        assert_eq!(seqs[0].residues, b"MKVLAAGGSTLLQNWYP");
+        assert_eq!(seqs[1].id, "seq2");
+        assert_eq!(seqs[1].description, "");
+        assert_eq!(seqs[1].len(), 20);
+        assert_eq!(seqs[2].residues, b"ACGTACGTACGT");
+    }
+
+    #[test]
+    fn roundtrip_write_then_parse() {
+        let seqs = parse_fasta(SAMPLE).unwrap();
+        let text = write_fasta(&seqs);
+        let back = parse_fasta(&text).unwrap();
+        assert_eq!(back, seqs);
+    }
+
+    #[test]
+    fn wrapping_at_sixty_columns() {
+        let long = Sequence::new("long", "", &vec![b'A'; 150]);
+        let text = write_fasta(&[long]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 60 + 60 + 30
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 30);
+    }
+
+    #[test]
+    fn lowercase_residues_are_uppercased() {
+        let seqs = parse_fasta(">x\nmkvl\n").unwrap();
+        assert_eq!(seqs[0].residues, b"MKVL");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_fasta("MKVL\n>x\nAAAA\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+        let err = parse_fasta(">ok\nMKVL\n>\nAAAA\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn empty_input_parses_to_nothing() {
+        assert!(parse_fasta("").unwrap().is_empty());
+        assert!(parse_fasta("\n\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_with_no_residues_is_kept() {
+        let seqs = parse_fasta(">empty record\n>next\nMKVL\n").unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs[0].is_empty());
+        let text = write_fasta(&seqs);
+        assert_eq!(parse_fasta(&text).unwrap(), seqs);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pasoa-bioseq — biological sequences for the compressibility experiment
+//!
+//! The paper's application studies the structure of protein sequences by measuring their
+//! textual compressibility after recoding with a reduced (grouped) amino-acid alphabet. This
+//! crate provides everything the workflow consumes on the data side:
+//!
+//! * [`alphabet`] — the 20-letter amino-acid and 4-letter nucleotide alphabets, including the
+//!   fact (exploited by use case 2) that nucleotide symbols are a *subset* of amino-acid
+//!   symbols, so feeding a DNA sequence through the protein pipeline is syntactically legal but
+//!   semantically wrong;
+//! * [`sequence`] — sequences with identifiers, plus classification heuristics;
+//! * [`fasta`] — FASTA parsing and formatting, the interchange format the experiment uses;
+//! * [`grouping`] — amino-acid group codings (reduced alphabets) such as the hydrophobic/polar
+//!   split or Dayhoff's six chemical classes, used by the *Encode by Groups* activity;
+//! * [`sample`] — sample collation (*Collate Sample*): concatenating sequences until a target
+//!   sample size (the paper uses ≈100 KB) is reached;
+//! * [`shuffle`] — seeded Fisher–Yates permutation (*Shuffle*), providing the randomised
+//!   standard against which compressibility is normalised;
+//! * [`synthetic`] — a synthetic sequence generator with realistic residue frequencies and
+//!   tunable local correlation, substituting for the paper's RefSeq downloads;
+//! * [`stats`] — residue frequency and empirical entropy helpers used in result tables.
+
+pub mod alphabet;
+pub mod fasta;
+pub mod grouping;
+pub mod sample;
+pub mod sequence;
+pub mod shuffle;
+pub mod stats;
+pub mod synthetic;
+
+pub use alphabet::{Alphabet, AMINO_ACIDS, NUCLEOTIDES};
+pub use fasta::{parse_fasta, write_fasta};
+pub use grouping::{GroupCoding, StandardGrouping};
+pub use sample::{collate_sample, Sample};
+pub use sequence::{Sequence, SequenceKind};
+pub use shuffle::{permutations, shuffle_with_seed};
+pub use synthetic::{SyntheticConfig, SyntheticGenerator};

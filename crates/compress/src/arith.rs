@@ -1,0 +1,291 @@
+//! Binary arithmetic coding.
+//!
+//! The ppmz-class codec drives an adaptive context model with a binary arithmetic coder. The
+//! coder here is the classic 32-bit low/high coder with underflow (E3) scaling; probabilities
+//! are 12-bit (`1..=4095`) estimates of the next bit being zero.
+
+/// Number of probability bits (probabilities live in `1..4096`).
+pub const PROB_BITS: u32 = 12;
+/// Maximum probability value (exclusive).
+pub const PROB_ONE: u32 = 1 << PROB_BITS;
+
+const HALF: u32 = 0x8000_0000;
+const QUARTER: u32 = 0x4000_0000;
+const THREE_QUARTERS: u32 = 0xC000_0000;
+
+/// Arithmetic encoder writing to an internal bit buffer.
+#[derive(Debug)]
+pub struct Encoder {
+    low: u32,
+    high: u32,
+    pending: u32,
+    bits: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Create a fresh encoder.
+    pub fn new() -> Self {
+        Encoder { low: 0, high: u32::MAX, pending: 0, bits: Vec::new(), bit_pos: 0 }
+    }
+
+    fn push_raw_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bits.push(0);
+        }
+        if bit {
+            let last = self.bits.len() - 1;
+            self.bits[last] |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    fn emit(&mut self, bit: bool) {
+        self.push_raw_bit(bit);
+        while self.pending > 0 {
+            self.push_raw_bit(!bit);
+            self.pending -= 1;
+        }
+    }
+
+    /// Encode one bit given `p0`, the 12-bit probability that the bit is zero.
+    pub fn encode(&mut self, bit: bool, p0: u32) {
+        debug_assert!(p0 > 0 && p0 < PROB_ONE);
+        let range = (self.high - self.low) as u64 + 1;
+        let mid = self.low + ((range * p0 as u64) >> PROB_BITS) as u32 - 1;
+        if bit {
+            self.low = mid + 1;
+        } else {
+            self.high = mid;
+        }
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    /// Flush the coder and return the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.pending += 1;
+        if self.low < QUARTER {
+            self.emit(false);
+        } else {
+            self.emit(true);
+        }
+        // Pad so the decoder can always pre-load 32 bits.
+        for _ in 0..32 {
+            self.push_raw_bit(false);
+        }
+        self.bits
+    }
+
+    /// Number of bytes produced so far (before [`Self::finish`] padding).
+    pub fn encoded_len(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Arithmetic decoder reading from a byte slice produced by [`Encoder::finish`].
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    bit_index: usize,
+    low: u32,
+    high: u32,
+    code: u32,
+}
+
+impl<'a> Decoder<'a> {
+    /// Create a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        let mut d = Decoder { data, bit_index: 0, low: 0, high: u32::MAX, code: 0 };
+        for _ in 0..32 {
+            d.code = (d.code << 1) | d.next_bit();
+        }
+        d
+    }
+
+    fn next_bit(&mut self) -> u32 {
+        let byte = self.data.get(self.bit_index / 8).copied().unwrap_or(0);
+        let bit = (byte >> (7 - (self.bit_index % 8) as u32)) & 1;
+        self.bit_index += 1;
+        bit as u32
+    }
+
+    /// Decode one bit given `p0`, the 12-bit probability that the bit is zero.
+    pub fn decode(&mut self, p0: u32) -> bool {
+        debug_assert!(p0 > 0 && p0 < PROB_ONE);
+        let range = (self.high - self.low) as u64 + 1;
+        let mid = self.low + ((range * p0 as u64) >> PROB_BITS) as u32 - 1;
+        let bit = self.code > mid;
+        if bit {
+            self.low = mid + 1;
+        } else {
+            self.high = mid;
+        }
+        loop {
+            if self.high < HALF {
+                // nothing to subtract
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.code -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.code -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.code = (self.code << 1) | self.next_bit();
+        }
+        bit
+    }
+}
+
+/// An adaptive probability estimate for a single binary context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitModel {
+    /// Probability (out of [`PROB_ONE`]) that the next bit is zero.
+    pub p0: u16,
+}
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel { p0: (PROB_ONE / 2) as u16 }
+    }
+}
+
+impl BitModel {
+    /// Adaption rate: larger shifts adapt more slowly.
+    const RATE: u32 = 5;
+
+    /// Current probability of zero, clamped away from the interval ends.
+    pub fn probability(&self) -> u32 {
+        (self.p0 as u32).clamp(1, PROB_ONE - 1)
+    }
+
+    /// Update the estimate after observing `bit`.
+    pub fn update(&mut self, bit: bool) {
+        let p = self.p0 as u32;
+        if bit {
+            self.p0 = (p - (p >> Self::RATE)) as u16;
+        } else {
+            self.p0 = (p + ((PROB_ONE - p) >> Self::RATE)) as u16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_bits(bits: &[bool], probabilities: &[u32]) {
+        assert_eq!(bits.len(), probabilities.len());
+        let mut enc = Encoder::new();
+        for (&bit, &p0) in bits.iter().zip(probabilities) {
+            enc.encode(bit, p0);
+        }
+        let data = enc.finish();
+        let mut dec = Decoder::new(&data);
+        for (&bit, &p0) in bits.iter().zip(probabilities) {
+            assert_eq!(dec.decode(p0), bit);
+        }
+    }
+
+    #[test]
+    fn fixed_probability_roundtrip() {
+        let bits: Vec<bool> = (0..5000).map(|i| (i * 31 + i / 7) % 3 == 0).collect();
+        let probs = vec![2048u32; bits.len()];
+        roundtrip_bits(&bits, &probs);
+    }
+
+    #[test]
+    fn skewed_probability_roundtrip() {
+        let bits: Vec<bool> = (0..5000).map(|i| i % 100 == 0).collect();
+        let probs = vec![4000u32; bits.len()]; // strongly expect zero
+        roundtrip_bits(&bits, &probs);
+    }
+
+    #[test]
+    fn extreme_probabilities_roundtrip() {
+        let bits: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
+        let probs: Vec<u32> = (0..2000).map(|i| if i % 2 == 0 { 1 } else { 4095 }).collect();
+        roundtrip_bits(&bits, &probs);
+    }
+
+    #[test]
+    fn skewed_input_with_matching_model_compresses() {
+        // 5000 mostly-zero bits encoded with an accurate skewed probability should take far
+        // fewer than 5000 bits.
+        let bits: Vec<bool> = (0..5000).map(|i| i % 50 == 49).collect();
+        let mut enc = Encoder::new();
+        for &bit in &bits {
+            enc.encode(bit, 4000);
+        }
+        let data = enc.finish();
+        assert!(data.len() < 5000 / 8 / 2, "encoded {} bytes", data.len());
+    }
+
+    #[test]
+    fn adaptive_model_roundtrip() {
+        // Encoder and decoder must evolve the model identically.
+        let bits: Vec<bool> = (0..20_000).map(|i| (i / 37) % 4 == 1).collect();
+        let mut enc = Encoder::new();
+        let mut model = BitModel::default();
+        for &bit in &bits {
+            enc.encode(bit, model.probability());
+            model.update(bit);
+        }
+        let data = enc.finish();
+        let mut dec = Decoder::new(&data);
+        let mut model = BitModel::default();
+        for &bit in &bits {
+            let decoded = dec.decode(model.probability());
+            assert_eq!(decoded, bit);
+            model.update(decoded);
+        }
+    }
+
+    #[test]
+    fn bit_model_converges_towards_observed_bias() {
+        let mut model = BitModel::default();
+        for _ in 0..1000 {
+            model.update(false);
+        }
+        assert!(model.probability() > 3500, "p0 should approach 1 after many zeros");
+        for _ in 0..1000 {
+            model.update(true);
+        }
+        assert!(model.probability() < 600, "p0 should approach 0 after many ones");
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let enc = Encoder::new();
+        let data = enc.finish();
+        assert!(!data.is_empty());
+        let _ = Decoder::new(&data);
+    }
+}

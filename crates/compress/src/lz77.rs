@@ -1,0 +1,247 @@
+//! LZ77 dictionary matching.
+//!
+//! The gzip-class codec first factors the input into a stream of tokens — literals and
+//! back-references `(length, distance)` into a sliding window — using hash-chain match finding,
+//! then entropy-codes the serialized token stream. Matching parameters mirror DEFLATE's:
+//! a 32 KiB window, minimum match of 3 and maximum match of 258 bytes.
+
+/// Sliding window size (32 KiB, as in DEFLATE).
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum back-reference length worth emitting.
+pub const MIN_MATCH: usize = 3;
+/// Maximum back-reference length.
+pub const MAX_MATCH: usize = 258;
+/// Number of hash buckets for match finding.
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Limit on how many chain entries are examined per position (greedy, bounded effort).
+const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte copied verbatim.
+    Literal(u8),
+    /// A back-reference: copy `length` bytes starting `distance` bytes back.
+    Match {
+        /// Number of bytes to copy (between [`MIN_MATCH`] and [`MAX_MATCH`]).
+        length: u16,
+        /// How far back the copy starts (1..=[`WINDOW_SIZE`]).
+        distance: u16,
+    },
+}
+
+fn hash(data: &[u8], pos: usize) -> usize {
+    let a = data[pos] as usize;
+    let b = data[pos + 1] as usize;
+    let c = data[pos + 2] as usize;
+    (a.wrapping_mul(2654435761) ^ b.wrapping_mul(40503) ^ c.wrapping_mul(2246822519))
+        & (HASH_SIZE - 1)
+}
+
+/// Factor `data` into LZ77 tokens using greedy hash-chain matching.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 16);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[pos % WINDOW] = previous position in chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW_SIZE];
+    let mut pos = 0usize;
+
+    while pos < data.len() {
+        if pos + MIN_MATCH > data.len() {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        let h = hash(data, pos);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[h];
+        let mut chain = 0usize;
+        let window_start = pos.saturating_sub(WINDOW_SIZE);
+        while candidate != usize::MAX && candidate >= window_start && chain < MAX_CHAIN {
+            let max_len = MAX_MATCH.min(data.len() - pos);
+            let mut len = 0usize;
+            while len < max_len && data[candidate + len] == data[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - candidate;
+                if len >= max_len {
+                    break;
+                }
+            }
+            let next = prev[candidate % WINDOW_SIZE];
+            if next >= candidate {
+                break; // stale entry from a previous window lap
+            }
+            candidate = next;
+            chain += 1;
+        }
+
+        // Insert the current position into the chain before moving on.
+        prev[pos % WINDOW_SIZE] = head[h];
+        head[h] = pos;
+
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { length: best_len as u16, distance: best_dist as u16 });
+            // Insert the skipped positions into the hash chains so later matches can refer to
+            // them (bounded to keep this O(n) in practice).
+            let insert_until = (pos + best_len).min(data.len().saturating_sub(MIN_MATCH));
+            for p in (pos + 1)..insert_until {
+                let hp = hash(data, p);
+                prev[p % WINDOW_SIZE] = head[hp];
+                head[hp] = p;
+            }
+            pos += best_len;
+        } else {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+        }
+    }
+    tokens
+}
+
+/// Reconstruct the original bytes from a token stream.
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, crate::CompressError> {
+    let mut out: Vec<u8> = Vec::new();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => out.push(b),
+            Token::Match { length, distance } => {
+                let distance = distance as usize;
+                let length = length as usize;
+                if distance == 0 || distance > out.len() {
+                    return Err(crate::CompressError::new(format!(
+                        "invalid back-reference distance {distance} at output length {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - distance;
+                for i in 0..length {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Statistics about a token stream, useful for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenStats {
+    /// Number of literal tokens.
+    pub literals: usize,
+    /// Number of match tokens.
+    pub matches: usize,
+    /// Total bytes covered by matches.
+    pub match_bytes: usize,
+}
+
+/// Compute [`TokenStats`] for a token stream.
+pub fn token_stats(tokens: &[Token]) -> TokenStats {
+    let mut stats = TokenStats::default();
+    for t in tokens {
+        match t {
+            Token::Literal(_) => stats.literals += 1,
+            Token::Match { length, .. } => {
+                stats.matches += 1;
+                stats.match_bytes += *length as usize;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let tokens = tokenize(data);
+        let back = detokenize(&tokens).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc".to_vec();
+        let tokens = tokenize(&data);
+        let stats = token_stats(&tokens);
+        assert!(stats.matches >= 1, "expected at least one back-reference, got {stats:?}");
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_is_handled() {
+        // "aaaaa..." forces distance-1 matches that overlap their own output.
+        let data = vec![b'a'; 500];
+        let tokens = tokenize(&data);
+        let stats = token_stats(&tokens);
+        assert!(stats.match_bytes > 400);
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn random_like_input_roundtrips() {
+        let data: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_input_exceeding_window() {
+        let mut data = Vec::new();
+        for i in 0..(WINDOW_SIZE * 3) {
+            data.push(((i * 7) % 251) as u8);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn protein_like_text_roundtrips_and_compacts() {
+        let motif = b"MKVLAAGGSTLLQN";
+        let mut data = Vec::new();
+        for i in 0..2000 {
+            data.extend_from_slice(motif);
+            data.push(b'A' + (i % 20) as u8);
+        }
+        let tokens = tokenize(&data);
+        assert!(tokens.len() < data.len() / 2, "token stream should be much shorter than input");
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distances() {
+        let bad = vec![Token::Match { length: 5, distance: 3 }];
+        assert!(detokenize(&bad).is_err());
+        let bad = vec![Token::Literal(b'x'), Token::Match { length: 3, distance: 0 }];
+        assert!(detokenize(&bad).is_err());
+    }
+
+    #[test]
+    fn match_lengths_respect_bounds() {
+        let data = vec![b'z'; 4096];
+        for token in tokenize(&data) {
+            if let Token::Match { length, distance } = token {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(length as usize)));
+                assert!(distance as usize >= 1 && (distance as usize) <= WINDOW_SIZE);
+            }
+        }
+    }
+}

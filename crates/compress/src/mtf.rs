@@ -1,0 +1,172 @@
+//! Move-to-front and zero-run-length coding.
+//!
+//! After the Burrows–Wheeler transform, equal symbols cluster into runs. Move-to-front turns
+//! that local clustering into a global skew towards small values (runs become zeros), and the
+//! zero-run-length stage collapses those zero runs so the final Huffman stage sees a compact,
+//! highly skewed alphabet — the same pipeline bzip2 applies between its BWT and entropy coder.
+
+/// Move-to-front encode: each byte is replaced by its current position in a recency list.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(data.len());
+    for &b in data {
+        let pos = table.iter().position(|&x| x == b).expect("byte always present") as u8;
+        out.push(pos);
+        table.copy_within(0..pos as usize, 1);
+        table[0] = b;
+    }
+    out
+}
+
+/// Invert [`mtf_encode`].
+pub fn mtf_decode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(data.len());
+    for &pos in data {
+        let b = table[pos as usize];
+        out.push(b);
+        table.copy_within(0..pos as usize, 1);
+        table[0] = b;
+    }
+    out
+}
+
+/// A zero-run-length encoded stream: symbols plus out-of-band run lengths.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ZeroRle {
+    /// Symbol stream: values `0..=255` are literal MTF values; [`ZERO_RUN`] marks a zero run
+    /// whose length is taken from `run_lengths`.
+    pub symbols: Vec<u32>,
+    /// One entry per [`ZERO_RUN`] marker: the run length minus one, capped at 255 (longer runs
+    /// are split into multiple markers).
+    pub run_lengths: Vec<u32>,
+}
+
+/// Marker symbol for a run of zeros.
+pub const ZERO_RUN: u32 = 256;
+/// Alphabet size of the RLE symbol stream.
+pub const RLE_ALPHABET: usize = 257;
+
+/// Collapse runs of zeros in an MTF-coded buffer.
+pub fn rle_encode(data: &[u8]) -> ZeroRle {
+    let mut out = ZeroRle::default();
+    let mut i = 0usize;
+    while i < data.len() {
+        if data[i] == 0 {
+            let mut run = 1usize;
+            while i + run < data.len() && data[i + run] == 0 && run < 256 {
+                run += 1;
+            }
+            out.symbols.push(ZERO_RUN);
+            out.run_lengths.push((run - 1) as u32);
+            i += run;
+        } else {
+            out.symbols.push(data[i] as u32);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Invert [`rle_encode`].
+pub fn rle_decode(rle: &ZeroRle) -> Result<Vec<u8>, crate::CompressError> {
+    let mut out = Vec::with_capacity(rle.symbols.len());
+    let mut runs = rle.run_lengths.iter();
+    for &sym in &rle.symbols {
+        if sym == ZERO_RUN {
+            let len = *runs
+                .next()
+                .ok_or_else(|| crate::CompressError::new("missing zero-run length"))?
+                as usize
+                + 1;
+            out.extend(std::iter::repeat(0u8).take(len));
+        } else if sym < 256 {
+            out.push(sym as u8);
+        } else {
+            return Err(crate::CompressError::new(format!("invalid RLE symbol {sym}")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtf_roundtrip_simple() {
+        let data = b"banana band ban".to_vec();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+
+    #[test]
+    fn mtf_of_run_is_zeroes() {
+        let data = vec![b'Q'; 100];
+        let encoded = mtf_encode(&data);
+        assert_eq!(encoded[0], b'Q'); // first occurrence: position equals the byte value
+        assert!(encoded[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mtf_roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).chain((0..=255u8).rev()).collect();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+
+    #[test]
+    fn rle_collapses_zero_runs() {
+        let data = [5u8, 0, 0, 0, 0, 7, 0, 1];
+        let rle = rle_encode(&data);
+        assert_eq!(rle.symbols, vec![5, ZERO_RUN, 7, ZERO_RUN, 1]);
+        assert_eq!(rle.run_lengths, vec![3, 0]);
+        assert_eq!(rle_decode(&rle).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_splits_very_long_runs() {
+        let data = vec![0u8; 1000];
+        let rle = rle_encode(&data);
+        assert!(rle.symbols.len() >= 4); // 1000 zeros → at least four 256-long chunks
+        assert!(rle.symbols.iter().all(|&s| s == ZERO_RUN));
+        assert_eq!(rle_decode(&rle).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_roundtrip_mixed() {
+        let mut data = Vec::new();
+        for i in 0..5000usize {
+            data.push(if i % 7 == 0 { (i % 250) as u8 + 1 } else { 0 });
+        }
+        let rle = rle_encode(&data);
+        assert_eq!(rle_decode(&rle).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_decode_rejects_malformed_input() {
+        let missing_run = ZeroRle { symbols: vec![ZERO_RUN], run_lengths: vec![] };
+        assert!(rle_decode(&missing_run).is_err());
+        let bad_symbol = ZeroRle { symbols: vec![999], run_lengths: vec![] };
+        assert!(rle_decode(&bad_symbol).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_bwt_mtf_rle_roundtrip() {
+        let data: Vec<u8> = b"ACDEFGHIKLMNPQRSTVWY"
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
+        let bwt = crate::bwt::bwt_forward(&data);
+        let mtf = mtf_encode(&bwt.data);
+        let rle = rle_encode(&mtf);
+        let back_mtf = rle_decode(&rle).unwrap();
+        assert_eq!(back_mtf, mtf);
+        let back_bwt = mtf_decode(&back_mtf);
+        assert_eq!(back_bwt, bwt.data);
+        let back =
+            crate::bwt::bwt_inverse(&crate::bwt::BwtOutput { data: back_bwt, primary_index: bwt.primary_index })
+                .unwrap();
+        assert_eq!(back, data);
+    }
+}

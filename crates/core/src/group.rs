@@ -1,0 +1,109 @@
+//! Interaction groups.
+//!
+//! "The different activities in a workflow should typically be grouped in different ways, with
+//! each grouping providing a well understood semantics. For instance, a workflow run is usually
+//! referred to as a 'session', while a sequential succession of activities as a 'thread'. Such
+//! groupings are essential to analyse dependencies of activities while reasoning over
+//! provenance." PReP therefore supports groups as first-class recordable entities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::InteractionKey;
+
+/// The semantics of a group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// One workflow run.
+    Session,
+    /// A sequential succession of activities within a run.
+    Thread,
+    /// An application-defined grouping (e.g. "permutation-batch").
+    Custom(String),
+}
+
+impl GroupKind {
+    /// Short label used in store keys.
+    pub fn label(&self) -> &str {
+        match self {
+            GroupKind::Session => "session",
+            GroupKind::Thread => "thread",
+            GroupKind::Custom(name) => name,
+        }
+    }
+}
+
+/// A named group of interactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group identifier (unique within a store).
+    pub id: String,
+    /// What kind of association this group expresses.
+    pub kind: GroupKind,
+    /// Member interactions, in the order they were added.
+    pub members: Vec<InteractionKey>,
+}
+
+impl Group {
+    /// Create an empty group.
+    pub fn new(id: impl Into<String>, kind: GroupKind) -> Self {
+        Group { id: id.into(), kind, members: Vec::new() }
+    }
+
+    /// Add an interaction to the group (duplicates are ignored).
+    pub fn add(&mut self, key: InteractionKey) {
+        if !self.members.contains(&key) {
+            self.members.push(key);
+        }
+    }
+
+    /// Whether the group contains `key`.
+    pub fn contains(&self, key: &InteractionKey) -> bool {
+        self.members.contains(key)
+    }
+
+    /// Number of member interactions.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(GroupKind::Session.label(), "session");
+        assert_eq!(GroupKind::Thread.label(), "thread");
+        assert_eq!(GroupKind::Custom("permutation-batch".into()).label(), "permutation-batch");
+    }
+
+    #[test]
+    fn add_and_query_members() {
+        let mut g = Group::new("session:run-1", GroupKind::Session);
+        assert!(g.is_empty());
+        let k1 = InteractionKey::new("interaction:1");
+        let k2 = InteractionKey::new("interaction:2");
+        g.add(k1.clone());
+        g.add(k2.clone());
+        g.add(k1.clone()); // duplicate ignored
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&k1));
+        assert!(g.contains(&k2));
+        assert!(!g.contains(&InteractionKey::new("interaction:3")));
+        assert_eq!(g.members, vec![k1, k2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut g = Group::new("thread:measure-7", GroupKind::Thread);
+        g.add(InteractionKey::new("interaction:a"));
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<Group>(&json).unwrap(), g);
+    }
+}

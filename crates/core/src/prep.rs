@@ -1,0 +1,236 @@
+//! PReP — the Provenance Recording Protocol.
+//!
+//! PReP "specifies the messages that actors can asynchronously exchange with the provenance
+//! store in order to record their interaction and actor state p-assertions". The protocol is
+//! deliberately small: record submissions (possibly batched), acknowledgements, group
+//! registrations and queries. When p-assertions are recorded is left to the implementor — the
+//! paper exploits this freedom to record asynchronously after execution, which is what keeps
+//! the overhead in Figure 4 under 10 %.
+
+use serde::{Deserialize, Serialize};
+
+use crate::group::Group;
+use crate::ids::{ActorId, InteractionKey, MessageId, SessionId};
+use crate::passertion::RecordedAssertion;
+
+/// A record submission: one or more p-assertions from one asserting actor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordMessage {
+    /// Unique id of this protocol message.
+    pub message_id: MessageId,
+    /// The actor submitting documentation.
+    pub asserter: ActorId,
+    /// The assertions being recorded.
+    pub assertions: Vec<RecordedAssertion>,
+}
+
+impl RecordMessage {
+    /// Number of p-assertions carried.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Whether the message carries no assertions.
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+}
+
+/// Acknowledgement returned by the store for a record submission.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordAck {
+    /// The message being acknowledged.
+    pub message_id: MessageId,
+    /// Number of p-assertions the store accepted.
+    pub accepted: usize,
+    /// Human-readable rejection reasons for assertions the store refused (empty on success).
+    pub rejected: Vec<String>,
+}
+
+impl RecordAck {
+    /// Whether every submitted assertion was accepted.
+    pub fn fully_accepted(&self) -> bool {
+        self.rejected.is_empty()
+    }
+}
+
+/// Queries supported by the store's basic query plug-in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryRequest {
+    /// All p-assertions recorded for one interaction.
+    ByInteraction(InteractionKey),
+    /// All p-assertions recorded under one session.
+    BySession(SessionId),
+    /// All interaction keys known to the store (optionally limited).
+    ListInteractions {
+        /// Maximum number of keys to return (`None` = all).
+        limit: Option<usize>,
+    },
+    /// All groups of a given kind label ("session", "thread", ...).
+    GroupsByKind(String),
+    /// Actor state p-assertions of a given kind label ("script", ...) for one interaction.
+    ActorStateByKind {
+        /// The interaction to inspect.
+        interaction: InteractionKey,
+        /// The actor-state kind label to filter by.
+        kind: String,
+    },
+    /// The store's record counts (diagnostics).
+    Statistics,
+}
+
+/// Response to a [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResponse {
+    /// P-assertions matching the query.
+    Assertions(Vec<RecordedAssertion>),
+    /// Interaction keys matching the query.
+    Interactions(Vec<InteractionKey>),
+    /// Groups matching the query.
+    Groups(Vec<Group>),
+    /// Store statistics.
+    Statistics(StoreStatistics),
+    /// The query was understood but nothing matched.
+    Empty,
+}
+
+/// Counters the store reports through the statistics query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStatistics {
+    /// Number of interaction p-assertions held.
+    pub interaction_passertions: u64,
+    /// Number of actor state p-assertions held.
+    pub actor_state_passertions: u64,
+    /// Number of relationship p-assertions held.
+    pub relationship_passertions: u64,
+    /// Number of distinct interactions documented.
+    pub interactions: u64,
+    /// Number of groups registered.
+    pub groups: u64,
+    /// Total bytes of p-assertion content held.
+    pub content_bytes: u64,
+}
+
+impl StoreStatistics {
+    /// Total number of p-assertions of all kinds.
+    pub fn total_passertions(&self) -> u64 {
+        self.interaction_passertions + self.actor_state_passertions + self.relationship_passertions
+    }
+}
+
+/// The messages an actor can send to a provenance store (the store's wire-level interface).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrepMessage {
+    /// Submit p-assertions.
+    Record(RecordMessage),
+    /// Register or extend a group.
+    RegisterGroup(Group),
+    /// Query the store.
+    Query(QueryRequest),
+}
+
+impl PrepMessage {
+    /// The wire-level action name for this message (used as the envelope action header).
+    pub fn action(&self) -> &'static str {
+        match self {
+            PrepMessage::Record(_) => "record",
+            PrepMessage::RegisterGroup(_) => "register-group",
+            PrepMessage::Query(_) => "query",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passertion::{ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind};
+
+    fn record() -> RecordMessage {
+        RecordMessage {
+            message_id: MessageId::new("message:r:1"),
+            asserter: ActorId::new("shuffler"),
+            assertions: vec![RecordedAssertion {
+                session: SessionId::new("session:r:0"),
+                assertion: PAssertion::ActorState(ActorStatePAssertion {
+                    interaction_key: InteractionKey::new("interaction:r:4"),
+                    asserter: ActorId::new("shuffler"),
+                    view: ViewKind::Receiver,
+                    kind: ActorStateKind::Script,
+                    content: PAssertionContent::text("shuffle --seed 42"),
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn record_message_basics() {
+        let msg = record();
+        assert_eq!(msg.len(), 1);
+        assert!(!msg.is_empty());
+        assert_eq!(PrepMessage::Record(msg).action(), "record");
+    }
+
+    #[test]
+    fn ack_accept_and_reject() {
+        let ok = RecordAck { message_id: MessageId::new("m"), accepted: 3, rejected: vec![] };
+        assert!(ok.fully_accepted());
+        let partial = RecordAck {
+            message_id: MessageId::new("m"),
+            accepted: 2,
+            rejected: vec!["duplicate assertion".into()],
+        };
+        assert!(!partial.fully_accepted());
+    }
+
+    #[test]
+    fn statistics_totals() {
+        let stats = StoreStatistics {
+            interaction_passertions: 10,
+            actor_state_passertions: 20,
+            relationship_passertions: 5,
+            ..Default::default()
+        };
+        assert_eq!(stats.total_passertions(), 35);
+    }
+
+    #[test]
+    fn actions_for_every_message_kind() {
+        assert_eq!(
+            PrepMessage::RegisterGroup(Group::new("g", crate::group::GroupKind::Session)).action(),
+            "register-group"
+        );
+        assert_eq!(PrepMessage::Query(QueryRequest::Statistics).action(), "query");
+    }
+
+    #[test]
+    fn serde_roundtrip_of_protocol_messages() {
+        let messages = vec![
+            PrepMessage::Record(record()),
+            PrepMessage::RegisterGroup(Group::new("session:1", crate::group::GroupKind::Session)),
+            PrepMessage::Query(QueryRequest::ByInteraction(InteractionKey::new("interaction:1"))),
+            PrepMessage::Query(QueryRequest::BySession(SessionId::new("session:1"))),
+            PrepMessage::Query(QueryRequest::ListInteractions { limit: Some(10) }),
+            PrepMessage::Query(QueryRequest::GroupsByKind("session".into())),
+            PrepMessage::Query(QueryRequest::ActorStateByKind {
+                interaction: InteractionKey::new("interaction:2"),
+                kind: "script".into(),
+            }),
+            PrepMessage::Query(QueryRequest::Statistics),
+        ];
+        for msg in messages {
+            let json = serde_json::to_string(&msg).unwrap();
+            assert_eq!(serde_json::from_str::<PrepMessage>(&json).unwrap(), msg);
+        }
+        let responses = vec![
+            QueryResponse::Assertions(vec![]),
+            QueryResponse::Interactions(vec![InteractionKey::new("interaction:1")]),
+            QueryResponse::Groups(vec![]),
+            QueryResponse::Statistics(StoreStatistics::default()),
+            QueryResponse::Empty,
+        ];
+        for resp in responses {
+            let json = serde_json::to_string(&resp).unwrap();
+            assert_eq!(serde_json::from_str::<QueryResponse>(&json).unwrap(), resp);
+        }
+    }
+}

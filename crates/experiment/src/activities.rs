@@ -1,0 +1,287 @@
+//! Workflow activities of the Figure 1 compressibility workflow.
+//!
+//! The coarse-grained activities (Collate Sample, Encode by Groups, Collate Sizes, Average) are
+//! implemented as [`pasoa_workflow::Activity`] services so the engine can schedule and document
+//! them. The fine-grained per-permutation work lives in [`crate::measure`].
+
+use pasoa_bioseq::grouping::GroupCoding;
+use pasoa_bioseq::sample::collate_sample;
+use pasoa_bioseq::sequence::Sequence;
+use pasoa_workflow::{Activity, ActivityContext, ActivityError, DataItem};
+
+use crate::results::SizesTable;
+
+/// Semantic type names used when registering these services (see `pasoa-registry`).
+pub mod semantic {
+    pub use pasoa_registry::ontology::types::*;
+}
+
+/// *Collate Sample*: concatenate input sequences (FASTA text items) into a sample of the target
+/// size.
+pub struct CollateSampleActivity {
+    /// Target sample size in residues (the paper uses ≈100 KB).
+    pub target_size: usize,
+}
+
+impl Activity for CollateSampleActivity {
+    fn name(&self) -> &str {
+        "collate-sample"
+    }
+
+    fn script(&self) -> String {
+        format!("collate-sample --target-bytes {}", self.target_size)
+    }
+
+    fn invoke(
+        &self,
+        inputs: &[DataItem],
+        ctx: &ActivityContext,
+    ) -> Result<Vec<DataItem>, ActivityError> {
+        let mut sequences = Vec::new();
+        for item in inputs {
+            let parsed = pasoa_bioseq::fasta::parse_fasta(&item.as_text())
+                .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
+            sequences.extend(parsed);
+        }
+        if sequences.is_empty() {
+            return Err(ActivityError::new(self.name(), "no input sequences"));
+        }
+        let sample = collate_sample("sample", &sequences, self.target_size);
+        Ok(vec![DataItem::new(ctx.ids.data_id(), "sample", sample.residues)
+            .with_semantic_type(semantic::PROTEIN_SAMPLE)])
+    }
+
+    fn input_types(&self) -> Vec<String> {
+        vec![semantic::AMINO_ACID_SEQUENCE.to_string()]
+    }
+
+    fn output_types(&self) -> Vec<String> {
+        vec![semantic::PROTEIN_SAMPLE.to_string()]
+    }
+}
+
+/// *Encode by Groups*: recode the sample with a reduced amino-acid alphabet.
+pub struct EncodeByGroupsActivity {
+    /// The group coding to apply.
+    pub coding: GroupCoding,
+}
+
+impl Activity for EncodeByGroupsActivity {
+    fn name(&self) -> &str {
+        "encode-by-groups"
+    }
+
+    fn script(&self) -> String {
+        format!("encode-by-groups --grouping '{}'", self.coding.spec_string())
+    }
+
+    fn invoke(
+        &self,
+        inputs: &[DataItem],
+        ctx: &ActivityContext,
+    ) -> Result<Vec<DataItem>, ActivityError> {
+        let sample = inputs
+            .first()
+            .ok_or_else(|| ActivityError::new(self.name(), "missing sample input"))?;
+        let encoded = self
+            .coding
+            .encode(&sample.bytes)
+            .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
+        Ok(vec![DataItem::new(ctx.ids.data_id(), "encoded-sample", encoded)
+            .with_semantic_type(semantic::GROUP_ENCODED_SAMPLE)])
+    }
+
+    fn input_types(&self) -> Vec<String> {
+        vec![semantic::AMINO_ACID_SEQUENCE.to_string()]
+    }
+
+    fn output_types(&self) -> Vec<String> {
+        vec![semantic::GROUP_ENCODED_SAMPLE.to_string()]
+    }
+}
+
+/// *Collate Sizes*: merge per-permutation size tables (serialized as JSON) into one table.
+pub struct CollateSizesActivity;
+
+impl Activity for CollateSizesActivity {
+    fn name(&self) -> &str {
+        "collate-sizes"
+    }
+
+    fn script(&self) -> String {
+        "collate-sizes --format json".to_string()
+    }
+
+    fn invoke(
+        &self,
+        inputs: &[DataItem],
+        ctx: &ActivityContext,
+    ) -> Result<Vec<DataItem>, ActivityError> {
+        let mut table = SizesTable::default();
+        for item in inputs {
+            let partial: SizesTable = serde_json::from_slice(&item.bytes)
+                .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
+            table.merge(partial);
+        }
+        let bytes = serde_json::to_vec(&table)
+            .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
+        Ok(vec![DataItem::new(ctx.ids.data_id(), "sizes-table", bytes)
+            .with_semantic_type(semantic::SIZES_TABLE)])
+    }
+
+    fn input_types(&self) -> Vec<String> {
+        vec![semantic::SIZES_TABLE.to_string()]
+    }
+
+    fn output_types(&self) -> Vec<String> {
+        vec![semantic::SIZES_TABLE.to_string()]
+    }
+}
+
+/// *Average*: compute the compressibility results from the collated sizes table.
+pub struct AverageActivity;
+
+impl Activity for AverageActivity {
+    fn name(&self) -> &str {
+        "average"
+    }
+
+    fn script(&self) -> String {
+        "average --estimate-std-dev".to_string()
+    }
+
+    fn invoke(
+        &self,
+        inputs: &[DataItem],
+        ctx: &ActivityContext,
+    ) -> Result<Vec<DataItem>, ActivityError> {
+        let table_item = inputs
+            .first()
+            .ok_or_else(|| ActivityError::new(self.name(), "missing sizes table"))?;
+        let table: SizesTable = serde_json::from_slice(&table_item.bytes)
+            .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
+        let results = table.compressibility();
+        let bytes = serde_json::to_vec(&results)
+            .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
+        Ok(vec![DataItem::new(ctx.ids.data_id(), "results", bytes)
+            .with_semantic_type(semantic::COMPRESSIBILITY_RESULT)])
+    }
+
+    fn input_types(&self) -> Vec<String> {
+        vec![semantic::SIZES_TABLE.to_string()]
+    }
+
+    fn output_types(&self) -> Vec<String> {
+        vec![semantic::COMPRESSIBILITY_RESULT.to_string()]
+    }
+}
+
+/// Generate the FASTA input items the workflow starts from (the RefSeq substitute).
+pub fn synthetic_inputs(
+    config: &pasoa_bioseq::synthetic::SyntheticConfig,
+    ids: &pasoa_core::ids::IdGenerator,
+) -> Vec<DataItem> {
+    let generator = pasoa_bioseq::synthetic::SyntheticGenerator::new(config.clone());
+    let sequences: Vec<Sequence> = generator.proteins();
+    let fasta = pasoa_bioseq::fasta::write_fasta(&sequences);
+    vec![DataItem::new(ids.data_id(), "sequences", fasta.into_bytes())
+        .with_semantic_type(semantic::AMINO_ACID_SEQUENCE)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_bioseq::grouping::StandardGrouping;
+    use pasoa_bioseq::synthetic::SyntheticConfig;
+    use pasoa_core::ids::IdGenerator;
+    use pasoa_compress::Method;
+
+    fn ctx() -> ActivityContext {
+        ActivityContext::new(IdGenerator::new("test"), 0)
+    }
+
+    #[test]
+    fn collate_then_encode_pipeline() {
+        let ids = IdGenerator::new("test");
+        let inputs = synthetic_inputs(
+            &SyntheticConfig { sequence_count: 8, sequence_length: 2000, ..Default::default() },
+            &ids,
+        );
+        let collate = CollateSampleActivity { target_size: 10_000 };
+        let sample = collate.invoke(&inputs, &ctx()).unwrap();
+        assert_eq!(sample.len(), 1);
+        assert_eq!(sample[0].len(), 10_000);
+        assert_eq!(sample[0].semantic_type.as_deref(), Some(semantic::PROTEIN_SAMPLE));
+
+        let encode =
+            EncodeByGroupsActivity { coding: StandardGrouping::Dayhoff6.coding() };
+        let encoded = encode.invoke(&sample, &ctx()).unwrap();
+        assert_eq!(encoded[0].len(), 10_000);
+        // Dayhoff reduces to 6 distinct symbols.
+        let distinct: std::collections::BTreeSet<u8> = encoded[0].bytes.iter().copied().collect();
+        assert!(distinct.len() <= 6);
+        assert!(collate.script().contains("10000"));
+        assert!(encode.script().contains("AGPST"));
+    }
+
+    #[test]
+    fn collate_rejects_empty_and_bad_input() {
+        let collate = CollateSampleActivity { target_size: 100 };
+        assert!(collate.invoke(&[], &ctx()).is_err());
+        let bad = DataItem::new(pasoa_core::ids::DataId::new("d"), "x", b"residues without a header\n>".to_vec());
+        assert!(collate.invoke(&[bad], &ctx()).is_err());
+    }
+
+    #[test]
+    fn encode_requires_an_input_and_valid_residues() {
+        let encode = EncodeByGroupsActivity { coding: StandardGrouping::Dayhoff6.coding() };
+        assert!(encode.invoke(&[], &ctx()).is_err());
+        let bad = DataItem::new(pasoa_core::ids::DataId::new("d"), "sample", b"MK1L".to_vec());
+        assert!(encode.invoke(&[bad], &ctx()).is_err());
+    }
+
+    #[test]
+    fn collate_sizes_and_average_produce_results() {
+        let mut table_a = SizesTable::default();
+        table_a.push(crate::measure::MeasureOutcome {
+            permutation_index: 0,
+            original_len: 1000,
+            sizes: [(Method::Gzip, 400usize)].into_iter().collect(),
+        });
+        let mut table_b = SizesTable::default();
+        for i in 1..4 {
+            table_b.push(crate::measure::MeasureOutcome {
+                permutation_index: i,
+                original_len: 1000,
+                sizes: [(Method::Gzip, 500 + i as usize)].into_iter().collect(),
+            });
+        }
+        let ids = IdGenerator::new("test");
+        let items: Vec<DataItem> = [&table_a, &table_b]
+            .iter()
+            .map(|t| DataItem::new(ids.data_id(), "sizes", serde_json::to_vec(t).unwrap()))
+            .collect();
+        let collated = CollateSizesActivity.invoke(&items, &ctx()).unwrap();
+        let merged: SizesTable = serde_json::from_slice(&collated[0].bytes).unwrap();
+        assert_eq!(merged.len(), 4);
+
+        let results = AverageActivity.invoke(&collated, &ctx()).unwrap();
+        let parsed: Vec<crate::results::CompressibilityResult> =
+            serde_json::from_slice(&results[0].bytes).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].method, Method::Gzip);
+        assert!(AverageActivity.invoke(&[], &ctx()).is_err());
+    }
+
+    #[test]
+    fn activity_semantic_declarations_are_consistent() {
+        let collate = CollateSampleActivity { target_size: 10 };
+        let encode = EncodeByGroupsActivity { coding: StandardGrouping::Dayhoff6.coding() };
+        assert_eq!(collate.output_types(), vec![semantic::PROTEIN_SAMPLE.to_string()]);
+        assert_eq!(encode.input_types(), vec![semantic::AMINO_ACID_SEQUENCE.to_string()]);
+        assert_eq!(CollateSizesActivity.name(), "collate-sizes");
+        assert_eq!(AverageActivity.name(), "average");
+        assert!(!CollateSizesActivity.script().is_empty());
+        assert!(!AverageActivity.script().is_empty());
+    }
+}

@@ -1,0 +1,469 @@
+//! The full experiment runner: Figure 1 end to end, under a chosen recording configuration.
+//!
+//! A run deploys (or reuses) a PReServ store, builds the recorder matching the requested
+//! configuration, generates the synthetic input sequences, executes Collate Sample and Encode
+//! by Groups through the workflow engine, sweeps the permutations in granularity-partitioned
+//! batches (parallelised with rayon across batches, as Condor would schedule the scripts on a
+//! cluster), collates the sizes and averages them into compressibility results — and reports
+//! the overall execution time "measured by the time difference between the last and first
+//! activities", which is the quantity Figure 4 plots.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use pasoa_bioseq::grouping::StandardGrouping;
+use pasoa_bioseq::synthetic::SyntheticConfig;
+use pasoa_compress::Method;
+use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
+use pasoa_core::recorder::{
+    AsyncRecorder, NullRecorder, ProvenanceRecorder, RecordingMode, SyncRecorder,
+};
+use pasoa_preserv::PreservService;
+use pasoa_wire::{LatencyModel, ServiceHost, Transport, TransportConfig};
+use pasoa_workflow::{
+    EngineConfig, GranularityPartitioner, OverheadModel, WorkflowEngine,
+};
+
+use crate::activities::{synthetic_inputs, CollateSampleActivity, EncodeByGroupsActivity};
+use crate::measure::MeasureKit;
+use crate::results::{CompressibilityResult, SizesTable};
+
+/// The four recording configurations of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunRecording {
+    /// "No recording".
+    None,
+    /// "Asynchronous recording": p-assertions accumulate locally and are shipped after the run
+    /// (the shipping time is included in the reported execution time, as in the paper).
+    Asynchronous,
+    /// "Synchronous recording": each p-assertion is a store round trip during execution.
+    Synchronous,
+    /// "Synchronous recording with extra actor provenance".
+    SynchronousWithExtra,
+}
+
+impl RunRecording {
+    /// All four configurations, in the order the paper's legend lists them (slowest first).
+    pub const ALL: [RunRecording; 4] = [
+        RunRecording::SynchronousWithExtra,
+        RunRecording::Synchronous,
+        RunRecording::Asynchronous,
+        RunRecording::None,
+    ];
+
+    /// The label used in Figure 4's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunRecording::None => "No recording",
+            RunRecording::Asynchronous => "Asynchronous recording",
+            RunRecording::Synchronous => "Synchronous recording",
+            RunRecording::SynchronousWithExtra => {
+                "Synchronous recording with extra actor provenance"
+            }
+        }
+    }
+
+    /// Whether the extra actor-state p-assertions are recorded.
+    pub fn extra_actor_state(self) -> bool {
+        matches!(self, RunRecording::SynchronousWithExtra)
+    }
+
+    /// The underlying delivery mode.
+    pub fn mode(self) -> RecordingMode {
+        match self {
+            RunRecording::None => RecordingMode::None,
+            RunRecording::Asynchronous => RecordingMode::Asynchronous,
+            RunRecording::Synchronous | RunRecording::SynchronousWithExtra => {
+                RecordingMode::Synchronous
+            }
+        }
+    }
+}
+
+/// How the provenance store is deployed for a run.
+pub struct StoreDeployment {
+    /// The host the store (and any other services) are registered on.
+    pub host: ServiceHost,
+    /// The store service itself.
+    pub service: Arc<PreservService>,
+    /// The latency model charged per store call.
+    pub latency: LatencyModel,
+    /// Whether the latency is actually slept (true) or only accounted virtually (false).
+    pub sleep_latency: bool,
+}
+
+impl StoreDeployment {
+    /// Deploy an in-memory store with the given latency model.
+    pub fn in_memory(latency: LatencyModel, sleep_latency: bool) -> Self {
+        let host = ServiceHost::new();
+        let service = Arc::new(PreservService::in_memory().expect("memory store cannot fail"));
+        service.register(&host);
+        StoreDeployment { host, service, latency, sleep_latency }
+    }
+
+    /// A transport towards the deployed services.
+    pub fn transport(&self) -> Transport {
+        let config = if self.sleep_latency {
+            TransportConfig::sleeping(self.latency)
+        } else {
+            TransportConfig::virtual_time(self.latency)
+        };
+        self.host.transport(config)
+    }
+}
+
+/// Parameters of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Target collated sample size in residues (paper: ~100 KB).
+    pub sample_size: usize,
+    /// Number of permutations to measure.
+    pub permutations: usize,
+    /// Permutations grouped into one scheduled script (paper: 100).
+    pub permutations_per_script: usize,
+    /// The amino-acid grouping applied by *Encode by Groups*.
+    pub grouping: StandardGrouping,
+    /// Compression methods measured (paper: gzip and ppmz in the Measure workflow).
+    pub methods: Vec<Method>,
+    /// Recording configuration.
+    pub recording: RunRecording,
+    /// Base seed for synthetic data and shuffling.
+    pub seed: u64,
+    /// Synthetic input generation parameters.
+    pub synthetic: SyntheticConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            sample_size: 100 * 1024,
+            permutations: 100,
+            permutations_per_script: 100,
+            grouping: StandardGrouping::Dayhoff6,
+            methods: vec![Method::Gzip, Method::Ppmz],
+            recording: RunRecording::Asynchronous,
+            seed: 20050624,
+            synthetic: SyntheticConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A scaled-down configuration suitable for tests and Criterion benches (a few KB sample,
+    /// few permutations) that keeps every code path of the full experiment.
+    pub fn small(permutations: usize, recording: RunRecording) -> Self {
+        ExperimentConfig {
+            sample_size: 8 * 1024,
+            permutations,
+            permutations_per_script: 10,
+            methods: vec![Method::Gzip, Method::Ppmz],
+            recording,
+            synthetic: SyntheticConfig {
+                sequence_count: 8,
+                sequence_length: 2048,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Configuration echoed back.
+    pub recording: RunRecording,
+    /// Number of permutations processed.
+    pub permutations: usize,
+    /// Overall execution time (first activity to last, including the asynchronous flush).
+    pub execution_time: Duration,
+    /// Simulated communication time accumulated on the transport's virtual clock (zero when
+    /// latency is slept for real).
+    pub simulated_comm_time: Duration,
+    /// Number of p-assertions recorded.
+    pub passertions: u64,
+    /// Number of store round trips performed.
+    pub store_calls: u64,
+    /// The collated sizes table.
+    pub sizes: SizesTable,
+    /// The final compressibility results per method.
+    pub results: Vec<CompressibilityResult>,
+    /// The session under which the run was recorded.
+    pub session: SessionId,
+}
+
+impl ExperimentReport {
+    /// Execution time including simulated communication time — the quantity to compare across
+    /// recording configurations when latencies are modelled rather than slept.
+    pub fn total_time(&self) -> Duration {
+        self.execution_time + self.simulated_comm_time
+    }
+}
+
+/// Runs the experiment.
+pub struct ExperimentRunner {
+    deployment: StoreDeployment,
+    /// Monotone run counter: sessions must stay distinguishable "even if multiple workflows were
+    /// run simultaneously", so every run gets a unique session id regardless of configuration.
+    run_counter: std::sync::atomic::AtomicU64,
+}
+
+impl ExperimentRunner {
+    /// Create a runner against an existing deployment.
+    pub fn new(deployment: StoreDeployment) -> Self {
+        ExperimentRunner { deployment, run_counter: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// The deployment in use (so callers can query the store afterwards).
+    pub fn deployment(&self) -> &StoreDeployment {
+        &self.deployment
+    }
+
+    /// Execute one run.
+    pub fn run(&self, config: &ExperimentConfig) -> ExperimentReport {
+        let start = Instant::now();
+        let transport = self.deployment.transport();
+        let run = self.run_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let session = SessionId::new(format!(
+            "session:{}:{}perm:{}:run{}",
+            match config.recording {
+                RunRecording::None => "none",
+                RunRecording::Asynchronous => "async",
+                RunRecording::Synchronous => "sync",
+                RunRecording::SynchronousWithExtra => "sync-extra",
+            },
+            config.permutations,
+            config.seed,
+            run
+        ));
+        let ids = IdGenerator::new(session.as_str().to_string());
+        let asserter = ActorId::new("compressibility-experiment");
+
+        let recorder: Arc<dyn ProvenanceRecorder> = match config.recording.mode() {
+            RecordingMode::None => Arc::new(NullRecorder::new(session.clone())),
+            RecordingMode::Asynchronous => Arc::new(AsyncRecorder::new(
+                session.clone(),
+                asserter.clone(),
+                transport.clone(),
+                ids.clone(),
+                64,
+            )),
+            RecordingMode::Synchronous => Arc::new(SyncRecorder::new(
+                session.clone(),
+                asserter.clone(),
+                transport.clone(),
+                ids.clone(),
+            )),
+        };
+
+        // Coarse-grained workflow prefix: Collate Sample then Encode by Groups, run through the
+        // engine so their invocations are documented like any other activity.
+        let engine = WorkflowEngine::new(
+            Arc::clone(&recorder),
+            ids.clone(),
+            EngineConfig {
+                overhead: OverheadModel::free(),
+                record_extra_actor_state: config.recording.extra_actor_state(),
+            },
+        );
+        let inputs = synthetic_inputs(&config.synthetic, &ids);
+        let collate = CollateSampleActivity { target_size: config.sample_size };
+        let sample = engine
+            .invoke_activity(&collate, &inputs, 0)
+            .expect("collation of synthetic inputs cannot fail");
+        let encode = EncodeByGroupsActivity { coding: config.grouping.coding() };
+        let encoded = engine
+            .invoke_activity(&encode, &sample, 0)
+            .expect("encoding a valid protein sample cannot fail");
+        let encoded_bytes = encoded[0].bytes.clone();
+
+        // Permutation sweep: measurement index 0 is the unpermuted sample, then the requested
+        // number of permutations, grouped into scripts and run in parallel across scripts.
+        let kit = MeasureKit::new(&config.methods);
+        let partitioner = GranularityPartitioner::new(config.permutations_per_script);
+        let total_measurements = config.permutations + 1;
+        let jobs = partitioner.jobs(total_measurements);
+        let outcomes: Vec<crate::measure::MeasureOutcome> = jobs
+            .par_iter()
+            .flat_map(|range| {
+                range
+                    .clone()
+                    .map(|index| {
+                        kit.measure(
+                            &encoded_bytes,
+                            index,
+                            config.seed,
+                            recorder.as_ref(),
+                            &ids,
+                            config.recording.extra_actor_state(),
+                        )
+                        .expect("recording failure aborts the run")
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut sizes = SizesTable::default();
+        for outcome in outcomes {
+            sizes.push(outcome);
+        }
+        sizes.entries.sort_by_key(|e| e.permutation_index);
+        let results = sizes.compressibility();
+
+        // Close the session: register the group and ship any journalled documentation. The
+        // paper includes this in the measured execution time for the asynchronous mode.
+        engine.finish_session().expect("group registration cannot fail against a live store");
+        recorder.flush().expect("flush cannot fail against a live store");
+
+        let execution_time = start.elapsed();
+        ExperimentReport {
+            recording: config.recording,
+            permutations: config.permutations,
+            execution_time,
+            simulated_comm_time: transport.clock().elapsed(),
+            passertions: recorder.stats().assertions_recorded,
+            store_calls: transport.stats().calls,
+            sizes,
+            results,
+            session,
+        }
+    }
+}
+
+/// Run every recording configuration at every permutation count — the full Figure 4 grid.
+pub fn run_grid(
+    deployment: StoreDeployment,
+    permutation_counts: &[usize],
+    base: &ExperimentConfig,
+) -> BTreeMap<(String, usize), ExperimentReport> {
+    let runner = ExperimentRunner::new(deployment);
+    let mut out = BTreeMap::new();
+    for &permutations in permutation_counts {
+        for recording in RunRecording::ALL {
+            let config = ExperimentConfig { permutations, recording, ..base.clone() };
+            let report = runner.run(&config);
+            out.insert((recording.label().to_string(), permutations), report);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_wire::NetworkProfile;
+
+    fn deployment() -> StoreDeployment {
+        StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false)
+    }
+
+    #[test]
+    fn run_without_recording_produces_results() {
+        let runner = ExperimentRunner::new(deployment());
+        let report = runner.run(&ExperimentConfig::small(6, RunRecording::None));
+        assert_eq!(report.permutations, 6);
+        assert_eq!(report.sizes.len(), 7); // original + 6 permutations
+        assert_eq!(report.passertions, 0);
+        assert_eq!(report.store_calls, 0);
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert!(
+                r.relative_compressibility < 1.0,
+                "synthetic proteins have structure the compressor should find: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recording_configurations_produce_expected_passertion_counts() {
+        let runner = ExperimentRunner::new(deployment());
+        let permutations = 5;
+        let sync = runner.run(&ExperimentConfig::small(permutations, RunRecording::Synchronous));
+        let asyn = runner.run(&ExperimentConfig::small(permutations, RunRecording::Asynchronous));
+        let extra =
+            runner.run(&ExperimentConfig::small(permutations, RunRecording::SynchronousWithExtra));
+
+        // 6 per measurement (original + permutations), plus the two engine-driven activities
+        // (6 each) and the workflow-less session bookkeeping.
+        let measurements = (permutations + 1) as u64;
+        assert_eq!(sync.passertions, 6 * measurements + 12);
+        assert_eq!(asyn.passertions, sync.passertions);
+        assert_eq!(extra.passertions, 8 * measurements + 16);
+
+        // Synchronous recording makes one store call per p-assertion (plus the group
+        // registration); asynchronous batches them.
+        assert!(sync.store_calls > asyn.store_calls);
+        assert!(asyn.store_calls >= 1);
+    }
+
+    #[test]
+    fn recorded_documentation_lands_in_the_store() {
+        let runner = ExperimentRunner::new(deployment());
+        let report = runner.run(&ExperimentConfig::small(4, RunRecording::Synchronous));
+        let store = runner.deployment().service.store();
+        let recorded = store.assertions_for_session(&report.session).unwrap();
+        assert_eq!(recorded.len() as u64, report.passertions);
+        let stats = store.statistics();
+        assert!(stats.interaction_passertions > 0);
+        assert!(stats.actor_state_passertions > 0);
+        assert!(stats.relationship_passertions > 0);
+        assert_eq!(store.groups_by_kind("session").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_science_regardless_of_recording() {
+        let runner = ExperimentRunner::new(deployment());
+        let a = runner.run(&ExperimentConfig::small(4, RunRecording::None));
+        let b = runner.run(&ExperimentConfig::small(4, RunRecording::Synchronous));
+        assert_eq!(a.sizes, b.sizes, "provenance recording must not perturb the results");
+        assert_eq!(a.results.len(), b.results.len());
+    }
+
+    #[test]
+    fn simulated_latency_separates_the_recording_configurations() {
+        // With the paper's latency model applied virtually, the ordering of Figure 4's curves
+        // emerges: none < async < sync < sync+extra.
+        let deployment =
+            StoreDeployment::in_memory(NetworkProfile::Paper2005.latency_model(), false);
+        let runner = ExperimentRunner::new(deployment);
+        let permutations = 4;
+        let time = |recording| {
+            let report = runner.run(&ExperimentConfig::small(permutations, recording));
+            report.simulated_comm_time
+        };
+        let none = time(RunRecording::None);
+        let asyn = time(RunRecording::Asynchronous);
+        let sync = time(RunRecording::Synchronous);
+        let extra = time(RunRecording::SynchronousWithExtra);
+        assert_eq!(none, Duration::ZERO);
+        assert!(asyn > none);
+        assert!(sync > asyn, "sync {sync:?} should exceed async {asyn:?}");
+        assert!(extra > sync, "extra {extra:?} should exceed sync {sync:?}");
+    }
+
+    #[test]
+    fn run_grid_covers_every_cell() {
+        let grid = run_grid(
+            deployment(),
+            &[2, 4],
+            &ExperimentConfig::small(0, RunRecording::None),
+        );
+        assert_eq!(grid.len(), 8);
+        assert!(grid.contains_key(&("No recording".to_string(), 2)));
+        assert!(grid
+            .contains_key(&("Synchronous recording with extra actor provenance".to_string(), 4)));
+    }
+
+    #[test]
+    fn labels_and_modes() {
+        assert_eq!(RunRecording::None.label(), "No recording");
+        assert!(RunRecording::SynchronousWithExtra.extra_actor_state());
+        assert!(!RunRecording::Synchronous.extra_actor_state());
+        assert_eq!(RunRecording::Asynchronous.mode(), RecordingMode::Asynchronous);
+        assert_eq!(RunRecording::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Write batches: group several mutations so they are appended (and optionally synced) as one
+//! unit. The asynchronous PReP recorder ships accumulated p-assertions in bulk after a workflow
+//! completes; batching the resulting store writes is what makes that mode cheap.
+
+use crate::error::DbResult;
+use crate::record::Record;
+
+/// An ordered set of mutations applied atomically with respect to other writers.
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    ops: Vec<Record>,
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a put of `key` → `value`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> DbResult<&mut Self> {
+        self.ops.push(Record::put(key, value)?);
+        Ok(self)
+    }
+
+    /// Queue a delete of `key`.
+    pub fn delete(&mut self, key: &[u8]) -> DbResult<&mut Self> {
+        self.ops.push(Record::delete(key)?);
+        Ok(self)
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total payload bytes queued (keys + values).
+    pub fn payload_bytes(&self) -> usize {
+        self.ops.iter().map(|r| r.key.len() + r.value.len()).sum()
+    }
+
+    /// Consume the batch, yielding the queued records in order.
+    pub(crate) fn into_records(self) -> Vec<Record> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    #[test]
+    fn batch_accumulates_in_order() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1").unwrap();
+        b.delete(b"b").unwrap();
+        b.put(b"c", b"3").unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let records = b.into_records();
+        assert_eq!(records[0].kind, RecordKind::Put);
+        assert_eq!(records[1].kind, RecordKind::Delete);
+        assert_eq!(records[2].key, b"c");
+    }
+
+    #[test]
+    fn payload_bytes_counts_keys_and_values() {
+        let mut b = WriteBatch::new();
+        b.put(b"ab", b"cdef").unwrap();
+        b.delete(b"xyz").unwrap();
+        assert_eq!(b.payload_bytes(), 2 + 4 + 3);
+    }
+
+    #[test]
+    fn oversized_key_rejected_at_queue_time() {
+        let mut b = WriteBatch::new();
+        let big = vec![0u8; crate::record::MAX_KEY_LEN + 1];
+        assert!(b.put(&big, b"").is_err());
+        assert!(b.is_empty());
+    }
+}

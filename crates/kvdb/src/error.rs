@@ -1,0 +1,93 @@
+//! Error type shared by all kvdb operations.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the crate.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors produced by the key-value store.
+#[derive(Debug)]
+pub enum DbError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A record on disk failed its checksum; the log is corrupt beyond this point.
+    Corruption {
+        /// Segment file id in which the corruption was detected.
+        segment: u64,
+        /// Byte offset of the corrupt record header.
+        offset: u64,
+        /// Human-readable description of what failed to validate.
+        reason: String,
+    },
+    /// A key exceeded [`crate::record::MAX_KEY_LEN`].
+    KeyTooLarge(usize),
+    /// A value exceeded [`crate::record::MAX_VALUE_LEN`].
+    ValueTooLarge(usize),
+    /// The database directory is already locked by another open handle.
+    Locked(String),
+    /// The store was closed and can no longer be used.
+    Closed,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::Corruption { segment, offset, reason } => {
+                write!(f, "corruption in segment {segment} at offset {offset}: {reason}")
+            }
+            DbError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds maximum"),
+            DbError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds maximum"),
+            DbError::Locked(dir) => write!(f, "database directory {dir} is locked"),
+            DbError::Closed => write!(f, "database handle is closed"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io() {
+        let e = DbError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn display_corruption_mentions_segment_and_offset() {
+        let e = DbError::Corruption { segment: 3, offset: 128, reason: "bad crc".into() };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("128") && s.contains("bad crc"));
+    }
+
+    #[test]
+    fn display_limits() {
+        assert!(DbError::KeyTooLarge(70000).to_string().contains("70000"));
+        assert!(DbError::ValueTooLarge(1 << 30).to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn source_only_for_io() {
+        use std::error::Error;
+        let io_err = DbError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        assert!(io_err.source().is_some());
+        assert!(DbError::Closed.source().is_none());
+    }
+}

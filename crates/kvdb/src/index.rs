@@ -1,0 +1,191 @@
+//! In-memory ordered index mapping keys to their latest record location.
+//!
+//! The index is rebuilt on open by replaying the segment log in order; the last record for a
+//! key wins (tombstones remove the entry). Ordered iteration supports the provenance store's
+//! prefix scans (e.g. "all p-assertions for interaction X").
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::segment::RecordPointer;
+
+/// Index entry: where the live value for a key resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Pointer into the segment log.
+    pub ptr: RecordPointer,
+    /// Length of the value payload (not the whole record).
+    pub value_len: u32,
+}
+
+/// Ordered key index.
+#[derive(Debug, Default)]
+pub struct KeyIndex {
+    map: BTreeMap<Vec<u8>, IndexEntry>,
+    /// Bytes of live key+value data (used to estimate garbage for compaction decisions).
+    live_bytes: u64,
+}
+
+impl KeyIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes of live data referenced by the index.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Record that `key` now lives at `entry`. Returns the previous entry if any.
+    pub fn insert(&mut self, key: Vec<u8>, entry: IndexEntry) -> Option<IndexEntry> {
+        let added = key.len() as u64 + entry.value_len as u64;
+        let prev = self.map.insert(key, entry);
+        if let Some(old) = &prev {
+            // Key length cancels out; only adjust for the value-length difference.
+            self.live_bytes = self.live_bytes.saturating_sub(old.value_len as u64);
+            self.live_bytes += entry.value_len as u64;
+        } else {
+            self.live_bytes += added;
+        }
+        prev
+    }
+
+    /// Remove `key` from the index (because a tombstone was written). Returns the old entry.
+    pub fn remove(&mut self, key: &[u8]) -> Option<IndexEntry> {
+        let prev = self.map.remove(key);
+        if let Some(old) = &prev {
+            self.live_bytes =
+                self.live_bytes.saturating_sub(key.len() as u64 + old.value_len as u64);
+        }
+        prev
+    }
+
+    /// Look up the entry for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&IndexEntry> {
+        self.map.get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Iterate over all `(key, entry)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &IndexEntry)> {
+        self.map.iter()
+    }
+
+    /// Iterate over keys beginning with `prefix`, in key order.
+    pub fn iter_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a IndexEntry)> + 'a {
+        self.map
+            .range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Iterate over keys in the half-open range `[start, end)`.
+    pub fn iter_range<'a>(
+        &'a self,
+        start: &'a [u8],
+        end: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a IndexEntry)> + 'a {
+        self.map.range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+    }
+
+    /// All live keys in order (cloned).
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Clear the index completely.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.live_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(segment: u64, offset: u64) -> IndexEntry {
+        IndexEntry { ptr: RecordPointer { segment, offset, len: 16 }, value_len: 4 }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = KeyIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.insert(b"k".to_vec(), ptr(1, 0)).is_none());
+        assert!(idx.contains(b"k"));
+        assert_eq!(idx.get(b"k").unwrap().ptr.segment, 1);
+        let old = idx.insert(b"k".to_vec(), ptr(2, 8)).unwrap();
+        assert_eq!(old.ptr.segment, 1);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(b"k").is_some());
+        assert!(idx.remove(b"k").is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn live_bytes_tracks_inserts_and_removals() {
+        let mut idx = KeyIndex::new();
+        idx.insert(b"abcd".to_vec(), ptr(1, 0)); // 4 key + 4 value
+        assert_eq!(idx.live_bytes(), 8);
+        idx.insert(b"abcd".to_vec(), ptr(1, 16)); // overwrite, same sizes
+        assert_eq!(idx.live_bytes(), 8);
+        idx.insert(b"xy".to_vec(), ptr(1, 32));
+        assert_eq!(idx.live_bytes(), 14);
+        idx.remove(b"abcd");
+        assert_eq!(idx.live_bytes(), 6);
+        idx.clear();
+        assert_eq!(idx.live_bytes(), 0);
+    }
+
+    #[test]
+    fn prefix_iteration_in_order() {
+        let mut idx = KeyIndex::new();
+        for key in ["session/1/a", "session/1/b", "session/2/a", "other"] {
+            idx.insert(key.as_bytes().to_vec(), ptr(1, 0));
+        }
+        let keys: Vec<_> = idx
+            .iter_prefix(b"session/1/")
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(keys, vec!["session/1/a", "session/1/b"]);
+        assert_eq!(idx.iter_prefix(b"nope").count(), 0);
+        assert_eq!(idx.iter_prefix(b"").count(), 4);
+    }
+
+    #[test]
+    fn range_iteration() {
+        let mut idx = KeyIndex::new();
+        for key in [b"a".as_ref(), b"b", b"c", b"d"] {
+            idx.insert(key.to_vec(), ptr(1, 0));
+        }
+        let keys: Vec<_> = idx.iter_range(b"b", b"d").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn keys_sorted() {
+        let mut idx = KeyIndex::new();
+        for key in [b"zeta".as_ref(), b"alpha", b"mid"] {
+            idx.insert(key.to_vec(), ptr(1, 0));
+        }
+        assert_eq!(idx.keys(), vec![b"alpha".to_vec(), b"mid".to_vec(), b"zeta".to_vec()]);
+    }
+}

@@ -1,0 +1,140 @@
+//! A bounded in-memory value cache.
+//!
+//! The log-structured store keeps its index in memory but values on disk. Recently written or
+//! read values are cached here so the provenance store's common access pattern — record a
+//! p-assertion, then query it shortly afterwards while reasoning over a fresh run — rarely
+//! touches the disk. Eviction is FIFO by insertion order and bounded by a byte budget, which
+//! keeps behaviour predictable for long-running stores.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Bounded FIFO value cache.
+#[derive(Debug)]
+pub struct Memtable {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    order: VecDeque<Vec<u8>>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Memtable {
+    /// Create a cache bounded to roughly `budget` bytes of key+value data.
+    pub fn new(budget: usize) -> Self {
+        Memtable { map: HashMap::new(), order: VecDeque::new(), bytes: 0, budget }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Insert or update a cached value, evicting old entries if over budget.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) {
+        let entry_cost = key.len() + value.len();
+        if entry_cost > self.budget {
+            // A single entry larger than the whole budget is never cached.
+            self.remove(key);
+            return;
+        }
+        if let Some(old) = self.map.insert(key.to_vec(), value.to_vec()) {
+            self.bytes = self.bytes.saturating_sub(key.len() + old.len());
+        } else {
+            self.order.push_back(key.to_vec());
+        }
+        self.bytes += entry_cost;
+        self.evict_to_budget();
+    }
+
+    /// Fetch a cached value.
+    pub fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.map.get(key)
+    }
+
+    /// Remove a key (e.g. after a delete).
+    pub fn remove(&mut self, key: &[u8]) {
+        if let Some(old) = self.map.remove(key) {
+            self.bytes = self.bytes.saturating_sub(key.len() + old.len());
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.budget {
+            let Some(victim) = self.order.pop_front() else { break };
+            if let Some(value) = self.map.remove(&victim) {
+                self.bytes = self.bytes.saturating_sub(victim.len() + value.len());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = Memtable::new(1024);
+        m.insert(b"k", b"v");
+        assert_eq!(m.get(b"k").map(|v| v.as_slice()), Some(&b"v"[..]));
+        m.remove(b"k");
+        assert!(m.get(b"k").is_none());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn update_replaces_bytes() {
+        let mut m = Memtable::new(1024);
+        m.insert(b"k", b"short");
+        let before = m.bytes();
+        m.insert(b"k", b"a-much-longer-value");
+        assert!(m.bytes() > before);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn eviction_respects_budget() {
+        let mut m = Memtable::new(30);
+        for i in 0..10u8 {
+            m.insert(&[i], &[0u8; 8]); // 9 bytes each
+        }
+        assert!(m.bytes() <= 30);
+        assert!(m.len() <= 3);
+        // Newest entry survives.
+        assert!(m.get(&[9]).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let mut m = Memtable::new(8);
+        m.insert(b"key", &[0u8; 64]);
+        assert!(m.get(b"key").is_none());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Memtable::new(1024);
+        m.insert(b"a", b"1");
+        m.insert(b"b", b"2");
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Segment files: append-only log files holding encoded [`Record`]s.
+//!
+//! A database directory contains segments named `seg-<id>.log`. Exactly one segment (the one
+//! with the highest id) is active for writes; older segments are immutable and only read (for
+//! `get` misses against the in-memory value cache, and during compaction).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{DbError, DbResult};
+use crate::record::Record;
+
+/// File-name prefix of segment files.
+pub const SEGMENT_PREFIX: &str = "seg-";
+/// File-name suffix of segment files.
+pub const SEGMENT_SUFFIX: &str = ".log";
+
+/// Location of a record inside the segment log, kept by the in-memory index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordPointer {
+    /// Segment id containing the record.
+    pub segment: u64,
+    /// Byte offset of the record header within the segment.
+    pub offset: u64,
+    /// Total encoded length of the record.
+    pub len: u32,
+}
+
+/// Build the path of segment `id` within `dir`.
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{id:016}{SEGMENT_SUFFIX}"))
+}
+
+/// Parse a segment id out of a file name, if the name matches the segment pattern.
+pub fn parse_segment_id(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix(SEGMENT_PREFIX)?;
+    let digits = rest.strip_suffix(SEGMENT_SUFFIX)?;
+    digits.parse().ok()
+}
+
+/// List all segment ids present in `dir`, sorted ascending.
+pub fn list_segments(dir: &Path) -> DbResult<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(id) = parse_segment_id(name) {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// A writable, append-only segment.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    id: u64,
+    file: File,
+    len: u64,
+    buf: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Create a fresh segment `id` in `dir` (truncating any pre-existing file).
+    pub fn create(dir: &Path, id: u64) -> DbResult<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(segment_path(dir, id))?;
+        Ok(SegmentWriter { id, file, len: 0, buf: Vec::with_capacity(8 * 1024) })
+    }
+
+    /// Re-open an existing segment `id` for appending at `len` bytes.
+    pub fn open_for_append(dir: &Path, id: u64, len: u64) -> DbResult<Self> {
+        let mut file = OpenOptions::new().write(true).open(segment_path(dir, id))?;
+        file.set_len(len)?; // truncate any torn tail discovered during recovery
+        file.seek(SeekFrom::Start(len))?;
+        Ok(SegmentWriter { id, file, len, buf: Vec::with_capacity(8 * 1024) })
+    }
+
+    /// The id of this segment.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Bytes written to this segment so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a record, returning its pointer. Data reaches the OS via `flush`/`sync`.
+    pub fn append(&mut self, record: &Record) -> DbResult<RecordPointer> {
+        self.buf.clear();
+        record.encode_into(&mut self.buf);
+        self.file.write_all(&self.buf)?;
+        let ptr = RecordPointer { segment: self.id, offset: self.len, len: self.buf.len() as u32 };
+        self.len += self.buf.len() as u64;
+        Ok(ptr)
+    }
+
+    /// Flush buffered data to the operating system.
+    pub fn flush(&mut self) -> DbResult<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Force data to stable storage (fsync).
+    pub fn sync(&mut self) -> DbResult<()> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Read an entire segment into memory and decode its records.
+///
+/// Returns the decoded records together with their pointers, plus the number of cleanly
+/// decodable bytes. A torn tail (incomplete final record) is reported through the byte count
+/// so the caller can truncate; a mid-file CRC failure is reported as corruption.
+pub fn scan_segment(dir: &Path, id: u64) -> DbResult<(Vec<(Record, RecordPointer)>, u64)> {
+    let mut file = File::open(segment_path(dir, id))?;
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        match Record::decode(&data[offset..], id, offset as u64)? {
+            Some((record, used)) => {
+                let ptr =
+                    RecordPointer { segment: id, offset: offset as u64, len: used as u32 };
+                records.push((record, ptr));
+                offset += used;
+            }
+            None => break, // torn tail
+        }
+    }
+    Ok((records, offset as u64))
+}
+
+/// Read a single record at `ptr` from disk.
+pub fn read_record(dir: &Path, ptr: RecordPointer) -> DbResult<Record> {
+    let mut file = File::open(segment_path(dir, ptr.segment))?;
+    file.seek(SeekFrom::Start(ptr.offset))?;
+    let mut buf = vec![0u8; ptr.len as usize];
+    file.read_exact(&mut buf)?;
+    match Record::decode(&buf, ptr.segment, ptr.offset)? {
+        Some((record, _)) => Ok(record),
+        None => Err(DbError::Corruption {
+            segment: ptr.segment,
+            offset: ptr.offset,
+            reason: "pointer refers to an incomplete record".into(),
+        }),
+    }
+}
+
+/// Delete segment `id` from disk.
+pub fn remove_segment(dir: &Path, id: u64) -> DbResult<()> {
+    fs::remove_file(segment_path(dir, id))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kvdb-seg-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn segment_name_roundtrip() {
+        let p = segment_path(Path::new("/tmp/x"), 42);
+        let name = p.file_name().unwrap().to_str().unwrap().to_string();
+        assert_eq!(parse_segment_id(&name), Some(42));
+        assert_eq!(parse_segment_id("not-a-segment"), None);
+        assert_eq!(parse_segment_id("seg-xyz.log"), None);
+    }
+
+    #[test]
+    fn append_and_scan() {
+        let dir = tempdir("append");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        let r1 = Record::put(b"a", b"1").unwrap();
+        let r2 = Record::put(b"b", b"2").unwrap();
+        let p1 = w.append(&r1).unwrap();
+        let p2 = w.append(&r2).unwrap();
+        w.sync().unwrap();
+        assert_eq!(p1.offset, 0);
+        assert_eq!(p2.offset, p1.len as u64);
+        let (records, clean) = scan_segment(&dir, 1).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, r1);
+        assert_eq!(records[1].0, r2);
+        assert_eq!(clean, w.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_record_by_pointer() {
+        let dir = tempdir("read-ptr");
+        let mut w = SegmentWriter::create(&dir, 3).unwrap();
+        let r = Record::put(b"key", b"value").unwrap();
+        let ptr = w.append(&r).unwrap();
+        w.sync().unwrap();
+        assert_eq!(read_record(&dir, ptr).unwrap(), r);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_by_scan() {
+        let dir = tempdir("torn");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        let r = Record::put(b"good", b"record").unwrap();
+        w.append(&r).unwrap();
+        w.sync().unwrap();
+        // Append garbage that looks like the start of a record but is cut short.
+        let partial = Record::put(b"partial", b"payload-that-will-be-cut").unwrap().encode();
+        let mut f = OpenOptions::new().append(true).open(segment_path(&dir, 1)).unwrap();
+        f.write_all(&partial[..partial.len() / 2]).unwrap();
+        f.sync_data().unwrap();
+        let (records, clean) = scan_segment(&dir, 1).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(clean, records[0].1.len as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_segments_sorted() {
+        let dir = tempdir("list");
+        for id in [5u64, 1, 3] {
+            SegmentWriter::create(&dir, id).unwrap();
+        }
+        assert_eq!(list_segments(&dir).unwrap(), vec![1, 3, 5]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_for_append_truncates_and_continues() {
+        let dir = tempdir("reopen");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        let r = Record::put(b"a", b"1").unwrap();
+        w.append(&r).unwrap();
+        w.sync().unwrap();
+        let keep = w.len();
+        drop(w);
+        // Simulate a torn tail then reopen at the clean length.
+        let mut f = OpenOptions::new().append(true).open(segment_path(&dir, 1)).unwrap();
+        f.write_all(&[1, 2, 3]).unwrap();
+        drop(f);
+        let mut w = SegmentWriter::open_for_append(&dir, 1, keep).unwrap();
+        let r2 = Record::put(b"b", b"2").unwrap();
+        w.append(&r2).unwrap();
+        w.sync().unwrap();
+        let (records, _) = scan_segment(&dir, 1).unwrap();
+        assert_eq!(records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,524 @@
+//! The public database handle.
+//!
+//! [`Db`] ties the pieces together: an append-only segment log on disk, an ordered in-memory
+//! [`KeyIndex`], and a bounded [`Memtable`] value cache. The handle is cheap to clone and safe
+//! to share across threads (`Db: Send + Sync + Clone`), which lets the provenance store serve
+//! concurrent record and query requests against one backend, as PReServ does with its Berkeley
+//! DB backend.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::batch::WriteBatch;
+use crate::error::{DbError, DbResult};
+use crate::index::{IndexEntry, KeyIndex};
+use crate::memtable::Memtable;
+use crate::record::{Record, RecordKind};
+use crate::segment::{self, SegmentWriter};
+use crate::stats::DbStats;
+
+/// When appended data is forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every write — slowest, safest.
+    Always,
+    /// Flush to the OS after every write, fsync only on close/rotation — the default, and the
+    /// behaviour the paper's asynchronous recording mode relies on.
+    OsFlush,
+    /// Never force; rely on the OS writing back dirty pages.
+    Never,
+}
+
+/// Tunable options for opening a database.
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_target_bytes: u64,
+    /// Byte budget for the in-memory value cache.
+    pub cache_budget_bytes: usize,
+    /// Durability policy for appends.
+    pub sync: SyncPolicy,
+    /// Automatically compact when the garbage ratio exceeds this threshold (0 disables).
+    pub auto_compact_garbage_ratio: f64,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            segment_target_bytes: 64 * 1024 * 1024,
+            cache_budget_bytes: 32 * 1024 * 1024,
+            sync: SyncPolicy::OsFlush,
+            auto_compact_garbage_ratio: 0.6,
+        }
+    }
+}
+
+pub(crate) struct DbInner {
+    pub(crate) dir: PathBuf,
+    pub(crate) options: DbOptions,
+    /// Index and cache guarded together so readers see a consistent view.
+    pub(crate) index: RwLock<KeyIndex>,
+    pub(crate) cache: Mutex<Memtable>,
+    /// The active segment writer plus ids of sealed segments.
+    pub(crate) log: Mutex<LogState>,
+    pub(crate) stats: Mutex<DbStats>,
+}
+
+pub(crate) struct LogState {
+    pub(crate) active: SegmentWriter,
+    pub(crate) sealed: Vec<u64>,
+}
+
+/// A shared handle to an open database.
+#[derive(Clone)]
+pub struct Db {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("dir", &self.inner.dir).finish()
+    }
+}
+
+impl Db {
+    /// Open (creating if necessary) a database in `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> DbResult<Self> {
+        Self::open_with(dir, DbOptions::default())
+    }
+
+    /// Open (creating if necessary) a database in `dir` with explicit options.
+    ///
+    /// Opening replays every segment in id order to rebuild the key index; a torn tail on the
+    /// newest segment is truncated, matching write-ahead-log recovery semantics.
+    pub fn open_with(dir: impl AsRef<Path>, options: DbOptions) -> DbResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut index = KeyIndex::new();
+        let mut stats = DbStats::default();
+        let ids = segment::list_segments(&dir)?;
+        let mut clean_tail = 0u64;
+        for &id in &ids {
+            let (records, clean) = segment::scan_segment(&dir, id)?;
+            for (record, ptr) in records {
+                stats.appended_bytes += ptr.len as u64;
+                match record.kind {
+                    RecordKind::Put => {
+                        index.insert(
+                            record.key,
+                            IndexEntry { ptr, value_len: record.value.len() as u32 },
+                        );
+                    }
+                    RecordKind::Delete => {
+                        index.remove(&record.key);
+                    }
+                }
+            }
+            clean_tail = clean;
+        }
+
+        let (active, sealed) = match ids.last() {
+            Some(&last) => {
+                let sealed = ids[..ids.len() - 1].to_vec();
+                (SegmentWriter::open_for_append(&dir, last, clean_tail)?, sealed)
+            }
+            None => (SegmentWriter::create(&dir, 1)?, Vec::new()),
+        };
+
+        stats.live_keys = index.len() as u64;
+        stats.live_bytes = index.live_bytes();
+        stats.segments = 1 + sealed.len() as u64;
+
+        let cache = Memtable::new(options.cache_budget_bytes);
+        let inner = DbInner {
+            dir,
+            options,
+            index: RwLock::new(index),
+            cache: Mutex::new(cache),
+            log: Mutex::new(LogState { active, sealed }),
+            stats: Mutex::new(stats),
+        };
+        Ok(Db { inner: Arc::new(inner) })
+    }
+
+    /// Directory backing this database.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Store `value` under `key`, replacing any previous value.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> DbResult<()> {
+        let record = Record::put(key, value)?;
+        self.append_records(std::slice::from_ref(&record))?;
+        Ok(())
+    }
+
+    /// Remove `key` if present. Removing an absent key is not an error.
+    pub fn delete(&self, key: &[u8]) -> DbResult<()> {
+        let record = Record::delete(key)?;
+        self.append_records(std::slice::from_ref(&record))?;
+        Ok(())
+    }
+
+    /// Apply every operation in `batch` as one append run (single lock acquisition, single
+    /// flush), preserving order.
+    pub fn write_batch(&self, batch: WriteBatch) -> DbResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let records = batch.into_records();
+        self.append_records(&records)
+    }
+
+    /// Fetch the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.gets += 1;
+        }
+        let entry = {
+            let index = self.inner.index.read();
+            match index.get(key) {
+                Some(e) => *e,
+                None => return Ok(None),
+            }
+        };
+        if let Some(value) = self.inner.cache.lock().get(key).cloned() {
+            self.inner.stats.lock().cache_hits += 1;
+            return Ok(Some(value));
+        }
+        // Cache miss: read from the log. Flush the active segment first so a freshly appended
+        // record is visible to the read.
+        {
+            let mut log = self.inner.log.lock();
+            if entry.ptr.segment == log.active.id() {
+                log.active.flush()?;
+            }
+        }
+        let record = segment::read_record(&self.inner.dir, entry.ptr)?;
+        self.inner.cache.lock().insert(key, &record.value);
+        Ok(Some(record.value))
+    }
+
+    /// Whether `key` currently has a value.
+    pub fn contains(&self, key: &[u8]) -> DbResult<bool> {
+        Ok(self.inner.index.read().contains(key))
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.index.read().len()
+    }
+
+    /// Whether the store holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys starting with `prefix`, in order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> DbResult<Vec<Vec<u8>>> {
+        let index = self.inner.index.read();
+        Ok(index.iter_prefix(prefix).map(|(k, _)| k.clone()).collect())
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix_values(&self, prefix: &[u8]) -> DbResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let keys = self.scan_prefix(prefix)?;
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(value) = self.get(&key)? {
+                out.push((key, value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// All keys in the half-open range `[start, end)`, in order.
+    pub fn scan_range(&self, start: &[u8], end: &[u8]) -> DbResult<Vec<Vec<u8>>> {
+        let index = self.inner.index.read();
+        Ok(index.iter_range(start, end).map(|(k, _)| k.clone()).collect())
+    }
+
+    /// Force all appended data to stable storage.
+    pub fn sync(&self) -> DbResult<()> {
+        self.inner.log.lock().active.sync()
+    }
+
+    /// A snapshot of operational statistics.
+    pub fn stats(&self) -> DbStats {
+        let mut stats = *self.inner.stats.lock();
+        let index = self.inner.index.read();
+        stats.live_keys = index.len() as u64;
+        stats.live_bytes = index.live_bytes();
+        stats.segments = 1 + self.inner.log.lock().sealed.len() as u64;
+        stats
+    }
+
+    /// Rewrite live records into a fresh segment and delete obsolete segments.
+    pub fn compact(&self) -> DbResult<()> {
+        crate::compaction::compact(self)
+    }
+
+    fn append_records(&self, records: &[Record]) -> DbResult<()> {
+        let mut pointers = Vec::with_capacity(records.len());
+        {
+            let mut log = self.inner.log.lock();
+            for record in records {
+                let ptr = log.active.append(record)?;
+                pointers.push(ptr);
+            }
+            match self.inner.options.sync {
+                SyncPolicy::Always => log.active.sync()?,
+                SyncPolicy::OsFlush => log.active.flush()?,
+                SyncPolicy::Never => {}
+            }
+            if log.active.len() >= self.inner.options.segment_target_bytes {
+                self.rotate_locked(&mut log)?;
+            }
+        }
+
+        {
+            let mut index = self.inner.index.write();
+            let mut cache = self.inner.cache.lock();
+            let mut stats = self.inner.stats.lock();
+            for (record, ptr) in records.iter().zip(pointers) {
+                stats.appended_bytes += ptr.len as u64;
+                match record.kind {
+                    RecordKind::Put => {
+                        stats.puts += 1;
+                        index.insert(
+                            record.key.clone(),
+                            IndexEntry { ptr, value_len: record.value.len() as u32 },
+                        );
+                        cache.insert(&record.key, &record.value);
+                    }
+                    RecordKind::Delete => {
+                        stats.deletes += 1;
+                        index.remove(&record.key);
+                        cache.remove(&record.key);
+                    }
+                }
+            }
+            stats.live_keys = index.len() as u64;
+            stats.live_bytes = index.live_bytes();
+        }
+
+        self.maybe_auto_compact()?;
+        Ok(())
+    }
+
+    fn rotate_locked(&self, log: &mut LogState) -> DbResult<()> {
+        log.active.sync()?;
+        let next_id = log.active.id() + 1;
+        let new = SegmentWriter::create(&self.inner.dir, next_id)?;
+        let old = std::mem::replace(&mut log.active, new);
+        log.sealed.push(old.id());
+        Ok(())
+    }
+
+    fn maybe_auto_compact(&self) -> DbResult<()> {
+        let threshold = self.inner.options.auto_compact_garbage_ratio;
+        if threshold <= 0.0 {
+            return Ok(());
+        }
+        let stats = self.stats();
+        // Only bother once a meaningful amount of data has been written.
+        if stats.appended_bytes > 4 * 1024 * 1024 && stats.garbage_ratio() > threshold {
+            self.compact()?;
+        }
+        Ok(())
+    }
+}
+
+impl Db {
+    /// Destroy the database directory entirely. Consumes the handle.
+    pub fn destroy(self) -> DbResult<()> {
+        let dir = self.inner.dir.clone();
+        drop(self);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: basic errors when handing paths around.
+impl From<std::path::StripPrefixError> for DbError {
+    fn from(e: std::path::StripPrefixError) -> Self {
+        DbError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("kvdb-store-{}-{}-{}", name, std::process::id(), rand_suffix()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rand_suffix() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let dir = tempdir("pgd");
+        let db = Db::open(&dir).unwrap();
+        assert!(db.is_empty());
+        db.put(b"k1", b"v1").unwrap();
+        db.put(b"k2", b"v2").unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(b"k1").unwrap().unwrap(), b"v1");
+        db.put(b"k1", b"v1b").unwrap();
+        assert_eq!(db.get(b"k1").unwrap().unwrap(), b"v1b");
+        db.delete(b"k1").unwrap();
+        assert!(db.get(b"k1").unwrap().is_none());
+        assert!(!db.contains(b"k1").unwrap());
+        assert!(db.contains(b"k2").unwrap());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn values_survive_reopen() {
+        let dir = tempdir("reopen");
+        {
+            let db = Db::open(&dir).unwrap();
+            for i in 0..100u32 {
+                db.put(format!("key-{i:04}").as_bytes(), format!("value-{i}").as_bytes())
+                    .unwrap();
+            }
+            db.delete(b"key-0050").unwrap();
+            db.sync().unwrap();
+        }
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.len(), 99);
+        assert_eq!(db.get(b"key-0001").unwrap().unwrap(), b"value-1");
+        assert!(db.get(b"key-0050").unwrap().is_none());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn prefix_scan_returns_sorted_keys_and_values() {
+        let dir = tempdir("scan");
+        let db = Db::open(&dir).unwrap();
+        db.put(b"interaction/2", b"b").unwrap();
+        db.put(b"interaction/1", b"a").unwrap();
+        db.put(b"actorstate/1", b"x").unwrap();
+        let keys = db.scan_prefix(b"interaction/").unwrap();
+        assert_eq!(keys, vec![b"interaction/1".to_vec(), b"interaction/2".to_vec()]);
+        let kvs = db.scan_prefix_values(b"interaction/").unwrap();
+        assert_eq!(kvs[0].1, b"a");
+        assert_eq!(kvs[1].1, b"b");
+        let range = db.scan_range(b"actorstate/", b"interaction/").unwrap();
+        assert_eq!(range, vec![b"actorstate/1".to_vec()]);
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn batch_write_is_applied_in_order() {
+        let dir = tempdir("batch");
+        let db = Db::open(&dir).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1").unwrap();
+        batch.put(b"a", b"2").unwrap();
+        batch.delete(b"b").unwrap();
+        batch.put(b"b", b"fresh").unwrap();
+        db.write_batch(batch).unwrap();
+        assert_eq!(db.get(b"a").unwrap().unwrap(), b"2");
+        assert_eq!(db.get(b"b").unwrap().unwrap(), b"fresh");
+        db.write_batch(WriteBatch::new()).unwrap(); // empty batch is a no-op
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn segment_rotation_under_small_target() {
+        let dir = tempdir("rotate");
+        let options = DbOptions { segment_target_bytes: 512, ..Default::default() };
+        let db = Db::open_with(&dir, options).unwrap();
+        for i in 0..100u32 {
+            db.put(format!("k{i}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        assert!(db.stats().segments > 1, "expected rotation to create multiple segments");
+        // Everything still readable, including values in sealed segments.
+        assert_eq!(db.get(b"k0").unwrap().unwrap(), vec![7u8; 64]);
+        assert_eq!(db.get(b"k99").unwrap().unwrap(), vec![7u8; 64]);
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let dir = tempdir("stats");
+        let db = Db::open(&dir).unwrap();
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"2").unwrap();
+        db.delete(b"a").unwrap();
+        let _ = db.get(b"b").unwrap();
+        let _ = db.get(b"missing").unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.puts, 2);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.live_keys, 1);
+        assert!(stats.appended_bytes > 0);
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn cache_serves_recent_writes() {
+        let dir = tempdir("cache");
+        let db = Db::open(&dir).unwrap();
+        db.put(b"hot", b"value").unwrap();
+        let _ = db.get(b"hot").unwrap();
+        assert!(db.stats().cache_hits >= 1);
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let dir = tempdir("concurrent");
+        let db = Db::open(&dir).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let key = format!("t{t}/k{i}");
+                    db.put(key.as_bytes(), format!("v{t}-{i}").as_bytes()).unwrap();
+                    let got = db.get(key.as_bytes()).unwrap().unwrap();
+                    assert_eq!(got, format!("v{t}-{i}").as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len(), 800);
+        for t in 0..4 {
+            assert_eq!(db.scan_prefix(format!("t{t}/").as_bytes()).unwrap().len(), 200);
+        }
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn sync_policy_always_is_durable() {
+        let dir = tempdir("durable");
+        {
+            let options = DbOptions { sync: SyncPolicy::Always, ..Default::default() };
+            let db = Db::open_with(&dir, options).unwrap();
+            db.put(b"durable", b"yes").unwrap();
+            // Dropped without an explicit sync.
+        }
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.get(b"durable").unwrap().unwrap(), b"yes");
+        db.destroy().unwrap();
+    }
+}

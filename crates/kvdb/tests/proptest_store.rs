@@ -1,0 +1,138 @@
+//! Property-based tests: the on-disk store must behave exactly like an in-memory BTreeMap
+//! under arbitrary interleavings of puts, deletes, reopens and compactions.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use pasoa_kvdb::{Db, DbOptions, SyncPolicy, WriteBatch};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Batch(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+    Compact,
+    Reopen,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space so overwrites and deletes of existing keys actually happen.
+    prop::collection::vec(prop::num::u8::ANY, 1..8)
+        .prop_map(|mut v| {
+            for b in &mut v {
+                *b %= 16;
+            }
+            v
+        })
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::num::u8::ANY, 0..64)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (key_strategy(), value_strategy()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => key_strategy().prop_map(Op::Delete),
+        2 => prop::collection::vec(
+            (key_strategy(), prop::option::of(value_strategy())),
+            1..6
+        )
+        .prop_map(Op::Batch),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn tempdir(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("kvdb-prop-{}-{}", std::process::id(), tag))
+}
+
+fn options() -> DbOptions {
+    DbOptions {
+        segment_target_bytes: 2048,
+        cache_budget_bytes: 4096,
+        sync: SyncPolicy::OsFlush,
+        auto_compact_garbage_ratio: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn store_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..60), tag in 0u64..u64::MAX) {
+        let dir = tempdir(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut db = Db::open_with(&dir, options()).unwrap();
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    db.delete(&k).unwrap();
+                    model.remove(&k);
+                }
+                Op::Batch(entries) => {
+                    let mut batch = WriteBatch::new();
+                    for (k, maybe_v) in &entries {
+                        match maybe_v {
+                            Some(v) => { batch.put(k, v).unwrap(); }
+                            None => { batch.delete(k).unwrap(); }
+                        }
+                    }
+                    db.write_batch(batch).unwrap();
+                    for (k, maybe_v) in entries {
+                        match maybe_v {
+                            Some(v) => { model.insert(k, v); }
+                            None => { model.remove(&k); }
+                        }
+                    }
+                }
+                Op::Compact => db.compact().unwrap(),
+                Op::Reopen => {
+                    db.sync().unwrap();
+                    drop(db);
+                    db = Db::open_with(&dir, options()).unwrap();
+                }
+            }
+        }
+
+        // Full logical equality with the model.
+        prop_assert_eq!(db.len(), model.len());
+        for (k, v) in &model {
+            let got = db.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        let all_keys = db.scan_prefix(b"").unwrap();
+        let model_keys: Vec<Vec<u8>> = model.keys().cloned().collect();
+        prop_assert_eq!(all_keys, model_keys);
+
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefix_scan_matches_model(
+        entries in prop::collection::btree_map(key_strategy(), value_strategy(), 0..40),
+        prefix in prop::collection::vec(0u8..16, 0..3),
+        tag in 0u64..u64::MAX,
+    ) {
+        let dir = tempdir(tag.wrapping_add(1));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Db::open_with(&dir, options()).unwrap();
+        for (k, v) in &entries {
+            db.put(k, v).unwrap();
+        }
+        let expected: Vec<Vec<u8>> =
+            entries.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        prop_assert_eq!(db.scan_prefix(&prefix).unwrap(), expected);
+        db.destroy().unwrap();
+    }
+}

@@ -1,0 +1,379 @@
+//! Storage backends — the bottom layer of the PReServ stack.
+//!
+//! "Currently, PReServ comes with in-memory, file system and database backends. Each of these
+//! backends implements the same API, the Provenance Store Interface." The [`StorageBackend`]
+//! trait is that interface; three implementations are provided:
+//!
+//! * [`MemoryBackend`] — a `BTreeMap`, fastest, not persistent;
+//! * [`FileBackend`] — one file per key under a spill directory, simple and inspectable;
+//! * [`KvBackend`] — the embedded `pasoa-kvdb` store, our substitute for the Berkeley DB Java
+//!   Edition backend the paper's evaluation uses.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use parking_lot::RwLock;
+
+use pasoa_kvdb::{Db, DbOptions};
+
+/// Error produced by backend operations.
+#[derive(Debug)]
+pub struct BackendError {
+    /// Human-readable description.
+    pub reason: String,
+}
+
+impl BackendError {
+    /// Create an error.
+    pub fn new(reason: impl Into<String>) -> Self {
+        BackendError { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The Provenance Store Interface: ordered key/value storage.
+pub trait StorageBackend: Send + Sync {
+    /// Store `value` under `key`, replacing any existing value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), BackendError>;
+
+    /// Fetch the value stored under `key`.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BackendError>;
+
+    /// All keys starting with `prefix`, in ascending key order.
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError>;
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in ascending key order.
+    fn scan_prefix_values(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BackendError> {
+        let mut out = Vec::new();
+        for key in self.scan_prefix(prefix)? {
+            if let Some(value) = self.get(&key)? {
+                out.push((key, value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of keys with the given prefix.
+    fn count_prefix(&self, prefix: &[u8]) -> Result<usize, BackendError> {
+        Ok(self.scan_prefix(prefix)?.len())
+    }
+
+    /// Force pending writes to stable storage (no-op for memory).
+    fn sync(&self) -> Result<(), BackendError> {
+        Ok(())
+    }
+
+    /// A short name identifying the backend kind in diagnostics and benchmarks.
+    fn kind(&self) -> BackendKind;
+}
+
+/// The available backend kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// In-memory BTreeMap.
+    Memory,
+    /// One file per key.
+    FileSystem,
+    /// Embedded key-value database (`pasoa-kvdb`).
+    Database,
+}
+
+impl BackendKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Memory => "memory",
+            BackendKind::FileSystem => "file-system",
+            BackendKind::Database => "database",
+        }
+    }
+}
+
+/// In-memory backend.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    map: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// Create an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), BackendError> {
+        self.map.write().insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BackendError> {
+        Ok(self.map.read().get(key).cloned())
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
+        let map = self.map.read();
+        Ok(map
+            .range::<[u8], _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn scan_prefix_values(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BackendError> {
+        let map = self.map.read();
+        Ok(map
+            .range::<[u8], _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect())
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Memory
+    }
+}
+
+/// File-system backend: each key becomes one file whose name is the hex encoding of the key.
+///
+/// Hex naming keeps arbitrary key bytes legal on any filesystem while preserving lexicographic
+/// order (hex of a prefix is a prefix of the hex), so ordered scans remain correct.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    /// An in-memory mirror of the key set, so scans need not hit the directory every time.
+    keys: RwLock<BTreeMap<Vec<u8>, ()>>,
+}
+
+impl FileBackend {
+    /// Open (creating if needed) a file backend rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, BackendError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| BackendError::new(e.to_string()))?;
+        let mut keys = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).map_err(|e| BackendError::new(e.to_string()))? {
+            let entry = entry.map_err(|e| BackendError::new(e.to_string()))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(key) = decode_hex(name) {
+                    keys.insert(key, ());
+                }
+            }
+        }
+        Ok(FileBackend { dir, keys: RwLock::new(keys) })
+    }
+
+    fn path_for(&self, key: &[u8]) -> PathBuf {
+        self.dir.join(encode_hex(key))
+    }
+}
+
+fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn decode_hex(text: &str) -> Option<Vec<u8>> {
+    if text.len() % 2 != 0 {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).ok())
+        .collect()
+}
+
+impl StorageBackend for FileBackend {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), BackendError> {
+        std::fs::write(self.path_for(key), value).map_err(|e| BackendError::new(e.to_string()))?;
+        self.keys.write().insert(key.to_vec(), ());
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BackendError> {
+        if !self.keys.read().contains_key(key) {
+            return Ok(None);
+        }
+        match std::fs::read(self.path_for(key)) {
+            Ok(value) => Ok(Some(value)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(BackendError::new(e.to_string())),
+        }
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
+        let keys = self.keys.read();
+        Ok(keys
+            .range::<[u8], _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::FileSystem
+    }
+}
+
+/// Database backend built on the embedded `pasoa-kvdb` store.
+#[derive(Debug)]
+pub struct KvBackend {
+    db: Db,
+}
+
+impl KvBackend {
+    /// Open (creating if needed) a database backend rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, BackendError> {
+        let db = Db::open(dir).map_err(|e| BackendError::new(e.to_string()))?;
+        Ok(KvBackend { db })
+    }
+
+    /// Open with explicit kvdb options.
+    pub fn open_with(dir: impl AsRef<Path>, options: DbOptions) -> Result<Self, BackendError> {
+        let db = Db::open_with(dir, options).map_err(|e| BackendError::new(e.to_string()))?;
+        Ok(KvBackend { db })
+    }
+
+    /// Access the underlying database (used by maintenance tooling and tests).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+}
+
+impl StorageBackend for KvBackend {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), BackendError> {
+        self.db.put(key, value).map_err(|e| BackendError::new(e.to_string()))
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BackendError> {
+        self.db.get(key).map_err(|e| BackendError::new(e.to_string()))
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
+        self.db.scan_prefix(prefix).map_err(|e| BackendError::new(e.to_string()))
+    }
+
+    fn sync(&self) -> Result<(), BackendError> {
+        self.db.sync().map_err(|e| BackendError::new(e.to_string()))
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Database
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "preserv-backend-{}-{}-{}",
+            name,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(backend: &dyn StorageBackend) {
+        backend.put(b"a/int1/000", b"first").unwrap();
+        backend.put(b"a/int1/001", b"second").unwrap();
+        backend.put(b"a/int2/000", b"other").unwrap();
+        backend.put(b"i/int1", b"").unwrap();
+        assert_eq!(backend.get(b"a/int1/000").unwrap().unwrap(), b"first");
+        assert!(backend.get(b"missing").unwrap().is_none());
+        let keys = backend.scan_prefix(b"a/int1/").unwrap();
+        assert_eq!(keys.len(), 2);
+        assert!(keys[0] < keys[1]);
+        assert_eq!(backend.count_prefix(b"a/").unwrap(), 3);
+        let values = backend.scan_prefix_values(b"a/int1/").unwrap();
+        assert_eq!(values[0].1, b"first");
+        assert_eq!(values[1].1, b"second");
+        // Overwrite keeps the latest value.
+        backend.put(b"a/int1/000", b"replaced").unwrap();
+        assert_eq!(backend.get(b"a/int1/000").unwrap().unwrap(), b"replaced");
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        let backend = MemoryBackend::new();
+        exercise(&backend);
+        assert_eq!(backend.kind(), BackendKind::Memory);
+        assert_eq!(backend.kind().label(), "memory");
+    }
+
+    #[test]
+    fn file_backend_contract_and_persistence() {
+        let dir = tempdir("file");
+        {
+            let backend = FileBackend::open(&dir).unwrap();
+            exercise(&backend);
+            assert_eq!(backend.kind(), BackendKind::FileSystem);
+        }
+        // Re-open: the data is still there.
+        let backend = FileBackend::open(&dir).unwrap();
+        assert_eq!(backend.get(b"a/int1/001").unwrap().unwrap(), b"second");
+        assert_eq!(backend.count_prefix(b"a/").unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kv_backend_contract_and_persistence() {
+        let dir = tempdir("kv");
+        {
+            let backend = KvBackend::open(&dir).unwrap();
+            exercise(&backend);
+            assert_eq!(backend.kind(), BackendKind::Database);
+        }
+        let backend = KvBackend::open(&dir).unwrap();
+        assert_eq!(backend.get(b"a/int2/000").unwrap().unwrap(), b"other");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hex_encoding_preserves_prefix_relation() {
+        let key = b"s/session:1/interaction:2".to_vec();
+        let prefix = b"s/session:1/".to_vec();
+        assert!(encode_hex(&key).starts_with(&encode_hex(&prefix)));
+        assert_eq!(decode_hex(&encode_hex(&key)).unwrap(), key);
+        assert_eq!(decode_hex("zz"), None);
+        assert_eq!(decode_hex("abc"), None);
+    }
+
+    #[test]
+    fn backends_are_shareable_across_threads() {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let backend = Arc::clone(&backend);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    backend
+                        .put(format!("t{t}/k{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(backend.count_prefix(b"t").unwrap(), 400);
+    }
+}

@@ -1,0 +1,299 @@
+//! The PReServ service: message translator + plug-in dispatch.
+//!
+//! This is the top layer of Figure 3: envelopes arrive from the wire, the translator decodes
+//! the PReP message in the body, routes it to the plug-in that declares it handles the
+//! envelope's action, and wraps the plug-in's response back into an envelope. Registering the
+//! service on a [`pasoa_wire::ServiceHost`] makes it reachable by every recorder and reasoner
+//! in the process, exactly as deploying the servlet in Tomcat made it reachable over HTTP.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use pasoa_core::prep::PrepMessage;
+use pasoa_wire::{Envelope, MessageHandler, ServiceHost, WireError, WireResult};
+
+use crate::backend::{FileBackend, KvBackend, MemoryBackend, StorageBackend};
+use crate::plugins::{BasicQueryPlugin, LineageQueryPlugin, PlugIn, StorePlugin};
+use crate::store::ProvenanceStore;
+
+/// Configuration of a PReServ deployment.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Service name to register under (defaults to [`pasoa_core::PROVENANCE_STORE_SERVICE`]).
+    pub service_name: String,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string() }
+    }
+}
+
+/// A deployed provenance store service.
+pub struct PreservService {
+    store: Arc<ProvenanceStore>,
+    plugins: Vec<Arc<dyn PlugIn>>,
+    config: ServiceConfig,
+}
+
+impl PreservService {
+    /// Create a service over an explicit backend.
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Result<Self, crate::StoreError> {
+        let store = Arc::new(ProvenanceStore::open(backend)?);
+        let plugins: Vec<Arc<dyn PlugIn>> = vec![
+            Arc::new(StorePlugin::new(Arc::clone(&store))),
+            Arc::new(BasicQueryPlugin::new(Arc::clone(&store))),
+            Arc::new(LineageQueryPlugin::new(Arc::clone(&store))),
+        ];
+        Ok(PreservService { store, plugins, config: ServiceConfig::default() })
+    }
+
+    /// Create a service over an in-memory backend.
+    pub fn in_memory() -> Result<Self, crate::StoreError> {
+        Self::with_backend(Arc::new(MemoryBackend::new()))
+    }
+
+    /// Create a service over a file-system backend rooted at `dir`.
+    pub fn with_file_backend(dir: impl AsRef<Path>) -> Result<Self, crate::StoreError> {
+        let backend = FileBackend::open(dir).map_err(crate::StoreError::Backend)?;
+        Self::with_backend(Arc::new(backend))
+    }
+
+    /// Create a service over the database backend rooted at `dir` (the configuration the
+    /// paper's evaluation uses).
+    pub fn with_database_backend(dir: impl AsRef<Path>) -> Result<Self, crate::StoreError> {
+        let backend = KvBackend::open(dir).map_err(crate::StoreError::Backend)?;
+        Self::with_backend(Arc::new(backend))
+    }
+
+    /// Override the service name.
+    pub fn with_config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Direct access to the store (for in-process reasoners and tests).
+    pub fn store(&self) -> Arc<ProvenanceStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Register an additional plug-in.
+    pub fn add_plugin(&mut self, plugin: Arc<dyn PlugIn>) {
+        self.plugins.push(plugin);
+    }
+
+    /// Names of the installed plug-ins.
+    pub fn plugin_names(&self) -> Vec<String> {
+        self.plugins.iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// Register this service on `host`, making it reachable through transports. Returns the
+    /// service name used.
+    pub fn register(self: &Arc<Self>, host: &ServiceHost) -> String {
+        let name = self.config.service_name.clone();
+        host.register(name.clone(), Arc::clone(self) as Arc<dyn MessageHandler>);
+        name
+    }
+}
+
+impl MessageHandler for PreservService {
+    fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+        let action = request
+            .action()
+            .ok_or_else(|| WireError::InvalidEnvelope("missing action header".into()))?
+            .to_string();
+        let message: PrepMessage = request.json_payload()?;
+        let plugin = self
+            .plugins
+            .iter()
+            .find(|p| p.handles(&action))
+            .ok_or_else(|| WireError::Payload(format!("no plug-in handles action '{action}'")))?;
+        let response = plugin
+            .handle(&message)
+            .map_err(|e| WireError::Payload(format!("plug-in {} failed: {e}", plugin.name())))?;
+        match response {
+            crate::plugins::PluginResponse::Ack(ack) => {
+                Envelope::response(&action).with_json_payload(&ack)
+            }
+            crate::plugins::PluginResponse::Query(q) => {
+                Envelope::response(&action).with_json_payload(&q)
+            }
+            crate::plugins::PluginResponse::Lineage(graph) => {
+                Envelope::response(&action).with_json_payload(&graph)
+            }
+            crate::plugins::PluginResponse::GroupRegistered => {
+                Envelope::response(&action).with_json_payload(&"group-registered")
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "preserv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_core::group::{Group, GroupKind};
+    use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
+    use pasoa_core::passertion::{
+        ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind,
+    };
+    use pasoa_core::prep::{QueryRequest, QueryResponse, RecordAck, RecordMessage};
+    use pasoa_core::recorder::{AsyncRecorder, ProvenanceRecorder, SyncRecorder};
+    use pasoa_wire::TransportConfig;
+
+    fn deploy() -> (Arc<PreservService>, ServiceHost) {
+        let service = Arc::new(PreservService::in_memory().unwrap());
+        let host = ServiceHost::new();
+        service.register(&host);
+        (service, host)
+    }
+
+    fn script_assertion(i: usize) -> PAssertion {
+        PAssertion::ActorState(ActorStatePAssertion {
+            interaction_key: pasoa_core::ids::InteractionKey::new(format!("interaction:{i}")),
+            asserter: ActorId::new("measure"),
+            view: ViewKind::Receiver,
+            kind: ActorStateKind::Script,
+            content: PAssertionContent::text(format!("gzip --level 9 # permutation {i}")),
+        })
+    }
+
+    #[test]
+    fn end_to_end_record_then_query_over_the_wire() {
+        let (service, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+
+        // Record through the wire-level protocol.
+        let assertions = (0..6).map(script_assertion).collect::<Vec<_>>();
+        let message = PrepMessage::Record(RecordMessage {
+            message_id: pasoa_core::ids::MessageId::new("message:1"),
+            asserter: ActorId::new("engine"),
+            assertions: assertions
+                .into_iter()
+                .map(|assertion| pasoa_core::passertion::RecordedAssertion {
+                    session: SessionId::new("session:wire"),
+                    assertion,
+                })
+                .collect(),
+        });
+        let envelope = Envelope::request("provenance-store", message.action())
+            .with_json_payload(&message)
+            .unwrap();
+        let response = transport.call(envelope).unwrap();
+        let ack: RecordAck = response.json_payload().unwrap();
+        assert_eq!(ack.accepted, 6);
+
+        // Query back through the wire.
+        let query = PrepMessage::Query(QueryRequest::BySession(SessionId::new("session:wire")));
+        let envelope = Envelope::request("provenance-store", query.action())
+            .with_json_payload(&query)
+            .unwrap();
+        let response = transport.call(envelope).unwrap();
+        let result: QueryResponse = response.json_payload().unwrap();
+        match result {
+            QueryResponse::Assertions(found) => assert_eq!(found.len(), 6),
+            other => panic!("unexpected query response {other:?}"),
+        }
+        assert_eq!(service.store().statistics().actor_state_passertions, 6);
+    }
+
+    #[test]
+    fn recorders_work_against_the_real_service() {
+        let (service, host) = deploy();
+        let sync = SyncRecorder::new(
+            SessionId::new("session:sync"),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("sync"),
+        );
+        let asyn = AsyncRecorder::new(
+            SessionId::new("session:async"),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("async"),
+            8,
+        );
+        for i in 0..20 {
+            sync.record(script_assertion(i)).unwrap();
+            asyn.record(script_assertion(100 + i)).unwrap();
+        }
+        sync.register_group(Group::new("session:sync", GroupKind::Session)).unwrap();
+        asyn.register_group(Group::new("session:async", GroupKind::Session)).unwrap();
+        asyn.flush().unwrap();
+
+        let store = service.store();
+        assert_eq!(
+            store.assertions_for_session(&SessionId::new("session:sync")).unwrap().len(),
+            20
+        );
+        assert_eq!(
+            store.assertions_for_session(&SessionId::new("session:async")).unwrap().len(),
+            20
+        );
+        assert_eq!(store.groups_by_kind("session").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_action_is_a_fault() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+        let envelope = Envelope::request("provenance-store", "not-an-action")
+            .with_json_payload(&PrepMessage::Query(QueryRequest::Statistics))
+            .unwrap();
+        // The action routing uses the envelope header, which does not match any plug-in.
+        let err = transport.call(envelope).unwrap_err();
+        assert!(matches!(err, WireError::Fault { .. }));
+    }
+
+    #[test]
+    fn malformed_payload_is_a_fault_not_a_crash() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+        let envelope = Envelope::request("provenance-store", "record")
+            .with_json_payload(&"this is not a prep message")
+            .unwrap();
+        assert!(transport.call(envelope).is_err());
+    }
+
+    #[test]
+    fn service_exposes_its_plugins_and_accepts_new_ones() {
+        let (service, _) = deploy();
+        let names = service.plugin_names();
+        assert_eq!(names, vec!["store", "basic-query", "lineage-query"]);
+        assert_eq!(MessageHandler::name(service.as_ref()), "preserv");
+    }
+
+    #[test]
+    fn database_backed_service_persists_across_redeployment() {
+        let dir = std::env::temp_dir().join(format!("preserv-service-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let service = Arc::new(PreservService::with_database_backend(&dir).unwrap());
+            let host = ServiceHost::new();
+            service.register(&host);
+            let recorder = SyncRecorder::new(
+                SessionId::new("session:persist"),
+                ActorId::new("engine"),
+                host.transport(TransportConfig::free()),
+                IdGenerator::new("p"),
+            );
+            for i in 0..10 {
+                recorder.record(script_assertion(i)).unwrap();
+            }
+            service.store().sync().unwrap();
+        }
+        let service = PreservService::with_database_backend(&dir).unwrap();
+        assert_eq!(
+            service
+                .store()
+                .assertions_for_session(&SessionId::new("session:persist"))
+                .unwrap()
+                .len(),
+            10
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,545 @@
+//! The provenance store proper — the layer behind the plug-ins.
+//!
+//! [`ProvenanceStore`] persists p-assertions and groups through a [`StorageBackend`] and
+//! answers the queries the PReP protocol defines. It is "designed to store and maintain
+//! provenance beyond the life of a Grid application": reopening a store over a persistent
+//! backend recovers everything, and the store keeps its counters consistent by rebuilding them
+//! from the backend at open time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pasoa_core::group::Group;
+use pasoa_core::ids::{InteractionKey, SessionId};
+use pasoa_core::passertion::{PAssertion, RecordedAssertion};
+use pasoa_core::prep::{QueryRequest, QueryResponse, StoreStatistics};
+
+use crate::backend::{BackendError, StorageBackend};
+use crate::keys;
+
+/// Error produced by store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backend failed.
+    Backend(BackendError),
+    /// A stored document could not be deserialized.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Backend(e) => write!(f, "store backend failure: {e}"),
+            StoreError::Corrupt(reason) => write!(f, "corrupt store document: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<BackendError> for StoreError {
+    fn from(e: BackendError) -> Self {
+        StoreError::Backend(e)
+    }
+}
+
+/// A provenance store over some backend.
+pub struct ProvenanceStore {
+    backend: Arc<dyn StorageBackend>,
+    /// Monotonic sequence number appended to assertion keys so multiple assertions about the
+    /// same interaction never collide.
+    sequence: AtomicU64,
+    interaction_count: AtomicU64,
+    interaction_assertions: AtomicU64,
+    actor_state_assertions: AtomicU64,
+    relationship_assertions: AtomicU64,
+    group_count: AtomicU64,
+    content_bytes: AtomicU64,
+}
+
+impl ProvenanceStore {
+    /// Open a store over `backend`, rebuilding counters from its contents.
+    pub fn open(backend: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
+        let store = ProvenanceStore {
+            backend,
+            sequence: AtomicU64::new(0),
+            interaction_count: AtomicU64::new(0),
+            interaction_assertions: AtomicU64::new(0),
+            actor_state_assertions: AtomicU64::new(0),
+            relationship_assertions: AtomicU64::new(0),
+            group_count: AtomicU64::new(0),
+            content_bytes: AtomicU64::new(0),
+        };
+        store.rebuild_counters()?;
+        Ok(store)
+    }
+
+    fn rebuild_counters(&self) -> Result<(), StoreError> {
+        let interactions = self.backend.count_prefix(keys::INTERACTION_PREFIX.as_bytes())?;
+        self.interaction_count.store(interactions as u64, Ordering::Relaxed);
+        let groups = self.backend.count_prefix(keys::GROUP_PREFIX.as_bytes())?;
+        self.group_count.store(groups as u64, Ordering::Relaxed);
+
+        let mut max_seq = 0u64;
+        let mut interaction_assertions = 0u64;
+        let mut actor_state = 0u64;
+        let mut relationship = 0u64;
+        let mut bytes = 0u64;
+        for (key, value) in
+            self.backend.scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
+        {
+            if let Some(seq) = key
+                .rsplit(|&b| b == b'/')
+                .next()
+                .and_then(|s| std::str::from_utf8(s).ok())
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max_seq = max_seq.max(seq + 1);
+            }
+            let recorded: RecordedAssertion = serde_json::from_slice(&value)
+                .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            bytes += recorded.assertion.content_len() as u64;
+            match recorded.assertion {
+                PAssertion::Interaction(_) => interaction_assertions += 1,
+                PAssertion::ActorState(_) => actor_state += 1,
+                PAssertion::Relationship(_) => relationship += 1,
+            }
+        }
+        self.sequence.store(max_seq, Ordering::Relaxed);
+        self.interaction_assertions.store(interaction_assertions, Ordering::Relaxed);
+        self.actor_state_assertions.store(actor_state, Ordering::Relaxed);
+        self.relationship_assertions.store(relationship, Ordering::Relaxed);
+        self.content_bytes.store(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The backend kind in use (reported by benchmarks).
+    pub fn backend_kind(&self) -> crate::backend::BackendKind {
+        self.backend.kind()
+    }
+
+    /// Record one p-assertion.
+    pub fn record(&self, recorded: &RecordedAssertion) -> Result<(), StoreError> {
+        let interaction = recorded.assertion.interaction_key().as_str();
+        let seq = self.sequence.fetch_add(1, Ordering::Relaxed);
+        let payload = serde_json::to_vec(recorded).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        self.backend.put(&keys::assertion_key(interaction, seq), &payload)?;
+
+        // Maintain the interaction marker and session index.
+        let marker = keys::interaction_key(interaction);
+        if self.backend.get(&marker)?.is_none() {
+            self.backend.put(&marker, b"")?;
+            self.interaction_count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.backend
+            .put(&keys::session_member_key(recorded.session.as_str(), interaction), b"")?;
+
+        match &recorded.assertion {
+            PAssertion::Interaction(_) => {
+                self.interaction_assertions.fetch_add(1, Ordering::Relaxed);
+            }
+            PAssertion::ActorState(_) => {
+                self.actor_state_assertions.fetch_add(1, Ordering::Relaxed);
+            }
+            PAssertion::Relationship(_) => {
+                self.relationship_assertions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.content_bytes.fetch_add(recorded.assertion.content_len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Record a batch of p-assertions, returning how many were accepted.
+    pub fn record_all(&self, recorded: &[RecordedAssertion]) -> Result<usize, StoreError> {
+        for r in recorded {
+            self.record(r)?;
+        }
+        Ok(recorded.len())
+    }
+
+    /// Register (or replace) a group.
+    pub fn register_group(&self, group: &Group) -> Result<(), StoreError> {
+        let key = keys::group_key(group.kind.label(), &group.id);
+        let existed = self.backend.get(&key)?.is_some();
+        let payload = serde_json::to_vec(group).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        self.backend.put(&key, &payload)?;
+        if !existed {
+            self.group_count.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// All p-assertions recorded for `interaction`, in recording order.
+    pub fn assertions_for_interaction(
+        &self,
+        interaction: &InteractionKey,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        let prefix = keys::assertion_prefix(interaction.as_str());
+        let mut out = Vec::new();
+        for (_, value) in self.backend.scan_prefix_values(&prefix)? {
+            out.push(
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// All p-assertions recorded under `session`.
+    pub fn assertions_for_session(
+        &self,
+        session: &SessionId,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        let mut out = Vec::new();
+        for interaction in self.interactions_in_session(session)? {
+            out.extend(self.assertions_for_interaction(&interaction)?);
+        }
+        Ok(out)
+    }
+
+    /// The interactions recorded under `session`, in key order.
+    pub fn interactions_in_session(
+        &self,
+        session: &SessionId,
+    ) -> Result<Vec<InteractionKey>, StoreError> {
+        let prefix = keys::session_prefix(session.as_str());
+        let mut out = Vec::new();
+        for key in self.backend.scan_prefix(&prefix)? {
+            if let Some(interaction) = keys::interaction_from_session_key(&key, &prefix) {
+                out.push(InteractionKey::new(interaction));
+            }
+        }
+        Ok(out)
+    }
+
+    /// All interaction keys known to the store (optionally limited), in key order.
+    pub fn list_interactions(&self, limit: Option<usize>) -> Result<Vec<InteractionKey>, StoreError> {
+        let mut out = Vec::new();
+        for key in self.backend.scan_prefix(keys::INTERACTION_PREFIX.as_bytes())? {
+            if let Some(interaction) = keys::interaction_from_key(&key) {
+                out.push(InteractionKey::new(interaction));
+                if let Some(limit) = limit {
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All groups whose kind label is `kind`.
+    pub fn groups_by_kind(&self, kind: &str) -> Result<Vec<Group>, StoreError> {
+        let prefix = keys::group_kind_prefix(kind);
+        let mut out = Vec::new();
+        for (_, value) in self.backend.scan_prefix_values(&prefix)? {
+            out.push(
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Actor-state p-assertions of a given kind label for one interaction.
+    pub fn actor_state_by_kind(
+        &self,
+        interaction: &InteractionKey,
+        kind: &str,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        Ok(self
+            .assertions_for_interaction(interaction)?
+            .into_iter()
+            .filter(|r| match &r.assertion {
+                PAssertion::ActorState(a) => a.kind.label() == kind,
+                _ => false,
+            })
+            .collect())
+    }
+
+    /// Current store statistics.
+    pub fn statistics(&self) -> StoreStatistics {
+        StoreStatistics {
+            interaction_passertions: self.interaction_assertions.load(Ordering::Relaxed),
+            actor_state_passertions: self.actor_state_assertions.load(Ordering::Relaxed),
+            relationship_passertions: self.relationship_assertions.load(Ordering::Relaxed),
+            interactions: self.interaction_count.load(Ordering::Relaxed),
+            groups: self.group_count.load(Ordering::Relaxed),
+            content_bytes: self.content_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answer a protocol-level query.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, StoreError> {
+        let response = match request {
+            QueryRequest::ByInteraction(key) => {
+                let assertions = self.assertions_for_interaction(key)?;
+                if assertions.is_empty() {
+                    QueryResponse::Empty
+                } else {
+                    QueryResponse::Assertions(assertions)
+                }
+            }
+            QueryRequest::BySession(session) => {
+                let assertions = self.assertions_for_session(session)?;
+                if assertions.is_empty() {
+                    QueryResponse::Empty
+                } else {
+                    QueryResponse::Assertions(assertions)
+                }
+            }
+            QueryRequest::ListInteractions { limit } => {
+                QueryResponse::Interactions(self.list_interactions(*limit)?)
+            }
+            QueryRequest::GroupsByKind(kind) => QueryResponse::Groups(self.groups_by_kind(kind)?),
+            QueryRequest::ActorStateByKind { interaction, kind } => {
+                let assertions = self.actor_state_by_kind(interaction, kind)?;
+                if assertions.is_empty() {
+                    QueryResponse::Empty
+                } else {
+                    QueryResponse::Assertions(assertions)
+                }
+            }
+            QueryRequest::Statistics => QueryResponse::Statistics(self.statistics()),
+        };
+        Ok(response)
+    }
+
+    /// Force pending writes to stable storage.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.backend.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FileBackend, KvBackend, MemoryBackend};
+    use pasoa_core::group::GroupKind;
+    use pasoa_core::ids::{ActorId, DataId};
+    use pasoa_core::passertion::{
+        ActorStateKind, ActorStatePAssertion, InteractionPAssertion, PAssertionContent,
+        RelationshipPAssertion, ViewKind,
+    };
+
+    fn interaction_assertion(session: &str, key: &str, op: &str) -> RecordedAssertion {
+        RecordedAssertion {
+            session: SessionId::new(session),
+            assertion: PAssertion::Interaction(InteractionPAssertion {
+                interaction_key: InteractionKey::new(key),
+                asserter: ActorId::new("workflow-engine"),
+                view: ViewKind::Sender,
+                sender: ActorId::new("workflow-engine"),
+                receiver: ActorId::new(op),
+                operation: op.to_string(),
+                content: PAssertionContent::text(format!("invoke {op}")),
+                data_ids: vec![DataId::new(format!("data:{key}"))],
+            }),
+        }
+    }
+
+    fn script_assertion(session: &str, key: &str, script: &str) -> RecordedAssertion {
+        RecordedAssertion {
+            session: SessionId::new(session),
+            assertion: PAssertion::ActorState(ActorStatePAssertion {
+                interaction_key: InteractionKey::new(key),
+                asserter: ActorId::new("service"),
+                view: ViewKind::Receiver,
+                kind: ActorStateKind::Script,
+                content: PAssertionContent::text(script),
+            }),
+        }
+    }
+
+    fn populate(store: &ProvenanceStore) {
+        for i in 0..5 {
+            let key = format!("interaction:{i}");
+            store.record(&interaction_assertion("session:A", &key, "gzip")).unwrap();
+            store.record(&script_assertion("session:A", &key, "gzip -9")).unwrap();
+        }
+        for i in 5..8 {
+            let key = format!("interaction:{i}");
+            store.record(&interaction_assertion("session:B", &key, "ppmz")).unwrap();
+        }
+        let mut group = Group::new("session:A", GroupKind::Session);
+        group.add(InteractionKey::new("interaction:0"));
+        store.register_group(&group).unwrap();
+    }
+
+    #[test]
+    fn record_and_query_by_interaction() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        let assertions =
+            store.assertions_for_interaction(&InteractionKey::new("interaction:0")).unwrap();
+        assert_eq!(assertions.len(), 2);
+        assert!(matches!(assertions[0].assertion, PAssertion::Interaction(_)));
+        assert!(matches!(assertions[1].assertion, PAssertion::ActorState(_)));
+        assert!(store
+            .assertions_for_interaction(&InteractionKey::new("interaction:99"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn query_by_session_and_list_interactions() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        let a = store.assertions_for_session(&SessionId::new("session:A")).unwrap();
+        assert_eq!(a.len(), 10);
+        let b = store.assertions_for_session(&SessionId::new("session:B")).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(store.list_interactions(None).unwrap().len(), 8);
+        assert_eq!(store.list_interactions(Some(3)).unwrap().len(), 3);
+        assert_eq!(
+            store.interactions_in_session(&SessionId::new("session:B")).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn actor_state_by_kind_filters() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        let scripts = store
+            .actor_state_by_kind(&InteractionKey::new("interaction:1"), "script")
+            .unwrap();
+        assert_eq!(scripts.len(), 1);
+        let none = store
+            .actor_state_by_kind(&InteractionKey::new("interaction:1"), "workflow")
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn groups_and_statistics() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        let groups = store.groups_by_kind("session").unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].id, "session:A");
+        assert!(store.groups_by_kind("thread").unwrap().is_empty());
+        let stats = store.statistics();
+        assert_eq!(stats.interaction_passertions, 8);
+        assert_eq!(stats.actor_state_passertions, 5);
+        assert_eq!(stats.relationship_passertions, 0);
+        assert_eq!(stats.interactions, 8);
+        assert_eq!(stats.groups, 1);
+        assert!(stats.content_bytes > 0);
+        assert_eq!(stats.total_passertions(), 13);
+    }
+
+    #[test]
+    fn relationship_assertions_are_counted() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        store
+            .record(&RecordedAssertion {
+                session: SessionId::new("session:A"),
+                assertion: PAssertion::Relationship(RelationshipPAssertion {
+                    interaction_key: InteractionKey::new("interaction:1"),
+                    asserter: ActorId::new("gzip"),
+                    effect: DataId::new("data:out"),
+                    causes: vec![(InteractionKey::new("interaction:0"), DataId::new("data:in"))],
+                    relation: "compressed-from".into(),
+                }),
+            })
+            .unwrap();
+        assert_eq!(store.statistics().relationship_passertions, 1);
+    }
+
+    #[test]
+    fn query_api_covers_all_request_kinds() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        assert!(matches!(
+            store.query(&QueryRequest::ByInteraction(InteractionKey::new("interaction:0"))).unwrap(),
+            QueryResponse::Assertions(_)
+        ));
+        assert!(matches!(
+            store.query(&QueryRequest::ByInteraction(InteractionKey::new("nope"))).unwrap(),
+            QueryResponse::Empty
+        ));
+        assert!(matches!(
+            store.query(&QueryRequest::BySession(SessionId::new("session:A"))).unwrap(),
+            QueryResponse::Assertions(_)
+        ));
+        assert!(matches!(
+            store.query(&QueryRequest::ListInteractions { limit: None }).unwrap(),
+            QueryResponse::Interactions(_)
+        ));
+        assert!(matches!(
+            store.query(&QueryRequest::GroupsByKind("session".into())).unwrap(),
+            QueryResponse::Groups(_)
+        ));
+        assert!(matches!(
+            store
+                .query(&QueryRequest::ActorStateByKind {
+                    interaction: InteractionKey::new("interaction:0"),
+                    kind: "script".into()
+                })
+                .unwrap(),
+            QueryResponse::Assertions(_)
+        ));
+        assert!(matches!(
+            store.query(&QueryRequest::Statistics).unwrap(),
+            QueryResponse::Statistics(_)
+        ));
+    }
+
+    #[test]
+    fn persistence_across_reopen_with_kv_backend() {
+        let dir = std::env::temp_dir().join(format!("preserv-store-kv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = ProvenanceStore::open(Arc::new(KvBackend::open(&dir).unwrap())).unwrap();
+            populate(&store);
+            store.sync().unwrap();
+        }
+        let store = ProvenanceStore::open(Arc::new(KvBackend::open(&dir).unwrap())).unwrap();
+        let stats = store.statistics();
+        assert_eq!(stats.interactions, 8);
+        assert_eq!(stats.total_passertions(), 13);
+        assert_eq!(stats.groups, 1);
+        // New records continue the sequence without colliding with existing ones.
+        store.record(&interaction_assertion("session:C", "interaction:100", "bzip2")).unwrap();
+        assert_eq!(store.statistics().interactions, 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistence_across_reopen_with_file_backend() {
+        let dir = std::env::temp_dir().join(format!("preserv-store-file-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = ProvenanceStore::open(Arc::new(FileBackend::open(&dir).unwrap())).unwrap();
+            store.record(&script_assertion("session:A", "interaction:0", "#!/bin/sh")).unwrap();
+        }
+        let store = ProvenanceStore::open(Arc::new(FileBackend::open(&dir).unwrap())).unwrap();
+        assert_eq!(store.statistics().actor_state_passertions, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let store = Arc::new(ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let key = format!("interaction:t{t}:{i}");
+                    store.record(&interaction_assertion("session:mt", &key, "measure")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = store.statistics();
+        assert_eq!(stats.interaction_passertions, 400);
+        assert_eq!(stats.interactions, 400);
+        assert_eq!(
+            store.assertions_for_session(&SessionId::new("session:mt")).unwrap().len(),
+            400
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # pasoa-registry — a Grimoires-style semantic service registry
+//!
+//! Use case 2 (semantic validity) needs "a registry that contains semantic information for the
+//! different workflow activities": each workflow activity is described by the abstract part of
+//! a WSDL interface, and "each message part (whether input or output) of each service operation
+//! is annotated by some metadata identifying its semantic type, which we have expressed in an
+//! ontology fragment for this specific application". The paper uses the Grimoires registry (an
+//! extension of UDDI with metadata attachment and metadata-based discovery); this crate is the
+//! from-scratch substitute with the same three capabilities:
+//!
+//! * [`description`] — abstract service descriptions: operations with named, typed message
+//!   parts (the WSDL-abstract-part stand-in);
+//! * [`ontology`] — the ontology fragment of semantic types used by the compressibility
+//!   application, with subtype reasoning;
+//! * [`registry`] — publication, metadata attachment, lookup and metadata-based discovery;
+//! * [`service`] — the registry exposed as a wire-level service so the semantic validator pays
+//!   one transport call per lookup, exactly as the paper's evaluation does (10 registry calls
+//!   per interaction dominate Figure 5's semantic-validity slope).
+
+pub mod description;
+pub mod ontology;
+pub mod registry;
+pub mod service;
+
+pub use description::{MessagePart, Operation, ServiceDescription};
+pub use ontology::{Ontology, SemanticType};
+pub use registry::{Registry, RegistryError};
+pub use service::{RegistryRequest, RegistryResponse, RegistryService};

@@ -1,0 +1,217 @@
+//! The ontology fragment for the compressibility application.
+//!
+//! Semantic types describe what a message part *means*, independently of its syntactic type:
+//! an amino-acid sequence and a nucleotide sequence are both strings, but only one of them is a
+//! meaningful input to the group-encoding service. The ontology records subtype relations so a
+//! validator can accept an output wherever a supertype is expected.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// A semantic type, identified by a URI-like name (e.g. `bio:AminoAcidSequence`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SemanticType(pub String);
+
+impl SemanticType {
+    /// Create a semantic type.
+    pub fn new(name: impl Into<String>) -> Self {
+        SemanticType(name.into())
+    }
+
+    /// The type name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for SemanticType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Well-known semantic types of the compressibility application.
+pub mod types {
+    /// Any biological sequence.
+    pub const SEQUENCE: &str = "bio:Sequence";
+    /// An amino-acid (protein) sequence.
+    pub const AMINO_ACID_SEQUENCE: &str = "bio:AminoAcidSequence";
+    /// A nucleotide (DNA) sequence.
+    pub const NUCLEOTIDE_SEQUENCE: &str = "bio:NucleotideSequence";
+    /// A collated sample of amino-acid sequences.
+    pub const PROTEIN_SAMPLE: &str = "bio:ProteinSample";
+    /// A sample recoded with an amino-acid group coding.
+    pub const GROUP_ENCODED_SAMPLE: &str = "bio:GroupEncodedSample";
+    /// A permutation of a group-encoded sample.
+    pub const PERMUTED_SAMPLE: &str = "bio:PermutedSample";
+    /// The byte size of a compressed artefact.
+    pub const COMPRESSED_SIZE: &str = "exp:CompressedSize";
+    /// A table of compressed sizes.
+    pub const SIZES_TABLE: &str = "exp:SizesTable";
+    /// The final compressibility result record.
+    pub const COMPRESSIBILITY_RESULT: &str = "exp:CompressibilityResult";
+    /// An amino-acid group coding specification.
+    pub const GROUP_CODING: &str = "exp:GroupCoding";
+}
+
+/// An ontology: a set of types plus subtype edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ontology {
+    /// child → parent edges (single inheritance is enough for this application).
+    parents: BTreeMap<SemanticType, SemanticType>,
+    /// All declared types (including roots that have no parent).
+    declared: BTreeSet<SemanticType>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ontology fragment used by the protein compressibility experiment.
+    pub fn compressibility_fragment() -> Self {
+        let mut o = Ontology::new();
+        o.declare(types::SEQUENCE);
+        o.declare_subtype(types::AMINO_ACID_SEQUENCE, types::SEQUENCE);
+        o.declare_subtype(types::NUCLEOTIDE_SEQUENCE, types::SEQUENCE);
+        o.declare_subtype(types::PROTEIN_SAMPLE, types::AMINO_ACID_SEQUENCE);
+        o.declare_subtype(types::GROUP_ENCODED_SAMPLE, types::SEQUENCE);
+        o.declare_subtype(types::PERMUTED_SAMPLE, types::GROUP_ENCODED_SAMPLE);
+        o.declare(types::COMPRESSED_SIZE);
+        o.declare(types::SIZES_TABLE);
+        o.declare(types::COMPRESSIBILITY_RESULT);
+        o.declare(types::GROUP_CODING);
+        o
+    }
+
+    /// Declare a root type.
+    pub fn declare(&mut self, name: &str) {
+        self.declared.insert(SemanticType::new(name));
+    }
+
+    /// Declare `child` as a subtype of `parent` (declaring both).
+    pub fn declare_subtype(&mut self, child: &str, parent: &str) {
+        self.declared.insert(SemanticType::new(child));
+        self.declared.insert(SemanticType::new(parent));
+        self.parents.insert(SemanticType::new(child), SemanticType::new(parent));
+    }
+
+    /// Whether `name` is a declared type.
+    pub fn is_declared(&self, name: &str) -> bool {
+        self.declared.contains(&SemanticType::new(name))
+    }
+
+    /// Number of declared types.
+    pub fn len(&self) -> usize {
+        self.declared.len()
+    }
+
+    /// Whether the ontology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.declared.is_empty()
+    }
+
+    /// Whether `sub` is `sup` or a (transitive) subtype of it.
+    pub fn is_subtype_of(&self, sub: &SemanticType, sup: &SemanticType) -> bool {
+        let mut current = sub.clone();
+        loop {
+            if &current == sup {
+                return true;
+            }
+            match self.parents.get(&current) {
+                Some(parent) => current = parent.clone(),
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether a value of type `produced` may flow into a slot expecting `expected`.
+    ///
+    /// This is the check at the heart of use case 2: the semantic type of each service output
+    /// "is verified to be equal to the semantic type of the service input it is fed into"
+    /// (generalised here to allow subtypes).
+    pub fn compatible(&self, produced: &SemanticType, expected: &SemanticType) -> bool {
+        self.is_subtype_of(produced, expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ontology() -> Ontology {
+        Ontology::compressibility_fragment()
+    }
+
+    #[test]
+    fn fragment_declares_the_application_types() {
+        let o = ontology();
+        assert!(o.len() >= 10);
+        assert!(!o.is_empty());
+        for t in [
+            types::SEQUENCE,
+            types::AMINO_ACID_SEQUENCE,
+            types::NUCLEOTIDE_SEQUENCE,
+            types::PROTEIN_SAMPLE,
+            types::GROUP_ENCODED_SAMPLE,
+            types::PERMUTED_SAMPLE,
+            types::COMPRESSED_SIZE,
+            types::SIZES_TABLE,
+            types::COMPRESSIBILITY_RESULT,
+            types::GROUP_CODING,
+        ] {
+            assert!(o.is_declared(t), "{t} not declared");
+        }
+        assert!(!o.is_declared("bio:Unheard-of"));
+    }
+
+    #[test]
+    fn subtype_reasoning_is_transitive_and_reflexive() {
+        let o = ontology();
+        let perm = SemanticType::new(types::PERMUTED_SAMPLE);
+        let encoded = SemanticType::new(types::GROUP_ENCODED_SAMPLE);
+        let seq = SemanticType::new(types::SEQUENCE);
+        assert!(o.is_subtype_of(&perm, &perm));
+        assert!(o.is_subtype_of(&perm, &encoded));
+        assert!(o.is_subtype_of(&perm, &seq));
+        assert!(!o.is_subtype_of(&seq, &perm));
+    }
+
+    #[test]
+    fn amino_acid_and_nucleotide_sequences_are_incompatible_siblings() {
+        // The crux of use case 2: both are sequences, but neither substitutes for the other.
+        let o = ontology();
+        let aa = SemanticType::new(types::AMINO_ACID_SEQUENCE);
+        let nt = SemanticType::new(types::NUCLEOTIDE_SEQUENCE);
+        assert!(!o.compatible(&nt, &aa));
+        assert!(!o.compatible(&aa, &nt));
+        let seq = SemanticType::new(types::SEQUENCE);
+        assert!(o.compatible(&nt, &seq));
+        assert!(o.compatible(&aa, &seq));
+    }
+
+    #[test]
+    fn protein_sample_feeds_an_amino_acid_slot() {
+        let o = ontology();
+        let sample = SemanticType::new(types::PROTEIN_SAMPLE);
+        let aa = SemanticType::new(types::AMINO_ACID_SEQUENCE);
+        assert!(o.compatible(&sample, &aa));
+    }
+
+    #[test]
+    fn unknown_types_are_only_compatible_with_themselves() {
+        let o = ontology();
+        let unknown = SemanticType::new("x:Novel");
+        assert!(o.compatible(&unknown, &unknown));
+        assert!(!o.compatible(&unknown, &SemanticType::new(types::SEQUENCE)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = ontology();
+        let json = serde_json::to_string(&o).unwrap();
+        assert_eq!(serde_json::from_str::<Ontology>(&json).unwrap(), o);
+    }
+}

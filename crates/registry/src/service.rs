@@ -1,0 +1,323 @@
+//! The registry exposed as a wire-level service.
+//!
+//! The paper's deployment puts the registry on its own host: "the registry, the provenance
+//! store and the semantic validator were all deployed on different PCs, communicating over
+//! 100 Mb ethernet", and the semantic validity check performs "one call to PReServ and 10 to
+//! Grimoires" per interaction. Wrapping the registry behind the same transport abstraction as
+//! PReServ reproduces that cost structure: every lookup is a full envelope round trip.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use pasoa_wire::{Envelope, MessageHandler, ServiceHost, WireError, WireResult};
+
+use crate::description::{PartPath, ServiceDescription};
+use crate::ontology::SemanticType;
+use crate::registry::{Registry, RegistryError, ServiceMetadata};
+
+/// Wire-level registry requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegistryRequest {
+    /// Publish a service description.
+    Publish(ServiceDescription),
+    /// Attach metadata to a service.
+    AttachMetadata {
+        /// Target service.
+        service: String,
+        /// Metadata key.
+        key: String,
+        /// Metadata value.
+        value: String,
+    },
+    /// Annotate a message part with a semantic type.
+    AnnotatePart {
+        /// The part to annotate.
+        path: PartPath,
+        /// Its semantic type.
+        semantic_type: SemanticType,
+    },
+    /// Fetch a service description.
+    Describe(String),
+    /// Fetch the semantic type of a part.
+    PartType(PartPath),
+    /// Fetch the metadata of a service.
+    Metadata(String),
+    /// Discover services by metadata.
+    Discover {
+        /// Metadata key.
+        key: String,
+        /// Metadata value.
+        value: String,
+    },
+    /// Check whether `produced` may flow into `expected`.
+    CheckCompatible {
+        /// Type produced by an upstream output.
+        produced: SemanticType,
+        /// Type expected by a downstream input.
+        expected: SemanticType,
+    },
+}
+
+impl RegistryRequest {
+    /// The envelope action for this request.
+    pub fn action(&self) -> &'static str {
+        match self {
+            RegistryRequest::Publish(_) => "publish",
+            RegistryRequest::AttachMetadata { .. } => "attach-metadata",
+            RegistryRequest::AnnotatePart { .. } => "annotate-part",
+            RegistryRequest::Describe(_) => "describe",
+            RegistryRequest::PartType(_) => "part-type",
+            RegistryRequest::Metadata(_) => "metadata",
+            RegistryRequest::Discover { .. } => "discover",
+            RegistryRequest::CheckCompatible { .. } => "check-compatible",
+        }
+    }
+}
+
+/// Wire-level registry responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegistryResponse {
+    /// The operation succeeded with no payload.
+    Ok,
+    /// A service description.
+    Description(ServiceDescription),
+    /// A semantic type.
+    Type(SemanticType),
+    /// Service metadata.
+    Metadata(ServiceMetadata),
+    /// Service names found by discovery.
+    Services(Vec<String>),
+    /// Result of a compatibility check.
+    Compatible(bool),
+    /// The request failed.
+    Error(RegistryError),
+}
+
+/// The registry service handler.
+pub struct RegistryService {
+    registry: Arc<Registry>,
+}
+
+impl RegistryService {
+    /// Wrap a registry.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        RegistryService { registry }
+    }
+
+    /// The wrapped registry (for in-process setup code).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Register the service on `host` under the conventional registry service name.
+    pub fn register(self: Arc<Self>, host: &ServiceHost) -> String {
+        let name = pasoa_core::REGISTRY_SERVICE.to_string();
+        host.register(name.clone(), self as Arc<dyn MessageHandler>);
+        name
+    }
+
+    fn dispatch(&self, request: RegistryRequest) -> RegistryResponse {
+        match request {
+            RegistryRequest::Publish(description) => {
+                self.registry.publish(description);
+                RegistryResponse::Ok
+            }
+            RegistryRequest::AttachMetadata { service, key, value } => {
+                match self.registry.attach_metadata(&service, &key, &value) {
+                    Ok(()) => RegistryResponse::Ok,
+                    Err(e) => RegistryResponse::Error(e),
+                }
+            }
+            RegistryRequest::AnnotatePart { path, semantic_type } => {
+                match self.registry.annotate_part(path, semantic_type) {
+                    Ok(()) => RegistryResponse::Ok,
+                    Err(e) => RegistryResponse::Error(e),
+                }
+            }
+            RegistryRequest::Describe(service) => match self.registry.describe(&service) {
+                Ok(d) => RegistryResponse::Description(d),
+                Err(e) => RegistryResponse::Error(e),
+            },
+            RegistryRequest::PartType(path) => match self.registry.part_type(&path) {
+                Ok(t) => RegistryResponse::Type(t),
+                Err(e) => RegistryResponse::Error(e),
+            },
+            RegistryRequest::Metadata(service) => {
+                RegistryResponse::Metadata(self.registry.metadata(&service))
+            }
+            RegistryRequest::Discover { key, value } => {
+                RegistryResponse::Services(self.registry.discover_by_metadata(&key, &value))
+            }
+            RegistryRequest::CheckCompatible { produced, expected } => {
+                RegistryResponse::Compatible(self.registry.types_compatible(&produced, &expected))
+            }
+        }
+    }
+}
+
+impl MessageHandler for RegistryService {
+    fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+        let decoded: RegistryRequest = request.json_payload()?;
+        let action = decoded.action();
+        let response = self.dispatch(decoded);
+        Envelope::response(action).with_json_payload(&response)
+    }
+
+    fn name(&self) -> &str {
+        "grimoires-registry"
+    }
+}
+
+/// Client-side helper: issue one registry request over a transport and decode the response.
+pub fn call_registry(
+    transport: &pasoa_wire::Transport,
+    request: &RegistryRequest,
+) -> Result<RegistryResponse, WireError> {
+    let envelope = Envelope::request(pasoa_core::REGISTRY_SERVICE, request.action())
+        .with_json_payload(request)?;
+    let response = transport.call(envelope)?;
+    response.json_payload()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::Operation;
+    use crate::ontology::types;
+    use pasoa_wire::TransportConfig;
+
+    fn deploy() -> (Arc<RegistryService>, ServiceHost) {
+        let registry = Arc::new(Registry::for_compressibility());
+        let service = Arc::new(RegistryService::new(registry));
+        let host = ServiceHost::new();
+        Arc::clone(&service).register(&host);
+        (service, host)
+    }
+
+    #[test]
+    fn publish_annotate_and_lookup_over_the_wire() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+
+        let desc = ServiceDescription::new("gzip-compression", "compress a sample").operation(
+            Operation::new("compress")
+                .input("sample", "bytes")
+                .output("compressed-sample", "bytes"),
+        );
+        assert_eq!(
+            call_registry(&transport, &RegistryRequest::Publish(desc)).unwrap(),
+            RegistryResponse::Ok
+        );
+        let path = PartPath::input("gzip-compression", "compress", "sample");
+        assert_eq!(
+            call_registry(
+                &transport,
+                &RegistryRequest::AnnotatePart {
+                    path: path.clone(),
+                    semantic_type: SemanticType::new(types::PERMUTED_SAMPLE),
+                }
+            )
+            .unwrap(),
+            RegistryResponse::Ok
+        );
+        match call_registry(&transport, &RegistryRequest::PartType(path)).unwrap() {
+            RegistryResponse::Type(t) => assert_eq!(t.as_str(), types::PERMUTED_SAMPLE),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match call_registry(&transport, &RegistryRequest::Describe("gzip-compression".into()))
+            .unwrap()
+        {
+            RegistryResponse::Description(d) => assert_eq!(d.operations.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(transport.stats().calls, 4);
+    }
+
+    #[test]
+    fn metadata_and_discovery_over_the_wire() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+        call_registry(
+            &transport,
+            &RegistryRequest::Publish(ServiceDescription::new("shuffle", "permute a sample")),
+        )
+        .unwrap();
+        call_registry(
+            &transport,
+            &RegistryRequest::AttachMetadata {
+                service: "shuffle".into(),
+                key: "domain".into(),
+                value: "bioinformatics".into(),
+            },
+        )
+        .unwrap();
+        match call_registry(
+            &transport,
+            &RegistryRequest::Discover { key: "domain".into(), value: "bioinformatics".into() },
+        )
+        .unwrap()
+        {
+            RegistryResponse::Services(s) => assert_eq!(s, vec!["shuffle".to_string()]),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match call_registry(&transport, &RegistryRequest::Metadata("shuffle".into())).unwrap() {
+            RegistryResponse::Metadata(md) => {
+                assert_eq!(md.entries.get("domain").unwrap(), "bioinformatics")
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_in_band() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+        match call_registry(&transport, &RegistryRequest::Describe("missing".into())).unwrap() {
+            RegistryResponse::Error(RegistryError::UnknownService(name)) => {
+                assert_eq!(name, "missing")
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compatibility_check_over_the_wire() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+        match call_registry(
+            &transport,
+            &RegistryRequest::CheckCompatible {
+                produced: SemanticType::new(types::NUCLEOTIDE_SEQUENCE),
+                expected: SemanticType::new(types::AMINO_ACID_SEQUENCE),
+            },
+        )
+        .unwrap()
+        {
+            RegistryResponse::Compatible(ok) => assert!(!ok),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn actions_cover_every_request() {
+        let reqs = [
+            RegistryRequest::Publish(ServiceDescription::new("a", "")),
+            RegistryRequest::AttachMetadata { service: "a".into(), key: "k".into(), value: "v".into() },
+            RegistryRequest::AnnotatePart {
+                path: PartPath::input("a", "b", "c"),
+                semantic_type: SemanticType::new("t"),
+            },
+            RegistryRequest::Describe("a".into()),
+            RegistryRequest::PartType(PartPath::output("a", "b", "c")),
+            RegistryRequest::Metadata("a".into()),
+            RegistryRequest::Discover { key: "k".into(), value: "v".into() },
+            RegistryRequest::CheckCompatible {
+                produced: SemanticType::new("t"),
+                expected: SemanticType::new("t"),
+            },
+        ];
+        let actions: std::collections::BTreeSet<&str> = reqs.iter().map(|r| r.action()).collect();
+        assert_eq!(actions.len(), reqs.len());
+    }
+}

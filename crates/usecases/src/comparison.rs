@@ -1,0 +1,276 @@
+//! Use case 1 — execution comparison by script categorisation.
+//!
+//! "We categorise the (contents of the) scripts that workflow activities have used, so that the
+//! bioinformatician can determine whether the results of one workflow run differed from another
+//! due to a change in algorithm or configuration. ... Categorisation is performed by querying
+//! each activity in the provenance store for actor state p-assertions containing the script and
+//! creating a mapping from each set of exactly equivalent scripts to the sessions (groups
+//! denoting workflow runs) in which that script is used for a given service."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use pasoa_core::ids::InteractionKey;
+use pasoa_core::passertion::PAssertion;
+use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse};
+use pasoa_wire::{Envelope, Transport, WireError};
+
+/// Mapping from (service, exact script contents) to the sessions that used it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptCategories {
+    /// `(service, script text)` → session ids.
+    pub categories: BTreeMap<(String, String), BTreeSet<String>>,
+    /// Number of interaction records inspected.
+    pub interactions_inspected: usize,
+    /// Number of store calls issued while categorising.
+    pub store_calls: usize,
+}
+
+/// The answer to "did these two runs use the same algorithms and configuration?".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Services whose scripts are identical across both sessions.
+    pub identical: Vec<String>,
+    /// Services whose scripts differ, with the two script texts.
+    pub differing: Vec<(String, String, String)>,
+    /// Services present in only one of the sessions.
+    pub only_in_one: Vec<String>,
+}
+
+impl ComparisonReport {
+    /// Whether the two runs used exactly the same processing.
+    pub fn same_process(&self) -> bool {
+        self.differing.is_empty() && self.only_in_one.is_empty()
+    }
+}
+
+/// The script categoriser of use case 1. It talks to the store exclusively through the wire
+/// interface, exactly as an external reasoning tool would.
+pub struct ScriptCategorizer {
+    transport: Transport,
+}
+
+impl ScriptCategorizer {
+    /// Create a categoriser using `transport` to reach the provenance store.
+    pub fn new(transport: Transport) -> Self {
+        ScriptCategorizer { transport }
+    }
+
+    fn query(&self, request: QueryRequest) -> Result<QueryResponse, WireError> {
+        let message = PrepMessage::Query(request);
+        let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, message.action())
+            .with_json_payload(&message)?;
+        let response = self.transport.call(envelope)?;
+        response.json_payload()
+    }
+
+    /// Categorise every interaction in the store: one `ListInteractions` call plus one
+    /// `ActorStateByKind(script)` call per interaction (the per-record cost Figure 5 plots).
+    pub fn categorize(&self) -> Result<ScriptCategories, WireError> {
+        let mut result = ScriptCategories::default();
+        let interactions = match self.query(QueryRequest::ListInteractions { limit: None })? {
+            QueryResponse::Interactions(keys) => keys,
+            _ => Vec::new(),
+        };
+        result.store_calls += 1;
+        for interaction in interactions {
+            result.interactions_inspected += 1;
+            result.store_calls += 1;
+            let assertions = match self.query(QueryRequest::ActorStateByKind {
+                interaction: InteractionKey::new(interaction.as_str()),
+                kind: "script".into(),
+            })? {
+                QueryResponse::Assertions(found) => found,
+                _ => Vec::new(),
+            };
+            for recorded in assertions {
+                if let PAssertion::ActorState(state) = &recorded.assertion {
+                    let service = state.asserter.as_str().to_string();
+                    let script = state
+                        .content
+                        .as_text()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| format!("{:?}", state.content));
+                    result
+                        .categories
+                        .entry((service, script))
+                        .or_default()
+                        .insert(recorded.session.as_str().to_string());
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Compare two sessions (workflow runs) using a previously computed categorisation.
+    pub fn compare(
+        categories: &ScriptCategories,
+        session_a: &str,
+        session_b: &str,
+    ) -> ComparisonReport {
+        // service → scripts used in each session.
+        let mut per_service: BTreeMap<String, (BTreeSet<String>, BTreeSet<String>)> =
+            BTreeMap::new();
+        for ((service, script), sessions) in &categories.categories {
+            let entry = per_service.entry(service.clone()).or_default();
+            if sessions.contains(session_a) {
+                entry.0.insert(script.clone());
+            }
+            if sessions.contains(session_b) {
+                entry.1.insert(script.clone());
+            }
+        }
+        let mut report = ComparisonReport::default();
+        for (service, (a, b)) in per_service {
+            if a.is_empty() && b.is_empty() {
+                continue;
+            }
+            if a.is_empty() || b.is_empty() {
+                report.only_in_one.push(service);
+            } else if a == b {
+                report.identical.push(service);
+            } else {
+                let sa = a.iter().cloned().collect::<Vec<_>>().join(" | ");
+                let sb = b.iter().cloned().collect::<Vec<_>>().join(" | ");
+                report.differing.push((service, sa, sb));
+            }
+        }
+        report
+    }
+
+    /// Convenience: categorise and compare two sessions in one call.
+    pub fn compare_sessions(
+        &self,
+        session_a: &str,
+        session_b: &str,
+    ) -> Result<(ScriptCategories, ComparisonReport), WireError> {
+        let categories = self.categorize()?;
+        let report = Self::compare(&categories, session_a, session_b);
+        Ok((categories, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
+    use pasoa_core::passertion::{
+        ActorStateKind, ActorStatePAssertion, PAssertionContent, RecordedAssertion, ViewKind,
+    };
+    use pasoa_core::prep::RecordMessage;
+    use pasoa_preserv::PreservService;
+    use pasoa_wire::{ServiceHost, TransportConfig};
+    use std::sync::Arc;
+
+    fn record_script(
+        transport: &Transport,
+        ids: &IdGenerator,
+        session: &str,
+        service: &str,
+        script: &str,
+    ) {
+        let interaction = ids.interaction_key();
+        let message = PrepMessage::Record(RecordMessage {
+            message_id: ids.message_id(),
+            asserter: ActorId::new(service),
+            assertions: vec![RecordedAssertion {
+                session: SessionId::new(session),
+                assertion: PAssertion::ActorState(ActorStatePAssertion {
+                    interaction_key: interaction,
+                    asserter: ActorId::new(service),
+                    view: ViewKind::Receiver,
+                    kind: ActorStateKind::Script,
+                    content: PAssertionContent::text(script),
+                }),
+            }],
+        });
+        let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, message.action())
+            .with_json_payload(&message)
+            .unwrap();
+        transport.call(envelope).unwrap();
+    }
+
+    fn deploy() -> (ServiceHost, Transport) {
+        let service = Arc::new(PreservService::in_memory().unwrap());
+        let host = ServiceHost::new();
+        service.register(&host);
+        let transport = host.transport(TransportConfig::free());
+        (host, transport)
+    }
+
+    #[test]
+    fn detects_a_changed_compression_configuration() {
+        // Use case 1's scenario: run 1 and run 2 differ because gzip was reconfigured.
+        let (_host, transport) = deploy();
+        let ids = IdGenerator::new("uc1");
+        record_script(&transport, &ids, "session:run1", "gzip-compression", "gzip -9");
+        record_script(&transport, &ids, "session:run1", "encode-by-groups", "encode dayhoff-6");
+        record_script(&transport, &ids, "session:run2", "gzip-compression", "gzip -1");
+        record_script(&transport, &ids, "session:run2", "encode-by-groups", "encode dayhoff-6");
+
+        let categorizer = ScriptCategorizer::new(transport);
+        let (categories, report) =
+            categorizer.compare_sessions("session:run1", "session:run2").unwrap();
+        assert_eq!(categories.interactions_inspected, 4);
+        assert_eq!(categories.store_calls, 5); // 1 list + 4 per-interaction queries
+        assert!(!report.same_process());
+        assert_eq!(report.identical, vec!["encode-by-groups".to_string()]);
+        assert_eq!(report.differing.len(), 1);
+        assert_eq!(report.differing[0].0, "gzip-compression");
+        assert!(report.differing[0].1.contains("gzip -9"));
+        assert!(report.differing[0].2.contains("gzip -1"));
+    }
+
+    #[test]
+    fn identical_runs_are_reported_as_the_same_process() {
+        let (_host, transport) = deploy();
+        let ids = IdGenerator::new("uc1");
+        for session in ["session:a", "session:b"] {
+            record_script(&transport, &ids, session, "gzip-compression", "gzip -9");
+            record_script(&transport, &ids, session, "ppmz-compression", "ppmz -o3");
+        }
+        let categorizer = ScriptCategorizer::new(transport);
+        let (_, report) = categorizer.compare_sessions("session:a", "session:b").unwrap();
+        assert!(report.same_process());
+        assert_eq!(report.identical.len(), 2);
+    }
+
+    #[test]
+    fn services_present_in_only_one_run_are_flagged() {
+        let (_host, transport) = deploy();
+        let ids = IdGenerator::new("uc1");
+        record_script(&transport, &ids, "session:a", "gzip-compression", "gzip -9");
+        record_script(&transport, &ids, "session:b", "bzip2-compression", "bzip2 -9");
+        let categorizer = ScriptCategorizer::new(transport);
+        let (_, report) = categorizer.compare_sessions("session:a", "session:b").unwrap();
+        assert!(!report.same_process());
+        assert_eq!(report.only_in_one.len(), 2);
+        assert!(report.identical.is_empty());
+    }
+
+    #[test]
+    fn empty_store_categorises_to_nothing() {
+        let (_host, transport) = deploy();
+        let categorizer = ScriptCategorizer::new(transport);
+        let categories = categorizer.categorize().unwrap();
+        assert_eq!(categories.interactions_inspected, 0);
+        assert_eq!(categories.store_calls, 1);
+        let report = ScriptCategorizer::compare(&categories, "x", "y");
+        assert!(report.same_process());
+    }
+
+    #[test]
+    fn store_call_count_is_linear_in_interaction_records() {
+        // The cost model behind Figure 5's script-comparison series.
+        let (_host, transport) = deploy();
+        let ids = IdGenerator::new("uc1");
+        for i in 0..25 {
+            record_script(&transport, &ids, "session:a", "gzip-compression", &format!("gzip -{}", i % 3));
+        }
+        let categorizer = ScriptCategorizer::new(transport.clone());
+        let categories = categorizer.categorize().unwrap();
+        assert_eq!(categories.interactions_inspected, 25);
+        assert_eq!(categories.store_calls, 26);
+    }
+}

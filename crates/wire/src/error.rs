@@ -1,0 +1,57 @@
+//! Errors produced while encoding, decoding or routing messages.
+
+use std::fmt;
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Errors produced by the wire layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The textual form of a message could not be parsed.
+    Parse { position: usize, reason: String },
+    /// An envelope was structurally invalid (missing headers, wrong root element, ...).
+    InvalidEnvelope(String),
+    /// A message was addressed to a service name that is not registered with the host.
+    UnknownService(String),
+    /// The remote handler failed and returned a fault.
+    Fault { service: String, reason: String },
+    /// A body payload could not be (de)serialized.
+    Payload(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Parse { position, reason } => {
+                write!(f, "parse error at byte {position}: {reason}")
+            }
+            WireError::InvalidEnvelope(reason) => write!(f, "invalid envelope: {reason}"),
+            WireError::UnknownService(name) => write!(f, "unknown service: {name}"),
+            WireError::Fault { service, reason } => {
+                write!(f, "fault from service {service}: {reason}")
+            }
+            WireError::Payload(reason) => write!(f, "payload error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WireError::Parse { position: 4, reason: "bad tag".into() }
+            .to_string()
+            .contains("byte 4"));
+        assert!(WireError::UnknownService("store".into()).to_string().contains("store"));
+        assert!(WireError::Fault { service: "s".into(), reason: "boom".into() }
+            .to_string()
+            .contains("boom"));
+        assert!(WireError::InvalidEnvelope("no body".into()).to_string().contains("no body"));
+        assert!(WireError::Payload("not json".into()).to_string().contains("not json"));
+    }
+}

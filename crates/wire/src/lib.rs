@@ -1,0 +1,36 @@
+//! # pasoa-wire — message envelopes and simulated transport
+//!
+//! The HPDC 2005 provenance architecture is service-oriented: actors exchange SOAP messages
+//! over HTTP with the PReServ provenance store and the Grimoires registry, deployed on separate
+//! hosts connected by 100 Mb ethernet. This crate is the from-scratch substitute for that
+//! communication substrate:
+//!
+//! * [`xml`] — a minimal XML-like element tree with a serializer and parser, used as the
+//!   message payload format (the SOAP-body stand-in),
+//! * [`envelope`] — the message envelope: headers (message id, sender, action) plus a body
+//!   element, mirroring a SOAP envelope,
+//! * [`latency`] — a configurable latency/bandwidth model so the per-call costs the paper
+//!   measures (≈18 ms per record round trip) can be injected deterministically,
+//! * [`clock`] — a virtual clock that accumulates simulated communication time when the
+//!   benchmarks do not want to actually sleep,
+//! * [`transport`] — an in-process service host and client transport that routes envelopes to
+//!   registered services, applying the latency model and counting traffic.
+//!
+//! Everything here is deliberately technology-independent, which is precisely the paper's
+//! point: provenance recording should not depend on the particular service plumbing in use.
+
+pub mod clock;
+pub mod envelope;
+pub mod error;
+pub mod latency;
+pub mod transport;
+pub mod xml;
+
+pub use clock::SimClock;
+pub use envelope::{Envelope, Header};
+pub use error::{WireError, WireResult};
+pub use latency::{LatencyModel, NetworkProfile};
+pub use transport::{
+    LatencyMode, MessageHandler, ServiceHost, Transport, TransportConfig, TransportStats,
+};
+pub use xml::XmlElement;

@@ -1,0 +1,431 @@
+//! In-process service host and client transport.
+//!
+//! The paper deploys PReServ, the Grimoires registry and the workflow on separate hosts; actors
+//! reach them through SOAP over HTTP. Here a [`ServiceHost`] plays the role of the network: a
+//! registry of named services, each an implementation of [`MessageHandler`]. A [`Transport`]
+//! is the client-side view an actor holds: it serializes envelopes to their wire form,
+//! charges the configured latency model (either by sleeping or by advancing a virtual clock),
+//! routes the message to the destination service and returns the response the same way.
+//!
+//! Because every byte really is serialized and re-parsed on both directions, the transport
+//! exercises the same encode/decode code paths an actual remote deployment would, and the
+//! traffic counters report genuine message sizes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::SimClock;
+use crate::envelope::Envelope;
+use crate::error::{WireError, WireResult};
+use crate::latency::LatencyModel;
+
+/// A service implementation: receives a request envelope, returns a response envelope.
+pub trait MessageHandler: Send + Sync {
+    /// Handle one request.
+    fn handle(&self, request: Envelope) -> WireResult<Envelope>;
+
+    /// Human-readable name used in diagnostics.
+    fn name(&self) -> &str {
+        "anonymous-service"
+    }
+}
+
+impl<F> MessageHandler for F
+where
+    F: Fn(Envelope) -> WireResult<Envelope> + Send + Sync,
+{
+    fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+        self(request)
+    }
+}
+
+/// How the modelled communication cost is realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyMode {
+    /// Actually sleep for the modelled duration (real-time runs, small latencies).
+    Sleep,
+    /// Accumulate the modelled duration on the shared [`SimClock`] (simulated-time runs).
+    #[default]
+    Virtual,
+    /// Ignore the latency model entirely.
+    None,
+}
+
+/// Transport configuration: cost model plus how to apply it.
+#[derive(Debug, Clone, Default)]
+pub struct TransportConfig {
+    /// Per-message cost model.
+    pub latency: LatencyModel,
+    /// Whether to sleep, accumulate, or ignore the cost.
+    pub mode: LatencyMode,
+}
+
+impl TransportConfig {
+    /// A configuration with no communication cost at all.
+    pub fn free() -> Self {
+        TransportConfig { latency: LatencyModel::zero(), mode: LatencyMode::None }
+    }
+
+    /// Real-time configuration: sleep for the modelled cost.
+    pub fn sleeping(latency: LatencyModel) -> Self {
+        TransportConfig { latency, mode: LatencyMode::Sleep }
+    }
+
+    /// Simulated-time configuration: accumulate the modelled cost on the clock.
+    pub fn virtual_time(latency: LatencyModel) -> Self {
+        TransportConfig { latency, mode: LatencyMode::Virtual }
+    }
+}
+
+/// Traffic counters, kept per transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Number of request/response exchanges completed.
+    pub calls: u64,
+    /// Bytes sent (serialized requests).
+    pub bytes_sent: u64,
+    /// Bytes received (serialized responses).
+    pub bytes_received: u64,
+    /// Number of calls that returned a fault or routing error.
+    pub failures: u64,
+    /// Total modelled communication time charged (whether slept or accumulated).
+    pub modelled_nanos: u64,
+}
+
+impl TransportStats {
+    /// Total modelled communication time.
+    pub fn modelled_time(&self) -> Duration {
+        Duration::from_nanos(self.modelled_nanos)
+    }
+
+    /// Mean modelled round-trip time per call.
+    pub fn mean_round_trip(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.modelled_nanos / self.calls)
+        }
+    }
+}
+
+/// The "network": a registry of named services reachable from any [`Transport`].
+#[derive(Default, Clone)]
+pub struct ServiceHost {
+    services: Arc<RwLock<HashMap<String, Arc<dyn MessageHandler>>>>,
+}
+
+impl std::fmt::Debug for ServiceHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.services.read().keys().cloned().collect();
+        f.debug_struct("ServiceHost").field("services", &names).finish()
+    }
+}
+
+impl ServiceHost {
+    /// Create an empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a service under `name`.
+    pub fn register(&self, name: impl Into<String>, handler: Arc<dyn MessageHandler>) {
+        self.services.write().insert(name.into(), handler);
+    }
+
+    /// Remove a service. Returns whether it existed.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.services.write().remove(name).is_some()
+    }
+
+    /// Names of currently registered services, sorted.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Whether `name` is registered.
+    pub fn has_service(&self, name: &str) -> bool {
+        self.services.read().contains_key(name)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Arc<dyn MessageHandler>> {
+        self.services.read().get(name).cloned()
+    }
+
+    /// Create a client transport bound to this host.
+    pub fn transport(&self, config: TransportConfig) -> Transport {
+        Transport {
+            host: self.clone(),
+            config,
+            clock: SimClock::new(),
+            stats: Arc::new(Mutex::new(TransportStats::default())),
+        }
+    }
+
+    /// Create a client transport sharing an existing virtual clock.
+    pub fn transport_with_clock(&self, config: TransportConfig, clock: SimClock) -> Transport {
+        Transport {
+            host: self.clone(),
+            config,
+            clock,
+            stats: Arc::new(Mutex::new(TransportStats::default())),
+        }
+    }
+}
+
+/// Client-side view of the network. Cheap to clone; clones share statistics and the clock.
+#[derive(Clone)]
+pub struct Transport {
+    host: ServiceHost,
+    config: TransportConfig,
+    clock: SimClock,
+    stats: Arc<Mutex<TransportStats>>,
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transport")
+            .field("mode", &self.config.mode)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Transport {
+    /// Send `request` to the service named in its `service` header and return the response.
+    pub fn call(&self, request: Envelope) -> WireResult<Envelope> {
+        let service_name = request
+            .service()
+            .ok_or_else(|| WireError::InvalidEnvelope("missing service header".into()))?
+            .to_string();
+
+        // Serialize and re-parse the request: this is what would cross the network.
+        let request_text = request.to_wire();
+        let request_bytes = request_text.len();
+        let decoded_request = Envelope::from_wire(&request_text)?;
+
+        let handler = match self.host.lookup(&service_name) {
+            Some(h) => h,
+            None => {
+                self.stats.lock().failures += 1;
+                return Err(WireError::UnknownService(service_name));
+            }
+        };
+
+        let response = match handler.handle(decoded_request) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.lock().failures += 1;
+                return Err(WireError::Fault { service: service_name, reason: e.to_string() });
+            }
+        };
+
+        let response_text = response.to_wire();
+        let response_bytes = response_text.len();
+        let decoded_response = Envelope::from_wire(&response_text)?;
+
+        let cost = self.config.latency.round_trip(request_bytes, response_bytes);
+        self.charge(cost);
+
+        let mut stats = self.stats.lock();
+        stats.calls += 1;
+        stats.bytes_sent += request_bytes as u64;
+        stats.bytes_received += response_bytes as u64;
+        stats.modelled_nanos += u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX);
+        if decoded_response.is_fault() {
+            stats.failures += 1;
+        }
+        drop(stats);
+
+        Ok(decoded_response)
+    }
+
+    /// The shared virtual clock (meaningful in [`LatencyMode::Virtual`]).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> TransportStats {
+        *self.stats.lock()
+    }
+
+    /// Reset traffic counters and the virtual clock.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = TransportStats::default();
+        self.clock.reset();
+    }
+
+    /// The host this transport routes through.
+    pub fn host(&self) -> &ServiceHost {
+        &self.host
+    }
+
+    /// The configured latency model.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.config.latency
+    }
+
+    fn charge(&self, cost: Duration) {
+        match self.config.mode {
+            LatencyMode::Sleep => {
+                if !cost.is_zero() {
+                    std::thread::sleep(cost);
+                }
+            }
+            LatencyMode::Virtual => self.clock.advance(cost),
+            LatencyMode::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::NetworkProfile;
+    use crate::xml::XmlElement;
+
+    struct Echo;
+    impl MessageHandler for Echo {
+        fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+            Ok(Envelope::response("echo").with_body(request.body))
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    fn host_with_echo() -> ServiceHost {
+        let host = ServiceHost::new();
+        host.register("echo", Arc::new(Echo));
+        host
+    }
+
+    #[test]
+    fn register_and_route() {
+        let host = host_with_echo();
+        assert!(host.has_service("echo"));
+        assert_eq!(host.service_names(), vec!["echo".to_string()]);
+        let transport = host.transport(TransportConfig::free());
+        let req =
+            Envelope::request("echo", "ping").with_body(XmlElement::new("data").text("hello"));
+        let resp = transport.call(req).unwrap();
+        assert_eq!(resp.body.text_content(), "hello");
+        assert_eq!(transport.stats().calls, 1);
+        assert!(transport.stats().bytes_sent > 0);
+    }
+
+    #[test]
+    fn unknown_service_is_an_error_and_counted() {
+        let host = ServiceHost::new();
+        let transport = host.transport(TransportConfig::free());
+        let err = transport.call(Envelope::request("nowhere", "x")).unwrap_err();
+        assert!(matches!(err, WireError::UnknownService(_)));
+        assert_eq!(transport.stats().failures, 1);
+        assert_eq!(transport.stats().calls, 0);
+    }
+
+    #[test]
+    fn handler_error_becomes_fault() {
+        let host = ServiceHost::new();
+        host.register(
+            "broken",
+            Arc::new(|_req: Envelope| -> WireResult<Envelope> {
+                Err(WireError::Payload("boom".into()))
+            }),
+        );
+        let transport = host.transport(TransportConfig::free());
+        let err = transport.call(Envelope::request("broken", "x")).unwrap_err();
+        assert!(matches!(err, WireError::Fault { .. }));
+        assert_eq!(transport.stats().failures, 1);
+    }
+
+    #[test]
+    fn virtual_latency_accumulates_on_clock() {
+        let host = host_with_echo();
+        let latency = NetworkProfile::Paper2005.latency_model();
+        let transport = host.transport(TransportConfig::virtual_time(latency));
+        for _ in 0..10 {
+            transport.call(Envelope::request("echo", "ping")).unwrap();
+        }
+        let stats = transport.stats();
+        assert_eq!(stats.calls, 10);
+        assert!(transport.clock().elapsed() >= Duration::from_millis(100));
+        assert_eq!(stats.modelled_time(), transport.clock().elapsed());
+        assert!(stats.mean_round_trip() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn sleeping_latency_actually_takes_time() {
+        let host = host_with_echo();
+        let latency = LatencyModel {
+            fixed: Duration::from_millis(2),
+            bandwidth_bytes_per_sec: None,
+            service_processing: Duration::ZERO,
+        };
+        let transport = host.transport(TransportConfig::sleeping(latency));
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            transport.call(Envelope::request("echo", "ping")).unwrap();
+        }
+        // 3 calls × 2 one-way messages × 2 ms fixed = at least 12 ms.
+        assert!(start.elapsed() >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn zero_cost_mode_charges_nothing() {
+        let host = host_with_echo();
+        let transport = host.transport(TransportConfig::free());
+        transport.call(Envelope::request("echo", "ping")).unwrap();
+        assert_eq!(transport.clock().elapsed(), Duration::ZERO);
+        assert_eq!(transport.stats().modelled_nanos, 0);
+    }
+
+    #[test]
+    fn clones_share_stats_and_clock() {
+        let host = host_with_echo();
+        let latency = NetworkProfile::FastLocal.latency_model();
+        let a = host.transport(TransportConfig::virtual_time(latency));
+        let b = a.clone();
+        a.call(Envelope::request("echo", "ping")).unwrap();
+        b.call(Envelope::request("echo", "ping")).unwrap();
+        assert_eq!(a.stats().calls, 2);
+        assert_eq!(b.stats().calls, 2);
+        assert_eq!(a.clock().elapsed(), b.clock().elapsed());
+        a.reset_stats();
+        assert_eq!(b.stats().calls, 0);
+    }
+
+    #[test]
+    fn deregister_removes_service() {
+        let host = host_with_echo();
+        assert!(host.deregister("echo"));
+        assert!(!host.deregister("echo"));
+        let transport = host.transport(TransportConfig::free());
+        assert!(transport.call(Envelope::request("echo", "ping")).is_err());
+    }
+
+    #[test]
+    fn concurrent_calls_from_many_threads() {
+        let host = host_with_echo();
+        let transport = host.transport(TransportConfig::free());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = transport.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    t.call(Envelope::request("echo", "ping")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(transport.stats().calls, 400);
+        assert_eq!(transport.stats().failures, 0);
+    }
+}

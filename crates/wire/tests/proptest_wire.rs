@@ -1,0 +1,90 @@
+//! Property tests: XML escaping, element serialization and envelope wire encoding must all be
+//! loss-free for arbitrary content, because p-assertions carry arbitrary user data (scripts,
+//! sequence fragments, command lines) that must survive storage and retrieval byte-for-byte.
+
+use proptest::prelude::*;
+
+use pasoa_wire::envelope::Envelope;
+use pasoa_wire::xml::{escape, unescape, XmlElement};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,12}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Include XML-hostile characters deliberately.
+    prop::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            prop::char::range('a', 'z'),
+            prop::char::range('0', '9'),
+            Just(' '),
+        ],
+        0..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = XmlElement> {
+    let leaf = (name_strategy(), text_strategy(), prop::collection::btree_map(name_strategy(), text_strategy(), 0..3))
+        .prop_map(|(name, text, attrs)| {
+            let mut el = XmlElement::new(name);
+            el.attributes = attrs;
+            if !text.is_empty() {
+                el.push_text(text);
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..4), text_strategy()).prop_map(
+            |(name, children, text)| {
+                let mut el = XmlElement::new(name);
+                for c in children {
+                    el.push_child(c);
+                }
+                if !text.is_empty() {
+                    el.push_text(text);
+                }
+                el
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_roundtrip(text in text_strategy()) {
+        prop_assert_eq!(unescape(&escape(&text)).unwrap(), text);
+    }
+
+    #[test]
+    fn element_roundtrip(el in element_strategy()) {
+        let xml = el.to_xml();
+        let parsed = XmlElement::parse(&xml).unwrap();
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn envelope_roundtrip(
+        body in element_strategy(),
+        service in name_strategy(),
+        action in name_strategy(),
+        msg_id in name_strategy(),
+    ) {
+        let env = Envelope::request(&service, &action)
+            .with_header("message-id", msg_id)
+            .with_body(body);
+        let text = env.to_wire();
+        let parsed = Envelope::from_wire(&text).unwrap();
+        prop_assert_eq!(parsed, env);
+    }
+
+    #[test]
+    fn encoded_size_bounds_actual_size(el in element_strategy()) {
+        prop_assert!(el.encoded_size() >= el.to_xml().len());
+    }
+}

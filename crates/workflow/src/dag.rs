@@ -1,0 +1,319 @@
+//! Workflow definitions: DAGs of named activity nodes.
+//!
+//! This plays the role of the VDL/DAGMan workflow description: nodes name the activity they
+//! invoke, edges carry data from a producer node to a consumer node. The definition is
+//! validated (unknown nodes, cycles) before execution, and the engine consumes the topological
+//! ordering computed here.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use crate::activity::Activity;
+
+/// Identifier of a node within one workflow definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub String);
+
+impl NodeId {
+    /// Create a node id.
+    pub fn new(name: impl Into<String>) -> Self {
+        NodeId(name.into())
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Errors raised while building or validating a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// A node id was used twice.
+    DuplicateNode(String),
+    /// An edge refers to a node that does not exist.
+    UnknownNode(String),
+    /// The graph contains a cycle.
+    Cycle,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::DuplicateNode(n) => write!(f, "duplicate node id: {n}"),
+            WorkflowError::UnknownNode(n) => write!(f, "edge refers to unknown node: {n}"),
+            WorkflowError::Cycle => write!(f, "workflow contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// A workflow definition.
+pub struct Workflow {
+    /// Human-readable name (recorded as a `workflow` actor-state p-assertion).
+    pub name: String,
+    nodes: BTreeMap<NodeId, Arc<dyn Activity>>,
+    /// Edges: consumer → producers (in the order inputs should be presented).
+    inputs: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl Workflow {
+    /// Create an empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow { name: name.into(), nodes: BTreeMap::new(), inputs: BTreeMap::new() }
+    }
+
+    /// Add a node invoking `activity`.
+    pub fn add_node(
+        &mut self,
+        id: impl Into<String>,
+        activity: Arc<dyn Activity>,
+    ) -> Result<NodeId, WorkflowError> {
+        let id = NodeId::new(id);
+        if self.nodes.contains_key(&id) {
+            return Err(WorkflowError::DuplicateNode(id.0));
+        }
+        self.nodes.insert(id.clone(), activity);
+        self.inputs.entry(id.clone()).or_default();
+        Ok(id)
+    }
+
+    /// Declare that `consumer` takes the outputs of `producer` as (part of) its inputs.
+    pub fn add_edge(&mut self, producer: &NodeId, consumer: &NodeId) -> Result<(), WorkflowError> {
+        if !self.nodes.contains_key(producer) {
+            return Err(WorkflowError::UnknownNode(producer.0.clone()));
+        }
+        if !self.nodes.contains_key(consumer) {
+            return Err(WorkflowError::UnknownNode(consumer.0.clone()));
+        }
+        self.inputs.entry(consumer.clone()).or_default().push(producer.clone());
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.inputs.values().map(|v| v.len()).sum()
+    }
+
+    /// The activity bound to a node.
+    pub fn activity(&self, id: &NodeId) -> Option<Arc<dyn Activity>> {
+        self.nodes.get(id).cloned()
+    }
+
+    /// The producers feeding a node, in declaration order.
+    pub fn producers(&self, id: &NodeId) -> &[NodeId] {
+        self.inputs.get(id).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All node ids, sorted.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// Nodes with no outgoing edges (the workflow results).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        let mut has_consumer: BTreeSet<&NodeId> = BTreeSet::new();
+        for producers in self.inputs.values() {
+            for p in producers {
+                has_consumer.insert(p);
+            }
+        }
+        self.nodes.keys().filter(|id| !has_consumer.contains(id)).cloned().collect()
+    }
+
+    /// Topological levels: level 0 contains the sources; every node appears in the first level
+    /// after all of its producers. Nodes within one level are independent and may run in
+    /// parallel. Returns [`WorkflowError::Cycle`] if the graph is cyclic.
+    pub fn levels(&self) -> Result<Vec<Vec<NodeId>>, WorkflowError> {
+        let mut indegree: BTreeMap<NodeId, usize> =
+            self.nodes.keys().map(|id| (id.clone(), 0)).collect();
+        let mut consumers: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (consumer, producers) in &self.inputs {
+            for producer in producers {
+                *indegree.get_mut(consumer).expect("validated") += 1;
+                consumers.entry(producer.clone()).or_default().push(consumer.clone());
+            }
+        }
+        let mut current: Vec<NodeId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(id, _)| id.clone())
+            .collect();
+        let mut levels = Vec::new();
+        let mut seen = 0usize;
+        while !current.is_empty() {
+            seen += current.len();
+            let mut next = Vec::new();
+            for node in &current {
+                if let Some(cs) = consumers.get(node) {
+                    for consumer in cs {
+                        let d = indegree.get_mut(consumer).expect("validated");
+                        *d -= 1;
+                        if *d == 0 {
+                            next.push(consumer.clone());
+                        }
+                    }
+                }
+            }
+            levels.push(std::mem::take(&mut current));
+            current = next;
+        }
+        if seen != self.nodes.len() {
+            return Err(WorkflowError::Cycle);
+        }
+        Ok(levels)
+    }
+
+    /// A flat topological order (concatenation of the levels).
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, WorkflowError> {
+        Ok(self.levels()?.into_iter().flatten().collect())
+    }
+
+    /// A textual description of the graph structure, recorded as the `workflow` actor-state
+    /// p-assertion for the session.
+    pub fn describe(&self) -> String {
+        let mut out = format!("workflow {}\n", self.name);
+        for (consumer, producers) in &self.inputs {
+            if producers.is_empty() {
+                out.push_str(&format!("  {consumer} <- (source)\n"));
+            } else {
+                let names: Vec<&str> = producers.iter().map(|p| p.as_str()).collect();
+                out.push_str(&format!("  {consumer} <- {}\n", names.join(", ")));
+            }
+        }
+        out
+    }
+
+    /// Breadth-first reachability from `start` following data-flow edges forwards.
+    pub fn reachable_from(&self, start: &NodeId) -> BTreeSet<NodeId> {
+        let mut consumers: BTreeMap<&NodeId, Vec<&NodeId>> = BTreeMap::new();
+        for (consumer, producers) in &self.inputs {
+            for producer in producers {
+                consumers.entry(producer).or_default().push(consumer);
+            }
+        }
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start.clone());
+        while let Some(node) = queue.pop_front() {
+            if !out.insert(node.clone()) {
+                continue;
+            }
+            if let Some(cs) = consumers.get(&node) {
+                for c in cs {
+                    queue.push_back((*c).clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::FnActivity;
+    use crate::data::DataItem;
+
+    fn noop(name: &str) -> Arc<dyn Activity> {
+        let name_owned = name.to_string();
+        Arc::new(FnActivity::new(name, format!("run {name}"), move |inputs, ctx| {
+            let _ = &name_owned;
+            Ok(vec![DataItem::new(ctx.ids.data_id(), "out", inputs.len().to_le_bytes().to_vec())])
+        }))
+    }
+
+    fn diamond() -> (Workflow, NodeId, NodeId, NodeId, NodeId) {
+        let mut wf = Workflow::new("diamond");
+        let a = wf.add_node("a", noop("a")).unwrap();
+        let b = wf.add_node("b", noop("b")).unwrap();
+        let c = wf.add_node("c", noop("c")).unwrap();
+        let d = wf.add_node("d", noop("d")).unwrap();
+        wf.add_edge(&a, &b).unwrap();
+        wf.add_edge(&a, &c).unwrap();
+        wf.add_edge(&b, &d).unwrap();
+        wf.add_edge(&c, &d).unwrap();
+        (wf, a, b, c, d)
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let (wf, a, b, _c, d) = diamond();
+        assert_eq!(wf.node_count(), 4);
+        assert_eq!(wf.edge_count(), 4);
+        assert_eq!(wf.producers(&d).len(), 2);
+        assert_eq!(wf.producers(&a).len(), 0);
+        assert!(wf.activity(&b).is_some());
+        assert!(wf.activity(&NodeId::new("zz")).is_none());
+        assert_eq!(wf.sinks(), vec![d.clone()]);
+        assert!(wf.describe().contains("diamond"));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_nodes_rejected() {
+        let mut wf = Workflow::new("bad");
+        let a = wf.add_node("a", noop("a")).unwrap();
+        assert_eq!(wf.add_node("a", noop("a")).unwrap_err(), WorkflowError::DuplicateNode("a".into()));
+        assert_eq!(
+            wf.add_edge(&a, &NodeId::new("ghost")).unwrap_err(),
+            WorkflowError::UnknownNode("ghost".into())
+        );
+        assert_eq!(
+            wf.add_edge(&NodeId::new("ghost"), &a).unwrap_err(),
+            WorkflowError::UnknownNode("ghost".into())
+        );
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let (wf, a, b, c, d) = diamond();
+        let levels = wf.levels().unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![a.clone()]);
+        let mid: BTreeSet<_> = levels[1].iter().cloned().collect();
+        assert_eq!(mid, BTreeSet::from([b.clone(), c.clone()]));
+        assert_eq!(levels[2], vec![d.clone()]);
+        let order = wf.topological_order().unwrap();
+        let pos = |n: &NodeId| order.iter().position(|x| x == n).unwrap();
+        assert!(pos(&a) < pos(&b) && pos(&b) < pos(&d) && pos(&c) < pos(&d));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut wf = Workflow::new("cyclic");
+        let a = wf.add_node("a", noop("a")).unwrap();
+        let b = wf.add_node("b", noop("b")).unwrap();
+        wf.add_edge(&a, &b).unwrap();
+        wf.add_edge(&b, &a).unwrap();
+        assert_eq!(wf.levels().unwrap_err(), WorkflowError::Cycle);
+        assert_eq!(wf.topological_order().unwrap_err(), WorkflowError::Cycle);
+    }
+
+    #[test]
+    fn reachability_follows_data_flow() {
+        let (wf, a, b, _c, d) = diamond();
+        let from_a = wf.reachable_from(&a);
+        assert_eq!(from_a.len(), 4);
+        let from_b = wf.reachable_from(&b);
+        assert_eq!(from_b, BTreeSet::from([b.clone(), d.clone()]));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WorkflowError::Cycle.to_string().contains("cycle"));
+        assert!(WorkflowError::DuplicateNode("x".into()).to_string().contains('x'));
+        assert!(WorkflowError::UnknownNode("y".into()).to_string().contains('y'));
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerate Figure 5 ("Execution Comparison and Semantic Validity"): reasoning time against
+//! the number of interaction records in the provenance store.
+//!
+//! ```sh
+//! cargo run --release --example figure5_usecases             # reduced scale
+//! cargo run --release --example figure5_usecases -- --full   # paper-scale store sizes (up to 4000 records)
+//! ```
+
+use pasoa::usecases::figure5::{Figure5Deployment, Figure5Series};
+use pasoa::wire::NetworkProfile;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let counts: Vec<usize> = if full {
+        vec![500, 1000, 1500, 2000, 2500, 3000, 3500, 4000]
+    } else {
+        vec![50, 100, 200, 400]
+    };
+
+    println!(
+        "Figure 5 — Execution Comparison and Semantic Validity ({} scale)",
+        if full { "paper" } else { "reduced" }
+    );
+    let deployment = Figure5Deployment::new(NetworkProfile::Paper2005.latency_model());
+    let series = Figure5Series::collect(&deployment, &counts);
+    println!("{}", series.render_table());
+    println!("script comparison linearity r   = {:.4}", series.linearity(false));
+    println!("semantic validity linearity r   = {:.4}", series.linearity(true));
+    println!("semantic/comparison slope ratio = {:.2} (paper: ~11)", series.slope_ratio());
+    println!(
+        "mean per-record script retrieval = {:.2} ms (paper: ~15 ms on 2005 hardware)",
+        series.mean_script_retrieval().as_secs_f64() * 1e3
+    );
+}

@@ -1,0 +1,68 @@
+//! Use case 1 — execution comparison.
+//!
+//! A bioinformatician runs the compressibility experiment twice on the same data and the
+//! results differ. Was an algorithm or its configuration changed between the runs? This example
+//! runs the experiment twice with different compressor settings recorded in the scripts, then
+//! uses the script categoriser to pinpoint which service changed.
+//!
+//! ```sh
+//! cargo run --release --example provenance_comparison
+//! ```
+
+use pasoa::experiment::{ExperimentConfig, ExperimentRunner, RunRecording, StoreDeployment};
+use pasoa::usecases::ScriptCategorizer;
+use pasoa::wire::{NetworkProfile, TransportConfig};
+use pasoa_bioseq::grouping::StandardGrouping;
+
+fn main() {
+    let deployment =
+        StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
+    let runner = ExperimentRunner::new(deployment);
+
+    // Run 1: Dayhoff-6 grouping.
+    let run1 = runner.run(&ExperimentConfig {
+        grouping: StandardGrouping::Dayhoff6,
+        ..ExperimentConfig::small(10, RunRecording::Synchronous)
+    });
+    // Run 2: same data, but the encoder was reconfigured to the hydrophobic/polar grouping.
+    let run2 = runner.run(&ExperimentConfig {
+        grouping: StandardGrouping::HydrophobicPolar2,
+        ..ExperimentConfig::small(10, RunRecording::Synchronous)
+    });
+
+    println!("run 1 session: {}", run1.session);
+    println!("run 2 session: {}", run2.session);
+    for (label, report) in [("run 1", &run1), ("run 2", &run2)] {
+        for r in &report.results {
+            println!(
+                "  {label} {:>6}: relative compressibility {:.4}",
+                r.method.name(),
+                r.relative_compressibility
+            );
+        }
+    }
+
+    // The results differ — ask the provenance store why.
+    let transport = runner.deployment().host.transport(TransportConfig::free());
+    let categorizer = ScriptCategorizer::new(transport);
+    let (categories, report) = categorizer
+        .compare_sessions(run1.session.as_str(), run2.session.as_str())
+        .expect("store reachable");
+
+    println!();
+    println!(
+        "inspected {} interaction records with {} store calls",
+        categories.interactions_inspected, categories.store_calls
+    );
+    println!("services with identical scripts across both runs: {:?}", report.identical);
+    for (service, script_a, script_b) in &report.differing {
+        println!("service '{service}' changed between the runs:");
+        println!("  run 1: {script_a}");
+        println!("  run 2: {script_b}");
+    }
+    if report.same_process() {
+        println!("the two runs used the same scientific process");
+    } else {
+        println!("=> the difference in results is explained by a configuration change");
+    }
+}

@@ -1,0 +1,133 @@
+//! Use case 2 — semantic validation.
+//!
+//! A reviewer wants to know whether a FASTA sequence processed by the experiment really was a
+//! protein sequence. Nucleotide one-letter codes are a subset of amino-acid codes, so feeding
+//! DNA through the protein pipeline raises no syntactic error; only comparing the semantic
+//! types recorded in provenance against the registry's service annotations can reveal the slip.
+//!
+//! ```sh
+//! cargo run --release --example semantic_validation
+//! ```
+
+use std::sync::Arc;
+
+use pasoa::model::ids::{ActorId, DataId, IdGenerator, MessageId, SessionId};
+use pasoa::model::passertion::{
+    InteractionPAssertion, PAssertion, PAssertionContent, RecordedAssertion, ViewKind,
+};
+use pasoa::model::prep::{PrepMessage, RecordMessage};
+use pasoa::preserv::PreservService;
+use pasoa::registry::description::{Operation, PartPath, ServiceDescription};
+use pasoa::registry::ontology::{types, SemanticType};
+use pasoa::registry::registry::Registry;
+use pasoa::registry::service::RegistryService;
+use pasoa::usecases::SemanticValidator;
+use pasoa::wire::{Envelope, ServiceHost, TransportConfig};
+
+fn record(host: &ServiceHost, assertion: PAssertion, ids: &IdGenerator) {
+    let message = PrepMessage::Record(RecordMessage {
+        message_id: MessageId::new(format!("message:{}", ids.issued())),
+        asserter: ActorId::new("example"),
+        assertions: vec![RecordedAssertion {
+            session: SessionId::new("session:review"),
+            assertion,
+        }],
+    });
+    let envelope = Envelope::request(pasoa::model::PROVENANCE_STORE_SERVICE, message.action())
+        .with_json_payload(&message)
+        .unwrap();
+    host.transport(TransportConfig::free()).call(envelope).unwrap();
+}
+
+fn main() {
+    // Deploy store + registry.
+    let host = ServiceHost::new();
+    let preserv = Arc::new(PreservService::in_memory().unwrap());
+    preserv.register(&host);
+    let registry = Arc::new(Registry::for_compressibility());
+    Arc::new(RegistryService::new(Arc::clone(&registry))).register(&host);
+
+    // Describe and annotate the two services involved.
+    registry.publish(
+        ServiceDescription::new("refseq-download", "fetch a sequence from the database")
+            .operation(Operation::new("fetch").input("accession", "string").output("sequence", "text")),
+    );
+    registry
+        .annotate_part(
+            PartPath::output("refseq-download", "fetch", "sequence"),
+            SemanticType::new(types::NUCLEOTIDE_SEQUENCE),
+        )
+        .unwrap();
+    registry.publish(
+        ServiceDescription::new("encode-by-groups", "recode an amino-acid sample")
+            .operation(Operation::new("encode").input("sample", "text").output("encoded", "text")),
+    );
+    registry
+        .annotate_part(
+            PartPath::input("encode-by-groups", "encode", "sample"),
+            SemanticType::new(types::AMINO_ACID_SEQUENCE),
+        )
+        .unwrap();
+    registry
+        .annotate_part(
+            PartPath::output("encode-by-groups", "encode", "encoded"),
+            SemanticType::new(types::GROUP_ENCODED_SAMPLE),
+        )
+        .unwrap();
+
+    // The provenance trace: the download service returned data:seq42 (which is DNA), and the
+    // group encoder later consumed it — the experiment ran to completion without any error.
+    let ids = IdGenerator::new("review");
+    record(
+        &host,
+        PAssertion::Interaction(InteractionPAssertion {
+            interaction_key: ids.interaction_key(),
+            asserter: ActorId::new("refseq-download"),
+            view: ViewKind::Sender,
+            sender: ActorId::new("refseq-download"),
+            receiver: ActorId::new("workflow-engine"),
+            operation: "fetch-response".into(),
+            content: PAssertionContent::text(">NC_000913 ...\nACGTACGTACGT"),
+            data_ids: vec![DataId::new("data:seq42")],
+        }),
+        &ids,
+    );
+    record(
+        &host,
+        PAssertion::Interaction(InteractionPAssertion {
+            interaction_key: ids.interaction_key(),
+            asserter: ActorId::new("workflow-engine"),
+            view: ViewKind::Sender,
+            sender: ActorId::new("workflow-engine"),
+            receiver: ActorId::new("encode-by-groups"),
+            operation: "encode".into(),
+            content: PAssertionContent::text("encode data:seq42 with dayhoff-6"),
+            data_ids: vec![DataId::new("data:seq42")],
+        }),
+        &ids,
+    );
+
+    // The reviewer validates the trace post-hoc.
+    let validator = SemanticValidator::new(
+        host.transport(TransportConfig::free()),
+        host.transport(TransportConfig::free()),
+    );
+    let report = validator.validate_store().expect("store and registry reachable");
+
+    println!("interactions checked : {}", report.interactions_checked);
+    println!("data flows checked   : {}", report.flows_checked);
+    println!("store calls          : {}", report.store_calls);
+    println!("registry calls       : {}", report.registry_calls);
+    if report.is_valid() {
+        println!("the execution is semantically valid");
+    } else {
+        println!("semantic violations detected:");
+        for v in &report.violations {
+            println!(
+                "  {} received {} of type {} where {} was expected",
+                v.service, v.data, v.produced_type, v.expected_type
+            );
+        }
+        println!("=> the workflow silently processed a nucleotide sequence as if it were protein");
+    }
+}

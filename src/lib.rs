@@ -1,0 +1,42 @@
+//! # pasoa — reproduction of "Recording and Using Provenance in a Protein Compressibility Experiment"
+//!
+//! This facade crate re-exports the workspace members so applications can depend on a single
+//! crate:
+//!
+//! * [`model`] (`pasoa-core`) — p-assertions, groups, the PReP protocol and recording clients;
+//! * [`preserv`] — the provenance store service with memory / file / database backends;
+//! * [`registry`] — the Grimoires-style semantic registry;
+//! * [`wire`] — envelopes, the simulated transport and latency models;
+//! * [`kvdb`] — the embedded key-value store backing the database backend;
+//! * [`compress`] — gzip-, bzip2- and ppm-class codecs;
+//! * [`bioseq`] — sequences, group codings, shuffling and synthetic data;
+//! * [`workflow`] — the DAG workflow engine with provenance hooks;
+//! * [`experiment`] — the protein compressibility experiment and the Figure 4 harness;
+//! * [`usecases`] — execution comparison, semantic validation and the Figure 5 harness.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: run the experiment, record provenance,
+//! then reason over it.
+
+pub use pasoa_bioseq as bioseq;
+pub use pasoa_compress as compress;
+pub use pasoa_core as model;
+pub use pasoa_experiment as experiment;
+pub use pasoa_kvdb as kvdb;
+pub use pasoa_preserv as preserv;
+pub use pasoa_registry as registry;
+pub use pasoa_usecases as usecases;
+pub use pasoa_wire as wire;
+pub use pasoa_workflow as workflow;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // Touch one item from each re-export so a missing wiring fails to compile.
+        let _ = crate::model::PROVENANCE_STORE_SERVICE;
+        let _ = crate::compress::Method::ALL;
+        let _ = crate::bioseq::AMINO_ACIDS;
+        let _ = crate::wire::LatencyModel::zero();
+        let _ = crate::experiment::RunRecording::ALL;
+    }
+}

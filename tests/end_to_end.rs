@@ -1,0 +1,99 @@
+//! Integration tests spanning the whole stack: experiment → PReP → PReServ → use cases.
+
+use std::sync::Arc;
+
+use pasoa::experiment::{ExperimentConfig, ExperimentRunner, RunRecording, StoreDeployment};
+use pasoa::model::prep::{PrepMessage, QueryRequest, QueryResponse};
+use pasoa::preserv::{LineageGraph, PreservService};
+use pasoa::usecases::ScriptCategorizer;
+use pasoa::wire::{Envelope, NetworkProfile, ServiceHost, TransportConfig};
+use pasoa_bioseq::grouping::StandardGrouping;
+
+#[test]
+fn experiment_records_queryable_coherent_provenance() {
+    let deployment =
+        StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false);
+    let runner = ExperimentRunner::new(deployment);
+    let report = runner.run(&ExperimentConfig::small(6, RunRecording::Synchronous));
+
+    let store = runner.deployment().service.store();
+    // Every recorded assertion is retrievable through the session query.
+    let assertions = store.assertions_for_session(&report.session).unwrap();
+    assert_eq!(assertions.len() as u64, report.passertions);
+
+    // The wire-level query interface agrees with the in-process API.
+    let transport = runner.deployment().host.transport(TransportConfig::free());
+    let query = PrepMessage::Query(QueryRequest::BySession(report.session.clone()));
+    let envelope = Envelope::request(pasoa::model::PROVENANCE_STORE_SERVICE, query.action())
+        .with_json_payload(&query)
+        .unwrap();
+    let response: QueryResponse = transport.call(envelope).unwrap().json_payload().unwrap();
+    match response {
+        QueryResponse::Assertions(found) => assert_eq!(found.len(), assertions.len()),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // The lineage of the run links sizes back to permutations.
+    let graph = LineageGraph::trace_session(&store, &report.session).unwrap();
+    assert!(!graph.is_empty());
+    let sizes_node = graph.nodes.keys().find(|k| k.contains("data:sizes")).unwrap().clone();
+    let node = &graph.nodes[&sizes_node];
+    assert!(node.derived_from.iter().any(|d| d.as_str().contains("data:permutation")));
+}
+
+#[test]
+fn two_runs_with_different_groupings_are_distinguishable_from_provenance_alone() {
+    let deployment =
+        StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false);
+    let runner = ExperimentRunner::new(deployment);
+    let run_a = runner.run(&ExperimentConfig {
+        grouping: StandardGrouping::Dayhoff6,
+        ..ExperimentConfig::small(4, RunRecording::Asynchronous)
+    });
+    let run_b = runner.run(&ExperimentConfig {
+        grouping: StandardGrouping::Murphy10,
+        ..ExperimentConfig::small(4, RunRecording::Asynchronous)
+    });
+    assert_ne!(run_a.session, run_b.session);
+
+    let transport = runner.deployment().host.transport(TransportConfig::free());
+    let categorizer = ScriptCategorizer::new(transport);
+    let (_, comparison) =
+        categorizer.compare_sessions(run_a.session.as_str(), run_b.session.as_str()).unwrap();
+    assert!(!comparison.same_process());
+    assert!(
+        comparison.differing.iter().any(|(service, _, _)| service == "encode-by-groups"),
+        "the encoder's changed grouping must be visible: {comparison:?}"
+    );
+}
+
+#[test]
+fn provenance_survives_store_redeployment_on_the_database_backend() {
+    let dir = std::env::temp_dir().join(format!("pasoa-e2e-db-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let session;
+    let expected;
+    {
+        let host = ServiceHost::new();
+        let service = Arc::new(PreservService::with_database_backend(&dir).unwrap());
+        service.register(&host);
+        let deployment = StoreDeployment {
+            host,
+            service: Arc::clone(&service),
+            latency: NetworkProfile::InProcess.latency_model(),
+            sleep_latency: false,
+        };
+        let runner = ExperimentRunner::new(deployment);
+        let report = runner.run(&ExperimentConfig::small(3, RunRecording::Synchronous));
+        session = report.session.clone();
+        expected = report.passertions;
+        service.store().sync().unwrap();
+    }
+
+    // Redeploy over the same directory: everything is still there.
+    let service = PreservService::with_database_backend(&dir).unwrap();
+    let recovered = service.store().assertions_for_session(&session).unwrap();
+    assert_eq!(recovered.len() as u64, expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
