@@ -81,7 +81,9 @@ fn bench_backend_ablation(c: &mut Criterion) {
                         recorder
                             .record(interaction_assertion(&session, key.clone(), i).assertion)
                             .unwrap();
-                        recorder.record(script_assertion(&session, key, i).assertion).unwrap();
+                        recorder
+                            .record(script_assertion(&session, key, i).assertion)
+                            .unwrap();
                     }
                     recorder.flush().unwrap();
                 },
@@ -155,7 +157,9 @@ fn bench_batch_size_ablation(c: &mut Criterion) {
                 let session = SessionId::new("session:batch");
                 for i in 0..96 {
                     let key = ids.interaction_key();
-                    recorder.record(interaction_assertion(&session, key, i).assertion).unwrap();
+                    recorder
+                        .record(interaction_assertion(&session, key, i).assertion)
+                        .unwrap();
                 }
                 recorder.flush().unwrap();
             })

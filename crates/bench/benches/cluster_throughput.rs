@@ -1,0 +1,133 @@
+//! E6 — sharded store tier: recording throughput of the single synchronous store vs. the
+//! batched shard cluster at fixed client concurrency (8 concurrent recorders).
+//!
+//! The single-store configuration ships one `Record` message per p-assertion, as the paper's
+//! synchronous mode does; the cluster configurations ship client-side batches that the shard
+//! router re-batches per shard. On the `memory` backend the comparison isolates routing and
+//! serialization overheads; on the `database` backend — the configuration the paper's
+//! evaluation uses — the cluster additionally turns per-assertion log appends into
+//! `WriteBatch` group commits spread over independent shard logs, which is where batched
+//! sharded recording overtakes the single synchronous store. The closing summary prints
+//! assertions/second and the speedup over single-sync on the database backend.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use pasoa_cluster::{LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa_preserv::PreservService;
+use pasoa_wire::ServiceHost;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory, removed on drop.
+struct TempDirGuard {
+    path: PathBuf,
+}
+
+impl TempDirGuard {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "pasoa-bench-cluster-{tag}-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDirGuard { path }
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn single_host(database: bool) -> (ServiceHost, Option<TempDirGuard>) {
+    let host = ServiceHost::new();
+    if database {
+        let guard = TempDirGuard::new("single");
+        let service = Arc::new(PreservService::with_database_backend(&guard.path).unwrap());
+        service.register(&host);
+        (host, Some(guard))
+    } else {
+        let service = Arc::new(PreservService::in_memory().unwrap());
+        service.register(&host);
+        (host, None)
+    }
+}
+
+fn cluster_host(shards: usize, database: bool) -> (ServiceHost, Option<TempDirGuard>) {
+    let host = ServiceHost::new();
+    if database {
+        let guard = TempDirGuard::new("cluster");
+        let _cluster = PreservCluster::deploy_database(&host, &guard.path, shards).unwrap();
+        (host, Some(guard))
+    } else {
+        let _cluster = PreservCluster::deploy_in_memory(&host, shards).unwrap();
+        (host, None)
+    }
+}
+
+fn load_config(batch_size: usize) -> LoadGenConfig {
+    LoadGenConfig {
+        clients: CLIENTS,
+        sessions_per_client: 2,
+        assertions_per_session: 64,
+        batch_size,
+        payload_bytes: 128,
+        ..Default::default()
+    }
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    for (backend, database) in [("memory", false), ("database", true)] {
+        let mut group = c.benchmark_group(format!("E6_cluster_recording_{backend}"));
+        group.sample_size(10);
+
+        group.bench_function(BenchmarkId::new("single_store_synchronous", CLIENTS), |b| {
+            b.iter_batched(
+                || single_host(database),
+                |(host, _guard)| LoadGenerator::new(host, load_config(1)).run(),
+                BatchSize::SmallInput,
+            )
+        });
+
+        for shards in [2usize, 4, 8] {
+            group.bench_function(BenchmarkId::new("sharded_batched", shards), |b| {
+                b.iter_batched(
+                    || cluster_host(shards, database),
+                    |(host, _guard)| LoadGenerator::new(host, load_config(16)).run(),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+
+    // Closing summary on the database backend (the paper's evaluation configuration): one
+    // full run per deployment, reported as assertions/second.
+    let (host, _guard) = single_host(true);
+    let single = LoadGenerator::new(host, load_config(1)).run();
+    println!(
+        "[E6] db single store, synchronous ({CLIENTS} clients): {:>9.0} assertions/s  (p99 {:?})",
+        single.throughput_per_sec, single.latency_p99
+    );
+    for shards in [2usize, 4, 8] {
+        let (host, _guard) = cluster_host(shards, true);
+        let report = LoadGenerator::new(host, load_config(16)).run();
+        println!(
+            "[E6] db {shards}-shard cluster, batched    ({CLIENTS} clients): {:>9.0} \
+             assertions/s  (p99 {:?}, {:.1}x vs single sync)",
+            report.throughput_per_sec,
+            report.latency_p99,
+            report.throughput_per_sec / single.throughput_per_sec.max(1e-9)
+        );
+    }
+}
+
+criterion_group!(benches, bench_cluster_throughput);
+criterion_main!(benches);

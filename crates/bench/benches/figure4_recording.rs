@@ -33,7 +33,11 @@ fn bench_figure4(c: &mut Criterion) {
                         false,
                     );
                     let runner = ExperimentRunner::new(deployment);
-                    let config = ExperimentConfig { permutations, recording, ..base_config() };
+                    let config = ExperimentConfig {
+                        permutations,
+                        recording,
+                        ..base_config()
+                    };
                     runner.run(&config)
                 })
             });
@@ -42,8 +46,7 @@ fn bench_figure4(c: &mut Criterion) {
     group.finish();
 
     // One full grid, printed as the Figure 4 table with the paper's observation checks.
-    let deployment =
-        StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
+    let deployment = StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
     let series = Figure4Series::collect(deployment, &[10, 20, 30], &base_config());
     println!("\n[E2] Figure 4 (reduced scale)\n{}", series.render_table());
     for recording in RunRecording::ALL {

@@ -52,7 +52,10 @@ fn bench_figure5(c: &mut Criterion) {
     // The figure itself, with the paper's latency model charged virtually.
     let deployment = Figure5Deployment::new(NetworkProfile::Paper2005.latency_model());
     let series = Figure5Series::collect(&deployment, &[50, 100, 200, 400]);
-    println!("\n[E3/E4] Figure 5 (reduced scale)\n{}", series.render_table());
+    println!(
+        "\n[E3/E4] Figure 5 (reduced scale)\n{}",
+        series.render_table()
+    );
     println!(
         "[E3/E4] linearity: comparison r = {:.4}, semantic r = {:.4}",
         series.linearity(false),

@@ -86,8 +86,9 @@ fn bench_record_roundtrip(c: &mut Criterion) {
     // The paper-2005 deployment model (latency charged virtually): the modelled per-message
     // cost is what the paper's ~18 ms corresponds to.
     let (host, _service, _guard) = deploy("memory");
-    let transport = host
-        .transport(TransportConfig::virtual_time(NetworkProfile::Paper2005.latency_model()));
+    let transport = host.transport(TransportConfig::virtual_time(
+        NetworkProfile::Paper2005.latency_model(),
+    ));
     let ids = IdGenerator::new("bench-paper");
     let mut n = 0usize;
     group.bench_function("record_one_message/paper2005_modelled", |b| {

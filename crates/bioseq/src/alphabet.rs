@@ -7,8 +7,8 @@
 
 /// The 20 standard amino-acid one-letter codes, in alphabetical order.
 pub const AMINO_ACIDS: [u8; 20] = [
-    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
-    b'S', b'T', b'V', b'W', b'Y',
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R', b'S',
+    b'T', b'V', b'W', b'Y',
 ];
 
 /// The four DNA nucleotide codes.
@@ -90,7 +90,11 @@ mod tests {
     fn nucleotides_are_subset_of_amino_acids() {
         // This inclusion is the root cause of the paper's semantic-validity use case.
         for &n in &NUCLEOTIDES {
-            assert!(AMINO_ACIDS.contains(&n), "nucleotide {} not an amino-acid code", n as char);
+            assert!(
+                AMINO_ACIDS.contains(&n),
+                "nucleotide {} not an amino-acid code",
+                n as char
+            );
         }
     }
 

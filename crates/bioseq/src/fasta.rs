@@ -17,7 +17,11 @@ pub struct FastaError {
 
 impl std::fmt::Display for FastaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "FASTA parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "FASTA parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -40,7 +44,10 @@ pub fn parse_fasta(text: &str) -> Result<Vec<Sequence>, FastaError> {
             }
             let header = header.trim();
             if header.is_empty() {
-                return Err(FastaError { line: line_no, reason: "empty header".into() });
+                return Err(FastaError {
+                    line: line_no,
+                    reason: "empty header".into(),
+                });
             }
             let (id, desc) = match header.split_once(char::is_whitespace) {
                 Some((id, desc)) => (id.to_string(), desc.trim().to_string()),

@@ -59,7 +59,11 @@ impl GroupCoding {
         let mut seen = BTreeMap::new();
         let normalized: Vec<Vec<u8>> = groups
             .into_iter()
-            .map(|g| g.into_iter().map(|r| r.to_ascii_uppercase()).collect::<Vec<u8>>())
+            .map(|g| {
+                g.into_iter()
+                    .map(|r| r.to_ascii_uppercase())
+                    .collect::<Vec<u8>>()
+            })
             .collect();
         for (gi, group) in normalized.iter().enumerate() {
             for &residue in group {
@@ -68,13 +72,19 @@ impl GroupCoding {
                 }
             }
         }
-        Ok(GroupCoding { name: name.into(), groups: normalized })
+        Ok(GroupCoding {
+            name: name.into(),
+            groups: normalized,
+        })
     }
 
     /// Parse a coding from a compact specification such as `"AGPST|C|DENQ|FWY|HKR|ILMV"`.
     pub fn from_spec(name: impl Into<String>, spec: &str) -> Result<Self, GroupingError> {
-        let groups: Vec<Vec<u8>> =
-            spec.split('|').map(|g| g.trim().bytes().collect()).filter(|g: &Vec<u8>| !g.is_empty()).collect();
+        let groups: Vec<Vec<u8>> = spec
+            .split('|')
+            .map(|g| g.trim().bytes().collect())
+            .filter(|g: &Vec<u8>| !g.is_empty())
+            .collect();
         Self::new(name, groups)
     }
 
@@ -169,9 +179,7 @@ impl StandardGrouping {
     /// The compact group specification.
     pub fn spec(self) -> &'static str {
         match self {
-            StandardGrouping::Identity20 => {
-                "A|C|D|E|F|G|H|I|K|L|M|N|P|Q|R|S|T|V|W|Y"
-            }
+            StandardGrouping::Identity20 => "A|C|D|E|F|G|H|I|K|L|M|N|P|Q|R|S|T|V|W|Y",
             StandardGrouping::HydrophobicPolar2 => "AVLIMCFWY|GPSTNQDEKRH",
             StandardGrouping::Dayhoff6 => "AGPST|C|DENQ|FWY|HKR|ILMV",
             StandardGrouping::Murphy10 => "A|C|G|H|P|LVIM|FYW|ST|DENQ|KR",
@@ -194,7 +202,11 @@ mod tests {
     fn standard_groupings_cover_all_amino_acids() {
         for g in StandardGrouping::ALL {
             let coding = g.coding();
-            assert!(coding.covers_standard_amino_acids(), "{} is incomplete", g.name());
+            assert!(
+                coding.covers_standard_amino_acids(),
+                "{} is incomplete",
+                g.name()
+            );
             let expected = match g {
                 StandardGrouping::Identity20 => 20,
                 StandardGrouping::HydrophobicPolar2 => 2,
@@ -227,7 +239,10 @@ mod tests {
     #[test]
     fn encode_rejects_unmapped_residues() {
         let coding = StandardGrouping::HydrophobicPolar2.coding();
-        assert_eq!(coding.encode(b"MKX"), Err(GroupingError::UnmappedResidue(b'X')));
+        assert_eq!(
+            coding.encode(b"MKX"),
+            Err(GroupingError::UnmappedResidue(b'X'))
+        );
     }
 
     #[test]
@@ -239,7 +254,10 @@ mod tests {
 
     #[test]
     fn empty_spec_rejected() {
-        assert_eq!(GroupCoding::from_spec("empty", ""), Err(GroupingError::Empty));
+        assert_eq!(
+            GroupCoding::from_spec("empty", ""),
+            Err(GroupingError::Empty)
+        );
     }
 
     #[test]
@@ -257,7 +275,10 @@ mod tests {
         let coding6 = StandardGrouping::Dayhoff6.coding();
         let seq: Vec<u8> = AMINO_ACIDS.iter().cycle().take(500).copied().collect();
         let distinct = |data: &[u8]| -> usize {
-            data.iter().copied().collect::<std::collections::BTreeSet<u8>>().len()
+            data.iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<u8>>()
+                .len()
         };
         assert_eq!(distinct(&coding2.encode(&seq).unwrap()), 2);
         assert_eq!(distinct(&coding6.encode(&seq).unwrap()), 6);

@@ -50,7 +50,11 @@ pub fn collate_sample(id: impl Into<String>, sequences: &[Sequence], target_size
         residues.extend_from_slice(&seq.residues[..take]);
         source_ids.push(seq.id.clone());
     }
-    Sample { id: id.into(), source_ids, residues }
+    Sample {
+        id: id.into(),
+        source_ids,
+        residues,
+    }
 }
 
 #[cfg(test)]

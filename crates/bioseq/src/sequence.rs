@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn unknown_classification() {
-        assert_eq!(Sequence::new("x", "", b"HELLO WORLD!").kind(), SequenceKind::Unknown);
+        assert_eq!(
+            Sequence::new("x", "", b"HELLO WORLD!").kind(),
+            SequenceKind::Unknown
+        );
         assert_eq!(Sequence::new("e", "", b"").kind(), SequenceKind::Unknown);
     }
 

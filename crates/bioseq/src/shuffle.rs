@@ -21,7 +21,9 @@ pub fn shuffle_with_seed(data: &[u8], seed: u64) -> Vec<u8> {
 
 /// Produce `count` seeded permutations of `data`. Permutation `i` uses seed `base_seed + i`.
 pub fn permutations(data: &[u8], count: usize, base_seed: u64) -> Vec<Vec<u8>> {
-    (0..count).map(|i| shuffle_with_seed(data, base_seed.wrapping_add(i as u64))).collect()
+    (0..count)
+        .map(|i| shuffle_with_seed(data, base_seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 /// Check that `a` is a permutation of `b` (same multiset of bytes).
@@ -48,7 +50,10 @@ mod tests {
         let data: Vec<u8> = (0..200u8).collect();
         let shuffled = shuffle_with_seed(&data, 42);
         assert!(is_permutation_of(&shuffled, &data));
-        assert_ne!(shuffled, data, "a 200-element shuffle should not be the identity");
+        assert_ne!(
+            shuffled, data,
+            "a 200-element shuffle should not be the identity"
+        );
     }
 
     #[test]

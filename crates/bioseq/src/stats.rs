@@ -55,7 +55,13 @@ pub struct Summary {
 /// Compute [`Summary`] statistics of `values`.
 pub fn summarize(values: &[f64]) -> Summary {
     if values.is_empty() {
-        return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let count = values.len();
     let mean = values.iter().sum::<f64>() / count as f64;
@@ -66,14 +72,24 @@ pub fn summarize(values: &[f64]) -> Summary {
     };
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Summary { count, mean, std_dev: var.sqrt(), min, max }
+    Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 /// Pearson correlation coefficient between paired observations — the paper reports its
 /// execution-time plots are linear with correlation coefficients above 0.99, and the benchmark
 /// harness checks the same property of our reproductions.
 pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "correlation requires paired observations");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "correlation requires paired observations"
+    );
     let n = xs.len();
     if n < 2 {
         return 0.0;

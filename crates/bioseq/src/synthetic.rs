@@ -79,10 +79,10 @@ pub struct SyntheticGenerator {
 /// A handful of conserved motifs (real, well-known sequence signatures) that the generator
 /// sprinkles through its output to create repeated substructure.
 const MOTIFS: [&[u8]; 4] = [
-    b"GXGXXG",   // Rossmann-fold phosphate-binding loop (X replaced at generation time)
-    b"HEXXH",    // zinc-metallopeptidase signature
-    b"CXXCXXC",  // cysteine-rich cluster
-    b"WSXWS",    // cytokine receptor signature
+    b"GXGXXG",  // Rossmann-fold phosphate-binding loop (X replaced at generation time)
+    b"HEXXH",   // zinc-metallopeptidase signature
+    b"CXXCXXC", // cysteine-rich cluster
+    b"WSXWS",   // cytokine receptor signature
 ];
 
 impl SyntheticGenerator {
@@ -98,7 +98,9 @@ impl SyntheticGenerator {
 
     /// Generate the full set of protein sequences described by the configuration.
     pub fn proteins(&self) -> Vec<Sequence> {
-        (0..self.config.sequence_count).map(|i| self.protein(i)).collect()
+        (0..self.config.sequence_count)
+            .map(|i| self.protein(i))
+            .collect()
     }
 
     /// Generate protein sequence number `index`.
@@ -109,8 +111,11 @@ impl SyntheticGenerator {
             if rng.gen_bool(self.config.motif_rate.clamp(0.0, 1.0)) {
                 let motif = MOTIFS[rng.gen_range(0..MOTIFS.len())];
                 for &m in motif {
-                    let residue =
-                        if m == b'X' { Self::sample_composition(&mut rng) } else { m };
+                    let residue = if m == b'X' {
+                        Self::sample_composition(&mut rng)
+                    } else {
+                        m
+                    };
                     residues.push(residue);
                     if residues.len() == self.config.sequence_length {
                         break;
@@ -118,8 +123,8 @@ impl SyntheticGenerator {
                 }
                 continue;
             }
-            let correlated = !residues.is_empty()
-                && rng.gen_bool(self.config.correlation.clamp(0.0, 1.0));
+            let correlated =
+                !residues.is_empty() && rng.gen_bool(self.config.correlation.clamp(0.0, 1.0));
             let residue = if correlated {
                 // Re-use a residue from the recent past (a crude stand-in for the local
                 // compositional bias real proteins show in helices, sheets and repeats).
@@ -184,7 +189,11 @@ mod tests {
 
     #[test]
     fn generated_proteins_are_valid_and_deterministic() {
-        let config = SyntheticConfig { sequence_count: 4, sequence_length: 500, ..Default::default() };
+        let config = SyntheticConfig {
+            sequence_count: 4,
+            sequence_length: 500,
+            ..Default::default()
+        };
         let gen = SyntheticGenerator::new(config.clone());
         let a = gen.proteins();
         let b = SyntheticGenerator::new(config).proteins();
@@ -199,8 +208,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SyntheticGenerator::new(SyntheticConfig { seed: 1, ..Default::default() }).protein(0);
-        let b = SyntheticGenerator::new(SyntheticConfig { seed: 2, ..Default::default() }).protein(0);
+        let a = SyntheticGenerator::new(SyntheticConfig {
+            seed: 1,
+            ..Default::default()
+        })
+        .protein(0);
+        let b = SyntheticGenerator::new(SyntheticConfig {
+            seed: 2,
+            ..Default::default()
+        })
+        .protein(0);
         assert_ne!(a.residues, b.residues);
     }
 

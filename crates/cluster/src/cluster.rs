@@ -1,0 +1,300 @@
+//! Cluster deployment: N `PreservService` shards plus a [`ShardRouter`] on one [`ServiceHost`].
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use pasoa_core::ids::SessionId;
+use pasoa_core::passertion::RecordedAssertion;
+use pasoa_core::prep::StoreStatistics;
+use pasoa_core::Group;
+use pasoa_preserv::{
+    LineageGraph, MemoryBackend, PreservService, ProvenanceStore, ServiceConfig, StorageBackend,
+    StoreError,
+};
+use pasoa_wire::ServiceHost;
+
+use crate::merge;
+use crate::router::{RouterConfig, ShardRouter};
+
+/// Configuration of a cluster deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of initial shards.
+    pub shards: usize,
+    /// Router batching threshold (assertions per shard buffer before a flush).
+    pub batch_size: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub virtual_nodes: usize,
+    /// Name the router registers under (what clients address).
+    pub service_name: String,
+    /// Prefix for shard service names; shard `i` registers as `<prefix><i>`.
+    pub shard_name_prefix: String,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 4,
+            batch_size: 64,
+            virtual_nodes: 64,
+            service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string(),
+            shard_name_prefix: "provenance-store-shard-".to_string(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Default configuration with `shards` initial shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ClusterConfig {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// A deployed provenance store cluster: the shards, their router, and direct query access.
+pub struct PreservCluster {
+    host: ServiceHost,
+    router: Arc<ShardRouter>,
+    shards: RwLock<Vec<Arc<PreservService>>>,
+    config: ClusterConfig,
+}
+
+impl PreservCluster {
+    /// Deploy a cluster of in-memory shards on `host` and register the router under the
+    /// provenance store's well-known service name.
+    pub fn deploy_in_memory(host: &ServiceHost, shards: usize) -> Result<Arc<Self>, StoreError> {
+        Self::deploy_with(host, ClusterConfig::with_shards(shards), |_| {
+            Ok(Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
+        })
+    }
+
+    /// Deploy a cluster whose shard `i` persists in `dir/shard-i` through the database
+    /// backend (the paper's Berkeley-DB-class configuration, horizontally sharded).
+    pub fn deploy_database(
+        host: &ServiceHost,
+        dir: impl AsRef<Path>,
+        shards: usize,
+    ) -> Result<Arc<Self>, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        Self::deploy_with(host, ClusterConfig::with_shards(shards), move |shard| {
+            let backend = pasoa_preserv::KvBackend::open(dir.join(format!("shard-{shard}")))
+                .map_err(StoreError::Backend)?;
+            Ok(Arc::new(backend) as Arc<dyn StorageBackend>)
+        })
+    }
+
+    /// Deploy a cluster with an explicit configuration and per-shard backend factory.
+    pub fn deploy_with(
+        host: &ServiceHost,
+        config: ClusterConfig,
+        backend_for_shard: impl Fn(usize) -> Result<Arc<dyn StorageBackend>, StoreError>,
+    ) -> Result<Arc<Self>, StoreError> {
+        assert!(config.shards >= 1, "a cluster needs at least one shard");
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut router_shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let name = format!("{}{index}", config.shard_name_prefix);
+            let service = Arc::new(
+                PreservService::with_backend(backend_for_shard(index)?)?.with_config(
+                    ServiceConfig {
+                        service_name: name.clone(),
+                    },
+                ),
+            );
+            service.register(host);
+            router_shards.push((name, Arc::clone(&service)));
+            shards.push(service);
+        }
+        let router = Arc::new(ShardRouter::new(
+            host,
+            router_shards,
+            RouterConfig {
+                batch_size: config.batch_size,
+                virtual_nodes: config.virtual_nodes,
+                ..Default::default()
+            },
+        ));
+        router.register(host, &config.service_name);
+        Ok(Arc::new(PreservCluster {
+            host: host.clone(),
+            router,
+            shards: RwLock::new(shards),
+            config,
+        }))
+    }
+
+    /// The router in front of the shards.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// The host the cluster is deployed on.
+    pub fn host(&self) -> &ServiceHost {
+        &self.host
+    }
+
+    /// Number of shards currently deployed.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// Direct handles to every shard's store, in shard-index order.
+    pub fn shard_stores(&self) -> Vec<Arc<ProvenanceStore>> {
+        self.shards
+            .read()
+            .iter()
+            .map(|service| service.store())
+            .collect()
+    }
+
+    /// Add one shard (in-memory backend), register it, and extend the router's ring: the
+    /// elasticity path. Only future sessions map to the new shard. Returns its service name.
+    pub fn add_shard(&self) -> Result<String, StoreError> {
+        self.add_shard_with(Arc::new(MemoryBackend::new()))
+    }
+
+    /// Add one shard over an explicit backend. Returns its service name.
+    pub fn add_shard_with(&self, backend: Arc<dyn StorageBackend>) -> Result<String, StoreError> {
+        // The shards write lock is held across the router update so concurrent add_shard
+        // calls cannot interleave and leave `self.shards` ordered differently from the
+        // router's ring indices.
+        let mut shards = self.shards.write();
+        let name = format!("{}{}", self.config.shard_name_prefix, shards.len());
+        let service = Arc::new(
+            PreservService::with_backend(backend)?.with_config(ServiceConfig {
+                service_name: name.clone(),
+            }),
+        );
+        // Register the service before the router can route to it.
+        service.register(&self.host);
+        self.router
+            .add_shard(name.clone(), Arc::clone(&service))
+            .map_err(wire_to_store)?;
+        shards.push(service);
+        Ok(name)
+    }
+
+    /// Flush every buffered batch down to the shards.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.router.flush().map_err(wire_to_store)
+    }
+
+    // -- Direct scatter-gather queries (bypassing the wire, for reasoners and tests) --------
+
+    /// All p-assertions recorded under `session`, merged identically to a single store.
+    pub fn assertions_for_session(
+        &self,
+        session: &SessionId,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        self.flush()?;
+        let per_shard = self
+            .shard_stores()
+            .iter()
+            .map(|store| store.assertions_for_session(session))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(merge::merge_assertions(per_shard))
+    }
+
+    /// Merged statistics across every shard.
+    pub fn statistics(&self) -> Result<StoreStatistics, StoreError> {
+        self.flush()?;
+        Ok(merge::merge_statistics(
+            self.shard_stores()
+                .iter()
+                .map(|store| store.statistics())
+                .collect(),
+        ))
+    }
+
+    /// Groups of a kind across every shard, in single-store key order.
+    pub fn groups_by_kind(&self, kind: &str) -> Result<Vec<Group>, StoreError> {
+        self.flush()?;
+        let per_shard = self
+            .shard_stores()
+            .iter()
+            .map(|store| store.groups_by_kind(kind))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(merge::merge_groups(per_shard))
+    }
+
+    /// All interaction keys across shards, globally sorted, optionally limited.
+    pub fn list_interactions(
+        &self,
+        limit: Option<usize>,
+    ) -> Result<Vec<pasoa_core::ids::InteractionKey>, StoreError> {
+        self.flush()?;
+        let per_shard = self
+            .shard_stores()
+            .iter()
+            .map(|store| store.list_interactions(None))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(merge::merge_interactions(per_shard, limit))
+    }
+
+    /// The session's derivation graph, merged across shards (normally resident on one shard,
+    /// thanks to session co-location).
+    pub fn lineage_session(&self, session: &SessionId) -> Result<LineageGraph, StoreError> {
+        self.flush()?;
+        let per_shard = self
+            .shard_stores()
+            .iter()
+            .map(|store| LineageGraph::trace_session(store, session))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(merge::merge_lineage(per_shard))
+    }
+}
+
+fn wire_to_store(error: pasoa_wire::WireError) -> StoreError {
+    StoreError::Corrupt(format!("cluster wire failure: {error}"))
+}
+
+/// Uniform query access over a single store or a cluster — what the experiment harness hands
+/// to reasoners so Figure 4 can run unchanged against either deployment.
+#[derive(Clone)]
+pub enum StoreHandle {
+    /// One `ProvenanceStore`.
+    Single(Arc<ProvenanceStore>),
+    /// A sharded cluster.
+    Cluster(Arc<PreservCluster>),
+}
+
+impl StoreHandle {
+    /// All p-assertions recorded under `session`.
+    pub fn assertions_for_session(
+        &self,
+        session: &SessionId,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        match self {
+            StoreHandle::Single(store) => store.assertions_for_session(session),
+            StoreHandle::Cluster(cluster) => cluster.assertions_for_session(session),
+        }
+    }
+
+    /// Store statistics (merged across shards for a cluster).
+    pub fn statistics(&self) -> Result<StoreStatistics, StoreError> {
+        match self {
+            StoreHandle::Single(store) => Ok(store.statistics()),
+            StoreHandle::Cluster(cluster) => cluster.statistics(),
+        }
+    }
+
+    /// Groups of a kind.
+    pub fn groups_by_kind(&self, kind: &str) -> Result<Vec<Group>, StoreError> {
+        match self {
+            StoreHandle::Single(store) => store.groups_by_kind(kind),
+            StoreHandle::Cluster(cluster) => cluster.groups_by_kind(kind),
+        }
+    }
+
+    /// The session's derivation graph.
+    pub fn lineage_session(&self, session: &SessionId) -> Result<LineageGraph, StoreError> {
+        match self {
+            StoreHandle::Single(store) => LineageGraph::trace_session(store, session),
+            StoreHandle::Cluster(cluster) => cluster.lineage_session(session),
+        }
+    }
+}

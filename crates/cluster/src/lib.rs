@@ -1,0 +1,298 @@
+//! # pasoa-cluster — a sharded provenance store tier
+//!
+//! The paper's PReServ is one servlet over one Berkeley DB backend. This crate grows that
+//! single store into a horizontally sharded tier while keeping every existing client working
+//! unchanged:
+//!
+//! ```text
+//!   recorders / reasoners                (unchanged: they address "provenance-store")
+//!            │
+//!     ┌──────▼──────────┐
+//!     │   ShardRouter    │   consistent hashing on SessionId + per-shard batching
+//!     └──┬─────┬─────┬──┘
+//!        │     │     │        scatter-gather with result merging for queries
+//!   ┌────▼─┐ ┌─▼───┐ ┌▼────┐
+//!   │shard0│ │shard1│ │shardN│   independent PreservService instances
+//!   └──────┘ └──────┘ └──────┘   (memory or kvdb WriteBatch group-commit backends)
+//! ```
+//!
+//! Design points:
+//!
+//! * **Session co-location.** Record messages route by consistent hashing on the session id,
+//!   so one workflow run's p-assertions — and therefore its lineage graph — live on one shard.
+//! * **Batched recording.** The router buffers per shard and flushes bulk `Record` messages;
+//!   the shard store commits each batch through the backend's `put_many` group-commit path
+//!   (`kvdb::WriteBatch` on the database backend).
+//! * **Identical answers.** Queries flush the buffers first (read-your-writes) and then
+//!   scatter-gather with merges ([`merge`]) designed to reproduce a single store's responses
+//!   bit-for-bit.
+//! * **Elasticity.** [`PreservCluster::add_shard`] registers a new shard and extends the hash
+//!   ring; only future sessions map to it, while already-pinned sessions stay put.
+//! * **Scenario driving.** [`LoadGenerator`] runs many concurrent recorders against whatever
+//!   deployment is registered and reports throughput, latency percentiles and shard balance.
+
+pub mod cluster;
+pub mod loadgen;
+pub mod merge;
+pub mod ring;
+pub mod router;
+
+pub use cluster::{ClusterConfig, PreservCluster, StoreHandle};
+pub use loadgen::{LoadGenConfig, LoadGenerator, LoadReport};
+pub use ring::HashRing;
+pub use router::{RouterConfig, RouterStats, ShardRouter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
+    use pasoa_core::passertion::{
+        ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind,
+    };
+    use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse};
+    use pasoa_core::recorder::{AsyncRecorder, ProvenanceRecorder, SyncRecorder};
+    use pasoa_core::{Group, GroupKind};
+    use pasoa_wire::{Envelope, ServiceHost, TransportConfig};
+
+    fn deploy(shards: usize) -> (ServiceHost, Arc<PreservCluster>) {
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_in_memory(&host, shards).unwrap();
+        (host, cluster)
+    }
+
+    fn assertion(session: &str, i: usize) -> PAssertion {
+        PAssertion::ActorState(ActorStatePAssertion {
+            interaction_key: pasoa_core::ids::InteractionKey::new(format!(
+                "interaction:{session}:{i:04}"
+            )),
+            asserter: ActorId::new("engine"),
+            view: ViewKind::Receiver,
+            kind: ActorStateKind::Script,
+            content: PAssertionContent::text(format!("script {i}")),
+        })
+    }
+
+    #[test]
+    fn recorders_work_against_the_cluster_unchanged() {
+        let (host, cluster) = deploy(4);
+        let session = SessionId::new("session:cluster-sync");
+        let sync = SyncRecorder::new(
+            session.clone(),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("sync"),
+        );
+        for i in 0..20 {
+            sync.record(assertion(session.as_str(), i)).unwrap();
+        }
+        sync.register_group(Group::new(session.as_str(), GroupKind::Session))
+            .unwrap();
+
+        let recorded = cluster.assertions_for_session(&session).unwrap();
+        assert_eq!(recorded.len(), 20);
+        assert_eq!(cluster.groups_by_kind("session").unwrap().len(), 1);
+        // Sessions are co-located: exactly one shard holds everything.
+        let occupied = cluster
+            .shard_stores()
+            .iter()
+            .filter(|store| !store.assertions_for_session(&session).unwrap().is_empty())
+            .count();
+        assert_eq!(occupied, 1);
+    }
+
+    #[test]
+    fn async_batches_group_commit_and_spread_sessions() {
+        let (host, cluster) = deploy(4);
+        let mut sessions = Vec::new();
+        for s in 0..12 {
+            let session = SessionId::new(format!("session:spread:{s}"));
+            let recorder = AsyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                host.transport(TransportConfig::free()),
+                IdGenerator::new(format!("run{s}")),
+                32,
+            );
+            for i in 0..25 {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+            recorder.flush().unwrap();
+            sessions.push(session);
+        }
+        cluster.flush().unwrap();
+
+        // Every session is fully queryable and the population spread across shards.
+        for session in &sessions {
+            assert_eq!(cluster.assertions_for_session(session).unwrap().len(), 25);
+        }
+        let stats = cluster.statistics().unwrap();
+        assert_eq!(stats.total_passertions(), 12 * 25);
+        let occupied = cluster
+            .shard_stores()
+            .iter()
+            .filter(|store| store.statistics().total_passertions() > 0)
+            .count();
+        assert!(
+            occupied >= 2,
+            "12 sessions should land on several of 4 shards"
+        );
+        assert!(cluster.router().stats().batches_flushed > 0);
+    }
+
+    #[test]
+    fn wire_level_scatter_gather_queries() {
+        let (host, cluster) = deploy(3);
+        let transport = host.transport(TransportConfig::free());
+        for s in 0..6 {
+            let session = SessionId::new(format!("session:wire:{s}"));
+            let recorder = SyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                transport.clone(),
+                IdGenerator::new(format!("wire{s}")),
+            );
+            for i in 0..4 {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+        }
+        let _ = &cluster;
+        // Statistics aggregate over all shards, through the wire.
+        let query = PrepMessage::Query(QueryRequest::Statistics);
+        let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, query.action())
+            .with_json_payload(&query)
+            .unwrap();
+        let response: QueryResponse = transport.call(envelope).unwrap().json_payload().unwrap();
+        match response {
+            QueryResponse::Statistics(stats) => assert_eq!(stats.total_passertions(), 24),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // ListInteractions merges sorted across shards.
+        let query = PrepMessage::Query(QueryRequest::ListInteractions { limit: None });
+        let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, query.action())
+            .with_json_payload(&query)
+            .unwrap();
+        let response: QueryResponse = transport.call(envelope).unwrap().json_payload().unwrap();
+        match response {
+            QueryResponse::Interactions(keys) => {
+                assert_eq!(keys.len(), 24);
+                let mut sorted = keys.clone();
+                sorted.sort();
+                assert_eq!(
+                    keys, sorted,
+                    "merged interaction list must be globally sorted"
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_shard_remaps_only_future_sessions() {
+        let (host, cluster) = deploy(2);
+        let transport = host.transport(TransportConfig::free());
+        // Record a session, pinning it.
+        let pinned = SessionId::new("session:pinned");
+        let recorder = SyncRecorder::new(
+            pinned.clone(),
+            ActorId::new("engine"),
+            transport.clone(),
+            IdGenerator::new("pin"),
+        );
+        recorder.record(assertion(pinned.as_str(), 0)).unwrap();
+        let owner_before = cluster.router().shard_for_session(pinned.as_str());
+
+        let name = cluster.add_shard().unwrap();
+        assert_eq!(cluster.shard_count(), 3);
+        assert!(host.has_service(&name));
+        assert_eq!(
+            cluster.router().shard_for_session(pinned.as_str()),
+            owner_before
+        );
+
+        // The pinned session keeps recording to its original shard.
+        recorder.record(assertion(pinned.as_str(), 1)).unwrap();
+        cluster.flush().unwrap();
+        assert_eq!(cluster.assertions_for_session(&pinned).unwrap().len(), 2);
+
+        // New sessions can reach the new shard.
+        let mut newest_used = false;
+        for s in 0..200 {
+            let shard = cluster
+                .router()
+                .shard_for_session(&format!("session:fresh:{s}"));
+            if shard == 2 {
+                newest_used = true;
+                break;
+            }
+        }
+        assert!(
+            newest_used,
+            "the added shard should own a share of fresh sessions"
+        );
+        assert_eq!(cluster.router().stats().rebalances, 1);
+    }
+
+    #[test]
+    fn load_generator_reports_balanced_dispatch() {
+        let (host, cluster) = deploy(4);
+        let generator = LoadGenerator::new(
+            host.clone(),
+            LoadGenConfig {
+                clients: 4,
+                sessions_per_client: 4,
+                assertions_per_session: 40,
+                batch_size: 8,
+                payload_bytes: 64,
+                ..Default::default()
+            },
+        );
+        let report = generator.run();
+        cluster.flush().unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.total_assertions, 4 * 4 * 40);
+        assert!(report.throughput_per_sec > 0.0);
+        assert!(report.latency_p50 <= report.latency_p95);
+        assert!(report.latency_p95 <= report.latency_max);
+        let stats = cluster.statistics().unwrap();
+        assert_eq!(stats.total_passertions(), report.total_assertions);
+        // The router fronted all the wire traffic (internal hops are direct dispatch) ...
+        assert!(
+            report
+                .dispatch_counts
+                .iter()
+                .any(|(name, calls)| name == pasoa_core::PROVENANCE_STORE_SERVICE && *calls > 0),
+            "dispatch counts: {:?}",
+            report.dispatch_counts
+        );
+        // ... and the sessions spread across more than one shard store.
+        let occupied = cluster
+            .shard_stores()
+            .iter()
+            .filter(|store| store.statistics().total_passertions() > 0)
+            .count();
+        assert!(
+            occupied >= 2,
+            "16 sessions should occupy several of 4 shards"
+        );
+        let text = report.to_string();
+        assert!(text.contains("assertions"));
+    }
+
+    #[test]
+    fn empty_session_queries_answer_empty() {
+        let (host, cluster) = deploy(2);
+        let transport = host.transport(TransportConfig::free());
+        let query = PrepMessage::Query(QueryRequest::BySession(SessionId::new("session:none")));
+        let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, query.action())
+            .with_json_payload(&query)
+            .unwrap();
+        let response: QueryResponse = transport.call(envelope).unwrap().json_payload().unwrap();
+        assert!(matches!(response, QueryResponse::Empty));
+        assert!(cluster
+            .assertions_for_session(&SessionId::new("session:none"))
+            .unwrap()
+            .is_empty());
+    }
+}

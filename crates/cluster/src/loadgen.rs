@@ -1,0 +1,245 @@
+//! Scenario driver: many concurrent recorders hammering a provenance store deployment.
+//!
+//! The paper measures one workflow at a time; the ROADMAP's production-scale north star needs
+//! the opposite — sustained recording from many clients at once. [`LoadGenerator`] spawns
+//! client threads, each documenting its own sessions with interaction p-assertions shipped in
+//! configurable batches, and reports throughput, per-message latency percentiles and the
+//! per-service dispatch balance the wire layer observed (which shows how evenly the shard
+//! router spread the load).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
+use pasoa_core::passertion::{
+    InteractionPAssertion, PAssertion, PAssertionContent, RecordedAssertion, ViewKind,
+};
+use pasoa_core::prep::{PrepMessage, RecordMessage};
+use pasoa_core::PROVENANCE_STORE_SERVICE;
+use pasoa_wire::{Envelope, ServiceHost, TransportConfig};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Sessions (workflow runs) each client records.
+    pub sessions_per_client: usize,
+    /// P-assertions per session.
+    pub assertions_per_session: usize,
+    /// Assertions bundled into one `Record` message (1 = the paper's synchronous mode).
+    pub batch_size: usize,
+    /// Approximate content bytes per p-assertion.
+    pub payload_bytes: usize,
+    /// Service name to send to.
+    pub service_name: String,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 8,
+            sessions_per_client: 4,
+            assertions_per_session: 64,
+            batch_size: 16,
+            payload_bytes: 128,
+            service_name: PROVENANCE_STORE_SERVICE.to_string(),
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// P-assertions carried by *successful* record messages (failed calls excluded).
+    pub total_assertions: u64,
+    /// `Record` messages sent.
+    pub messages_sent: u64,
+    /// Failed calls.
+    pub failures: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Assertions per second of wall-clock time.
+    pub throughput_per_sec: f64,
+    /// Median per-message round-trip latency.
+    pub latency_p50: Duration,
+    /// 95th percentile per-message latency.
+    pub latency_p95: Duration,
+    /// 99th percentile per-message latency.
+    pub latency_p99: Duration,
+    /// Worst per-message latency.
+    pub latency_max: Duration,
+    /// Calls dispatched per service (router + shards), from the host's counters.
+    pub dispatch_counts: Vec<(String, u64)>,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} assertions in {:.3} s ({:.0}/s), {} messages, {} failures",
+            self.total_assertions,
+            self.elapsed.as_secs_f64(),
+            self.throughput_per_sec,
+            self.messages_sent,
+            self.failures
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
+            self.latency_p50, self.latency_p95, self.latency_p99, self.latency_max
+        )?;
+        for (service, calls) in &self.dispatch_counts {
+            writeln!(f, "  {service:<32} {calls} calls")?;
+        }
+        Ok(())
+    }
+}
+
+/// Drives concurrent recorders against whatever provenance service is registered on the host.
+pub struct LoadGenerator {
+    host: ServiceHost,
+    config: LoadGenConfig,
+    /// Wave counter: each `run` documents fresh sessions, so repeated runs against a grown
+    /// cluster actually exercise the rebalanced ring instead of re-hitting pinned sessions.
+    wave: std::sync::atomic::AtomicU64,
+}
+
+impl LoadGenerator {
+    /// Create a generator against `host`.
+    pub fn new(host: ServiceHost, config: LoadGenConfig) -> Self {
+        LoadGenerator {
+            host,
+            config,
+            wave: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Execute the run and gather the report.
+    pub fn run(&self) -> LoadReport {
+        self.host.reset_dispatch_counts();
+        let config = Arc::new(self.config.clone());
+        let wave = self.wave.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let start = Instant::now();
+
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut messages = 0u64;
+        let mut failures = 0u64;
+        let mut delivered = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(config.clients);
+            for client in 0..config.clients {
+                let host = self.host.clone();
+                let config = Arc::clone(&config);
+                handles.push(scope.spawn(move || client_run(wave, client, &host, &config)));
+            }
+            for handle in handles {
+                let outcome = handle.join().expect("load client panicked");
+                latencies.extend(outcome.latencies_nanos);
+                messages += outcome.messages;
+                failures += outcome.failures;
+                delivered += outcome.assertions_delivered;
+            }
+        });
+        let elapsed = start.elapsed();
+
+        latencies.sort_unstable();
+        let percentile = |p: f64| -> Duration {
+            if latencies.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_nanos(latencies[rank])
+        };
+        // Count only assertions whose record message succeeded, so a misbehaving
+        // deployment is not credited with the configured workload.
+        LoadReport {
+            total_assertions: delivered,
+            messages_sent: messages,
+            failures,
+            elapsed,
+            throughput_per_sec: delivered as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency_p50: percentile(0.50),
+            latency_p95: percentile(0.95),
+            latency_p99: percentile(0.99),
+            latency_max: latencies
+                .last()
+                .copied()
+                .map(Duration::from_nanos)
+                .unwrap_or_default(),
+            dispatch_counts: self.host.dispatch_counts(),
+        }
+    }
+}
+
+struct ClientOutcome {
+    latencies_nanos: Vec<u64>,
+    messages: u64,
+    failures: u64,
+    assertions_delivered: u64,
+}
+
+fn client_run(
+    wave: u64,
+    client: usize,
+    host: &ServiceHost,
+    config: &LoadGenConfig,
+) -> ClientOutcome {
+    let transport = host.transport(TransportConfig::free());
+    let asserter = ActorId::new(format!("load-client-{client}"));
+    let payload = "x".repeat(config.payload_bytes.max(1));
+    let mut outcome = ClientOutcome {
+        latencies_nanos: Vec::new(),
+        messages: 0,
+        failures: 0,
+        assertions_delivered: 0,
+    };
+
+    for session_index in 0..config.sessions_per_client {
+        let session = SessionId::new(format!("session:load:w{wave}:c{client}:s{session_index}"));
+        let ids = IdGenerator::new(session.as_str().to_string());
+        let assertions: Vec<RecordedAssertion> = (0..config.assertions_per_session)
+            .map(|i| RecordedAssertion {
+                session: session.clone(),
+                assertion: PAssertion::Interaction(InteractionPAssertion {
+                    interaction_key: InteractionKey::new(format!(
+                        "interaction:load:w{wave}:c{client}:s{session_index}:{i:06}"
+                    )),
+                    asserter: asserter.clone(),
+                    view: ViewKind::Sender,
+                    sender: asserter.clone(),
+                    receiver: ActorId::new("measure-service"),
+                    operation: "measure".into(),
+                    content: PAssertionContent::text(payload.clone()),
+                    data_ids: vec![DataId::new(format!(
+                        "data:load:w{wave}:c{client}:s{session_index}:{i:06}"
+                    ))],
+                }),
+            })
+            .collect();
+
+        for chunk in assertions.chunks(config.batch_size.max(1)) {
+            let message = PrepMessage::Record(RecordMessage {
+                message_id: ids.message_id(),
+                asserter: asserter.clone(),
+                assertions: chunk.to_vec(),
+            });
+            let envelope = Envelope::request(&config.service_name, message.action())
+                .with_header("sender", asserter.as_str())
+                .with_json_payload(&message)
+                .expect("record message serializes");
+            let call_start = Instant::now();
+            match transport.call(envelope) {
+                Ok(_) => {
+                    outcome
+                        .latencies_nanos
+                        .push(u64::try_from(call_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    outcome.messages += 1;
+                    outcome.assertions_delivered += chunk.len() as u64;
+                }
+                Err(_) => outcome.failures += 1,
+            }
+        }
+    }
+    outcome
+}

@@ -1,0 +1,210 @@
+//! Scatter-gather result merging.
+//!
+//! Every merge here is written so that, for data recorded through the shard router (which
+//! co-locates a session's p-assertions on one shard), the merged answer is *identical* to what
+//! a single store holding all the data would return: assertions come back grouped by
+//! interaction in ascending key order, interaction lists are globally sorted, groups follow the
+//! store's escaped-key order and statistics are field-wise sums.
+
+use std::collections::BTreeMap;
+
+use pasoa_core::ids::InteractionKey;
+use pasoa_core::passertion::RecordedAssertion;
+use pasoa_core::prep::StoreStatistics;
+use pasoa_core::Group;
+use pasoa_preserv::keys;
+use pasoa_preserv::{LineageGraph, LineageNode};
+
+/// Merge per-shard `BySession` / `ByInteraction` answers: group by interaction key, output
+/// interactions in ascending key order, preserving each shard's within-interaction order
+/// (shards are visited in index order, matching the store's sequence order for co-located
+/// sessions).
+pub fn merge_assertions(per_shard: Vec<Vec<RecordedAssertion>>) -> Vec<RecordedAssertion> {
+    let mut by_interaction: BTreeMap<Vec<u8>, Vec<RecordedAssertion>> = BTreeMap::new();
+    for shard_results in per_shard {
+        for recorded in shard_results {
+            // Order by the same escaped key the store's prefix scan orders by.
+            let key = keys::assertion_prefix(recorded.assertion.interaction_key().as_str());
+            by_interaction.entry(key).or_default().push(recorded);
+        }
+    }
+    by_interaction.into_values().flatten().collect()
+}
+
+/// Merge per-shard sorted interaction-key lists into one globally sorted list, honouring
+/// `limit` after the merge (the order a single store's `i/` prefix scan would produce).
+pub fn merge_interactions(
+    per_shard: Vec<Vec<InteractionKey>>,
+    limit: Option<usize>,
+) -> Vec<InteractionKey> {
+    let mut merged: Vec<InteractionKey> = per_shard.into_iter().flatten().collect();
+    merged.sort_by_key(|key| keys::interaction_key(key.as_str()));
+    merged.dedup();
+    if let Some(limit) = limit {
+        merged.truncate(limit);
+    }
+    merged
+}
+
+/// Merge per-shard group lists in the store's key order (escaped group id within one kind).
+pub fn merge_groups(per_shard: Vec<Vec<Group>>) -> Vec<Group> {
+    let mut merged: Vec<Group> = per_shard.into_iter().flatten().collect();
+    merged.sort_by_key(|group| keys::group_key(group.kind.label(), &group.id));
+    merged
+}
+
+/// Field-wise sum of per-shard statistics.
+pub fn merge_statistics(per_shard: Vec<StoreStatistics>) -> StoreStatistics {
+    let mut total = StoreStatistics::default();
+    for stats in per_shard {
+        total.interaction_passertions += stats.interaction_passertions;
+        total.actor_state_passertions += stats.actor_state_passertions;
+        total.relationship_passertions += stats.relationship_passertions;
+        total.interactions += stats.interactions;
+        total.groups += stats.groups;
+        total.content_bytes += stats.content_bytes;
+    }
+    total
+}
+
+/// Union of per-shard lineage graphs. Nodes present on several shards (possible only for data
+/// ids shared across sessions that hash apart) merge their edges in shard order, deduplicated
+/// exactly like `LineageGraph::trace_session` deduplicates repeated causes.
+pub fn merge_lineage(per_shard: Vec<LineageGraph>) -> LineageGraph {
+    let mut merged = LineageGraph::default();
+    for graph in per_shard {
+        for (id, node) in graph.nodes {
+            match merged.nodes.entry(id) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(node);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let existing: &mut LineageNode = slot.get_mut();
+                    for parent in node.derived_from {
+                        if !existing.derived_from.contains(&parent) {
+                            existing.derived_from.push(parent);
+                        }
+                    }
+                    for relation in node.relations {
+                        if !existing.relations.contains(&relation) {
+                            existing.relations.push(relation);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_core::ids::{ActorId, DataId, SessionId};
+    use pasoa_core::passertion::{
+        ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind,
+    };
+    use pasoa_core::GroupKind;
+
+    fn assertion(interaction: &str, tag: &str) -> RecordedAssertion {
+        RecordedAssertion {
+            session: SessionId::new("session:m"),
+            assertion: PAssertion::ActorState(ActorStatePAssertion {
+                interaction_key: InteractionKey::new(interaction),
+                asserter: ActorId::new("a"),
+                view: ViewKind::Receiver,
+                kind: ActorStateKind::Script,
+                content: PAssertionContent::text(tag),
+            }),
+        }
+    }
+
+    #[test]
+    fn assertions_merge_in_interaction_key_order() {
+        let shard0 = vec![
+            assertion("interaction:b", "b0"),
+            assertion("interaction:b", "b1"),
+        ];
+        let shard1 = vec![assertion("interaction:a", "a0")];
+        let merged = merge_assertions(vec![shard0, shard1]);
+        let tags: Vec<&str> = merged
+            .iter()
+            .map(|r| match &r.assertion {
+                PAssertion::ActorState(a) => a.content.as_text().unwrap(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec!["a0", "b0", "b1"]);
+    }
+
+    #[test]
+    fn interactions_merge_sorted_with_limit() {
+        let merged = merge_interactions(
+            vec![
+                vec![InteractionKey::new("interaction:c")],
+                vec![
+                    InteractionKey::new("interaction:a"),
+                    InteractionKey::new("interaction:b"),
+                ],
+            ],
+            Some(2),
+        );
+        assert_eq!(
+            merged,
+            vec![
+                InteractionKey::new("interaction:a"),
+                InteractionKey::new("interaction:b")
+            ]
+        );
+    }
+
+    #[test]
+    fn groups_merge_in_key_order() {
+        let g = |id: &str| Group::new(id, GroupKind::Session);
+        let merged = merge_groups(vec![vec![g("session:2")], vec![g("session:1")]]);
+        assert_eq!(merged[0].id, "session:1");
+        assert_eq!(merged[1].id, "session:2");
+    }
+
+    #[test]
+    fn statistics_sum() {
+        let a = StoreStatistics {
+            interactions: 2,
+            groups: 1,
+            ..Default::default()
+        };
+        let b = StoreStatistics {
+            interactions: 3,
+            content_bytes: 10,
+            ..Default::default()
+        };
+        let total = merge_statistics(vec![a, b]);
+        assert_eq!(total.interactions, 5);
+        assert_eq!(total.groups, 1);
+        assert_eq!(total.content_bytes, 10);
+    }
+
+    #[test]
+    fn lineage_union_merges_shared_nodes() {
+        let node = |parents: &[&str]| LineageNode {
+            data: DataId::new("data:x"),
+            derived_from: parents.iter().map(|p| DataId::new(*p)).collect(),
+            relations: vec!["derived".into()],
+        };
+        let mut left = LineageGraph::default();
+        left.nodes.insert("data:x".into(), node(&["data:a"]));
+        let mut right = LineageGraph::default();
+        right
+            .nodes
+            .insert("data:x".into(), node(&["data:a", "data:b"]));
+        let merged = merge_lineage(vec![left, right]);
+        assert_eq!(
+            merged.nodes["data:x"].derived_from,
+            vec![DataId::new("data:a"), DataId::new("data:b")]
+        );
+        assert_eq!(
+            merged.nodes["data:x"].relations,
+            vec!["derived".to_string()]
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Consistent hashing for session placement.
+//!
+//! Sessions (workflow runs) are assigned to shards by walking a hash ring with virtual nodes.
+//! Consistent hashing is what makes the elasticity scenario cheap: adding a shard remaps only
+//! `~1/(n+1)` of the keyspace, so most future sessions keep landing where they used to, and the
+//! router's session pinning keeps already-started sessions where their first p-assertion went.
+
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit hash with a SplitMix64 finaliser. Plain FNV clusters badly on the short,
+/// highly structured id strings used here ("session:…", "shard:…"); the finaliser's avalanche
+/// spreads the points evenly around the ring.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // SplitMix64 finaliser.
+    let mut z = hash;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring mapping string keys to shard indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring position → shard index.
+    points: BTreeMap<u64, usize>,
+    /// Virtual nodes per shard.
+    virtual_nodes: usize,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Create an empty ring with `virtual_nodes` points per shard (minimum 1).
+    pub fn new(virtual_nodes: usize) -> Self {
+        HashRing {
+            points: BTreeMap::new(),
+            virtual_nodes: virtual_nodes.max(1),
+            shards: 0,
+        }
+    }
+
+    /// Create a ring already holding `shards` shards.
+    pub fn with_shards(shards: usize, virtual_nodes: usize) -> Self {
+        let mut ring = Self::new(virtual_nodes);
+        for _ in 0..shards {
+            ring.add_shard();
+        }
+        ring
+    }
+
+    /// Add the next shard (index = current shard count). Returns the new shard's index.
+    pub fn add_shard(&mut self) -> usize {
+        let shard = self.shards;
+        for vnode in 0..self.virtual_nodes {
+            let point = fnv1a64(format!("shard:{shard}:vnode:{vnode}").as_bytes());
+            // Collisions across 64-bit points are vanishingly rare; last insert wins.
+            self.points.insert(point, shard);
+        }
+        self.shards += 1;
+        shard
+    }
+
+    /// Number of shards on the ring.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or after the key's hash, wrapping.
+    pub fn shard_for(&self, key: &str) -> usize {
+        assert!(self.shards > 0, "shard_for on an empty ring");
+        let hash = fnv1a64(key.as_bytes());
+        self.points
+            .range(hash..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, shard)| *shard)
+            .expect("non-empty ring has points")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn keys_distribute_across_shards() {
+        let ring = HashRing::with_shards(4, 64);
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for i in 0..4000 {
+            let shard = ring.shard_for(&format!("session:run-{i}"));
+            assert!(shard < 4);
+            *counts.entry(shard).or_default() += 1;
+        }
+        assert_eq!(
+            counts.len(),
+            4,
+            "every shard should receive sessions: {counts:?}"
+        );
+        for (&shard, &count) in &counts {
+            assert!(
+                count > 400,
+                "shard {shard} got only {count}/4000 sessions — distribution too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_stable() {
+        let ring = HashRing::with_shards(8, 32);
+        for i in 0..100 {
+            let key = format!("session:{i}");
+            assert_eq!(ring.shard_for(&key), ring.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_remaps_only_a_fraction() {
+        let before = HashRing::with_shards(4, 64);
+        let mut after = before.clone();
+        after.add_shard();
+        let total = 4000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("session:run-{i}");
+                before.shard_for(&key) != after.shard_for(&key)
+            })
+            .count();
+        // Expected ~ total/5; allow generous slack but require it to be far below half.
+        assert!(
+            moved > 0 && moved < total / 2,
+            "adding a shard moved {moved}/{total} keys — not consistent hashing"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn empty_ring_panics() {
+        HashRing::new(8).shard_for("session:x");
+    }
+}

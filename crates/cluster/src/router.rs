@@ -1,0 +1,556 @@
+//! The shard router: one wire-level endpoint in front of N `PreservService` shards.
+//!
+//! The router registers on the [`ServiceHost`] under the provenance store's well-known name,
+//! so every existing recorder and reasoner talks to the cluster without change. It routes by
+//! consistent hashing on the *session* id — a workflow run's p-assertions stay co-located on
+//! one shard, which keeps lineage locally traceable — and it turns the record path into a
+//! batched pipeline: incoming assertions buffer per shard and flush as bulk `Record` messages,
+//! which the shard store commits through the backend's group-commit path (`put_many` /
+//! `WriteBatch`). Queries first flush every buffer (read-your-writes), then scatter-gather
+//! across all shards and merge, producing answers identical to a single store's.
+
+use std::collections::HashMap;
+
+use parking_lot::{Mutex, RwLock};
+
+use std::sync::Arc;
+
+use pasoa_core::ids::{IdGenerator, MessageId};
+use pasoa_core::passertion::RecordedAssertion;
+use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck, StoreStatistics};
+use pasoa_core::Group;
+use pasoa_preserv::plugins::PluginResponse;
+use pasoa_preserv::{LineageGraph, PreservService};
+use pasoa_wire::{
+    Envelope, MessageHandler, ServiceHost, Transport, TransportConfig, WireError, WireResult,
+};
+
+use crate::merge;
+use crate::ring::HashRing;
+
+/// How the router reaches its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InternalHop {
+    /// Hand decoded PReP messages straight to the shard's plug-in dispatcher. The router and
+    /// its shards share a process, so re-encoding the already-decoded client message would
+    /// simply double the serialization cost of every p-assertion.
+    #[default]
+    Direct,
+    /// Re-encode each internal message through the wire (full envelope codec and traffic
+    /// accounting on the router's transport) — the cost model of a router deployed on a
+    /// separate host from its shards.
+    Wire,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-shard buffer threshold: reaching it flushes that shard's buffer as one batched
+    /// `Record` message.
+    pub batch_size: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub virtual_nodes: usize,
+    /// How internal shard calls travel.
+    pub internal_hop: InternalHop,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            batch_size: 64,
+            virtual_nodes: 64,
+            internal_hop: InternalHop::Direct,
+        }
+    }
+}
+
+/// Counters the router maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// `Record` messages received from clients.
+    pub record_messages: u64,
+    /// Individual p-assertions routed to shard buffers.
+    pub assertions_routed: u64,
+    /// Batched `Record` messages sent to shards.
+    pub batches_flushed: u64,
+    /// Group registrations routed.
+    pub groups_routed: u64,
+    /// Queries answered by scatter-gather.
+    pub scatter_queries: u64,
+    /// Shards added after initial deployment.
+    pub rebalances: u64,
+}
+
+struct ShardHandle {
+    name: String,
+    service: Arc<PreservService>,
+}
+
+struct Placement {
+    ring: HashRing,
+    /// Ring snapshots taken before each rebalance, oldest first (one per `add_shard`).
+    historical_rings: Vec<HashRing>,
+    shards: Vec<ShardHandle>,
+    /// Memoized post-rebalance placements. Before the first rebalance placement is a pure
+    /// ring function and this map stays empty; afterwards every routed session's resolved
+    /// owner is cached here, because resolving one costs a data-presence probe against each
+    /// historical candidate shard — far too expensive to repeat per assertion.
+    pinned: HashMap<String, usize>,
+}
+
+/// The shard router. Register it on a host via [`ShardRouter::register`].
+pub struct ShardRouter {
+    transport: Transport,
+    config: RouterConfig,
+    placement: RwLock<Placement>,
+    /// Per-shard buffers of assertions awaiting a batched flush. Each shard's mutex is held
+    /// across its flush send, so batches destined for one shard commit in buffer order —
+    /// without serialising flushes of *different* shards against each other.
+    buffers: RwLock<Vec<std::sync::Arc<Mutex<Vec<RecordedAssertion>>>>>,
+    ids: IdGenerator,
+    stats: Mutex<RouterStats>,
+}
+
+impl ShardRouter {
+    /// Create a router in front of `(service name, service)` shard pairs, which must be (or
+    /// become) registered under those names on `host` for the [`InternalHop::Wire`] mode.
+    pub fn new(
+        host: &ServiceHost,
+        shards: Vec<(String, Arc<PreservService>)>,
+        config: RouterConfig,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a cluster needs at least one shard");
+        let ring = HashRing::with_shards(shards.len(), config.virtual_nodes);
+        let buffers = (0..shards.len())
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        let shards = shards
+            .into_iter()
+            .map(|(name, service)| ShardHandle { name, service })
+            .collect();
+        ShardRouter {
+            // Shard hops are in-process; the modelled client latency is charged on the
+            // client's own transport, not doubled on the internal hop.
+            transport: host.transport(TransportConfig::free()),
+            config,
+            placement: RwLock::new(Placement {
+                ring,
+                historical_rings: Vec::new(),
+                shards,
+                pinned: HashMap::new(),
+            }),
+            buffers: RwLock::new(buffers),
+            ids: IdGenerator::new("shard-router"),
+            stats: Mutex::new(RouterStats::default()),
+        }
+    }
+
+    /// Register this router on `host` under `service_name` (typically
+    /// [`pasoa_core::PROVENANCE_STORE_SERVICE`]). Returns the name used.
+    pub fn register(self: &Arc<Self>, host: &ServiceHost, service_name: &str) -> String {
+        host.register(service_name, Arc::clone(self) as Arc<dyn MessageHandler>);
+        service_name.to_string()
+    }
+
+    /// Current shard service names, in shard-index order.
+    pub fn shard_names(&self) -> Vec<String> {
+        self.placement
+            .read()
+            .shards
+            .iter()
+            .map(|shard| shard.name.clone())
+            .collect()
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> RouterStats {
+        *self.stats.lock()
+    }
+
+    /// Add a shard service to the ring. Only *future* sessions can map to it; sessions that
+    /// already hold documentation on their pre-rebalance shard stay there (see
+    /// [`Self::shard_for_session`]), so lineage never splits.
+    pub fn add_shard(
+        &self,
+        name: impl Into<String>,
+        service: Arc<PreservService>,
+    ) -> WireResult<usize> {
+        // Flush first so existing sessions' buffered documentation is visible to the
+        // data-presence check that keeps them sticky after the ring changes.
+        self.flush()?;
+        // Grow the buffer table before the ring so no routing decision can ever index past it.
+        self.buffers.write().push(Arc::new(Mutex::new(Vec::new())));
+        let mut placement = self.placement.write();
+        let snapshot = placement.ring.clone();
+        placement.historical_rings.push(snapshot);
+        let index = placement.ring.add_shard();
+        placement.shards.push(ShardHandle {
+            name: name.into(),
+            service,
+        });
+        drop(placement);
+        self.stats.lock().rebalances += 1;
+        Ok(index)
+    }
+
+    /// The shard index that owns `session`.
+    ///
+    /// Before any rebalance this is a pure function of the ring — no per-session state, no
+    /// write lock. After a rebalance, a session whose mapping changed but which already holds
+    /// documentation on its old shard stays pinned there. Every post-rebalance resolution is
+    /// memoized (the data-presence probe scans shard state, far too costly to repeat per
+    /// assertion), so the pin map grows with the sessions routed after the first rebalance —
+    /// the price of elasticity without a persistent placement table.
+    pub fn shard_for_session(&self, session: &str) -> usize {
+        let (current, candidates) = {
+            let placement = self.placement.read();
+            if placement.historical_rings.is_empty() {
+                return placement.ring.shard_for(session);
+            }
+            if let Some(&pinned) = placement.pinned.get(session) {
+                return pinned;
+            }
+            let current = placement.ring.shard_for(session);
+            // Shards older rings mapped this session to, oldest first.
+            let mut candidates: Vec<usize> = Vec::new();
+            for ring in &placement.historical_rings {
+                let owner = ring.shard_for(session);
+                if owner != current && !candidates.contains(&owner) {
+                    candidates.push(owner);
+                }
+            }
+            (current, candidates)
+        };
+        // Probed outside the placement lock: the presence probe takes buffer and store
+        // locks, which must never nest inside placement (flush paths take them the other
+        // way around).
+        let owner = candidates
+            .into_iter()
+            .find(|&owner| self.shard_has_session_data(owner, session))
+            .unwrap_or(current);
+        self.placement
+            .write()
+            .pinned
+            .insert(session.to_string(), owner);
+        owner
+    }
+
+    /// Whether `shard` already holds (stored or buffered) documentation for `session`.
+    fn shard_has_session_data(&self, shard: usize, session: &str) -> bool {
+        {
+            let buffer = Arc::clone(&self.buffers.read()[shard]);
+            let guard = buffer.lock();
+            if guard.iter().any(|r| r.session.as_str() == session) {
+                return true;
+            }
+        }
+        self.shard_service(shard)
+            .store()
+            .interactions_in_session(&pasoa_core::ids::SessionId::new(session))
+            .map(|interactions| !interactions.is_empty())
+            // Conservative on probe failure: keeping the old owner can never split a session.
+            .unwrap_or(true)
+    }
+
+    fn shard_name(&self, shard: usize) -> String {
+        self.placement.read().shards[shard].name.clone()
+    }
+
+    fn shard_service(&self, shard: usize) -> Arc<PreservService> {
+        Arc::clone(&self.placement.read().shards[shard].service)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.placement.read().shards.len()
+    }
+
+    /// Deliver one PReP message to one shard — directly to its plug-in dispatcher, or over
+    /// the wire, per the configured [`InternalHop`].
+    fn call_shard(
+        &self,
+        shard: usize,
+        action: &str,
+        message: &PrepMessage,
+    ) -> WireResult<PluginResponse> {
+        match self.config.internal_hop {
+            InternalHop::Direct => self.shard_service(shard).dispatch(action, message),
+            InternalHop::Wire => {
+                let envelope = Envelope::request(&self.shard_name(shard), action)
+                    .with_header("sender", "shard-router")
+                    .with_json_payload(message)?;
+                let response = self.transport.call(envelope)?;
+                // Rebuild the typed plug-in response from the wire payload.
+                match message {
+                    PrepMessage::Record(_) => Ok(PluginResponse::Ack(response.json_payload()?)),
+                    PrepMessage::RegisterGroup(_) => Ok(PluginResponse::GroupRegistered),
+                    PrepMessage::Query(_) if action == "lineage" => {
+                        Ok(PluginResponse::Lineage(response.json_payload()?))
+                    }
+                    PrepMessage::Query(_) => Ok(PluginResponse::Query(response.json_payload()?)),
+                }
+            }
+        }
+    }
+
+    /// Send one batched `Record` message to a shard. On failure the assertions are handed
+    /// back to the caller so they can be restored to the buffer — clients were already acked
+    /// for them, so dropping them would silently violate the identical-answers contract.
+    fn send_batch(
+        &self,
+        shard: usize,
+        assertions: Vec<RecordedAssertion>,
+    ) -> Result<(), (Vec<RecordedAssertion>, WireError)> {
+        if assertions.is_empty() {
+            return Ok(());
+        }
+        let message = PrepMessage::Record(pasoa_core::prep::RecordMessage {
+            message_id: self.ids.message_id(),
+            asserter: pasoa_core::ids::ActorId::new("shard-router"),
+            assertions,
+        });
+        let reclaim = |message: PrepMessage| match message {
+            PrepMessage::Record(record) => record.assertions,
+            _ => unreachable!("send_batch builds a record message"),
+        };
+        let ack = match self.call_shard(shard, "record", &message) {
+            Ok(PluginResponse::Ack(ack)) => ack,
+            Ok(other) => {
+                let error =
+                    WireError::Payload(format!("unexpected shard record response: {other:?}"));
+                return Err((reclaim(message), error));
+            }
+            Err(error) => return Err((reclaim(message), error)),
+        };
+        if !ack.fully_accepted() {
+            let error = WireError::Payload(format!(
+                "shard {shard} rejected {} assertion(s)",
+                ack.rejected.len()
+            ));
+            return Err((reclaim(message), error));
+        }
+        self.stats.lock().batches_flushed += 1;
+        Ok(())
+    }
+
+    /// Take a buffer's contents and send them, restoring them (ahead of anything appended
+    /// meanwhile — nothing can be, the guard is held) when the send fails.
+    fn send_buffer(&self, shard: usize, guard: &mut Vec<RecordedAssertion>) -> WireResult<()> {
+        let batch = std::mem::take(guard);
+        match self.send_batch(shard, batch) {
+            Ok(()) => Ok(()),
+            Err((batch, error)) => {
+                *guard = batch;
+                Err(error)
+            }
+        }
+    }
+
+    /// Flush one shard's buffer as a batched `Record` message. The shard's buffer mutex is
+    /// held across the send, so batches for one shard always commit in buffer order.
+    fn flush_shard(&self, shard: usize) -> WireResult<()> {
+        let buffer = std::sync::Arc::clone(&self.buffers.read()[shard]);
+        let mut guard = buffer.lock();
+        self.send_buffer(shard, &mut guard)
+    }
+
+    /// Flush every shard buffer. Called before queries (read-your-writes) and at the end of a
+    /// load-generation run.
+    pub fn flush(&self) -> WireResult<()> {
+        for shard in 0..self.shard_count() {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Route a record submission: partition by session owner, buffer per shard, and flush any
+    /// buffer that reached the batch threshold.
+    fn handle_record(
+        &self,
+        message_id: MessageId,
+        assertions: Vec<RecordedAssertion>,
+    ) -> WireResult<RecordAck> {
+        let accepted = assertions.len();
+        // Partition first so each shard's buffer mutex is taken once per record message.
+        let mut per_shard: HashMap<usize, Vec<RecordedAssertion>> = HashMap::new();
+        for recorded in assertions {
+            let shard = self.shard_for_session(recorded.session.as_str());
+            per_shard.entry(shard).or_default().push(recorded);
+        }
+        for (shard, incoming) in per_shard {
+            let buffer = std::sync::Arc::clone(&self.buffers.read()[shard]);
+            let mut guard = buffer.lock();
+            guard.extend(incoming);
+            if guard.len() >= self.config.batch_size {
+                // Send while holding the buffer mutex: same-shard batches stay ordered, and
+                // a failed send restores the batch instead of dropping acked assertions.
+                self.send_buffer(shard, &mut guard)?;
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.record_messages += 1;
+        stats.assertions_routed += accepted as u64;
+        drop(stats);
+        Ok(RecordAck {
+            message_id,
+            accepted,
+            rejected: vec![],
+        })
+    }
+
+    /// Route a group registration to the shard owning the group's id (session groups share
+    /// their session's shard, so group queries co-locate with the session's assertions).
+    fn handle_register_group(&self, group: Group) -> WireResult<()> {
+        let shard = self.shard_for_session(&group.id);
+        self.call_shard(shard, "register-group", &PrepMessage::RegisterGroup(group))?;
+        self.stats.lock().groups_routed += 1;
+        Ok(())
+    }
+
+    /// Answer a query by scatter-gather over every shard.
+    fn handle_query(&self, request: QueryRequest) -> WireResult<QueryResponse> {
+        self.flush()?;
+        self.stats.lock().scatter_queries += 1;
+        let shards = self.shard_count();
+        let gather = |request: &QueryRequest| -> WireResult<Vec<QueryResponse>> {
+            (0..shards)
+                .map(|shard| {
+                    match self.call_shard(shard, "query", &PrepMessage::Query(request.clone()))? {
+                        PluginResponse::Query(response) => Ok(response),
+                        other => Err(WireError::Payload(format!(
+                            "unexpected shard query response: {other:?}"
+                        ))),
+                    }
+                })
+                .collect()
+        };
+        let merged = match &request {
+            QueryRequest::ByInteraction(_)
+            | QueryRequest::BySession(_)
+            | QueryRequest::ActorStateByKind { .. } => {
+                let per_shard = collect_assertions(gather(&request)?)?;
+                let merged = merge::merge_assertions(per_shard);
+                if merged.is_empty() {
+                    QueryResponse::Empty
+                } else {
+                    QueryResponse::Assertions(merged)
+                }
+            }
+            QueryRequest::ListInteractions { limit } => {
+                let per_shard = collect_interactions(gather(&request)?)?;
+                QueryResponse::Interactions(merge::merge_interactions(per_shard, *limit))
+            }
+            QueryRequest::GroupsByKind(_) => {
+                let per_shard = collect_groups(gather(&request)?)?;
+                QueryResponse::Groups(merge::merge_groups(per_shard))
+            }
+            QueryRequest::Statistics => {
+                let per_shard = collect_statistics(gather(&request)?)?;
+                QueryResponse::Statistics(merge::merge_statistics(per_shard))
+            }
+        };
+        Ok(merged)
+    }
+
+    /// Answer a lineage request by merging every shard's session lineage graph.
+    fn handle_lineage(&self, request: QueryRequest) -> WireResult<LineageGraph> {
+        self.flush()?;
+        self.stats.lock().scatter_queries += 1;
+        let message = PrepMessage::Query(request);
+        let mut graphs = Vec::with_capacity(self.shard_count());
+        for shard in 0..self.shard_count() {
+            match self.call_shard(shard, "lineage", &message)? {
+                PluginResponse::Lineage(graph) => graphs.push(graph),
+                other => {
+                    return Err(WireError::Payload(format!(
+                        "unexpected shard lineage response: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(merge::merge_lineage(graphs))
+    }
+}
+
+fn collect_assertions(responses: Vec<QueryResponse>) -> WireResult<Vec<Vec<RecordedAssertion>>> {
+    responses
+        .into_iter()
+        .map(|response| match response {
+            QueryResponse::Assertions(list) => Ok(list),
+            QueryResponse::Empty => Ok(Vec::new()),
+            other => Err(unexpected(&other)),
+        })
+        .collect()
+}
+
+fn collect_interactions(
+    responses: Vec<QueryResponse>,
+) -> WireResult<Vec<Vec<pasoa_core::ids::InteractionKey>>> {
+    responses
+        .into_iter()
+        .map(|response| match response {
+            QueryResponse::Interactions(list) => Ok(list),
+            QueryResponse::Empty => Ok(Vec::new()),
+            other => Err(unexpected(&other)),
+        })
+        .collect()
+}
+
+fn collect_groups(responses: Vec<QueryResponse>) -> WireResult<Vec<Vec<Group>>> {
+    responses
+        .into_iter()
+        .map(|response| match response {
+            QueryResponse::Groups(list) => Ok(list),
+            QueryResponse::Empty => Ok(Vec::new()),
+            other => Err(unexpected(&other)),
+        })
+        .collect()
+}
+
+fn collect_statistics(responses: Vec<QueryResponse>) -> WireResult<Vec<StoreStatistics>> {
+    responses
+        .into_iter()
+        .map(|response| match response {
+            QueryResponse::Statistics(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        })
+        .collect()
+}
+
+fn unexpected(response: &QueryResponse) -> WireError {
+    WireError::Payload(format!("unexpected shard query response: {response:?}"))
+}
+
+impl MessageHandler for ShardRouter {
+    fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+        let action = request
+            .action()
+            .ok_or_else(|| WireError::InvalidEnvelope("missing action header".into()))?
+            .to_string();
+        let message: PrepMessage = request.json_payload()?;
+        match (action.as_str(), message) {
+            ("record", PrepMessage::Record(record)) => {
+                let ack = self.handle_record(record.message_id.clone(), record.assertions)?;
+                Envelope::response("record").with_json_payload(&ack)
+            }
+            ("register-group", PrepMessage::RegisterGroup(group)) => {
+                self.handle_register_group(group)?;
+                Envelope::response("register-group").with_json_payload(&"group-registered")
+            }
+            ("query", PrepMessage::Query(request)) => {
+                let response = self.handle_query(request)?;
+                Envelope::response("query").with_json_payload(&response)
+            }
+            ("lineage", PrepMessage::Query(request)) => {
+                let graph = self.handle_lineage(request)?;
+                Envelope::response("lineage").with_json_payload(&graph)
+            }
+            (action, _) => Err(WireError::Payload(format!(
+                "shard router cannot handle action '{action}' with that payload"
+            ))),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "shard-router"
+    }
+}

@@ -1,0 +1,120 @@
+//! Property test: lineage correctness under sharding.
+//!
+//! For arbitrary sets of relationship p-assertions, recorded concurrently (one thread per
+//! session) through the shard router, the cluster's merged `trace_session` answer must equal
+//! the graph a single store produces for the same documentation — including when several
+//! sessions record at the same time and interleave inside the router's shard buffers.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pasoa_cluster::PreservCluster;
+use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
+use pasoa_core::passertion::{PAssertion, RecordedAssertion, RelationshipPAssertion};
+use pasoa_core::prep::{PrepMessage, RecordMessage};
+use pasoa_preserv::{LineageGraph, MemoryBackend, ProvenanceStore};
+use pasoa_wire::{Envelope, ServiceHost, TransportConfig};
+
+const RELATIONS: [&str; 3] = ["compressed-from", "encoded-from", "shuffled-from"];
+
+/// One relationship p-assertion, session-locally indexed: (effect, causes, relation index).
+fn relationship_strategy() -> impl Strategy<Value = (u8, Vec<u8>, u8)> {
+    (0u8..20, prop::collection::vec(0u8..20, 0..4), 0u8..3)
+}
+
+fn session_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>, u8)>> {
+    prop::collection::vec(relationship_strategy(), 1..30)
+}
+
+fn build_session(index: usize, spec: &[(u8, Vec<u8>, u8)]) -> (SessionId, Vec<RecordedAssertion>) {
+    let session = SessionId::new(format!("session:prop:{index}"));
+    let assertions = spec
+        .iter()
+        .enumerate()
+        .map(|(j, (effect, causes, relation))| RecordedAssertion {
+            session: session.clone(),
+            assertion: PAssertion::Relationship(RelationshipPAssertion {
+                interaction_key: InteractionKey::new(format!("interaction:prop:{index}:{j:04}")),
+                asserter: ActorId::new("activity"),
+                effect: DataId::new(format!("data:s{index}:{effect}")),
+                causes: causes
+                    .iter()
+                    .map(|cause| {
+                        (
+                            InteractionKey::new(format!("interaction:prop:{index}:cause:{cause}")),
+                            DataId::new(format!("data:s{index}:{cause}")),
+                        )
+                    })
+                    .collect(),
+                relation: RELATIONS[*relation as usize % RELATIONS.len()].to_string(),
+            }),
+        })
+        .collect();
+    (session, assertions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    #[test]
+    fn cluster_lineage_equals_single_store(
+        sessions in prop::collection::vec(session_strategy(), 2..6),
+    ) {
+        // Reference: every session recorded sequentially into one store.
+        let single = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        let built: Vec<(SessionId, Vec<RecordedAssertion>)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| build_session(index, spec))
+            .collect();
+        for (_, assertions) in &built {
+            single.record_all(assertions).unwrap();
+        }
+
+        // Cluster: one concurrent recording thread per session, batched record messages
+        // through the router (batch size chosen so flushes interleave mid-session).
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_in_memory(&host, 4).unwrap();
+        std::thread::scope(|scope| {
+            for (_, assertions) in &built {
+                let host = host.clone();
+                scope.spawn(move || {
+                    let transport = host.transport(TransportConfig::free());
+                    let ids = IdGenerator::new("prop-client");
+                    for chunk in assertions.chunks(5) {
+                        let message = PrepMessage::Record(RecordMessage {
+                            message_id: ids.message_id(),
+                            asserter: ActorId::new("activity"),
+                            assertions: chunk.to_vec(),
+                        });
+                        let envelope = Envelope::request(
+                            pasoa_core::PROVENANCE_STORE_SERVICE,
+                            message.action(),
+                        )
+                        .with_json_payload(&message)
+                        .unwrap();
+                        transport.call(envelope).unwrap();
+                    }
+                });
+            }
+        });
+
+        // Per-session lineage graphs agree exactly.
+        for (session, _) in &built {
+            let expected = LineageGraph::trace_session(&single, session).unwrap();
+            let merged = cluster.lineage_session(session).unwrap();
+            prop_assert_eq!(&merged, &expected, "session {} diverged", session);
+        }
+
+        // And so do the whole-deployment statistics and session documents.
+        let merged_stats = cluster.statistics().unwrap();
+        prop_assert_eq!(merged_stats, single.statistics());
+        for (session, _) in &built {
+            prop_assert_eq!(
+                cluster.assertions_for_session(session).unwrap(),
+                single.assertions_for_session(session).unwrap()
+            );
+        }
+    }
+}

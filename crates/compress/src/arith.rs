@@ -32,7 +32,13 @@ impl Default for Encoder {
 impl Encoder {
     /// Create a fresh encoder.
     pub fn new() -> Self {
-        Encoder { low: 0, high: u32::MAX, pending: 0, bits: Vec::new(), bit_pos: 0 }
+        Encoder {
+            low: 0,
+            high: u32::MAX,
+            pending: 0,
+            bits: Vec::new(),
+            bit_pos: 0,
+        }
     }
 
     fn push_raw_bit(&mut self, bit: bool) {
@@ -117,7 +123,13 @@ pub struct Decoder<'a> {
 impl<'a> Decoder<'a> {
     /// Create a decoder over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        let mut d = Decoder { data, bit_index: 0, low: 0, high: u32::MAX, code: 0 };
+        let mut d = Decoder {
+            data,
+            bit_index: 0,
+            low: 0,
+            high: u32::MAX,
+            code: 0,
+        };
         for _ in 0..32 {
             d.code = (d.code << 1) | d.next_bit();
         }
@@ -173,7 +185,9 @@ pub struct BitModel {
 
 impl Default for BitModel {
     fn default() -> Self {
-        BitModel { p0: (PROB_ONE / 2) as u16 }
+        BitModel {
+            p0: (PROB_ONE / 2) as u16,
+        }
     }
 }
 
@@ -231,7 +245,9 @@ mod tests {
     #[test]
     fn extreme_probabilities_roundtrip() {
         let bits: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
-        let probs: Vec<u32> = (0..2000).map(|i| if i % 2 == 0 { 1 } else { 4095 }).collect();
+        let probs: Vec<u32> = (0..2000)
+            .map(|i| if i % 2 == 0 { 1 } else { 4095 })
+            .collect();
         roundtrip_bits(&bits, &probs);
     }
 
@@ -274,11 +290,17 @@ mod tests {
         for _ in 0..1000 {
             model.update(false);
         }
-        assert!(model.probability() > 3500, "p0 should approach 1 after many zeros");
+        assert!(
+            model.probability() > 3500,
+            "p0 should approach 1 after many zeros"
+        );
         for _ in 0..1000 {
             model.update(true);
         }
-        assert!(model.probability() < 600, "p0 should approach 0 after many ones");
+        assert!(
+            model.probability() < 600,
+            "p0 should approach 0 after many ones"
+        );
     }
 
     #[test]

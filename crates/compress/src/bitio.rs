@@ -67,7 +67,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Create a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, byte_pos: 0, bit_pos: 0 }
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
     }
 
     /// Read a single bit; `None` at end of input.
@@ -106,7 +110,9 @@ mod tests {
 
     #[test]
     fn single_bits_roundtrip() {
-        let pattern = [true, false, true, true, false, false, true, false, true, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true, true,
+        ];
         let mut w = BitWriter::new();
         for &b in &pattern {
             w.write_bit(b);
@@ -121,8 +127,14 @@ mod tests {
 
     #[test]
     fn multi_bit_values_roundtrip() {
-        let values: [(u32, u8); 6] =
-            [(0, 1), (1, 1), (5, 3), (255, 8), (0x1234, 16), (0x0FFF_FFFF, 28)];
+        let values: [(u32, u8); 6] = [
+            (0, 1),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (0x1234, 16),
+            (0x0FFF_FFFF, 28),
+        ];
         let mut w = BitWriter::new();
         for &(v, n) in &values {
             w.write_bits(v, n);

@@ -19,7 +19,10 @@ pub struct BwtOutput {
 pub fn bwt_forward(input: &[u8]) -> BwtOutput {
     let n = input.len();
     if n == 0 {
-        return BwtOutput { data: Vec::new(), primary_index: 0 };
+        return BwtOutput {
+            data: Vec::new(),
+            primary_index: 0,
+        };
     }
     let sa = sort_rotations(input);
     let mut data = Vec::with_capacity(n);
@@ -31,7 +34,10 @@ pub fn bwt_forward(input: &[u8]) -> BwtOutput {
         let idx = (start + n - 1) % n;
         data.push(input[idx]);
     }
-    BwtOutput { data, primary_index }
+    BwtOutput {
+        data,
+        primary_index,
+    }
 }
 
 /// Invert the transform.
@@ -138,16 +144,18 @@ mod tests {
 
     #[test]
     fn random_like_input() {
-        let data: Vec<u8> =
-            (0..30_000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+        let data: Vec<u8> = (0..30_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
         roundtrip(&data);
     }
 
     #[test]
     fn protein_like_input_groups_symbols() {
         let alphabet = b"ACDEFGHIKLMNPQRSTVWY";
-        let data: Vec<u8> =
-            (0..20_000usize).map(|i| alphabet[(i / 3 + i * i / 11) % 20]).collect();
+        let data: Vec<u8> = (0..20_000usize)
+            .map(|i| alphabet[(i / 3 + i * i / 11) % 20])
+            .collect();
         let fwd = bwt_forward(&data);
         // The BWT of structured text should contain longer same-symbol runs than the input.
         let runs = |s: &[u8]| s.windows(2).filter(|w| w[0] == w[1]).count();
@@ -157,7 +165,10 @@ mod tests {
 
     #[test]
     fn inverse_rejects_bad_primary_index() {
-        let bad = BwtOutput { data: b"abc".to_vec(), primary_index: 10 };
+        let bad = BwtOutput {
+            data: b"abc".to_vec(),
+            primary_index: 10,
+        };
         assert!(bwt_inverse(&bad).is_err());
     }
 }

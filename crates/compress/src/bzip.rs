@@ -24,14 +24,18 @@ pub struct BzipCompressor {
 
 impl Default for BzipCompressor {
     fn default() -> Self {
-        BzipCompressor { block_size: DEFAULT_BLOCK_SIZE }
+        BzipCompressor {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
     }
 }
 
 impl BzipCompressor {
     /// Create a compressor with an explicit block size (minimum 1 KiB).
     pub fn with_block_size(block_size: usize) -> Self {
-        BzipCompressor { block_size: block_size.max(1024) }
+        BzipCompressor {
+            block_size: block_size.max(1024),
+        }
     }
 
     fn compress_block(block: &[u8], out: &mut Vec<u8>) {
@@ -72,12 +76,18 @@ impl BzipCompressor {
 
         let symbols = decode_block(&input[symbol_start..symbol_end], RLE_ALPHABET)?;
         let run_lengths = decode_block(&input[symbol_end..run_end], 256)?;
-        let mtf = rle_decode(&ZeroRle { symbols, run_lengths })?;
+        let mtf = rle_decode(&ZeroRle {
+            symbols,
+            run_lengths,
+        })?;
         let bwt_data = mtf_decode(&mtf);
         if bwt_data.len() != block_len {
             return Err(CompressError::new("block length mismatch after MTF"));
         }
-        let block = bwt_inverse(&BwtOutput { data: bwt_data, primary_index })?;
+        let block = bwt_inverse(&BwtOutput {
+            data: bwt_data,
+            primary_index,
+        })?;
         *pos = run_end;
         Ok(block)
     }
@@ -154,8 +164,9 @@ mod tests {
     #[test]
     fn roundtrip_protein_like_alphabet() {
         let alphabet = b"ACDEFGHIKLMNPQRSTVWY";
-        let data: Vec<u8> =
-            (0..60_000usize).map(|i| alphabet[(i / 2 + i * 3 / 7) % 20]).collect();
+        let data: Vec<u8> = (0..60_000usize)
+            .map(|i| alphabet[(i / 2 + i * 3 / 7) % 20])
+            .collect();
         let c = BzipCompressor::default();
         let compressed = c.compress(&data);
         assert_eq!(c.decompress(&compressed).unwrap(), data);

@@ -95,7 +95,10 @@ impl Compressor for GzipCompressor {
                     return Err(CompressError::new("match length out of range"));
                 }
                 let distance = (lo | (hi << 8)) as u16;
-                tokens.push(Token::Match { length: length as u16, distance });
+                tokens.push(Token::Match {
+                    length: length as u16,
+                    distance,
+                });
             } else {
                 tokens.push(Token::Literal(sym as u8));
             }
@@ -136,7 +139,10 @@ mod tests {
         let compressed = c.compress(&data);
         assert_eq!(c.decompress(&compressed).unwrap(), data);
         let ratio = compression_ratio(data.len(), compressed.len());
-        assert!(ratio < 0.2, "expected strong compression of repetitive text, got {ratio}");
+        assert!(
+            ratio < 0.2,
+            "expected strong compression of repetitive text, got {ratio}"
+        );
     }
 
     #[test]

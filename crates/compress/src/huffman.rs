@@ -33,7 +33,10 @@ impl CodeBook {
             let max = lengths.iter().copied().max().unwrap_or(0);
             if max <= MAX_CODE_LEN {
                 let codes = assign_canonical_codes(&lengths);
-                return CodeBook { code_lengths: lengths, codes };
+                return CodeBook {
+                    code_lengths: lengths,
+                    codes,
+                };
             }
             // Flatten the distribution and retry; convergence is guaranteed because equal
             // frequencies yield logarithmic depth.
@@ -51,7 +54,10 @@ impl CodeBook {
             return Err(CompressError::new("code length exceeds limit"));
         }
         let codes = assign_canonical_codes(&code_lengths);
-        Ok(CodeBook { code_lengths, codes })
+        Ok(CodeBook {
+            code_lengths,
+            codes,
+        })
     }
 
     /// Number of symbols in the alphabet.
@@ -98,8 +104,9 @@ impl CodeBook {
     ) -> Result<Self, CompressError> {
         let mut lengths = Vec::with_capacity(alphabet_size);
         for _ in 0..alphabet_size {
-            let len =
-                reader.read_bits(4).ok_or_else(|| CompressError::new("truncated code table"))?;
+            let len = reader
+                .read_bits(4)
+                .ok_or_else(|| CompressError::new("truncated code table"))?;
             lengths.push(len as u8);
         }
         Self::from_lengths(lengths)
@@ -149,7 +156,12 @@ impl Decoder {
             .map(|(sym, &len)| (len, sym as u32))
             .collect();
         symbols.sort_unstable();
-        Decoder { count, first_code, offset, symbols: symbols.into_iter().map(|(_, s)| s).collect() }
+        Decoder {
+            count,
+            first_code,
+            offset,
+            symbols: symbols.into_iter().map(|(_, s)| s).collect(),
+        }
     }
 
     /// Decode one symbol from the reader.
@@ -198,7 +210,10 @@ fn build_code_lengths(freqs: &[u64]) -> Vec<u8> {
     let mut parent: Vec<Option<usize>> = vec![None; used.len()];
     let mut heap = std::collections::BinaryHeap::new();
     for (node, &sym) in used.iter().enumerate() {
-        heap.push(std::cmp::Reverse(HeapItem { weight: freqs[sym], node }));
+        heap.push(std::cmp::Reverse(HeapItem {
+            weight: freqs[sym],
+            node,
+        }));
     }
     while heap.len() > 1 {
         let a = heap.pop().unwrap().0;
@@ -240,7 +255,9 @@ fn assign_canonical_codes(code_lengths: &[u8]) -> Vec<u32> {
         next_code[len] = code;
     }
     // Canonical assignment must visit symbols ordered by (length, symbol index).
-    let mut order: Vec<usize> = (0..code_lengths.len()).filter(|&s| code_lengths[s] > 0).collect();
+    let mut order: Vec<usize> = (0..code_lengths.len())
+        .filter(|&s| code_lengths[s] > 0)
+        .collect();
     order.sort_by_key(|&s| (code_lengths[s], s));
     let mut codes = vec![0u32; code_lengths.len()];
     for s in order {
@@ -272,8 +289,9 @@ pub fn encode_block(alphabet_size: usize, symbols: &[u32]) -> Vec<u8> {
 /// Decode a block produced by [`encode_block`].
 pub fn decode_block(bytes: &[u8], alphabet_size: usize) -> Result<Vec<u32>, CompressError> {
     let mut reader = BitReader::new(bytes);
-    let count =
-        reader.read_bits(32).ok_or_else(|| CompressError::new("truncated block header"))? as usize;
+    let count = reader
+        .read_bits(32)
+        .ok_or_else(|| CompressError::new("truncated block header"))? as usize;
     let book = CodeBook::read_lengths(&mut reader, alphabet_size)?;
     let decoder = book.decoder();
     let mut out = Vec::with_capacity(count);
@@ -307,7 +325,9 @@ mod tests {
 
     #[test]
     fn kraft_inequality_holds() {
-        let freqs: Vec<u64> = (0..64).map(|i| (i as u64 + 1) * (i as u64 % 7 + 1)).collect();
+        let freqs: Vec<u64> = (0..64)
+            .map(|i| (i as u64 + 1) * (i as u64 % 7 + 1))
+            .collect();
         let book = CodeBook::from_frequencies(&freqs);
         let kraft: f64 = book
             .code_lengths

@@ -57,7 +57,9 @@ pub struct CompressError {
 impl CompressError {
     /// Create an error with the given reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        CompressError { reason: reason.into() }
+        CompressError {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -71,16 +73,7 @@ impl std::error::Error for CompressError {}
 
 /// The compression methods evaluated by the experiment.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub enum Method {
     /// LZ77 + Huffman (gzip class).

@@ -90,7 +90,10 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
         head[h] = pos;
 
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { length: best_len as u16, distance: best_dist as u16 });
+            tokens.push(Token::Match {
+                length: best_len as u16,
+                distance: best_dist as u16,
+            });
             // Insert the skipped positions into the hash chains so later matches can refer to
             // them (bounded to keep this O(n) in practice).
             let insert_until = (pos + best_len).min(data.len().saturating_sub(MIN_MATCH));
@@ -183,7 +186,10 @@ mod tests {
         let data = b"abcabcabcabcabcabcabcabc".to_vec();
         let tokens = tokenize(&data);
         let stats = token_stats(&tokens);
-        assert!(stats.matches >= 1, "expected at least one back-reference, got {stats:?}");
+        assert!(
+            stats.matches >= 1,
+            "expected at least one back-reference, got {stats:?}"
+        );
         assert_eq!(detokenize(&tokens).unwrap(), data);
     }
 
@@ -199,8 +205,9 @@ mod tests {
 
     #[test]
     fn random_like_input_roundtrips() {
-        let data: Vec<u8> =
-            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         roundtrip(&data);
     }
 
@@ -222,15 +229,27 @@ mod tests {
             data.push(b'A' + (i % 20) as u8);
         }
         let tokens = tokenize(&data);
-        assert!(tokens.len() < data.len() / 2, "token stream should be much shorter than input");
+        assert!(
+            tokens.len() < data.len() / 2,
+            "token stream should be much shorter than input"
+        );
         assert_eq!(detokenize(&tokens).unwrap(), data);
     }
 
     #[test]
     fn detokenize_rejects_bad_distances() {
-        let bad = vec![Token::Match { length: 5, distance: 3 }];
+        let bad = vec![Token::Match {
+            length: 5,
+            distance: 3,
+        }];
         assert!(detokenize(&bad).is_err());
-        let bad = vec![Token::Literal(b'x'), Token::Match { length: 3, distance: 0 }];
+        let bad = vec![
+            Token::Literal(b'x'),
+            Token::Match {
+                length: 3,
+                distance: 0,
+            },
+        ];
         assert!(detokenize(&bad).is_err());
     }
 

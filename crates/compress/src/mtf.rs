@@ -10,7 +10,10 @@ pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
     let mut table: Vec<u8> = (0..=255).collect();
     let mut out = Vec::with_capacity(data.len());
     for &b in data {
-        let pos = table.iter().position(|&x| x == b).expect("byte always present") as u8;
+        let pos = table
+            .iter()
+            .position(|&x| x == b)
+            .expect("byte always present") as u8;
         out.push(pos);
         table.copy_within(0..pos as usize, 1);
         table[0] = b;
@@ -83,7 +86,9 @@ pub fn rle_decode(rle: &ZeroRle) -> Result<Vec<u8>, crate::CompressError> {
         } else if sym < 256 {
             out.push(sym as u8);
         } else {
-            return Err(crate::CompressError::new(format!("invalid RLE symbol {sym}")));
+            return Err(crate::CompressError::new(format!(
+                "invalid RLE symbol {sym}"
+            )));
         }
     }
     Ok(out)
@@ -143,9 +148,15 @@ mod tests {
 
     #[test]
     fn rle_decode_rejects_malformed_input() {
-        let missing_run = ZeroRle { symbols: vec![ZERO_RUN], run_lengths: vec![] };
+        let missing_run = ZeroRle {
+            symbols: vec![ZERO_RUN],
+            run_lengths: vec![],
+        };
         assert!(rle_decode(&missing_run).is_err());
-        let bad_symbol = ZeroRle { symbols: vec![999], run_lengths: vec![] };
+        let bad_symbol = ZeroRle {
+            symbols: vec![999],
+            run_lengths: vec![],
+        };
         assert!(rle_decode(&bad_symbol).is_err());
     }
 
@@ -164,9 +175,11 @@ mod tests {
         assert_eq!(back_mtf, mtf);
         let back_bwt = mtf_decode(&back_mtf);
         assert_eq!(back_bwt, bwt.data);
-        let back =
-            crate::bwt::bwt_inverse(&crate::bwt::BwtOutput { data: back_bwt, primary_index: bwt.primary_index })
-                .unwrap();
+        let back = crate::bwt::bwt_inverse(&crate::bwt::BwtOutput {
+            data: back_bwt,
+            primary_index: bwt.primary_index,
+        })
+        .unwrap();
         assert_eq!(back, data);
     }
 }

@@ -34,7 +34,9 @@ impl Default for PpmCompressor {
 impl PpmCompressor {
     /// Create a compressor with an explicit maximum context order (clamped to 1..=3).
     pub fn with_order(max_order: u8) -> Self {
-        PpmCompressor { max_order: max_order.clamp(1, 3) }
+        PpmCompressor {
+            max_order: max_order.clamp(1, 3),
+        }
     }
 }
 
@@ -48,7 +50,9 @@ struct Model {
 impl Model {
     fn new(max_order: usize) -> Self {
         Model {
-            tables: (0..max_order).map(|_| vec![BitModel::default(); TABLE_SIZE]).collect(),
+            tables: (0..max_order)
+                .map(|_| vec![BitModel::default(); TABLE_SIZE])
+                .collect(),
             max_order,
             history: 0,
         }
@@ -172,7 +176,10 @@ mod tests {
         let compressed = c.compress(&data);
         assert_eq!(c.decompress(&compressed).unwrap(), data);
         let ratio = compression_ratio(data.len(), compressed.len());
-        assert!(ratio < 0.15, "context modelling should crush repetitive text, got {ratio}");
+        assert!(
+            ratio < 0.15,
+            "context modelling should crush repetitive text, got {ratio}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
 
 fn protein_like_bytes() -> impl Strategy<Value = Vec<u8>> {
     // Sequences over the 20-letter amino-acid alphabet, the codecs' actual workload.
-    prop::collection::vec(prop::sample::select(b"ACDEFGHIKLMNPQRSTVWY".to_vec()), 0..4096)
+    prop::collection::vec(
+        prop::sample::select(b"ACDEFGHIKLMNPQRSTVWY".to_vec()),
+        0..4096,
+    )
 }
 
 proptest! {

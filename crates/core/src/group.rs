@@ -46,7 +46,11 @@ pub struct Group {
 impl Group {
     /// Create an empty group.
     pub fn new(id: impl Into<String>, kind: GroupKind) -> Self {
-        Group { id: id.into(), kind, members: Vec::new() }
+        Group {
+            id: id.into(),
+            kind,
+            members: Vec::new(),
+        }
     }
 
     /// Add an interaction to the group (duplicates are ignored).
@@ -80,7 +84,10 @@ mod tests {
     fn kind_labels() {
         assert_eq!(GroupKind::Session.label(), "session");
         assert_eq!(GroupKind::Thread.label(), "thread");
-        assert_eq!(GroupKind::Custom("permutation-batch".into()).label(), "permutation-batch");
+        assert_eq!(
+            GroupKind::Custom("permutation-batch".into()).label(),
+            "permutation-batch"
+        );
     }
 
     #[test]

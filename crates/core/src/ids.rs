@@ -89,7 +89,10 @@ pub struct IdGenerator {
 impl IdGenerator {
     /// Create a generator for the given run prefix.
     pub fn new(run: impl Into<String>) -> Self {
-        IdGenerator { run: run.into(), counter: Arc::new(AtomicU64::new(0)) }
+        IdGenerator {
+            run: run.into(),
+            counter: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The run prefix.

@@ -101,8 +101,10 @@ impl Journal {
         let file = std::fs::File::create(path)?;
         let mut writer = std::io::BufWriter::new(file);
         for entry in &entries {
-            let line = serde_json::to_string(entry)
-                .map_err(|e| JournalError::Corrupt { line: 0, reason: e.to_string() })?;
+            let line = serde_json::to_string(entry).map_err(|e| JournalError::Corrupt {
+                line: 0,
+                reason: e.to_string(),
+            })?;
             writeln!(writer, "{line}")?;
         }
         writer.flush()?;
@@ -119,8 +121,11 @@ impl Journal {
             if line.trim().is_empty() {
                 continue;
             }
-            let entry: JournalEntry = serde_json::from_str(&line)
-                .map_err(|e| JournalError::Corrupt { line: idx + 1, reason: e.to_string() })?;
+            let entry: JournalEntry =
+                serde_json::from_str(&line).map_err(|e| JournalError::Corrupt {
+                    line: idx + 1,
+                    reason: e.to_string(),
+                })?;
             journal.entries.lock().push(entry);
         }
         Ok(journal)

@@ -45,8 +45,8 @@ pub use passertion::{
 };
 pub use prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck, RecordMessage};
 pub use recorder::{
-    AsyncRecorder, NullRecorder, ProvenanceRecorder, RecorderStats, RecordingConfig,
-    RecordingMode, SyncRecorder,
+    AsyncRecorder, NullRecorder, ProvenanceRecorder, RecorderStats, RecordingConfig, RecordingMode,
+    SyncRecorder,
 };
 
 /// Logical service name under which a provenance store registers on the wire layer.

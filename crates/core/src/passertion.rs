@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(ActorStateKind::Workflow.label(), "workflow");
         assert_eq!(ActorStateKind::ResourceUsage.label(), "resource-usage");
         assert_eq!(ActorStateKind::Configuration.label(), "configuration");
-        assert_eq!(ActorStateKind::Other("queue-depth".into()).label(), "queue-depth");
+        assert_eq!(
+            ActorStateKind::Other("queue-depth".into()).label(),
+            "queue-depth"
+        );
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
             interaction_key: InteractionKey::new("interaction:r:2"),
             asserter: ActorId::new("gzip-compressor"),
             effect: DataId::new("data:r:9"),
-            causes: vec![(InteractionKey::new("interaction:r:1"), DataId::new("data:r:7"))],
+            causes: vec![(
+                InteractionKey::new("interaction:r:1"),
+                DataId::new("data:r:7"),
+            )],
             relation: "compressed-from".into(),
         });
         assert_eq!(rel.kind_label(), "relationship");
@@ -314,8 +320,10 @@ mod tests {
             }),
         ];
         for a in assertions {
-            let recorded =
-                RecordedAssertion { session: SessionId::new("session:r:0"), assertion: a };
+            let recorded = RecordedAssertion {
+                session: SessionId::new("session:r:0"),
+                assertion: a,
+            };
             let json = serde_json::to_string(&recorded).unwrap();
             let back: RecordedAssertion = serde_json::from_str(&json).unwrap();
             assert_eq!(back, recorded);

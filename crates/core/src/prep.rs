@@ -143,7 +143,9 @@ impl PrepMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::passertion::{ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind};
+    use crate::passertion::{
+        ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind,
+    };
 
     fn record() -> RecordMessage {
         RecordMessage {
@@ -172,7 +174,11 @@ mod tests {
 
     #[test]
     fn ack_accept_and_reject() {
-        let ok = RecordAck { message_id: MessageId::new("m"), accepted: 3, rejected: vec![] };
+        let ok = RecordAck {
+            message_id: MessageId::new("m"),
+            accepted: 3,
+            rejected: vec![],
+        };
         assert!(ok.fully_accepted());
         let partial = RecordAck {
             message_id: MessageId::new("m"),
@@ -199,7 +205,10 @@ mod tests {
             PrepMessage::RegisterGroup(Group::new("g", crate::group::GroupKind::Session)).action(),
             "register-group"
         );
-        assert_eq!(PrepMessage::Query(QueryRequest::Statistics).action(), "query");
+        assert_eq!(
+            PrepMessage::Query(QueryRequest::Statistics).action(),
+            "query"
+        );
     }
 
     #[test]
@@ -207,7 +216,9 @@ mod tests {
         let messages = vec![
             PrepMessage::Record(record()),
             PrepMessage::RegisterGroup(Group::new("session:1", crate::group::GroupKind::Session)),
-            PrepMessage::Query(QueryRequest::ByInteraction(InteractionKey::new("interaction:1"))),
+            PrepMessage::Query(QueryRequest::ByInteraction(InteractionKey::new(
+                "interaction:1",
+            ))),
             PrepMessage::Query(QueryRequest::BySession(SessionId::new("session:1"))),
             PrepMessage::Query(QueryRequest::ListInteractions { limit: Some(10) }),
             PrepMessage::Query(QueryRequest::GroupsByKind("session".into())),

@@ -81,7 +81,10 @@ pub struct RecordingConfig {
 
 impl Default for RecordingConfig {
     fn default() -> Self {
-        RecordingConfig { mode: RecordingMode::Asynchronous, batch_size: 64 }
+        RecordingConfig {
+            mode: RecordingMode::Asynchronous,
+            batch_size: 64,
+        }
     }
 }
 
@@ -133,7 +136,10 @@ pub struct NullRecorder {
 impl NullRecorder {
     /// Create a null recorder for `session`.
     pub fn new(session: SessionId) -> Self {
-        NullRecorder { session, stats: Mutex::new(RecorderStats::default()) }
+        NullRecorder {
+            session,
+            stats: Mutex::new(RecorderStats::default()),
+        }
     }
 }
 
@@ -189,11 +195,7 @@ fn send_record(
     }
 }
 
-fn send_group(
-    transport: &Transport,
-    asserter: &ActorId,
-    group: Group,
-) -> Result<(), RecordError> {
+fn send_group(transport: &Transport, asserter: &ActorId, group: Group) -> Result<(), RecordError> {
     let prep = PrepMessage::RegisterGroup(group);
     let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, prep.action())
         .with_header("sender", asserter.as_str())
@@ -219,7 +221,13 @@ impl SyncRecorder {
         transport: Transport,
         ids: IdGenerator,
     ) -> Self {
-        SyncRecorder { session, asserter, transport, ids, stats: Mutex::new(Default::default()) }
+        SyncRecorder {
+            session,
+            asserter,
+            transport,
+            ids,
+            stats: Mutex::new(Default::default()),
+        }
     }
 }
 
@@ -229,7 +237,10 @@ impl ProvenanceRecorder for SyncRecorder {
     }
 
     fn record(&self, assertion: PAssertion) -> Result<(), RecordError> {
-        let recorded = RecordedAssertion { session: self.session.clone(), assertion };
+        let recorded = RecordedAssertion {
+            session: self.session.clone(),
+            assertion,
+        };
         let ack = send_record(&self.transport, &self.ids, &self.asserter, vec![recorded])?;
         let mut stats = self.stats.lock();
         stats.assertions_recorded += 1;
@@ -309,8 +320,10 @@ impl ProvenanceRecorder for AsyncRecorder {
     }
 
     fn record(&self, assertion: PAssertion) -> Result<(), RecordError> {
-        self.journal
-            .push_assertion(RecordedAssertion { session: self.session.clone(), assertion });
+        self.journal.push_assertion(RecordedAssertion {
+            session: self.session.clone(),
+            assertion,
+        });
         self.stats.lock().assertions_recorded += 1;
         Ok(())
     }
@@ -392,7 +405,9 @@ mod tests {
         let received = Arc::new(AtomicUsize::new(0));
         host.register(
             PROVENANCE_STORE_SERVICE,
-            Arc::new(FakeStore { received: Arc::clone(&received) }),
+            Arc::new(FakeStore {
+                received: Arc::clone(&received),
+            }),
         );
         (host, received)
     }
@@ -411,7 +426,8 @@ mod tests {
     fn null_recorder_accepts_and_discards() {
         let r = NullRecorder::new(SessionId::new("session:0"));
         r.record(assertion(1)).unwrap();
-        r.register_group(Group::new("g", crate::group::GroupKind::Session)).unwrap();
+        r.register_group(Group::new("g", crate::group::GroupKind::Session))
+            .unwrap();
         r.flush().unwrap();
         assert_eq!(r.stats().messages_sent, 0);
         assert_eq!(r.mode(), RecordingMode::None);
@@ -431,7 +447,8 @@ mod tests {
         for i in 0..10 {
             r.record(assertion(i)).unwrap();
         }
-        r.register_group(Group::new("session:1", crate::group::GroupKind::Session)).unwrap();
+        r.register_group(Group::new("session:1", crate::group::GroupKind::Session))
+            .unwrap();
         assert_eq!(received.load(Ordering::SeqCst), 10);
         let stats = r.stats();
         assert_eq!(stats.assertions_recorded, 10);
@@ -455,8 +472,13 @@ mod tests {
         for i in 0..40 {
             r.record(assertion(i)).unwrap();
         }
-        r.register_group(Group::new("session:2", crate::group::GroupKind::Session)).unwrap();
-        assert_eq!(received.load(Ordering::SeqCst), 0, "nothing is sent before flush");
+        r.register_group(Group::new("session:2", crate::group::GroupKind::Session))
+            .unwrap();
+        assert_eq!(
+            received.load(Ordering::SeqCst),
+            0,
+            "nothing is sent before flush"
+        );
         assert_eq!(r.pending(), 41);
         assert_eq!(transport.stats().calls, 0);
 
@@ -512,7 +534,10 @@ mod tests {
     #[test]
     fn mode_labels() {
         assert_eq!(RecordingMode::None.label(), "no recording");
-        assert_eq!(RecordingMode::Asynchronous.label(), "asynchronous recording");
+        assert_eq!(
+            RecordingMode::Asynchronous.label(),
+            "asynchronous recording"
+        );
         assert_eq!(RecordingMode::Synchronous.label(), "synchronous recording");
     }
 

@@ -47,8 +47,12 @@ impl Activity for CollateSampleActivity {
             return Err(ActivityError::new(self.name(), "no input sequences"));
         }
         let sample = collate_sample("sample", &sequences, self.target_size);
-        Ok(vec![DataItem::new(ctx.ids.data_id(), "sample", sample.residues)
-            .with_semantic_type(semantic::PROTEIN_SAMPLE)])
+        Ok(vec![DataItem::new(
+            ctx.ids.data_id(),
+            "sample",
+            sample.residues,
+        )
+        .with_semantic_type(semantic::PROTEIN_SAMPLE)])
     }
 
     fn input_types(&self) -> Vec<String> {
@@ -72,7 +76,10 @@ impl Activity for EncodeByGroupsActivity {
     }
 
     fn script(&self) -> String {
-        format!("encode-by-groups --grouping '{}'", self.coding.spec_string())
+        format!(
+            "encode-by-groups --grouping '{}'",
+            self.coding.spec_string()
+        )
     }
 
     fn invoke(
@@ -87,8 +94,12 @@ impl Activity for EncodeByGroupsActivity {
             .coding
             .encode(&sample.bytes)
             .map_err(|e| ActivityError::new(self.name(), e.to_string()))?;
-        Ok(vec![DataItem::new(ctx.ids.data_id(), "encoded-sample", encoded)
-            .with_semantic_type(semantic::GROUP_ENCODED_SAMPLE)])
+        Ok(vec![DataItem::new(
+            ctx.ids.data_id(),
+            "encoded-sample",
+            encoded,
+        )
+        .with_semantic_type(semantic::GROUP_ENCODED_SAMPLE)])
     }
 
     fn input_types(&self) -> Vec<String> {
@@ -184,8 +195,10 @@ pub fn synthetic_inputs(
     let generator = pasoa_bioseq::synthetic::SyntheticGenerator::new(config.clone());
     let sequences: Vec<Sequence> = generator.proteins();
     let fasta = pasoa_bioseq::fasta::write_fasta(&sequences);
-    vec![DataItem::new(ids.data_id(), "sequences", fasta.into_bytes())
-        .with_semantic_type(semantic::AMINO_ACID_SEQUENCE)]
+    vec![
+        DataItem::new(ids.data_id(), "sequences", fasta.into_bytes())
+            .with_semantic_type(semantic::AMINO_ACID_SEQUENCE),
+    ]
 }
 
 #[cfg(test)]
@@ -193,8 +206,8 @@ mod tests {
     use super::*;
     use pasoa_bioseq::grouping::StandardGrouping;
     use pasoa_bioseq::synthetic::SyntheticConfig;
-    use pasoa_core::ids::IdGenerator;
     use pasoa_compress::Method;
+    use pasoa_core::ids::IdGenerator;
 
     fn ctx() -> ActivityContext {
         ActivityContext::new(IdGenerator::new("test"), 0)
@@ -204,17 +217,27 @@ mod tests {
     fn collate_then_encode_pipeline() {
         let ids = IdGenerator::new("test");
         let inputs = synthetic_inputs(
-            &SyntheticConfig { sequence_count: 8, sequence_length: 2000, ..Default::default() },
+            &SyntheticConfig {
+                sequence_count: 8,
+                sequence_length: 2000,
+                ..Default::default()
+            },
             &ids,
         );
-        let collate = CollateSampleActivity { target_size: 10_000 };
+        let collate = CollateSampleActivity {
+            target_size: 10_000,
+        };
         let sample = collate.invoke(&inputs, &ctx()).unwrap();
         assert_eq!(sample.len(), 1);
         assert_eq!(sample[0].len(), 10_000);
-        assert_eq!(sample[0].semantic_type.as_deref(), Some(semantic::PROTEIN_SAMPLE));
+        assert_eq!(
+            sample[0].semantic_type.as_deref(),
+            Some(semantic::PROTEIN_SAMPLE)
+        );
 
-        let encode =
-            EncodeByGroupsActivity { coding: StandardGrouping::Dayhoff6.coding() };
+        let encode = EncodeByGroupsActivity {
+            coding: StandardGrouping::Dayhoff6.coding(),
+        };
         let encoded = encode.invoke(&sample, &ctx()).unwrap();
         assert_eq!(encoded[0].len(), 10_000);
         // Dayhoff reduces to 6 distinct symbols.
@@ -228,15 +251,25 @@ mod tests {
     fn collate_rejects_empty_and_bad_input() {
         let collate = CollateSampleActivity { target_size: 100 };
         assert!(collate.invoke(&[], &ctx()).is_err());
-        let bad = DataItem::new(pasoa_core::ids::DataId::new("d"), "x", b"residues without a header\n>".to_vec());
+        let bad = DataItem::new(
+            pasoa_core::ids::DataId::new("d"),
+            "x",
+            b"residues without a header\n>".to_vec(),
+        );
         assert!(collate.invoke(&[bad], &ctx()).is_err());
     }
 
     #[test]
     fn encode_requires_an_input_and_valid_residues() {
-        let encode = EncodeByGroupsActivity { coding: StandardGrouping::Dayhoff6.coding() };
+        let encode = EncodeByGroupsActivity {
+            coding: StandardGrouping::Dayhoff6.coding(),
+        };
         assert!(encode.invoke(&[], &ctx()).is_err());
-        let bad = DataItem::new(pasoa_core::ids::DataId::new("d"), "sample", b"MK1L".to_vec());
+        let bad = DataItem::new(
+            pasoa_core::ids::DataId::new("d"),
+            "sample",
+            b"MK1L".to_vec(),
+        );
         assert!(encode.invoke(&[bad], &ctx()).is_err());
     }
 
@@ -276,9 +309,17 @@ mod tests {
     #[test]
     fn activity_semantic_declarations_are_consistent() {
         let collate = CollateSampleActivity { target_size: 10 };
-        let encode = EncodeByGroupsActivity { coding: StandardGrouping::Dayhoff6.coding() };
-        assert_eq!(collate.output_types(), vec![semantic::PROTEIN_SAMPLE.to_string()]);
-        assert_eq!(encode.input_types(), vec![semantic::AMINO_ACID_SEQUENCE.to_string()]);
+        let encode = EncodeByGroupsActivity {
+            coding: StandardGrouping::Dayhoff6.coding(),
+        };
+        assert_eq!(
+            collate.output_types(),
+            vec![semantic::PROTEIN_SAMPLE.to_string()]
+        );
+        assert_eq!(
+            encode.input_types(),
+            vec![semantic::AMINO_ACID_SEQUENCE.to_string()]
+        );
         assert_eq!(CollateSizesActivity.name(), "collate-sizes");
         assert_eq!(AverageActivity.name(), "average");
         assert!(!CollateSizesActivity.script().is_empty());

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use pasoa_bioseq::grouping::StandardGrouping;
 use pasoa_bioseq::synthetic::SyntheticConfig;
+use pasoa_cluster::{PreservCluster, StoreHandle};
 use pasoa_compress::Method;
 use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
 use pasoa_core::recorder::{
@@ -24,9 +25,7 @@ use pasoa_core::recorder::{
 };
 use pasoa_preserv::PreservService;
 use pasoa_wire::{LatencyModel, ServiceHost, Transport, TransportConfig};
-use pasoa_workflow::{
-    EngineConfig, GranularityPartitioner, OverheadModel, WorkflowEngine,
-};
+use pasoa_workflow::{EngineConfig, GranularityPartitioner, OverheadModel, WorkflowEngine};
 
 use crate::activities::{synthetic_inputs, CollateSampleActivity, EncodeByGroupsActivity};
 use crate::measure::MeasureKit;
@@ -84,12 +83,30 @@ impl RunRecording {
     }
 }
 
+/// What actually serves the provenance store's well-known name in a deployment.
+pub enum StoreAccess {
+    /// One `PreservService`, as in the paper's evaluation.
+    Single(Arc<PreservService>),
+    /// A sharded cluster behind a shard router (the production-scale tier).
+    Sharded(Arc<PreservCluster>),
+}
+
+impl StoreAccess {
+    /// A uniform query handle over the deployment.
+    pub fn store_handle(&self) -> StoreHandle {
+        match self {
+            StoreAccess::Single(service) => StoreHandle::Single(service.store()),
+            StoreAccess::Sharded(cluster) => StoreHandle::Cluster(Arc::clone(cluster)),
+        }
+    }
+}
+
 /// How the provenance store is deployed for a run.
 pub struct StoreDeployment {
     /// The host the store (and any other services) are registered on.
     pub host: ServiceHost,
-    /// The store service itself.
-    pub service: Arc<PreservService>,
+    /// The store tier registered under the provenance store's service name.
+    pub access: StoreAccess,
     /// The latency model charged per store call.
     pub latency: LatencyModel,
     /// Whether the latency is actually slept (true) or only accounted virtually (false).
@@ -102,7 +119,47 @@ impl StoreDeployment {
         let host = ServiceHost::new();
         let service = Arc::new(PreservService::in_memory().expect("memory store cannot fail"));
         service.register(&host);
-        StoreDeployment { host, service, latency, sleep_latency }
+        StoreDeployment {
+            host,
+            access: StoreAccess::Single(service),
+            latency,
+            sleep_latency,
+        }
+    }
+
+    /// Deploy a sharded in-memory cluster (`shards` ≥ 1) behind a shard router registered
+    /// under the provenance store's well-known name; recorders need no changes.
+    pub fn sharded(shards: usize, latency: LatencyModel, sleep_latency: bool) -> Self {
+        let host = ServiceHost::new();
+        let cluster =
+            PreservCluster::deploy_in_memory(&host, shards).expect("memory cluster cannot fail");
+        StoreDeployment {
+            host,
+            access: StoreAccess::Sharded(cluster),
+            latency,
+            sleep_latency,
+        }
+    }
+
+    /// A uniform query handle over whatever tier is deployed.
+    pub fn store_handle(&self) -> StoreHandle {
+        self.access.store_handle()
+    }
+
+    /// The single store service, when this deployment is not sharded.
+    pub fn single_service(&self) -> Option<&Arc<PreservService>> {
+        match &self.access {
+            StoreAccess::Single(service) => Some(service),
+            StoreAccess::Sharded(_) => None,
+        }
+    }
+
+    /// The cluster, when this deployment is sharded.
+    pub fn cluster(&self) -> Option<&Arc<PreservCluster>> {
+        match &self.access {
+            StoreAccess::Single(_) => None,
+            StoreAccess::Sharded(cluster) => Some(cluster),
+        }
     }
 
     /// A transport towards the deployed services.
@@ -215,7 +272,10 @@ pub struct ExperimentRunner {
 impl ExperimentRunner {
     /// Create a runner against an existing deployment.
     pub fn new(deployment: StoreDeployment) -> Self {
-        ExperimentRunner { deployment, run_counter: std::sync::atomic::AtomicU64::new(0) }
+        ExperimentRunner {
+            deployment,
+            run_counter: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// The deployment in use (so callers can query the store afterwards).
@@ -227,7 +287,9 @@ impl ExperimentRunner {
     pub fn run(&self, config: &ExperimentConfig) -> ExperimentReport {
         let start = Instant::now();
         let transport = self.deployment.transport();
-        let run = self.run_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let run = self
+            .run_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let session = SessionId::new(format!(
             "session:{}:{}perm:{}:run{}",
             match config.recording {
@@ -271,11 +333,15 @@ impl ExperimentRunner {
             },
         );
         let inputs = synthetic_inputs(&config.synthetic, &ids);
-        let collate = CollateSampleActivity { target_size: config.sample_size };
+        let collate = CollateSampleActivity {
+            target_size: config.sample_size,
+        };
         let sample = engine
             .invoke_activity(&collate, &inputs, 0)
             .expect("collation of synthetic inputs cannot fail");
-        let encode = EncodeByGroupsActivity { coding: config.grouping.coding() };
+        let encode = EncodeByGroupsActivity {
+            coding: config.grouping.coding(),
+        };
         let encoded = engine
             .invoke_activity(&encode, &sample, 0)
             .expect("encoding a valid protein sample cannot fail");
@@ -316,8 +382,12 @@ impl ExperimentRunner {
 
         // Close the session: register the group and ship any journalled documentation. The
         // paper includes this in the measured execution time for the asynchronous mode.
-        engine.finish_session().expect("group registration cannot fail against a live store");
-        recorder.flush().expect("flush cannot fail against a live store");
+        engine
+            .finish_session()
+            .expect("group registration cannot fail against a live store");
+        recorder
+            .flush()
+            .expect("flush cannot fail against a live store");
 
         let execution_time = start.elapsed();
         ExperimentReport {
@@ -344,7 +414,11 @@ pub fn run_grid(
     let mut out = BTreeMap::new();
     for &permutations in permutation_counts {
         for recording in RunRecording::ALL {
-            let config = ExperimentConfig { permutations, recording, ..base.clone() };
+            let config = ExperimentConfig {
+                permutations,
+                recording,
+                ..base.clone()
+            };
             let report = runner.run(&config);
             out.insert((recording.label().to_string(), permutations), report);
         }
@@ -382,10 +456,18 @@ mod tests {
     fn recording_configurations_produce_expected_passertion_counts() {
         let runner = ExperimentRunner::new(deployment());
         let permutations = 5;
-        let sync = runner.run(&ExperimentConfig::small(permutations, RunRecording::Synchronous));
-        let asyn = runner.run(&ExperimentConfig::small(permutations, RunRecording::Asynchronous));
-        let extra =
-            runner.run(&ExperimentConfig::small(permutations, RunRecording::SynchronousWithExtra));
+        let sync = runner.run(&ExperimentConfig::small(
+            permutations,
+            RunRecording::Synchronous,
+        ));
+        let asyn = runner.run(&ExperimentConfig::small(
+            permutations,
+            RunRecording::Asynchronous,
+        ));
+        let extra = runner.run(&ExperimentConfig::small(
+            permutations,
+            RunRecording::SynchronousWithExtra,
+        ));
 
         // 6 per measurement (original + permutations), plus the two engine-driven activities
         // (6 each) and the workflow-less session bookkeeping.
@@ -404,10 +486,10 @@ mod tests {
     fn recorded_documentation_lands_in_the_store() {
         let runner = ExperimentRunner::new(deployment());
         let report = runner.run(&ExperimentConfig::small(4, RunRecording::Synchronous));
-        let store = runner.deployment().service.store();
+        let store = runner.deployment().store_handle();
         let recorded = store.assertions_for_session(&report.session).unwrap();
         assert_eq!(recorded.len() as u64, report.passertions);
-        let stats = store.statistics();
+        let stats = store.statistics().unwrap();
         assert!(stats.interaction_passertions > 0);
         assert!(stats.actor_state_passertions > 0);
         assert!(stats.relationship_passertions > 0);
@@ -419,7 +501,10 @@ mod tests {
         let runner = ExperimentRunner::new(deployment());
         let a = runner.run(&ExperimentConfig::small(4, RunRecording::None));
         let b = runner.run(&ExperimentConfig::small(4, RunRecording::Synchronous));
-        assert_eq!(a.sizes, b.sizes, "provenance recording must not perturb the results");
+        assert_eq!(
+            a.sizes, b.sizes,
+            "provenance recording must not perturb the results"
+        );
         assert_eq!(a.results.len(), b.results.len());
     }
 
@@ -454,8 +539,10 @@ mod tests {
         );
         assert_eq!(grid.len(), 8);
         assert!(grid.contains_key(&("No recording".to_string(), 2)));
-        assert!(grid
-            .contains_key(&("Synchronous recording with extra actor provenance".to_string(), 4)));
+        assert!(grid.contains_key(&(
+            "Synchronous recording with extra actor provenance".to_string(),
+            4
+        )));
     }
 
     #[test]
@@ -463,7 +550,10 @@ mod tests {
         assert_eq!(RunRecording::None.label(), "No recording");
         assert!(RunRecording::SynchronousWithExtra.extra_actor_state());
         assert!(!RunRecording::Synchronous.extra_actor_state());
-        assert_eq!(RunRecording::Asynchronous.mode(), RecordingMode::Asynchronous);
+        assert_eq!(
+            RunRecording::Asynchronous.mode(),
+            RecordingMode::Asynchronous
+        );
         assert_eq!(RunRecording::ALL.len(), 4);
     }
 }

@@ -49,7 +49,9 @@ pub struct MeasureKit {
 impl MeasureKit {
     /// Build the kit for the given methods.
     pub fn new(methods: &[Method]) -> Self {
-        MeasureKit { compressors: methods.iter().map(|&m| (m, m.compressor())).collect() }
+        MeasureKit {
+            compressors: methods.iter().map(|&m| (m, m.compressor())).collect(),
+        }
     }
 
     /// The methods in use.
@@ -81,8 +83,11 @@ impl MeasureKit {
         for (method, compressor) in &self.compressors {
             sizes.insert(*method, compressor.compressed_len(&data));
         }
-        let outcome =
-            MeasureOutcome { permutation_index: index, original_len: data.len(), sizes };
+        let outcome = MeasureOutcome {
+            permutation_index: index,
+            original_len: data.len(),
+            sizes,
+        };
 
         self.document(&outcome, recorder, ids, extra_actor_state)?;
         Ok(outcome)
@@ -202,8 +207,11 @@ impl MeasureKit {
     /// The combined script text recorded as actor state — ~100 bytes, matching the paper's
     /// description of the recorded script contents.
     pub fn script_text(&self) -> String {
-        let methods: Vec<String> =
-            self.methods().iter().map(|m| format!("{} -9 < $PERM > $PERM.{}", m.name(), m.name())).collect();
+        let methods: Vec<String> = self
+            .methods()
+            .iter()
+            .map(|m| format!("{} -9 < $PERM > $PERM.{}", m.name(), m.name()))
+            .collect();
         methods.join("; ")
     }
 }
@@ -266,7 +274,9 @@ mod tests {
         let kit = MeasureKit::new(&[Method::Gzip, Method::Ppmz]);
         let recorder = NullRecorder::new(SessionId::new("s"));
         let ids = IdGenerator::new("m");
-        let outcome = kit.measure(&sample(), 0, 7, &recorder, &ids, false).unwrap();
+        let outcome = kit
+            .measure(&sample(), 0, 7, &recorder, &ids, false)
+            .unwrap();
         assert_eq!(outcome.permutation_index, 0);
         assert_eq!(outcome.original_len, 5_000);
         assert_eq!(outcome.sizes.len(), 2);
@@ -281,15 +291,18 @@ mod tests {
         let kit = MeasureKit::new(&[Method::Gzip]);
         let recorder = NullRecorder::new(SessionId::new("s"));
         let ids = IdGenerator::new("m");
-        let original = kit.measure(&sample(), 0, 7, &recorder, &ids, false).unwrap();
+        let original = kit
+            .measure(&sample(), 0, 7, &recorder, &ids, false)
+            .unwrap();
         let mut permuted_sizes = Vec::new();
         for i in 1..=5 {
-            let p = kit.measure(&sample(), i, 7, &recorder, &ids, false).unwrap();
+            let p = kit
+                .measure(&sample(), i, 7, &recorder, &ids, false)
+                .unwrap();
             assert_eq!(p.original_len, original.original_len);
             permuted_sizes.push(p.sizes[&Method::Gzip]);
         }
-        let mean: f64 =
-            permuted_sizes.iter().sum::<usize>() as f64 / permuted_sizes.len() as f64;
+        let mean: f64 = permuted_sizes.iter().sum::<usize>() as f64 / permuted_sizes.len() as f64;
         assert!(
             (original.sizes[&Method::Gzip] as f64) < mean,
             "shuffling must destroy the structure the compressor exploits"
@@ -299,11 +312,17 @@ mod tests {
     #[test]
     fn exactly_six_records_per_permutation() {
         let kit = MeasureKit::new(&[Method::Gzip, Method::Ppmz]);
-        let recorder =
-            CountingRecorder { session: SessionId::new("s"), count: AtomicUsize::new(0) };
+        let recorder = CountingRecorder {
+            session: SessionId::new("s"),
+            count: AtomicUsize::new(0),
+        };
         let ids = IdGenerator::new("m");
-        kit.measure(&sample(), 3, 7, &recorder, &ids, false).unwrap();
-        assert_eq!(recorder.count.load(Ordering::SeqCst), RECORDS_PER_PERMUTATION);
+        kit.measure(&sample(), 3, 7, &recorder, &ids, false)
+            .unwrap();
+        assert_eq!(
+            recorder.count.load(Ordering::SeqCst),
+            RECORDS_PER_PERMUTATION
+        );
         kit.measure(&sample(), 4, 7, &recorder, &ids, true).unwrap();
         assert_eq!(
             recorder.count.load(Ordering::SeqCst),
@@ -324,10 +343,13 @@ mod tests {
     #[test]
     fn single_method_kit_still_records_six() {
         let kit = MeasureKit::new(&[Method::Bzip2]);
-        let recorder =
-            CountingRecorder { session: SessionId::new("s"), count: AtomicUsize::new(0) };
+        let recorder = CountingRecorder {
+            session: SessionId::new("s"),
+            count: AtomicUsize::new(0),
+        };
         let ids = IdGenerator::new("m");
-        kit.measure(&sample(), 1, 1, &recorder, &ids, false).unwrap();
+        kit.measure(&sample(), 1, 1, &recorder, &ids, false)
+            .unwrap();
         // One fewer compression interaction, but the count invariant the paper reports is per
         // permutation, not per method; with a single method we record 5.
         assert_eq!(recorder.count.load(Ordering::SeqCst), 5);

@@ -99,10 +99,12 @@ pub fn populate_interactions(
                     script_assertion(&session, interaction, i % 3),
                 ],
             });
-            let envelope =
-                pasoa_wire::Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, message.action())
-                    .with_json_payload(&message)
-                    .expect("serializable");
+            let envelope = pasoa_wire::Envelope::request(
+                pasoa_core::PROVENANCE_STORE_SERVICE,
+                message.action(),
+            )
+            .with_json_payload(&message)
+            .expect("serializable");
             transport.call(envelope).expect("store reachable");
         }
     }
@@ -119,7 +121,11 @@ mod tests {
     #[test]
     fn sample_script_is_about_a_hundred_bytes() {
         let script = sample_script(42);
-        assert!(script.len() >= 80 && script.len() <= 160, "script is {} bytes", script.len());
+        assert!(
+            script.len() >= 80 && script.len() <= 160,
+            "script is {} bytes",
+            script.len()
+        );
         assert!(script.contains("gzip"));
         assert!(script.contains("ppmz"));
     }

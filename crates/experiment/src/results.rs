@@ -69,13 +69,16 @@ impl SizesTable {
                 .filter_map(|e| e.sizes.get(&method).map(|&s| s as f64))
                 .collect();
             let summary = summarize(&permuted);
-            let original_len =
-                entries.first().map(|e| e.original_len).unwrap_or(0).max(1) as f64;
+            let original_len = entries.first().map(|e| e.original_len).unwrap_or(0).max(1) as f64;
             let original_size = original.unwrap_or(0) as f64;
             // Compressibility relative to the permutation standard: how much smaller the
             // structured sample compresses compared with its shuffled versions. Values below 1
             // indicate context-dependent structure the compressor could exploit.
-            let relative = if summary.mean > 0.0 { original_size / summary.mean } else { 1.0 };
+            let relative = if summary.mean > 0.0 {
+                original_size / summary.mean
+            } else {
+                1.0
+            };
             results.push(CompressibilityResult {
                 method,
                 original_compressed: original.unwrap_or(0),
@@ -117,7 +120,9 @@ mod tests {
         MeasureOutcome {
             permutation_index: index,
             original_len: 10_000,
-            sizes: [(Method::Gzip, gzip), (Method::Ppmz, ppmz)].into_iter().collect(),
+            sizes: [(Method::Gzip, gzip), (Method::Ppmz, ppmz)]
+                .into_iter()
+                .collect(),
         }
     }
 

@@ -64,7 +64,10 @@ pub fn compact(db: &Db) -> DbResult<()> {
                 if current.ptr == old_entry.ptr {
                     index.insert(
                         key,
-                        IndexEntry { ptr: new_ptr, value_len: record.value.len() as u32 },
+                        IndexEntry {
+                            ptr: new_ptr,
+                            value_len: record.value.len() as u32,
+                        },
                     );
                 }
             }
@@ -139,11 +142,19 @@ mod tests {
         };
         let db = Db::open_with(&dir, options).unwrap();
         for i in 0..200u32 {
-            db.put(format!("k{i:04}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+            db.put(
+                format!("k{i:04}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         // Overwrite half and delete a quarter to create garbage.
         for i in 0..100u32 {
-            db.put(format!("k{i:04}").as_bytes(), format!("updated-{i}").as_bytes()).unwrap();
+            db.put(
+                format!("k{i:04}").as_bytes(),
+                format!("updated-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         for i in 150..200u32 {
             db.delete(format!("k{i:04}").as_bytes()).unwrap();
@@ -171,7 +182,8 @@ mod tests {
         {
             let db = Db::open_with(&dir, options).unwrap();
             for i in 0..100u32 {
-                db.put(format!("key{i}").as_bytes(), &[i as u8; 32]).unwrap();
+                db.put(format!("key{i}").as_bytes(), &[i as u8; 32])
+                    .unwrap();
             }
             for i in 0..50u32 {
                 db.delete(format!("key{i}").as_bytes()).unwrap();
@@ -189,8 +201,10 @@ mod tests {
     #[test]
     fn writes_concurrent_with_compaction_are_kept() {
         let dir = tempdir("concurrent");
-        let options =
-            DbOptions { auto_compact_garbage_ratio: 0.0, ..Default::default() };
+        let options = DbOptions {
+            auto_compact_garbage_ratio: 0.0,
+            ..Default::default()
+        };
         let db = Db::open_with(&dir, options).unwrap();
         for i in 0..500u32 {
             db.put(format!("base{i}").as_bytes(), b"x").unwrap();

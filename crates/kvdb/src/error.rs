@@ -34,8 +34,15 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Io(e) => write!(f, "i/o error: {e}"),
-            DbError::Corruption { segment, offset, reason } => {
-                write!(f, "corruption in segment {segment} at offset {offset}: {reason}")
+            DbError::Corruption {
+                segment,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "corruption in segment {segment} at offset {offset}: {reason}"
+                )
             }
             DbError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds maximum"),
             DbError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds maximum"),
@@ -72,7 +79,11 @@ mod tests {
 
     #[test]
     fn display_corruption_mentions_segment_and_offset() {
-        let e = DbError::Corruption { segment: 3, offset: 128, reason: "bad crc".into() };
+        let e = DbError::Corruption {
+            segment: 3,
+            offset: 128,
+            reason: "bad crc".into(),
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains("128") && s.contains("bad crc"));
     }
@@ -80,7 +91,9 @@ mod tests {
     #[test]
     fn display_limits() {
         assert!(DbError::KeyTooLarge(70000).to_string().contains("70000"));
-        assert!(DbError::ValueTooLarge(1 << 30).to_string().contains("exceeds"));
+        assert!(DbError::ValueTooLarge(1 << 30)
+            .to_string()
+            .contains("exceeds"));
     }
 
     #[test]

@@ -65,8 +65,9 @@ impl KeyIndex {
     pub fn remove(&mut self, key: &[u8]) -> Option<IndexEntry> {
         let prev = self.map.remove(key);
         if let Some(old) = &prev {
-            self.live_bytes =
-                self.live_bytes.saturating_sub(key.len() as u64 + old.value_len as u64);
+            self.live_bytes = self
+                .live_bytes
+                .saturating_sub(key.len() as u64 + old.value_len as u64);
         }
         prev
     }
@@ -102,7 +103,8 @@ impl KeyIndex {
         start: &'a [u8],
         end: &'a [u8],
     ) -> impl Iterator<Item = (&'a Vec<u8>, &'a IndexEntry)> + 'a {
-        self.map.range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
     }
 
     /// All live keys in order (cloned).
@@ -122,7 +124,14 @@ mod tests {
     use super::*;
 
     fn ptr(segment: u64, offset: u64) -> IndexEntry {
-        IndexEntry { ptr: RecordPointer { segment, offset, len: 16 }, value_len: 4 }
+        IndexEntry {
+            ptr: RecordPointer {
+                segment,
+                offset,
+                len: 16,
+            },
+            value_len: 4,
+        }
     }
 
     #[test]
@@ -186,6 +195,9 @@ mod tests {
         for key in [b"zeta".as_ref(), b"alpha", b"mid"] {
             idx.insert(key.to_vec(), ptr(1, 0));
         }
-        assert_eq!(idx.keys(), vec![b"alpha".to_vec(), b"mid".to_vec(), b"zeta".to_vec()]);
+        assert_eq!(
+            idx.keys(),
+            vec![b"alpha".to_vec(), b"mid".to_vec(), b"zeta".to_vec()]
+        );
     }
 }

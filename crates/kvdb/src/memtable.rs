@@ -20,7 +20,12 @@ pub struct Memtable {
 impl Memtable {
     /// Create a cache bounded to roughly `budget` bytes of key+value data.
     pub fn new(budget: usize) -> Self {
-        Memtable { map: HashMap::new(), order: VecDeque::new(), bytes: 0, budget }
+        Memtable {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            budget,
+        }
     }
 
     /// Number of cached entries.
@@ -76,7 +81,9 @@ impl Memtable {
 
     fn evict_to_budget(&mut self) {
         while self.bytes > self.budget {
-            let Some(victim) = self.order.pop_front() else { break };
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
             if let Some(value) = self.map.remove(&victim) {
                 self.bytes = self.bytes.saturating_sub(victim.len() + value.len());
             }

@@ -64,13 +64,21 @@ impl Record {
     /// Create a put record, validating size limits.
     pub fn put(key: &[u8], value: &[u8]) -> DbResult<Self> {
         validate_sizes(key, value)?;
-        Ok(Record { kind: RecordKind::Put, key: key.to_vec(), value: value.to_vec() })
+        Ok(Record {
+            kind: RecordKind::Put,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
     }
 
     /// Create a tombstone record for `key`.
     pub fn delete(key: &[u8]) -> DbResult<Self> {
         validate_sizes(key, &[])?;
-        Ok(Record { kind: RecordKind::Delete, key: key.to_vec(), value: Vec::new() })
+        Ok(Record {
+            kind: RecordKind::Delete,
+            key: key.to_vec(),
+            value: Vec::new(),
+        })
     }
 
     /// Number of bytes this record occupies on disk.
@@ -159,7 +167,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -221,7 +233,9 @@ mod tests {
         buf[last] ^= 0xFF;
         let err = Record::decode(&buf, 7, 42).unwrap_err();
         match err {
-            DbError::Corruption { segment, offset, .. } => {
+            DbError::Corruption {
+                segment, offset, ..
+            } => {
                 assert_eq!(segment, 7);
                 assert_eq!(offset, 42);
             }
@@ -237,13 +251,19 @@ mod tests {
         // Fix the crc so the kind check (not the crc check) trips.
         let crc = crc32(&buf[4..]);
         buf[..4].copy_from_slice(&crc.to_le_bytes());
-        assert!(matches!(Record::decode(&buf, 0, 0), Err(DbError::Corruption { .. })));
+        assert!(matches!(
+            Record::decode(&buf, 0, 0),
+            Err(DbError::Corruption { .. })
+        ));
     }
 
     #[test]
     fn oversized_key_rejected() {
         let big = vec![0u8; MAX_KEY_LEN + 1];
-        assert!(matches!(Record::put(&big, b""), Err(DbError::KeyTooLarge(_))));
+        assert!(matches!(
+            Record::put(&big, b""),
+            Err(DbError::KeyTooLarge(_))
+        ));
         assert!(matches!(Record::delete(&big), Err(DbError::KeyTooLarge(_))));
     }
 
@@ -264,7 +284,9 @@ mod tests {
         buf.extend_from_slice(&b.encode());
         let (first, used) = Record::decode(&buf, 0, 0).unwrap().unwrap();
         assert_eq!(first, a);
-        let (second, _) = Record::decode(&buf[used..], 0, used as u64).unwrap().unwrap();
+        let (second, _) = Record::decode(&buf[used..], 0, used as u64)
+            .unwrap()
+            .unwrap();
         assert_eq!(second, b);
     }
 }

@@ -71,7 +71,12 @@ impl SegmentWriter {
             .write(true)
             .truncate(true)
             .open(segment_path(dir, id))?;
-        Ok(SegmentWriter { id, file, len: 0, buf: Vec::with_capacity(8 * 1024) })
+        Ok(SegmentWriter {
+            id,
+            file,
+            len: 0,
+            buf: Vec::with_capacity(8 * 1024),
+        })
     }
 
     /// Re-open an existing segment `id` for appending at `len` bytes.
@@ -79,7 +84,12 @@ impl SegmentWriter {
         let mut file = OpenOptions::new().write(true).open(segment_path(dir, id))?;
         file.set_len(len)?; // truncate any torn tail discovered during recovery
         file.seek(SeekFrom::Start(len))?;
-        Ok(SegmentWriter { id, file, len, buf: Vec::with_capacity(8 * 1024) })
+        Ok(SegmentWriter {
+            id,
+            file,
+            len,
+            buf: Vec::with_capacity(8 * 1024),
+        })
     }
 
     /// The id of this segment.
@@ -102,7 +112,11 @@ impl SegmentWriter {
         self.buf.clear();
         record.encode_into(&mut self.buf);
         self.file.write_all(&self.buf)?;
-        let ptr = RecordPointer { segment: self.id, offset: self.len, len: self.buf.len() as u32 };
+        let ptr = RecordPointer {
+            segment: self.id,
+            offset: self.len,
+            len: self.buf.len() as u32,
+        };
         self.len += self.buf.len() as u64;
         Ok(ptr)
     }
@@ -135,8 +149,11 @@ pub fn scan_segment(dir: &Path, id: u64) -> DbResult<(Vec<(Record, RecordPointer
     while offset < data.len() {
         match Record::decode(&data[offset..], id, offset as u64)? {
             Some((record, used)) => {
-                let ptr =
-                    RecordPointer { segment: id, offset: offset as u64, len: used as u32 };
+                let ptr = RecordPointer {
+                    segment: id,
+                    offset: offset as u64,
+                    len: used as u32,
+                };
                 records.push((record, ptr));
                 offset += used;
             }
@@ -226,8 +243,13 @@ mod tests {
         w.append(&r).unwrap();
         w.sync().unwrap();
         // Append garbage that looks like the start of a record but is cut short.
-        let partial = Record::put(b"partial", b"payload-that-will-be-cut").unwrap().encode();
-        let mut f = OpenOptions::new().append(true).open(segment_path(&dir, 1)).unwrap();
+        let partial = Record::put(b"partial", b"payload-that-will-be-cut")
+            .unwrap()
+            .encode();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(segment_path(&dir, 1))
+            .unwrap();
         f.write_all(&partial[..partial.len() / 2]).unwrap();
         f.sync_data().unwrap();
         let (records, clean) = scan_segment(&dir, 1).unwrap();
@@ -256,7 +278,10 @@ mod tests {
         let keep = w.len();
         drop(w);
         // Simulate a torn tail then reopen at the clean length.
-        let mut f = OpenOptions::new().append(true).open(segment_path(&dir, 1)).unwrap();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(segment_path(&dir, 1))
+            .unwrap();
         f.write_all(&[1, 2, 3]).unwrap();
         drop(f);
         let mut w = SegmentWriter::open_for_append(&dir, 1, keep).unwrap();

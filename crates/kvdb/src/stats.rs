@@ -58,15 +58,27 @@ mod tests {
 
     #[test]
     fn cache_hit_ratio() {
-        let s = DbStats { gets: 10, cache_hits: 7, ..Default::default() };
+        let s = DbStats {
+            gets: 10,
+            cache_hits: 7,
+            ..Default::default()
+        };
         assert!((s.cache_hit_ratio() - 0.7).abs() < 1e-12);
     }
 
     #[test]
     fn garbage_ratio_clamps_live_bytes() {
-        let s = DbStats { appended_bytes: 100, live_bytes: 150, ..Default::default() };
+        let s = DbStats {
+            appended_bytes: 100,
+            live_bytes: 150,
+            ..Default::default()
+        };
         assert_eq!(s.garbage_ratio(), 0.0);
-        let s = DbStats { appended_bytes: 100, live_bytes: 25, ..Default::default() };
+        let s = DbStats {
+            appended_bytes: 100,
+            live_bytes: 25,
+            ..Default::default()
+        };
         assert!((s.garbage_ratio() - 0.75).abs() < 1e-12);
     }
 }

@@ -110,7 +110,10 @@ impl Db {
                     RecordKind::Put => {
                         index.insert(
                             record.key,
-                            IndexEntry { ptr, value_len: record.value.len() as u32 },
+                            IndexEntry {
+                                ptr,
+                                value_len: record.value.len() as u32,
+                            },
                         );
                     }
                     RecordKind::Delete => {
@@ -124,7 +127,10 @@ impl Db {
         let (active, sealed) = match ids.last() {
             Some(&last) => {
                 let sealed = ids[..ids.len() - 1].to_vec();
-                (SegmentWriter::open_for_append(&dir, last, clean_tail)?, sealed)
+                (
+                    SegmentWriter::open_for_append(&dir, last, clean_tail)?,
+                    sealed,
+                )
             }
             None => (SegmentWriter::create(&dir, 1)?, Vec::new()),
         };
@@ -142,7 +148,9 @@ impl Db {
             log: Mutex::new(LogState { active, sealed }),
             stats: Mutex::new(stats),
         };
-        Ok(Db { inner: Arc::new(inner) })
+        Ok(Db {
+            inner: Arc::new(inner),
+        })
     }
 
     /// Directory backing this database.
@@ -240,7 +248,10 @@ impl Db {
     /// All keys in the half-open range `[start, end)`, in order.
     pub fn scan_range(&self, start: &[u8], end: &[u8]) -> DbResult<Vec<Vec<u8>>> {
         let index = self.inner.index.read();
-        Ok(index.iter_range(start, end).map(|(k, _)| k.clone()).collect())
+        Ok(index
+            .iter_range(start, end)
+            .map(|(k, _)| k.clone())
+            .collect())
     }
 
     /// Force all appended data to stable storage.
@@ -292,7 +303,10 @@ impl Db {
                         stats.puts += 1;
                         index.insert(
                             record.key.clone(),
-                            IndexEntry { ptr, value_len: record.value.len() as u32 },
+                            IndexEntry {
+                                ptr,
+                                value_len: record.value.len() as u32,
+                            },
                         );
                         cache.insert(&record.key, &record.value);
                     }
@@ -358,15 +372,22 @@ mod tests {
     use super::*;
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("kvdb-store-{}-{}-{}", name, std::process::id(), rand_suffix()));
+        let dir = std::env::temp_dir().join(format!(
+            "kvdb-store-{}-{}-{}",
+            name,
+            std::process::id(),
+            rand_suffix()
+        ));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
 
     fn rand_suffix() -> u64 {
         use std::time::{SystemTime, UNIX_EPOCH};
-        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos() as u64
     }
 
     #[test]
@@ -393,8 +414,11 @@ mod tests {
         {
             let db = Db::open(&dir).unwrap();
             for i in 0..100u32 {
-                db.put(format!("key-{i:04}").as_bytes(), format!("value-{i}").as_bytes())
-                    .unwrap();
+                db.put(
+                    format!("key-{i:04}").as_bytes(),
+                    format!("value-{i}").as_bytes(),
+                )
+                .unwrap();
             }
             db.delete(b"key-0050").unwrap();
             db.sync().unwrap();
@@ -414,7 +438,10 @@ mod tests {
         db.put(b"interaction/1", b"a").unwrap();
         db.put(b"actorstate/1", b"x").unwrap();
         let keys = db.scan_prefix(b"interaction/").unwrap();
-        assert_eq!(keys, vec![b"interaction/1".to_vec(), b"interaction/2".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"interaction/1".to_vec(), b"interaction/2".to_vec()]
+        );
         let kvs = db.scan_prefix_values(b"interaction/").unwrap();
         assert_eq!(kvs[0].1, b"a");
         assert_eq!(kvs[1].1, b"b");
@@ -442,12 +469,18 @@ mod tests {
     #[test]
     fn segment_rotation_under_small_target() {
         let dir = tempdir("rotate");
-        let options = DbOptions { segment_target_bytes: 512, ..Default::default() };
+        let options = DbOptions {
+            segment_target_bytes: 512,
+            ..Default::default()
+        };
         let db = Db::open_with(&dir, options).unwrap();
         for i in 0..100u32 {
             db.put(format!("k{i}").as_bytes(), &[7u8; 64]).unwrap();
         }
-        assert!(db.stats().segments > 1, "expected rotation to create multiple segments");
+        assert!(
+            db.stats().segments > 1,
+            "expected rotation to create multiple segments"
+        );
         // Everything still readable, including values in sealed segments.
         assert_eq!(db.get(b"k0").unwrap().unwrap(), vec![7u8; 64]);
         assert_eq!(db.get(b"k99").unwrap().unwrap(), vec![7u8; 64]);
@@ -492,7 +525,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u32 {
                     let key = format!("t{t}/k{i}");
-                    db.put(key.as_bytes(), format!("v{t}-{i}").as_bytes()).unwrap();
+                    db.put(key.as_bytes(), format!("v{t}-{i}").as_bytes())
+                        .unwrap();
                     let got = db.get(key.as_bytes()).unwrap().unwrap();
                     assert_eq!(got, format!("v{t}-{i}").as_bytes());
                 }
@@ -503,7 +537,10 @@ mod tests {
         }
         assert_eq!(db.len(), 800);
         for t in 0..4 {
-            assert_eq!(db.scan_prefix(format!("t{t}/").as_bytes()).unwrap().len(), 200);
+            assert_eq!(
+                db.scan_prefix(format!("t{t}/").as_bytes()).unwrap().len(),
+                200
+            );
         }
         db.destroy().unwrap();
     }
@@ -512,7 +549,10 @@ mod tests {
     fn sync_policy_always_is_durable() {
         let dir = tempdir("durable");
         {
-            let options = DbOptions { sync: SyncPolicy::Always, ..Default::default() };
+            let options = DbOptions {
+                sync: SyncPolicy::Always,
+                ..Default::default()
+            };
             let db = Db::open_with(&dir, options).unwrap();
             db.put(b"durable", b"yes").unwrap();
             // Dropped without an explicit sync.

@@ -19,13 +19,12 @@ enum Op {
 
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
     // Small key space so overwrites and deletes of existing keys actually happen.
-    prop::collection::vec(prop::num::u8::ANY, 1..8)
-        .prop_map(|mut v| {
-            for b in &mut v {
-                *b %= 16;
-            }
-            v
-        })
+    prop::collection::vec(prop::num::u8::ANY, 1..8).prop_map(|mut v| {
+        for b in &mut v {
+            *b %= 16;
+        }
+        v
+    })
 }
 
 fn value_strategy() -> impl Strategy<Value = Vec<u8>> {

@@ -26,7 +26,9 @@ pub struct BackendError {
 impl BackendError {
     /// Create an error.
     pub fn new(reason: impl Into<String>) -> Self {
-        BackendError { reason: reason.into() }
+        BackendError {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -42,6 +44,15 @@ impl std::error::Error for BackendError {}
 pub trait StorageBackend: Send + Sync {
     /// Store `value` under `key`, replacing any existing value.
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), BackendError>;
+
+    /// Store every `(key, value)` pair, replacing existing values. Backends with a group-commit
+    /// primitive override this so a flushed recorder batch lands in one append run.
+    fn put_many(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> Result<(), BackendError> {
+        for (key, value) in entries {
+            self.put(key, value)?;
+        }
+        Ok(())
+    }
 
     /// Fetch the value stored under `key`.
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BackendError>;
@@ -119,10 +130,21 @@ impl StorageBackend for MemoryBackend {
         Ok(self.map.read().get(key).cloned())
     }
 
+    fn put_many(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> Result<(), BackendError> {
+        let mut map = self.map.write();
+        for (key, value) in entries {
+            map.insert(key.clone(), value.clone());
+        }
+        Ok(())
+    }
+
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
         let map = self.map.read();
         Ok(map
-            .range::<[u8], _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .range::<[u8], _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, _)| k.clone())
             .collect())
@@ -131,7 +153,10 @@ impl StorageBackend for MemoryBackend {
     fn scan_prefix_values(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BackendError> {
         let map = self.map.read();
         Ok(map
-            .range::<[u8], _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .range::<[u8], _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect())
@@ -167,7 +192,10 @@ impl FileBackend {
                 }
             }
         }
-        Ok(FileBackend { dir, keys: RwLock::new(keys) })
+        Ok(FileBackend {
+            dir,
+            keys: RwLock::new(keys),
+        })
     }
 
     fn path_for(&self, key: &[u8]) -> PathBuf {
@@ -214,7 +242,10 @@ impl StorageBackend for FileBackend {
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
         let keys = self.keys.read();
         Ok(keys
-            .range::<[u8], _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .range::<[u8], _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, _)| k.clone())
             .collect())
@@ -252,15 +283,34 @@ impl KvBackend {
 
 impl StorageBackend for KvBackend {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), BackendError> {
-        self.db.put(key, value).map_err(|e| BackendError::new(e.to_string()))
+        self.db
+            .put(key, value)
+            .map_err(|e| BackendError::new(e.to_string()))
+    }
+
+    fn put_many(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> Result<(), BackendError> {
+        // One WriteBatch append run: a single log-lock acquisition and flush (group commit).
+        let mut batch = pasoa_kvdb::WriteBatch::new();
+        for (key, value) in entries {
+            batch
+                .put(key, value)
+                .map_err(|e| BackendError::new(e.to_string()))?;
+        }
+        self.db
+            .write_batch(batch)
+            .map_err(|e| BackendError::new(e.to_string()))
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BackendError> {
-        self.db.get(key).map_err(|e| BackendError::new(e.to_string()))
+        self.db
+            .get(key)
+            .map_err(|e| BackendError::new(e.to_string()))
     }
 
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
-        self.db.scan_prefix(prefix).map_err(|e| BackendError::new(e.to_string()))
+        self.db
+            .scan_prefix(prefix)
+            .map_err(|e| BackendError::new(e.to_string()))
     }
 
     fn sync(&self) -> Result<(), BackendError> {
@@ -366,7 +416,10 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
                     backend
-                        .put(format!("t{t}/k{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                        .put(
+                            format!("t{t}/k{i:03}").as_bytes(),
+                            format!("v{i}").as_bytes(),
+                        )
                         .unwrap();
                 }
             }));

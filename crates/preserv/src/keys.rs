@@ -43,7 +43,11 @@ pub fn unescape_component(component: &str) -> String {
 
 /// Key under which assertion number `seq` of `interaction` is stored.
 pub fn assertion_key(interaction: &str, seq: u64) -> Vec<u8> {
-    format!("{ASSERTION_PREFIX}{}/{seq:012}", escape_component(interaction)).into_bytes()
+    format!(
+        "{ASSERTION_PREFIX}{}/{seq:012}",
+        escape_component(interaction)
+    )
+    .into_bytes()
 }
 
 /// Prefix of all assertion keys of `interaction`.
@@ -59,13 +63,18 @@ pub fn interaction_key(interaction: &str) -> Vec<u8> {
 /// Extract the interaction id back out of an interaction marker key.
 pub fn interaction_from_key(key: &[u8]) -> Option<String> {
     let text = std::str::from_utf8(key).ok()?;
-    text.strip_prefix(INTERACTION_PREFIX).map(unescape_component)
+    text.strip_prefix(INTERACTION_PREFIX)
+        .map(unescape_component)
 }
 
 /// Key indexing `interaction` under `session`.
 pub fn session_member_key(session: &str, interaction: &str) -> Vec<u8> {
-    format!("{SESSION_PREFIX}{}/{}", escape_component(session), escape_component(interaction))
-        .into_bytes()
+    format!(
+        "{SESSION_PREFIX}{}/{}",
+        escape_component(session),
+        escape_component(interaction)
+    )
+    .into_bytes()
 }
 
 /// Prefix of all session index keys of `session`.
@@ -78,12 +87,19 @@ pub fn interaction_from_session_key(key: &[u8], prefix: &[u8]) -> Option<String>
     if !key.starts_with(prefix) {
         return None;
     }
-    std::str::from_utf8(&key[prefix.len()..]).ok().map(unescape_component)
+    std::str::from_utf8(&key[prefix.len()..])
+        .ok()
+        .map(unescape_component)
 }
 
 /// Key under which a group is stored.
 pub fn group_key(kind: &str, id: &str) -> Vec<u8> {
-    format!("{GROUP_PREFIX}{}/{}", escape_component(kind), escape_component(id)).into_bytes()
+    format!(
+        "{GROUP_PREFIX}{}/{}",
+        escape_component(kind),
+        escape_component(id)
+    )
+    .into_bytes()
 }
 
 /// Prefix of all group keys of a kind.

@@ -35,10 +35,7 @@ pub struct LineageGraph {
 
 impl LineageGraph {
     /// Build the full derivation graph of a session from its relationship p-assertions.
-    pub fn trace_session(
-        store: &ProvenanceStore,
-        session: &SessionId,
-    ) -> Result<Self, StoreError> {
+    pub fn trace_session(store: &ProvenanceStore, session: &SessionId) -> Result<Self, StoreError> {
         let mut graph = LineageGraph::default();
         for recorded in store.assertions_for_session(session)? {
             if let PAssertion::Relationship(rel) = recorded.assertion {
@@ -148,7 +145,12 @@ mod tests {
                 effect: DataId::new(effect),
                 causes: causes
                     .iter()
-                    .map(|c| (InteractionKey::new(format!("interaction:{c}")), DataId::new(*c)))
+                    .map(|c| {
+                        (
+                            InteractionKey::new(format!("interaction:{c}")),
+                            DataId::new(*c),
+                        )
+                    })
                     .collect(),
                 relation: relation.into(),
             }),
@@ -159,11 +161,46 @@ mod tests {
         // Mirror the compressibility data flow:
         // sequences → sample → encoded → {original size, permutations → sizes} → results
         let store = Arc::new(ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap());
-        store.record(&relationship("session:X", "data:sample", &["data:seq1", "data:seq2"], "collated-from")).unwrap();
-        store.record(&relationship("session:X", "data:encoded", &["data:sample"], "encoded-from")).unwrap();
-        store.record(&relationship("session:X", "data:perm1", &["data:encoded"], "shuffled-from")).unwrap();
-        store.record(&relationship("session:X", "data:size-orig", &["data:encoded"], "compressed-from")).unwrap();
-        store.record(&relationship("session:X", "data:size-perm1", &["data:perm1"], "compressed-from")).unwrap();
+        store
+            .record(&relationship(
+                "session:X",
+                "data:sample",
+                &["data:seq1", "data:seq2"],
+                "collated-from",
+            ))
+            .unwrap();
+        store
+            .record(&relationship(
+                "session:X",
+                "data:encoded",
+                &["data:sample"],
+                "encoded-from",
+            ))
+            .unwrap();
+        store
+            .record(&relationship(
+                "session:X",
+                "data:perm1",
+                &["data:encoded"],
+                "shuffled-from",
+            ))
+            .unwrap();
+        store
+            .record(&relationship(
+                "session:X",
+                "data:size-orig",
+                &["data:encoded"],
+                "compressed-from",
+            ))
+            .unwrap();
+        store
+            .record(&relationship(
+                "session:X",
+                "data:size-perm1",
+                &["data:perm1"],
+                "compressed-from",
+            ))
+            .unwrap();
         store
             .record(&relationship(
                 "session:X",
@@ -173,7 +210,14 @@ mod tests {
             ))
             .unwrap();
         // A second, unrelated session must not leak into session X's lineage.
-        store.record(&relationship("session:Y", "data:other", &["data:foreign"], "copied-from")).unwrap();
+        store
+            .record(&relationship(
+                "session:Y",
+                "data:other",
+                &["data:foreign"],
+                "copied-from",
+            ))
+            .unwrap();
         store
     }
 
@@ -192,8 +236,17 @@ mod tests {
         let store = experiment_store();
         let graph = LineageGraph::trace_session(&store, &SessionId::new("session:X")).unwrap();
         let ancestors = graph.ancestors(&DataId::new("data:results"));
-        for expected in ["data:seq1", "data:seq2", "data:sample", "data:encoded", "data:perm1"] {
-            assert!(ancestors.contains(&DataId::new(expected)), "missing ancestor {expected}");
+        for expected in [
+            "data:seq1",
+            "data:seq2",
+            "data:sample",
+            "data:encoded",
+            "data:perm1",
+        ] {
+            assert!(
+                ancestors.contains(&DataId::new(expected)),
+                "missing ancestor {expected}"
+            );
         }
         assert!(graph.is_ancestor(&DataId::new("data:seq1"), &DataId::new("data:results")));
         assert!(!graph.is_ancestor(&DataId::new("data:results"), &DataId::new("data:seq1")));

@@ -105,7 +105,9 @@ impl PlugIn for BasicQueryPlugin {
     fn handle(&self, message: &PrepMessage) -> Result<PluginResponse, StoreError> {
         match message {
             PrepMessage::Query(request) => Ok(PluginResponse::Query(self.store.query(request)?)),
-            _ => Err(StoreError::Corrupt("non-query message routed to the query plug-in".into())),
+            _ => Err(StoreError::Corrupt(
+                "non-query message routed to the query plug-in".into(),
+            )),
         }
     }
 }
@@ -212,18 +214,27 @@ mod tests {
         assert_eq!(store.statistics().interaction_passertions, 4);
 
         let group = PrepMessage::RegisterGroup(Group::new("session:p", GroupKind::Session));
-        assert!(matches!(plugin.handle(&group).unwrap(), PluginResponse::GroupRegistered));
-        assert!(plugin.handle(&PrepMessage::Query(QueryRequest::Statistics)).is_err());
+        assert!(matches!(
+            plugin.handle(&group).unwrap(),
+            PluginResponse::GroupRegistered
+        ));
+        assert!(plugin
+            .handle(&PrepMessage::Query(QueryRequest::Statistics))
+            .is_err());
     }
 
     #[test]
     fn query_plugin_answers_and_rejects_misrouted_messages() {
         let store = store();
-        StorePlugin::new(Arc::clone(&store)).handle(&record_message(3)).unwrap();
+        StorePlugin::new(Arc::clone(&store))
+            .handle(&record_message(3))
+            .unwrap();
         let plugin = BasicQueryPlugin::new(Arc::clone(&store));
         assert!(plugin.handles("query"));
         assert!(!plugin.handles("record"));
-        match plugin.handle(&PrepMessage::Query(QueryRequest::ListInteractions { limit: None })) {
+        match plugin.handle(&PrepMessage::Query(QueryRequest::ListInteractions {
+            limit: None,
+        })) {
             Ok(PluginResponse::Query(QueryResponse::Interactions(keys))) => {
                 assert_eq!(keys.len(), 3)
             }
@@ -236,7 +247,10 @@ mod tests {
     fn plugin_names() {
         let store = store();
         assert_eq!(StorePlugin::new(Arc::clone(&store)).name(), "store");
-        assert_eq!(BasicQueryPlugin::new(Arc::clone(&store)).name(), "basic-query");
+        assert_eq!(
+            BasicQueryPlugin::new(Arc::clone(&store)).name(),
+            "basic-query"
+        );
         assert_eq!(LineageQueryPlugin::new(store).name(), "lineage-query");
     }
 }

@@ -25,7 +25,9 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string() }
+        ServiceConfig {
+            service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string(),
+        }
     }
 }
 
@@ -45,7 +47,11 @@ impl PreservService {
             Arc::new(BasicQueryPlugin::new(Arc::clone(&store))),
             Arc::new(LineageQueryPlugin::new(Arc::clone(&store))),
         ];
-        Ok(PreservService { store, plugins, config: ServiceConfig::default() })
+        Ok(PreservService {
+            store,
+            plugins,
+            config: ServiceConfig::default(),
+        })
     }
 
     /// Create a service over an in-memory backend.
@@ -96,6 +102,29 @@ impl PreservService {
     }
 }
 
+impl PreservService {
+    /// Dispatch a decoded protocol message to the plug-in that declares it handles `action`.
+    ///
+    /// This is the message translator minus the envelope codec. The wire path
+    /// ([`MessageHandler::handle`]) decodes and re-encodes around it; in-process callers —
+    /// notably the cluster tier's shard router, for which a second serialisation hop would
+    /// double the recording cost — invoke it directly.
+    pub fn dispatch(
+        &self,
+        action: &str,
+        message: &PrepMessage,
+    ) -> WireResult<crate::plugins::PluginResponse> {
+        let plugin = self
+            .plugins
+            .iter()
+            .find(|p| p.handles(action))
+            .ok_or_else(|| WireError::Payload(format!("no plug-in handles action '{action}'")))?;
+        plugin
+            .handle(message)
+            .map_err(|e| WireError::Payload(format!("plug-in {} failed: {e}", plugin.name())))
+    }
+}
+
 impl MessageHandler for PreservService {
     fn handle(&self, request: Envelope) -> WireResult<Envelope> {
         let action = request
@@ -103,14 +132,7 @@ impl MessageHandler for PreservService {
             .ok_or_else(|| WireError::InvalidEnvelope("missing action header".into()))?
             .to_string();
         let message: PrepMessage = request.json_payload()?;
-        let plugin = self
-            .plugins
-            .iter()
-            .find(|p| p.handles(&action))
-            .ok_or_else(|| WireError::Payload(format!("no plug-in handles action '{action}'")))?;
-        let response = plugin
-            .handle(&message)
-            .map_err(|e| WireError::Payload(format!("plug-in {} failed: {e}", plugin.name())))?;
+        let response = self.dispatch(&action, &message)?;
         match response {
             crate::plugins::PluginResponse::Ack(ack) => {
                 Envelope::response(&action).with_json_payload(&ack)
@@ -220,17 +242,25 @@ mod tests {
             sync.record(script_assertion(i)).unwrap();
             asyn.record(script_assertion(100 + i)).unwrap();
         }
-        sync.register_group(Group::new("session:sync", GroupKind::Session)).unwrap();
-        asyn.register_group(Group::new("session:async", GroupKind::Session)).unwrap();
+        sync.register_group(Group::new("session:sync", GroupKind::Session))
+            .unwrap();
+        asyn.register_group(Group::new("session:async", GroupKind::Session))
+            .unwrap();
         asyn.flush().unwrap();
 
         let store = service.store();
         assert_eq!(
-            store.assertions_for_session(&SessionId::new("session:sync")).unwrap().len(),
+            store
+                .assertions_for_session(&SessionId::new("session:sync"))
+                .unwrap()
+                .len(),
             20
         );
         assert_eq!(
-            store.assertions_for_session(&SessionId::new("session:async")).unwrap().len(),
+            store
+                .assertions_for_session(&SessionId::new("session:async"))
+                .unwrap()
+                .len(),
             20
         );
         assert_eq!(store.groups_by_kind("session").unwrap().len(), 2);

@@ -75,8 +75,11 @@ impl ProvenanceStore {
     }
 
     fn rebuild_counters(&self) -> Result<(), StoreError> {
-        let interactions = self.backend.count_prefix(keys::INTERACTION_PREFIX.as_bytes())?;
-        self.interaction_count.store(interactions as u64, Ordering::Relaxed);
+        let interactions = self
+            .backend
+            .count_prefix(keys::INTERACTION_PREFIX.as_bytes())?;
+        self.interaction_count
+            .store(interactions as u64, Ordering::Relaxed);
         let groups = self.backend.count_prefix(keys::GROUP_PREFIX.as_bytes())?;
         self.group_count.store(groups as u64, Ordering::Relaxed);
 
@@ -85,8 +88,9 @@ impl ProvenanceStore {
         let mut actor_state = 0u64;
         let mut relationship = 0u64;
         let mut bytes = 0u64;
-        for (key, value) in
-            self.backend.scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
+        for (key, value) in self
+            .backend
+            .scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
         {
             if let Some(seq) = key
                 .rsplit(|&b| b == b'/')
@@ -96,8 +100,8 @@ impl ProvenanceStore {
             {
                 max_seq = max_seq.max(seq + 1);
             }
-            let recorded: RecordedAssertion = serde_json::from_slice(&value)
-                .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            let recorded: RecordedAssertion =
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
             bytes += recorded.assertion.content_len() as u64;
             match recorded.assertion {
                 PAssertion::Interaction(_) => interaction_assertions += 1,
@@ -106,9 +110,12 @@ impl ProvenanceStore {
             }
         }
         self.sequence.store(max_seq, Ordering::Relaxed);
-        self.interaction_assertions.store(interaction_assertions, Ordering::Relaxed);
-        self.actor_state_assertions.store(actor_state, Ordering::Relaxed);
-        self.relationship_assertions.store(relationship, Ordering::Relaxed);
+        self.interaction_assertions
+            .store(interaction_assertions, Ordering::Relaxed);
+        self.actor_state_assertions
+            .store(actor_state, Ordering::Relaxed);
+        self.relationship_assertions
+            .store(relationship, Ordering::Relaxed);
         self.content_bytes.store(bytes, Ordering::Relaxed);
         Ok(())
     }
@@ -120,40 +127,64 @@ impl ProvenanceStore {
 
     /// Record one p-assertion.
     pub fn record(&self, recorded: &RecordedAssertion) -> Result<(), StoreError> {
-        let interaction = recorded.assertion.interaction_key().as_str();
-        let seq = self.sequence.fetch_add(1, Ordering::Relaxed);
-        let payload = serde_json::to_vec(recorded).map_err(|e| StoreError::Corrupt(e.to_string()))?;
-        self.backend.put(&keys::assertion_key(interaction, seq), &payload)?;
-
-        // Maintain the interaction marker and session index.
-        let marker = keys::interaction_key(interaction);
-        if self.backend.get(&marker)?.is_none() {
-            self.backend.put(&marker, b"")?;
-            self.interaction_count.fetch_add(1, Ordering::Relaxed);
-        }
-        self.backend
-            .put(&keys::session_member_key(recorded.session.as_str(), interaction), b"")?;
-
-        match &recorded.assertion {
-            PAssertion::Interaction(_) => {
-                self.interaction_assertions.fetch_add(1, Ordering::Relaxed);
-            }
-            PAssertion::ActorState(_) => {
-                self.actor_state_assertions.fetch_add(1, Ordering::Relaxed);
-            }
-            PAssertion::Relationship(_) => {
-                self.relationship_assertions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.content_bytes.fetch_add(recorded.assertion.content_len() as u64, Ordering::Relaxed);
-        Ok(())
+        self.record_all(std::slice::from_ref(recorded)).map(|_| ())
     }
 
     /// Record a batch of p-assertions, returning how many were accepted.
+    ///
+    /// The assertion documents, interaction markers and session index entries of the whole
+    /// batch are staged and handed to the backend as one `put_many` run, so a flushed
+    /// asynchronous-recorder batch commits as a single group append on the database backend
+    /// instead of one write per assertion.
     pub fn record_all(&self, recorded: &[RecordedAssertion]) -> Result<usize, StoreError> {
-        for r in recorded {
-            self.record(r)?;
+        if recorded.is_empty() {
+            return Ok(0);
         }
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(recorded.len() * 3);
+        let mut markers_in_batch = std::collections::BTreeSet::new();
+        let mut new_interactions = 0u64;
+        let mut interaction_assertions = 0u64;
+        let mut actor_state = 0u64;
+        let mut relationship = 0u64;
+        let mut bytes = 0u64;
+
+        for r in recorded {
+            let interaction = r.assertion.interaction_key().as_str();
+            let seq = self.sequence.fetch_add(1, Ordering::Relaxed);
+            let payload = serde_json::to_vec(r).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            entries.push((keys::assertion_key(interaction, seq), payload));
+
+            // Maintain the interaction marker and session index. The marker existence check
+            // must consider both the backend and markers staged earlier in this batch.
+            let marker = keys::interaction_key(interaction);
+            if markers_in_batch.insert(marker.clone()) && self.backend.get(&marker)?.is_none() {
+                entries.push((marker, Vec::new()));
+                new_interactions += 1;
+            }
+            entries.push((
+                keys::session_member_key(r.session.as_str(), interaction),
+                Vec::new(),
+            ));
+
+            match &r.assertion {
+                PAssertion::Interaction(_) => interaction_assertions += 1,
+                PAssertion::ActorState(_) => actor_state += 1,
+                PAssertion::Relationship(_) => relationship += 1,
+            }
+            bytes += r.assertion.content_len() as u64;
+        }
+
+        self.backend.put_many(&entries)?;
+
+        self.interaction_count
+            .fetch_add(new_interactions, Ordering::Relaxed);
+        self.interaction_assertions
+            .fetch_add(interaction_assertions, Ordering::Relaxed);
+        self.actor_state_assertions
+            .fetch_add(actor_state, Ordering::Relaxed);
+        self.relationship_assertions
+            .fetch_add(relationship, Ordering::Relaxed);
+        self.content_bytes.fetch_add(bytes, Ordering::Relaxed);
         Ok(recorded.len())
     }
 
@@ -212,9 +243,15 @@ impl ProvenanceStore {
     }
 
     /// All interaction keys known to the store (optionally limited), in key order.
-    pub fn list_interactions(&self, limit: Option<usize>) -> Result<Vec<InteractionKey>, StoreError> {
+    pub fn list_interactions(
+        &self,
+        limit: Option<usize>,
+    ) -> Result<Vec<InteractionKey>, StoreError> {
         let mut out = Vec::new();
-        for key in self.backend.scan_prefix(keys::INTERACTION_PREFIX.as_bytes())? {
+        for key in self
+            .backend
+            .scan_prefix(keys::INTERACTION_PREFIX.as_bytes())?
+        {
             if let Some(interaction) = keys::interaction_from_key(&key) {
                 out.push(InteractionKey::new(interaction));
                 if let Some(limit) = limit {
@@ -353,12 +390,18 @@ mod tests {
     fn populate(store: &ProvenanceStore) {
         for i in 0..5 {
             let key = format!("interaction:{i}");
-            store.record(&interaction_assertion("session:A", &key, "gzip")).unwrap();
-            store.record(&script_assertion("session:A", &key, "gzip -9")).unwrap();
+            store
+                .record(&interaction_assertion("session:A", &key, "gzip"))
+                .unwrap();
+            store
+                .record(&script_assertion("session:A", &key, "gzip -9"))
+                .unwrap();
         }
         for i in 5..8 {
             let key = format!("interaction:{i}");
-            store.record(&interaction_assertion("session:B", &key, "ppmz")).unwrap();
+            store
+                .record(&interaction_assertion("session:B", &key, "ppmz"))
+                .unwrap();
         }
         let mut group = Group::new("session:A", GroupKind::Session);
         group.add(InteractionKey::new("interaction:0"));
@@ -369,10 +412,14 @@ mod tests {
     fn record_and_query_by_interaction() {
         let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
         populate(&store);
-        let assertions =
-            store.assertions_for_interaction(&InteractionKey::new("interaction:0")).unwrap();
+        let assertions = store
+            .assertions_for_interaction(&InteractionKey::new("interaction:0"))
+            .unwrap();
         assert_eq!(assertions.len(), 2);
-        assert!(matches!(assertions[0].assertion, PAssertion::Interaction(_)));
+        assert!(matches!(
+            assertions[0].assertion,
+            PAssertion::Interaction(_)
+        ));
         assert!(matches!(assertions[1].assertion, PAssertion::ActorState(_)));
         assert!(store
             .assertions_for_interaction(&InteractionKey::new("interaction:99"))
@@ -384,14 +431,21 @@ mod tests {
     fn query_by_session_and_list_interactions() {
         let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
         populate(&store);
-        let a = store.assertions_for_session(&SessionId::new("session:A")).unwrap();
+        let a = store
+            .assertions_for_session(&SessionId::new("session:A"))
+            .unwrap();
         assert_eq!(a.len(), 10);
-        let b = store.assertions_for_session(&SessionId::new("session:B")).unwrap();
+        let b = store
+            .assertions_for_session(&SessionId::new("session:B"))
+            .unwrap();
         assert_eq!(b.len(), 3);
         assert_eq!(store.list_interactions(None).unwrap().len(), 8);
         assert_eq!(store.list_interactions(Some(3)).unwrap().len(), 3);
         assert_eq!(
-            store.interactions_in_session(&SessionId::new("session:B")).unwrap().len(),
+            store
+                .interactions_in_session(&SessionId::new("session:B"))
+                .unwrap()
+                .len(),
             3
         );
     }
@@ -451,23 +505,35 @@ mod tests {
         let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
         populate(&store);
         assert!(matches!(
-            store.query(&QueryRequest::ByInteraction(InteractionKey::new("interaction:0"))).unwrap(),
+            store
+                .query(&QueryRequest::ByInteraction(InteractionKey::new(
+                    "interaction:0"
+                )))
+                .unwrap(),
             QueryResponse::Assertions(_)
         ));
         assert!(matches!(
-            store.query(&QueryRequest::ByInteraction(InteractionKey::new("nope"))).unwrap(),
+            store
+                .query(&QueryRequest::ByInteraction(InteractionKey::new("nope")))
+                .unwrap(),
             QueryResponse::Empty
         ));
         assert!(matches!(
-            store.query(&QueryRequest::BySession(SessionId::new("session:A"))).unwrap(),
+            store
+                .query(&QueryRequest::BySession(SessionId::new("session:A")))
+                .unwrap(),
             QueryResponse::Assertions(_)
         ));
         assert!(matches!(
-            store.query(&QueryRequest::ListInteractions { limit: None }).unwrap(),
+            store
+                .query(&QueryRequest::ListInteractions { limit: None })
+                .unwrap(),
             QueryResponse::Interactions(_)
         ));
         assert!(matches!(
-            store.query(&QueryRequest::GroupsByKind("session".into())).unwrap(),
+            store
+                .query(&QueryRequest::GroupsByKind("session".into()))
+                .unwrap(),
             QueryResponse::Groups(_)
         ));
         assert!(matches!(
@@ -500,7 +566,13 @@ mod tests {
         assert_eq!(stats.total_passertions(), 13);
         assert_eq!(stats.groups, 1);
         // New records continue the sequence without colliding with existing ones.
-        store.record(&interaction_assertion("session:C", "interaction:100", "bzip2")).unwrap();
+        store
+            .record(&interaction_assertion(
+                "session:C",
+                "interaction:100",
+                "bzip2",
+            ))
+            .unwrap();
         assert_eq!(store.statistics().interactions, 9);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -511,7 +583,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let store = ProvenanceStore::open(Arc::new(FileBackend::open(&dir).unwrap())).unwrap();
-            store.record(&script_assertion("session:A", "interaction:0", "#!/bin/sh")).unwrap();
+            store
+                .record(&script_assertion("session:A", "interaction:0", "#!/bin/sh"))
+                .unwrap();
         }
         let store = ProvenanceStore::open(Arc::new(FileBackend::open(&dir).unwrap())).unwrap();
         assert_eq!(store.statistics().actor_state_passertions, 1);
@@ -527,7 +601,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
                     let key = format!("interaction:t{t}:{i}");
-                    store.record(&interaction_assertion("session:mt", &key, "measure")).unwrap();
+                    store
+                        .record(&interaction_assertion("session:mt", &key, "measure"))
+                        .unwrap();
                 }
             }));
         }
@@ -538,7 +614,10 @@ mod tests {
         assert_eq!(stats.interaction_passertions, 400);
         assert_eq!(stats.interactions, 400);
         assert_eq!(
-            store.assertions_for_session(&SessionId::new("session:mt")).unwrap().len(),
+            store
+                .assertions_for_session(&SessionId::new("session:mt"))
+                .unwrap()
+                .len(),
             400
         );
     }

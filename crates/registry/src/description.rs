@@ -21,7 +21,10 @@ pub struct MessagePart {
 impl MessagePart {
     /// Create a part.
     pub fn new(name: impl Into<String>, syntactic_type: impl Into<String>) -> Self {
-        MessagePart { name: name.into(), syntactic_type: syntactic_type.into() }
+        MessagePart {
+            name: name.into(),
+            syntactic_type: syntactic_type.into(),
+        }
     }
 }
 
@@ -39,7 +42,11 @@ pub struct Operation {
 impl Operation {
     /// Create an operation.
     pub fn new(name: impl Into<String>) -> Self {
-        Operation { name: name.into(), inputs: Vec::new(), outputs: Vec::new() }
+        Operation {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// Builder-style: add an input part.
@@ -170,7 +177,10 @@ mod tests {
         assert_eq!(svc.operations.len(), 1);
         let op = svc.find_operation("encode").unwrap();
         assert_eq!(op.part_count(), 3);
-        assert_eq!(op.find_input("grouping").unwrap().syntactic_type, "group-spec");
+        assert_eq!(
+            op.find_input("grouping").unwrap().syntactic_type,
+            "group-spec"
+        );
         assert_eq!(op.find_output("encoded").unwrap().name, "encoded");
         assert!(op.find_input("missing").is_none());
         assert!(svc.find_operation("missing").is_none());
@@ -189,7 +199,10 @@ mod tests {
     fn serde_roundtrip() {
         let svc = encode_service();
         let json = serde_json::to_string(&svc).unwrap();
-        assert_eq!(serde_json::from_str::<ServiceDescription>(&json).unwrap(), svc);
+        assert_eq!(
+            serde_json::from_str::<ServiceDescription>(&json).unwrap(),
+            svc
+        );
         let path = PartPath::input("a", "b", "c");
         let json = serde_json::to_string(&path).unwrap();
         assert_eq!(serde_json::from_str::<PartPath>(&json).unwrap(), path);

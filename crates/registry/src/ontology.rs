@@ -95,7 +95,8 @@ impl Ontology {
     pub fn declare_subtype(&mut self, child: &str, parent: &str) {
         self.declared.insert(SemanticType::new(child));
         self.declared.insert(SemanticType::new(parent));
-        self.parents.insert(SemanticType::new(child), SemanticType::new(parent));
+        self.parents
+            .insert(SemanticType::new(child), SemanticType::new(parent));
     }
 
     /// Whether `name` is a declared type.

@@ -64,7 +64,10 @@ pub struct Registry {
 impl Registry {
     /// Create a registry over the given ontology.
     pub fn new(ontology: Ontology) -> Self {
-        Registry { ontology, state: RwLock::new(RegistryState::default()) }
+        Registry {
+            ontology,
+            state: RwLock::new(RegistryState::default()),
+        }
     }
 
     /// Create a registry pre-loaded with the compressibility ontology fragment.
@@ -79,7 +82,10 @@ impl Registry {
 
     /// Publish (or replace) a service description.
     pub fn publish(&self, description: ServiceDescription) {
-        self.state.write().services.insert(description.name.clone(), description);
+        self.state
+            .write()
+            .services
+            .insert(description.name.clone(), description);
     }
 
     /// Number of published services.
@@ -119,7 +125,12 @@ impl Registry {
 
     /// Metadata attached to a service (empty if none).
     pub fn metadata(&self, service: &str) -> ServiceMetadata {
-        self.state.read().service_metadata.get(service).cloned().unwrap_or_default()
+        self.state
+            .read()
+            .service_metadata
+            .get(service)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Discover services whose metadata contains `key` = `value`.
@@ -140,7 +151,9 @@ impl Registry {
         semantic_type: SemanticType,
     ) -> Result<(), RegistryError> {
         if !self.ontology.is_declared(semantic_type.as_str()) {
-            return Err(RegistryError::UndeclaredType(semantic_type.as_str().to_string()));
+            return Err(RegistryError::UndeclaredType(
+                semantic_type.as_str().to_string(),
+            ));
         }
         let mut state = self.state.write();
         let service = state
@@ -216,17 +229,27 @@ mod tests {
     #[test]
     fn metadata_attachment_and_discovery() {
         let registry = registry_with_encode();
-        registry.attach_metadata("encode-by-groups", "domain", "bioinformatics").unwrap();
-        registry.attach_metadata("encode-by-groups", "granularity", "fine").unwrap();
+        registry
+            .attach_metadata("encode-by-groups", "domain", "bioinformatics")
+            .unwrap();
+        registry
+            .attach_metadata("encode-by-groups", "granularity", "fine")
+            .unwrap();
         assert_eq!(
-            registry.metadata("encode-by-groups").entries.get("domain").unwrap(),
+            registry
+                .metadata("encode-by-groups")
+                .entries
+                .get("domain")
+                .unwrap(),
             "bioinformatics"
         );
         assert_eq!(
             registry.discover_by_metadata("domain", "bioinformatics"),
             vec!["encode-by-groups".to_string()]
         );
-        assert!(registry.discover_by_metadata("domain", "astronomy").is_empty());
+        assert!(registry
+            .discover_by_metadata("domain", "astronomy")
+            .is_empty());
         assert!(registry.attach_metadata("nope", "k", "v").is_err());
         assert!(registry.metadata("nope").entries.is_empty());
     }
@@ -240,10 +263,19 @@ mod tests {
             .annotate_part(input.clone(), SemanticType::new(types::AMINO_ACID_SEQUENCE))
             .unwrap();
         registry
-            .annotate_part(output.clone(), SemanticType::new(types::GROUP_ENCODED_SAMPLE))
+            .annotate_part(
+                output.clone(),
+                SemanticType::new(types::GROUP_ENCODED_SAMPLE),
+            )
             .unwrap();
-        assert_eq!(registry.part_type(&input).unwrap().as_str(), types::AMINO_ACID_SEQUENCE);
-        assert_eq!(registry.part_type(&output).unwrap().as_str(), types::GROUP_ENCODED_SAMPLE);
+        assert_eq!(
+            registry.part_type(&input).unwrap().as_str(),
+            types::AMINO_ACID_SEQUENCE
+        );
+        assert_eq!(
+            registry.part_type(&output).unwrap().as_str(),
+            types::GROUP_ENCODED_SAMPLE
+        );
         assert!(registry
             .part_type(&PartPath::input("encode-by-groups", "encode", "missing"))
             .is_err());
@@ -303,7 +335,10 @@ mod tests {
     fn error_display() {
         for e in [
             RegistryError::UnknownService("s".into()),
-            RegistryError::UnknownOperation { service: "s".into(), operation: "o".into() },
+            RegistryError::UnknownOperation {
+                service: "s".into(),
+                operation: "o".into(),
+            },
             RegistryError::UnknownPart("p".into()),
             RegistryError::UndeclaredType("t".into()),
         ] {

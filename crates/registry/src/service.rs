@@ -123,18 +123,21 @@ impl RegistryService {
                 self.registry.publish(description);
                 RegistryResponse::Ok
             }
-            RegistryRequest::AttachMetadata { service, key, value } => {
-                match self.registry.attach_metadata(&service, &key, &value) {
-                    Ok(()) => RegistryResponse::Ok,
-                    Err(e) => RegistryResponse::Error(e),
-                }
-            }
-            RegistryRequest::AnnotatePart { path, semantic_type } => {
-                match self.registry.annotate_part(path, semantic_type) {
-                    Ok(()) => RegistryResponse::Ok,
-                    Err(e) => RegistryResponse::Error(e),
-                }
-            }
+            RegistryRequest::AttachMetadata {
+                service,
+                key,
+                value,
+            } => match self.registry.attach_metadata(&service, &key, &value) {
+                Ok(()) => RegistryResponse::Ok,
+                Err(e) => RegistryResponse::Error(e),
+            },
+            RegistryRequest::AnnotatePart {
+                path,
+                semantic_type,
+            } => match self.registry.annotate_part(path, semantic_type) {
+                Ok(()) => RegistryResponse::Ok,
+                Err(e) => RegistryResponse::Error(e),
+            },
             RegistryRequest::Describe(service) => match self.registry.describe(&service) {
                 Ok(d) => RegistryResponse::Description(d),
                 Err(e) => RegistryResponse::Error(e),
@@ -225,8 +228,11 @@ mod tests {
             RegistryResponse::Type(t) => assert_eq!(t.as_str(), types::PERMUTED_SAMPLE),
             other => panic!("unexpected response {other:?}"),
         }
-        match call_registry(&transport, &RegistryRequest::Describe("gzip-compression".into()))
-            .unwrap()
+        match call_registry(
+            &transport,
+            &RegistryRequest::Describe("gzip-compression".into()),
+        )
+        .unwrap()
         {
             RegistryResponse::Description(d) => assert_eq!(d.operations.len(), 1),
             other => panic!("unexpected response {other:?}"),
@@ -254,7 +260,10 @@ mod tests {
         .unwrap();
         match call_registry(
             &transport,
-            &RegistryRequest::Discover { key: "domain".into(), value: "bioinformatics".into() },
+            &RegistryRequest::Discover {
+                key: "domain".into(),
+                value: "bioinformatics".into(),
+            },
         )
         .unwrap()
         {
@@ -303,7 +312,11 @@ mod tests {
     fn actions_cover_every_request() {
         let reqs = [
             RegistryRequest::Publish(ServiceDescription::new("a", "")),
-            RegistryRequest::AttachMetadata { service: "a".into(), key: "k".into(), value: "v".into() },
+            RegistryRequest::AttachMetadata {
+                service: "a".into(),
+                key: "k".into(),
+                value: "v".into(),
+            },
             RegistryRequest::AnnotatePart {
                 path: PartPath::input("a", "b", "c"),
                 semantic_type: SemanticType::new("t"),
@@ -311,7 +324,10 @@ mod tests {
             RegistryRequest::Describe("a".into()),
             RegistryRequest::PartType(PartPath::output("a", "b", "c")),
             RegistryRequest::Metadata("a".into()),
-            RegistryRequest::Discover { key: "k".into(), value: "v".into() },
+            RegistryRequest::Discover {
+                key: "k".into(),
+                value: "v".into(),
+            },
             RegistryRequest::CheckCompatible {
                 produced: SemanticType::new("t"),
                 expected: SemanticType::new("t"),

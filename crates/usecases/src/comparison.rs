@@ -204,14 +204,39 @@ mod tests {
         // Use case 1's scenario: run 1 and run 2 differ because gzip was reconfigured.
         let (_host, transport) = deploy();
         let ids = IdGenerator::new("uc1");
-        record_script(&transport, &ids, "session:run1", "gzip-compression", "gzip -9");
-        record_script(&transport, &ids, "session:run1", "encode-by-groups", "encode dayhoff-6");
-        record_script(&transport, &ids, "session:run2", "gzip-compression", "gzip -1");
-        record_script(&transport, &ids, "session:run2", "encode-by-groups", "encode dayhoff-6");
+        record_script(
+            &transport,
+            &ids,
+            "session:run1",
+            "gzip-compression",
+            "gzip -9",
+        );
+        record_script(
+            &transport,
+            &ids,
+            "session:run1",
+            "encode-by-groups",
+            "encode dayhoff-6",
+        );
+        record_script(
+            &transport,
+            &ids,
+            "session:run2",
+            "gzip-compression",
+            "gzip -1",
+        );
+        record_script(
+            &transport,
+            &ids,
+            "session:run2",
+            "encode-by-groups",
+            "encode dayhoff-6",
+        );
 
         let categorizer = ScriptCategorizer::new(transport);
-        let (categories, report) =
-            categorizer.compare_sessions("session:run1", "session:run2").unwrap();
+        let (categories, report) = categorizer
+            .compare_sessions("session:run1", "session:run2")
+            .unwrap();
         assert_eq!(categories.interactions_inspected, 4);
         assert_eq!(categories.store_calls, 5); // 1 list + 4 per-interaction queries
         assert!(!report.same_process());
@@ -231,7 +256,9 @@ mod tests {
             record_script(&transport, &ids, session, "ppmz-compression", "ppmz -o3");
         }
         let categorizer = ScriptCategorizer::new(transport);
-        let (_, report) = categorizer.compare_sessions("session:a", "session:b").unwrap();
+        let (_, report) = categorizer
+            .compare_sessions("session:a", "session:b")
+            .unwrap();
         assert!(report.same_process());
         assert_eq!(report.identical.len(), 2);
     }
@@ -241,9 +268,17 @@ mod tests {
         let (_host, transport) = deploy();
         let ids = IdGenerator::new("uc1");
         record_script(&transport, &ids, "session:a", "gzip-compression", "gzip -9");
-        record_script(&transport, &ids, "session:b", "bzip2-compression", "bzip2 -9");
+        record_script(
+            &transport,
+            &ids,
+            "session:b",
+            "bzip2-compression",
+            "bzip2 -9",
+        );
         let categorizer = ScriptCategorizer::new(transport);
-        let (_, report) = categorizer.compare_sessions("session:a", "session:b").unwrap();
+        let (_, report) = categorizer
+            .compare_sessions("session:a", "session:b")
+            .unwrap();
         assert!(!report.same_process());
         assert_eq!(report.only_in_one.len(), 2);
         assert!(report.identical.is_empty());
@@ -266,7 +301,13 @@ mod tests {
         let (_host, transport) = deploy();
         let ids = IdGenerator::new("uc1");
         for i in 0..25 {
-            record_script(&transport, &ids, "session:a", "gzip-compression", &format!("gzip -{}", i % 3));
+            record_script(
+                &transport,
+                &ids,
+                "session:a",
+                "gzip-compression",
+                &format!("gzip -{}", i % 3),
+            );
         }
         let categorizer = ScriptCategorizer::new(transport.clone());
         let categories = categorizer.categorize().unwrap();

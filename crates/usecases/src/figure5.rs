@@ -83,24 +83,59 @@ impl Figure5Deployment {
             ),
         );
         let annotate = |path: PartPath, t: &str| {
-            registry.annotate_part(path, SemanticType::new(t)).expect("annotation");
+            registry
+                .annotate_part(path, SemanticType::new(t))
+                .expect("annotation");
         };
-        annotate(PartPath::input("gzip-compression", "gzip-compress", "sample"), types::PERMUTED_SAMPLE);
-        annotate(PartPath::input("gzip-compression", "gzip-compress", "level"), types::GROUP_CODING);
-        annotate(PartPath::input("gzip-compression", "gzip-compress", "dictionary"), types::SEQUENCE);
-        annotate(PartPath::input("gzip-compression", "gzip-compress", "window"), types::GROUP_CODING);
-        annotate(PartPath::input("gzip-compression", "gzip-compress", "threads"), types::GROUP_CODING);
-        annotate(PartPath::output("gzip-compression", "gzip-compress", "compressed-sample"), types::COMPRESSED_SIZE);
-        annotate(PartPath::output("gzip-compression", "gzip-compress", "size"), types::COMPRESSED_SIZE);
-        annotate(PartPath::output("gzip-compression", "gzip-compress", "checksum"), types::COMPRESSED_SIZE);
-        annotate(PartPath::output("gzip-compression", "gzip-compress", "log"), types::SIZES_TABLE);
+        annotate(
+            PartPath::input("gzip-compression", "gzip-compress", "sample"),
+            types::PERMUTED_SAMPLE,
+        );
+        annotate(
+            PartPath::input("gzip-compression", "gzip-compress", "level"),
+            types::GROUP_CODING,
+        );
+        annotate(
+            PartPath::input("gzip-compression", "gzip-compress", "dictionary"),
+            types::SEQUENCE,
+        );
+        annotate(
+            PartPath::input("gzip-compression", "gzip-compress", "window"),
+            types::GROUP_CODING,
+        );
+        annotate(
+            PartPath::input("gzip-compression", "gzip-compress", "threads"),
+            types::GROUP_CODING,
+        );
+        annotate(
+            PartPath::output("gzip-compression", "gzip-compress", "compressed-sample"),
+            types::COMPRESSED_SIZE,
+        );
+        annotate(
+            PartPath::output("gzip-compression", "gzip-compress", "size"),
+            types::COMPRESSED_SIZE,
+        );
+        annotate(
+            PartPath::output("gzip-compression", "gzip-compress", "checksum"),
+            types::COMPRESSED_SIZE,
+        );
+        annotate(
+            PartPath::output("gzip-compression", "gzip-compress", "log"),
+            types::SIZES_TABLE,
+        );
 
-        Figure5Deployment { host, preserv, registry, latency }
+        Figure5Deployment {
+            host,
+            preserv,
+            registry,
+            latency,
+        }
     }
 
     /// A transport with the configured latency applied virtually.
     pub fn transport(&self) -> Transport {
-        self.host.transport(TransportConfig::virtual_time(self.latency))
+        self.host
+            .transport(TransportConfig::virtual_time(self.latency))
     }
 }
 
@@ -130,15 +165,17 @@ impl Figure5Series {
             let categorizer = ScriptCategorizer::new(comparison_transport.clone());
             let started = Instant::now();
             let categories = categorizer.categorize().expect("store reachable");
-            let comparison_time =
-                started.elapsed() + comparison_transport.clock().elapsed();
+            let comparison_time = started.elapsed() + comparison_transport.clock().elapsed();
 
             // Use case 2.
             let store_transport = deployment.transport();
             let registry_transport = deployment.transport();
-            let validator = SemanticValidator::new(store_transport.clone(), registry_transport.clone());
+            let validator =
+                SemanticValidator::new(store_transport.clone(), registry_transport.clone());
             let started = Instant::now();
-            let report = validator.validate_store().expect("store and registry reachable");
+            let report = validator
+                .validate_store()
+                .expect("store and registry reachable");
             let validation_time = started.elapsed()
                 + store_transport.clock().elapsed()
                 + registry_transport.clock().elapsed();
@@ -156,18 +193,32 @@ impl Figure5Series {
 
     /// Linearity (Pearson r) of one series against the store size.
     pub fn linearity(&self, semantic: bool) -> f64 {
-        let xs: Vec<f64> = self.points.iter().map(|p| p.interaction_records as f64).collect();
+        let xs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.interaction_records as f64)
+            .collect();
         let ys: Vec<f64> = self
             .points
             .iter()
-            .map(|p| if semantic { p.semantic_validity_ms } else { p.script_comparison_ms })
+            .map(|p| {
+                if semantic {
+                    p.semantic_validity_ms
+                } else {
+                    p.script_comparison_ms
+                }
+            })
             .collect();
         correlation(&xs, &ys)
     }
 
     /// Ratio of the semantic-validity slope to the script-comparison slope (paper: ≈11).
     pub fn slope_ratio(&self) -> f64 {
-        let xs: Vec<f64> = self.points.iter().map(|p| p.interaction_records as f64).collect();
+        let xs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.interaction_records as f64)
+            .collect();
         let comparison: Vec<f64> = self.points.iter().map(|p| p.script_comparison_ms).collect();
         let semantic: Vec<f64> = self.points.iter().map(|p| p.semantic_validity_ms).collect();
         let (slope_c, _) = linear_fit(&xs, &comparison);
@@ -225,8 +276,16 @@ mod tests {
         assert_eq!(series.points.len(), 3);
 
         // Both series grow with the store size and are strongly linear.
-        assert!(series.linearity(false) > 0.99, "comparison r = {}", series.linearity(false));
-        assert!(series.linearity(true) > 0.99, "semantic r = {}", series.linearity(true));
+        assert!(
+            series.linearity(false) > 0.99,
+            "comparison r = {}",
+            series.linearity(false)
+        );
+        assert!(
+            series.linearity(true) > 0.99,
+            "semantic r = {}",
+            series.linearity(true)
+        );
 
         // The semantic-validity series is far steeper — the paper reports a slope ratio of
         // about 11 (one store call vs one store call + ten registry calls per interaction).

@@ -125,30 +125,36 @@ impl SemanticValidator {
     ) -> Result<(), WireError> {
         // One store call per interaction record.
         report.store_calls += 1;
-        let assertions = match self
-            .store_query(QueryRequest::ByInteraction(InteractionKey::new(interaction.as_str())))?
-        {
+        let assertions = match self.store_query(QueryRequest::ByInteraction(
+            InteractionKey::new(interaction.as_str()),
+        ))? {
             QueryResponse::Assertions(found) => found,
             _ => return Ok(()),
         };
         for recorded in &assertions {
-            let PAssertion::Interaction(ia) = &recorded.assertion else { continue };
+            let PAssertion::Interaction(ia) = &recorded.assertion else {
+                continue;
+            };
             report.interactions_checked += 1;
             let is_response = ia.operation.ends_with("-response");
             let (service, operation) = if is_response {
-                (ia.sender.as_str().to_string(), ia.operation.trim_end_matches("-response").to_string())
+                (
+                    ia.sender.as_str().to_string(),
+                    ia.operation.trim_end_matches("-response").to_string(),
+                )
             } else {
                 (ia.receiver.as_str().to_string(), ia.operation.clone())
             };
 
             // Registry call 1: the service description.
-            let description = match self
-                .registry_call(report, &RegistryRequest::Describe(service.clone()))?
-            {
-                RegistryResponse::Description(d) => d,
-                _ => continue, // unregistered service: nothing to check against
+            let description =
+                match self.registry_call(report, &RegistryRequest::Describe(service.clone()))? {
+                    RegistryResponse::Description(d) => d,
+                    _ => continue, // unregistered service: nothing to check against
+                };
+            let Some(op) = description.find_operation(&operation).cloned() else {
+                continue;
             };
-            let Some(op) = description.find_operation(&operation).cloned() else { continue };
 
             // Registry calls: the semantic type of every message part of the operation.
             let mut input_types = Vec::new();
@@ -176,15 +182,16 @@ impl SemanticValidator {
                 if ia.view == ViewKind::Sender {
                     if let Some(output_type) = output_types.first() {
                         for data in &ia.data_ids {
-                            produced_types
-                                .insert(data.as_str().to_string(), output_type.clone());
+                            produced_types.insert(data.as_str().to_string(), output_type.clone());
                         }
                     }
                 }
             } else if let Some(expected) = input_types.first() {
                 // Check every consumed data item whose production we have already witnessed.
                 for data in &ia.data_ids {
-                    let Some(produced) = produced_types.get(data.as_str()) else { continue };
+                    let Some(produced) = produced_types.get(data.as_str()) else {
+                        continue;
+                    };
                     report.flows_checked += 1;
                     let compatible = match self.registry_call(
                         report,
@@ -238,13 +245,19 @@ mod tests {
         preserv.register(&host);
         let registry = Arc::new(Registry::for_compressibility());
         Arc::new(RegistryService::new(Arc::clone(&registry))).register(&host);
-        Setup { host, registry, ids: IdGenerator::new("uc2") }
+        Setup {
+            host,
+            registry,
+            ids: IdGenerator::new("uc2"),
+        }
     }
 
     fn publish_services(registry: &Registry) {
         registry.publish(
             ServiceDescription::new("fetch-sequence", "download a sequence").operation(
-                Operation::new("fetch").input("accession", "string").output("sequence", "text"),
+                Operation::new("fetch")
+                    .input("accession", "string")
+                    .output("sequence", "text"),
             ),
         );
         registry
@@ -302,7 +315,12 @@ mod tests {
         N.fetch_add(1, Ordering::SeqCst)
     }
 
-    fn response_interaction(ids: &IdGenerator, service: &str, operation: &str, data: &str) -> PAssertion {
+    fn response_interaction(
+        ids: &IdGenerator,
+        service: &str,
+        operation: &str,
+        data: &str,
+    ) -> PAssertion {
         PAssertion::Interaction(InteractionPAssertion {
             interaction_key: ids.interaction_key(),
             asserter: ActorId::new(service),
@@ -315,7 +333,12 @@ mod tests {
         })
     }
 
-    fn request_interaction(ids: &IdGenerator, service: &str, operation: &str, data: &str) -> PAssertion {
+    fn request_interaction(
+        ids: &IdGenerator,
+        service: &str,
+        operation: &str,
+        data: &str,
+    ) -> PAssertion {
         PAssertion::Interaction(InteractionPAssertion {
             interaction_key: ids.interaction_key(),
             asserter: ActorId::new("workflow-engine"),
@@ -335,8 +358,14 @@ mod tests {
         let transport = setup.host.transport(TransportConfig::free());
         // The trace: fetch-sequence produced d1 (a nucleotide sequence), and encode-by-groups
         // later consumed d1 — syntactically fine, semantically invalid.
-        record(&transport, response_interaction(&setup.ids, "fetch-sequence", "fetch", "data:d1"));
-        record(&transport, request_interaction(&setup.ids, "encode-by-groups", "encode", "data:d1"));
+        record(
+            &transport,
+            response_interaction(&setup.ids, "fetch-sequence", "fetch", "data:d1"),
+        );
+        record(
+            &transport,
+            request_interaction(&setup.ids, "encode-by-groups", "encode", "data:d1"),
+        );
 
         let validator = SemanticValidator::new(
             setup.host.transport(TransportConfig::free()),
@@ -366,8 +395,14 @@ mod tests {
             )
             .unwrap();
         let transport = setup.host.transport(TransportConfig::free());
-        record(&transport, response_interaction(&setup.ids, "fetch-sequence", "fetch", "data:p1"));
-        record(&transport, request_interaction(&setup.ids, "encode-by-groups", "encode", "data:p1"));
+        record(
+            &transport,
+            response_interaction(&setup.ids, "fetch-sequence", "fetch", "data:p1"),
+        );
+        record(
+            &transport,
+            request_interaction(&setup.ids, "encode-by-groups", "encode", "data:p1"),
+        );
         let validator = SemanticValidator::new(
             setup.host.transport(TransportConfig::free()),
             setup.host.transport(TransportConfig::free()),
@@ -382,7 +417,10 @@ mod tests {
     fn unregistered_services_are_skipped_not_failed() {
         let setup = deploy();
         let transport = setup.host.transport(TransportConfig::free());
-        record(&transport, request_interaction(&setup.ids, "mystery-service", "run", "data:x"));
+        record(
+            &transport,
+            request_interaction(&setup.ids, "mystery-service", "run", "data:x"),
+        );
         let validator = SemanticValidator::new(
             setup.host.transport(TransportConfig::free()),
             setup.host.transport(TransportConfig::free()),
@@ -401,7 +439,12 @@ mod tests {
         for i in 0..10 {
             record(
                 &transport,
-                request_interaction(&setup.ids, "encode-by-groups", "encode", &format!("data:{i}")),
+                request_interaction(
+                    &setup.ids,
+                    "encode-by-groups",
+                    "encode",
+                    &format!("data:{i}"),
+                ),
             );
         }
         let validator = SemanticValidator::new(

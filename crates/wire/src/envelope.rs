@@ -47,8 +47,14 @@ impl Envelope {
     pub fn request(service: &str, action: &str) -> Self {
         Envelope {
             headers: vec![
-                Header { name: header_names::SERVICE.into(), value: service.into() },
-                Header { name: header_names::ACTION.into(), value: action.into() },
+                Header {
+                    name: header_names::SERVICE.into(),
+                    value: service.into(),
+                },
+                Header {
+                    name: header_names::ACTION.into(),
+                    value: action.into(),
+                },
             ],
             body: XmlElement::new("body"),
         }
@@ -77,13 +83,19 @@ impl Envelope {
         if let Some(h) = self.headers.iter_mut().find(|h| h.name == name) {
             h.value = value;
         } else {
-            self.headers.push(Header { name: name.into(), value });
+            self.headers.push(Header {
+                name: name.into(),
+                value,
+            });
         }
     }
 
     /// Look up a header value.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.iter().find(|h| h.name == name).map(|h| h.value.as_str())
+        self.headers
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| h.value.as_str())
     }
 
     /// The destination service name, if present.
@@ -130,7 +142,10 @@ impl Envelope {
     /// Build a fault response with a human-readable reason.
     pub fn fault(reason: impl Into<String>) -> Self {
         Envelope {
-            headers: vec![Header { name: header_names::ACTION.into(), value: "fault".into() }],
+            headers: vec![Header {
+                name: header_names::ACTION.into(),
+                value: "fault".into(),
+            }],
             body: XmlElement::new("fault").text(reason.into()),
         }
     }
@@ -149,7 +164,11 @@ impl Envelope {
         let mut root = XmlElement::new("envelope");
         let mut headers = XmlElement::new("headers");
         for h in &self.headers {
-            headers.push_child(XmlElement::new("header").attr("name", &h.name).text(&h.value));
+            headers.push_child(
+                XmlElement::new("header")
+                    .attr("name", &h.name)
+                    .text(&h.value),
+            );
         }
         root.push_child(headers);
         let mut body_wrapper = XmlElement::new("body-wrapper");
@@ -175,7 +194,10 @@ impl Envelope {
             let name = h
                 .attribute("name")
                 .ok_or_else(|| WireError::InvalidEnvelope("header without name".into()))?;
-            headers.push(Header { name: name.to_string(), value: h.text_content() });
+            headers.push(Header {
+                name: name.to_string(),
+                value: h.text_content(),
+            });
         }
         let body_wrapper = root
             .find("body-wrapper")
@@ -221,13 +243,25 @@ mod tests {
         env.set_header("message-id", "1");
         env.set_header("message-id", "2");
         assert_eq!(env.header("message-id"), Some("2"));
-        assert_eq!(env.headers.iter().filter(|h| h.name == "message-id").count(), 1);
+        assert_eq!(
+            env.headers
+                .iter()
+                .filter(|h| h.name == "message-id")
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn json_payload_roundtrip() {
-        let payload = Payload { id: 9, name: "shuffle".into(), values: vec![1.5, 2.5] };
-        let env = Envelope::request("store", "record").with_json_payload(&payload).unwrap();
+        let payload = Payload {
+            id: 9,
+            name: "shuffle".into(),
+            values: vec![1.5, 2.5],
+        };
+        let env = Envelope::request("store", "record")
+            .with_json_payload(&payload)
+            .unwrap();
         let back: Payload = env.json_payload().unwrap();
         assert_eq!(back, payload);
     }
@@ -240,7 +274,11 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let payload = Payload { id: 1, name: "a<b&c".into(), values: vec![0.25] };
+        let payload = Payload {
+            id: 1,
+            name: "a<b&c".into(),
+            values: vec![0.25],
+        };
         let env = Envelope::request("registry", "lookup")
             .with_header("message-id", "msg-001")
             .with_header("sender", "validator")

@@ -44,14 +44,26 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(WireError::Parse { position: 4, reason: "bad tag".into() }
+        assert!(WireError::Parse {
+            position: 4,
+            reason: "bad tag".into()
+        }
+        .to_string()
+        .contains("byte 4"));
+        assert!(WireError::UnknownService("store".into())
             .to_string()
-            .contains("byte 4"));
-        assert!(WireError::UnknownService("store".into()).to_string().contains("store"));
-        assert!(WireError::Fault { service: "s".into(), reason: "boom".into() }
+            .contains("store"));
+        assert!(WireError::Fault {
+            service: "s".into(),
+            reason: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(WireError::InvalidEnvelope("no body".into())
             .to_string()
-            .contains("boom"));
-        assert!(WireError::InvalidEnvelope("no body".into()).to_string().contains("no body"));
-        assert!(WireError::Payload("not json".into()).to_string().contains("not json"));
+            .contains("no body"));
+        assert!(WireError::Payload("not json".into())
+            .to_string()
+            .contains("not json"));
     }
 }

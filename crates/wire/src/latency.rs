@@ -130,7 +130,10 @@ mod tests {
         // on the order of 1 KiB with a small acknowledgement.
         let m = NetworkProfile::Paper2005.latency_model();
         let rt = m.round_trip(1024, 128);
-        assert!(rt >= Duration::from_millis(17) && rt <= Duration::from_millis(20), "{rt:?}");
+        assert!(
+            rt >= Duration::from_millis(17) && rt <= Duration::from_millis(20),
+            "{rt:?}"
+        );
     }
 
     #[test]

@@ -66,17 +66,26 @@ pub struct TransportConfig {
 impl TransportConfig {
     /// A configuration with no communication cost at all.
     pub fn free() -> Self {
-        TransportConfig { latency: LatencyModel::zero(), mode: LatencyMode::None }
+        TransportConfig {
+            latency: LatencyModel::zero(),
+            mode: LatencyMode::None,
+        }
     }
 
     /// Real-time configuration: sleep for the modelled cost.
     pub fn sleeping(latency: LatencyModel) -> Self {
-        TransportConfig { latency, mode: LatencyMode::Sleep }
+        TransportConfig {
+            latency,
+            mode: LatencyMode::Sleep,
+        }
     }
 
     /// Simulated-time configuration: accumulate the modelled cost on the clock.
     pub fn virtual_time(latency: LatencyModel) -> Self {
-        TransportConfig { latency, mode: LatencyMode::Virtual }
+        TransportConfig {
+            latency,
+            mode: LatencyMode::Virtual,
+        }
     }
 }
 
@@ -115,12 +124,17 @@ impl TransportStats {
 #[derive(Default, Clone)]
 pub struct ServiceHost {
     services: Arc<RwLock<HashMap<String, Arc<dyn MessageHandler>>>>,
+    /// Calls dispatched per service name, across every transport bound to this host. The
+    /// cluster tier reads these to report how evenly the shard router spreads load.
+    dispatch: Arc<Mutex<HashMap<String, u64>>>,
 }
 
 impl std::fmt::Debug for ServiceHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<String> = self.services.read().keys().cloned().collect();
-        f.debug_struct("ServiceHost").field("services", &names).finish()
+        f.debug_struct("ServiceHost")
+            .field("services", &names)
+            .finish()
     }
 }
 
@@ -154,6 +168,27 @@ impl ServiceHost {
 
     fn lookup(&self, name: &str) -> Option<Arc<dyn MessageHandler>> {
         self.services.read().get(name).cloned()
+    }
+
+    fn note_dispatch(&self, name: &str) {
+        *self.dispatch.lock().entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Calls dispatched to each service so far, sorted by service name.
+    pub fn dispatch_counts(&self) -> Vec<(String, u64)> {
+        let mut counts: Vec<(String, u64)> = self
+            .dispatch
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        counts.sort();
+        counts
+    }
+
+    /// Reset the per-service dispatch counters.
+    pub fn reset_dispatch_counts(&self) {
+        self.dispatch.lock().clear();
     }
 
     /// Create a client transport bound to this host.
@@ -215,12 +250,16 @@ impl Transport {
                 return Err(WireError::UnknownService(service_name));
             }
         };
+        self.host.note_dispatch(&service_name);
 
         let response = match handler.handle(decoded_request) {
             Ok(r) => r,
             Err(e) => {
                 self.stats.lock().failures += 1;
-                return Err(WireError::Fault { service: service_name, reason: e.to_string() });
+                return Err(WireError::Fault {
+                    service: service_name,
+                    reason: e.to_string(),
+                });
             }
         };
 
@@ -228,7 +267,10 @@ impl Transport {
         let response_bytes = response_text.len();
         let decoded_response = Envelope::from_wire(&response_text)?;
 
-        let cost = self.config.latency.round_trip(request_bytes, response_bytes);
+        let cost = self
+            .config
+            .latency
+            .round_trip(request_bytes, response_bytes);
         self.charge(cost);
 
         let mut stats = self.stats.lock();
@@ -323,7 +365,9 @@ mod tests {
     fn unknown_service_is_an_error_and_counted() {
         let host = ServiceHost::new();
         let transport = host.transport(TransportConfig::free());
-        let err = transport.call(Envelope::request("nowhere", "x")).unwrap_err();
+        let err = transport
+            .call(Envelope::request("nowhere", "x"))
+            .unwrap_err();
         assert!(matches!(err, WireError::UnknownService(_)));
         assert_eq!(transport.stats().failures, 1);
         assert_eq!(transport.stats().calls, 0);
@@ -339,7 +383,9 @@ mod tests {
             }),
         );
         let transport = host.transport(TransportConfig::free());
-        let err = transport.call(Envelope::request("broken", "x")).unwrap_err();
+        let err = transport
+            .call(Envelope::request("broken", "x"))
+            .unwrap_err();
         assert!(matches!(err, WireError::Fault { .. }));
         assert_eq!(transport.stats().failures, 1);
     }

@@ -35,7 +35,11 @@ pub struct XmlElement {
 impl XmlElement {
     /// Create an element with the given name and no content.
     pub fn new(name: impl Into<String>) -> Self {
-        XmlElement { name: name.into(), attributes: BTreeMap::new(), children: Vec::new() }
+        XmlElement {
+            name: name.into(),
+            attributes: BTreeMap::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style: add an attribute.
@@ -140,7 +144,10 @@ impl XmlElement {
 
     /// Parse an element from its textual form.
     pub fn parse(input: &str) -> WireResult<Self> {
-        let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+        let mut parser = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         parser.skip_whitespace();
         let element = parser.parse_element()?;
         parser.skip_whitespace();
@@ -234,7 +241,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, reason: impl Into<String>) -> WireResult<T> {
-        Err(WireError::Parse { position: self.pos, reason: reason.into() })
+        Err(WireError::Parse {
+            position: self.pos,
+            reason: reason.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -427,7 +437,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_mismatched_tags() {
-        assert!(matches!(XmlElement::parse("<a></b>"), Err(WireError::Parse { .. })));
+        assert!(matches!(
+            XmlElement::parse("<a></b>"),
+            Err(WireError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -30,7 +30,11 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = XmlElement> {
-    let leaf = (name_strategy(), text_strategy(), prop::collection::btree_map(name_strategy(), text_strategy(), 0..3))
+    let leaf = (
+        name_strategy(),
+        text_strategy(),
+        prop::collection::btree_map(name_strategy(), text_strategy(), 0..3),
+    )
         .prop_map(|(name, text, attrs)| {
             let mut el = XmlElement::new(name);
             el.attributes = attrs;
@@ -40,8 +44,12 @@ fn element_strategy() -> impl Strategy<Value = XmlElement> {
             el
         });
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (name_strategy(), prop::collection::vec(inner, 0..4), text_strategy()).prop_map(
-            |(name, children, text)| {
+        (
+            name_strategy(),
+            prop::collection::vec(inner, 0..4),
+            text_strategy(),
+        )
+            .prop_map(|(name, children, text)| {
                 let mut el = XmlElement::new(name);
                 for c in children {
                     el.push_child(c);
@@ -50,8 +58,7 @@ fn element_strategy() -> impl Strategy<Value = XmlElement> {
                     el.push_text(text);
                 }
                 el
-            },
-        )
+            })
     })
 }
 

@@ -23,7 +23,10 @@ pub struct ActivityError {
 impl ActivityError {
     /// Create an error.
     pub fn new(activity: impl Into<String>, reason: impl Into<String>) -> Self {
-        ActivityError { activity: activity.into(), reason: reason.into() }
+        ActivityError {
+            activity: activity.into(),
+            reason: reason.into(),
+        }
     }
 }
 
@@ -86,9 +89,7 @@ pub struct FnActivity {
     script: String,
     #[allow(clippy::type_complexity)]
     body: Arc<
-        dyn Fn(&[DataItem], &ActivityContext) -> Result<Vec<DataItem>, ActivityError>
-            + Send
-            + Sync,
+        dyn Fn(&[DataItem], &ActivityContext) -> Result<Vec<DataItem>, ActivityError> + Send + Sync,
     >,
 }
 
@@ -101,7 +102,11 @@ impl FnActivity {
             + Sync
             + 'static,
     {
-        FnActivity { name: name.into(), script: script.into(), body: Arc::new(body) }
+        FnActivity {
+            name: name.into(),
+            script: script.into(),
+            body: Arc::new(body),
+        }
     }
 }
 

@@ -67,7 +67,11 @@ pub struct Workflow {
 impl Workflow {
     /// Create an empty workflow.
     pub fn new(name: impl Into<String>) -> Self {
-        Workflow { name: name.into(), nodes: BTreeMap::new(), inputs: BTreeMap::new() }
+        Workflow {
+            name: name.into(),
+            nodes: BTreeMap::new(),
+            inputs: BTreeMap::new(),
+        }
     }
 
     /// Add a node invoking `activity`.
@@ -93,7 +97,10 @@ impl Workflow {
         if !self.nodes.contains_key(consumer) {
             return Err(WorkflowError::UnknownNode(consumer.0.clone()));
         }
-        self.inputs.entry(consumer.clone()).or_default().push(producer.clone());
+        self.inputs
+            .entry(consumer.clone())
+            .or_default()
+            .push(producer.clone());
         Ok(())
     }
 
@@ -130,7 +137,11 @@ impl Workflow {
                 has_consumer.insert(p);
             }
         }
-        self.nodes.keys().filter(|id| !has_consumer.contains(id)).cloned().collect()
+        self.nodes
+            .keys()
+            .filter(|id| !has_consumer.contains(id))
+            .cloned()
+            .collect()
     }
 
     /// Topological levels: level 0 contains the sources; every node appears in the first level
@@ -143,7 +154,10 @@ impl Workflow {
         for (consumer, producers) in &self.inputs {
             for producer in producers {
                 *indegree.get_mut(consumer).expect("validated") += 1;
-                consumers.entry(producer.clone()).or_default().push(consumer.clone());
+                consumers
+                    .entry(producer.clone())
+                    .or_default()
+                    .push(consumer.clone());
             }
         }
         let mut current: Vec<NodeId> = indegree
@@ -229,10 +243,18 @@ mod tests {
 
     fn noop(name: &str) -> Arc<dyn Activity> {
         let name_owned = name.to_string();
-        Arc::new(FnActivity::new(name, format!("run {name}"), move |inputs, ctx| {
-            let _ = &name_owned;
-            Ok(vec![DataItem::new(ctx.ids.data_id(), "out", inputs.len().to_le_bytes().to_vec())])
-        }))
+        Arc::new(FnActivity::new(
+            name,
+            format!("run {name}"),
+            move |inputs, ctx| {
+                let _ = &name_owned;
+                Ok(vec![DataItem::new(
+                    ctx.ids.data_id(),
+                    "out",
+                    inputs.len().to_le_bytes().to_vec(),
+                )])
+            },
+        ))
     }
 
     fn diamond() -> (Workflow, NodeId, NodeId, NodeId, NodeId) {
@@ -265,7 +287,10 @@ mod tests {
     fn duplicate_and_unknown_nodes_rejected() {
         let mut wf = Workflow::new("bad");
         let a = wf.add_node("a", noop("a")).unwrap();
-        assert_eq!(wf.add_node("a", noop("a")).unwrap_err(), WorkflowError::DuplicateNode("a".into()));
+        assert_eq!(
+            wf.add_node("a", noop("a")).unwrap_err(),
+            WorkflowError::DuplicateNode("a".into())
+        );
         assert_eq!(
             wf.add_edge(&a, &NodeId::new("ghost")).unwrap_err(),
             WorkflowError::UnknownNode("ghost".into())
@@ -313,7 +338,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(WorkflowError::Cycle.to_string().contains("cycle"));
-        assert!(WorkflowError::DuplicateNode("x".into()).to_string().contains('x'));
-        assert!(WorkflowError::UnknownNode("y".into()).to_string().contains('y'));
+        assert!(WorkflowError::DuplicateNode("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(WorkflowError::UnknownNode("y".into())
+            .to_string()
+            .contains('y'));
     }
 }

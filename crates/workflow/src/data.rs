@@ -22,7 +22,12 @@ pub struct DataItem {
 impl DataItem {
     /// Create a data item.
     pub fn new(id: DataId, name: impl Into<String>, bytes: Vec<u8>) -> Self {
-        DataItem { id, name: name.into(), bytes, semantic_type: None }
+        DataItem {
+            id,
+            name: name.into(),
+            bytes,
+            semantic_type: None,
+        }
     }
 
     /// Builder-style: declare the semantic type of this item.

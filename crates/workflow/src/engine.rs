@@ -121,9 +121,12 @@ pub struct WorkflowEngine {
 
 impl WorkflowEngine {
     /// Create an engine recording through `recorder`.
-    pub fn new(recorder: Arc<dyn ProvenanceRecorder>, ids: IdGenerator, config: EngineConfig) -> Self {
-        let session_group =
-            Group::new(recorder.session().as_str().to_string(), GroupKind::Session);
+    pub fn new(
+        recorder: Arc<dyn ProvenanceRecorder>,
+        ids: IdGenerator,
+        config: EngineConfig,
+    ) -> Self {
+        let session_group = Group::new(recorder.session().as_str().to_string(), GroupKind::Session);
         WorkflowEngine {
             recorder,
             ids,
@@ -155,13 +158,14 @@ impl WorkflowEngine {
 
         // Document the workflow definition itself for the session.
         let workflow_interaction = self.ids.interaction_key();
-        self.recorder.record(PAssertion::ActorState(ActorStatePAssertion {
-            interaction_key: workflow_interaction.clone(),
-            asserter: self.engine_actor.clone(),
-            view: ViewKind::Sender,
-            kind: ActorStateKind::Workflow,
-            content: PAssertionContent::text(workflow.describe()),
-        }))?;
+        self.recorder
+            .record(PAssertion::ActorState(ActorStatePAssertion {
+                interaction_key: workflow_interaction.clone(),
+                asserter: self.engine_actor.clone(),
+                view: ViewKind::Sender,
+                kind: ActorStateKind::Workflow,
+                content: PAssertionContent::text(workflow.describe()),
+            }))?;
         self.session_group.lock().add(workflow_interaction);
 
         let outputs: Mutex<BTreeMap<String, Vec<DataItem>>> = Mutex::new(BTreeMap::new());
@@ -197,7 +201,8 @@ impl WorkflowEngine {
         }
 
         // Register the session group now that every interaction key is known.
-        self.recorder.register_group(self.session_group.lock().clone())?;
+        self.recorder
+            .register_group(self.session_group.lock().clone())?;
 
         let invocations = invocations.into_inner();
         let outputs = outputs.into_inner();
@@ -239,26 +244,28 @@ impl WorkflowEngine {
             (self.engine_actor.clone(), ViewKind::Sender),
             (activity_actor.clone(), ViewKind::Receiver),
         ] {
-            self.recorder.record(PAssertion::Interaction(InteractionPAssertion {
-                interaction_key: request_key.clone(),
-                asserter,
-                view,
-                sender: self.engine_actor.clone(),
-                receiver: activity_actor.clone(),
-                operation: activity.name().to_string(),
-                content: request_content.clone(),
-                data_ids: input_ids.clone(),
-            }))?;
+            self.recorder
+                .record(PAssertion::Interaction(InteractionPAssertion {
+                    interaction_key: request_key.clone(),
+                    asserter,
+                    view,
+                    sender: self.engine_actor.clone(),
+                    receiver: activity_actor.clone(),
+                    operation: activity.name().to_string(),
+                    content: request_content.clone(),
+                    data_ids: input_ids.clone(),
+                }))?;
         }
 
         // 3: the script the activity executes.
-        self.recorder.record(PAssertion::ActorState(ActorStatePAssertion {
-            interaction_key: request_key.clone(),
-            asserter: activity_actor.clone(),
-            view: ViewKind::Receiver,
-            kind: ActorStateKind::Script,
-            content: PAssertionContent::text(activity.script()),
-        }))?;
+        self.recorder
+            .record(PAssertion::ActorState(ActorStatePAssertion {
+                interaction_key: request_key.clone(),
+                asserter: activity_actor.clone(),
+                view: ViewKind::Receiver,
+                kind: ActorStateKind::Script,
+                content: PAssertionContent::text(activity.script()),
+            }))?;
 
         // The actual work.
         let ctx = ActivityContext::new(self.ids.clone(), invocation);
@@ -268,39 +275,45 @@ impl WorkflowEngine {
         // 4: relationship linking outputs to inputs.
         let response_key = self.ids.interaction_key();
         for item in &produced {
-            self.recorder.record(PAssertion::Relationship(RelationshipPAssertion {
-                interaction_key: response_key.clone(),
-                asserter: activity_actor.clone(),
-                effect: item.id.clone(),
-                causes: input_ids.iter().map(|d| (request_key.clone(), d.clone())).collect(),
-                relation: format!("produced-by-{}", activity.name()),
-            }))?;
+            self.recorder
+                .record(PAssertion::Relationship(RelationshipPAssertion {
+                    interaction_key: response_key.clone(),
+                    asserter: activity_actor.clone(),
+                    effect: item.id.clone(),
+                    causes: input_ids
+                        .iter()
+                        .map(|d| (request_key.clone(), d.clone()))
+                        .collect(),
+                    relation: format!("produced-by-{}", activity.name()),
+                }))?;
         }
 
         // Extra actor provenance (Figure 4's fourth configuration).
         if self.config.record_extra_actor_state {
-            self.recorder.record(PAssertion::ActorState(ActorStatePAssertion {
-                interaction_key: request_key.clone(),
-                asserter: activity_actor.clone(),
-                view: ViewKind::Receiver,
-                kind: ActorStateKind::Configuration,
-                content: PAssertionContent::structured(&serde_json::json!({
-                    "activity": activity.name(),
-                    "invocation": invocation,
-                    "input_items": inputs.len(),
-                    "input_bytes": staged_bytes,
-                })),
-            }))?;
-            self.recorder.record(PAssertion::ActorState(ActorStatePAssertion {
-                interaction_key: request_key.clone(),
-                asserter: activity_actor.clone(),
-                view: ViewKind::Receiver,
-                kind: ActorStateKind::ResourceUsage,
-                content: PAssertionContent::structured(&serde_json::json!({
-                    "cpu_time_us": elapsed.as_micros() as u64,
-                    "output_bytes": produced.iter().map(|i| i.len()).sum::<usize>(),
-                })),
-            }))?;
+            self.recorder
+                .record(PAssertion::ActorState(ActorStatePAssertion {
+                    interaction_key: request_key.clone(),
+                    asserter: activity_actor.clone(),
+                    view: ViewKind::Receiver,
+                    kind: ActorStateKind::Configuration,
+                    content: PAssertionContent::structured(&serde_json::json!({
+                        "activity": activity.name(),
+                        "invocation": invocation,
+                        "input_items": inputs.len(),
+                        "input_bytes": staged_bytes,
+                    })),
+                }))?;
+            self.recorder
+                .record(PAssertion::ActorState(ActorStatePAssertion {
+                    interaction_key: request_key.clone(),
+                    asserter: activity_actor.clone(),
+                    view: ViewKind::Receiver,
+                    kind: ActorStateKind::ResourceUsage,
+                    content: PAssertionContent::structured(&serde_json::json!({
+                        "cpu_time_us": elapsed.as_micros() as u64,
+                        "output_bytes": produced.iter().map(|i| i.len()).sum::<usize>(),
+                    })),
+                }))?;
         }
 
         // 5 & 6: both views of the response interaction.
@@ -314,16 +327,17 @@ impl WorkflowEngine {
             (activity_actor.clone(), ViewKind::Sender),
             (self.engine_actor.clone(), ViewKind::Receiver),
         ] {
-            self.recorder.record(PAssertion::Interaction(InteractionPAssertion {
-                interaction_key: response_key.clone(),
-                asserter,
-                view,
-                sender: activity_actor.clone(),
-                receiver: self.engine_actor.clone(),
-                operation: format!("{}-response", activity.name()),
-                content: response_content.clone(),
-                data_ids: output_ids.clone(),
-            }))?;
+            self.recorder
+                .record(PAssertion::Interaction(InteractionPAssertion {
+                    interaction_key: response_key.clone(),
+                    asserter,
+                    view,
+                    sender: activity_actor.clone(),
+                    receiver: self.engine_actor.clone(),
+                    operation: format!("{}-response", activity.name()),
+                    content: response_content.clone(),
+                    data_ids: output_ids.clone(),
+                }))?;
         }
 
         {
@@ -337,7 +351,8 @@ impl WorkflowEngine {
     /// Register the accumulated session group explicitly (used by applications driving
     /// [`Self::invoke_activity`] directly instead of [`Self::execute`]).
     pub fn finish_session(&self) -> Result<(), EngineError> {
-        self.recorder.register_group(self.session_group.lock().clone())?;
+        self.recorder
+            .register_group(self.session_group.lock().clone())?;
         Ok(())
     }
 
@@ -411,16 +426,20 @@ mod tests {
     }
 
     fn doubling_workflow() -> (Workflow, NodeId, NodeId, NodeId) {
-        let double = Arc::new(FnActivity::new("double", "awk '{print $0 $0}'", |inputs, ctx| {
-            Ok(inputs
-                .iter()
-                .map(|i| {
-                    let mut bytes = i.bytes.clone();
-                    bytes.extend_from_slice(&i.bytes);
-                    DataItem::new(ctx.ids.data_id(), format!("{}-doubled", i.name), bytes)
-                })
-                .collect())
-        }));
+        let double = Arc::new(FnActivity::new(
+            "double",
+            "awk '{print $0 $0}'",
+            |inputs, ctx| {
+                Ok(inputs
+                    .iter()
+                    .map(|i| {
+                        let mut bytes = i.bytes.clone();
+                        bytes.extend_from_slice(&i.bytes);
+                        DataItem::new(ctx.ids.data_id(), format!("{}-doubled", i.name), bytes)
+                    })
+                    .collect())
+            },
+        ));
         let concat = Arc::new(FnActivity::new("concat", "cat", |inputs, ctx| {
             let mut bytes = Vec::new();
             for i in inputs {
@@ -429,18 +448,32 @@ mod tests {
             Ok(vec![DataItem::new(ctx.ids.data_id(), "joined", bytes)])
         }));
         let mut wf = Workflow::new("doubling");
-        let a = wf.add_node("double-a", Arc::clone(&double) as Arc<dyn Activity>).unwrap();
-        let b = wf.add_node("double-b", double as Arc<dyn Activity>).unwrap();
+        let a = wf
+            .add_node("double-a", Arc::clone(&double) as Arc<dyn Activity>)
+            .unwrap();
+        let b = wf
+            .add_node("double-b", double as Arc<dyn Activity>)
+            .unwrap();
         let c = wf.add_node("concat", concat as Arc<dyn Activity>).unwrap();
         wf.add_edge(&a, &c).unwrap();
         wf.add_edge(&b, &c).unwrap();
         (wf, a, b, c)
     }
 
-    fn initial_inputs(a: &NodeId, b: &NodeId, ids: &IdGenerator) -> BTreeMap<NodeId, Vec<DataItem>> {
+    fn initial_inputs(
+        a: &NodeId,
+        b: &NodeId,
+        ids: &IdGenerator,
+    ) -> BTreeMap<NodeId, Vec<DataItem>> {
         BTreeMap::from([
-            (a.clone(), vec![DataItem::new(ids.data_id(), "left", b"AB".to_vec())]),
-            (b.clone(), vec![DataItem::new(ids.data_id(), "right", b"cd".to_vec())]),
+            (
+                a.clone(),
+                vec![DataItem::new(ids.data_id(), "left", b"AB".to_vec())],
+            ),
+            (
+                b.clone(),
+                vec![DataItem::new(ids.data_id(), "right", b"cd".to_vec())],
+            ),
         ])
     }
 
@@ -500,7 +533,10 @@ mod tests {
         let engine = WorkflowEngine::new(
             recorder,
             ids.clone(),
-            EngineConfig { record_extra_actor_state: true, ..Default::default() },
+            EngineConfig {
+                record_extra_actor_state: true,
+                ..Default::default()
+            },
         );
         assert_eq!(engine.passertions_per_invocation(1), 8);
         let report = engine.execute(&wf, initial_inputs(&a, &b, &ids)).unwrap();
@@ -519,12 +555,21 @@ mod tests {
             ids.clone(),
             64,
         ));
-        let engine =
-            WorkflowEngine::new(Arc::clone(&recorder) as _, ids.clone(), EngineConfig::default());
+        let engine = WorkflowEngine::new(
+            Arc::clone(&recorder) as _,
+            ids.clone(),
+            EngineConfig::default(),
+        );
         engine.execute(&wf, initial_inputs(&a, &b, &ids)).unwrap();
-        assert_eq!(store.assertions.load(std::sync::atomic::Ordering::SeqCst), 0);
+        assert_eq!(
+            store.assertions.load(std::sync::atomic::Ordering::SeqCst),
+            0
+        );
         recorder.flush().unwrap();
-        assert_eq!(store.assertions.load(std::sync::atomic::Ordering::SeqCst), 19);
+        assert_eq!(
+            store.assertions.load(std::sync::atomic::Ordering::SeqCst),
+            19
+        );
     }
 
     #[test]
@@ -581,15 +626,24 @@ mod tests {
         ));
         let engine = WorkflowEngine::new(recorder, ids.clone(), EngineConfig::default());
         let activity = FnActivity::new("identity", "cat", |inputs, ctx| {
-            Ok(vec![DataItem::new(ctx.ids.data_id(), "copy", inputs[0].bytes.clone())])
+            Ok(vec![DataItem::new(
+                ctx.ids.data_id(),
+                "copy",
+                inputs[0].bytes.clone(),
+            )])
         });
         let input = DataItem::new(ids.data_id(), "in", b"xyz".to_vec());
         for i in 0..5 {
-            let out = engine.invoke_activity(&activity, std::slice::from_ref(&input), i).unwrap();
+            let out = engine
+                .invoke_activity(&activity, std::slice::from_ref(&input), i)
+                .unwrap();
             assert_eq!(out[0].as_text(), "xyz");
         }
         engine.finish_session().unwrap();
-        assert_eq!(store.assertions.load(std::sync::atomic::Ordering::SeqCst), 30);
+        assert_eq!(
+            store.assertions.load(std::sync::atomic::Ordering::SeqCst),
+            30
+        );
         assert_eq!(store.groups.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
 }

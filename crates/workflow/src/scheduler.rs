@@ -47,12 +47,24 @@ impl OverheadModel {
 
     /// A model with the given costs, realised by sleeping.
     pub fn sleeping(scheduling: Duration, transfer_per_byte: Duration) -> Self {
-        OverheadModel { scheduling, transfer_per_byte, mode: OverheadMode::Sleep }
+        OverheadModel {
+            scheduling,
+            transfer_per_byte,
+            mode: OverheadMode::Sleep,
+        }
     }
 
     /// A model with the given costs, accumulated on `clock`.
-    pub fn virtual_time(scheduling: Duration, transfer_per_byte: Duration, clock: SimClock) -> Self {
-        OverheadModel { scheduling, transfer_per_byte, mode: OverheadMode::Virtual(clock) }
+    pub fn virtual_time(
+        scheduling: Duration,
+        transfer_per_byte: Duration,
+        clock: SimClock,
+    ) -> Self {
+        OverheadModel {
+            scheduling,
+            transfer_per_byte,
+            mode: OverheadMode::Virtual(clock),
+        }
     }
 
     /// The modelled cost of scheduling one job that stages `bytes` bytes.
@@ -85,7 +97,9 @@ pub struct GranularityPartitioner {
 impl GranularityPartitioner {
     /// Create a partitioner (a `per_job` of 0 is treated as 1).
     pub fn new(per_job: usize) -> Self {
-        GranularityPartitioner { per_job: per_job.max(1) }
+        GranularityPartitioner {
+            per_job: per_job.max(1),
+        }
     }
 
     /// The paper's configuration: 100 permutations per script.
@@ -128,11 +142,8 @@ mod tests {
     #[test]
     fn virtual_mode_accumulates_on_the_clock() {
         let clock = SimClock::new();
-        let model = OverheadModel::virtual_time(
-            Duration::from_secs(2),
-            Duration::ZERO,
-            clock.clone(),
-        );
+        let model =
+            OverheadModel::virtual_time(Duration::from_secs(2), Duration::ZERO, clock.clone());
         for _ in 0..5 {
             model.charge(123);
         }

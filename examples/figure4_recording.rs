@@ -34,7 +34,10 @@ fn main() {
         )
     };
 
-    println!("Figure 4 — Recording Provenance ({} scale)", if full { "paper" } else { "reduced" });
+    println!(
+        "Figure 4 — Recording Provenance ({} scale)",
+        if full { "paper" } else { "reduced" }
+    );
     let series = Figure4Series::collect(deployment, &counts, &base);
     println!("{}", series.render_table());
 

@@ -24,9 +24,18 @@ fn main() {
     let deployment = Figure5Deployment::new(NetworkProfile::Paper2005.latency_model());
     let series = Figure5Series::collect(&deployment, &counts);
     println!("{}", series.render_table());
-    println!("script comparison linearity r   = {:.4}", series.linearity(false));
-    println!("semantic validity linearity r   = {:.4}", series.linearity(true));
-    println!("semantic/comparison slope ratio = {:.2} (paper: ~11)", series.slope_ratio());
+    println!(
+        "script comparison linearity r   = {:.4}",
+        series.linearity(false)
+    );
+    println!(
+        "semantic validity linearity r   = {:.4}",
+        series.linearity(true)
+    );
+    println!(
+        "semantic/comparison slope ratio = {:.2} (paper: ~11)",
+        series.slope_ratio()
+    );
     println!(
         "mean per-record script retrieval = {:.2} ms (paper: ~15 ms on 2005 hardware)",
         series.mean_script_retrieval().as_secs_f64() * 1e3

@@ -15,8 +15,7 @@ use pasoa::wire::{NetworkProfile, TransportConfig};
 use pasoa_bioseq::grouping::StandardGrouping;
 
 fn main() {
-    let deployment =
-        StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
+    let deployment = StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
     let runner = ExperimentRunner::new(deployment);
 
     // Run 1: Dayhoff-6 grouping.
@@ -54,7 +53,10 @@ fn main() {
         "inspected {} interaction records with {} store calls",
         categories.interactions_inspected, categories.store_calls
     );
-    println!("services with identical scripts across both runs: {:?}", report.identical);
+    println!(
+        "services with identical scripts across both runs: {:?}",
+        report.identical
+    );
     for (service, script_a, script_b) in &report.differing {
         println!("service '{service}' changed between the runs:");
         println!("  run 1: {script_a}");

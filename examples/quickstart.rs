@@ -10,8 +10,7 @@ use pasoa::wire::NetworkProfile;
 
 fn main() {
     // 1. Deploy an in-memory PReServ store reachable over the simulated transport.
-    let deployment =
-        StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
+    let deployment = StoreDeployment::in_memory(NetworkProfile::FastLocal.latency_model(), false);
     let runner = ExperimentRunner::new(deployment);
 
     // 2. Run the experiment: 20 permutations of an 8 KB Dayhoff-encoded sample, documented
@@ -22,7 +21,10 @@ fn main() {
     println!("== protein compressibility experiment ==");
     println!("recording configuration : {}", report.recording.label());
     println!("permutations measured   : {}", report.permutations);
-    println!("execution time          : {:.3} s", report.execution_time.as_secs_f64());
+    println!(
+        "execution time          : {:.3} s",
+        report.execution_time.as_secs_f64()
+    );
     println!("p-assertions recorded   : {}", report.passertions);
     println!("store round trips       : {}", report.store_calls);
     println!();
@@ -39,15 +41,26 @@ fn main() {
     }
 
     // 3. The provenance is queryable: how much documentation did the run produce?
-    let store = runner.deployment().service.store();
-    let stats = store.statistics();
+    let store = runner.deployment().store_handle();
+    let stats = store.statistics().expect("statistics readable");
     println!();
     println!("== provenance store contents ==");
     println!("interactions documented : {}", stats.interactions);
-    println!("interaction p-assertions: {}", stats.interaction_passertions);
-    println!("actor state p-assertions: {}", stats.actor_state_passertions);
-    println!("relationship p-assertions: {}", stats.relationship_passertions);
+    println!(
+        "interaction p-assertions: {}",
+        stats.interaction_passertions
+    );
+    println!(
+        "actor state p-assertions: {}",
+        stats.actor_state_passertions
+    );
+    println!(
+        "relationship p-assertions: {}",
+        stats.relationship_passertions
+    );
     println!("sessions registered     : {}", stats.groups);
-    let recorded = store.assertions_for_session(&report.session).expect("session recorded");
+    let recorded = store
+        .assertions_for_session(&report.session)
+        .expect("session recorded");
     println!("p-assertions in session : {}", recorded.len());
 }

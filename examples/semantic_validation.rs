@@ -36,7 +36,9 @@ fn record(host: &ServiceHost, assertion: PAssertion, ids: &IdGenerator) {
     let envelope = Envelope::request(pasoa::model::PROVENANCE_STORE_SERVICE, message.action())
         .with_json_payload(&message)
         .unwrap();
-    host.transport(TransportConfig::free()).call(envelope).unwrap();
+    host.transport(TransportConfig::free())
+        .call(envelope)
+        .unwrap();
 }
 
 fn main() {
@@ -49,8 +51,11 @@ fn main() {
 
     // Describe and annotate the two services involved.
     registry.publish(
-        ServiceDescription::new("refseq-download", "fetch a sequence from the database")
-            .operation(Operation::new("fetch").input("accession", "string").output("sequence", "text")),
+        ServiceDescription::new("refseq-download", "fetch a sequence from the database").operation(
+            Operation::new("fetch")
+                .input("accession", "string")
+                .output("sequence", "text"),
+        ),
     );
     registry
         .annotate_part(
@@ -59,8 +64,11 @@ fn main() {
         )
         .unwrap();
     registry.publish(
-        ServiceDescription::new("encode-by-groups", "recode an amino-acid sample")
-            .operation(Operation::new("encode").input("sample", "text").output("encoded", "text")),
+        ServiceDescription::new("encode-by-groups", "recode an amino-acid sample").operation(
+            Operation::new("encode")
+                .input("sample", "text")
+                .output("encoded", "text"),
+        ),
     );
     registry
         .annotate_part(
@@ -112,7 +120,9 @@ fn main() {
         host.transport(TransportConfig::free()),
         host.transport(TransportConfig::free()),
     );
-    let report = validator.validate_store().expect("store and registry reachable");
+    let report = validator
+        .validate_store()
+        .expect("store and registry reachable");
 
     println!("interactions checked : {}", report.interactions_checked);
     println!("data flows checked   : {}", report.flows_checked);

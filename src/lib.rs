@@ -18,6 +18,7 @@
 //! then reason over it.
 
 pub use pasoa_bioseq as bioseq;
+pub use pasoa_cluster as cluster;
 pub use pasoa_compress as compress;
 pub use pasoa_core as model;
 pub use pasoa_experiment as experiment;

@@ -1,0 +1,174 @@
+//! End-to-end acceptance for the sharded store tier: a full experiment run recorded through a
+//! 4-shard cluster must be indistinguishable — to every query a reasoner can pose — from the
+//! same run recorded against the paper's single store.
+
+use pasoa::cluster::{LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa::experiment::{ExperimentConfig, ExperimentRunner, RunRecording, StoreDeployment};
+use pasoa::model::prep::{PrepMessage, QueryRequest, QueryResponse};
+use pasoa::wire::{Envelope, NetworkProfile, ServiceHost, TransportConfig};
+
+/// A serial (one script per run) configuration: deterministic activity ordering makes the
+/// recorded documentation of two runs byte-comparable.
+fn serial_config(recording: RunRecording) -> ExperimentConfig {
+    ExperimentConfig {
+        permutations_per_script: 10_000,
+        ..ExperimentConfig::small(6, recording)
+    }
+}
+
+#[test]
+fn experiment_through_cluster_matches_single_store() {
+    let single = ExperimentRunner::new(StoreDeployment::in_memory(
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+    let sharded = ExperimentRunner::new(StoreDeployment::sharded(
+        4,
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+
+    let config = serial_config(RunRecording::Synchronous);
+    let single_report = single.run(&config);
+    let sharded_report = sharded.run(&config);
+
+    // Same session naming, same documentation volume, same science.
+    assert_eq!(single_report.session, sharded_report.session);
+    assert_eq!(single_report.passertions, sharded_report.passertions);
+    assert_eq!(single_report.sizes, sharded_report.sizes);
+
+    // Scatter-gather BySession answers are identical to the single store's.
+    let single_assertions = single
+        .deployment()
+        .store_handle()
+        .assertions_for_session(&single_report.session)
+        .unwrap();
+    let sharded_assertions = sharded
+        .deployment()
+        .store_handle()
+        .assertions_for_session(&sharded_report.session)
+        .unwrap();
+    assert_eq!(single_assertions, sharded_assertions);
+    assert_eq!(single_assertions.len() as u64, single_report.passertions);
+
+    // Lineage traces agree node-for-node.
+    let single_lineage = single
+        .deployment()
+        .store_handle()
+        .lineage_session(&single_report.session)
+        .unwrap();
+    let sharded_lineage = sharded
+        .deployment()
+        .store_handle()
+        .lineage_session(&sharded_report.session)
+        .unwrap();
+    assert_eq!(single_lineage, sharded_lineage);
+    assert!(!sharded_lineage.is_empty());
+
+    // Statistics and group registrations agree too.
+    let single_stats = single.deployment().store_handle().statistics().unwrap();
+    let sharded_stats = sharded.deployment().store_handle().statistics().unwrap();
+    assert_eq!(single_stats, sharded_stats);
+    assert_eq!(
+        single
+            .deployment()
+            .store_handle()
+            .groups_by_kind("session")
+            .unwrap(),
+        sharded
+            .deployment()
+            .store_handle()
+            .groups_by_kind("session")
+            .unwrap()
+    );
+}
+
+#[test]
+fn wire_level_queries_agree_between_deployments() {
+    let single = ExperimentRunner::new(StoreDeployment::in_memory(
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+    let sharded = ExperimentRunner::new(StoreDeployment::sharded(
+        4,
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+    let config = serial_config(RunRecording::Asynchronous);
+    let single_report = single.run(&config);
+    let sharded_report = sharded.run(&config);
+    assert_eq!(single_report.session, sharded_report.session);
+
+    let ask = |runner: &ExperimentRunner, query: &PrepMessage| -> QueryResponse {
+        let transport = runner.deployment().host.transport(TransportConfig::free());
+        let envelope = Envelope::request(pasoa::model::PROVENANCE_STORE_SERVICE, query.action())
+            .with_json_payload(query)
+            .unwrap();
+        transport.call(envelope).unwrap().json_payload().unwrap()
+    };
+
+    for query in [
+        PrepMessage::Query(QueryRequest::BySession(single_report.session.clone())),
+        PrepMessage::Query(QueryRequest::ListInteractions { limit: None }),
+        PrepMessage::Query(QueryRequest::GroupsByKind("session".into())),
+        PrepMessage::Query(QueryRequest::Statistics),
+    ] {
+        assert_eq!(
+            ask(&single, &query),
+            ask(&sharded, &query),
+            "query {query:?} diverged"
+        );
+    }
+}
+
+#[test]
+fn figure4_runs_against_the_sharded_deployment() {
+    use pasoa::experiment::figure4::Figure4Series;
+    let deployment = StoreDeployment::sharded(4, NetworkProfile::FastLocal.latency_model(), false);
+    let base = ExperimentConfig {
+        permutations_per_script: 10_000,
+        ..ExperimentConfig::small(0, RunRecording::None)
+    };
+    let series = Figure4Series::collect(deployment, &[4, 8], &base);
+    assert_eq!(series.points.len(), 8);
+    for recording in RunRecording::ALL {
+        assert_eq!(series.series(recording.label()).len(), 2);
+    }
+    // The qualitative ordering of the recording configurations survives sharding
+    // (checked on the deterministic communication component, as in figure4.rs).
+    assert!(
+        series.mean_comm_seconds(RunRecording::Synchronous.label())
+            > series.mean_comm_seconds(RunRecording::Asynchronous.label())
+    );
+}
+
+#[test]
+fn load_generator_drives_a_growing_cluster() {
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_in_memory(&host, 2).unwrap();
+    let generator = LoadGenerator::new(
+        host.clone(),
+        LoadGenConfig {
+            clients: 4,
+            sessions_per_client: 2,
+            assertions_per_session: 30,
+            batch_size: 10,
+            payload_bytes: 64,
+            ..Default::default()
+        },
+    );
+    let before = generator.run();
+    assert_eq!(before.failures, 0);
+
+    // Elasticity: add two shards mid-life, rerun; everything stays queryable and consistent.
+    cluster.add_shard().unwrap();
+    cluster.add_shard().unwrap();
+    let after = generator.run();
+    assert_eq!(after.failures, 0);
+    let stats = cluster.statistics().unwrap();
+    assert_eq!(
+        stats.total_passertions(),
+        before.total_assertions + after.total_assertions
+    );
+    assert_eq!(cluster.shard_count(), 4);
+}

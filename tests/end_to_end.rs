@@ -2,21 +2,21 @@
 
 use std::sync::Arc;
 
+use pasoa::experiment::StoreAccess;
 use pasoa::experiment::{ExperimentConfig, ExperimentRunner, RunRecording, StoreDeployment};
 use pasoa::model::prep::{PrepMessage, QueryRequest, QueryResponse};
-use pasoa::preserv::{LineageGraph, PreservService};
+use pasoa::preserv::PreservService;
 use pasoa::usecases::ScriptCategorizer;
 use pasoa::wire::{Envelope, NetworkProfile, ServiceHost, TransportConfig};
 use pasoa_bioseq::grouping::StandardGrouping;
 
 #[test]
 fn experiment_records_queryable_coherent_provenance() {
-    let deployment =
-        StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false);
+    let deployment = StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false);
     let runner = ExperimentRunner::new(deployment);
     let report = runner.run(&ExperimentConfig::small(6, RunRecording::Synchronous));
 
-    let store = runner.deployment().service.store();
+    let store = runner.deployment().store_handle();
     // Every recorded assertion is retrievable through the session query.
     let assertions = store.assertions_for_session(&report.session).unwrap();
     assert_eq!(assertions.len() as u64, report.passertions);
@@ -34,17 +34,24 @@ fn experiment_records_queryable_coherent_provenance() {
     }
 
     // The lineage of the run links sizes back to permutations.
-    let graph = LineageGraph::trace_session(&store, &report.session).unwrap();
+    let graph = store.lineage_session(&report.session).unwrap();
     assert!(!graph.is_empty());
-    let sizes_node = graph.nodes.keys().find(|k| k.contains("data:sizes")).unwrap().clone();
+    let sizes_node = graph
+        .nodes
+        .keys()
+        .find(|k| k.contains("data:sizes"))
+        .unwrap()
+        .clone();
     let node = &graph.nodes[&sizes_node];
-    assert!(node.derived_from.iter().any(|d| d.as_str().contains("data:permutation")));
+    assert!(node
+        .derived_from
+        .iter()
+        .any(|d| d.as_str().contains("data:permutation")));
 }
 
 #[test]
 fn two_runs_with_different_groupings_are_distinguishable_from_provenance_alone() {
-    let deployment =
-        StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false);
+    let deployment = StoreDeployment::in_memory(NetworkProfile::InProcess.latency_model(), false);
     let runner = ExperimentRunner::new(deployment);
     let run_a = runner.run(&ExperimentConfig {
         grouping: StandardGrouping::Dayhoff6,
@@ -58,11 +65,15 @@ fn two_runs_with_different_groupings_are_distinguishable_from_provenance_alone()
 
     let transport = runner.deployment().host.transport(TransportConfig::free());
     let categorizer = ScriptCategorizer::new(transport);
-    let (_, comparison) =
-        categorizer.compare_sessions(run_a.session.as_str(), run_b.session.as_str()).unwrap();
+    let (_, comparison) = categorizer
+        .compare_sessions(run_a.session.as_str(), run_b.session.as_str())
+        .unwrap();
     assert!(!comparison.same_process());
     assert!(
-        comparison.differing.iter().any(|(service, _, _)| service == "encode-by-groups"),
+        comparison
+            .differing
+            .iter()
+            .any(|(service, _, _)| service == "encode-by-groups"),
         "the encoder's changed grouping must be visible: {comparison:?}"
     );
 }
@@ -80,7 +91,7 @@ fn provenance_survives_store_redeployment_on_the_database_backend() {
         service.register(&host);
         let deployment = StoreDeployment {
             host,
-            service: Arc::clone(&service),
+            access: StoreAccess::Single(Arc::clone(&service)),
             latency: NetworkProfile::InProcess.latency_model(),
             sleep_latency: false,
         };

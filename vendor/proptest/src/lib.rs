@@ -1,0 +1,365 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest surface this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`), `prop_assert!` /
+//! `prop_assert_eq!`, `Just`, range and regex-subset string strategies, `prop_oneof!`
+//! (weighted), `prop_map`, `prop_recursive`, and the `prop::{collection, num, char, sample,
+//! option}` modules. Inputs are generated from a deterministic per-test RNG; failing cases are
+//! reported with their case number but are not shrunk.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructor namespaces, mirroring `proptest`'s `prop` re-export.
+pub mod prop {
+    pub use crate::char;
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            self.min + (rng.next_u64() % (self.max - self.min).max(1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, as in real proptest.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// Strategies over `u8`.
+    pub mod u8 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Any `u8`, uniformly.
+        pub struct Any;
+
+        /// The canonical `prop::num::u8::ANY` strategy value.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u8;
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                rng.next_u64() as u8
+            }
+        }
+    }
+}
+
+/// Character strategies.
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform characters in the inclusive range `lo..=hi`.
+    pub fn range(lo: core::primitive::char, hi: core::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    /// See [`range`].
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    impl Strategy for CharRange {
+        type Value = core::primitive::char;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::char {
+            loop {
+                let span = u64::from(self.hi - self.lo) + 1;
+                let code = self.lo + (rng.next_u64() % span) as u32;
+                if let Some(c) = core::primitive::char::from_u32(code) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly select one of `choices` (which must be non-empty).
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select over empty choices");
+        Select { choices }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.choices.len() as u64) as usize;
+            self.choices[idx].clone()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Some` roughly three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left != __right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __left, __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left != __right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}\nassertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), __left, __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `left != right`\n  both: {:?}", __left),
+            ));
+        }
+    }};
+}
+
+/// Combine strategies into a weighted union producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($( $weight:literal => $strategy:expr ),+ $(,)?) => {
+        $crate::strategy::Union::weighted(::std::vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($( $strategy:expr ),+ $(,)?) => {
+        $crate::strategy::Union::weighted(::std::vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Define property tests: each function runs `cases` times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(::std::stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    )+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        ::std::panic!(
+                            "property `{}` failed on case {} of {}:\n{}",
+                            ::std::stringify!($name), __case, __config.cases, __err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,388 @@
+//! The `Strategy` trait and its combinators.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Build a recursive strategy: `recurse` wraps the strategy so far, applied `depth` times
+    /// with `self` as the leaf. (`desired_size` and `expected_branch_size` are accepted for
+    /// API compatibility; recursion depth alone bounds the structures here.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strategy: BoxedStrategy<Self::Value> = Box::new(self);
+        for _ in 0..depth {
+            strategy = Box::new(recurse(strategy));
+        }
+        strategy
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// A weighted union of strategies over one value type (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options
+            .iter()
+            .map(|(w, _)| u64::from(*w))
+            .sum::<u64>()
+            .max(1);
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return option.generate(rng);
+            }
+            pick -= weight;
+        }
+        self.options.last().expect("non-empty").1.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as $t;
+                self.start + offset
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// `&'static str` patterns act as string strategies over a small regex subset:
+/// literal characters, `[...]` classes (with `a-z` ranges) and `{n}` / `{n,m}` / `?` / `*` /
+/// `+` repetition (star and plus capped at 8 repeats).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let items = parse_pattern(self);
+        let mut out = String::new();
+        for item in &items {
+            let count = item.repeat.sample(rng);
+            for _ in 0..count {
+                out.push(item.choices.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+struct PatternItem {
+    choices: CharChoices,
+    repeat: Repeat,
+}
+
+enum CharChoices {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+impl CharChoices {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharChoices::Literal(c) => *c,
+            CharChoices::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32) + 1)
+                    .sum();
+                let mut pick = rng.next_u64() % total.max(1);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi as u32 - *lo as u32) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                    }
+                    pick -= span;
+                }
+                ranges[0].0
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Repeat {
+    min: u32,
+    max: u32,
+}
+
+impl Repeat {
+    fn once() -> Self {
+        Repeat { min: 1, max: 1 }
+    }
+
+    fn sample(self, rng: &mut TestRng) -> u32 {
+        self.min + (rng.next_u64() % u64::from(self.max - self.min + 1)) as u32
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternItem> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let mut items = Vec::new();
+    while pos < chars.len() {
+        let choices = match chars[pos] {
+            '[' => {
+                pos += 1;
+                let mut ranges = Vec::new();
+                assert!(
+                    chars.get(pos) != Some(&'^'),
+                    "negated classes unsupported in regex-subset strategy"
+                );
+                while pos < chars.len() && chars[pos] != ']' {
+                    let lo = chars[pos];
+                    if chars.get(pos + 1) == Some(&'-')
+                        && pos + 2 < chars.len()
+                        && chars[pos + 2] != ']'
+                    {
+                        ranges.push((lo, chars[pos + 2]));
+                        pos += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        pos += 1;
+                    }
+                }
+                assert!(chars.get(pos) == Some(&']'), "unterminated character class");
+                pos += 1;
+                CharChoices::Class(ranges)
+            }
+            '\\' => {
+                pos += 1;
+                let c = *chars.get(pos).expect("dangling escape in pattern");
+                pos += 1;
+                CharChoices::Literal(c)
+            }
+            c => {
+                pos += 1;
+                CharChoices::Literal(c)
+            }
+        };
+        let repeat = match chars.get(pos) {
+            Some('{') => {
+                pos += 1;
+                let mut digits = String::new();
+                while let Some(c) = chars.get(pos) {
+                    if *c == '}' {
+                        break;
+                    }
+                    digits.push(*c);
+                    pos += 1;
+                }
+                assert!(chars.get(pos) == Some(&'}'), "unterminated repetition");
+                pos += 1;
+                match digits.split_once(',') {
+                    Some((min, max)) => Repeat {
+                        min: min.trim().parse().expect("bad repetition bound"),
+                        max: max.trim().parse().expect("bad repetition bound"),
+                    },
+                    None => {
+                        let n = digits.trim().parse().expect("bad repetition count");
+                        Repeat { min: n, max: n }
+                    }
+                }
+            }
+            Some('?') => {
+                pos += 1;
+                Repeat { min: 0, max: 1 }
+            }
+            Some('*') => {
+                pos += 1;
+                Repeat { min: 0, max: 8 }
+            }
+            Some('+') => {
+                pos += 1;
+                Repeat { min: 1, max: 8 }
+            }
+            _ => Repeat::once(),
+        };
+        items.push(PatternItem { choices, repeat });
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (0u8..16).generate(&mut rng);
+            assert!(v < 16);
+            let (a, b) = ((1u64..5), (0usize..3)).generate(&mut rng);
+            assert!((1..5).contains(&a) && b < 3);
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = "[a-zA-Z][a-zA-Z0-9_.-]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "bad generated name {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic());
+            for c in s.chars().skip(1) {
+                assert!(
+                    c.is_ascii_alphanumeric() || "_.-".contains(c),
+                    "bad char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_respects_value_space() {
+        let mut rng = TestRng::deterministic("union");
+        let strat = crate::prop_oneof![
+            3 => Just('x'),
+            1 => crate::char::range('0', '9'),
+        ];
+        let mut saw_x = false;
+        for _ in 0..100 {
+            let c = strat.generate(&mut rng);
+            assert!(c == 'x' || c.is_ascii_digit());
+            saw_x |= c == 'x';
+        }
+        assert!(saw_x);
+    }
+
+    #[test]
+    fn map_and_recursive_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let nested = (0u8..3)
+            .prop_map(|n| vec![n])
+            .prop_recursive(2, 8, 2, |inner| {
+                (inner, 0u8..3).prop_map(|(mut v, extra)| {
+                    v.push(extra);
+                    v
+                })
+            });
+        let v = nested.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() <= 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides `par_iter().map(..).collect()` and `par_iter().flat_map(..).collect()` — the two
+//! shapes the workspace uses — with genuine data parallelism: items are partitioned into
+//! contiguous chunks, one `std::thread::scope` thread per chunk (bounded by the machine's
+//! available parallelism), and results are reassembled in input order.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for a workload of `n` items.
+fn workers_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Run `f` over `items` in parallel, preserving order.
+fn parallel_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = workers_for(n);
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for piece in items.chunks(chunk) {
+            handles.push(scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>()));
+        }
+        for handle in handles {
+            out.push(handle.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A parallel view over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel flat-map: `f` yields an iterable per item; outputs concatenate in input order.
+    pub fn flat_map<I, F>(self, f: F) -> ParFlatMap<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        ParFlatMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Lazily described parallel map, realised by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParMap<'a, T, F>
+where
+    T: Sync,
+{
+    /// Execute the map in parallel and collect the results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(parallel_map_slice(self.items, &self.f))
+    }
+}
+
+/// Lazily described parallel flat-map, realised by [`ParFlatMap::collect`].
+pub struct ParFlatMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParFlatMap<'a, T, F>
+where
+    T: Sync,
+{
+    /// Execute in parallel and collect the flattened results in input order.
+    pub fn collect<C, I>(self) -> C
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+        C: From<Vec<I::Item>>,
+    {
+        let f = &self.f;
+        let nested: Vec<Vec<I::Item>> =
+            parallel_map_slice(self.items, &|item| f(item).into_iter().collect::<Vec<_>>());
+        C::from(nested.into_iter().flatten().collect::<Vec<_>>())
+    }
+}
+
+/// The rayon prelude: the traits that add `par_iter` to collections.
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+/// Collections that offer a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: 'a;
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_preserves_order() {
+        let data: Vec<u64> = (0..50).collect();
+        let expanded: Vec<u64> = data.par_iter().flat_map(|&x| vec![x, x + 100]).collect();
+        let expected: Vec<u64> = (0..50).flat_map(|x| vec![x, x + 100]).collect();
+        assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_for_large_inputs() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let data: Vec<u64> = (0..256).collect();
+        let _: Vec<()> = data
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        // On a multi-core machine more than one worker participates.
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(seen.lock().unwrap().len() > 1);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! `Serialize` / `Deserialize` implementations for primitives and std containers.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::value::{Map, Number, Value};
+use crate::{Deserialize, Error, Serialize};
+
+// ---------------------------------------------------------------------------
+// Identity and reference forwarding
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other}"))),
+        }
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            Error::custom(format!(
+                                "number out of range for {}", stringify!($t)
+                            ))
+                        }),
+                    other => Err(Error::custom(format!(
+                        "expected number for {}, found {other}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| {
+                            Error::custom(format!(
+                                "number out of range for {}", stringify!($t)
+                            ))
+                        }),
+                    other => Err(Error::custom(format!(
+                        "expected number for {}, found {other}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_json_value(&self) -> Value {
+        // JSON numbers cap at u64 here; larger values fall back to their decimal text.
+        match u64::try_from(*self) {
+            Ok(u) => Value::Number(Number::U(u)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => n
+                .as_u64()
+                .map(u128::from)
+                .ok_or_else(|| Error::custom("number out of range for u128")),
+            Value::String(s) => s
+                .parse()
+                .map_err(|e| Error::custom(format!("bad u128 text: {e}"))),
+            other => Err(Error::custom(format!(
+                "expected number for u128, found {other}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::custom(format!(
+                "expected number for f64, found {other}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        f64::from_json_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!(
+                "expected single-char string, found {other}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, found {other}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option / sequences / tuples
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {other}"))),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {LEN}-element array for tuple, found {other}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Maps and sets
+// ---------------------------------------------------------------------------
+
+fn serialize_map<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut object = Map::new();
+    for (key, value) in entries {
+        object.insert(
+            crate::__key_string(&key.to_json_value()),
+            value.to_json_value(),
+        );
+    }
+    Value::Object(object)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(object) => object
+                .iter()
+                .map(|(k, v)| Ok((crate::__key_from_string(k)?, V::from_json_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object for map, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(object) => object
+                .iter()
+                .map(|(k, v)| Ok((crate::__key_from_string(k)?, V::from_json_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object for map, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array for set, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array for set, found {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(u64::from_json_value(&5u64.to_json_value()).unwrap(), 5);
+        assert_eq!(i32::from_json_value(&(-7i32).to_json_value()).unwrap(), -7);
+        assert_eq!(
+            f64::from_json_value(&0.25f64.to_json_value()).unwrap(),
+            0.25
+        );
+        assert_eq!(String::from_json_value(&"x".to_json_value()).unwrap(), "x");
+        assert_eq!(Option::<u8>::from_json_value(&Value::Null).unwrap(), None);
+        assert!(u8::from_json_value(&Value::Number(Number::U(300))).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u8, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u8, String)>::from_json_value(&v.to_json_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut map = BTreeMap::new();
+        map.insert(
+            ("x".to_string(), "y".to_string()),
+            BTreeSet::from(["s1".to_string()]),
+        );
+        let back: BTreeMap<(String, String), BTreeSet<String>> =
+            Deserialize::from_json_value(&map.to_json_value()).unwrap();
+        assert_eq!(back, map);
+    }
+}

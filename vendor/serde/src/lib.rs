@@ -1,0 +1,92 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a compact
+//! serialization framework exposing the serde surface it uses: `Serialize` / `Deserialize`
+//! traits, `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive` stub) and
+//! `serde::de::DeserializeOwned`. Instead of serde's visitor-based data model, types convert
+//! to and from a JSON [`Value`] tree; the `serde_json` stub layers text encoding on top.
+//!
+//! Conventions match serde's JSON defaults where the workspace depends on them:
+//! newtype structs serialize as their inner value, enums are externally tagged
+//! (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`), maps become
+//! objects (non-string keys use their JSON text), and missing `Option` fields decode as `None`.
+
+mod impls;
+mod text;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Deserialization helpers namespace, mirroring `serde::de`.
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+    pub use crate::Error;
+}
+
+#[doc(hidden)]
+pub use text::{format_value, parse_value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Create an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Convert `self` into a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+///
+/// The single trait plays both the `Deserialize<'de>` and `DeserializeOwned` roles of real
+/// serde: everything deserializes into owned data here.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a JSON value tree.
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: fetch and decode a struct field from an object, treating a missing
+/// field as `null` (so `Option` fields default to `None`, as serde does for JSON).
+pub fn __from_field<T: Deserialize>(object: &Map, name: &str, ty: &str) -> Result<T, Error> {
+    match object.get(name) {
+        Some(value) => {
+            T::from_json_value(value).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+        }
+        None => T::from_json_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("{ty}: missing field '{name}'"))),
+    }
+}
+
+/// Derive-macro helper: encode an arbitrary serialized key as a JSON object key.
+pub fn __key_string(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        other => format_value(other),
+    }
+}
+
+/// Derive-macro helper: decode an object key back into an arbitrary key type. String-like
+/// keys decode directly; structured keys (tuples, numbers) are parsed from their JSON text.
+pub fn __key_from_string<T: Deserialize>(key: &str) -> Result<T, Error> {
+    let as_string = Value::String(key.to_string());
+    T::from_json_value(&as_string).or_else(|string_err| match parse_value(key) {
+        Ok(parsed) => T::from_json_value(&parsed),
+        Err(_) => Err(string_err),
+    })
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by hand-parsing the item's
+//! token stream (no `syn`/`quote` available offline) and emitting impls of the stand-in
+//! `serde::Serialize` / `serde::Deserialize` traits, which convert through a JSON `Value`.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! * named-field structs (fields may be private),
+//! * tuple structs (newtypes serialize as their inner value, wider ones as arrays),
+//! * unit structs (serialize as `null`),
+//! * enums with unit, tuple and struct variants (externally tagged, serde's JSON default).
+//!
+//! Generic items and `#[serde(...)]` attributes are intentionally unsupported and panic with a
+//! clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: T, .. }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, ..);`
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { .. }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(group.stream());
+                Item::TupleStruct { name, arity }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("serde stand-in derive applies to structs and enums, found `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            // `pub` or `pub(crate)` etc.
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(ident)) => {
+            *pos += 1;
+            ident.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past a type expression, stopping at a `,` that sits outside every `<...>` pair.
+/// `(..)`, `[..]` and `{..}` arrive pre-grouped from the tokenizer, so only angle brackets
+/// need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected ':' after field `{field}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+        // Skip the separating comma, if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let payload = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Payload::Tuple(count_top_level_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Payload::Named(parse_named_fields(group.stream()))
+            }
+            _ => Payload::Unit,
+        };
+        // Skip a discriminant (`= expr`) if one ever appears, then the separating comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            skip_type(&tokens, &mut pos);
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __obj = ::serde::Map::new();\n");
+            for field in fields {
+                body.push_str(&format!(
+                    "__obj.insert(::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::to_json_value(&self.{field}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(__obj)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_json_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Payload::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{\n\
+                             let mut __obj = ::serde::Map::new();\n\
+                             __obj.insert(::std::string::String::from(\"{v}\"), {inner});\n\
+                             ::serde::Value::Object(__obj)\n}}\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    Payload::Named(fields) => {
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for field in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{field}\"), \
+                                 ::serde::Serialize::to_json_value({field}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => {{\n{inner}\
+                             let mut __obj = ::serde::Map::new();\n\
+                             __obj.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__obj)\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut build = String::new();
+            for field in fields {
+                build.push_str(&format!(
+                    "{field}: ::serde::__from_field(__obj, \"{field}\", \"{name}\")?,\n"
+                ));
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::Object(__obj) => ::std::result::Result::Ok({name} {{\n{build}}}),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected object for {name}, found {{}}\", __other))),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                .collect();
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {arity}-element array for {name}, found {{}}\", \
+                 __other))),\n}}",
+                items.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.payload {
+                    Payload::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Payload::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_json_value(__inner)?)),\n"
+                    )),
+                    Payload::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match __inner {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}::{v}({})),\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"expected {arity}-element array for {name}::{v}, \
+                             found {{}}\", __other))),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Payload::Named(fields) => {
+                        let mut build = String::new();
+                        for field in fields {
+                            build.push_str(&format!(
+                                "{field}: ::serde::__from_field(__fields, \"{field}\", \
+                                 \"{name}::{v}\")?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match __inner {{\n\
+                             ::serde::Value::Object(__fields) => \
+                             ::std::result::Result::Ok({name}::{v} {{\n{build}}}),\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"expected object for {name}::{v}, found {{}}\", \
+                             __other))),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__tag) => match __tag.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown unit variant '{{}}' for {name}\", __other))),\n}},\n\
+                 ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __inner) = __obj.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant '{{}}' for {name}\", __other))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected variant tag for {name}, found {{}}\", __other))),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `serde_json` crate, layered over the vendored `serde` stub's JSON
+//! value model: `to_string` / `to_vec` / `to_value`, `from_str` / `from_slice`, the [`Value`]
+//! type and a [`json!`] macro covering object/array/scalar literals.
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Standard result alias, mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value into a JSON [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::format_value(&value.to_json_value()))
+}
+
+/// Serialize a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = serde::parse_value(text)?;
+    T::from_json_value(&value)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error::custom(format!("JSON bytes are not UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal.
+///
+/// Supports the shapes the workspace uses: `json!(null)`, scalar expressions, arrays of
+/// expressions and flat objects with literal keys and arbitrary expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$element).unwrap() ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __object = $crate::Map::new();
+        $( __object.insert(::std::string::String::from($key),
+                           $crate::to_value(&$value).unwrap()); )*
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip_through_typed_api() {
+        let data = vec![("a".to_string(), 1u64), ("b".to_string(), 2)];
+        let text = to_string(&data).unwrap();
+        let back: Vec<(String, u64)> = from_str(&text).unwrap();
+        assert_eq!(back, data);
+        let bytes = to_vec(&data).unwrap();
+        let back: Vec<(String, u64)> = from_slice(&bytes).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3u8), Value::Number(Number::U(3)));
+        let v = json!({"name": "x", "count": 2u32, "items": vec![1u8, 2]});
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("name").unwrap().as_str(), Some("x"));
+        assert_eq!(obj.get("count").unwrap(), &Value::Number(Number::U(2)));
+        assert_eq!(obj.get("items").unwrap().as_array().unwrap().len(), 2);
+        let arr = json!([1u8, 2u8]);
+        assert_eq!(arr.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(from_str::<u64>("not json").is_err());
+        assert!(from_str::<u64>("\"text\"").is_err());
+        assert!(from_slice::<u64>(&[0xFF, 0xFE]).is_err());
+    }
+}
