@@ -72,6 +72,33 @@ fn cluster_host(shards: usize, database: bool) -> (ServiceHost, Option<TempDirGu
     }
 }
 
+fn replicated_host(
+    shards: usize,
+    replication: usize,
+    database: bool,
+) -> (ServiceHost, Option<TempDirGuard>) {
+    let host = ServiceHost::new();
+    if database {
+        let guard = TempDirGuard::new("replicated");
+        let dir = guard.path.clone();
+        let _cluster = PreservCluster::deploy_with(
+            &host,
+            pasoa_cluster::ClusterConfig::replicated(shards, replication),
+            move |shard| {
+                let backend =
+                    pasoa_preserv::KvBackend::open_durable(dir.join(format!("shard-{shard}")))
+                        .map_err(pasoa_preserv::StoreError::Backend)?;
+                Ok(std::sync::Arc::new(backend) as _)
+            },
+        )
+        .unwrap();
+        (host, Some(guard))
+    } else {
+        let _cluster = PreservCluster::deploy_replicated(&host, shards, replication).unwrap();
+        (host, None)
+    }
+}
+
 fn load_config(batch_size: usize) -> LoadGenConfig {
     LoadGenConfig {
         clients: CLIENTS,
@@ -105,6 +132,19 @@ fn bench_cluster_throughput(c: &mut Criterion) {
                 )
             });
         }
+
+        // The durability tax, measured not guessed: same sharded deployment with replication
+        // factor 2 (every batch committed on a primary plus one replica hold, quorum-acked;
+        // durable fsync-per-batch shards on the database backend).
+        for shards in [4usize, 8] {
+            group.bench_function(BenchmarkId::new("replicated_r2_batched", shards), |b| {
+                b.iter_batched(
+                    || replicated_host(shards, 2, database),
+                    |(host, _guard)| LoadGenerator::new(host, load_config(16)).run(),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
         group.finish();
     }
 
@@ -121,6 +161,17 @@ fn bench_cluster_throughput(c: &mut Criterion) {
         let report = LoadGenerator::new(host, load_config(16)).run();
         println!(
             "[E6] db {shards}-shard cluster, batched    ({CLIENTS} clients): {:>9.0} \
+             assertions/s  (p99 {:?}, {:.1}x vs single sync)",
+            report.throughput_per_sec,
+            report.latency_p99,
+            report.throughput_per_sec / single.throughput_per_sec.max(1e-9)
+        );
+    }
+    for shards in [4usize, 8] {
+        let (host, _guard) = replicated_host(shards, 2, true);
+        let report = LoadGenerator::new(host, load_config(16)).run();
+        println!(
+            "[E6] db {shards}-shard replicated R=2     ({CLIENTS} clients): {:>9.0} \
              assertions/s  (p99 {:?}, {:.1}x vs single sync)",
             report.throughput_per_sec,
             report.latency_p99,

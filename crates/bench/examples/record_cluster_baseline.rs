@@ -1,0 +1,137 @@
+//! Record the cluster-throughput baseline into `BENCH_cluster.json`.
+//!
+//! ```sh
+//! cargo run --release -p pasoa-bench --example record_cluster_baseline [output.json]
+//! ```
+//!
+//! Runs the same three database-backed deployments the `cluster_throughput` bench compares —
+//! single synchronous store, 4-shard batched cluster, 4-shard replicated (R=2, durable fsync
+//! shards) cluster — once each with 8 concurrent recorders, and writes the results as JSON so
+//! future PRs have a perf trajectory to compare against instead of a guess.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pasoa_cluster::{ClusterConfig, LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa_preserv::{KvBackend, PreservService, StoreError};
+use pasoa_wire::ServiceHost;
+
+const CLIENTS: usize = 8;
+
+struct TempDirGuard {
+    path: PathBuf,
+}
+
+impl TempDirGuard {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("pasoa-baseline-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDirGuard { path }
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn load_config(batch_size: usize) -> LoadGenConfig {
+    LoadGenConfig {
+        clients: CLIENTS,
+        sessions_per_client: 2,
+        assertions_per_session: 64,
+        batch_size,
+        payload_bytes: 128,
+        ..Default::default()
+    }
+}
+
+struct Measurement {
+    name: &'static str,
+    throughput_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p99_us: f64,
+}
+
+fn measure(name: &'static str, host: ServiceHost, batch_size: usize) -> Measurement {
+    let report = LoadGenerator::new(host, load_config(batch_size)).run();
+    assert_eq!(report.failures, 0, "{name}: baseline run must not fail");
+    println!(
+        "{name:<28} {:>9.0} assertions/s  p50 {:?}  p99 {:?}",
+        report.throughput_per_sec, report.latency_p50, report.latency_p99
+    );
+    Measurement {
+        name,
+        throughput_per_sec: report.throughput_per_sec,
+        latency_p50_us: report.latency_p50.as_secs_f64() * 1e6,
+        latency_p99_us: report.latency_p99.as_secs_f64() * 1e6,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+
+    let single = {
+        let guard = TempDirGuard::new("single");
+        let host = ServiceHost::new();
+        let service = Arc::new(PreservService::with_database_backend(&guard.path).unwrap());
+        service.register(&host);
+        measure("single_store_synchronous", host, 1)
+    };
+    let sharded = {
+        let guard = TempDirGuard::new("sharded");
+        let host = ServiceHost::new();
+        let _cluster = PreservCluster::deploy_database(&host, &guard.path, 4).unwrap();
+        measure("sharded_4_batched", host, 16)
+    };
+    let replicated = {
+        let guard = TempDirGuard::new("replicated");
+        let host = ServiceHost::new();
+        let dir = guard.path.clone();
+        let _cluster =
+            PreservCluster::deploy_with(&host, ClusterConfig::replicated(4, 2), move |shard| {
+                let backend = KvBackend::open_durable(dir.join(format!("shard-{shard}")))
+                    .map_err(StoreError::Backend)?;
+                Ok(Arc::new(backend) as _)
+            })
+            .unwrap();
+        measure("replicated_4_r2_durable", host, 16)
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"cluster_throughput\",\n");
+    json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    json.push_str("  \"backend\": \"database\",\n  \"deployments\": {\n");
+    let rows = [&single, &sharded, &replicated];
+    for (i, m) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"throughput_per_sec\": {:.0}, \"latency_p50_us\": {:.1}, \
+             \"latency_p99_us\": {:.1} }}{}\n",
+            m.name,
+            m.throughput_per_sec,
+            m.latency_p50_us,
+            m.latency_p99_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_sharded_vs_single\": {:.2},\n",
+        sharded.throughput_per_sec / single.throughput_per_sec.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"speedup_replicated_vs_single\": {:.2},\n",
+        replicated.throughput_per_sec / single.throughput_per_sec.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"replication_cost_vs_sharded\": {:.2}\n",
+        replicated.throughput_per_sec / sharded.throughput_per_sec.max(1e-9)
+    ));
+    json.push_str("}\n");
+    std::fs::write(&output, json).expect("write baseline json");
+    println!("baseline written to {output}");
+}

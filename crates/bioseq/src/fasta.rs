@@ -138,7 +138,7 @@ ACGTACGTACGT
 
     #[test]
     fn wrapping_at_sixty_columns() {
-        let long = Sequence::new("long", "", &vec![b'A'; 150]);
+        let long = Sequence::new("long", "", &[b'A'; 150]);
         let text = write_fasta(&[long]);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4); // header + 60 + 60 + 30

@@ -63,10 +63,10 @@ mod tests {
 
     fn seqs() -> Vec<Sequence> {
         vec![
-            Sequence::new("s1", "", &vec![b'M'; 40]),
-            Sequence::new("s2", "", &vec![b'K'; 40]),
+            Sequence::new("s1", "", &[b'M'; 40]),
+            Sequence::new("s2", "", &[b'K'; 40]),
             Sequence::new("empty", "", b""),
-            Sequence::new("s3", "", &vec![b'V'; 40]),
+            Sequence::new("s3", "", &[b'V'; 40]),
         ]
     }
 

@@ -147,7 +147,7 @@ mod tests {
     fn entropy_of_uniform_and_constant_data() {
         let uniform: Vec<u8> = (0..=255u8).collect();
         assert!((entropy_bits_per_symbol(&uniform) - 8.0).abs() < 1e-9);
-        assert_eq!(entropy_bits_per_symbol(&vec![b'A'; 100]), 0.0);
+        assert_eq!(entropy_bits_per_symbol(&[b'A'; 100]), 0.0);
         assert_eq!(entropy_bits_per_symbol(b""), 0.0);
         let two: Vec<u8> = b"AB".repeat(100);
         assert!((entropy_bits_per_symbol(&two) - 1.0).abs() < 1e-9);

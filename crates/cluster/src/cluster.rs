@@ -27,6 +27,8 @@ pub struct ClusterConfig {
     pub batch_size: usize,
     /// Virtual nodes per shard on the hash ring.
     pub virtual_nodes: usize,
+    /// Total copies of every flushed batch (primary + replicas); 1 disables replication.
+    pub replication: usize,
     /// Name the router registers under (what clients address).
     pub service_name: String,
     /// Prefix for shard service names; shard `i` registers as `<prefix><i>`.
@@ -39,6 +41,7 @@ impl Default for ClusterConfig {
             shards: 4,
             batch_size: 64,
             virtual_nodes: 64,
+            replication: 1,
             service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string(),
             shard_name_prefix: "provenance-store-shard-".to_string(),
         }
@@ -50,6 +53,15 @@ impl ClusterConfig {
     pub fn with_shards(shards: usize) -> Self {
         ClusterConfig {
             shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with `shards` initial shards and `replication` total copies per batch.
+    pub fn replicated(shards: usize, replication: usize) -> Self {
+        ClusterConfig {
+            shards: shards.max(1),
+            replication: replication.max(1),
             ..Default::default()
         }
     }
@@ -68,6 +80,19 @@ impl PreservCluster {
     /// provenance store's well-known service name.
     pub fn deploy_in_memory(host: &ServiceHost, shards: usize) -> Result<Arc<Self>, StoreError> {
         Self::deploy_with(host, ClusterConfig::with_shards(shards), |_| {
+            Ok(Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
+        })
+    }
+
+    /// Deploy a fault-tolerant in-memory cluster: every flushed batch is committed on its
+    /// primary shard plus `replication - 1` replica holds, and killing any single shard loses
+    /// no acked p-assertion (for `replication` ≥ 2).
+    pub fn deploy_replicated(
+        host: &ServiceHost,
+        shards: usize,
+        replication: usize,
+    ) -> Result<Arc<Self>, StoreError> {
+        Self::deploy_with(host, ClusterConfig::replicated(shards, replication), |_| {
             Ok(Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
         })
     }
@@ -115,6 +140,7 @@ impl PreservCluster {
             RouterConfig {
                 batch_size: config.batch_size,
                 virtual_nodes: config.virtual_nodes,
+                replication: config.replication,
                 ..Default::default()
             },
         ));
@@ -142,13 +168,20 @@ impl PreservCluster {
         self.shards.read().len()
     }
 
-    /// Direct handles to every shard's store, in shard-index order.
+    /// Direct handles to every shard's store, in shard-index order — including dead shards'
+    /// stores (useful to inspect what a failed shard held). Queries should use
+    /// [`Self::live_stores`] so promoted data is seen exactly once.
     pub fn shard_stores(&self) -> Vec<Arc<ProvenanceStore>> {
         self.shards
             .read()
             .iter()
             .map(|service| service.store())
             .collect()
+    }
+
+    /// Store handles of live shards only, in shard-index order.
+    pub fn live_stores(&self) -> Vec<Arc<ProvenanceStore>> {
+        self.router.live_stores()
     }
 
     /// Add one shard (in-memory backend), register it, and extend the router's ring: the
@@ -178,9 +211,10 @@ impl PreservCluster {
         Ok(name)
     }
 
-    /// Flush every buffered batch down to the shards.
+    /// Flush every buffered batch down to the shards. On failure the error names the affected
+    /// sessions (see [`crate::router::FlushError`]) so callers can retry selectively.
     pub fn flush(&self) -> Result<(), StoreError> {
-        self.router.flush().map_err(wire_to_store)
+        self.router.flush().map_err(flush_to_store)
     }
 
     // -- Direct scatter-gather queries (bypassing the wire, for reasoners and tests) --------
@@ -192,55 +226,55 @@ impl PreservCluster {
     ) -> Result<Vec<RecordedAssertion>, StoreError> {
         self.flush()?;
         let per_shard = self
-            .shard_stores()
+            .live_stores()
             .iter()
             .map(|store| store.assertions_for_session(session))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(merge::merge_assertions(per_shard))
     }
 
-    /// Merged statistics across every shard.
+    /// Merged statistics across every live shard.
     pub fn statistics(&self) -> Result<StoreStatistics, StoreError> {
         self.flush()?;
         Ok(merge::merge_statistics(
-            self.shard_stores()
+            self.live_stores()
                 .iter()
                 .map(|store| store.statistics())
                 .collect(),
         ))
     }
 
-    /// Groups of a kind across every shard, in single-store key order.
+    /// Groups of a kind across every live shard, in single-store key order.
     pub fn groups_by_kind(&self, kind: &str) -> Result<Vec<Group>, StoreError> {
         self.flush()?;
         let per_shard = self
-            .shard_stores()
+            .live_stores()
             .iter()
             .map(|store| store.groups_by_kind(kind))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(merge::merge_groups(per_shard))
     }
 
-    /// All interaction keys across shards, globally sorted, optionally limited.
+    /// All interaction keys across live shards, globally sorted, optionally limited.
     pub fn list_interactions(
         &self,
         limit: Option<usize>,
     ) -> Result<Vec<pasoa_core::ids::InteractionKey>, StoreError> {
         self.flush()?;
         let per_shard = self
-            .shard_stores()
+            .live_stores()
             .iter()
             .map(|store| store.list_interactions(None))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(merge::merge_interactions(per_shard, limit))
     }
 
-    /// The session's derivation graph, merged across shards (normally resident on one shard,
-    /// thanks to session co-location).
+    /// The session's derivation graph, merged across live shards (normally resident on one
+    /// shard, thanks to session co-location).
     pub fn lineage_session(&self, session: &SessionId) -> Result<LineageGraph, StoreError> {
         self.flush()?;
         let per_shard = self
-            .shard_stores()
+            .live_stores()
             .iter()
             .map(|store| LineageGraph::trace_session(store, session))
             .collect::<Result<Vec<_>, _>>()?;
@@ -250,6 +284,10 @@ impl PreservCluster {
 
 fn wire_to_store(error: pasoa_wire::WireError) -> StoreError {
     StoreError::Corrupt(format!("cluster wire failure: {error}"))
+}
+
+fn flush_to_store(error: crate::router::FlushError) -> StoreError {
+    StoreError::Corrupt(format!("cluster flush failure: {error}"))
 }
 
 /// Uniform query access over a single store or a cluster — what the experiment harness hands

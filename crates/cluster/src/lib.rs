@@ -38,9 +38,9 @@ pub mod ring;
 pub mod router;
 
 pub use cluster::{ClusterConfig, PreservCluster, StoreHandle};
-pub use loadgen::{LoadGenConfig, LoadGenerator, LoadReport};
+pub use loadgen::{FaultPlan, LoadGenConfig, LoadGenerator, LoadReport};
 pub use ring::HashRing;
-pub use router::{RouterConfig, RouterStats, ShardRouter};
+pub use router::{FlushError, RouterConfig, RouterStats, ShardRouter};
 
 #[cfg(test)]
 mod tests {
@@ -278,6 +278,197 @@ mod tests {
         );
         let text = report.to_string();
         assert!(text.contains("assertions"));
+    }
+
+    /// Record the same deterministic workload into a deployment and return the session ids.
+    fn record_workload(host: &ServiceHost, sessions: usize, per_session: usize) -> Vec<SessionId> {
+        let transport = host.transport(TransportConfig::free());
+        let mut ids = Vec::new();
+        for s in 0..sessions {
+            let session = SessionId::new(format!("session:repl:{s}"));
+            let recorder = SyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                transport.clone(),
+                IdGenerator::new(format!("repl{s}")),
+            );
+            for i in 0..per_session {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+            recorder
+                .register_group(Group::new(session.as_str(), GroupKind::Session))
+                .unwrap();
+            ids.push(session);
+        }
+        ids
+    }
+
+    #[test]
+    fn replicated_cluster_answers_match_an_unreplicated_one() {
+        let (host_r, replicated) = {
+            let host = ServiceHost::new();
+            let cluster = PreservCluster::deploy_replicated(&host, 4, 2).unwrap();
+            (host, cluster)
+        };
+        let (host_p, plain) = deploy(4);
+        let sessions = record_workload(&host_r, 10, 12);
+        record_workload(&host_p, 10, 12);
+
+        // Replica holds are invisible: every query answer matches the unreplicated cluster.
+        for session in &sessions {
+            assert_eq!(
+                replicated.assertions_for_session(session).unwrap(),
+                plain.assertions_for_session(session).unwrap()
+            );
+        }
+        assert_eq!(
+            replicated.statistics().unwrap(),
+            plain.statistics().unwrap()
+        );
+        assert_eq!(
+            replicated.list_interactions(None).unwrap(),
+            plain.list_interactions(None).unwrap()
+        );
+        assert_eq!(
+            replicated.groups_by_kind("session").unwrap(),
+            plain.groups_by_kind("session").unwrap()
+        );
+        assert!(replicated.router().stats().batches_replicated > 0);
+        assert_eq!(replicated.router().replication(), 2);
+    }
+
+    #[test]
+    fn killing_any_single_shard_loses_no_acked_assertion() {
+        for victim in 0..4usize {
+            let host = ServiceHost::new();
+            let cluster = PreservCluster::deploy_replicated(&host, 4, 2).unwrap();
+            let reference_host = ServiceHost::new();
+            let reference = PreservCluster::deploy_in_memory(&reference_host, 4).unwrap();
+
+            // First half of the workload, fully acked and flushed before the kill.
+            let sessions = record_workload(&host, 8, 10);
+            record_workload(&reference_host, 8, 10);
+            cluster.flush().unwrap();
+
+            let victim_name = cluster.router().shard_names()[victim].clone();
+            host.fault_injector().kill(victim_name.clone());
+
+            // Second half: same sessions keep recording after the kill, without client errors.
+            let transport = host.transport(TransportConfig::free());
+            let reference_transport = reference_host.transport(TransportConfig::free());
+            for (s, session) in sessions.iter().enumerate() {
+                for (t, tr) in [&transport, &reference_transport].into_iter().enumerate() {
+                    let recorder = SyncRecorder::new(
+                        session.clone(),
+                        ActorId::new("engine"),
+                        tr.clone(),
+                        IdGenerator::new(format!("post{t}:{s}")),
+                    );
+                    for i in 10..16 {
+                        recorder.record(assertion(session.as_str(), i)).unwrap();
+                    }
+                }
+            }
+
+            // Every acked p-assertion answers identically to the fault-free reference run.
+            for session in &sessions {
+                assert_eq!(
+                    cluster.assertions_for_session(session).unwrap(),
+                    reference.assertions_for_session(session).unwrap(),
+                    "session diverged after killing shard {victim}"
+                );
+                assert_eq!(
+                    cluster.lineage_session(session).unwrap(),
+                    reference.lineage_session(session).unwrap()
+                );
+            }
+            assert_eq!(
+                cluster.statistics().unwrap(),
+                reference.statistics().unwrap(),
+                "statistics diverged after killing shard {victim}"
+            );
+            assert_eq!(
+                cluster.list_interactions(None).unwrap(),
+                reference.list_interactions(None).unwrap()
+            );
+            assert_eq!(
+                cluster.groups_by_kind("session").unwrap(),
+                reference.groups_by_kind("session").unwrap()
+            );
+
+            let stats = cluster.router().stats();
+            assert_eq!(
+                stats.failovers, 1,
+                "exactly one failover for shard {victim}"
+            );
+            assert!(!cluster.router().is_alive(victim));
+            assert_eq!(cluster.router().live_shards().len(), 3);
+        }
+    }
+
+    /// Regression: after a rebalance every routed session is memoized into the pin map. A
+    /// session whose only data is still buffered (never flushed, so no replica hold exists)
+    /// must not stay pinned to its shard when that shard dies — the stale pin would route the
+    /// buffered batch back to the dead shard forever, wedging flush and every query.
+    #[test]
+    fn buffered_session_pinned_to_a_dead_shard_re_resolves_to_a_live_one() {
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_replicated(&host, 4, 2).unwrap();
+        // Rebalance so shard_for_session memoizes a pin for every session it routes.
+        cluster.add_shard().unwrap();
+
+        let session = SessionId::new("session:buffered-pin");
+        let recorder = SyncRecorder::new(
+            session.clone(),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("bp"),
+        );
+        // One assertion: stays in the router buffer (default batch_size is 64).
+        recorder.record(assertion(session.as_str(), 0)).unwrap();
+        let owner = cluster.router().shard_for_session(session.as_str());
+        let owner_name = cluster.router().shard_names()[owner].clone();
+        host.fault_injector().kill(owner_name);
+
+        // The buffered (acked) assertion must re-route and stay fully queryable.
+        cluster.flush().unwrap();
+        assert_eq!(cluster.assertions_for_session(&session).unwrap().len(), 1);
+        let new_owner = cluster.router().shard_for_session(session.as_str());
+        assert_ne!(new_owner, owner, "session must re-pin to a live shard");
+        assert!(cluster.router().is_alive(new_owner));
+        // Recording continues against the new owner without loss.
+        recorder.record(assertion(session.as_str(), 1)).unwrap();
+        assert_eq!(cluster.assertions_for_session(&session).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn flush_error_names_the_stranded_sessions() {
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_with(
+            &host,
+            ClusterConfig {
+                shards: 1,
+                batch_size: 1000, // never auto-flush
+                ..Default::default()
+            },
+            |_| Ok(std::sync::Arc::new(pasoa_preserv::MemoryBackend::new()) as _),
+        )
+        .unwrap();
+        let session = SessionId::new("session:stranded");
+        let recorder = SyncRecorder::new(
+            session.clone(),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("stranded"),
+        );
+        recorder.record(assertion(session.as_str(), 0)).unwrap();
+        // Kill the only shard: the buffered assertion has nowhere to go.
+        let name = cluster.router().shard_names()[0].clone();
+        host.fault_injector().kill(name);
+        let error = cluster.router().flush().unwrap_err();
+        assert_eq!(error.failed_sessions, vec!["session:stranded".to_string()]);
+        let text = error.to_string();
+        assert!(text.contains("session:stranded"), "error text: {text}");
     }
 
     #[test]

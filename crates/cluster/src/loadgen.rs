@@ -7,8 +7,11 @@
 //! per-service dispatch balance the wire layer observed (which shows how evenly the shard
 //! router spread the load).
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
 use pasoa_core::passertion::{
@@ -16,7 +19,18 @@ use pasoa_core::passertion::{
 };
 use pasoa_core::prep::{PrepMessage, RecordMessage};
 use pasoa_core::PROVENANCE_STORE_SERVICE;
-use pasoa_wire::{Envelope, ServiceHost, TransportConfig};
+use pasoa_wire::{Envelope, FaultInjector, ServiceHost, TransportConfig};
+
+/// A fault to inject mid-workload: kill `service` once the run has sent `after_messages`
+/// record messages. The kill goes through the host's [`pasoa_wire::FaultInjector`], so the
+/// service becomes unreachable exactly as a crashed remote host would.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Service name to kill (e.g. a shard's registered name).
+    pub service: String,
+    /// Total record messages (across all clients) after which the kill fires.
+    pub after_messages: u64,
+}
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -33,6 +47,8 @@ pub struct LoadGenConfig {
     pub payload_bytes: usize,
     /// Service name to send to.
     pub service_name: String,
+    /// Faults to inject while the workload runs, in `after_messages` order.
+    pub faults: Vec<FaultPlan>,
 }
 
 impl Default for LoadGenConfig {
@@ -44,6 +60,7 @@ impl Default for LoadGenConfig {
             batch_size: 16,
             payload_bytes: 128,
             service_name: PROVENANCE_STORE_SERVICE.to_string(),
+            faults: Vec::new(),
         }
     }
 }
@@ -71,6 +88,8 @@ pub struct LoadReport {
     pub latency_max: Duration,
     /// Calls dispatched per service (router + shards), from the host's counters.
     pub dispatch_counts: Vec<(String, u64)>,
+    /// Services killed by the run's fault plans, in firing order.
+    pub faults_injected: Vec<String>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -89,6 +108,9 @@ impl std::fmt::Display for LoadReport {
             "latency p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
             self.latency_p50, self.latency_p95, self.latency_p99, self.latency_max
         )?;
+        if !self.faults_injected.is_empty() {
+            writeln!(f, "faults injected: {}", self.faults_injected.join(", "))?;
+        }
         for (service, calls) in &self.dispatch_counts {
             writeln!(f, "  {service:<32} {calls} calls")?;
         }
@@ -120,6 +142,10 @@ impl LoadGenerator {
         self.host.reset_dispatch_counts();
         let config = Arc::new(self.config.clone());
         let wave = self.wave.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let trigger = Arc::new(FaultTrigger::new(
+            self.host.fault_injector(),
+            config.faults.clone(),
+        ));
         let start = Instant::now();
 
         let mut latencies: Vec<u64> = Vec::new();
@@ -131,7 +157,9 @@ impl LoadGenerator {
             for client in 0..config.clients {
                 let host = self.host.clone();
                 let config = Arc::clone(&config);
-                handles.push(scope.spawn(move || client_run(wave, client, &host, &config)));
+                let trigger = Arc::clone(&trigger);
+                handles
+                    .push(scope.spawn(move || client_run(wave, client, &host, &config, &trigger)));
             }
             for handle in handles {
                 let outcome = handle.join().expect("load client panicked");
@@ -168,7 +196,60 @@ impl LoadGenerator {
                 .map(Duration::from_nanos)
                 .unwrap_or_default(),
             dispatch_counts: self.host.dispatch_counts(),
+            faults_injected: trigger.fired(),
         }
+    }
+}
+
+/// Fires the configured [`FaultPlan`]s as the message count crosses their thresholds. Shared
+/// by every client thread; each plan fires exactly once.
+struct FaultTrigger {
+    injector: FaultInjector,
+    /// Plans sorted by threshold.
+    plans: Vec<FaultPlan>,
+    sent: AtomicU64,
+    next: AtomicUsize,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FaultTrigger {
+    fn new(injector: FaultInjector, mut plans: Vec<FaultPlan>) -> Self {
+        plans.sort_by_key(|plan| plan.after_messages);
+        FaultTrigger {
+            injector,
+            plans,
+            sent: AtomicU64::new(0),
+            next: AtomicUsize::new(0),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Called once per record message sent (successful or not).
+    fn on_message(&self) {
+        if self.plans.is_empty() {
+            return;
+        }
+        let total = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
+        loop {
+            let index = self.next.load(Ordering::Relaxed);
+            if index >= self.plans.len() || self.plans[index].after_messages > total {
+                return;
+            }
+            // One winner per plan: whoever advances the cursor performs the kill.
+            if self
+                .next
+                .compare_exchange(index, index + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let service = self.plans[index].service.clone();
+                self.injector.kill(service.clone());
+                self.fired.lock().push(service);
+            }
+        }
+    }
+
+    fn fired(&self) -> Vec<String> {
+        self.fired.lock().clone()
     }
 }
 
@@ -184,6 +265,7 @@ fn client_run(
     client: usize,
     host: &ServiceHost,
     config: &LoadGenConfig,
+    trigger: &FaultTrigger,
 ) -> ClientOutcome {
     let transport = host.transport(TransportConfig::free());
     let asserter = ActorId::new(format!("load-client-{client}"));
@@ -239,6 +321,7 @@ fn client_run(
                 }
                 Err(_) => outcome.failures += 1,
             }
+            trigger.on_message();
         }
     }
     outcome

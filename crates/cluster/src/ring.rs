@@ -80,6 +80,27 @@ impl HashRing {
             .map(|(_, shard)| *shard)
             .expect("non-empty ring has points")
     }
+
+    /// Every other shard, in the order the ring walk from `shard`'s first virtual node
+    /// encounters them. This is the replica-placement order: the primary's replicas are the
+    /// first R−1 live entries, and the promotion target after a primary failure is the first
+    /// live entry — so the shard that held the replicas is the one that takes over.
+    pub fn successors_of_shard(&self, shard: usize) -> Vec<usize> {
+        assert!(shard < self.shards, "successors_of_shard out of range");
+        let start = fnv1a64(format!("shard:{shard}:vnode:0").as_bytes());
+        let mut seen = vec![false; self.shards];
+        let mut order = Vec::with_capacity(self.shards.saturating_sub(1));
+        for (_, &owner) in self.points.range(start..).chain(self.points.range(..start)) {
+            if owner != shard && !seen[owner] {
+                seen[owner] = true;
+                order.push(owner);
+                if order.len() + 1 == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +162,29 @@ mod tests {
     #[should_panic(expected = "empty ring")]
     fn empty_ring_panics() {
         HashRing::new(8).shard_for("session:x");
+    }
+
+    #[test]
+    fn successors_cover_every_other_shard_exactly_once() {
+        let ring = HashRing::with_shards(5, 32);
+        for shard in 0..5 {
+            let mut successors = ring.successors_of_shard(shard);
+            assert_eq!(successors.len(), 4);
+            assert!(!successors.contains(&shard));
+            successors.sort_unstable();
+            successors.dedup();
+            assert_eq!(successors.len(), 4, "successors must be distinct");
+            // Deterministic: the same walk yields the same order every time.
+            assert_eq!(
+                ring.successors_of_shard(shard),
+                ring.successors_of_shard(shard)
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_has_no_successors() {
+        let ring = HashRing::with_shards(1, 16);
+        assert!(ring.successors_of_shard(0).is_empty());
     }
 }

@@ -8,11 +8,26 @@
 //! which the shard store commits through the backend's group-commit path (`put_many` /
 //! `WriteBatch`). Queries first flush every buffer (read-your-writes), then scatter-gather
 //! across all shards and merge, producing answers identical to a single store's.
+//!
+//! # Replication and failover
+//!
+//! With [`RouterConfig::replication`] R > 1 the router is synchronously replicated: every
+//! flushed batch commits on the session's primary shard and is then copied into the replica
+//! holds of the primary's first R−1 live ring successors, and the flush is acked only once a
+//! quorum (⌈(R+1)/2⌉) of copies exists. Replica holds are shadow copies invisible to queries,
+//! so scatter-gather still sees each p-assertion exactly once. When a shard becomes
+//! unreachable (killed through the wire layer's [`pasoa_wire::FaultInjector`], as a crashed
+//! host would be), the router detects it on the next touch, marks it dead, and *promotes*: the
+//! first live ring successor replays its replica hold for the dead primary into its own store,
+//! affected sessions are re-pinned there, the dead shard's buffered work is redistributed, and
+//! scatter-gather queries skip the dead shard — so answers remain identical to a fault-free
+//! run, with zero acked p-assertions lost.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::{Mutex, RwLock};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use pasoa_core::ids::{IdGenerator, MessageId};
@@ -20,9 +35,10 @@ use pasoa_core::passertion::RecordedAssertion;
 use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck, StoreStatistics};
 use pasoa_core::Group;
 use pasoa_preserv::plugins::PluginResponse;
-use pasoa_preserv::{LineageGraph, PreservService};
+use pasoa_preserv::{LineageGraph, PreservService, ProvenanceStore};
 use pasoa_wire::{
-    Envelope, MessageHandler, ServiceHost, Transport, TransportConfig, WireError, WireResult,
+    Envelope, FaultInjector, MessageHandler, ServiceHost, Transport, TransportConfig, WireError,
+    WireResult,
 };
 
 use crate::merge;
@@ -52,6 +68,9 @@ pub struct RouterConfig {
     pub virtual_nodes: usize,
     /// How internal shard calls travel.
     pub internal_hop: InternalHop,
+    /// Total copies of every flushed batch: the primary plus `replication - 1` replica holds.
+    /// 1 (the default) disables replication; the cluster then tolerates no shard loss.
+    pub replication: usize,
 }
 
 impl Default for RouterConfig {
@@ -60,6 +79,7 @@ impl Default for RouterConfig {
             batch_size: 64,
             virtual_nodes: 64,
             internal_hop: InternalHop::Direct,
+            replication: 1,
         }
     }
 }
@@ -73,17 +93,140 @@ pub struct RouterStats {
     pub assertions_routed: u64,
     /// Batched `Record` messages sent to shards.
     pub batches_flushed: u64,
+    /// Batches that were additionally copied into at least one replica hold.
+    pub batches_replicated: u64,
     /// Group registrations routed.
     pub groups_routed: u64,
     /// Queries answered by scatter-gather.
     pub scatter_queries: u64,
     /// Shards added after initial deployment.
     pub rebalances: u64,
+    /// Shards marked dead after being detected unreachable.
+    pub failovers: u64,
+    /// Sessions replayed from a replica hold onto their promoted owner.
+    pub sessions_promoted: u64,
+}
+
+/// A flush that could not deliver every buffered batch. Carries the distinct session ids whose
+/// p-assertions were affected, so callers can retry selectively instead of replaying an entire
+/// workload.
+#[derive(Debug)]
+pub struct FlushError {
+    /// Distinct sessions (sorted) whose assertions were in the failed batch.
+    pub failed_sessions: Vec<String>,
+    /// The underlying wire failure.
+    pub error: WireError,
+}
+
+impl std::fmt::Display for FlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flush failed for {} session(s) [{}]: {}",
+            self.failed_sessions.len(),
+            self.failed_sessions.join(", "),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for FlushError {}
+
+impl From<FlushError> for WireError {
+    fn from(e: FlushError) -> Self {
+        WireError::Payload(e.to_string())
+    }
+}
+
+fn distinct_sessions(batch: &[RecordedAssertion]) -> Vec<String> {
+    let mut sessions: Vec<String> = batch
+        .iter()
+        .map(|r| r.session.as_str().to_string())
+        .collect();
+    sessions.sort();
+    sessions.dedup();
+    sessions
+}
+
+/// A shard's shadow copy of batches for which it is a replica. Hold contents are invisible to
+/// queries — each p-assertion is served by exactly one primary — and are replayed into the
+/// holder's own store when it is promoted after its primary dies.
+#[derive(Default)]
+struct ReplicaHold {
+    /// session id → (primary shard at write time, assertions in commit order).
+    sessions: Mutex<BTreeMap<String, (usize, Vec<RecordedAssertion>)>>,
+    /// (primary shard at write time, group), in registration order.
+    groups: Mutex<Vec<(usize, Group)>>,
+}
+
+impl ReplicaHold {
+    /// Append a committed batch for `primary`.
+    fn append_assertions(&self, primary: usize, batch: &[RecordedAssertion]) {
+        let mut sessions = self.sessions.lock();
+        for recorded in batch {
+            let entry = sessions
+                .entry(recorded.session.as_str().to_string())
+                .or_insert_with(|| (primary, Vec::new()));
+            entry.0 = primary;
+            entry.1.push(recorded.clone());
+        }
+    }
+
+    /// Record a group registered on `primary`.
+    fn append_group(&self, primary: usize, group: &Group) {
+        self.groups.lock().push((primary, group.clone()));
+    }
+
+    /// Remove and return everything held on behalf of `primary`, sessions in id order.
+    fn take_for_primary(
+        &self,
+        primary: usize,
+    ) -> (Vec<(String, Vec<RecordedAssertion>)>, Vec<Group>) {
+        let mut sessions = self.sessions.lock();
+        let promoted: Vec<String> = sessions
+            .iter()
+            .filter(|(_, (p, _))| *p == primary)
+            .map(|(session, _)| session.clone())
+            .collect();
+        let taken = promoted
+            .into_iter()
+            .map(|session| {
+                let (_, assertions) = sessions.remove(&session).expect("key just listed");
+                (session, assertions)
+            })
+            .collect();
+        let mut groups = self.groups.lock();
+        let mut taken_groups = Vec::new();
+        groups.retain(|(p, group)| {
+            if *p == primary {
+                taken_groups.push(group.clone());
+                false
+            } else {
+                true
+            }
+        });
+        (taken, taken_groups)
+    }
+
+    /// Put a session's assertions back (promotion replay failed; keep the copy for a retry).
+    fn restore(&self, primary: usize, session: String, assertions: Vec<RecordedAssertion>) {
+        self.sessions.lock().insert(session, (primary, assertions));
+    }
+
+    /// Put a group back (promotion replay failed; keep the copy for a retry).
+    fn restore_group(&self, primary: usize, group: Group) {
+        self.groups.lock().push((primary, group));
+    }
 }
 
 struct ShardHandle {
     name: String,
     service: Arc<PreservService>,
+    /// Shadow copies of batches this shard replicates for other primaries.
+    hold: Arc<ReplicaHold>,
+    /// Cleared when the shard is detected unreachable; a dead shard never serves again
+    /// (rejoining is an `add_shard`, not a revival).
+    alive: AtomicBool,
 }
 
 struct Placement {
@@ -91,10 +234,9 @@ struct Placement {
     /// Ring snapshots taken before each rebalance, oldest first (one per `add_shard`).
     historical_rings: Vec<HashRing>,
     shards: Vec<ShardHandle>,
-    /// Memoized post-rebalance placements. Before the first rebalance placement is a pure
-    /// ring function and this map stays empty; afterwards every routed session's resolved
-    /// owner is cached here, because resolving one costs a data-presence probe against each
-    /// historical candidate shard — far too expensive to repeat per assertion.
+    /// Memoized placements that differ from the pure ring function: sessions kept sticky
+    /// across a rebalance, sessions promoted to a replica after their primary died, and
+    /// sessions whose ring owner was already dead when first routed.
     pinned: HashMap<String, usize>,
 }
 
@@ -106,9 +248,22 @@ pub struct ShardRouter {
     /// Per-shard buffers of assertions awaiting a batched flush. Each shard's mutex is held
     /// across its flush send, so batches destined for one shard commit in buffer order —
     /// without serialising flushes of *different* shards against each other.
-    buffers: RwLock<Vec<std::sync::Arc<Mutex<Vec<RecordedAssertion>>>>>,
+    buffers: RwLock<Vec<Arc<Mutex<Vec<RecordedAssertion>>>>>,
+    /// Serializes failure handling so one dead shard is promoted exactly once.
+    failover: Mutex<()>,
+    /// Last fault-injector epoch whose kills have been fully handled; while the injector's
+    /// epoch equals this, failure scans are skipped entirely (one atomic load per message).
+    handled_fault_epoch: std::sync::atomic::AtomicU64,
     ids: IdGenerator,
     stats: Mutex<RouterStats>,
+}
+
+/// Outcome of sending one batch: on failure, which assertions are safe to re-buffer (none, if
+/// the primary already committed them) plus the affected sessions.
+struct BatchFailure {
+    restore: Vec<RecordedAssertion>,
+    failed_sessions: Vec<String>,
+    error: WireError,
 }
 
 impl ShardRouter {
@@ -126,7 +281,12 @@ impl ShardRouter {
             .collect();
         let shards = shards
             .into_iter()
-            .map(|(name, service)| ShardHandle { name, service })
+            .map(|(name, service)| ShardHandle {
+                name,
+                service,
+                hold: Arc::new(ReplicaHold::default()),
+                alive: AtomicBool::new(true),
+            })
             .collect();
         ShardRouter {
             // Shard hops are in-process; the modelled client latency is charged on the
@@ -140,6 +300,8 @@ impl ShardRouter {
                 pinned: HashMap::new(),
             }),
             buffers: RwLock::new(buffers),
+            failover: Mutex::new(()),
+            handled_fault_epoch: std::sync::atomic::AtomicU64::new(0),
             ids: IdGenerator::new("shard-router"),
             stats: Mutex::new(RouterStats::default()),
         }
@@ -167,6 +329,45 @@ impl ShardRouter {
         *self.stats.lock()
     }
 
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.config.replication.max(1)
+    }
+
+    /// Whether `shard` is still serving (not detected dead).
+    pub fn is_alive(&self, shard: usize) -> bool {
+        self.placement.read().shards[shard]
+            .alive
+            .load(Ordering::SeqCst)
+    }
+
+    /// Indices of live shards, ascending.
+    pub fn live_shards(&self) -> Vec<usize> {
+        self.placement
+            .read()
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, handle)| handle.alive.load(Ordering::SeqCst))
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// Store handles of live shards, in shard-index order — what scatter-gather reads.
+    pub fn live_stores(&self) -> Vec<Arc<ProvenanceStore>> {
+        self.placement
+            .read()
+            .shards
+            .iter()
+            .filter(|handle| handle.alive.load(Ordering::SeqCst))
+            .map(|handle| handle.service.store())
+            .collect()
+    }
+
+    fn injector(&self) -> FaultInjector {
+        self.transport.host().fault_injector()
+    }
+
     /// Add a shard service to the ring. Only *future* sessions can map to it; sessions that
     /// already hold documentation on their pre-rebalance shard stay there (see
     /// [`Self::shard_for_session`]), so lineage never splits.
@@ -177,7 +378,7 @@ impl ShardRouter {
     ) -> WireResult<usize> {
         // Flush first so existing sessions' buffered documentation is visible to the
         // data-presence check that keeps them sticky after the ring changes.
-        self.flush()?;
+        self.flush().map_err(WireError::from)?;
         // Grow the buffer table before the ring so no routing decision can ever index past it.
         self.buffers.write().push(Arc::new(Mutex::new(Vec::new())));
         let mut placement = self.placement.write();
@@ -187,39 +388,79 @@ impl ShardRouter {
         placement.shards.push(ShardHandle {
             name: name.into(),
             service,
+            hold: Arc::new(ReplicaHold::default()),
+            alive: AtomicBool::new(true),
         });
         drop(placement);
         self.stats.lock().rebalances += 1;
         Ok(index)
     }
 
-    /// The shard index that owns `session`.
+    /// The shard index that owns `session` as its primary.
     ///
-    /// Before any rebalance this is a pure function of the ring — no per-session state, no
-    /// write lock. After a rebalance, a session whose mapping changed but which already holds
-    /// documentation on its old shard stays pinned there. Every post-rebalance resolution is
-    /// memoized (the data-presence probe scans shard state, far too costly to repeat per
-    /// assertion), so the pin map grows with the sessions routed after the first rebalance —
-    /// the price of elasticity without a persistent placement table.
+    /// Before any rebalance or failure this is a pure function of the ring — no per-session
+    /// state, no write lock. Pinned entries (rebalance stickiness, failover promotions, and
+    /// sessions first routed while their ring owner was dead) take precedence. After a
+    /// rebalance, a session whose mapping changed but which already holds documentation on its
+    /// old shard stays pinned there; every post-rebalance resolution is memoized (the
+    /// data-presence probe scans shard state, far too costly to repeat per assertion).
     pub fn shard_for_session(&self, session: &str) -> usize {
         let (current, candidates) = {
             let placement = self.placement.read();
-            if placement.historical_rings.is_empty() {
-                return placement.ring.shard_for(session);
-            }
+            let alive = |shard: usize| placement.shards[shard].alive.load(Ordering::SeqCst);
+            // A pin whose shard has since died is stale (promotion re-pins only sessions it
+            // found in a replica hold; a session with merely buffered data has none): fall
+            // through and re-resolve onto a live shard, which re-pins below.
             if let Some(&pinned) = placement.pinned.get(session) {
-                return pinned;
-            }
-            let current = placement.ring.shard_for(session);
-            // Shards older rings mapped this session to, oldest first.
-            let mut candidates: Vec<usize> = Vec::new();
-            for ring in &placement.historical_rings {
-                let owner = ring.shard_for(session);
-                if owner != current && !candidates.contains(&owner) {
-                    candidates.push(owner);
+                if alive(pinned) {
+                    return pinned;
                 }
             }
-            (current, candidates)
+            let owner = placement.ring.shard_for(session);
+            if placement.historical_rings.is_empty() {
+                if alive(owner) {
+                    return owner;
+                }
+                // Dead ring owner: the session goes where its data would have been promoted —
+                // the first live ring successor of the dead shard. With no live shard left at
+                // all, fall back to the dead owner (unpinned) so callers surface the outage as
+                // an error instead of a panic.
+                match placement
+                    .ring
+                    .successors_of_shard(owner)
+                    .into_iter()
+                    .find(|&s| alive(s))
+                {
+                    Some(successor) => (successor, Vec::new()),
+                    None => return owner,
+                }
+            } else {
+                let current = if alive(owner) {
+                    owner
+                } else {
+                    match placement
+                        .ring
+                        .successors_of_shard(owner)
+                        .into_iter()
+                        .find(|&s| alive(s))
+                    {
+                        Some(successor) => successor,
+                        None => return owner,
+                    }
+                };
+                // Live shards older rings mapped this session to, oldest first.
+                let mut candidates: Vec<usize> = Vec::new();
+                for ring in &placement.historical_rings {
+                    let historical = ring.shard_for(session);
+                    if historical != current
+                        && alive(historical)
+                        && !candidates.contains(&historical)
+                    {
+                        candidates.push(historical);
+                    }
+                }
+                (current, candidates)
+            }
         };
         // Probed outside the placement lock: the presence probe takes buffer and store
         // locks, which must never nest inside placement (flush paths take them the other
@@ -264,18 +505,160 @@ impl ShardRouter {
         self.placement.read().shards.len()
     }
 
+    /// The replica placement rule — the single definition of it: batches whose primary is
+    /// `shard` are copied to its first `count` live ring successors. Returns the successors'
+    /// replica holds from one placement snapshot; fewer than `count` when the cluster is too
+    /// small or too degraded.
+    fn replica_holds(&self, shard: usize, count: usize) -> Vec<Arc<ReplicaHold>> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let placement = self.placement.read();
+        placement
+            .ring
+            .successors_of_shard(shard)
+            .into_iter()
+            .filter(|&s| placement.shards[s].alive.load(Ordering::SeqCst))
+            .take(count)
+            .map(|s| Arc::clone(&placement.shards[s].hold))
+            .collect()
+    }
+
+    /// Detect and handle any shard the fault injector has downed since the last check. While
+    /// the injector's epoch is unchanged from the last fully-handled scan, this is a single
+    /// atomic load — a long-dead shard does not tax every subsequent message.
+    fn maybe_handle_failures(&self) {
+        let injector = self.injector();
+        let epoch = injector.epoch();
+        if epoch == self.handled_fault_epoch.load(Ordering::SeqCst) {
+            return;
+        }
+        let suspects: Vec<usize> = {
+            let placement = self.placement.read();
+            placement
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, handle)| {
+                    handle.alive.load(Ordering::SeqCst) && injector.is_down(&handle.name)
+                })
+                .map(|(index, _)| index)
+                .collect()
+        };
+        for shard in suspects {
+            self.handle_shard_failure(shard);
+        }
+        // Kills observed up to `epoch` are handled; a kill landing mid-scan bumps the epoch
+        // past this value, so the next call rescans rather than missing it.
+        self.handled_fault_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Mark `dead` as failed, promote its replica holder, re-pin the affected sessions and
+    /// redistribute its buffered work. Idempotent; serialized by the failover lock.
+    fn handle_shard_failure(&self, dead: usize) {
+        let _failover = self.failover.lock();
+        {
+            let placement = self.placement.read();
+            let handle = &placement.shards[dead];
+            if !handle.alive.swap(false, Ordering::SeqCst) {
+                return; // another caller already handled this shard
+            }
+        }
+        self.stats.lock().failovers += 1;
+
+        // Promotion target: the first live ring successor — by construction the first shard
+        // every replicated batch of `dead` was copied to.
+        let target = {
+            let placement = self.placement.read();
+            placement
+                .ring
+                .successors_of_shard(dead)
+                .into_iter()
+                .find(|&s| placement.shards[s].alive.load(Ordering::SeqCst))
+        };
+        if let Some(target) = target {
+            let hold = {
+                let placement = self.placement.read();
+                Arc::clone(&placement.shards[target].hold)
+            };
+            let (sessions, groups) = hold.take_for_primary(dead);
+            let store = self.shard_service(target).store();
+            let mut pins: Vec<String> = Vec::new();
+            let mut promoted = 0u64;
+            for (session, assertions) in sessions {
+                match store.record_all(&assertions) {
+                    Ok(_) => {
+                        promoted += 1;
+                        pins.push(session);
+                    }
+                    Err(_) => {
+                        // Keep the copy so a later failover attempt can retry the replay.
+                        hold.restore(dead, session, assertions);
+                    }
+                }
+            }
+            for group in groups {
+                match store.register_group(&group) {
+                    Ok(()) => pins.push(group.id.clone()),
+                    // Keep the copy so a later failover attempt can retry the replay, same as
+                    // the assertion branch above — an acked registration is never dropped.
+                    Err(_) => hold.restore_group(dead, group),
+                }
+            }
+            {
+                let mut placement = self.placement.write();
+                for id in pins {
+                    placement.pinned.insert(id, target);
+                }
+            }
+            self.stats.lock().sessions_promoted += promoted;
+        }
+
+        // Buffered (acked but unflushed) work addressed to the dead shard re-routes to the
+        // promoted owners; the next flush delivers it after the replayed history.
+        self.redistribute_buffer(dead);
+    }
+
+    /// Move `shard`'s buffered assertions to their current owners' buffers.
+    fn redistribute_buffer(&self, shard: usize) {
+        let leftover = {
+            let buffer = Arc::clone(&self.buffers.read()[shard]);
+            let mut guard = buffer.lock();
+            std::mem::take(&mut *guard)
+        };
+        if leftover.is_empty() {
+            return;
+        }
+        let mut per_shard: HashMap<usize, Vec<RecordedAssertion>> = HashMap::new();
+        for recorded in leftover {
+            // With no live shard left, the owner resolves back to `shard` itself: the work
+            // stays buffered there, and `flush` reports its sessions as failed.
+            let owner = self.shard_for_session(recorded.session.as_str());
+            per_shard.entry(owner).or_default().push(recorded);
+        }
+        for (owner, batch) in per_shard {
+            let buffer = Arc::clone(&self.buffers.read()[owner]);
+            buffer.lock().extend(batch);
+        }
+    }
+
     /// Deliver one PReP message to one shard — directly to its plug-in dispatcher, or over
-    /// the wire, per the configured [`InternalHop`].
+    /// the wire, per the configured [`InternalHop`]. Either way a shard downed by the fault
+    /// injector is unreachable, exactly as a crashed remote host would be.
     fn call_shard(
         &self,
         shard: usize,
         action: &str,
         message: &PrepMessage,
     ) -> WireResult<PluginResponse> {
+        let name = self.shard_name(shard);
+        if self.injector().is_down(&name) {
+            return Err(WireError::ServiceDown(name));
+        }
         match self.config.internal_hop {
             InternalHop::Direct => self.shard_service(shard).dispatch(action, message),
             InternalHop::Wire => {
-                let envelope = Envelope::request(&self.shard_name(shard), action)
+                let envelope = Envelope::request(&name, action)
                     .with_header("sender", "shard-router")
                     .with_json_payload(message)?;
                 let response = self.transport.call(envelope)?;
@@ -292,74 +675,155 @@ impl ShardRouter {
         }
     }
 
-    /// Send one batched `Record` message to a shard. On failure the assertions are handed
-    /// back to the caller so they can be restored to the buffer — clients were already acked
-    /// for them, so dropping them would silently violate the identical-answers contract.
-    fn send_batch(
+    /// Send one batched `Record` message to `primary` and copy it into the replica holds of
+    /// the primary's live ring successors; returning `Ok` is the quorum ack.
+    ///
+    /// On failure the returned [`BatchFailure`] says which assertions are safe to re-buffer:
+    /// all of them when the primary never committed, none when it did (the batch must not be
+    /// resent, or the store would hold duplicates).
+    fn send_batch_replicated(
         &self,
-        shard: usize,
-        assertions: Vec<RecordedAssertion>,
-    ) -> Result<(), (Vec<RecordedAssertion>, WireError)> {
-        if assertions.is_empty() {
+        primary: usize,
+        batch: Vec<RecordedAssertion>,
+    ) -> Result<(), BatchFailure> {
+        if batch.is_empty() {
             return Ok(());
         }
         let message = PrepMessage::Record(pasoa_core::prep::RecordMessage {
             message_id: self.ids.message_id(),
             asserter: pasoa_core::ids::ActorId::new("shard-router"),
-            assertions,
+            assertions: batch,
         });
         let reclaim = |message: PrepMessage| match message {
             PrepMessage::Record(record) => record.assertions,
-            _ => unreachable!("send_batch builds a record message"),
+            _ => unreachable!("send_batch_replicated builds a record message"),
         };
-        let ack = match self.call_shard(shard, "record", &message) {
+        // Session lists are only needed on failure; never pay for them on the hot path.
+        let failure = |restore: Vec<RecordedAssertion>, error: WireError| BatchFailure {
+            failed_sessions: distinct_sessions(&restore),
+            restore,
+            error,
+        };
+        let ack = match self.call_shard(primary, "record", &message) {
             Ok(PluginResponse::Ack(ack)) => ack,
             Ok(other) => {
                 let error =
                     WireError::Payload(format!("unexpected shard record response: {other:?}"));
-                return Err((reclaim(message), error));
+                return Err(failure(reclaim(message), error));
             }
-            Err(error) => return Err((reclaim(message), error)),
+            Err(error) => return Err(failure(reclaim(message), error)),
         };
         if !ack.fully_accepted() {
             let error = WireError::Payload(format!(
-                "shard {shard} rejected {} assertion(s)",
+                "shard {primary} rejected {} assertion(s)",
                 ack.rejected.len()
             ));
-            return Err((reclaim(message), error));
+            return Err(failure(reclaim(message), error));
+        }
+        let batch = reclaim(message);
+
+        // The primary committed; copy into the replica holds. Hold appends are infallible
+        // in-process writes, so returning from this block IS the quorum ack: copies =
+        // 1 + min(R-1, live-1) = min(R, live) ≥ min(⌊R/2⌋+1, live) — at least the majority
+        // quorum a cluster with that many live shards can hold, by construction rather than
+        // by a runtime check.
+        let replication = self.replication();
+        if replication > 1 {
+            let holds = self.replica_holds(primary, replication - 1);
+            for hold in &holds {
+                hold.append_assertions(primary, &batch);
+            }
+            if !holds.is_empty() {
+                self.stats.lock().batches_replicated += 1;
+            }
         }
         self.stats.lock().batches_flushed += 1;
         Ok(())
     }
 
-    /// Take a buffer's contents and send them, restoring them (ahead of anything appended
-    /// meanwhile — nothing can be, the guard is held) when the send fails.
-    fn send_buffer(&self, shard: usize, guard: &mut Vec<RecordedAssertion>) -> WireResult<()> {
+    /// Take a buffer's contents and send them, restoring whatever is safe to resend (ahead of
+    /// anything appended meanwhile — nothing can be, the guard is held) when the send fails.
+    fn send_buffer(
+        &self,
+        shard: usize,
+        guard: &mut Vec<RecordedAssertion>,
+    ) -> Result<(), FlushError> {
+        if guard.is_empty() {
+            return Ok(());
+        }
         let batch = std::mem::take(guard);
-        match self.send_batch(shard, batch) {
+        match self.send_batch_replicated(shard, batch) {
             Ok(()) => Ok(()),
-            Err((batch, error)) => {
-                *guard = batch;
-                Err(error)
+            Err(failure) => {
+                *guard = failure.restore;
+                Err(FlushError {
+                    failed_sessions: failure.failed_sessions,
+                    error: failure.error,
+                })
             }
         }
     }
 
     /// Flush one shard's buffer as a batched `Record` message. The shard's buffer mutex is
-    /// held across the send, so batches for one shard always commit in buffer order.
-    fn flush_shard(&self, shard: usize) -> WireResult<()> {
-        let buffer = std::sync::Arc::clone(&self.buffers.read()[shard]);
+    /// held across the send, so batches for one shard always commit in buffer order. A dead
+    /// shard's buffer is redistributed to the promoted owners instead.
+    fn flush_shard(&self, shard: usize) -> Result<(), FlushError> {
+        if !self.is_alive(shard) {
+            self.redistribute_buffer(shard);
+            return Ok(());
+        }
+        let buffer = Arc::clone(&self.buffers.read()[shard]);
         let mut guard = buffer.lock();
         self.send_buffer(shard, &mut guard)
     }
 
     /// Flush every shard buffer. Called before queries (read-your-writes) and at the end of a
-    /// load-generation run.
-    pub fn flush(&self) -> WireResult<()> {
-        for shard in 0..self.shard_count() {
-            self.flush_shard(shard)?;
+    /// load-generation run. Shards that turn out to be dead are failed over and their buffered
+    /// work redistributed and delivered, so a single shard failure never surfaces here.
+    pub fn flush(&self) -> Result<(), FlushError> {
+        self.maybe_handle_failures();
+        // Failover moves buffered work between shards, so drain in rounds until stable; each
+        // round can absorb at most one newly-dead shard, so shard_count + 1 rounds suffice.
+        let mut last_error: Option<FlushError> = None;
+        for _round in 0..=self.shard_count() {
+            last_error = None;
+            for shard in 0..self.shard_count() {
+                match self.flush_shard(shard) {
+                    Ok(()) => {}
+                    Err(e) if matches!(e.error, WireError::ServiceDown(_)) => {
+                        // The shard died between the aliveness check and the send; fail it
+                        // over and let the next round deliver the redistributed batch.
+                        self.maybe_handle_failures();
+                        last_error = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let any_pending = self
+                .buffers
+                .read()
+                .iter()
+                .any(|buffer| !buffer.lock().is_empty());
+            if !any_pending {
+                return Ok(());
+            }
         }
-        Ok(())
+        // Undeliverable: report every session still buffered so callers can retry selectively.
+        let mut stranded: Vec<RecordedAssertion> = Vec::new();
+        for buffer in self.buffers.read().iter() {
+            stranded.extend(buffer.lock().iter().cloned());
+        }
+        let failed_sessions = distinct_sessions(&stranded);
+        Err(match last_error {
+            Some(mut e) => {
+                e.failed_sessions = failed_sessions;
+                e
+            }
+            None => FlushError {
+                failed_sessions,
+                error: WireError::Payload("no live shard can accept the buffered batches".into()),
+            },
+        })
     }
 
     /// Route a record submission: partition by session owner, buffer per shard, and flush any
@@ -369,6 +833,7 @@ impl ShardRouter {
         message_id: MessageId,
         assertions: Vec<RecordedAssertion>,
     ) -> WireResult<RecordAck> {
+        self.maybe_handle_failures();
         let accepted = assertions.len();
         // Partition first so each shard's buffer mutex is taken once per record message.
         let mut per_shard: HashMap<usize, Vec<RecordedAssertion>> = HashMap::new();
@@ -377,13 +842,28 @@ impl ShardRouter {
             per_shard.entry(shard).or_default().push(recorded);
         }
         for (shard, incoming) in per_shard {
-            let buffer = std::sync::Arc::clone(&self.buffers.read()[shard]);
-            let mut guard = buffer.lock();
-            guard.extend(incoming);
-            if guard.len() >= self.config.batch_size {
-                // Send while holding the buffer mutex: same-shard batches stay ordered, and
-                // a failed send restores the batch instead of dropping acked assertions.
-                self.send_buffer(shard, &mut guard)?;
+            let outcome = {
+                let buffer = Arc::clone(&self.buffers.read()[shard]);
+                let mut guard = buffer.lock();
+                guard.extend(incoming);
+                if guard.len() >= self.config.batch_size {
+                    // Send while holding the buffer mutex: same-shard batches stay ordered,
+                    // and a failed send restores the batch instead of dropping acked
+                    // assertions.
+                    self.send_buffer(shard, &mut guard)
+                } else {
+                    Ok(())
+                }
+            };
+            match outcome {
+                Ok(()) => {}
+                Err(e) if matches!(e.error, WireError::ServiceDown(_)) => {
+                    // The shard died mid-message. The batch is restored in its buffer;
+                    // failing over redistributes it to live owners, where the next flush
+                    // delivers it — the client's ack stays honest.
+                    self.maybe_handle_failures();
+                }
+                Err(e) => return Err(e.into()),
             }
         }
         let mut stats = self.stats.lock();
@@ -399,20 +879,45 @@ impl ShardRouter {
 
     /// Route a group registration to the shard owning the group's id (session groups share
     /// their session's shard, so group queries co-locate with the session's assertions).
+    /// With replication, the registration is also copied into the primary's replica holds.
     fn handle_register_group(&self, group: Group) -> WireResult<()> {
-        let shard = self.shard_for_session(&group.id);
-        self.call_shard(shard, "register-group", &PrepMessage::RegisterGroup(group))?;
-        self.stats.lock().groups_routed += 1;
-        Ok(())
+        self.maybe_handle_failures();
+        let mut attempts = 0;
+        loop {
+            let shard = self.shard_for_session(&group.id);
+            match self.call_shard(
+                shard,
+                "register-group",
+                &PrepMessage::RegisterGroup(group.clone()),
+            ) {
+                Ok(_) => {
+                    let replication = self.replication();
+                    if replication > 1 {
+                        for hold in self.replica_holds(shard, replication - 1) {
+                            hold.append_group(shard, &group);
+                        }
+                    }
+                    self.stats.lock().groups_routed += 1;
+                    return Ok(());
+                }
+                Err(WireError::ServiceDown(_)) if attempts < self.shard_count() => {
+                    attempts += 1;
+                    self.maybe_handle_failures();
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
-    /// Answer a query by scatter-gather over every shard.
+    /// Answer a query by scatter-gather over every live shard. A shard dying mid-gather is
+    /// failed over and the gather restarted, so the answer never mixes pre- and post-failover
+    /// views.
     fn handle_query(&self, request: QueryRequest) -> WireResult<QueryResponse> {
-        self.flush()?;
+        self.flush().map_err(WireError::from)?;
         self.stats.lock().scatter_queries += 1;
-        let shards = self.shard_count();
         let gather = |request: &QueryRequest| -> WireResult<Vec<QueryResponse>> {
-            (0..shards)
+            self.live_shards()
+                .into_iter()
                 .map(|shard| {
                     match self.call_shard(shard, "query", &PrepMessage::Query(request.clone()))? {
                         PluginResponse::Query(response) => Ok(response),
@@ -423,11 +928,23 @@ impl ShardRouter {
                 })
                 .collect()
         };
+        let mut attempts = 0;
+        let responses = loop {
+            match gather(&request) {
+                Ok(responses) => break responses,
+                Err(WireError::ServiceDown(_)) if attempts < self.shard_count() => {
+                    attempts += 1;
+                    self.maybe_handle_failures();
+                    self.flush().map_err(WireError::from)?;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let merged = match &request {
             QueryRequest::ByInteraction(_)
             | QueryRequest::BySession(_)
             | QueryRequest::ActorStateByKind { .. } => {
-                let per_shard = collect_assertions(gather(&request)?)?;
+                let per_shard = collect_assertions(responses)?;
                 let merged = merge::merge_assertions(per_shard);
                 if merged.is_empty() {
                     QueryResponse::Empty
@@ -436,38 +953,52 @@ impl ShardRouter {
                 }
             }
             QueryRequest::ListInteractions { limit } => {
-                let per_shard = collect_interactions(gather(&request)?)?;
+                let per_shard = collect_interactions(responses)?;
                 QueryResponse::Interactions(merge::merge_interactions(per_shard, *limit))
             }
             QueryRequest::GroupsByKind(_) => {
-                let per_shard = collect_groups(gather(&request)?)?;
+                let per_shard = collect_groups(responses)?;
                 QueryResponse::Groups(merge::merge_groups(per_shard))
             }
             QueryRequest::Statistics => {
-                let per_shard = collect_statistics(gather(&request)?)?;
+                let per_shard = collect_statistics(responses)?;
                 QueryResponse::Statistics(merge::merge_statistics(per_shard))
             }
         };
         Ok(merged)
     }
 
-    /// Answer a lineage request by merging every shard's session lineage graph.
+    /// Answer a lineage request by merging every live shard's session lineage graph.
     fn handle_lineage(&self, request: QueryRequest) -> WireResult<LineageGraph> {
-        self.flush()?;
+        self.flush().map_err(WireError::from)?;
         self.stats.lock().scatter_queries += 1;
         let message = PrepMessage::Query(request);
-        let mut graphs = Vec::with_capacity(self.shard_count());
-        for shard in 0..self.shard_count() {
-            match self.call_shard(shard, "lineage", &message)? {
-                PluginResponse::Lineage(graph) => graphs.push(graph),
-                other => {
-                    return Err(WireError::Payload(format!(
-                        "unexpected shard lineage response: {other:?}"
-                    )))
+        let mut attempts = 0;
+        loop {
+            let mut graphs = Vec::new();
+            let mut failed = false;
+            for shard in self.live_shards() {
+                match self.call_shard(shard, "lineage", &message) {
+                    Ok(PluginResponse::Lineage(graph)) => graphs.push(graph),
+                    Ok(other) => {
+                        return Err(WireError::Payload(format!(
+                            "unexpected shard lineage response: {other:?}"
+                        )))
+                    }
+                    Err(WireError::ServiceDown(_)) if attempts < self.shard_count() => {
+                        attempts += 1;
+                        self.maybe_handle_failures();
+                        self.flush().map_err(WireError::from)?;
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
+            if !failed {
+                return Ok(merge::merge_lineage(graphs));
+            }
         }
-        Ok(merge::merge_lineage(graphs))
     }
 }
 

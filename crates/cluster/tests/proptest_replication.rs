@@ -1,0 +1,83 @@
+//! Property-based fault tolerance: with replication factor 2, killing *any* shard after *any*
+//! number of record messages must lose zero acked p-assertions and leave every query answer
+//! identical to a fault-free run of the same workload.
+
+use proptest::prelude::*;
+
+use pasoa_cluster::{FaultPlan, LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa_core::ids::SessionId;
+use pasoa_wire::ServiceHost;
+
+const SHARDS: usize = 4;
+const CLIENTS: usize = 2;
+
+fn load(sessions_per_client: usize, faults: Vec<FaultPlan>) -> LoadGenConfig {
+    LoadGenConfig {
+        clients: CLIENTS,
+        sessions_per_client,
+        assertions_per_session: 20,
+        batch_size: 4,
+        payload_bytes: 48,
+        faults,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10 })]
+
+    #[test]
+    fn kill_any_shard_at_any_point_answers_match_the_fault_free_run(
+        victim in 0usize..SHARDS,
+        kill_after in 1u64..40,
+        sessions_per_client in 2usize..4,
+    ) {
+        // Fault-free reference run of the identical (deterministic) workload.
+        let reference_host = ServiceHost::new();
+        let reference = PreservCluster::deploy_replicated(&reference_host, SHARDS, 2).unwrap();
+        let reference_report =
+            LoadGenerator::new(reference_host.clone(), load(sessions_per_client, vec![])).run();
+        prop_assert_eq!(reference_report.failures, 0);
+
+        // Faulted run.
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_replicated(&host, SHARDS, 2).unwrap();
+        let victim_name = cluster.router().shard_names()[victim].clone();
+        let report = LoadGenerator::new(
+            host.clone(),
+            load(sessions_per_client, vec![FaultPlan {
+                service: victim_name,
+                after_messages: kill_after,
+            }]),
+        )
+        .run();
+        prop_assert_eq!(report.failures, 0, "kill must stay invisible to clients");
+        prop_assert_eq!(report.total_assertions, reference_report.total_assertions);
+
+        prop_assert_eq!(
+            cluster.statistics().unwrap(),
+            reference.statistics().unwrap()
+        );
+        prop_assert_eq!(
+            cluster.list_interactions(None).unwrap(),
+            reference.list_interactions(None).unwrap()
+        );
+        for client in 0..CLIENTS {
+            for s in 0..sessions_per_client {
+                let session = SessionId::new(format!("session:load:w0:c{client}:s{s}"));
+                prop_assert_eq!(
+                    cluster.assertions_for_session(&session).unwrap(),
+                    reference.assertions_for_session(&session).unwrap(),
+                    "session c{}s{} diverged after killing shard {} at message {}",
+                    client, s, victim, kill_after
+                );
+            }
+        }
+        // The kill only fires when the workload is long enough to cross the threshold; when it
+        // does, exactly one failover must have been performed.
+        prop_assert_eq!(
+            cluster.router().stats().failovers,
+            report.faults_injected.len() as u64
+        );
+    }
+}

@@ -110,7 +110,7 @@ impl Method {
     /// Instantiate the compressor for this method with default parameters.
     pub fn compressor(self) -> Arc<dyn Compressor> {
         match self {
-            Method::Gzip => Arc::new(gzip::GzipCompressor::default()),
+            Method::Gzip => Arc::new(gzip::GzipCompressor),
             Method::Bzip2 => Arc::new(bzip::BzipCompressor::default()),
             Method::Ppmz => Arc::new(ppm::PpmCompressor::default()),
         }

@@ -82,7 +82,7 @@ pub fn rle_decode(rle: &ZeroRle) -> Result<Vec<u8>, crate::CompressError> {
                 .ok_or_else(|| crate::CompressError::new("missing zero-run length"))?
                 as usize
                 + 1;
-            out.extend(std::iter::repeat(0u8).take(len));
+            out.extend(std::iter::repeat_n(0u8, len));
         } else if sym < 256 {
             out.push(sym as u8);
         } else {

@@ -73,9 +73,9 @@ impl Model {
     fn predict(&self, node: u32, indices: &mut [usize; 3]) -> u32 {
         let mut num = 0u64;
         let mut den = 0u64;
-        for order in 0..self.max_order {
+        for (order, slot) in indices.iter_mut().enumerate().take(self.max_order) {
             let idx = self.context_hash(order + 1, node);
-            indices[order] = idx;
+            *slot = idx;
             let p0 = self.tables[order][idx].probability() as u64;
             let confidence = p0.abs_diff(2048) + 32 + (order as u64) * 32;
             num += p0 * confidence;
@@ -86,8 +86,8 @@ impl Model {
 
     fn update(&mut self, node: u32, bit: bool, indices: &[usize; 3]) {
         let _ = node;
-        for order in 0..self.max_order {
-            self.tables[order][indices[order]].update(bit);
+        for (order, &idx) in indices.iter().enumerate().take(self.max_order) {
+            self.tables[order][idx].update(bit);
         }
     }
 

@@ -24,7 +24,7 @@ fn protein_like_bytes() -> impl Strategy<Value = Vec<u8>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn lz77_roundtrips(data in arbitrary_bytes()) {

@@ -286,7 +286,7 @@ mod tests {
             table_b.push(crate::measure::MeasureOutcome {
                 permutation_index: i,
                 original_len: 1000,
-                sizes: [(Method::Gzip, 500 + i as usize)].into_iter().collect(),
+                sizes: [(Method::Gzip, 500 + i)].into_iter().collect(),
             });
         }
         let ids = IdGenerator::new("test");

@@ -141,6 +141,26 @@ impl StoreDeployment {
         }
     }
 
+    /// Deploy a fault-tolerant sharded cluster: every flushed batch commits on a primary plus
+    /// `replication - 1` replica holds, so killing any single shard mid-run loses no acked
+    /// p-assertion (for `replication` ≥ 2). Recorders and reasoners need no changes.
+    pub fn replicated(
+        shards: usize,
+        replication: usize,
+        latency: LatencyModel,
+        sleep_latency: bool,
+    ) -> Self {
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_replicated(&host, shards, replication)
+            .expect("memory cluster cannot fail");
+        StoreDeployment {
+            host,
+            access: StoreAccess::Sharded(cluster),
+            latency,
+            sleep_latency,
+        }
+    }
+
     /// A uniform query handle over whatever tier is deployed.
     pub fn store_handle(&self) -> StoreHandle {
         self.access.store_handle()

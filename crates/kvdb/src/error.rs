@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn source_only_for_io() {
         use std::error::Error;
-        let io_err = DbError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let io_err = DbError::from(io::Error::other("x"));
         assert!(io_err.source().is_some());
         assert!(DbError::Closed.source().is_none());
     }

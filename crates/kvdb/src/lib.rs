@@ -41,4 +41,4 @@ pub use batch::WriteBatch;
 pub use error::{DbError, DbResult};
 pub use record::{Record, RecordKind};
 pub use stats::DbStats;
-pub use store::{Db, DbOptions, SyncPolicy};
+pub use store::{Db, DbOptions, RecoveryReport, SegmentRecovery, SyncPolicy};

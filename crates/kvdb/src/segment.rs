@@ -55,12 +55,23 @@ pub fn list_segments(dir: &Path) -> DbResult<Vec<u64>> {
 }
 
 /// A writable, append-only segment.
+///
+/// Appends accumulate in an in-process buffer; `flush` hands them to the operating system and
+/// `sync` forces them to stable storage. The writer tracks how far each of those stages has
+/// progressed so a simulated crash ([`SegmentWriter::crash_discard_unsynced`]) can model
+/// power-loss semantics exactly: everything past the last fsync point is gone.
 #[derive(Debug)]
 pub struct SegmentWriter {
     id: u64,
     file: File,
+    /// Logical length: everything appended, including bytes still in `pending`.
     len: u64,
-    buf: Vec<u8>,
+    /// Bytes handed to the OS (written to the file descriptor).
+    flushed_len: u64,
+    /// Bytes known to be on stable storage (covered by an fsync).
+    synced_len: u64,
+    /// Appended but not yet written to the file.
+    pending: Vec<u8>,
 }
 
 impl SegmentWriter {
@@ -75,11 +86,16 @@ impl SegmentWriter {
             id,
             file,
             len: 0,
-            buf: Vec::with_capacity(8 * 1024),
+            flushed_len: 0,
+            synced_len: 0,
+            pending: Vec::with_capacity(8 * 1024),
         })
     }
 
     /// Re-open an existing segment `id` for appending at `len` bytes.
+    ///
+    /// Bytes already on disk survived whatever ended the previous process, so they count as
+    /// synced for crash-simulation purposes.
     pub fn open_for_append(dir: &Path, id: u64, len: u64) -> DbResult<Self> {
         let mut file = OpenOptions::new().write(true).open(segment_path(dir, id))?;
         file.set_len(len)?; // truncate any torn tail discovered during recovery
@@ -88,7 +104,9 @@ impl SegmentWriter {
             id,
             file,
             len,
-            buf: Vec::with_capacity(8 * 1024),
+            flushed_len: len,
+            synced_len: len,
+            pending: Vec::with_capacity(8 * 1024),
         })
     }
 
@@ -107,48 +125,96 @@ impl SegmentWriter {
         self.len == 0
     }
 
+    /// Bytes known to have reached stable storage.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
     /// Append a record, returning its pointer. Data reaches the OS via `flush`/`sync`.
     pub fn append(&mut self, record: &Record) -> DbResult<RecordPointer> {
-        self.buf.clear();
-        record.encode_into(&mut self.buf);
-        self.file.write_all(&self.buf)?;
+        let before = self.pending.len();
+        record.encode_into(&mut self.pending);
+        let encoded = (self.pending.len() - before) as u64;
         let ptr = RecordPointer {
             segment: self.id,
             offset: self.len,
-            len: self.buf.len() as u32,
+            len: encoded as u32,
         };
-        self.len += self.buf.len() as u64;
+        self.len += encoded;
         Ok(ptr)
     }
 
     /// Flush buffered data to the operating system.
     pub fn flush(&mut self) -> DbResult<()> {
+        if !self.pending.is_empty() {
+            self.file.write_all(&self.pending)?;
+            self.pending.clear();
+        }
         self.file.flush()?;
+        self.flushed_len = self.len;
         Ok(())
     }
 
-    /// Force data to stable storage (fsync).
+    /// Force data to stable storage (fsync). This is the durability point: an acked write is
+    /// crash-safe once `sync` has returned with the write inside `synced_len`.
     pub fn sync(&mut self) -> DbResult<()> {
-        self.file.flush()?;
+        self.flush()?;
         self.file.sync_data()?;
+        self.synced_len = self.len;
         Ok(())
+    }
+
+    /// Simulate a crash: drop the in-process buffer and truncate the file back to the last
+    /// fsync point, as a power loss would discard OS buffers that were never forced to disk.
+    /// Returns the number of bytes that survived.
+    pub fn crash_discard_unsynced(&mut self) -> DbResult<u64> {
+        self.pending.clear();
+        self.file.set_len(self.synced_len)?;
+        self.file.seek(SeekFrom::Start(self.synced_len))?;
+        self.len = self.synced_len;
+        self.flushed_len = self.synced_len;
+        Ok(self.synced_len)
+    }
+}
+
+/// Outcome of scanning one segment during recovery.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Cleanly decoded records with their pointers, in log order.
+    pub records: Vec<(Record, RecordPointer)>,
+    /// Number of bytes covered by cleanly decoded records; everything past this is a torn or
+    /// corrupt tail the caller should truncate.
+    pub clean_len: u64,
+    /// Total bytes present in the segment file.
+    pub file_len: u64,
+    /// Why decoding stopped before the end of the file, when it did: a CRC failure or other
+    /// validation error. `None` for a clean end or a merely incomplete (torn) final record.
+    pub corruption: Option<String>,
+}
+
+impl SegmentScan {
+    /// Bytes past the last cleanly decodable record.
+    pub fn torn_bytes(&self) -> u64 {
+        self.file_len - self.clean_len
     }
 }
 
 /// Read an entire segment into memory and decode its records.
 ///
-/// Returns the decoded records together with their pointers, plus the number of cleanly
-/// decodable bytes. A torn tail (incomplete final record) is reported through the byte count
-/// so the caller can truncate; a mid-file CRC failure is reported as corruption.
-pub fn scan_segment(dir: &Path, id: u64) -> DbResult<(Vec<(Record, RecordPointer)>, u64)> {
+/// Decoding stops at the first incomplete record (torn tail) or validation failure (CRC
+/// mismatch, implausible lengths, unknown kind); both are reported through [`SegmentScan`] so
+/// the caller can truncate the log there, matching write-ahead-log recovery semantics. Only an
+/// I/O failure reading the file is an error.
+pub fn scan_segment(dir: &Path, id: u64) -> DbResult<SegmentScan> {
     let mut file = File::open(segment_path(dir, id))?;
     let mut data = Vec::new();
     file.read_to_end(&mut data)?;
     let mut records = Vec::new();
     let mut offset = 0usize;
+    let mut corruption = None;
     while offset < data.len() {
-        match Record::decode(&data[offset..], id, offset as u64)? {
-            Some((record, used)) => {
+        match Record::decode(&data[offset..], id, offset as u64) {
+            Ok(Some((record, used))) => {
                 let ptr = RecordPointer {
                     segment: id,
                     offset: offset as u64,
@@ -157,10 +223,29 @@ pub fn scan_segment(dir: &Path, id: u64) -> DbResult<(Vec<(Record, RecordPointer
                 records.push((record, ptr));
                 offset += used;
             }
-            None => break, // torn tail
+            Ok(None) => break, // torn tail: incomplete final record
+            Err(e) => {
+                // A record that fails validation ends the recoverable log; recovery truncates
+                // here rather than refusing to open the store.
+                corruption = Some(e.to_string());
+                break;
+            }
         }
     }
-    Ok((records, offset as u64))
+    Ok(SegmentScan {
+        records,
+        clean_len: offset as u64,
+        file_len: data.len() as u64,
+        corruption,
+    })
+}
+
+/// Truncate segment `id` to `len` bytes, discarding a torn or corrupt tail.
+pub fn truncate_segment(dir: &Path, id: u64, len: u64) -> DbResult<()> {
+    let file = OpenOptions::new().write(true).open(segment_path(dir, id))?;
+    file.set_len(len)?;
+    file.sync_data()?;
+    Ok(())
 }
 
 /// Read a single record at `ptr` from disk.
@@ -216,11 +301,13 @@ mod tests {
         w.sync().unwrap();
         assert_eq!(p1.offset, 0);
         assert_eq!(p2.offset, p1.len as u64);
-        let (records, clean) = scan_segment(&dir, 1).unwrap();
-        assert_eq!(records.len(), 2);
-        assert_eq!(records[0].0, r1);
-        assert_eq!(records[1].0, r2);
-        assert_eq!(clean, w.len());
+        let scan = scan_segment(&dir, 1).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].0, r1);
+        assert_eq!(scan.records[1].0, r2);
+        assert_eq!(scan.clean_len, w.len());
+        assert_eq!(scan.torn_bytes(), 0);
+        assert!(scan.corruption.is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -252,9 +339,61 @@ mod tests {
             .unwrap();
         f.write_all(&partial[..partial.len() / 2]).unwrap();
         f.sync_data().unwrap();
-        let (records, clean) = scan_segment(&dir, 1).unwrap();
-        assert_eq!(records.len(), 1);
-        assert_eq!(clean, records[0].1.len as u64);
+        let scan = scan_segment(&dir, 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.clean_len, scan.records[0].1.len as u64);
+        assert!(scan.torn_bytes() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_discards_everything_past_the_last_sync() {
+        let dir = tempdir("crash");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        w.append(&Record::put(b"synced", b"1").unwrap()).unwrap();
+        w.sync().unwrap();
+        let durable = w.len();
+        // One record flushed to the OS but never fsynced, one still in the writer's buffer.
+        w.append(&Record::put(b"flushed", b"2").unwrap()).unwrap();
+        w.flush().unwrap();
+        w.append(&Record::put(b"pending", b"3").unwrap()).unwrap();
+        assert_eq!(w.synced_len(), durable);
+        let survived = w.crash_discard_unsynced().unwrap();
+        assert_eq!(survived, durable);
+        let scan = scan_segment(&dir, 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].0.key, b"synced");
+        assert_eq!(scan.file_len, durable);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_failing_tail_ends_the_scan_with_a_reason() {
+        let dir = tempdir("crc-tail");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        w.append(&Record::put(b"good", b"record").unwrap()).unwrap();
+        w.sync().unwrap();
+        let clean = w.len();
+        drop(w);
+        // A complete record whose payload byte was flipped after the CRC was computed.
+        let mut bad = Record::put(b"bad", b"payload").unwrap().encode();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(segment_path(&dir, 1))
+            .unwrap();
+        f.write_all(&bad).unwrap();
+        f.sync_data().unwrap();
+        let scan = scan_segment(&dir, 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.clean_len, clean);
+        assert!(scan.corruption.as_deref().unwrap().contains("crc mismatch"));
+        // Truncating at the clean length removes the corruption permanently.
+        truncate_segment(&dir, 1, scan.clean_len).unwrap();
+        let rescan = scan_segment(&dir, 1).unwrap();
+        assert!(rescan.corruption.is_none());
+        assert_eq!(rescan.file_len, clean);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -288,8 +427,8 @@ mod tests {
         let r2 = Record::put(b"b", b"2").unwrap();
         w.append(&r2).unwrap();
         w.sync().unwrap();
-        let (records, _) = scan_segment(&dir, 1).unwrap();
-        assert_eq!(records.len(), 2);
+        let scan = scan_segment(&dir, 1).unwrap();
+        assert_eq!(scan.records.len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

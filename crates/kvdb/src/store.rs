@@ -56,6 +56,71 @@ impl Default for DbOptions {
     }
 }
 
+impl DbOptions {
+    /// Options for a durability-critical deployment: every append run (put, delete or
+    /// `WriteBatch`) is fsynced before the caller is acked, so an acked write survives a crash
+    /// — the configuration the replicated provenance store tier runs its shards under.
+    pub fn durable() -> Self {
+        DbOptions {
+            sync: SyncPolicy::Always,
+            ..Default::default()
+        }
+    }
+}
+
+/// What recovery found in one segment while reopening a database.
+#[derive(Debug, Clone)]
+pub struct SegmentRecovery {
+    /// Segment id.
+    pub segment: u64,
+    /// Records recovered cleanly.
+    pub records: u64,
+    /// Bytes covered by the recovered records.
+    pub clean_bytes: u64,
+    /// Torn or corrupt tail bytes truncated away.
+    pub truncated_bytes: u64,
+    /// Validation failure that ended the scan, if decoding stopped on a corrupt record rather
+    /// than a merely incomplete one.
+    pub corruption: Option<String>,
+}
+
+/// Summary of the log scan performed by [`Db::open_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Per-segment outcomes, in segment-id order.
+    pub segments: Vec<SegmentRecovery>,
+}
+
+impl RecoveryReport {
+    /// Number of segments scanned.
+    pub fn segments_scanned(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total records recovered across all segments.
+    pub fn records_recovered(&self) -> u64 {
+        self.segments.iter().map(|s| s.records).sum()
+    }
+
+    /// Total torn/corrupt bytes truncated across all segments.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.truncated_bytes).sum()
+    }
+
+    /// Segments whose tails had to be truncated.
+    pub fn torn_segments(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.truncated_bytes > 0)
+            .count()
+    }
+
+    /// Whether every segment decoded end to end with nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        self.truncated_bytes() == 0
+    }
+}
+
 pub(crate) struct DbInner {
     pub(crate) dir: PathBuf,
     pub(crate) options: DbOptions,
@@ -65,6 +130,11 @@ pub(crate) struct DbInner {
     /// The active segment writer plus ids of sealed segments.
     pub(crate) log: Mutex<LogState>,
     pub(crate) stats: Mutex<DbStats>,
+    /// What the opening log scan found and repaired.
+    pub(crate) recovery: RecoveryReport,
+    /// Set by the crash-simulation hook; every subsequent operation fails with
+    /// [`DbError::Closed`] until the directory is reopened.
+    pub(crate) crashed: std::sync::atomic::AtomicBool,
 }
 
 pub(crate) struct LogState {
@@ -92,19 +162,27 @@ impl Db {
 
     /// Open (creating if necessary) a database in `dir` with explicit options.
     ///
-    /// Opening replays every segment in id order to rebuild the key index; a torn tail on the
-    /// newest segment is truncated, matching write-ahead-log recovery semantics.
+    /// Opening replays every segment in id order to rebuild the key index. A torn or
+    /// CRC-failing tail on the *newest* segment marks the end of the recoverable log: it is
+    /// truncated on disk and the repair is reported in the [`RecoveryReport`] available
+    /// through [`Db::recovery_report`], matching write-ahead-log recovery semantics. The same
+    /// damage in a *sealed* segment is not a crash artefact (sealed segments were fsynced
+    /// whole before rotation) and fails the open with [`DbError::Corruption`] rather than
+    /// silently discarding acked data that later segments causally build on.
     pub fn open_with(dir: impl AsRef<Path>, options: DbOptions) -> DbResult<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
 
         let mut index = KeyIndex::new();
         let mut stats = DbStats::default();
+        let mut recovery = RecoveryReport::default();
         let ids = segment::list_segments(&dir)?;
         let mut clean_tail = 0u64;
         for &id in &ids {
-            let (records, clean) = segment::scan_segment(&dir, id)?;
-            for (record, ptr) in records {
+            let scan = segment::scan_segment(&dir, id)?;
+            let records_recovered = scan.records.len() as u64;
+            let torn_bytes = scan.torn_bytes();
+            for (record, ptr) in scan.records {
                 stats.appended_bytes += ptr.len as u64;
                 match record.kind {
                     RecordKind::Put => {
@@ -121,7 +199,30 @@ impl Db {
                     }
                 }
             }
-            clean_tail = clean;
+            // Only the newest segment can legitimately end mid-record (a crash mid-append):
+            // its tail is truncated by `open_for_append` below when the writer resumes at the
+            // clean length. A sealed segment was fsynced whole before rotation, so a torn or
+            // CRC-failing record there is damage to acked data — with later segments still
+            // intact, silently truncating it would resurrect a state that never existed
+            // (writes that causally followed the lost ones would survive). Refuse to open
+            // instead of repairing silently.
+            if torn_bytes > 0 && Some(&id) != ids.last() {
+                return Err(DbError::Corruption {
+                    segment: id,
+                    offset: scan.clean_len,
+                    reason: scan.corruption.unwrap_or_else(|| {
+                        "sealed segment ends mid-record; non-tail damage to acked data".into()
+                    }),
+                });
+            }
+            recovery.segments.push(SegmentRecovery {
+                segment: id,
+                records: records_recovered,
+                clean_bytes: scan.clean_len,
+                truncated_bytes: torn_bytes,
+                corruption: scan.corruption,
+            });
+            clean_tail = scan.clean_len;
         }
 
         let (active, sealed) = match ids.last() {
@@ -147,10 +248,38 @@ impl Db {
             cache: Mutex::new(cache),
             log: Mutex::new(LogState { active, sealed }),
             stats: Mutex::new(stats),
+            recovery,
+            crashed: std::sync::atomic::AtomicBool::new(false),
         };
         Ok(Db {
             inner: Arc::new(inner),
         })
+    }
+
+    /// What the opening log scan found and repaired.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.inner.recovery
+    }
+
+    /// Simulate a crash: drop the writer's in-process buffer and truncate the active segment
+    /// back to its last fsync point, exactly as a power loss would discard buffers the OS
+    /// never forced to disk. The handle (and every clone of it) becomes unusable — all
+    /// subsequent operations fail with [`DbError::Closed`] — until the directory is reopened
+    /// with [`Db::open`], whose recovery scan rebuilds the index from what survived.
+    pub fn crash(&self) -> DbResult<()> {
+        self.inner
+            .crashed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let mut log = self.inner.log.lock();
+        log.active.crash_discard_unsynced()?;
+        Ok(())
+    }
+
+    fn check_open(&self) -> DbResult<()> {
+        if self.inner.crashed.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(DbError::Closed);
+        }
+        Ok(())
     }
 
     /// Directory backing this database.
@@ -184,6 +313,7 @@ impl Db {
 
     /// Fetch the value stored under `key`.
     pub fn get(&self, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+        self.check_open()?;
         {
             let mut stats = self.inner.stats.lock();
             stats.gets += 1;
@@ -256,6 +386,7 @@ impl Db {
 
     /// Force all appended data to stable storage.
     pub fn sync(&self) -> DbResult<()> {
+        self.check_open()?;
         self.inner.log.lock().active.sync()
     }
 
@@ -271,10 +402,12 @@ impl Db {
 
     /// Rewrite live records into a fresh segment and delete obsolete segments.
     pub fn compact(&self) -> DbResult<()> {
+        self.check_open()?;
         crate::compaction::compact(self)
     }
 
     fn append_records(&self, records: &[Record]) -> DbResult<()> {
+        self.check_open()?;
         let mut pointers = Vec::with_capacity(records.len());
         {
             let mut log = self.inner.log.lock();
@@ -542,6 +675,152 @@ mod tests {
                 200
             );
         }
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn acked_batch_survives_a_simulated_crash_under_durable_options() {
+        let dir = tempdir("crash-batch");
+        {
+            let db = Db::open_with(&dir, DbOptions::durable()).unwrap();
+            let mut batch = WriteBatch::new();
+            for i in 0..50u32 {
+                batch
+                    .put(
+                        format!("acked-{i:03}").as_bytes(),
+                        format!("v{i}").as_bytes(),
+                    )
+                    .unwrap();
+            }
+            // `write_batch` returning Ok IS the ack: under durable options the batch was
+            // fsynced, so a crash immediately afterwards must lose nothing.
+            db.write_batch(batch).unwrap();
+            db.crash().unwrap();
+            // The crashed handle refuses every further operation.
+            assert!(matches!(db.put(b"late", b"x"), Err(DbError::Closed)));
+            assert!(matches!(db.get(b"acked-000"), Err(DbError::Closed)));
+            assert!(matches!(db.sync(), Err(DbError::Closed)));
+        }
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.len(), 50);
+        for i in 0..50u32 {
+            assert_eq!(
+                db.get(format!("acked-{i:03}").as_bytes()).unwrap().unwrap(),
+                format!("v{i}").as_bytes()
+            );
+        }
+        assert!(db.recovery_report().is_clean());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn unsynced_writes_are_lost_by_a_crash_but_synced_ones_survive() {
+        let dir = tempdir("crash-unsynced");
+        {
+            // Default options: appends are flushed to the OS but not fsynced.
+            let db = Db::open(&dir).unwrap();
+            db.put(b"durable", b"yes").unwrap();
+            db.sync().unwrap();
+            db.put(b"volatile", b"gone").unwrap();
+            db.crash().unwrap();
+        }
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.get(b"durable").unwrap().unwrap(), b"yes");
+        assert!(db.get(b"volatile").unwrap().is_none());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn recovery_report_describes_a_truncated_tail() {
+        use std::io::Write;
+        let dir = tempdir("report");
+        {
+            let db = Db::open(&dir).unwrap();
+            db.put(b"keep", b"me").unwrap();
+            db.sync().unwrap();
+        }
+        // Tear the log by hand: garbage bytes after the last record.
+        let seg = crate::segment::segment_path(&dir, 1);
+        let clean = fs::metadata(&seg).unwrap().len();
+        let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xAB; 7]).unwrap();
+        drop(f);
+        let db = Db::open(&dir).unwrap();
+        let report = db.recovery_report();
+        assert_eq!(report.segments_scanned(), 1);
+        assert_eq!(report.records_recovered(), 1);
+        assert_eq!(report.torn_segments(), 1);
+        assert!(report.truncated_bytes() > 0);
+        assert!(!report.is_clean());
+        assert_eq!(report.segments[0].clean_bytes, clean);
+        assert_eq!(db.get(b"keep").unwrap().unwrap(), b"me");
+        // The torn bytes are gone from disk after the reopen cycle.
+        drop(db);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), clean);
+        let db = Db::open(&dir).unwrap();
+        assert!(db.recovery_report().is_clean());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_refuses_to_open() {
+        use std::io::Write;
+        let dir = tempdir("sealed-corrupt");
+        {
+            // Tiny target so the writes rotate into several sealed segments.
+            let options = DbOptions {
+                segment_target_bytes: 256,
+                ..Default::default()
+            };
+            let db = Db::open_with(&dir, options).unwrap();
+            for i in 0..40u32 {
+                db.put(format!("k{i:03}").as_bytes(), &[9u8; 32]).unwrap();
+            }
+            db.sync().unwrap();
+            assert!(db.stats().segments > 2, "need sealed segments to damage");
+        }
+        // Flip a byte early in the first (sealed) segment.
+        let seg = crate::segment::segment_path(&dir, 1);
+        let mut data = fs::read(&seg).unwrap();
+        data[10] ^= 0xFF;
+        let mut f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.write_all(&data).unwrap();
+        drop(f);
+        match Db::open(&dir) {
+            Err(DbError::Corruption { segment, .. }) => assert_eq!(segment, 1),
+            other => panic!("sealed-segment damage must fail the open, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_corrupt_tail_is_truncated_on_open() {
+        use std::io::Write;
+        let dir = tempdir("crc-open");
+        {
+            let db = Db::open(&dir).unwrap();
+            db.put(b"good", b"value").unwrap();
+            db.sync().unwrap();
+        }
+        // Append a complete record with a flipped payload byte (CRC failure, not a torn tail).
+        let mut bad = Record::put(b"bad", b"payload").unwrap().encode();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let seg = crate::segment::segment_path(&dir, 1);
+        let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&bad).unwrap();
+        drop(f);
+        let db = Db::open(&dir).unwrap();
+        let report = db.recovery_report();
+        assert_eq!(report.torn_segments(), 1);
+        assert!(report.segments[0]
+            .corruption
+            .as_deref()
+            .unwrap()
+            .contains("crc mismatch"));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(b"good").unwrap().unwrap(), b"value");
+        assert!(db.get(b"bad").unwrap().is_none());
         db.destroy().unwrap();
     }
 

@@ -40,6 +40,9 @@ impl std::fmt::Display for BackendError {
 
 impl std::error::Error for BackendError {}
 
+/// `(key, value)` pairs produced by ordered scans.
+pub type ScannedEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// The Provenance Store Interface: ordered key/value storage.
 pub trait StorageBackend: Send + Sync {
     /// Store `value` under `key`, replacing any existing value.
@@ -61,7 +64,7 @@ pub trait StorageBackend: Send + Sync {
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError>;
 
     /// All `(key, value)` pairs whose key starts with `prefix`, in ascending key order.
-    fn scan_prefix_values(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BackendError> {
+    fn scan_prefix_values(&self, prefix: &[u8]) -> Result<ScannedEntries, BackendError> {
         let mut out = Vec::new();
         for key in self.scan_prefix(prefix)? {
             if let Some(value) = self.get(&key)? {
@@ -150,7 +153,7 @@ impl StorageBackend for MemoryBackend {
             .collect())
     }
 
-    fn scan_prefix_values(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BackendError> {
+    fn scan_prefix_values(&self, prefix: &[u8]) -> Result<ScannedEntries, BackendError> {
         let map = self.map.read();
         Ok(map
             .range::<[u8], _>((
@@ -212,7 +215,7 @@ fn encode_hex(bytes: &[u8]) -> String {
 }
 
 fn decode_hex(text: &str) -> Option<Vec<u8>> {
-    if text.len() % 2 != 0 {
+    if !text.len().is_multiple_of(2) {
         return None;
     }
     (0..text.len())
@@ -264,6 +267,9 @@ pub struct KvBackend {
 
 impl KvBackend {
     /// Open (creating if needed) a database backend rooted at `dir`.
+    ///
+    /// Opening runs the database's crash-recovery scan: torn or CRC-failing log tails are
+    /// truncated and the repairs are available through [`KvBackend::recovery_report`].
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, BackendError> {
         let db = Db::open(dir).map_err(|e| BackendError::new(e.to_string()))?;
         Ok(KvBackend { db })
@@ -273,6 +279,18 @@ impl KvBackend {
     pub fn open_with(dir: impl AsRef<Path>, options: DbOptions) -> Result<Self, BackendError> {
         let db = Db::open_with(dir, options).map_err(|e| BackendError::new(e.to_string()))?;
         Ok(KvBackend { db })
+    }
+
+    /// Open with every write fsynced before it is acked ([`DbOptions::durable`]) — the
+    /// configuration a replicated store tier runs its shards under, so an acked batch survives
+    /// a crash.
+    pub fn open_durable(dir: impl AsRef<Path>) -> Result<Self, BackendError> {
+        Self::open_with(dir, DbOptions::durable())
+    }
+
+    /// What the opening log scan found and repaired.
+    pub fn recovery_report(&self) -> &pasoa_kvdb::RecoveryReport {
+        self.db.recovery_report()
     }
 
     /// Access the underlying database (used by maintenance tooling and tests).
@@ -394,6 +412,55 @@ mod tests {
         }
         let backend = KvBackend::open(&dir).unwrap();
         assert_eq!(backend.get(b"a/int2/000").unwrap().unwrap(), b"other");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_kv_backend_survives_a_simulated_crash() {
+        let dir = tempdir("kv-crash");
+        {
+            let backend = KvBackend::open_durable(&dir).unwrap();
+            let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..20)
+                .map(|i| {
+                    (
+                        format!("a/int{i:02}/000").into_bytes(),
+                        format!("assertion-{i}").into_bytes(),
+                    )
+                })
+                .collect();
+            // put_many returning Ok is the ack; durable options fsync before that.
+            backend.put_many(&entries).unwrap();
+            backend.db().crash().unwrap();
+        }
+        let backend = KvBackend::open(&dir).unwrap();
+        assert_eq!(backend.count_prefix(b"a/").unwrap(), 20);
+        assert_eq!(
+            backend.get(b"a/int07/000").unwrap().unwrap(),
+            b"assertion-7"
+        );
+        assert!(backend.recovery_report().is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kv_backend_reopen_reports_torn_tail_repair() {
+        use std::io::Write;
+        let dir = tempdir("kv-torn");
+        {
+            let backend = KvBackend::open(&dir).unwrap();
+            backend.put(b"a/int1/000", b"kept").unwrap();
+            backend.sync().unwrap();
+        }
+        // Tear the shard's log as a crashed host would leave it.
+        let seg = dir.join(format!("seg-{:016}.log", 1));
+        let mut f = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x5A; 11]).unwrap();
+        drop(f);
+        let backend = KvBackend::open(&dir).unwrap();
+        let report = backend.recovery_report();
+        assert_eq!(report.torn_segments(), 1);
+        assert_eq!(report.truncated_bytes(), 11);
+        assert_eq!(backend.get(b"a/int1/000").unwrap().unwrap(), b"kept");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

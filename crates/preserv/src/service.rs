@@ -72,6 +72,14 @@ impl PreservService {
         Self::with_backend(Arc::new(backend))
     }
 
+    /// Create a service over a durably-synced database backend: every acked write is fsynced,
+    /// so the service survives a crash losing nothing it acknowledged. Reopening after a crash
+    /// runs the backend's recovery scan (torn/corrupt log tails are truncated).
+    pub fn with_durable_database_backend(dir: impl AsRef<Path>) -> Result<Self, crate::StoreError> {
+        let backend = KvBackend::open_durable(dir).map_err(crate::StoreError::Backend)?;
+        Self::with_backend(Arc::new(backend))
+    }
+
     /// Override the service name.
     pub fn with_config(mut self, config: ServiceConfig) -> Self {
         self.config = config;

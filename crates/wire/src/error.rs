@@ -14,6 +14,10 @@ pub enum WireError {
     InvalidEnvelope(String),
     /// A message was addressed to a service name that is not registered with the host.
     UnknownService(String),
+    /// The service is registered but currently unreachable (killed by fault injection, or a
+    /// crashed remote host). Unlike [`WireError::Fault`], the request never reached a handler,
+    /// so it is safe to retry against a different replica.
+    ServiceDown(String),
     /// The remote handler failed and returned a fault.
     Fault { service: String, reason: String },
     /// A body payload could not be (de)serialized.
@@ -28,6 +32,7 @@ impl fmt::Display for WireError {
             }
             WireError::InvalidEnvelope(reason) => write!(f, "invalid envelope: {reason}"),
             WireError::UnknownService(name) => write!(f, "unknown service: {name}"),
+            WireError::ServiceDown(name) => write!(f, "service unreachable: {name}"),
             WireError::Fault { service, reason } => {
                 write!(f, "fault from service {service}: {reason}")
             }

@@ -1,0 +1,113 @@
+//! Fault injection: make registered services unreachable on demand.
+//!
+//! The replicated store tier must be proven against shard failures, and the only honest way to
+//! do that is to kill shards mid-workload. A [`FaultInjector`] is a shared handle onto a host's
+//! set of downed service names: while a service is down, every call to it — through a
+//! [`crate::Transport`] or checked explicitly by in-process dispatchers — fails with
+//! [`crate::WireError::ServiceDown`], exactly as a crashed remote host would time out. Reviving
+//! a service models a restart (its in-memory state is whatever survived, which for a killed
+//! shard is decided by the storage layer's recovery, not by this layer).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A shared handle for downing and reviving services on one host.
+///
+/// Cheap to clone; clones share state. Obtain the host's injector via
+/// [`crate::ServiceHost::fault_injector`].
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    down: Arc<RwLock<HashSet<String>>>,
+    /// Bumped on every kill/revive so observers can cache "nothing changed since I last
+    /// looked" instead of rescanning the fault set on every message.
+    epoch: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("down", &self.downed())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Create an injector with no faults active.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make `service` unreachable until revived. Idempotent; returns whether the service was
+    /// previously up.
+    pub fn kill(&self, service: impl Into<String>) -> bool {
+        let inserted = self.down.write().insert(service.into());
+        if inserted {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        inserted
+    }
+
+    /// Make `service` reachable again. Returns whether it was down.
+    pub fn revive(&self, service: &str) -> bool {
+        let removed = self.down.write().remove(service);
+        if removed {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        removed
+    }
+
+    /// A counter bumped on every effective kill or revive. Observers that handled everything
+    /// up to a given epoch can skip rescanning until it changes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether `service` is currently unreachable.
+    pub fn is_down(&self, service: &str) -> bool {
+        self.down.read().contains(service)
+    }
+
+    /// Names of currently downed services, sorted.
+    pub fn downed(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.down.read().iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Whether any fault is active.
+    pub fn any_down(&self) -> bool {
+        !self.down.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_revive_cycle() {
+        let injector = FaultInjector::new();
+        assert!(!injector.is_down("shard-0"));
+        assert!(injector.kill("shard-0"));
+        assert!(!injector.kill("shard-0"), "second kill is a no-op");
+        assert!(injector.is_down("shard-0"));
+        assert!(injector.any_down());
+        assert_eq!(injector.downed(), vec!["shard-0".to_string()]);
+        assert!(injector.revive("shard-0"));
+        assert!(!injector.revive("shard-0"));
+        assert!(!injector.any_down());
+    }
+
+    #[test]
+    fn clones_share_fault_state() {
+        let a = FaultInjector::new();
+        let b = a.clone();
+        a.kill("svc");
+        assert!(b.is_down("svc"));
+        b.revive("svc");
+        assert!(!a.is_down("svc"));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod clock;
 pub mod envelope;
 pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod transport;
 pub mod xml;
@@ -29,6 +30,7 @@ pub mod xml;
 pub use clock::SimClock;
 pub use envelope::{Envelope, Header};
 pub use error::{WireError, WireResult};
+pub use fault::FaultInjector;
 pub use latency::{LatencyModel, NetworkProfile};
 pub use transport::{
     LatencyMode, MessageHandler, ServiceHost, Transport, TransportConfig, TransportStats,

@@ -112,11 +112,10 @@ impl TransportStats {
 
     /// Mean modelled round-trip time per call.
     pub fn mean_round_trip(&self) -> Duration {
-        if self.calls == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.modelled_nanos / self.calls)
-        }
+        self.modelled_nanos
+            .checked_div(self.calls)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO)
     }
 }
 
@@ -127,6 +126,8 @@ pub struct ServiceHost {
     /// Calls dispatched per service name, across every transport bound to this host. The
     /// cluster tier reads these to report how evenly the shard router spreads load.
     dispatch: Arc<Mutex<HashMap<String, u64>>>,
+    /// Shared fault state: services listed here are unreachable until revived.
+    faults: crate::fault::FaultInjector,
 }
 
 impl std::fmt::Debug for ServiceHost {
@@ -191,6 +192,12 @@ impl ServiceHost {
         self.dispatch.lock().clear();
     }
 
+    /// The host's fault injector: kill a service to make it unreachable, revive it to model a
+    /// restart. Every transport bound to this host observes the same faults.
+    pub fn fault_injector(&self) -> crate::fault::FaultInjector {
+        self.faults.clone()
+    }
+
     /// Create a client transport bound to this host.
     pub fn transport(&self, config: TransportConfig) -> Transport {
         Transport {
@@ -250,6 +257,10 @@ impl Transport {
                 return Err(WireError::UnknownService(service_name));
             }
         };
+        if self.host.faults.is_down(&service_name) {
+            self.stats.lock().failures += 1;
+            return Err(WireError::ServiceDown(service_name));
+        }
         self.host.note_dispatch(&service_name);
 
         let response = match handler.handle(decoded_request) {
@@ -444,6 +455,23 @@ mod tests {
         assert_eq!(a.clock().elapsed(), b.clock().elapsed());
         a.reset_stats();
         assert_eq!(b.stats().calls, 0);
+    }
+
+    #[test]
+    fn killed_service_is_unreachable_until_revived() {
+        let host = host_with_echo();
+        let transport = host.transport(TransportConfig::free());
+        host.fault_injector().kill("echo");
+        let err = transport
+            .call(Envelope::request("echo", "ping"))
+            .unwrap_err();
+        assert!(matches!(err, WireError::ServiceDown(name) if name == "echo"));
+        assert_eq!(transport.stats().failures, 1);
+        // A downed service is not dispatched to (no counter increment).
+        assert!(host.dispatch_counts().is_empty());
+        host.fault_injector().revive("echo");
+        transport.call(Envelope::request("echo", "ping")).unwrap();
+        assert_eq!(transport.stats().calls, 1);
     }
 
     #[test]

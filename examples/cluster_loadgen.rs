@@ -1,14 +1,18 @@
-//! Drive the sharded provenance store tier with many concurrent recorders, then grow it.
+//! Drive the sharded provenance store tier with many concurrent recorders, grow it, then
+//! kill a shard mid-workload to show the replicated tier riding through the failure.
 //!
 //! ```sh
 //! cargo run --release --example cluster_loadgen
 //! ```
 //!
 //! Deploys a 4-shard in-memory cluster behind the shard router, hammers it with 8 concurrent
-//! clients recording batched p-assertions, prints the throughput/latency report, then adds two
-//! shards (the elasticity path) and runs a second wave to show rebalancing in action.
+//! clients recording batched p-assertions, prints the throughput/latency report, adds two
+//! shards (the elasticity path) and runs a second wave to show rebalancing in action — then
+//! deploys a replication-factor-2 cluster and uses the load generator's fault plan to kill a
+//! shard in the middle of a third wave: zero client failures, one failover, and every acked
+//! p-assertion still answerable.
 
-use pasoa::cluster::{LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa::cluster::{FaultPlan, LoadGenConfig, LoadGenerator, PreservCluster};
 use pasoa::wire::ServiceHost;
 
 fn main() {
@@ -56,4 +60,47 @@ fn main() {
             store.statistics().total_passertions()
         );
     }
+
+    println!("\n== fault tolerance: replicated tier (R=2), killing a shard mid-wave ==");
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_replicated(&host, 4, 2).expect("replicated deploy");
+    let victim = cluster.router().shard_names()[1].clone();
+    let generator = LoadGenerator::new(
+        host.clone(),
+        LoadGenConfig {
+            clients: 8,
+            sessions_per_client: 4,
+            assertions_per_session: 64,
+            batch_size: 16,
+            payload_bytes: 128,
+            faults: vec![FaultPlan {
+                service: victim,
+                after_messages: 64,
+            }],
+            ..Default::default()
+        },
+    );
+    let report = generator.run();
+    print!("{report}");
+    let stats = cluster.statistics().expect("statistics");
+    let router = cluster.router().stats();
+    println!(
+        "p-assertions held : {} (all acked work survived)",
+        stats.total_passertions()
+    );
+    println!(
+        "failovers {}  sessions promoted {}  live shards {:?}",
+        router.failovers,
+        router.sessions_promoted,
+        cluster.router().live_shards()
+    );
+    assert_eq!(
+        report.failures, 0,
+        "the kill must stay invisible to clients"
+    );
+    assert_eq!(
+        stats.total_passertions(),
+        report.total_assertions,
+        "every acked p-assertion must be queryable after the failover"
+    );
 }

@@ -2,8 +2,9 @@
 //! 4-shard cluster must be indistinguishable — to every query a reasoner can pose — from the
 //! same run recorded against the paper's single store.
 
-use pasoa::cluster::{LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa::cluster::{FaultPlan, LoadGenConfig, LoadGenerator, PreservCluster};
 use pasoa::experiment::{ExperimentConfig, ExperimentRunner, RunRecording, StoreDeployment};
+use pasoa::model::ids::SessionId;
 use pasoa::model::prep::{PrepMessage, QueryRequest, QueryResponse};
 use pasoa::wire::{Envelope, NetworkProfile, ServiceHost, TransportConfig};
 
@@ -139,6 +140,119 @@ fn figure4_runs_against_the_sharded_deployment() {
     assert!(
         series.mean_comm_seconds(RunRecording::Synchronous.label())
             > series.mean_comm_seconds(RunRecording::Asynchronous.label())
+    );
+}
+
+/// The acceptance test for the fault-tolerant tier: with replication factor 2, killing any
+/// single shard in the middle of a concurrent recording workload loses zero acked
+/// p-assertions, produces zero client-visible failures, and leaves every scatter-gather query
+/// and lineage answer identical to a fault-free run of the same workload.
+#[test]
+fn killing_a_shard_mid_workload_preserves_every_acked_assertion() {
+    const CLIENTS: usize = 4;
+    const SESSIONS: usize = 3;
+    let load = |faults: Vec<FaultPlan>| LoadGenConfig {
+        clients: CLIENTS,
+        sessions_per_client: SESSIONS,
+        assertions_per_session: 40,
+        batch_size: 8,
+        payload_bytes: 64,
+        faults,
+        ..Default::default()
+    };
+
+    // Fault-free reference run of the identical workload.
+    let reference_host = ServiceHost::new();
+    let reference = PreservCluster::deploy_replicated(&reference_host, 4, 2).unwrap();
+    let reference_report = LoadGenerator::new(reference_host.clone(), load(vec![])).run();
+    assert_eq!(reference_report.failures, 0);
+
+    // Faulted run: shard 1 dies after 30 record messages, mid-workload.
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_replicated(&host, 4, 2).unwrap();
+    let victim = cluster.router().shard_names()[1].clone();
+    let report = LoadGenerator::new(
+        host.clone(),
+        load(vec![FaultPlan {
+            service: victim.clone(),
+            after_messages: 30,
+        }]),
+    )
+    .run();
+
+    assert_eq!(report.faults_injected, vec![victim]);
+    assert_eq!(
+        report.failures, 0,
+        "the kill must be invisible to recording clients"
+    );
+    assert_eq!(report.total_assertions, reference_report.total_assertions);
+
+    let stats = cluster.router().stats();
+    assert_eq!(stats.failovers, 1);
+    assert_eq!(cluster.router().live_shards().len(), 3);
+
+    // Scatter-gather answers match the fault-free run exactly.
+    assert_eq!(
+        cluster.statistics().unwrap(),
+        reference.statistics().unwrap()
+    );
+    assert_eq!(
+        cluster.list_interactions(None).unwrap(),
+        reference.list_interactions(None).unwrap()
+    );
+    for client in 0..CLIENTS {
+        for s in 0..SESSIONS {
+            let session = SessionId::new(format!("session:load:w0:c{client}:s{s}"));
+            assert_eq!(
+                cluster.assertions_for_session(&session).unwrap(),
+                reference.assertions_for_session(&session).unwrap(),
+                "session {session:?} diverged from the fault-free run"
+            );
+            assert_eq!(
+                cluster.lineage_session(&session).unwrap(),
+                reference.lineage_session(&session).unwrap()
+            );
+        }
+    }
+}
+
+/// A full Figure-1 experiment recorded through the replicated deployment is indistinguishable
+/// from the paper's single store, exactly as PR 1 proved for the unreplicated cluster.
+#[test]
+fn experiment_through_replicated_cluster_matches_single_store() {
+    let single = ExperimentRunner::new(StoreDeployment::in_memory(
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+    let replicated = ExperimentRunner::new(StoreDeployment::replicated(
+        4,
+        2,
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+
+    let config = serial_config(RunRecording::Synchronous);
+    let single_report = single.run(&config);
+    let replicated_report = replicated.run(&config);
+
+    assert_eq!(single_report.session, replicated_report.session);
+    assert_eq!(single_report.passertions, replicated_report.passertions);
+    assert_eq!(single_report.sizes, replicated_report.sizes);
+    assert_eq!(
+        single
+            .deployment()
+            .store_handle()
+            .assertions_for_session(&single_report.session)
+            .unwrap(),
+        replicated
+            .deployment()
+            .store_handle()
+            .assertions_for_session(&replicated_report.session)
+            .unwrap()
+    );
+    assert_eq!(
+        single.deployment().store_handle().statistics().unwrap(),
+        replicated.deployment().store_handle().statistics().unwrap()
     );
 }
 
