@@ -12,103 +12,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use pasoa_cluster::{LoadGenConfig, LoadGenerator, PreservCluster};
-use pasoa_preserv::PreservService;
-use pasoa_wire::ServiceHost;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-const CLIENTS: usize = 8;
-
-static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// A unique scratch directory, removed on drop.
-struct TempDirGuard {
-    path: PathBuf,
-}
-
-impl TempDirGuard {
-    fn new(tag: &str) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "pasoa-bench-cluster-{tag}-{}-{}",
-            std::process::id(),
-            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _ = std::fs::remove_dir_all(&path);
-        TempDirGuard { path }
-    }
-}
-
-impl Drop for TempDirGuard {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.path);
-    }
-}
-
-fn single_host(database: bool) -> (ServiceHost, Option<TempDirGuard>) {
-    let host = ServiceHost::new();
-    if database {
-        let guard = TempDirGuard::new("single");
-        let service = Arc::new(PreservService::with_database_backend(&guard.path).unwrap());
-        service.register(&host);
-        (host, Some(guard))
-    } else {
-        let service = Arc::new(PreservService::in_memory().unwrap());
-        service.register(&host);
-        (host, None)
-    }
-}
-
-fn cluster_host(shards: usize, database: bool) -> (ServiceHost, Option<TempDirGuard>) {
-    let host = ServiceHost::new();
-    if database {
-        let guard = TempDirGuard::new("cluster");
-        let _cluster = PreservCluster::deploy_database(&host, &guard.path, shards).unwrap();
-        (host, Some(guard))
-    } else {
-        let _cluster = PreservCluster::deploy_in_memory(&host, shards).unwrap();
-        (host, None)
-    }
-}
-
-fn replicated_host(
-    shards: usize,
-    replication: usize,
-    database: bool,
-) -> (ServiceHost, Option<TempDirGuard>) {
-    let host = ServiceHost::new();
-    if database {
-        let guard = TempDirGuard::new("replicated");
-        let dir = guard.path.clone();
-        let _cluster = PreservCluster::deploy_with(
-            &host,
-            pasoa_cluster::ClusterConfig::replicated(shards, replication),
-            move |shard| {
-                let backend =
-                    pasoa_preserv::KvBackend::open_durable(dir.join(format!("shard-{shard}")))
-                        .map_err(pasoa_preserv::StoreError::Backend)?;
-                Ok(std::sync::Arc::new(backend) as _)
-            },
-        )
-        .unwrap();
-        (host, Some(guard))
-    } else {
-        let _cluster = PreservCluster::deploy_replicated(&host, shards, replication).unwrap();
-        (host, None)
-    }
-}
-
-fn load_config(batch_size: usize) -> LoadGenConfig {
-    LoadGenConfig {
-        clients: CLIENTS,
-        sessions_per_client: 2,
-        assertions_per_session: 64,
-        batch_size,
-        payload_bytes: 128,
-        ..Default::default()
-    }
-}
+use pasoa_bench::cluster_setup::{
+    cluster_host, load_config, replicated_host, single_host, CLIENTS,
+};
+use pasoa_cluster::LoadGenerator;
 
 fn bench_cluster_throughput(c: &mut Criterion) {
     for (backend, database) in [("memory", false), ("database", true)] {
@@ -134,7 +41,7 @@ fn bench_cluster_throughput(c: &mut Criterion) {
         }
 
         // The durability tax, measured not guessed: same sharded deployment with replication
-        // factor 2 (every batch committed on a primary plus one replica hold, quorum-acked;
+        // factor 2 (every batch committed on a primary plus one replica hold before the ack;
         // durable fsync-per-batch shards on the database backend).
         for shards in [4usize, 8] {
             group.bench_function(BenchmarkId::new("replicated_r2_batched", shards), |b| {

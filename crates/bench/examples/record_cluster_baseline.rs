@@ -7,46 +7,16 @@
 //! Runs the same three database-backed deployments the `cluster_throughput` bench compares —
 //! single synchronous store, 4-shard batched cluster, 4-shard replicated (R=2, durable fsync
 //! shards) cluster — once each with 8 concurrent recorders, and writes the results as JSON so
-//! future PRs have a perf trajectory to compare against instead of a guess.
+//! future PRs have a perf trajectory to compare against instead of a guess. Deployments and
+//! workload come from [`pasoa_bench::cluster_setup`], shared with the bench, so the baseline
+//! measures exactly what the bench measures.
 
-use std::path::PathBuf;
-use std::sync::Arc;
-
-use pasoa_cluster::{ClusterConfig, LoadGenConfig, LoadGenerator, PreservCluster};
-use pasoa_preserv::{KvBackend, PreservService, StoreError};
+use pasoa_bench::cluster_setup::{
+    cluster_host, load_config, replicated_host, single_host, CLIENTS,
+};
+use pasoa_cluster::LoadGenerator;
 use pasoa_wire::ServiceHost;
-
-const CLIENTS: usize = 8;
-
-struct TempDirGuard {
-    path: PathBuf,
-}
-
-impl TempDirGuard {
-    fn new(tag: &str) -> Self {
-        let path =
-            std::env::temp_dir().join(format!("pasoa-baseline-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&path);
-        TempDirGuard { path }
-    }
-}
-
-impl Drop for TempDirGuard {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.path);
-    }
-}
-
-fn load_config(batch_size: usize) -> LoadGenConfig {
-    LoadGenConfig {
-        clients: CLIENTS,
-        sessions_per_client: 2,
-        assertions_per_session: 64,
-        batch_size,
-        payload_bytes: 128,
-        ..Default::default()
-    }
-}
+use serde_json::json;
 
 struct Measurement {
     name: &'static str,
@@ -70,68 +40,60 @@ fn measure(name: &'static str, host: ServiceHost, batch_size: usize) -> Measurem
     }
 }
 
+fn round1(value: f64) -> f64 {
+    (value * 10.0).round() / 10.0
+}
+
+/// Ratios keep three decimals: a one-decimal ratio would round the replication tax (e.g.
+/// 0.957) up to "free", hiding exactly the trajectory this baseline exists to track.
+fn round3(value: f64) -> f64 {
+    (value * 1000.0).round() / 1000.0
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_cluster.json".to_string());
 
     let single = {
-        let guard = TempDirGuard::new("single");
-        let host = ServiceHost::new();
-        let service = Arc::new(PreservService::with_database_backend(&guard.path).unwrap());
-        service.register(&host);
+        let (host, _guard) = single_host(true);
         measure("single_store_synchronous", host, 1)
     };
     let sharded = {
-        let guard = TempDirGuard::new("sharded");
-        let host = ServiceHost::new();
-        let _cluster = PreservCluster::deploy_database(&host, &guard.path, 4).unwrap();
+        let (host, _guard) = cluster_host(4, true);
         measure("sharded_4_batched", host, 16)
     };
     let replicated = {
-        let guard = TempDirGuard::new("replicated");
-        let host = ServiceHost::new();
-        let dir = guard.path.clone();
-        let _cluster =
-            PreservCluster::deploy_with(&host, ClusterConfig::replicated(4, 2), move |shard| {
-                let backend = KvBackend::open_durable(dir.join(format!("shard-{shard}")))
-                    .map_err(StoreError::Backend)?;
-                Ok(Arc::new(backend) as _)
-            })
-            .unwrap();
+        let (host, _guard) = replicated_host(4, 2, true);
         measure("replicated_4_r2_durable", host, 16)
     };
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"cluster_throughput\",\n");
-    json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
-    json.push_str("  \"backend\": \"database\",\n  \"deployments\": {\n");
-    let rows = [&single, &sharded, &replicated];
-    for (i, m) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": {{ \"throughput_per_sec\": {:.0}, \"latency_p50_us\": {:.1}, \
-             \"latency_p99_us\": {:.1} }}{}\n",
-            m.name,
-            m.throughput_per_sec,
-            m.latency_p50_us,
-            m.latency_p99_us,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    let mut deployments = serde_json::Map::new();
+    for m in [&single, &sharded, &replicated] {
+        deployments.insert(
+            m.name.to_string(),
+            json!({
+                "throughput_per_sec": m.throughput_per_sec.round(),
+                "latency_p50_us": round1(m.latency_p50_us),
+                "latency_p99_us": round1(m.latency_p99_us),
+            }),
+        );
     }
-    json.push_str("  },\n");
-    json.push_str(&format!(
-        "  \"speedup_sharded_vs_single\": {:.2},\n",
-        sharded.throughput_per_sec / single.throughput_per_sec.max(1e-9)
-    ));
-    json.push_str(&format!(
-        "  \"speedup_replicated_vs_single\": {:.2},\n",
-        replicated.throughput_per_sec / single.throughput_per_sec.max(1e-9)
-    ));
-    json.push_str(&format!(
-        "  \"replication_cost_vs_sharded\": {:.2}\n",
-        replicated.throughput_per_sec / sharded.throughput_per_sec.max(1e-9)
-    ));
-    json.push_str("}\n");
+    let floor = |v: f64| v.max(1e-9);
+    let baseline = json!({
+        "bench": "cluster_throughput",
+        "clients": CLIENTS,
+        "backend": "database",
+        "deployments": serde_json::Value::Object(deployments),
+        "speedup_sharded_vs_single":
+            round3(sharded.throughput_per_sec / floor(single.throughput_per_sec)),
+        "speedup_replicated_vs_single":
+            round3(replicated.throughput_per_sec / floor(single.throughput_per_sec)),
+        "replication_cost_vs_sharded":
+            round3(replicated.throughput_per_sec / floor(sharded.throughput_per_sec)),
+    });
+    let mut json = serde_json::to_string(&baseline).expect("serialize baseline");
+    json.push('\n');
     std::fs::write(&output, json).expect("write baseline json");
     println!("baseline written to {output}");
 }

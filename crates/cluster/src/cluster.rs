@@ -211,8 +211,9 @@ impl PreservCluster {
         Ok(name)
     }
 
-    /// Flush every buffered batch down to the shards. On failure the error names the affected
-    /// sessions (see [`crate::router::FlushError`]) so callers can retry selectively.
+    /// Flush every buffered batch down to the shards. On failure the error is
+    /// [`StoreError::Unavailable`], carrying the affected session ids as structured data so
+    /// callers can retry selectively.
     pub fn flush(&self) -> Result<(), StoreError> {
         self.router.flush().map_err(flush_to_store)
     }
@@ -225,6 +226,9 @@ impl PreservCluster {
         session: &SessionId,
     ) -> Result<Vec<RecordedAssertion>, StoreError> {
         self.flush()?;
+        // Gathers hold the router's failover lock shared so a concurrent promotion cannot
+        // replay a dying shard's data into a successor mid-iteration (which would double it).
+        let _gather = self.router.gather_guard();
         let per_shard = self
             .live_stores()
             .iter()
@@ -236,6 +240,7 @@ impl PreservCluster {
     /// Merged statistics across every live shard.
     pub fn statistics(&self) -> Result<StoreStatistics, StoreError> {
         self.flush()?;
+        let _gather = self.router.gather_guard();
         Ok(merge::merge_statistics(
             self.live_stores()
                 .iter()
@@ -247,6 +252,7 @@ impl PreservCluster {
     /// Groups of a kind across every live shard, in single-store key order.
     pub fn groups_by_kind(&self, kind: &str) -> Result<Vec<Group>, StoreError> {
         self.flush()?;
+        let _gather = self.router.gather_guard();
         let per_shard = self
             .live_stores()
             .iter()
@@ -261,6 +267,7 @@ impl PreservCluster {
         limit: Option<usize>,
     ) -> Result<Vec<pasoa_core::ids::InteractionKey>, StoreError> {
         self.flush()?;
+        let _gather = self.router.gather_guard();
         let per_shard = self
             .live_stores()
             .iter()
@@ -273,6 +280,7 @@ impl PreservCluster {
     /// shard, thanks to session co-location).
     pub fn lineage_session(&self, session: &SessionId) -> Result<LineageGraph, StoreError> {
         self.flush()?;
+        let _gather = self.router.gather_guard();
         let per_shard = self
             .live_stores()
             .iter()
@@ -287,7 +295,10 @@ fn wire_to_store(error: pasoa_wire::WireError) -> StoreError {
 }
 
 fn flush_to_store(error: crate::router::FlushError) -> StoreError {
-    StoreError::Corrupt(format!("cluster flush failure: {error}"))
+    StoreError::Unavailable {
+        reason: error.error.to_string(),
+        failed_sessions: error.failed_sessions,
+    }
 }
 
 /// Uniform query access over a single store or a cluster — what the experiment harness hands

@@ -406,6 +406,84 @@ mod tests {
         }
     }
 
+    /// Regression: replica holds must follow the ring when it changes. Flushed, replicated
+    /// history was copied to the OLD ring's successors, but failover replays only the NEW
+    /// ring's first live successor's hold — so `add_shard` must migrate the held copies, or
+    /// killing a pre-rebalance primary finds an empty hold and silently loses acked, flushed,
+    /// replicated p-assertions.
+    #[test]
+    fn flushed_replicated_data_survives_a_primary_kill_after_a_rebalance() {
+        // Few virtual nodes so that adding two shards demonstrably moves several shards'
+        // first ring successor — the promotion target. (With the default 64 vnodes this
+        // particular rebalance happens to leave every promotion target in place, which would
+        // make the test vacuous.) Guard against hash changes re-introducing vacuity:
+        const VNODES: usize = 8;
+        let old_ring = HashRing::with_shards(4, VNODES);
+        let mut new_ring = old_ring.clone();
+        new_ring.add_shard();
+        new_ring.add_shard();
+        let moved = (0..4)
+            .filter(|&s| old_ring.successors_of_shard(s)[0] != new_ring.successors_of_shard(s)[0])
+            .count();
+        assert!(
+            moved > 0,
+            "vacuous test: the rebalance moved no promotion target"
+        );
+
+        for victim in 0..4usize {
+            let host = ServiceHost::new();
+            let cluster = PreservCluster::deploy_with(
+                &host,
+                ClusterConfig {
+                    shards: 4,
+                    virtual_nodes: VNODES,
+                    replication: 2,
+                    ..Default::default()
+                },
+                |_| Ok(Arc::new(pasoa_preserv::MemoryBackend::new()) as _),
+            )
+            .unwrap();
+            let reference_host = ServiceHost::new();
+            let reference = PreservCluster::deploy_in_memory(&reference_host, 4).unwrap();
+
+            // Fully flushed and replicated BEFORE the ring changes: every copy sits in a
+            // replica hold placed by the old ring.
+            let sessions = record_workload(&host, 10, 10);
+            record_workload(&reference_host, 10, 10);
+            cluster.flush().unwrap();
+
+            // Rebalance (twice, to reshuffle successor orders), then kill the old primary
+            // with nothing buffered — recovery can only come from a replica hold.
+            cluster.add_shard().unwrap();
+            cluster.add_shard().unwrap();
+            let victim_name = cluster.router().shard_names()[victim].clone();
+            host.fault_injector().kill(victim_name);
+
+            for session in &sessions {
+                assert_eq!(
+                    cluster.assertions_for_session(session).unwrap(),
+                    reference.assertions_for_session(session).unwrap(),
+                    "flushed session lost after rebalance + kill of shard {victim}"
+                );
+            }
+            assert_eq!(
+                cluster.groups_by_kind("session").unwrap(),
+                reference.groups_by_kind("session").unwrap(),
+                "registered groups lost after rebalance + kill of shard {victim}"
+            );
+            assert_eq!(
+                cluster.list_interactions(None).unwrap(),
+                reference.list_interactions(None).unwrap()
+            );
+            assert_eq!(
+                cluster.statistics().unwrap(),
+                reference.statistics().unwrap(),
+                "statistics diverged after rebalance + kill of shard {victim}"
+            );
+            assert_eq!(cluster.router().stats().failovers, 1);
+        }
+    }
+
     /// Regression: after a rebalance every routed session is memoized into the pin map. A
     /// session whose only data is still buffered (never flushed, so no replica hold exists)
     /// must not stay pinned to its shard when that shard dies — the stale pin would route the
@@ -439,6 +517,131 @@ mod tests {
         // Recording continues against the new owner without loss.
         recorder.record(assertion(session.as_str(), 1)).unwrap();
         assert_eq!(cluster.assertions_for_session(&session).unwrap().len(), 2);
+    }
+
+    /// A memory backend whose writes can be made to fail on demand — the model of a promotion
+    /// target whose store errors mid-replay.
+    struct FlakyBackend {
+        inner: pasoa_preserv::MemoryBackend,
+        fail_writes: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyBackend {
+        fn new() -> Self {
+            FlakyBackend {
+                inner: pasoa_preserv::MemoryBackend::new(),
+                fail_writes: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+
+        fn set_failing(&self, failing: bool) {
+            self.fail_writes
+                .store(failing, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        fn check(&self) -> Result<(), pasoa_preserv::backend::BackendError> {
+            if self.fail_writes.load(std::sync::atomic::Ordering::SeqCst) {
+                Err(pasoa_preserv::backend::BackendError::new(
+                    "injected write failure",
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl pasoa_preserv::StorageBackend for FlakyBackend {
+        fn put(
+            &self,
+            key: &[u8],
+            value: &[u8],
+        ) -> Result<(), pasoa_preserv::backend::BackendError> {
+            self.check()?;
+            self.inner.put(key, value)
+        }
+
+        fn put_many(
+            &self,
+            entries: &[(Vec<u8>, Vec<u8>)],
+        ) -> Result<(), pasoa_preserv::backend::BackendError> {
+            self.check()?;
+            self.inner.put_many(entries)
+        }
+
+        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, pasoa_preserv::backend::BackendError> {
+            self.inner.get(key)
+        }
+
+        fn scan_prefix(
+            &self,
+            prefix: &[u8],
+        ) -> Result<Vec<Vec<u8>>, pasoa_preserv::backend::BackendError> {
+            self.inner.scan_prefix(prefix)
+        }
+
+        fn kind(&self) -> pasoa_preserv::BackendKind {
+            self.inner.kind()
+        }
+    }
+
+    /// Regression: a promotion replay that fails (target store error) must not silently drop
+    /// the acked data. The copy stays in the hold, queries fail loudly naming the session, and
+    /// the next flush retries the replay until it lands.
+    #[test]
+    fn failed_promotion_replay_is_retried_instead_of_silently_dropped() {
+        let host = ServiceHost::new();
+        let backends: Vec<Arc<FlakyBackend>> =
+            (0..3).map(|_| Arc::new(FlakyBackend::new())).collect();
+        let cluster = {
+            let backends = backends.clone();
+            PreservCluster::deploy_with(
+                &host,
+                ClusterConfig {
+                    shards: 3,
+                    replication: 2,
+                    ..Default::default()
+                },
+                move |shard| Ok(Arc::clone(&backends[shard]) as _),
+            )
+            .unwrap()
+        };
+
+        // Flushed, replicated history for one session; its copy sits in the hold of the
+        // victim's first live ring successor — the promotion target.
+        let session = SessionId::new("session:flaky-replay");
+        let victim = cluster.router().shard_for_session(session.as_str());
+        let ring = HashRing::with_shards(3, RouterConfig::default().virtual_nodes);
+        let target = ring.successors_of_shard(victim)[0];
+        let recorder = SyncRecorder::new(
+            session.clone(),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("flaky"),
+        );
+        for i in 0..6 {
+            recorder.record(assertion(session.as_str(), i)).unwrap();
+        }
+        cluster.flush().unwrap();
+
+        // The target's store starts failing writes, then the primary dies: promotion replay
+        // fails, and every query must error (naming the session) rather than answer without
+        // the acked data.
+        backends[target].set_failing(true);
+        host.fault_injector()
+            .kill(cluster.router().shard_names()[victim].clone());
+        match cluster.assertions_for_session(&session) {
+            Err(pasoa_preserv::StoreError::Unavailable {
+                failed_sessions, ..
+            }) => assert_eq!(failed_sessions, vec![session.as_str().to_string()]),
+            other => panic!("query during a stranded replay must fail loudly, got {other:?}"),
+        }
+
+        // Once the target heals, the next flush retries the replay and the acked data is
+        // fully queryable again.
+        backends[target].set_failing(false);
+        assert_eq!(cluster.assertions_for_session(&session).unwrap().len(), 6);
+        assert!(cluster.router().is_alive(target));
+        assert!(!cluster.router().is_alive(victim));
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //!
 //! With [`RouterConfig::replication`] R > 1 the router is synchronously replicated: every
 //! flushed batch commits on the session's primary shard and is then copied into the replica
-//! holds of the primary's first R−1 live ring successors, and the flush is acked only once a
-//! quorum (⌈(R+1)/2⌉) of copies exists. Replica holds are shadow copies invisible to queries,
+//! holds of the primary's first R−1 live ring successors before the flush is acked, so an
+//! acked flush holds min(R, live shards) copies. Replication is best-effort under
+//! degradation: with fewer than R live shards the ack carries fewer copies (down to the
+//! primary's alone) rather than failing the flush — the tier tolerates any *single* shard
+//! loss as long as two shards were live when the batch was acked. Replica holds are shadow
+//! copies invisible to queries,
 //! so scatter-gather still sees each p-assertion exactly once. When a shard becomes
 //! unreachable (killed through the wire layer's [`pasoa_wire::FaultInjector`], as a crashed
 //! host would be), the router detects it on the next touch, marks it dead, and *promotes*: the
@@ -208,12 +212,14 @@ impl ReplicaHold {
         (taken, taken_groups)
     }
 
-    /// Put a session's assertions back (promotion replay failed; keep the copy for a retry).
+    /// Insert a session's complete assertion history for `primary`, replacing any existing
+    /// entry. Used to put a copy back after a failed promotion replay, and to re-seed a hold
+    /// when a rebalance moves the replica placement.
     fn restore(&self, primary: usize, session: String, assertions: Vec<RecordedAssertion>) {
         self.sessions.lock().insert(session, (primary, assertions));
     }
 
-    /// Put a group back (promotion replay failed; keep the copy for a retry).
+    /// Append a group copy for `primary` (failed-replay restore or rebalance re-seeding).
     fn restore_group(&self, primary: usize, group: Group) {
         self.groups.lock().push((primary, group));
     }
@@ -249,11 +255,17 @@ pub struct ShardRouter {
     /// across its flush send, so batches destined for one shard commit in buffer order —
     /// without serialising flushes of *different* shards against each other.
     buffers: RwLock<Vec<Arc<Mutex<Vec<RecordedAssertion>>>>>,
-    /// Serializes failure handling so one dead shard is promoted exactly once.
-    failover: Mutex<()>,
+    /// Serializes failure handling (exclusive) against in-flight replicated sends (shared):
+    /// one dead shard is promoted exactly once, and never in the window between a batch's
+    /// primary commit and its replica-hold append — a promotion interleaving there would take
+    /// the hold before the copy lands, stranding an acked batch on the dead shard's store.
+    failover: RwLock<()>,
     /// Last fault-injector epoch whose kills have been fully handled; while the injector's
     /// epoch equals this, failure scans are skipped entirely (one atomic load per message).
     handled_fault_epoch: std::sync::atomic::AtomicU64,
+    /// Dead shards whose promotion replay failed (target store error); their hold copies are
+    /// preserved and `flush` retries the replay until it succeeds.
+    pending_replays: Mutex<std::collections::BTreeSet<usize>>,
     ids: IdGenerator,
     stats: Mutex<RouterStats>,
 }
@@ -300,8 +312,9 @@ impl ShardRouter {
                 pinned: HashMap::new(),
             }),
             buffers: RwLock::new(buffers),
-            failover: Mutex::new(()),
+            failover: RwLock::new(()),
             handled_fault_epoch: std::sync::atomic::AtomicU64::new(0),
+            pending_replays: Mutex::new(std::collections::BTreeSet::new()),
             ids: IdGenerator::new("shard-router"),
             stats: Mutex::new(RouterStats::default()),
         }
@@ -379,11 +392,15 @@ impl ShardRouter {
         // Flush first so existing sessions' buffered documentation is visible to the
         // data-presence check that keeps them sticky after the ring changes.
         self.flush().map_err(WireError::from)?;
+        // Exclusive failover lock: no replicated send may be mid-flight (commit done, hold
+        // append pending) while the holds are migrated below, and no promotion may interleave
+        // with the ring change.
+        let _failover = self.failover.write();
         // Grow the buffer table before the ring so no routing decision can ever index past it.
         self.buffers.write().push(Arc::new(Mutex::new(Vec::new())));
         let mut placement = self.placement.write();
-        let snapshot = placement.ring.clone();
-        placement.historical_rings.push(snapshot);
+        let old_ring = placement.ring.clone();
+        placement.historical_rings.push(old_ring.clone());
         let index = placement.ring.add_shard();
         placement.shards.push(ShardHandle {
             name: name.into(),
@@ -391,6 +408,60 @@ impl ShardRouter {
             hold: Arc::new(ReplicaHold::default()),
             alive: AtomicBool::new(true),
         });
+        // Re-home replica holds to the changed ring. The placement rule is "first R−1 live
+        // successors of the primary", and failover replays only the *current* ring's first
+        // live successor's hold — so every primary's held history must move to where the new
+        // rule expects it, or a post-rebalance kill would find an empty hold and silently
+        // lose flushed, replicated p-assertions. The old ring's first live successor holds
+        // the complete copy (the invariant this migration maintains across rebalances): take
+        // it, discard the now-misplaced partial copies, and re-seed the new successors. The
+        // placement write lock is held throughout, so no flush, query or failover can observe
+        // a half-migrated hold.
+        let replication = self.replication();
+        if replication > 1 {
+            let alive: Vec<bool> = placement
+                .shards
+                .iter()
+                .map(|handle| handle.alive.load(Ordering::SeqCst))
+                .collect();
+            for primary in 0..old_ring.shard_count() {
+                if !alive[primary] {
+                    continue; // a dead primary's hold entries await a failover-replay retry
+                }
+                let Some(source) = old_ring
+                    .successors_of_shard(primary)
+                    .into_iter()
+                    .find(|&s| alive[s])
+                else {
+                    continue;
+                };
+                let (sessions, groups) = placement.shards[source].hold.take_for_primary(primary);
+                for (other, shard) in placement.shards.iter().enumerate() {
+                    if other != source {
+                        let _ = shard.hold.take_for_primary(primary);
+                    }
+                }
+                if sessions.is_empty() && groups.is_empty() {
+                    continue;
+                }
+                let targets: Vec<usize> = placement
+                    .ring
+                    .successors_of_shard(primary)
+                    .into_iter()
+                    .filter(|&s| alive[s])
+                    .take(replication - 1)
+                    .collect();
+                for &target in &targets {
+                    let hold = &placement.shards[target].hold;
+                    for (session, assertions) in &sessions {
+                        hold.restore(primary, session.clone(), assertions.clone());
+                    }
+                    for group in &groups {
+                        hold.restore_group(primary, group.clone());
+                    }
+                }
+            }
+        }
         drop(placement);
         self.stats.lock().rebalances += 1;
         Ok(index)
@@ -417,10 +488,14 @@ impl ShardRouter {
                 }
             }
             let owner = placement.ring.shard_for(session);
-            if placement.historical_rings.is_empty() {
-                if alive(owner) {
+            let current = if alive(owner) {
+                // No rebalance has happened: the live ring owner is the answer, and it stays
+                // a pure function of the ring — no memoization.
+                if placement.historical_rings.is_empty() {
                     return owner;
                 }
+                owner
+            } else {
                 // Dead ring owner: the session goes where its data would have been promoted —
                 // the first live ring successor of the dead shard. With no live shard left at
                 // all, fall back to the dead owner (unpinned) so callers surface the outage as
@@ -431,36 +506,19 @@ impl ShardRouter {
                     .into_iter()
                     .find(|&s| alive(s))
                 {
-                    Some(successor) => (successor, Vec::new()),
+                    Some(successor) => successor,
                     None => return owner,
                 }
-            } else {
-                let current = if alive(owner) {
-                    owner
-                } else {
-                    match placement
-                        .ring
-                        .successors_of_shard(owner)
-                        .into_iter()
-                        .find(|&s| alive(s))
-                    {
-                        Some(successor) => successor,
-                        None => return owner,
-                    }
-                };
-                // Live shards older rings mapped this session to, oldest first.
-                let mut candidates: Vec<usize> = Vec::new();
-                for ring in &placement.historical_rings {
-                    let historical = ring.shard_for(session);
-                    if historical != current
-                        && alive(historical)
-                        && !candidates.contains(&historical)
-                    {
-                        candidates.push(historical);
-                    }
+            };
+            // Live shards older rings mapped this session to, oldest first.
+            let mut candidates: Vec<usize> = Vec::new();
+            for ring in &placement.historical_rings {
+                let historical = ring.shard_for(session);
+                if historical != current && alive(historical) && !candidates.contains(&historical) {
+                    candidates.push(historical);
                 }
-                (current, candidates)
             }
+            (current, candidates)
         };
         // Probed outside the placement lock: the presence probe takes buffer and store
         // locks, which must never nest inside placement (flush paths take them the other
@@ -556,7 +614,7 @@ impl ShardRouter {
     /// Mark `dead` as failed, promote its replica holder, re-pin the affected sessions and
     /// redistribute its buffered work. Idempotent; serialized by the failover lock.
     fn handle_shard_failure(&self, dead: usize) {
-        let _failover = self.failover.lock();
+        let _failover = self.failover.write();
         {
             let placement = self.placement.read();
             let handle = &placement.shards[dead];
@@ -566,6 +624,24 @@ impl ShardRouter {
         }
         self.stats.lock().failovers += 1;
 
+        let stranded = self.replay_holds_for(dead);
+        if !stranded.is_empty() {
+            // The copies are preserved in the hold; `flush` retries the replay (and fails
+            // loudly, naming these sessions) until it succeeds, so the acked data is never
+            // silently absent from query answers.
+            self.pending_replays.lock().insert(dead);
+        }
+
+        // Buffered (acked but unflushed) work addressed to the dead shard re-routes to the
+        // promoted owners; the next flush delivers it after the replayed history.
+        self.redistribute_buffer(dead);
+    }
+
+    /// Replay the replica-held history of dead shard `dead` into its promotion target (the
+    /// current ring's first live successor) and pin the replayed ids there. Returns the ids
+    /// whose replay failed — their copies stay in the hold for a retry. Callers must hold the
+    /// failover write lock.
+    fn replay_holds_for(&self, dead: usize) -> Vec<String> {
         // Promotion target: the first live ring successor — by construction the first shard
         // every replicated batch of `dead` was copied to.
         let target = {
@@ -576,6 +652,7 @@ impl ShardRouter {
                 .into_iter()
                 .find(|&s| placement.shards[s].alive.load(Ordering::SeqCst))
         };
+        let mut stranded = Vec::new();
         if let Some(target) = target {
             let hold = {
                 let placement = self.placement.read();
@@ -592,7 +669,8 @@ impl ShardRouter {
                         pins.push(session);
                     }
                     Err(_) => {
-                        // Keep the copy so a later failover attempt can retry the replay.
+                        // Keep the copy so the flush-time retry can replay it.
+                        stranded.push(session.clone());
                         hold.restore(dead, session, assertions);
                     }
                 }
@@ -600,9 +678,12 @@ impl ShardRouter {
             for group in groups {
                 match store.register_group(&group) {
                     Ok(()) => pins.push(group.id.clone()),
-                    // Keep the copy so a later failover attempt can retry the replay, same as
-                    // the assertion branch above — an acked registration is never dropped.
-                    Err(_) => hold.restore_group(dead, group),
+                    // Keep the copy so the flush-time retry can replay it, same as the
+                    // assertion branch above — an acked registration is never dropped.
+                    Err(_) => {
+                        stranded.push(group.id.clone());
+                        hold.restore_group(dead, group);
+                    }
                 }
             }
             {
@@ -612,11 +693,53 @@ impl ShardRouter {
                 }
             }
             self.stats.lock().sessions_promoted += promoted;
+            if stranded.is_empty() {
+                // Fully replayed: discard the redundant copies other successors still hold
+                // for this primary (R ≥ 3), or they leak for the process lifetime. While any
+                // replay is stranded they are kept — if the target dies before the retry
+                // lands, the retry's new target is one of these holders.
+                let placement = self.placement.read();
+                for (index, shard) in placement.shards.iter().enumerate() {
+                    if index != target {
+                        let _ = shard.hold.take_for_primary(dead);
+                    }
+                }
+            }
         }
+        stranded
+    }
 
-        // Buffered (acked but unflushed) work addressed to the dead shard re-routes to the
-        // promoted owners; the next flush delivers it after the replayed history.
-        self.redistribute_buffer(dead);
+    /// Retry promotion replays that failed (e.g. the target's backend errored mid-replay).
+    /// Succeeding clears the debt; failing again reports the still-stranded ids so callers —
+    /// every query flushes first — error instead of silently answering without acked data.
+    fn retry_stranded_replays(&self) -> Result<(), FlushError> {
+        let pending: Vec<usize> = self.pending_replays.lock().iter().copied().collect();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut still_stranded = Vec::new();
+        for dead in pending {
+            let _failover = self.failover.write();
+            let stranded = self.replay_holds_for(dead);
+            if stranded.is_empty() {
+                self.pending_replays.lock().remove(&dead);
+            } else {
+                still_stranded.extend(stranded);
+            }
+        }
+        if still_stranded.is_empty() {
+            return Ok(());
+        }
+        still_stranded.sort();
+        still_stranded.dedup();
+        Err(FlushError {
+            failed_sessions: still_stranded,
+            error: WireError::Payload(
+                "promotion replay of replica holds is failing; the acked copies are preserved \
+                 in the hold and the replay will be retried on the next flush"
+                    .into(),
+            ),
+        })
     }
 
     /// Move `shard`'s buffered assertions to their current owners' buffers.
@@ -676,7 +799,7 @@ impl ShardRouter {
     }
 
     /// Send one batched `Record` message to `primary` and copy it into the replica holds of
-    /// the primary's live ring successors; returning `Ok` is the quorum ack.
+    /// the primary's live ring successors; returning `Ok` is the replicated ack.
     ///
     /// On failure the returned [`BatchFailure`] says which assertions are safe to re-buffer:
     /// all of them when the primary never committed, none when it did (the batch must not be
@@ -714,19 +837,33 @@ impl ShardRouter {
             Err(error) => return Err(failure(reclaim(message), error)),
         };
         if !ack.fully_accepted() {
-            let error = WireError::Payload(format!(
-                "shard {primary} rejected {} assertion(s)",
-                ack.rejected.len()
-            ));
-            return Err(failure(reclaim(message), error));
+            // The primary committed the accepted remainder, and `RecordAck::rejected` carries
+            // only human-readable reasons — not the assertions themselves — so nothing can be
+            // re-buffered without duplicating what was committed. Per this type's contract,
+            // restore nothing and report every session in the batch as failed. In practice
+            // this arm is unreachable: `PreservService` accepts every assertion
+            // (`rejected` is always empty); it exists for a future validating store.
+            let batch = reclaim(message);
+            debug_assert!(
+                false,
+                "PreservService never rejects assertions; partial accept is unexpected"
+            );
+            return Err(BatchFailure {
+                failed_sessions: distinct_sessions(&batch),
+                restore: Vec::new(),
+                error: WireError::Payload(format!(
+                    "shard {primary} rejected {} assertion(s); accepted remainder committed",
+                    ack.rejected.len()
+                )),
+            });
         }
         let batch = reclaim(message);
 
         // The primary committed; copy into the replica holds. Hold appends are infallible
-        // in-process writes, so returning from this block IS the quorum ack: copies =
-        // 1 + min(R-1, live-1) = min(R, live) ≥ min(⌊R/2⌋+1, live) — at least the majority
-        // quorum a cluster with that many live shards can hold, by construction rather than
-        // by a runtime check.
+        // in-process writes, so returning from this block IS the replicated ack: copies =
+        // 1 + min(R-1, live-1) = min(R, live). This is best-effort, not a quorum check — a
+        // cluster degraded below R live shards still acks with the copies it can hold (see
+        // the module docs).
         let replication = self.replication();
         if replication > 1 {
             let holds = self.replica_holds(primary, replication - 1);
@@ -772,6 +909,10 @@ impl ShardRouter {
             self.redistribute_buffer(shard);
             return Ok(());
         }
+        // Shared failover lock across the whole send (acquired before the buffer mutex, the
+        // one ordering that cannot deadlock against a promotion redistributing buffers): a
+        // concurrent promotion waits until the batch's replica-hold copy has landed.
+        let _failover = self.failover.read();
         let buffer = Arc::clone(&self.buffers.read()[shard]);
         let mut guard = buffer.lock();
         self.send_buffer(shard, &mut guard)
@@ -782,6 +923,7 @@ impl ShardRouter {
     /// work redistributed and delivered, so a single shard failure never surfaces here.
     pub fn flush(&self) -> Result<(), FlushError> {
         self.maybe_handle_failures();
+        self.retry_stranded_replays()?;
         // Failover moves buffered work between shards, so drain in rounds until stable; each
         // round can absorb at most one newly-dead shard, so shard_count + 1 rounds suffice.
         let mut last_error: Option<FlushError> = None;
@@ -805,7 +947,10 @@ impl ShardRouter {
                 .iter()
                 .any(|buffer| !buffer.lock().is_empty());
             if !any_pending {
-                return Ok(());
+                // A failover handled *during* this flush (the ServiceDown arm above) may have
+                // stranded a promotion replay after the entry check already passed; re-check
+                // so a flush never acks while acked data sits unreplayed in a hold.
+                return self.retry_stranded_replays();
             }
         }
         // Undeliverable: report every session still buffered so callers can retry selectively.
@@ -843,6 +988,9 @@ impl ShardRouter {
         }
         for (shard, incoming) in per_shard {
             let outcome = {
+                // Shared failover lock across the send window (see flush_shard); released
+                // before the ServiceDown arm below, which needs the exclusive side.
+                let _failover = self.failover.read();
                 let buffer = Arc::clone(&self.buffers.read()[shard]);
                 let mut guard = buffer.lock();
                 guard.extend(incoming);
@@ -885,18 +1033,25 @@ impl ShardRouter {
         let mut attempts = 0;
         loop {
             let shard = self.shard_for_session(&group.id);
-            match self.call_shard(
-                shard,
-                "register-group",
-                &PrepMessage::RegisterGroup(group.clone()),
-            ) {
-                Ok(_) => {
+            let outcome = {
+                // Shared failover lock across register + hold append (see flush_shard).
+                let _failover = self.failover.read();
+                self.call_shard(
+                    shard,
+                    "register-group",
+                    &PrepMessage::RegisterGroup(group.clone()),
+                )
+                .map(|_| {
                     let replication = self.replication();
                     if replication > 1 {
                         for hold in self.replica_holds(shard, replication - 1) {
                             hold.append_group(shard, &group);
                         }
                     }
+                })
+            };
+            match outcome {
+                Ok(()) => {
                     self.stats.lock().groups_routed += 1;
                     return Ok(());
                 }
@@ -909,13 +1064,22 @@ impl ShardRouter {
         }
     }
 
-    /// Answer a query by scatter-gather over every live shard. A shard dying mid-gather is
-    /// failed over and the gather restarted, so the answer never mixes pre- and post-failover
-    /// views.
+    /// A shared guard excluding failovers, so a scatter-gather holding it reads either the
+    /// pre- or the post-promotion placement — never a mix where a dying shard's answer and
+    /// its promoted copy both appear. Drop it before any failover handling (the write side).
+    pub(crate) fn gather_guard(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
+        self.failover.read()
+    }
+
+    /// Answer a query by scatter-gather over every live shard. The gather holds the failover
+    /// lock shared, so a shard dying mid-gather fails the gather (which is then failed over
+    /// and restarted) rather than letting a concurrent promotion double its answers — the
+    /// response never mixes pre- and post-failover views.
     fn handle_query(&self, request: QueryRequest) -> WireResult<QueryResponse> {
         self.flush().map_err(WireError::from)?;
         self.stats.lock().scatter_queries += 1;
         let gather = |request: &QueryRequest| -> WireResult<Vec<QueryResponse>> {
+            let _gather = self.gather_guard();
             self.live_shards()
                 .into_iter()
                 .map(|shard| {
@@ -975,28 +1139,29 @@ impl ShardRouter {
         let message = PrepMessage::Query(request);
         let mut attempts = 0;
         loop {
-            let mut graphs = Vec::new();
-            let mut failed = false;
-            for shard in self.live_shards() {
-                match self.call_shard(shard, "lineage", &message) {
-                    Ok(PluginResponse::Lineage(graph)) => graphs.push(graph),
-                    Ok(other) => {
-                        return Err(WireError::Payload(format!(
+            // Gather under the shared failover lock (see handle_query); dropped before the
+            // retry arm below so the failover handling can take the write side.
+            let gathered: WireResult<Vec<LineageGraph>> = {
+                let _gather = self.gather_guard();
+                self.live_shards()
+                    .into_iter()
+                    .map(|shard| match self.call_shard(shard, "lineage", &message) {
+                        Ok(PluginResponse::Lineage(graph)) => Ok(graph),
+                        Ok(other) => Err(WireError::Payload(format!(
                             "unexpected shard lineage response: {other:?}"
-                        )))
-                    }
-                    Err(WireError::ServiceDown(_)) if attempts < self.shard_count() => {
-                        attempts += 1;
-                        self.maybe_handle_failures();
-                        self.flush().map_err(WireError::from)?;
-                        failed = true;
-                        break;
-                    }
-                    Err(e) => return Err(e),
+                        ))),
+                        Err(e) => Err(e),
+                    })
+                    .collect()
+            };
+            match gathered {
+                Ok(graphs) => return Ok(merge::merge_lineage(graphs)),
+                Err(WireError::ServiceDown(_)) if attempts < self.shard_count() => {
+                    attempts += 1;
+                    self.maybe_handle_failures();
+                    self.flush().map_err(WireError::from)?;
                 }
-            }
-            if !failed {
-                return Ok(merge::merge_lineage(graphs));
+                Err(e) => return Err(e),
             }
         }
     }

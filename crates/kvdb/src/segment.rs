@@ -66,9 +66,8 @@ pub struct SegmentWriter {
     file: File,
     /// Logical length: everything appended, including bytes still in `pending`.
     len: u64,
-    /// Bytes handed to the OS (written to the file descriptor).
-    flushed_len: u64,
-    /// Bytes known to be on stable storage (covered by an fsync).
+    /// Bytes known to be on stable storage (covered by an fsync). Everything appended beyond
+    /// this is either in `pending` or in OS buffers, and is what a simulated crash discards.
     synced_len: u64,
     /// Appended but not yet written to the file.
     pending: Vec<u8>,
@@ -86,7 +85,6 @@ impl SegmentWriter {
             id,
             file,
             len: 0,
-            flushed_len: 0,
             synced_len: 0,
             pending: Vec::with_capacity(8 * 1024),
         })
@@ -104,7 +102,6 @@ impl SegmentWriter {
             id,
             file,
             len,
-            flushed_len: len,
             synced_len: len,
             pending: Vec::with_capacity(8 * 1024),
         })
@@ -151,7 +148,6 @@ impl SegmentWriter {
             self.pending.clear();
         }
         self.file.flush()?;
-        self.flushed_len = self.len;
         Ok(())
     }
 
@@ -172,8 +168,16 @@ impl SegmentWriter {
         self.file.set_len(self.synced_len)?;
         self.file.seek(SeekFrom::Start(self.synced_len))?;
         self.len = self.synced_len;
-        self.flushed_len = self.synced_len;
         Ok(self.synced_len)
+    }
+}
+
+impl Drop for SegmentWriter {
+    /// Hand any still-buffered appends to the operating system (no fsync) on a clean close,
+    /// so `SyncPolicy::Never` loses data only on a crash — not on an orderly process exit.
+    /// After a simulated crash the buffer is already empty, so this writes nothing.
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -190,6 +194,10 @@ pub struct SegmentScan {
     /// Why decoding stopped before the end of the file, when it did: a CRC failure or other
     /// validation error. `None` for a clean end or a merely incomplete (torn) final record.
     pub corruption: Option<String>,
+    /// Records that still decode cleanly past the failed record's claimed extent. Non-zero
+    /// means the damage sits in the *middle* of the log — data that was acked after the
+    /// damaged bytes were — not the torn tail a crash leaves.
+    pub records_beyond_corruption: u64,
 }
 
 impl SegmentScan {
@@ -212,6 +220,7 @@ pub fn scan_segment(dir: &Path, id: u64) -> DbResult<SegmentScan> {
     let mut records = Vec::new();
     let mut offset = 0usize;
     let mut corruption = None;
+    let mut records_beyond_corruption = 0u64;
     while offset < data.len() {
         match Record::decode(&data[offset..], id, offset as u64) {
             Ok(Some((record, used))) => {
@@ -225,9 +234,11 @@ pub fn scan_segment(dir: &Path, id: u64) -> DbResult<SegmentScan> {
             }
             Ok(None) => break, // torn tail: incomplete final record
             Err(e) => {
-                // A record that fails validation ends the recoverable log; recovery truncates
-                // here rather than refusing to open the store.
+                // A record that fails validation ends the recoverable log. Whether truncating
+                // here is safe depends on what lies beyond: the caller uses
+                // `records_beyond_corruption` to tell a damaged tail from damaged middle.
                 corruption = Some(e.to_string());
+                records_beyond_corruption = probe_beyond_corruption(&data, offset, id);
                 break;
             }
         }
@@ -237,11 +248,45 @@ pub fn scan_segment(dir: &Path, id: u64) -> DbResult<SegmentScan> {
         clean_len: offset as u64,
         file_len: data.len() as u64,
         corruption,
+        records_beyond_corruption,
     })
 }
 
-/// Truncate segment `id` to `len` bytes, discarding a torn or corrupt tail.
-pub fn truncate_segment(dir: &Path, id: u64, len: u64) -> DbResult<()> {
+/// After a validation failure at `offset`, count records that still decode cleanly past the
+/// failed record's claimed extent. A CRC-failing or unknown-kind record carries a trustworthy
+/// header (its lengths passed the plausibility check), so the next record boundary is known;
+/// when the lengths themselves are implausible the log cannot be resynchronised and the probe
+/// reports nothing.
+fn probe_beyond_corruption(data: &[u8], offset: usize, id: u64) -> u64 {
+    use crate::record::{HEADER_LEN, MAX_KEY_LEN, MAX_VALUE_LEN};
+    let header = &data[offset..];
+    if header.len() < HEADER_LEN {
+        return 0;
+    }
+    let key_len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    let value_len = u32::from_le_bytes([header[9], header[10], header[11], header[12]]) as usize;
+    if key_len > MAX_KEY_LEN || value_len > MAX_VALUE_LEN {
+        return 0;
+    }
+    let mut probe = offset + HEADER_LEN + key_len + value_len;
+    let mut found = 0u64;
+    while probe < data.len() {
+        match Record::decode(&data[probe..], id, probe as u64) {
+            Ok(Some((_, used))) => {
+                found += 1;
+                probe += used;
+            }
+            _ => break,
+        }
+    }
+    found
+}
+
+/// Truncate segment `id` to `len` bytes, discarding a torn or corrupt tail. In the open path
+/// this truncation happens through `SegmentWriter::open_for_append` (which resumes the writer
+/// at the clean length); this standalone form exists only for tests.
+#[cfg(test)]
+fn truncate_segment(dir: &Path, id: u64, len: u64) -> DbResult<()> {
     let file = OpenOptions::new().write(true).open(segment_path(dir, id))?;
     file.set_len(len)?;
     file.sync_data()?;
@@ -394,6 +439,29 @@ mod tests {
         let rescan = scan_segment(&dir, 1).unwrap();
         assert!(rescan.corruption.is_none());
         assert_eq!(rescan.file_len, clean);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_reports_records_beyond_a_crc_failure() {
+        let dir = tempdir("crc-mid");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        for i in 0..4u32 {
+            w.append(&Record::put(format!("k{i}").as_bytes(), b"value").unwrap())
+                .unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Flip a payload byte of the FIRST record: its CRC fails, but its header (and so the
+        // next record's boundary) stays trustworthy and the three later records decode.
+        let path = segment_path(&dir, 1);
+        let mut data = fs::read(&path).unwrap();
+        data[crate::record::HEADER_LEN] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        let scan = scan_segment(&dir, 1).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.corruption.as_deref().unwrap().contains("crc mismatch"));
+        assert_eq!(scan.records_beyond_corruption, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -165,10 +165,13 @@ impl Db {
     /// Opening replays every segment in id order to rebuild the key index. A torn or
     /// CRC-failing tail on the *newest* segment marks the end of the recoverable log: it is
     /// truncated on disk and the repair is reported in the [`RecoveryReport`] available
-    /// through [`Db::recovery_report`], matching write-ahead-log recovery semantics. The same
-    /// damage in a *sealed* segment is not a crash artefact (sealed segments were fsynced
-    /// whole before rotation) and fails the open with [`DbError::Corruption`] rather than
-    /// silently discarding acked data that later segments causally build on.
+    /// through [`Db::recovery_report`], matching write-ahead-log recovery semantics. Damage
+    /// that is *not* a crash artefact fails the open with [`DbError::Corruption`] instead of
+    /// silently discarding acked data: a torn or CRC-failing record in a *sealed* segment
+    /// (sealed segments were fsynced whole before rotation), and a CRC-failing record in the
+    /// newest segment with cleanly decodable records beyond it — records appended (and, under
+    /// [`SyncPolicy::Always`], acked durable) after the damaged bytes were, which truncation
+    /// would discard along with the damage.
     pub fn open_with(dir: impl AsRef<Path>, options: DbOptions) -> DbResult<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
@@ -204,15 +207,27 @@ impl Db {
             // clean length. A sealed segment was fsynced whole before rotation, so a torn or
             // CRC-failing record there is damage to acked data — with later segments still
             // intact, silently truncating it would resurrect a state that never existed
-            // (writes that causally followed the lost ones would survive). Refuse to open
-            // instead of repairing silently.
-            if torn_bytes > 0 && Some(&id) != ids.last() {
+            // (writes that causally followed the lost ones would survive). The same logic
+            // applies *within* the newest segment: a CRC failure with cleanly decodable
+            // records beyond it is mid-log damage, not a crash-torn tail — under
+            // `SyncPolicy::Always` those later records were fsynced and acked, and truncating
+            // would discard them. Refuse to open instead of repairing silently.
+            let damage_mid_log =
+                torn_bytes > 0 && (Some(&id) != ids.last() || scan.records_beyond_corruption > 0);
+            if damage_mid_log {
+                let mut reason = scan.corruption.unwrap_or_else(|| {
+                    "sealed segment ends mid-record; non-tail damage to acked data".into()
+                });
+                if scan.records_beyond_corruption > 0 {
+                    reason.push_str(&format!(
+                        " ({} intact record(s) beyond the damage)",
+                        scan.records_beyond_corruption
+                    ));
+                }
                 return Err(DbError::Corruption {
                     segment: id,
                     offset: scan.clean_len,
-                    reason: scan.corruption.unwrap_or_else(|| {
-                        "sealed segment ends mid-record; non-tail damage to acked data".into()
-                    }),
+                    reason,
                 });
             }
             recovery.segments.push(SegmentRecovery {
@@ -263,9 +278,11 @@ impl Db {
 
     /// Simulate a crash: drop the writer's in-process buffer and truncate the active segment
     /// back to its last fsync point, exactly as a power loss would discard buffers the OS
-    /// never forced to disk. The handle (and every clone of it) becomes unusable — all
-    /// subsequent operations fail with [`DbError::Closed`] — until the directory is reopened
-    /// with [`Db::open`], whose recovery scan rebuilds the index from what survived.
+    /// never forced to disk. The handle (and every clone of it) becomes unusable — every
+    /// subsequent fallible operation (reads, writes, scans, sync, compact) fails with
+    /// [`DbError::Closed`] — until the directory is reopened with [`Db::open`], whose
+    /// recovery scan rebuilds the index from what survived. Infallible diagnostics
+    /// ([`Db::len`], [`Db::stats`]) still report the pre-crash in-memory view.
     pub fn crash(&self) -> DbResult<()> {
         self.inner
             .crashed
@@ -344,6 +361,7 @@ impl Db {
 
     /// Whether `key` currently has a value.
     pub fn contains(&self, key: &[u8]) -> DbResult<bool> {
+        self.check_open()?;
         Ok(self.inner.index.read().contains(key))
     }
 
@@ -359,6 +377,7 @@ impl Db {
 
     /// All keys starting with `prefix`, in order.
     pub fn scan_prefix(&self, prefix: &[u8]) -> DbResult<Vec<Vec<u8>>> {
+        self.check_open()?;
         let index = self.inner.index.read();
         Ok(index.iter_prefix(prefix).map(|(k, _)| k.clone()).collect())
     }
@@ -377,6 +396,7 @@ impl Db {
 
     /// All keys in the half-open range `[start, end)`, in order.
     pub fn scan_range(&self, start: &[u8], end: &[u8]) -> DbResult<Vec<Vec<u8>>> {
+        self.check_open()?;
         let index = self.inner.index.read();
         Ok(index
             .iter_range(start, end)
@@ -387,7 +407,11 @@ impl Db {
     /// Force all appended data to stable storage.
     pub fn sync(&self) -> DbResult<()> {
         self.check_open()?;
-        self.inner.log.lock().active.sync()
+        let mut log = self.inner.log.lock();
+        // Re-checked under the log lock: a crash() that won the lock first has already
+        // truncated to the last fsync point, and a sync landing after it must not ack.
+        self.check_open()?;
+        log.active.sync()
     }
 
     /// A snapshot of operational statistics.
@@ -411,6 +435,10 @@ impl Db {
         let mut pointers = Vec::with_capacity(records.len());
         {
             let mut log = self.inner.log.lock();
+            // Re-checked under the log lock: a writer that passed the check above can race
+            // crash() for this lock; losing the race must not append records beyond the
+            // truncation point, or they would survive reopen and muddy the power-loss model.
+            self.check_open()?;
             for record in records {
                 let ptr = log.active.append(record)?;
                 pointers.push(ptr);
@@ -696,9 +724,13 @@ mod tests {
             // fsynced, so a crash immediately afterwards must lose nothing.
             db.write_batch(batch).unwrap();
             db.crash().unwrap();
-            // The crashed handle refuses every further operation.
+            // The crashed handle refuses every further fallible operation, reads included —
+            // the pre-crash index must not leak state the power loss discarded.
             assert!(matches!(db.put(b"late", b"x"), Err(DbError::Closed)));
             assert!(matches!(db.get(b"acked-000"), Err(DbError::Closed)));
+            assert!(matches!(db.contains(b"acked-000"), Err(DbError::Closed)));
+            assert!(matches!(db.scan_prefix(b"acked-"), Err(DbError::Closed)));
+            assert!(matches!(db.scan_range(b"a", b"z"), Err(DbError::Closed)));
             assert!(matches!(db.sync(), Err(DbError::Closed)));
         }
         let db = Db::open(&dir).unwrap();
@@ -821,6 +853,54 @@ mod tests {
         assert_eq!(db.len(), 1);
         assert_eq!(db.get(b"good").unwrap().unwrap(), b"value");
         assert!(db.get(b"bad").unwrap().is_none());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn crc_damage_mid_active_segment_refuses_to_open() {
+        let dir = tempdir("crc-mid-open");
+        {
+            let db = Db::open_with(&dir, DbOptions::durable()).unwrap();
+            for i in 0..5u32 {
+                db.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+        }
+        // Flip a payload byte of the FIRST record in the (only, active) segment. The four
+        // records after it were each fsynced and acked under SyncPolicy::Always; truncating
+        // at the damage would silently discard them, so the open must refuse instead.
+        let seg = crate::segment::segment_path(&dir, 1);
+        let mut data = fs::read(&seg).unwrap();
+        data[crate::record::HEADER_LEN] ^= 0xFF;
+        fs::write(&seg, &data).unwrap();
+        match Db::open(&dir) {
+            Err(DbError::Corruption {
+                segment, reason, ..
+            }) => {
+                assert_eq!(segment, 1);
+                assert!(reason.contains("crc mismatch"), "reason: {reason}");
+                assert!(reason.contains("beyond the damage"), "reason: {reason}");
+            }
+            other => panic!("mid-log CRC damage must fail the open, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_policy_never_survives_a_clean_close() {
+        let dir = tempdir("never-clean");
+        {
+            let options = DbOptions {
+                sync: SyncPolicy::Never,
+                ..Default::default()
+            };
+            let db = Db::open_with(&dir, options).unwrap();
+            db.put(b"buffered", b"kept").unwrap();
+            // No flush, no sync: the record may still sit in the writer's in-process buffer,
+            // which the writer hands to the OS when the handle closes cleanly.
+        }
+        let db = Db::open(&dir).unwrap();
+        assert_eq!(db.get(b"buffered").unwrap().unwrap(), b"kept");
         db.destroy().unwrap();
     }
 

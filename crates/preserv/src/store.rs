@@ -24,6 +24,16 @@ pub enum StoreError {
     Backend(BackendError),
     /// A stored document could not be deserialized.
     Corrupt(String),
+    /// The store (or part of a store tier) cannot currently accept or serve the named
+    /// sessions; retrying later — or retrying just those sessions — may succeed. Produced by
+    /// the cluster tier when a flush cannot deliver every buffered batch, so callers get the
+    /// affected session ids as data rather than parsing them out of an error string.
+    Unavailable {
+        /// Distinct session ids (sorted) whose data could not be delivered.
+        failed_sessions: Vec<String>,
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -31,6 +41,15 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Backend(e) => write!(f, "store backend failure: {e}"),
             StoreError::Corrupt(reason) => write!(f, "corrupt store document: {reason}"),
+            StoreError::Unavailable {
+                failed_sessions,
+                reason,
+            } => write!(
+                f,
+                "store unavailable for {} session(s) [{}]: {reason}",
+                failed_sessions.len(),
+                failed_sessions.join(", ")
+            ),
         }
     }
 }
