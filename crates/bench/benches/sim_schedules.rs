@@ -1,0 +1,32 @@
+//! Throughput of the deterministic simulation harness itself.
+//!
+//! The seed matrix gates CI, so the harness's own cost is a budget: this bench tracks how
+//! fast one full seeded schedule (deploy → ~40 interleaved ops → settle with the complete
+//! invariant suite) executes, for the cheap cell (memory shards) and the expensive one
+//! (durable kvdb shards, every ack fsynced). Regressions here translate directly into slower
+//! CI and slower seed sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pasoa_sim::{plan_for, run_plan, SimBackend};
+
+fn bench_sim_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_schedules");
+    group.sample_size(10);
+
+    group.bench_function("memory_r2_one_seed", |b| {
+        b.iter(|| {
+            run_plan(&plan_for(2, 2, SimBackend::Memory)).expect("seed 2 holds every invariant")
+        })
+    });
+    group.bench_function("durable_r2_one_seed", |b| {
+        b.iter(|| {
+            run_plan(&plan_for(2, 2, SimBackend::DurableKv)).expect("seed 2 holds every invariant")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_schedules);
+criterion_main!(benches);

@@ -40,7 +40,7 @@ pub mod router;
 pub use cluster::{ClusterConfig, PreservCluster, StoreHandle};
 pub use loadgen::{FaultPlan, LoadGenConfig, LoadGenerator, LoadReport};
 pub use ring::HashRing;
-pub use router::{FlushError, RouterConfig, RouterStats, ShardRouter};
+pub use router::{FlushError, HeldSession, HoldSnapshot, RouterConfig, RouterStats, ShardRouter};
 
 #[cfg(test)]
 mod tests {
@@ -672,6 +672,70 @@ mod tests {
         assert_eq!(error.failed_sessions, vec!["session:stranded".to_string()]);
         let text = error.to_string();
         assert!(text.contains("session:stranded"), "error text: {text}");
+    }
+
+    /// Regression (found by pasoa-sim seed 5): a session documented ONLY by its group
+    /// registration must stay sticky across a rebalance. The data-presence probe used to look
+    /// only at assertions and buffers, so re-registering the same group after `add_shard`
+    /// landed on the new ring owner — duplicating a group a single store would have replaced.
+    #[test]
+    fn group_reregistration_after_a_rebalance_replaces_instead_of_duplicating() {
+        // Sparse ring so rebalances move owners often; pick a group id that provably moves.
+        const VNODES: usize = 8;
+        let old_ring = HashRing::with_shards(2, VNODES);
+        let mut new_ring = old_ring.clone();
+        new_ring.add_shard();
+        let id = (0..500)
+            .map(|i| format!("session:regroup:{i}"))
+            .find(|id| old_ring.shard_for(id) != new_ring.shard_for(id))
+            .expect("some group id must move when the ring grows");
+
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_with(
+            &host,
+            ClusterConfig {
+                shards: 2,
+                virtual_nodes: VNODES,
+                ..Default::default()
+            },
+            |_| Ok(Arc::new(pasoa_preserv::MemoryBackend::new()) as _),
+        )
+        .unwrap();
+        let recorder = SyncRecorder::new(
+            SessionId::new(id.clone()),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("regroup"),
+        );
+        recorder
+            .register_group(Group::new(id.clone(), GroupKind::Session))
+            .unwrap();
+        cluster.add_shard().unwrap();
+        // Re-register (a client extending the same group after the cluster grew).
+        recorder
+            .register_group(Group::new(id.clone(), GroupKind::Session))
+            .unwrap();
+
+        let copies: Vec<_> = cluster
+            .groups_by_kind("session")
+            .unwrap()
+            .into_iter()
+            .filter(|group| group.id == id)
+            .collect();
+        assert_eq!(copies.len(), 1, "the group must exist exactly once");
+        // And it lives on exactly one shard store.
+        let resident = cluster
+            .shard_stores()
+            .iter()
+            .filter(|store| {
+                store
+                    .groups_by_kind("session")
+                    .unwrap()
+                    .iter()
+                    .any(|group| group.id == id)
+            })
+            .count();
+        assert_eq!(resident, 1, "the group must live on exactly one shard");
     }
 
     #[test]

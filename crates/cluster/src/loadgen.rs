@@ -7,11 +7,9 @@
 //! per-service dispatch balance the wire layer observed (which shows how evenly the shard
 //! router spread the load).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
 use pasoa_core::passertion::{
@@ -19,7 +17,10 @@ use pasoa_core::passertion::{
 };
 use pasoa_core::prep::{PrepMessage, RecordMessage};
 use pasoa_core::PROVENANCE_STORE_SERVICE;
-use pasoa_wire::{Envelope, FaultInjector, ServiceHost, TransportConfig};
+use pasoa_wire::{
+    Envelope, FaultAction, FaultActionKind, FaultInjector, FaultSchedule, ServiceHost,
+    TransportConfig,
+};
 
 /// A fault to inject mid-workload: kill `service` once the run has sent `after_messages`
 /// record messages. The kill goes through the host's [`pasoa_wire::FaultInjector`], so the
@@ -28,7 +29,10 @@ use pasoa_wire::{Envelope, FaultInjector, ServiceHost, TransportConfig};
 pub struct FaultPlan {
     /// Service name to kill (e.g. a shard's registered name).
     pub service: String,
-    /// Total record messages (across all clients) after which the kill fires.
+    /// Total record messages (across all clients) after which the kill fires. `0` kills the
+    /// service before the first message is sent — the workload starts against an already-dead
+    /// shard. A threshold beyond the run's total message count never fires (and is reported as
+    /// not fired, rather than erroring or stalling the run).
     pub after_messages: u64,
 }
 
@@ -146,6 +150,9 @@ impl LoadGenerator {
             self.host.fault_injector(),
             config.faults.clone(),
         ));
+        // Plans with `after_messages == 0` model a shard that is already dead when the
+        // workload starts; fire them before any client thread sends a message.
+        trigger.arm();
         let start = Instant::now();
 
         let mut latencies: Vec<u64> = Vec::new();
@@ -201,55 +208,49 @@ impl LoadGenerator {
     }
 }
 
-/// Fires the configured [`FaultPlan`]s as the message count crosses their thresholds. Shared
-/// by every client thread; each plan fires exactly once.
+/// Fires the configured [`FaultPlan`]s as the message count crosses their thresholds — a thin
+/// counter over the wire layer's schedulable fault injection ([`FaultSchedule`]). Shared by
+/// every client thread; each plan fires exactly once.
 struct FaultTrigger {
-    injector: FaultInjector,
-    /// Plans sorted by threshold.
-    plans: Vec<FaultPlan>,
+    schedule: FaultSchedule,
     sent: AtomicU64,
-    next: AtomicUsize,
-    fired: Mutex<Vec<String>>,
 }
 
 impl FaultTrigger {
-    fn new(injector: FaultInjector, mut plans: Vec<FaultPlan>) -> Self {
-        plans.sort_by_key(|plan| plan.after_messages);
+    fn new(injector: FaultInjector, plans: Vec<FaultPlan>) -> Self {
+        let actions = plans
+            .into_iter()
+            .map(|plan| FaultAction {
+                at: plan.after_messages,
+                service: plan.service,
+                kind: FaultActionKind::Kill,
+            })
+            .collect();
         FaultTrigger {
-            injector,
-            plans,
+            schedule: FaultSchedule::new(injector, actions),
             sent: AtomicU64::new(0),
-            next: AtomicUsize::new(0),
-            fired: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Fire every plan due before any message is sent (`after_messages == 0`). Called once,
+    /// before the client threads start.
+    fn arm(&self) {
+        self.schedule.advance(0);
     }
 
     /// Called once per record message sent (successful or not).
     fn on_message(&self) {
-        if self.plans.is_empty() {
-            return;
-        }
         let total = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
-        loop {
-            let index = self.next.load(Ordering::Relaxed);
-            if index >= self.plans.len() || self.plans[index].after_messages > total {
-                return;
-            }
-            // One winner per plan: whoever advances the cursor performs the kill.
-            if self
-                .next
-                .compare_exchange(index, index + 1, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                let service = self.plans[index].service.clone();
-                self.injector.kill(service.clone());
-                self.fired.lock().push(service);
-            }
-        }
+        self.schedule.advance(total);
     }
 
+    /// Killed service names, in firing order.
     fn fired(&self) -> Vec<String> {
-        self.fired.lock().clone()
+        self.schedule
+            .fired()
+            .into_iter()
+            .map(|action| action.service)
+            .collect()
     }
 }
 
@@ -325,4 +326,71 @@ fn client_run(
         }
     }
     outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PreservCluster;
+
+    fn small_config(faults: Vec<FaultPlan>) -> LoadGenConfig {
+        LoadGenConfig {
+            clients: 2,
+            sessions_per_client: 2,
+            assertions_per_session: 8,
+            batch_size: 4,
+            payload_bytes: 32,
+            faults,
+            ..Default::default()
+        }
+    }
+
+    /// A kill at message 0 fires before the workload starts: the run proceeds against an
+    /// already-dead shard without panicking or hanging, the replicated tier absorbs it, and
+    /// the report still accounts for every assertion.
+    #[test]
+    fn kill_at_message_zero_fires_before_the_first_message() {
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_replicated(&host, 4, 2).unwrap();
+        let victim = cluster.router().shard_names()[0].clone();
+        let generator = LoadGenerator::new(
+            host.clone(),
+            small_config(vec![FaultPlan {
+                service: victim.clone(),
+                after_messages: 0,
+            }]),
+        );
+        let report = generator.run();
+        assert_eq!(report.faults_injected, vec![victim]);
+        assert_eq!(report.failures, 0, "the dead shard must stay invisible");
+        assert_eq!(report.total_assertions, 2 * 2 * 8);
+        cluster.flush().unwrap();
+        assert_eq!(
+            cluster.statistics().unwrap().total_passertions(),
+            report.total_assertions
+        );
+        assert_eq!(cluster.router().stats().failovers, 1);
+    }
+
+    /// A kill threshold beyond the run's total message count never fires: no panic, no hang,
+    /// no phantom fault in the report.
+    #[test]
+    fn kill_after_the_last_message_never_fires() {
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_replicated(&host, 4, 2).unwrap();
+        let victim = cluster.router().shard_names()[1].clone();
+        let generator = LoadGenerator::new(
+            host.clone(),
+            small_config(vec![FaultPlan {
+                service: victim,
+                after_messages: u64::MAX,
+            }]),
+        );
+        let report = generator.run();
+        assert!(report.faults_injected.is_empty());
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.total_assertions, 2 * 2 * 8);
+        assert_eq!(cluster.router().stats().failovers, 0);
+        assert!(!host.fault_injector().any_down());
+    }
 }

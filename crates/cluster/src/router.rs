@@ -223,6 +223,53 @@ impl ReplicaHold {
     fn restore_group(&self, primary: usize, group: Group) {
         self.groups.lock().push((primary, group));
     }
+
+    /// Observable summary of the hold's contents (sessions in id order).
+    fn snapshot(&self) -> (Vec<HeldSession>, Vec<(usize, String)>) {
+        let sessions = self
+            .sessions
+            .lock()
+            .iter()
+            .map(|(session, (primary, assertions))| HeldSession {
+                primary: *primary,
+                session: session.clone(),
+                assertions: assertions.len(),
+            })
+            .collect();
+        let groups = self
+            .groups
+            .lock()
+            .iter()
+            .map(|(primary, group)| (*primary, group.id.clone()))
+            .collect();
+        (sessions, groups)
+    }
+}
+
+/// One session's shadow copy inside a shard's replica hold, as reported by
+/// [`ShardRouter::hold_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldSession {
+    /// The shard that was the session's primary when the copy was appended.
+    pub primary: usize,
+    /// The session id.
+    pub session: String,
+    /// Number of held assertion copies.
+    pub assertions: usize,
+}
+
+/// Observable state of one shard's replica hold — what the simulation harness audits for
+/// stranded or duplicated copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldSnapshot {
+    /// Shard index holding these copies.
+    pub shard: usize,
+    /// Whether the holding shard is still serving.
+    pub alive: bool,
+    /// Held session copies, in session-id order.
+    pub sessions: Vec<HeldSession>,
+    /// Held group registrations as `(primary, group id)`, in registration order.
+    pub groups: Vec<(usize, String)>,
 }
 
 struct ShardHandle {
@@ -381,6 +428,40 @@ impl ShardRouter {
         self.transport.host().fault_injector()
     }
 
+    /// Observable replica-hold state of every shard (dead shards included, flagged), in shard
+    /// index order. This is a diagnostic surface for invariant checkers — notably the
+    /// simulation harness, which asserts that no hold strands a dead primary's acked data and
+    /// that no `(primary, session)` copy is duplicated beyond the replication factor.
+    pub fn hold_snapshot(&self) -> Vec<HoldSnapshot> {
+        let placement = self.placement.read();
+        placement
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, handle)| {
+                let (sessions, groups) = handle.hold.snapshot();
+                HoldSnapshot {
+                    shard,
+                    alive: handle.alive.load(Ordering::SeqCst),
+                    sessions,
+                    groups,
+                }
+            })
+            .collect()
+    }
+
+    /// The current ring's successor order for `shard` (see
+    /// [`HashRing::successors_of_shard`]) — the replica-placement and promotion order.
+    pub fn ring_successors(&self, shard: usize) -> Vec<usize> {
+        self.placement.read().ring.successors_of_shard(shard)
+    }
+
+    /// Dead shards whose promotion replay has not yet landed (retried on every flush),
+    /// ascending. Empty whenever the tier holds no stranded acked data.
+    pub fn pending_replay_shards(&self) -> Vec<usize> {
+        self.pending_replays.lock().iter().copied().collect()
+    }
+
     /// Add a shard service to the ring. Only *future* sessions can map to it; sessions that
     /// already hold documentation on their pre-rebalance shard stay there (see
     /// [`Self::shard_for_session`]), so lineage never splits.
@@ -534,7 +615,13 @@ impl ShardRouter {
         owner
     }
 
-    /// Whether `shard` already holds (stored or buffered) documentation for `session`.
+    /// Whether `shard` already holds (stored or buffered) documentation for `session` —
+    /// p-assertions, or a group registered under the session's id. Group registrations must
+    /// count: a session documented *only* by its group (registered, nothing recorded yet)
+    /// would otherwise turn invisible to the stickiness probe, and re-registering the same
+    /// group after a rebalance would land on the new ring owner — leaving the group duplicated
+    /// across two shards where a single store would have replaced it in place. (Found by
+    /// pasoa-sim seed 5, minimized to `register-group; add-shard; register-group`.)
     fn shard_has_session_data(&self, shard: usize, session: &str) -> bool {
         {
             let buffer = Arc::clone(&self.buffers.read()[shard]);
@@ -543,12 +630,16 @@ impl ShardRouter {
                 return true;
             }
         }
-        self.shard_service(shard)
-            .store()
+        let store = self.shard_service(shard).store();
+        match store
             .interactions_in_session(&pasoa_core::ids::SessionId::new(session))
             .map(|interactions| !interactions.is_empty())
+        {
+            Ok(true) => true,
+            Ok(false) => store.has_group_id(session).unwrap_or(true),
             // Conservative on probe failure: keeping the old owner can never split a session.
-            .unwrap_or(true)
+            Err(_) => true,
+        }
     }
 
     fn shard_name(&self, shard: usize) -> String {

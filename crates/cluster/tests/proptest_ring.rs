@@ -1,0 +1,113 @@
+//! Ring determinism properties: placement is a pure function of (shard count, vnode count),
+//! stable across processes and runs, and a rebalance moves keys only onto the shard that was
+//! added — the contract replica placement, failover promotion and the deterministic
+//! simulation harness all lean on.
+
+use proptest::prelude::*;
+
+use pasoa_cluster::HashRing;
+
+fn keys(indices: &[usize]) -> Vec<String> {
+    indices.iter().map(|i| format!("session:run-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Two rings built independently from the same parameters agree on every placement and on
+    /// every successor walk — there is no hidden per-instance or per-process state.
+    #[test]
+    fn same_shard_set_and_vnodes_give_identical_placement(
+        shards in 1usize..9,
+        vnodes in 1usize..96,
+        key_indices in prop::collection::vec(0usize..100_000, 1..40),
+    ) {
+        let a = HashRing::with_shards(shards, vnodes);
+        let b = HashRing::with_shards(shards, vnodes);
+        for key in keys(&key_indices) {
+            prop_assert_eq!(a.shard_for(&key), b.shard_for(&key), "key {} diverged", key);
+        }
+        for shard in 0..shards {
+            prop_assert_eq!(a.successors_of_shard(shard), b.successors_of_shard(shard));
+        }
+    }
+
+    /// Consistent hashing's defining property: growing the ring by one shard moves a key only
+    /// if its new owner IS the added shard. Nothing ever migrates between pre-existing shards.
+    #[test]
+    fn rebalance_moves_keys_only_onto_the_added_shard(
+        shards in 1usize..9,
+        vnodes in 1usize..96,
+        key_indices in prop::collection::vec(0usize..100_000, 1..60),
+    ) {
+        let before = HashRing::with_shards(shards, vnodes);
+        let mut after = before.clone();
+        let added = after.add_shard();
+        prop_assert_eq!(added, shards);
+        for key in keys(&key_indices) {
+            let old_owner = before.shard_for(&key);
+            let new_owner = after.shard_for(&key);
+            if new_owner != old_owner {
+                prop_assert_eq!(
+                    new_owner, added,
+                    "key {} moved from shard {} to pre-existing shard {}",
+                    key, old_owner, new_owner
+                );
+            }
+        }
+    }
+
+    /// Growing the ring never changes the relative successor order of the pre-existing
+    /// shards as seen from any pre-existing shard — only the new shard splices in. (This is
+    /// what lets `add_shard` migrate replica holds by recomputing placements instead of
+    /// diffing them.)
+    #[test]
+    fn successor_walks_of_old_shards_only_gain_the_added_shard(
+        shards in 2usize..8,
+        vnodes in 1usize..64,
+    ) {
+        let before = HashRing::with_shards(shards, vnodes);
+        let mut after = before.clone();
+        let added = after.add_shard();
+        for shard in 0..shards {
+            let old: Vec<usize> = before.successors_of_shard(shard);
+            let new_without_added: Vec<usize> = after
+                .successors_of_shard(shard)
+                .into_iter()
+                .filter(|&s| s != added)
+                .collect();
+            prop_assert_eq!(&old, &new_without_added,
+                "shard {}'s successor order of old shards changed", shard);
+        }
+    }
+}
+
+/// Placement pinned across processes, compiler versions and runs: these exact mappings were
+/// produced by the current hash; any change to `fnv1a64`, the vnode naming scheme or the ring
+/// walk shows up here as a loud diff instead of silently remapping every deployed session
+/// (and invalidating every committed simulation seed).
+#[test]
+fn golden_placements_are_stable_across_processes() {
+    let production = HashRing::with_shards(4, 64);
+    let owners: Vec<usize> = (0..12)
+        .map(|i| production.shard_for(&format!("session:golden:{i}")))
+        .collect();
+    assert_eq!(owners, vec![0, 2, 1, 0, 3, 0, 3, 1, 2, 0, 0, 3]);
+
+    let sparse = HashRing::with_shards(5, 8);
+    let owners: Vec<usize> = (0..12)
+        .map(|i| sparse.shard_for(&format!("session:golden:{i}")))
+        .collect();
+    assert_eq!(owners, vec![3, 0, 1, 0, 1, 1, 3, 1, 0, 1, 1, 3]);
+    let successors: Vec<Vec<usize>> = (0..5).map(|s| sparse.successors_of_shard(s)).collect();
+    assert_eq!(
+        successors,
+        vec![
+            vec![3, 2, 1, 4],
+            vec![2, 0, 3, 4],
+            vec![4, 1, 0, 3],
+            vec![1, 0, 2, 4],
+            vec![2, 1, 3, 0],
+        ]
+    );
+}

@@ -135,6 +135,9 @@ pub(crate) struct DbInner {
     /// Set by the crash-simulation hook; every subsequent operation fails with
     /// [`DbError::Closed`] until the directory is reopened.
     pub(crate) crashed: std::sync::atomic::AtomicBool,
+    /// Armed crash point: 0 = disarmed, k > 0 = the k-th record append from now simulates a
+    /// power loss instead of appending (see [`Db::arm_crash_after_appends`]).
+    pub(crate) crash_after_appends: std::sync::atomic::AtomicU64,
 }
 
 pub(crate) struct LogState {
@@ -265,6 +268,7 @@ impl Db {
             stats: Mutex::new(stats),
             recovery,
             crashed: std::sync::atomic::AtomicBool::new(false),
+            crash_after_appends: std::sync::atomic::AtomicU64::new(0),
         };
         Ok(Db {
             inner: Arc::new(inner),
@@ -290,6 +294,53 @@ impl Db {
         let mut log = self.inner.log.lock();
         log.active.crash_discard_unsynced()?;
         Ok(())
+    }
+
+    /// Whether this handle has observed a (simulated) crash and now refuses every fallible
+    /// operation until the directory is reopened.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Arm a seeded crash point: after `appends` further record appends succeed, the next
+    /// append run simulates a power loss at that exact write — the handle crashes (as
+    /// [`Db::crash`]) *before* the triggering record reaches the log, so the run fails with
+    /// [`DbError::Closed`] and nothing it staged is acked. Deterministic given a fixed
+    /// operation sequence, which is what lets a seeded simulation schedule "the disk dies
+    /// mid-batch on the Nth write" and replay it bit-identically. A crash point fires at most
+    /// once; arming again replaces any previously armed point.
+    pub fn arm_crash_after_appends(&self, appends: u64) {
+        self.inner.crash_after_appends.store(
+            appends.saturating_add(1),
+            std::sync::atomic::Ordering::SeqCst,
+        );
+    }
+
+    /// Whether an armed crash point has not yet fired.
+    pub fn crash_point_armed(&self) -> bool {
+        self.inner
+            .crash_after_appends
+            .load(std::sync::atomic::Ordering::SeqCst)
+            > 0
+    }
+
+    /// Decrement the armed crash-point fuse for one record append; true when this append is
+    /// the one that must simulate the power loss.
+    fn crash_point_fires(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let fuse = &self.inner.crash_after_appends;
+        loop {
+            let current = fuse.load(Ordering::SeqCst);
+            if current == 0 {
+                return false;
+            }
+            if fuse
+                .compare_exchange(current, current - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return current == 1;
+            }
+        }
     }
 
     fn check_open(&self) -> DbResult<()> {
@@ -440,6 +491,16 @@ impl Db {
             // truncation point, or they would survive reopen and muddy the power-loss model.
             self.check_open()?;
             for record in records {
+                // An armed crash point fires *before* the triggering record reaches the log:
+                // the power loss lands mid-run, everything unsynced is discarded, and the
+                // caller's append run fails without acking anything.
+                if self.crash_point_fires() {
+                    self.inner
+                        .crashed
+                        .store(true, std::sync::atomic::Ordering::SeqCst);
+                    log.active.crash_discard_unsynced()?;
+                    return Err(DbError::Closed);
+                }
                 let ptr = log.active.append(record)?;
                 pointers.push(ptr);
             }
@@ -742,6 +803,50 @@ mod tests {
             );
         }
         assert!(db.recovery_report().is_clean());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn armed_crash_point_fires_mid_batch_without_acking_and_recovers_clean() {
+        let dir = tempdir("crash-point");
+        {
+            let db = Db::open_with(&dir, DbOptions::durable()).unwrap();
+            db.put(b"before", b"acked").unwrap();
+            // Fire on the 3rd append of the next batch: 2 records reach the buffer, the 3rd
+            // triggers the power loss, and the whole run fails unacked.
+            db.arm_crash_after_appends(2);
+            assert!(db.crash_point_armed());
+            let mut batch = WriteBatch::new();
+            for i in 0..5u32 {
+                batch
+                    .put(format!("batch-{i}").as_bytes(), b"never-acked")
+                    .unwrap();
+            }
+            assert!(matches!(db.write_batch(batch), Err(DbError::Closed)));
+            assert!(db.is_crashed());
+            assert!(!db.crash_point_armed(), "a crash point fires at most once");
+            assert!(matches!(db.get(b"before"), Err(DbError::Closed)));
+        }
+        let db = Db::open(&dir).unwrap();
+        // The acked pre-crash write survived; nothing of the failed batch did.
+        assert_eq!(db.get(b"before").unwrap().unwrap(), b"acked");
+        assert_eq!(db.len(), 1);
+        assert!(db.scan_prefix(b"batch-").unwrap().is_empty());
+        assert!(db.recovery_report().is_clean());
+        db.destroy().unwrap();
+    }
+
+    #[test]
+    fn crash_point_at_zero_fails_the_very_next_append() {
+        let dir = tempdir("crash-point-zero");
+        {
+            let db = Db::open(&dir).unwrap();
+            db.arm_crash_after_appends(0);
+            assert!(matches!(db.put(b"k", b"v"), Err(DbError::Closed)));
+            assert!(db.is_crashed());
+        }
+        let db = Db::open(&dir).unwrap();
+        assert!(db.is_empty());
         db.destroy().unwrap();
     }
 

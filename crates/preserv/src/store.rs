@@ -144,6 +144,12 @@ impl ProvenanceStore {
         self.backend.kind()
     }
 
+    /// What crash recovery found and repaired when the backing storage was opened (`None` for
+    /// backends that run no recovery scan).
+    pub fn recovery_report(&self) -> Option<&pasoa_kvdb::RecoveryReport> {
+        self.backend.recovery_report()
+    }
+
     /// Record one p-assertion.
     pub fn record(&self, recorded: &RecordedAssertion) -> Result<(), StoreError> {
         self.record_all(std::slice::from_ref(recorded)).map(|_| ())
@@ -281,6 +287,22 @@ impl ProvenanceStore {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a group with this id is registered, under any kind. The cluster tier's
+    /// data-presence probe uses this: a session whose only documentation is its group
+    /// registration must still count as resident on its shard, or a rebalance would re-route
+    /// the next registration of the same id to a different shard and duplicate the group.
+    pub fn has_group_id(&self, id: &str) -> Result<bool, StoreError> {
+        // Keys-only: a group key is `g/<kind>/<id>` with both components slash-escaped, so a
+        // key ending in `/<escaped id>` can only be a group whose id component equals `id` —
+        // no value reads, no JSON parsing on this (per-probe) path.
+        let suffix = format!("/{}", keys::escape_component(id)).into_bytes();
+        Ok(self
+            .backend
+            .scan_prefix(keys::GROUP_PREFIX.as_bytes())?
+            .iter()
+            .any(|key| key.ends_with(&suffix)))
     }
 
     /// All groups whose kind label is `kind`.

@@ -1,0 +1,68 @@
+//! Ad-hoc seed exploration: run one simulated schedule (or a range) and print the outcome.
+//!
+//! ```text
+//! cargo run -p pasoa-sim --example sim_run -- --seed 7 --replication 2 --backend durable
+//! cargo run -p pasoa-sim --example sim_run -- --seeds 50            # sweep seeds 1..=50
+//! ```
+//!
+//! Any invariant violation panics with the seed and a minimized schedule — paste that into
+//! `crates/sim/tests/regressions.rs` to pin it.
+
+use pasoa_sim::{check_plan, plan_for, SimBackend};
+
+fn main() {
+    let mut seed = 7u64;
+    let mut sweep: Option<u64> = None;
+    let mut replication = 2usize;
+    let mut backend = SimBackend::Memory;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("numeric seed"),
+            "--seeds" => sweep = Some(value("--seeds").parse().expect("numeric seed count")),
+            "--replication" => {
+                replication = value("--replication").parse().expect("numeric replication")
+            }
+            "--backend" => {
+                backend = match value("--backend").as_str() {
+                    "memory" => SimBackend::Memory,
+                    "durable" | "durable-kv" | "kvdb" => SimBackend::DurableKv,
+                    other => panic!("unknown backend '{other}' (memory | durable)"),
+                }
+            }
+            "--trace" => verbose = true,
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let run = |seed: u64| {
+        let plan = plan_for(seed, replication, backend);
+        let report = check_plan(&plan);
+        println!(
+            "seed {seed:>6}  {}  R={replication}  fingerprint {:016x}  {} ops  \
+             {} batches flushed, {} failovers, {} promoted",
+            backend.label(),
+            report.fingerprint,
+            report.ops_executed,
+            report.router_stats.batches_flushed,
+            report.router_stats.failovers,
+            report.router_stats.sessions_promoted,
+        );
+        if verbose {
+            for line in &report.trace {
+                println!("  {line}");
+            }
+        }
+    };
+
+    match sweep {
+        Some(count) => (1..=count).for_each(run),
+        None => run(seed),
+    }
+}

@@ -1,0 +1,161 @@
+//! Running, fingerprinting and minimizing simulation schedules.
+
+use pasoa_cluster::ring::fnv1a64;
+use pasoa_cluster::RouterStats;
+
+use crate::plan::{SimConfig, SimOp, SimPlan};
+use crate::world::{SimWorld, Violation};
+
+/// Outcome of a clean simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The seed the schedule was expanded from (0 for hand-written op lists).
+    pub seed: u64,
+    /// Hash over the execution trace and the final observable state. Two runs of the same
+    /// plan must produce the same fingerprint — that IS the determinism contract.
+    pub fingerprint: u64,
+    /// Ops executed.
+    pub ops_executed: usize,
+    /// Router counters after settling.
+    pub router_stats: RouterStats,
+    /// Step-by-step execution trace.
+    pub trace: Vec<String>,
+}
+
+/// A failed simulation run: the violated invariant plus everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// What broke.
+    pub violation: Violation,
+    /// Index of the op that surfaced the violation (`None` when it surfaced while settling).
+    pub failed_op: Option<usize>,
+    /// Execution trace up to the failure.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.failed_op {
+            Some(index) => write!(f, "op {index}: {}", self.violation),
+            None => write!(f, "while settling: {}", self.violation),
+        }
+    }
+}
+
+fn combine(hash: u64, line: &str) -> u64 {
+    // Order-sensitive combination of per-line FNV hashes.
+    hash.wrapping_mul(0x0000_0100_0000_01B3) ^ fnv1a64(line.as_bytes())
+}
+
+/// Execute an explicit op list against a fresh world. This is the replay primitive: the
+/// schedule is data, so a failing seed's (minimized) op list can be committed verbatim as a
+/// regression test.
+pub fn run_ops(config: &SimConfig, ops: &[SimOp]) -> Result<SimReport, SimFailure> {
+    let mut world = SimWorld::new(config).map_err(|violation| SimFailure {
+        violation,
+        failed_op: None,
+        trace: Vec::new(),
+    })?;
+    for (index, op) in ops.iter().enumerate() {
+        world.trace.push(format!("{index:03} {op}"));
+        if let Err(violation) = world.execute(op) {
+            return Err(SimFailure {
+                violation,
+                failed_op: Some(index),
+                trace: world.trace,
+            });
+        }
+    }
+    if let Err(violation) = world.settle() {
+        return Err(SimFailure {
+            violation,
+            failed_op: None,
+            trace: world.trace,
+        });
+    }
+    let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+    for line in &world.trace {
+        fingerprint = combine(fingerprint, line);
+    }
+    for line in world.digest() {
+        fingerprint = combine(fingerprint, &line);
+    }
+    Ok(SimReport {
+        seed: 0,
+        fingerprint,
+        ops_executed: ops.len(),
+        router_stats: world.router_stats(),
+        trace: world.trace,
+    })
+}
+
+/// Expand and execute one plan.
+pub fn run_plan(plan: &SimPlan) -> Result<SimReport, SimFailure> {
+    run_ops(&plan.config, &plan.expand()).map(|mut report| {
+        report.seed = plan.seed;
+        report
+    })
+}
+
+/// Greedily shrink a failing op list: repeatedly drop any single op whose removal keeps the
+/// run failing, until no single removal does. Quadratic in schedule length, which is fine at
+/// simulation scale — and unlike RNG-coupled shrinking, deleting ops never changes what the
+/// remaining ops do (op payloads are pure functions of their coordinates).
+pub fn minimize(config: &SimConfig, ops: &[SimOp]) -> Vec<SimOp> {
+    let mut current: Vec<SimOp> = ops.to_vec();
+    debug_assert!(run_ops(config, &current).is_err());
+    loop {
+        let mut shrunk = false;
+        let mut index = 0;
+        while index < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(index);
+            if run_ops(config, &candidate).is_err() {
+                current = candidate;
+                shrunk = true;
+            } else {
+                index += 1;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Run one plan and panic with a fully reproducible report if any invariant breaks: the seed,
+/// the configuration, the violated invariant, and a minimized op schedule ready to commit as a
+/// regression test.
+pub fn check_plan(plan: &SimPlan) -> SimReport {
+    match run_plan(plan) {
+        Ok(report) => report,
+        Err(failure) => {
+            let ops = plan.expand();
+            let minimized = minimize(&plan.config, &ops);
+            let replay = run_ops(&plan.config, &minimized)
+                .err()
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "minimized schedule no longer fails (flaky?)".into());
+            let schedule: Vec<String> = minimized
+                .iter()
+                .enumerate()
+                .map(|(i, op)| format!("  {i:03} {op}"))
+                .collect();
+            panic!(
+                "pasoa-sim seed {seed} violated an invariant\n\
+                 config: {config:?}\n\
+                 failure: {failure}\n\
+                 minimized to {kept}/{total} ops ({replay}):\n{schedule}\n\
+                 reproduce: PASOA_SIM_SEED={seed} cargo test -p pasoa-sim extra_seed_from_env -- --nocapture\n\
+                 pin it: add seed {seed} (with this config) to crates/sim/tests/regressions.rs",
+                seed = plan.seed,
+                config = plan.config,
+                failure = failure,
+                kept = minimized.len(),
+                total = ops.len(),
+                replay = replay,
+                schedule = schedule.join("\n"),
+            );
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Simulation plans: a seed expanded into a deterministic operation schedule.
+//!
+//! A [`SimPlan`] is `(seed, config)`. [`SimPlan::expand`] derives the whole schedule — every
+//! record submission, flush, query, rebalance and fault — from the seed alone, so a failing
+//! run is reproduced by its seed and nothing else. The expansion is an explicit [`SimOp`]
+//! list (not a lazily-consumed RNG) so the harness can *minimize* a failing schedule by
+//! deleting ops without shifting the randomness of the ops that remain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which storage the cluster's shards run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimBackend {
+    /// In-memory backends: fastest, models the process-crash failure mode only.
+    Memory,
+    /// Durable `pasoa-kvdb` backends (`DbOptions::durable()`): every acked write is fsynced,
+    /// and schedules may crash the database mid-run ([`SimOp::CrashShard`]) or arm seeded
+    /// crash points that fire mid-batch ([`SimOp::ArmCrashPoint`]).
+    DurableKv,
+}
+
+impl SimBackend {
+    /// Short label used in traces and test names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimBackend::Memory => "memory",
+            SimBackend::DurableKv => "durable-kv",
+        }
+    }
+}
+
+/// Cluster shape and schedule size for one simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Initial shard count.
+    pub shards: usize,
+    /// Total copies of every flushed batch (1 = unreplicated; fault ops require ≥ 2).
+    pub replication: usize,
+    /// Virtual nodes per shard on the hash ring. Small values make rebalances move promotion
+    /// targets far more often — worth covering alongside the production default.
+    pub virtual_nodes: usize,
+    /// Logical clients issuing records (interleaved deterministically, not real threads).
+    pub clients: usize,
+    /// Sessions each client writes to.
+    pub sessions_per_client: usize,
+    /// Number of schedule slots to generate (fault/rebalance ops ride on top).
+    pub ops: usize,
+    /// Router batching threshold.
+    pub batch_size: usize,
+    /// Shard storage.
+    pub backend: SimBackend,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            shards: 4,
+            replication: 2,
+            virtual_nodes: 64,
+            clients: 2,
+            sessions_per_client: 3,
+            ops: 40,
+            batch_size: 8,
+            backend: SimBackend::Memory,
+        }
+    }
+}
+
+/// A seeded simulation: everything the run does follows deterministically from this.
+#[derive(Debug, Clone)]
+pub struct SimPlan {
+    /// The seed. Printing this on failure is the whole reproduction story.
+    pub seed: u64,
+    /// Cluster shape and schedule size.
+    pub config: SimConfig,
+}
+
+/// A query issued mid-schedule; every query doubles as an oracle check against the golden
+/// single-store model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Direct scatter-gather: all assertions of one session.
+    Session {
+        /// Client owning the session.
+        client: usize,
+        /// Session index within the client.
+        session: usize,
+    },
+    /// Direct scatter-gather statistics.
+    Statistics,
+    /// Direct scatter-gather interaction listing.
+    Interactions,
+    /// Direct scatter-gather session-group listing.
+    Groups,
+    /// Merged lineage graph of one session.
+    Lineage {
+        /// Client owning the session.
+        client: usize,
+        /// Session index within the client.
+        session: usize,
+    },
+    /// The same session query, but through the wire protocol (envelope codec included).
+    WireSession {
+        /// Client owning the session.
+        client: usize,
+        /// Session index within the client.
+        session: usize,
+    },
+    /// Statistics through the wire protocol.
+    WireStatistics,
+}
+
+/// One step of a simulation schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimOp {
+    /// One client sends one `Record` message with `assertions` p-assertions for one session.
+    Record {
+        /// Issuing client.
+        client: usize,
+        /// Target session index within the client.
+        session: usize,
+        /// P-assertions in the message.
+        assertions: usize,
+    },
+    /// One client registers the session group for one of its sessions.
+    RegisterGroup {
+        /// Issuing client.
+        client: usize,
+        /// Target session index within the client.
+        session: usize,
+    },
+    /// Flush every router buffer.
+    Flush,
+    /// Query the cluster and compare the answer against the golden model.
+    Query(QueryKind),
+    /// Grow the cluster by one shard (consistent-hash rebalance + replica-hold migration).
+    AddShard,
+    /// Kill a shard's service: unreachable at the wire, exactly as a crashed host.
+    KillShard {
+        /// Initial-shard index to kill.
+        victim: usize,
+    },
+    /// Durable backends only: power-loss the shard's database *and* kill its service.
+    CrashShard {
+        /// Initial-shard index to crash.
+        victim: usize,
+    },
+    /// Durable backends only: arm a seeded crash point — the shard's database simulates a
+    /// power loss mid-append once `after_appends` further records have been written, at
+    /// whatever schedule point that turns out to be.
+    ArmCrashPoint {
+        /// Initial-shard index to arm.
+        victim: usize,
+        /// Record appends until the power loss fires.
+        after_appends: u64,
+    },
+    /// Revive a previously killed service at the wire level (the storage layer decides what
+    /// survived). The router may or may not have detected the kill in between — both
+    /// schedules are valid and must keep every invariant.
+    Revive {
+        /// Initial-shard index to revive.
+        victim: usize,
+    },
+}
+
+impl std::fmt::Display for SimOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimOp::Record {
+                client,
+                session,
+                assertions,
+            } => write!(f, "record c{client}s{session} +{assertions}"),
+            SimOp::RegisterGroup { client, session } => {
+                write!(f, "register-group c{client}s{session}")
+            }
+            SimOp::Flush => write!(f, "flush"),
+            SimOp::Query(kind) => write!(f, "query {kind:?}"),
+            SimOp::AddShard => write!(f, "add-shard"),
+            SimOp::KillShard { victim } => write!(f, "kill shard {victim}"),
+            SimOp::CrashShard { victim } => write!(f, "crash shard {victim}"),
+            SimOp::ArmCrashPoint {
+                victim,
+                after_appends,
+            } => write!(
+                f,
+                "arm-crash-point shard {victim} after {after_appends} appends"
+            ),
+            SimOp::Revive { victim } => write!(f, "revive shard {victim}"),
+        }
+    }
+}
+
+impl SimPlan {
+    /// A plan over the default configuration.
+    pub fn new(seed: u64) -> Self {
+        SimPlan {
+            seed,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// A plan with an explicit configuration.
+    pub fn with_config(seed: u64, config: SimConfig) -> Self {
+        SimPlan { seed, config }
+    }
+
+    /// Expand the seed into the full operation schedule.
+    ///
+    /// Fault ops are generated only for replicated plans (`replication ≥ 2` over ≥ 2 shards),
+    /// and at most one fault per schedule — the replicated tier's contract is "any *single*
+    /// shard loss", so a second fault could legitimately lose acked data and would make the
+    /// zero-loss oracle unsound. Crash-flavoured faults require the durable backend.
+    pub fn expand(&self) -> Vec<SimOp> {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let slots = config.ops.max(1);
+        let faults_allowed = config.replication >= 2 && config.shards >= 2;
+
+        // Decide the (single) fault, its position, and an optional wire-level revive.
+        let mut fault: Option<(usize, SimOp)> = None;
+        let mut revive_at: Option<(usize, usize)> = None;
+        if faults_allowed && rng.gen_bool(0.85) {
+            let at = rng.gen_range(0..slots);
+            let victim = rng.gen_range(0..config.shards);
+            let op = match config.backend {
+                SimBackend::Memory => SimOp::KillShard { victim },
+                SimBackend::DurableKv => match rng.gen_range(0..3u32) {
+                    0 => SimOp::KillShard { victim },
+                    1 => SimOp::CrashShard { victim },
+                    _ => SimOp::ArmCrashPoint {
+                        victim,
+                        after_appends: rng.gen_range(1..60),
+                    },
+                },
+            };
+            // Reviving is only meaningful (and only safe for the oracle) after a plain kill:
+            // a crashed database would serve errors if the wire came back.
+            if matches!(op, SimOp::KillShard { .. }) && rng.gen_bool(0.3) {
+                revive_at = Some((rng.gen_range(at..slots), victim));
+            }
+            fault = Some((at, op));
+        }
+
+        // Up to two rebalances at random positions.
+        let mut add_shard_at: Vec<usize> = (0..rng.gen_range(0..=2usize))
+            .map(|_| rng.gen_range(0..slots))
+            .collect();
+        add_shard_at.sort_unstable();
+
+        let mut ops = Vec::with_capacity(slots + 4);
+        for slot in 0..slots {
+            if let Some((at, op)) = &fault {
+                if *at == slot {
+                    ops.push(op.clone());
+                }
+            }
+            if let Some((at, victim)) = revive_at {
+                if at == slot {
+                    ops.push(SimOp::Revive { victim });
+                }
+            }
+            for _ in add_shard_at.iter().filter(|&&at| at == slot) {
+                ops.push(SimOp::AddShard);
+            }
+            ops.push(self.regular_op(&mut rng));
+        }
+        ops
+    }
+
+    /// One non-fault schedule slot.
+    fn regular_op(&self, rng: &mut StdRng) -> SimOp {
+        let config = &self.config;
+        let client = rng.gen_range(0..config.clients.max(1));
+        let session = rng.gen_range(0..config.sessions_per_client.max(1));
+        match rng.gen_range(0..100u32) {
+            0..=54 => SimOp::Record {
+                client,
+                session,
+                assertions: rng.gen_range(1..=8),
+            },
+            55..=64 => SimOp::Flush,
+            65..=74 => SimOp::RegisterGroup { client, session },
+            _ => SimOp::Query(match rng.gen_range(0..7u32) {
+                0 => QueryKind::Session { client, session },
+                1 => QueryKind::Statistics,
+                2 => QueryKind::Interactions,
+                3 => QueryKind::Groups,
+                4 => QueryKind::Lineage { client, session },
+                5 => QueryKind::WireSession { client, session },
+                _ => QueryKind::WireStatistics,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_a_pure_function_of_the_seed() {
+        for seed in [0u64, 1, 7, 42, 1_000_003] {
+            let plan = SimPlan::new(seed);
+            assert_eq!(plan.expand(), plan.expand());
+        }
+        assert_ne!(SimPlan::new(1).expand(), SimPlan::new(2).expand());
+    }
+
+    #[test]
+    fn unreplicated_plans_schedule_no_faults() {
+        let config = SimConfig {
+            replication: 1,
+            ..Default::default()
+        };
+        for seed in 0..50u64 {
+            let ops = SimPlan::with_config(seed, config.clone()).expand();
+            assert!(
+                !ops.iter().any(|op| matches!(
+                    op,
+                    SimOp::KillShard { .. }
+                        | SimOp::CrashShard { .. }
+                        | SimOp::ArmCrashPoint { .. }
+                )),
+                "seed {seed} scheduled a fault without replication"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_plans_schedule_at_most_one_fault() {
+        let config = SimConfig {
+            backend: SimBackend::DurableKv,
+            ..Default::default()
+        };
+        let mut any_fault = false;
+        for seed in 0..50u64 {
+            let ops = SimPlan::with_config(seed, config.clone()).expand();
+            let faults = ops
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op,
+                        SimOp::KillShard { .. }
+                            | SimOp::CrashShard { .. }
+                            | SimOp::ArmCrashPoint { .. }
+                    )
+                })
+                .count();
+            assert!(faults <= 1, "seed {seed} scheduled {faults} faults");
+            any_fault |= faults == 1;
+        }
+        assert!(any_fault, "no seed in 0..50 scheduled a fault at all");
+    }
+
+    #[test]
+    fn memory_plans_never_schedule_database_crashes() {
+        let config = SimConfig::default(); // memory backend
+        for seed in 0..50u64 {
+            let ops = SimPlan::with_config(seed, config.clone()).expand();
+            assert!(!ops
+                .iter()
+                .any(|op| matches!(op, SimOp::CrashShard { .. } | SimOp::ArmCrashPoint { .. })));
+        }
+    }
+}

@@ -1,0 +1,1005 @@
+//! The simulated world: one deployed cluster, one golden single-store oracle, one scheduler.
+//!
+//! Everything runs on the calling thread. "Concurrency" is the interleaving the schedule
+//! encodes — multiple logical clients whose operations are executed in plan order — which is
+//! exactly what makes a run a pure function of its seed: there is no thread scheduler, no
+//! wall clock and no shared RNG left to disagree between two executions.
+//!
+//! Every operation that the cluster acknowledges is also applied to a golden
+//! [`ProvenanceStore`] over a plain memory backend. The oracle relation checked throughout:
+//! **whatever a single store holding all acked documentation would answer, the cluster must
+//! answer bit-for-bit** — under batching, sharding, replication, rebalances, shard kills,
+//! database power losses and mid-batch crash points.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pasoa_cluster::{ClusterConfig, PreservCluster};
+use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
+use pasoa_core::passertion::{
+    ActorStateKind, ActorStatePAssertion, InteractionPAssertion, PAssertion, PAssertionContent,
+    RecordedAssertion, RelationshipPAssertion, ViewKind,
+};
+use pasoa_core::prep::{PrepMessage, QueryRequest, RecordAck, RecordMessage};
+use pasoa_core::{Group, GroupKind, PROVENANCE_STORE_SERVICE};
+use pasoa_kvdb::{Db, DbOptions};
+use pasoa_preserv::{KvBackend, LineageGraph, MemoryBackend, ProvenanceStore, StorageBackend};
+use pasoa_wire::{Envelope, ServiceHost, Transport, TransportConfig};
+
+use crate::plan::{QueryKind, SimBackend, SimConfig, SimOp};
+
+/// A broken invariant: the reason a simulated schedule failed.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke (stable, grep-able name).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    pub(crate) fn new(invariant: &'static str, detail: impl Into<String>) -> Self {
+        Violation {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory for durable shards, removed on drop.
+struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "pasoa-sim-{}-{}",
+            std::process::id(),
+            SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        ScratchDir { path }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+pub(crate) struct SimWorld {
+    config: SimConfig,
+    host: ServiceHost,
+    cluster: Arc<PreservCluster>,
+    transport: Transport,
+    golden: ProvenanceStore,
+    /// Per-shard database handles (durable backend only), in shard-index order.
+    dbs: Vec<Db>,
+    scratch: Option<ScratchDir>,
+    /// Next assertion ordinal per `[client][session]`.
+    next_index: Vec<Vec<usize>>,
+    ids: IdGenerator,
+    /// The shard whose service has been killed (at most one per schedule).
+    killed: Option<usize>,
+    /// The shard with an armed crash point, if any.
+    armed: Option<usize>,
+    pub(crate) trace: Vec<String>,
+}
+
+impl SimWorld {
+    pub(crate) fn new(config: &SimConfig) -> Result<Self, Violation> {
+        let host = ServiceHost::new();
+        let cluster_config = ClusterConfig {
+            shards: config.shards,
+            batch_size: config.batch_size,
+            virtual_nodes: config.virtual_nodes,
+            replication: config.replication,
+            ..Default::default()
+        };
+        let deploy_error =
+            |e: pasoa_preserv::StoreError| Violation::new("deploy", format!("deploy failed: {e}"));
+        let (cluster, dbs, scratch) = match config.backend {
+            SimBackend::Memory => {
+                let cluster = PreservCluster::deploy_with(&host, cluster_config, |_| {
+                    Ok(Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
+                })
+                .map_err(deploy_error)?;
+                (cluster, Vec::new(), None)
+            }
+            SimBackend::DurableKv => {
+                let scratch = ScratchDir::new();
+                let mut dbs = Vec::with_capacity(config.shards);
+                let mut backends: Vec<Arc<dyn StorageBackend>> = Vec::with_capacity(config.shards);
+                for shard in 0..config.shards {
+                    let backend = KvBackend::open_with(
+                        scratch.path.join(format!("shard-{shard}")),
+                        DbOptions::durable(),
+                    )
+                    .map_err(|e| Violation::new("deploy", format!("open shard {shard}: {e}")))?;
+                    dbs.push(backend.db().clone());
+                    backends.push(Arc::new(backend));
+                }
+                let cluster = PreservCluster::deploy_with(&host, cluster_config, move |shard| {
+                    Ok(Arc::clone(&backends[shard]))
+                })
+                .map_err(deploy_error)?;
+                (cluster, dbs, Some(scratch))
+            }
+        };
+        let golden = ProvenanceStore::open(Arc::new(MemoryBackend::new()))
+            .map_err(|e| Violation::new("deploy", format!("golden store: {e}")))?;
+        Ok(SimWorld {
+            host: host.clone(),
+            transport: host.transport(TransportConfig::free()),
+            cluster,
+            golden,
+            dbs,
+            scratch,
+            next_index: vec![vec![0; config.sessions_per_client]; config.clients],
+            ids: IdGenerator::new("sim"),
+            killed: None,
+            armed: None,
+            trace: Vec::new(),
+            config: config.clone(),
+        })
+    }
+
+    fn session_name(&self, client: usize, session: usize) -> String {
+        format!("session:sim:c{client}:s{session}")
+    }
+
+    fn every_session(&self) -> Vec<(usize, usize)> {
+        (0..self.config.clients)
+            .flat_map(|c| (0..self.config.sessions_per_client).map(move |s| (c, s)))
+            .collect()
+    }
+
+    /// The deterministic p-assertion `k` of session `(client, session)` — a pure function, so
+    /// minimizing a schedule never shifts the content of the ops that remain.
+    fn assertion_for(&self, client: usize, session: usize, k: usize) -> RecordedAssertion {
+        let sid = SessionId::new(self.session_name(client, session));
+        let key =
+            |i: usize| InteractionKey::new(format!("interaction:sim:c{client}:s{session}:{i:06}"));
+        let data = |i: usize| DataId::new(format!("data:sim:c{client}:s{session}:{i:06}"));
+        let asserter = ActorId::new(format!("sim-client-{client}"));
+        // Mix the coordinates so the kind pattern differs across sessions but is stable for
+        // any given (client, session, k).
+        let mix = pasoa_cluster::ring::fnv1a64(format!("kind:{client}:{session}:{k}").as_bytes());
+        let assertion = match if k == 0 { 0 } else { mix % 4 } {
+            0 | 1 => PAssertion::Interaction(InteractionPAssertion {
+                interaction_key: key(k),
+                asserter: asserter.clone(),
+                view: ViewKind::Sender,
+                sender: asserter,
+                receiver: ActorId::new("measure-service"),
+                operation: "simulate".into(),
+                content: PAssertionContent::text(format!("payload c{client}s{session}k{k}")),
+                data_ids: vec![data(k)],
+            }),
+            2 => PAssertion::ActorState(ActorStatePAssertion {
+                // Document state for the previous interaction: multiple assertions per
+                // interaction key exercise within-interaction ordering.
+                interaction_key: key(k - 1),
+                asserter,
+                view: ViewKind::Receiver,
+                kind: ActorStateKind::Script,
+                content: PAssertionContent::text(format!("script c{client}s{session}k{k}")),
+            }),
+            _ => {
+                let mut causes = vec![(key(k - 1), data(k - 1))];
+                if k >= 4 {
+                    causes.push((key(k / 2), data(k / 2)));
+                }
+                PAssertion::Relationship(RelationshipPAssertion {
+                    interaction_key: key(k),
+                    asserter,
+                    effect: data(k),
+                    causes,
+                    relation: "derived-from".into(),
+                })
+            }
+        };
+        RecordedAssertion {
+            session: sid,
+            assertion,
+        }
+    }
+
+    /// If an armed crash point has fired (its database crashed) and the shard's service has
+    /// not been killed yet, complete the power loss: the host is gone, so its service becomes
+    /// unreachable. Returns whether a crash was absorbed.
+    fn absorb_crash_point(&mut self) -> bool {
+        let Some(armed) = self.armed else {
+            return false;
+        };
+        if self.killed == Some(armed) || !self.dbs[armed].is_crashed() {
+            return false;
+        }
+        let name = self.cluster.router().shard_names()[armed].clone();
+        self.host.fault_injector().kill(name);
+        self.killed = Some(armed);
+        self.trace.push(format!(
+            "      crash point fired: shard {armed} lost power, service killed"
+        ));
+        true
+    }
+
+    /// Run a fallible cluster interaction, absorbing at most a few armed-crash-point firings
+    /// (each one kills the crashed shard and retries, as an operator-less failover would).
+    /// Any error not explained by a crash point is an availability violation.
+    fn with_crash_retry<T>(
+        &mut self,
+        what: &str,
+        f: impl Fn(&SimWorld) -> Result<T, String>,
+    ) -> Result<T, Violation> {
+        for _ in 0..3 {
+            let outcome = f(self);
+            match outcome {
+                Ok(value) => return Ok(value),
+                Err(detail) => {
+                    if self.absorb_crash_point() {
+                        continue;
+                    }
+                    return Err(Violation::new(
+                        "availability",
+                        format!("{what} failed without an injected cause: {detail}"),
+                    ));
+                }
+            }
+        }
+        Err(Violation::new(
+            "availability",
+            format!("{what} kept failing after absorbing the crash point"),
+        ))
+    }
+
+    /// Reject ops whose coordinates don't fit this world — a hand-transcribed replay schedule
+    /// run against the wrong `SimConfig` must fail with a readable violation naming the
+    /// mismatch, not an index panic deep in the executor.
+    fn validate(&self, op: &SimOp) -> Result<(), Violation> {
+        let plan_error = |detail: String| Err(Violation::new("plan", detail));
+        let shard_in_range = |victim: usize| {
+            if victim >= self.config.shards {
+                plan_error(format!(
+                    "{op} targets shard {victim}, but the plan deploys only {} initial shards",
+                    self.config.shards
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let client_session = |client: usize, session: usize| {
+            if client >= self.config.clients || session >= self.config.sessions_per_client {
+                plan_error(format!(
+                    "{op} addresses client {client} session {session}, but the plan has {} \
+                     clients x {} sessions",
+                    self.config.clients, self.config.sessions_per_client
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match *op {
+            SimOp::Record {
+                client, session, ..
+            }
+            | SimOp::RegisterGroup { client, session }
+            | SimOp::Query(
+                QueryKind::Session { client, session }
+                | QueryKind::Lineage { client, session }
+                | QueryKind::WireSession { client, session },
+            ) => client_session(client, session),
+            SimOp::KillShard { victim } | SimOp::Revive { victim } => shard_in_range(victim),
+            SimOp::CrashShard { victim } | SimOp::ArmCrashPoint { victim, .. } => {
+                if self.config.backend != SimBackend::DurableKv {
+                    return plan_error(format!(
+                        "{op} requires the durable backend, but the plan runs {} shards",
+                        self.config.backend.label()
+                    ));
+                }
+                shard_in_range(victim)
+            }
+            SimOp::Flush | SimOp::AddShard | SimOp::Query(_) => Ok(()),
+        }
+    }
+
+    pub(crate) fn execute(&mut self, op: &SimOp) -> Result<(), Violation> {
+        self.validate(op)?;
+        match op {
+            SimOp::Record {
+                client,
+                session,
+                assertions,
+            } => self.execute_record(*client, *session, *assertions),
+            SimOp::RegisterGroup { client, session } => {
+                self.execute_register_group(*client, *session)
+            }
+            SimOp::Flush => {
+                self.with_crash_retry("flush", |w| w.cluster.flush().map_err(|e| e.to_string()))?;
+                self.trace.push("      flushed".into());
+                Ok(())
+            }
+            SimOp::Query(kind) => self.execute_query(*kind),
+            SimOp::AddShard => self.execute_add_shard(),
+            SimOp::KillShard { victim } => {
+                let name = self.cluster.router().shard_names()[*victim].clone();
+                self.host.fault_injector().kill(name);
+                self.killed = Some(*victim);
+                self.trace.push(format!("      shard {victim} killed"));
+                Ok(())
+            }
+            SimOp::CrashShard { victim } => {
+                // Power loss: the database discards everything past its last fsync, then the
+                // host drops off the network.
+                let _ = self.dbs[*victim].crash();
+                let name = self.cluster.router().shard_names()[*victim].clone();
+                self.host.fault_injector().kill(name);
+                self.killed = Some(*victim);
+                self.trace
+                    .push(format!("      shard {victim} crashed (database + service)"));
+                Ok(())
+            }
+            SimOp::ArmCrashPoint {
+                victim,
+                after_appends,
+            } => {
+                self.dbs[*victim].arm_crash_after_appends(*after_appends);
+                self.armed = Some(*victim);
+                self.trace.push(format!(
+                    "      shard {victim} armed to lose power after {after_appends} appends"
+                ));
+                Ok(())
+            }
+            SimOp::Revive { victim } => {
+                let name = self.cluster.router().shard_names()[*victim].clone();
+                let was_down = self.host.fault_injector().revive(&name);
+                let detected = self.cluster.router().stats().failovers > 0;
+                self.trace.push(format!(
+                    "      shard {victim} revived (was_down={was_down}, failover_already_ran={detected})"
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    fn execute_record(
+        &mut self,
+        client: usize,
+        session: usize,
+        assertions: usize,
+    ) -> Result<(), Violation> {
+        let first = self.next_index[client][session];
+        self.next_index[client][session] += assertions;
+        let batch: Vec<RecordedAssertion> = (first..first + assertions)
+            .map(|k| self.assertion_for(client, session, k))
+            .collect();
+        let message = PrepMessage::Record(RecordMessage {
+            message_id: self.ids.message_id(),
+            asserter: ActorId::new(format!("sim-client-{client}")),
+            assertions: batch.clone(),
+        });
+        let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
+            .with_json_payload(&message)
+            .map_err(|e| Violation::new("wire", format!("encode record: {e}")))?;
+        match self.transport.call(envelope) {
+            Ok(response) => {
+                let ack: RecordAck = response
+                    .json_payload()
+                    .map_err(|e| Violation::new("wire", format!("decode ack: {e}")))?;
+                if ack.accepted != assertions || !ack.fully_accepted() {
+                    return Err(Violation::new(
+                        "ack",
+                        format!(
+                            "record c{client}s{session} acked {}/{} with {} rejections",
+                            ack.accepted,
+                            assertions,
+                            ack.rejected.len()
+                        ),
+                    ));
+                }
+                self.golden_record(&batch)?;
+                self.trace
+                    .push(format!("      acked {assertions} (k {first}..)"));
+                Ok(())
+            }
+            Err(error) => {
+                if self.absorb_crash_point() {
+                    // The failed send restored the whole batch into the (now dead) shard's
+                    // buffer; failover redistributes it and the next flush delivers it. The
+                    // client saw an error, but the write is nonetheless durable in the tier —
+                    // so the golden model must include it, or a later query would report the
+                    // delivered copy as phantom data.
+                    self.golden_record(&batch)?;
+                    self.trace.push(
+                        "      record failed at the crash point; batch preserved for redelivery"
+                            .to_string(),
+                    );
+                    Ok(())
+                } else {
+                    Err(Violation::new(
+                        "availability",
+                        format!(
+                            "record c{client}s{session} failed without an injected cause: {error}"
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn golden_record(&self, batch: &[RecordedAssertion]) -> Result<(), Violation> {
+        self.golden
+            .record_all(batch)
+            .map(|_| ())
+            .map_err(|e| Violation::new("golden", format!("golden store rejected a batch: {e}")))
+    }
+
+    fn execute_register_group(&mut self, client: usize, session: usize) -> Result<(), Violation> {
+        let group = Group::new(self.session_name(client, session), GroupKind::Session);
+        for _ in 0..3 {
+            let message = PrepMessage::RegisterGroup(group.clone());
+            let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
+                .with_json_payload(&message)
+                .map_err(|e| Violation::new("wire", format!("encode group: {e}")))?;
+            match self.transport.call(envelope) {
+                Ok(_) => {
+                    self.golden.register_group(&group).map_err(|e| {
+                        Violation::new("golden", format!("golden group registration: {e}"))
+                    })?;
+                    self.trace.push("      group registered".into());
+                    return Ok(());
+                }
+                Err(error) => {
+                    // A registration is not buffered: a failure at the crash point means it
+                    // was NOT applied, so the client (this harness) retries it after the
+                    // failover, like any store client would.
+                    if self.absorb_crash_point() {
+                        self.trace
+                            .push("      registration failed at the crash point; retrying".into());
+                        continue;
+                    }
+                    return Err(Violation::new(
+                        "availability",
+                        format!(
+                            "register-group c{client}s{session} failed without an injected cause: {error}"
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(Violation::new(
+            "availability",
+            "group registration kept failing after absorbing the crash point".to_string(),
+        ))
+    }
+
+    fn execute_add_shard(&mut self) -> Result<(), Violation> {
+        match self.config.backend {
+            SimBackend::Memory => {
+                self.with_crash_retry("add-shard", |w| {
+                    w.cluster.add_shard().map(|_| ()).map_err(|e| e.to_string())
+                })?;
+            }
+            SimBackend::DurableKv => {
+                let scratch = self
+                    .scratch
+                    .as_ref()
+                    .expect("durable worlds own a scratch dir")
+                    .path
+                    .clone();
+                for attempt in 0..3 {
+                    let index = self.cluster.shard_count();
+                    let backend = KvBackend::open_with(
+                        scratch.join(format!("shard-{index}-attempt-{attempt}")),
+                        DbOptions::durable(),
+                    )
+                    .map_err(|e| Violation::new("deploy", format!("open added shard: {e}")))?;
+                    let db = backend.db().clone();
+                    match self.cluster.add_shard_with(Arc::new(backend)) {
+                        Ok(_) => {
+                            self.dbs.push(db);
+                            break;
+                        }
+                        Err(error) => {
+                            if self.absorb_crash_point() {
+                                continue;
+                            }
+                            return Err(Violation::new(
+                                "availability",
+                                format!("add-shard failed without an injected cause: {error}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        self.trace.push(format!(
+            "      cluster grown to {} shards",
+            self.cluster.shard_count()
+        ));
+        Ok(())
+    }
+
+    fn execute_query(&mut self, kind: QueryKind) -> Result<(), Violation> {
+        match kind {
+            QueryKind::Session { client, session } => self.check_session(client, session),
+            QueryKind::Statistics => self.check_statistics(),
+            QueryKind::Interactions => self.check_interactions(),
+            QueryKind::Groups => self.check_groups(),
+            QueryKind::Lineage { client, session } => self.check_lineage(client, session),
+            QueryKind::WireSession { client, session } => self.check_wire_query(
+                QueryRequest::BySession(SessionId::new(self.session_name(client, session))),
+            ),
+            QueryKind::WireStatistics => self.check_wire_query(QueryRequest::Statistics),
+        }
+    }
+
+    /// Zero acked loss, zero phantom data, exactly-once: one session's cluster answer equals
+    /// the golden store's, and its assertions live on exactly one live shard each.
+    fn check_session(&mut self, client: usize, session: usize) -> Result<(), Violation> {
+        let sid = SessionId::new(self.session_name(client, session));
+        let got = {
+            let sid = sid.clone();
+            self.with_crash_retry("session query", move |w| {
+                w.cluster
+                    .assertions_for_session(&sid)
+                    .map_err(|e| e.to_string())
+            })?
+        };
+        let expected = self
+            .golden
+            .assertions_for_session(&sid)
+            .map_err(|e| Violation::new("golden", e.to_string()))?;
+        if got != expected {
+            return Err(Violation::new(
+                "acked-visibility",
+                format!(
+                    "session {} answered {} assertions, golden holds {}",
+                    sid.as_str(),
+                    got.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        // Exactly-once: summed per-live-shard counts must equal the merged answer (a promoted
+        // copy surviving next to the original would double here even if the merge masked it).
+        let mut per_store_total = 0usize;
+        for store in self.cluster.live_stores() {
+            per_store_total += store
+                .assertions_for_session(&sid)
+                .map_err(|e| Violation::new("availability", e.to_string()))?
+                .len();
+        }
+        if per_store_total != expected.len() {
+            return Err(Violation::new(
+                "exactly-once",
+                format!(
+                    "session {} holds {} copies across live shards, expected {}",
+                    sid.as_str(),
+                    per_store_total,
+                    expected.len()
+                ),
+            ));
+        }
+        self.trace.push(format!(
+            "      session answer ok ({} assertions)",
+            got.len()
+        ));
+        Ok(())
+    }
+
+    fn check_statistics(&mut self) -> Result<(), Violation> {
+        let got = self.with_crash_retry("statistics query", |w| {
+            w.cluster.statistics().map_err(|e| e.to_string())
+        })?;
+        let expected = self.golden.statistics();
+        if got != expected {
+            return Err(Violation::new(
+                "scatter-gather",
+                format!("statistics diverged: cluster {got:?}, golden {expected:?}"),
+            ));
+        }
+        self.trace.push(format!(
+            "      statistics ok ({} assertions)",
+            got.total_passertions()
+        ));
+        Ok(())
+    }
+
+    fn check_interactions(&mut self) -> Result<(), Violation> {
+        let got = self.with_crash_retry("interaction listing", |w| {
+            w.cluster.list_interactions(None).map_err(|e| e.to_string())
+        })?;
+        let expected = self
+            .golden
+            .list_interactions(None)
+            .map_err(|e| Violation::new("golden", e.to_string()))?;
+        if got != expected {
+            return Err(Violation::new(
+                "scatter-gather",
+                format!(
+                    "interaction listing diverged: cluster {} keys, golden {} keys",
+                    got.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        self.trace
+            .push(format!("      interactions ok ({} keys)", got.len()));
+        Ok(())
+    }
+
+    fn check_groups(&mut self) -> Result<(), Violation> {
+        let got = self.with_crash_retry("group listing", |w| {
+            w.cluster
+                .groups_by_kind("session")
+                .map_err(|e| e.to_string())
+        })?;
+        let expected = self
+            .golden
+            .groups_by_kind("session")
+            .map_err(|e| Violation::new("golden", e.to_string()))?;
+        if got != expected {
+            return Err(Violation::new(
+                "scatter-gather",
+                format!(
+                    "group listing diverged: cluster {} groups, golden {}",
+                    got.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        self.trace.push(format!("      groups ok ({})", got.len()));
+        Ok(())
+    }
+
+    /// Lineage closure integrity: the merged derivation graph equals the golden one, and every
+    /// cause referenced by a relationship is present as a node or a known root.
+    fn check_lineage(&mut self, client: usize, session: usize) -> Result<(), Violation> {
+        let sid = SessionId::new(self.session_name(client, session));
+        let got = {
+            let sid = sid.clone();
+            self.with_crash_retry("lineage query", move |w| {
+                w.cluster.lineage_session(&sid).map_err(|e| e.to_string())
+            })?
+        };
+        let expected = LineageGraph::trace_session(&self.golden, &sid)
+            .map_err(|e| Violation::new("golden", e.to_string()))?;
+        if got != expected {
+            return Err(Violation::new(
+                "lineage",
+                format!(
+                    "lineage of {} diverged: cluster {} nodes, golden {}",
+                    sid.as_str(),
+                    got.nodes.len(),
+                    expected.nodes.len()
+                ),
+            ));
+        }
+        // Closure: walking every edge backwards stays inside the graph-or-roots universe —
+        // a lost shard must never leave a dangling derivation.
+        let recorded = self
+            .golden
+            .assertions_for_session(&sid)
+            .map_err(|e| Violation::new("golden", e.to_string()))?;
+        let mut known_data: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for r in &recorded {
+            match &r.assertion {
+                PAssertion::Interaction(i) => {
+                    known_data.extend(i.data_ids.iter().map(|d| d.as_str().to_string()))
+                }
+                PAssertion::Relationship(rel) => {
+                    known_data.insert(rel.effect.as_str().to_string());
+                    known_data.extend(rel.causes.iter().map(|(_, d)| d.as_str().to_string()));
+                }
+                PAssertion::ActorState(_) => {}
+            }
+        }
+        for node in got.nodes.values() {
+            for parent in &node.derived_from {
+                if !known_data.contains(parent.as_str()) {
+                    return Err(Violation::new(
+                        "lineage",
+                        format!(
+                            "derivation of {} references unknown ancestor {}",
+                            node.data.as_str(),
+                            parent.as_str()
+                        ),
+                    ));
+                }
+            }
+        }
+        self.trace
+            .push(format!("      lineage ok ({} nodes)", got.nodes.len()));
+        Ok(())
+    }
+
+    fn check_wire_query(&mut self, request: QueryRequest) -> Result<(), Violation> {
+        let got = {
+            let request = request.clone();
+            self.with_crash_retry("wire query", move |w| {
+                let message = PrepMessage::Query(request.clone());
+                let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
+                    .with_json_payload(&message)
+                    .map_err(|e| e.to_string())?;
+                let response = w.transport.call(envelope).map_err(|e| e.to_string())?;
+                response
+                    .json_payload::<pasoa_core::prep::QueryResponse>()
+                    .map_err(|e| e.to_string())
+            })?
+        };
+        let expected = self
+            .golden
+            .query(&request)
+            .map_err(|e| Violation::new("golden", e.to_string()))?;
+        if got != expected {
+            return Err(Violation::new(
+                "scatter-gather",
+                format!("wire answer to {request:?} diverged from the golden store"),
+            ));
+        }
+        self.trace.push("      wire query ok".into());
+        Ok(())
+    }
+
+    /// Drain everything and run the full invariant suite.
+    pub(crate) fn settle(&mut self) -> Result<(), Violation> {
+        self.trace.push("settle".into());
+        self.with_crash_retry("final flush", |w| {
+            w.cluster.flush().map_err(|e| e.to_string())
+        })?;
+        for (client, session) in self.every_session() {
+            self.check_session(client, session)?;
+            self.check_lineage(client, session)?;
+        }
+        self.check_statistics()?;
+        self.check_interactions()?;
+        self.check_groups()?;
+        self.check_hold_accounting()?;
+
+        let router = self.cluster.router();
+        let pending = router.pending_replay_shards();
+        if !pending.is_empty() {
+            return Err(Violation::new(
+                "hold-accounting",
+                format!("promotion replays still pending for shards {pending:?} after settling"),
+            ));
+        }
+        let stats = router.stats();
+        if stats.failovers > 1 {
+            return Err(Violation::new(
+                "failover",
+                format!(
+                    "{} failovers for at most one injected fault",
+                    stats.failovers
+                ),
+            ));
+        }
+        self.check_crashed_durability()?;
+        Ok(())
+    }
+
+    /// Replica-copy accounting over the live holds: no copy stranded for a dead primary, no
+    /// copy parked off the placement rule, no `(primary, session)` duplicated beyond R−1, and
+    /// never more held copies than the primary actually committed.
+    fn check_hold_accounting(&mut self) -> Result<(), Violation> {
+        let router = self.cluster.router();
+        let replication = router.replication();
+        let snapshot = router.hold_snapshot();
+        let alive: Vec<bool> = snapshot.iter().map(|s| s.alive).collect();
+        if replication < 2 {
+            for shard in &snapshot {
+                if !shard.sessions.is_empty() || !shard.groups.is_empty() {
+                    return Err(Violation::new(
+                        "hold-accounting",
+                        format!("unreplicated cluster holds copies on shard {}", shard.shard),
+                    ));
+                }
+            }
+            return Ok(());
+        }
+        let stores = self.cluster.shard_stores();
+        let mut holders: BTreeMap<(usize, String), usize> = BTreeMap::new();
+        for shard in &snapshot {
+            if !shard.alive {
+                continue; // a dead holder's copies are unreachable by construction
+            }
+            for held in &shard.sessions {
+                if !alive[held.primary] {
+                    return Err(Violation::new(
+                        "hold-accounting",
+                        format!(
+                            "shard {} still holds {} copies of {} for dead primary {}",
+                            shard.shard, held.assertions, held.session, held.primary
+                        ),
+                    ));
+                }
+                let live_successors: Vec<usize> = router
+                    .ring_successors(held.primary)
+                    .into_iter()
+                    .filter(|&s| alive[s])
+                    .collect();
+                let position = live_successors.iter().position(|&s| s == shard.shard);
+                if !matches!(position, Some(p) if p < replication - 1) {
+                    return Err(Violation::new(
+                        "hold-accounting",
+                        format!(
+                            "shard {} holds a copy of {} (primary {}) outside the first {} live successors {:?}",
+                            shard.shard,
+                            held.session,
+                            held.primary,
+                            replication - 1,
+                            live_successors
+                        ),
+                    ));
+                }
+                let committed = stores[held.primary]
+                    .assertions_for_session(&SessionId::new(held.session.clone()))
+                    .map_err(|e| Violation::new("availability", e.to_string()))?
+                    .len();
+                if held.assertions > committed {
+                    return Err(Violation::new(
+                        "hold-accounting",
+                        format!(
+                            "shard {} holds {} copies of {} but primary {} committed only {}",
+                            shard.shard, held.assertions, held.session, held.primary, committed
+                        ),
+                    ));
+                }
+                *holders
+                    .entry((held.primary, held.session.clone()))
+                    .or_default() += 1;
+            }
+            for (primary, group) in &shard.groups {
+                if !alive[*primary] {
+                    return Err(Violation::new(
+                        "hold-accounting",
+                        format!(
+                            "shard {} still holds group {} for dead primary {}",
+                            shard.shard, group, primary
+                        ),
+                    ));
+                }
+            }
+        }
+        for ((primary, session), count) in holders {
+            if count > replication - 1 {
+                return Err(Violation::new(
+                    "hold-accounting",
+                    format!(
+                        "{count} live shards hold copies of {session} (primary {primary}), \
+                         replication allows {}",
+                        replication - 1
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-mortem on crashed durable shards: the on-disk log reopens cleanly (the power loss
+    /// truncated exactly to the fsync point) and recovers no phantom documentation — every
+    /// recovered assertion is one the tier acked.
+    fn check_crashed_durability(&mut self) -> Result<(), Violation> {
+        let crashed: Vec<(usize, PathBuf)> = self
+            .dbs
+            .iter()
+            .enumerate()
+            .filter(|(_, db)| db.is_crashed())
+            .map(|(shard, db)| (shard, db.dir().to_path_buf()))
+            .collect();
+        for (shard, dir) in crashed {
+            let backend = KvBackend::open(&dir).map_err(|e| {
+                Violation::new(
+                    "recovery",
+                    format!("crashed shard {shard} failed to reopen: {e}"),
+                )
+            })?;
+            if !backend.recovery_report().is_clean() {
+                return Err(Violation::new(
+                    "recovery",
+                    format!(
+                        "crashed shard {shard} reopened dirty: {:?}",
+                        backend.recovery_report()
+                    ),
+                ));
+            }
+            let recovered = ProvenanceStore::open(Arc::new(backend))
+                .map_err(|e| Violation::new("recovery", e.to_string()))?;
+            for (client, session) in self.every_session() {
+                let sid = SessionId::new(self.session_name(client, session));
+                let salvaged = recovered
+                    .assertions_for_session(&sid)
+                    .map_err(|e| Violation::new("recovery", e.to_string()))?;
+                let golden: Vec<String> = self
+                    .golden
+                    .assertions_for_session(&sid)
+                    .map_err(|e| Violation::new("golden", e.to_string()))?
+                    .iter()
+                    .map(|r| serde_json::to_string(r).expect("assertions serialize"))
+                    .collect();
+                let mut budget: BTreeMap<String, usize> = BTreeMap::new();
+                for line in golden {
+                    *budget.entry(line).or_default() += 1;
+                }
+                for r in &salvaged {
+                    let line = serde_json::to_string(r).expect("assertions serialize");
+                    let remaining = budget.entry(line).or_default();
+                    if *remaining == 0 {
+                        return Err(Violation::new(
+                            "recovery",
+                            format!(
+                                "crashed shard {shard} recovered a phantom assertion for {}",
+                                sid.as_str()
+                            ),
+                        ));
+                    }
+                    *remaining -= 1;
+                }
+            }
+            self.trace.push(format!(
+                "      crashed shard {shard} reopened clean, no phantoms"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Lines summarizing the final observable state, hashed into the run fingerprint.
+    pub(crate) fn digest(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (client, session) in self.every_session() {
+            let sid = SessionId::new(self.session_name(client, session));
+            let answer = self
+                .cluster
+                .assertions_for_session(&sid)
+                .map(|a| serde_json::to_string(&a).expect("assertions serialize"))
+                .unwrap_or_else(|e| format!("error: {e}"));
+            lines.push(format!("session {}: {answer}", sid.as_str()));
+            let lineage = self
+                .cluster
+                .lineage_session(&sid)
+                .map(|g| serde_json::to_string(&g).expect("lineage serializes"))
+                .unwrap_or_else(|e| format!("error: {e}"));
+            lines.push(format!("lineage {}: {lineage}", sid.as_str()));
+        }
+        lines.push(format!(
+            "statistics: {:?}",
+            self.cluster.statistics().map_err(|e| e.to_string())
+        ));
+        lines.push(format!(
+            "interactions: {:?}",
+            self.cluster
+                .list_interactions(None)
+                .map_err(|e| e.to_string())
+        ));
+        lines.push(format!(
+            "groups: {:?}",
+            self.cluster
+                .groups_by_kind("session")
+                .map(|groups| groups.iter().map(|g| g.id.clone()).collect::<Vec<_>>())
+                .map_err(|e| e.to_string())
+        ));
+        lines.push(format!(
+            "holds: {:?}",
+            self.cluster.router().hold_snapshot()
+        ));
+        lines.push(format!("router: {:?}", self.cluster.router().stats()));
+        lines
+    }
+
+    pub(crate) fn router_stats(&self) -> pasoa_cluster::RouterStats {
+        self.cluster.router().stats()
+    }
+}

@@ -1,0 +1,73 @@
+//! Pinned schedules: every bug the simulator has caught, committed as a one-line repro.
+//!
+//! The workflow (see README "Testing & simulation"): a failing run prints its seed and a
+//! minimized op schedule; add the seed here via `plan_for`, and — when the minimized schedule
+//! is small enough to read — also pin the explicit op list so the regression survives any
+//! future change to the seed-expansion logic.
+
+use pasoa_sim::{check_plan, plan_for, run_ops, SimBackend, SimConfig, SimOp, SimPlan};
+
+fn sparse_ring() -> SimConfig {
+    SimConfig {
+        virtual_nodes: 8,
+        ..Default::default()
+    }
+}
+
+/// Found by this harness (seed 5, memory R=2): a session documented *only* by its group
+/// registration was invisible to the router's rebalance-stickiness probe, so re-registering
+/// the same group after `add_shard` landed on the new ring owner and the group existed on two
+/// shards at once — a single store would have replaced it in place. Minimized schedule:
+/// `register-group; add-shard; register-group`.
+#[test]
+fn group_reregistration_after_a_rebalance_must_not_duplicate_the_group() {
+    let ops = vec![
+        SimOp::RegisterGroup {
+            client: 1,
+            session: 1,
+        },
+        SimOp::AddShard,
+        SimOp::RegisterGroup {
+            client: 1,
+            session: 1,
+        },
+    ];
+    if let Err(failure) = run_ops(&sparse_ring(), &ops) {
+        panic!("group duplication regressed: {failure}");
+    }
+    // The full seed that first exposed it.
+    check_plan(&SimPlan::with_config(5, sparse_ring()));
+}
+
+/// Re-detects the PR 2 rebalance data-loss race if its fix is ever reverted: `add_shard` must
+/// migrate replica holds to the changed ring's successors. With the fix removed, seed 3 fails
+/// the hold-accounting invariant (a copy parked off the placement rule — latent loss) and
+/// seed 47 fails acked-visibility outright (a session answers 0 of its 2 acked assertions
+/// after the post-rebalance failover). Both minimize to `record; add-shard` (+ the kill that
+/// turns misplacement into loss). With the fix intact they must pass.
+#[test]
+fn rebalance_hold_migration_stays_fixed() {
+    let ops = vec![
+        SimOp::Record {
+            client: 0,
+            session: 1,
+            assertions: 8,
+        },
+        SimOp::AddShard,
+        SimOp::Flush,
+    ];
+    if let Err(failure) = run_ops(&sparse_ring(), &ops) {
+        panic!("replica-hold migration regressed: {failure}");
+    }
+    check_plan(&plan_for(3, 2, SimBackend::Memory));
+    check_plan(&plan_for(47, 2, SimBackend::Memory));
+}
+
+/// The kill-any-shard guarantee under the sparse ring, across both backends: seed 2 schedules
+/// a kill with promotions on the 8-vnode ring, which is the configuration whose failover
+/// target moves most often.
+#[test]
+fn sparse_ring_failover_keeps_every_invariant() {
+    check_plan(&plan_for(2, 2, SimBackend::Memory));
+    check_plan(&plan_for(2, 2, SimBackend::DurableKv));
+}

@@ -9,10 +9,10 @@
 //! shard is decided by the storage layer's recovery, not by this layer).
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 /// A shared handle for downing and reviving services on one host.
 ///
@@ -83,6 +83,118 @@ impl FaultInjector {
     }
 }
 
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultActionKind {
+    /// Make the service unreachable ([`FaultInjector::kill`]).
+    Kill,
+    /// Make the service reachable again ([`FaultInjector::revive`]).
+    Revive,
+}
+
+/// One scheduled fault: when the observed progress counter reaches `at`, apply `kind` to
+/// `service`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAction {
+    /// Progress threshold (in whatever unit the driver counts: messages sent, simulation
+    /// steps, ...). An action with `at == 0` is due before any progress is made.
+    pub at: u64,
+    /// The service the action targets.
+    pub service: String,
+    /// Kill or revive.
+    pub kind: FaultActionKind,
+}
+
+/// A deterministic fault script: an ordered set of [`FaultAction`]s applied against one
+/// [`FaultInjector`] as a driver-owned progress counter advances.
+///
+/// This is the schedulable face of fault injection: a load generator counts record messages, a
+/// simulation harness counts executed plan steps — either way, calling [`FaultSchedule::advance`]
+/// with the current count fires every action whose threshold has been crossed, exactly once,
+/// in threshold order (ties fire in construction order). Safe to drive from many threads:
+/// application is serialized, so a kill at 2 and a revive at 7 always reach the injector in
+/// that order no matter which threads' `advance` calls observe them.
+pub struct FaultSchedule {
+    injector: FaultInjector,
+    /// Actions sorted by threshold (stable, so equal thresholds keep construction order).
+    actions: Vec<FaultAction>,
+    /// Index of the next action not yet fired. Mutations happen only under `apply`;
+    /// kept atomic so `is_exhausted` stays lock-free.
+    next: AtomicUsize,
+    /// Serializes firing: selection AND injector application happen under this lock, so
+    /// concurrent `advance` calls cannot apply a later action before an earlier one.
+    apply: Mutex<()>,
+    /// Actions applied so far, in firing order.
+    fired: Mutex<Vec<FaultAction>>,
+}
+
+impl FaultSchedule {
+    /// Build a schedule over `actions`, applied to `injector` as the counter advances.
+    pub fn new(injector: FaultInjector, mut actions: Vec<FaultAction>) -> Self {
+        actions.sort_by_key(|action| action.at);
+        FaultSchedule {
+            injector,
+            actions,
+            next: AtomicUsize::new(0),
+            apply: Mutex::new(()),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Fire every not-yet-fired action whose threshold is `<= now`. Returns how many actions
+    /// this call fired.
+    pub fn advance(&self, now: u64) -> usize {
+        // Fast path: nothing due (one atomic load per message once the schedule is drained
+        // past `now`).
+        let peek = self.next.load(Ordering::SeqCst);
+        if peek >= self.actions.len() || self.actions[peek].at > now {
+            return 0;
+        }
+        let _guard = self.apply.lock();
+        let mut fired_here = 0;
+        loop {
+            let index = self.next.load(Ordering::SeqCst);
+            if index >= self.actions.len() || self.actions[index].at > now {
+                return fired_here;
+            }
+            let action = &self.actions[index];
+            match action.kind {
+                FaultActionKind::Kill => {
+                    self.injector.kill(action.service.clone());
+                }
+                FaultActionKind::Revive => {
+                    self.injector.revive(&action.service);
+                }
+            }
+            self.fired.lock().push(action.clone());
+            // Advance only after the action has been applied, so a concurrent fast-path
+            // reader never concludes an unapplied action already fired.
+            self.next.store(index + 1, Ordering::SeqCst);
+            fired_here += 1;
+        }
+    }
+
+    /// Actions applied so far, in firing order.
+    pub fn fired(&self) -> Vec<FaultAction> {
+        self.fired.lock().clone()
+    }
+
+    /// Whether every scheduled action has fired.
+    pub fn is_exhausted(&self) -> bool {
+        self.next.load(Ordering::SeqCst) >= self.actions.len()
+    }
+
+    /// Number of scheduled actions (fired or not).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the schedule holds no actions at all.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +221,92 @@ mod tests {
         assert!(b.is_down("svc"));
         b.revive("svc");
         assert!(!a.is_down("svc"));
+    }
+
+    fn action(at: u64, service: &str, kind: FaultActionKind) -> FaultAction {
+        FaultAction {
+            at,
+            service: service.to_string(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn schedule_fires_each_action_once_in_threshold_order() {
+        let injector = FaultInjector::new();
+        let schedule = FaultSchedule::new(
+            injector.clone(),
+            vec![
+                action(5, "b", FaultActionKind::Kill),
+                action(2, "a", FaultActionKind::Kill),
+                action(7, "a", FaultActionKind::Revive),
+            ],
+        );
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.advance(1), 0);
+        assert!(!injector.any_down());
+        assert_eq!(schedule.advance(2), 1);
+        assert!(injector.is_down("a"));
+        // Re-advancing past an already-fired threshold fires nothing new.
+        assert_eq!(schedule.advance(2), 0);
+        // A jump past several thresholds fires all of them, in order.
+        assert_eq!(schedule.advance(10), 2);
+        assert!(injector.is_down("b"));
+        assert!(
+            !injector.is_down("a"),
+            "the revive at 7 fired after the kill"
+        );
+        assert!(schedule.is_exhausted());
+        let fired: Vec<(u64, String)> = schedule
+            .fired()
+            .into_iter()
+            .map(|a| (a.at, a.service))
+            .collect();
+        assert_eq!(
+            fired,
+            vec![
+                (2, "a".to_string()),
+                (5, "b".to_string()),
+                (7, "a".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn schedule_at_zero_is_due_before_any_progress() {
+        let injector = FaultInjector::new();
+        let schedule = FaultSchedule::new(
+            injector.clone(),
+            vec![action(0, "svc", FaultActionKind::Kill)],
+        );
+        assert_eq!(schedule.advance(0), 1);
+        assert!(injector.is_down("svc"));
+    }
+
+    #[test]
+    fn concurrent_advances_fire_each_action_exactly_once() {
+        let injector = FaultInjector::new();
+        let schedule = std::sync::Arc::new(FaultSchedule::new(
+            injector.clone(),
+            (0..50)
+                .map(|i| action(i, &format!("svc-{i}"), FaultActionKind::Kill))
+                .collect(),
+        ));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let schedule = std::sync::Arc::clone(&schedule);
+            handles.push(std::thread::spawn(move || {
+                let mut fired = 0;
+                for now in 0..50 {
+                    fired += schedule.advance(now);
+                }
+                fired
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 50, "every action fires exactly once across threads");
+        assert_eq!(injector.downed().len(), 50);
+        assert!(schedule.is_exhausted());
     }
 }

@@ -30,7 +30,7 @@ pub mod xml;
 pub use clock::SimClock;
 pub use envelope::{Envelope, Header};
 pub use error::{WireError, WireResult};
-pub use fault::FaultInjector;
+pub use fault::{FaultAction, FaultActionKind, FaultInjector, FaultSchedule};
 pub use latency::{LatencyModel, NetworkProfile};
 pub use transport::{
     LatencyMode, MessageHandler, ServiceHost, Transport, TransportConfig, TransportStats,

@@ -25,6 +25,7 @@ pub use pasoa_experiment as experiment;
 pub use pasoa_kvdb as kvdb;
 pub use pasoa_preserv as preserv;
 pub use pasoa_registry as registry;
+pub use pasoa_sim as sim;
 pub use pasoa_usecases as usecases;
 pub use pasoa_wire as wire;
 pub use pasoa_workflow as workflow;
