@@ -1,0 +1,157 @@
+//! Record the query-latency baseline into `BENCH_query.json`.
+//!
+//! ```sh
+//! cargo run --release -p pasoa-bench --example record_query_baseline [output.json]
+//! ```
+//!
+//! Measures the same comparisons the `query_latency` bench makes — single-session and
+//! lineage-closure queries forced through the secondary indexes vs. the bulk-retrieval scan,
+//! at 10k and 100k stored assertions, plus the paginated 4-shard gather — and writes the
+//! medians and speedups as JSON so future PRs have a perf trajectory to compare against.
+//! Corpus and deployments come from [`pasoa_bench::query_setup`], shared with the bench.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pasoa_bench::query_setup::{
+    closure_target, corpus_cluster, corpus_store, target_session, SESSIONS, SIZES,
+};
+use pasoa_core::prep::{PageCursor, PagedQuery, QueryRequest};
+use pasoa_query::{PlanMode, QueryEngine};
+use serde_json::json;
+
+/// Median of `runs` timed executions, in seconds.
+fn median_seconds(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn round1(value: f64) -> f64 {
+    (value * 10.0).round() / 10.0
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_query.json".to_string());
+    let mut sizes_json = serde_json::Map::new();
+
+    for total in SIZES {
+        let store = corpus_store(total);
+        let session = target_session();
+        let target = closure_target(total);
+        let indexed = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceIndex);
+        let scan = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceScan);
+        let request = QueryRequest::BySession(session.clone());
+
+        let answer = match indexed.query(&request).unwrap() {
+            pasoa_core::prep::QueryResponse::Assertions(list) => list.len(),
+            other => panic!("unexpected response {other:?}"),
+        };
+        let runs = if total >= 100_000 { 7 } else { 15 };
+        let session_indexed = median_seconds(runs, || {
+            indexed.query(&request).unwrap();
+        });
+        let session_scan = median_seconds(runs, || {
+            scan.query(&request).unwrap();
+        });
+        let closure_nodes = indexed.lineage_closure(&session, &target).unwrap().len();
+        let closure_indexed = median_seconds(runs, || {
+            indexed.lineage_closure(&session, &target).unwrap();
+        });
+        let closure_scan = median_seconds(runs, || {
+            scan.lineage_closure(&session, &target).unwrap();
+        });
+
+        let session_speedup = session_scan / session_indexed.max(1e-9);
+        let closure_speedup = closure_scan / closure_indexed.max(1e-9);
+        println!(
+            "{total:>7} assertions: single-session {answer:>5} results  \
+             indexed {:>8.1} us  scan {:>9.1} us  ({session_speedup:>6.1}x)",
+            session_indexed * 1e6,
+            session_scan * 1e6,
+        );
+        println!(
+            "{total:>7} assertions: lineage-closure {closure_nodes:>3} nodes  \
+             indexed {:>8.1} us  scan {:>9.1} us  ({closure_speedup:>6.1}x)",
+            closure_indexed * 1e6,
+            closure_scan * 1e6,
+        );
+        if total >= 100_000 {
+            assert!(
+                session_speedup >= 5.0 && closure_speedup >= 5.0,
+                "index must be >=5x faster than scan at {total} assertions \
+                 (session {session_speedup:.1}x, closure {closure_speedup:.1}x)"
+            );
+        }
+        sizes_json.insert(
+            total.to_string(),
+            json!({
+                "single_session_indexed_us": round1(session_indexed * 1e6),
+                "single_session_scan_us": round1(session_scan * 1e6),
+                "single_session_speedup": round1(session_speedup),
+                "lineage_closure_indexed_us": round1(closure_indexed * 1e6),
+                "lineage_closure_scan_us": round1(closure_scan * 1e6),
+                "lineage_closure_speedup": round1(closure_speedup),
+            }),
+        );
+    }
+
+    // Paginated 4-shard gather: cost of one bounded page and of streaming a whole session.
+    let (_host, cluster) = corpus_cluster(SIZES[0]);
+    let session = target_session();
+    let page_cost = median_seconds(15, || {
+        cluster
+            .query_page(&PagedQuery {
+                request: QueryRequest::BySession(session.clone()),
+                cursor: None,
+                page_size: 256,
+            })
+            .unwrap();
+    });
+    let stream_cost = median_seconds(7, || {
+        let mut cursor: Option<PageCursor> = None;
+        loop {
+            let page = cluster
+                .query_page(&PagedQuery {
+                    request: QueryRequest::BySession(session.clone()),
+                    cursor,
+                    page_size: 256,
+                })
+                .unwrap();
+            match page.next {
+                Some(next) => cursor = Some(next),
+                None => break,
+            }
+        }
+    });
+    println!(
+        "paginated 4-shard gather: first page {:.1} us, full session stream {:.1} us",
+        page_cost * 1e6,
+        stream_cost * 1e6
+    );
+
+    let baseline = json!({
+        "bench": "query_latency",
+        "sessions": SESSIONS,
+        "backend": "memory",
+        "sizes": serde_json::Value::Object(sizes_json),
+        "paginated_gather": json!({
+            "shards": 4,
+            "page_size": 256,
+            "first_page_us": round1(page_cost * 1e6),
+            "session_stream_us": round1(stream_cost * 1e6),
+        }),
+    });
+    let mut json = serde_json::to_string(&baseline).expect("serialize baseline");
+    json.push('\n');
+    std::fs::write(&output, json).expect("write baseline json");
+    println!("baseline written to {output}");
+}

@@ -29,6 +29,9 @@ pub struct ClusterConfig {
     pub virtual_nodes: usize,
     /// Total copies of every flushed batch (primary + replicas); 1 disables replication.
     pub replication: usize,
+    /// Ceiling on unpaginated query responses (see
+    /// [`crate::router::RouterConfig::max_response_assertions`]).
+    pub max_response_assertions: usize,
     /// Name the router registers under (what clients address).
     pub service_name: String,
     /// Prefix for shard service names; shard `i` registers as `<prefix><i>`.
@@ -42,6 +45,7 @@ impl Default for ClusterConfig {
             batch_size: 64,
             virtual_nodes: 64,
             replication: 1,
+            max_response_assertions: crate::router::DEFAULT_MAX_RESPONSE_ASSERTIONS,
             service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string(),
             shard_name_prefix: "provenance-store-shard-".to_string(),
         }
@@ -141,6 +145,7 @@ impl PreservCluster {
                 batch_size: config.batch_size,
                 virtual_nodes: config.virtual_nodes,
                 replication: config.replication,
+                max_response_assertions: config.max_response_assertions,
                 ..Default::default()
             },
         ));
@@ -216,6 +221,18 @@ impl PreservCluster {
     /// callers can retry selectively.
     pub fn flush(&self) -> Result<(), StoreError> {
         self.router.flush().map_err(flush_to_store)
+    }
+
+    /// Fetch one bounded page of an assertion-producing query: each live shard serves at most
+    /// `page_size` items past the cursor, and the router merges them (see
+    /// [`ShardRouter::query_page`] for the fence rule and cursor stability across
+    /// `add_shard`). Page through until `next` is `None` to stream an arbitrarily large
+    /// result set in bounded messages.
+    pub fn query_page(
+        &self,
+        paged: &pasoa_core::prep::PagedQuery,
+    ) -> Result<pasoa_core::prep::QueryPage, StoreError> {
+        self.router.query_page(paged).map_err(wire_to_store)
     }
 
     // -- Direct scatter-gather queries (bypassing the wire, for reasoners and tests) --------

@@ -40,7 +40,10 @@ pub mod router;
 pub use cluster::{ClusterConfig, PreservCluster, StoreHandle};
 pub use loadgen::{FaultPlan, LoadGenConfig, LoadGenerator, LoadReport};
 pub use ring::HashRing;
-pub use router::{FlushError, HeldSession, HoldSnapshot, RouterConfig, RouterStats, ShardRouter};
+pub use router::{
+    FlushError, HeldSession, HoldSnapshot, RouterConfig, RouterStats, ShardRouter,
+    DEFAULT_MAX_RESPONSE_ASSERTIONS,
+};
 
 #[cfg(test)]
 mod tests {
@@ -186,6 +189,144 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn paginated_scatter_gather_streams_the_full_answer() {
+        use pasoa_core::prep::{PageCursor, PagedQuery, QueryPage, QueryRequest};
+        let (host, cluster) = deploy(3);
+        let transport = host.transport(TransportConfig::free());
+        for s in 0..5 {
+            let session = SessionId::new(format!("session:page:{s}"));
+            let recorder = SyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                transport.clone(),
+                IdGenerator::new(format!("page{s}")),
+            );
+            for i in 0..9 {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+        }
+        let session = SessionId::new("session:page:2");
+        let full = cluster.assertions_for_session(&session).unwrap();
+        assert_eq!(full.len(), 9);
+        // Page through the wire with a page size that forces several round trips; the
+        // concatenated pages reproduce the unpaginated answer, in order.
+        let mut streamed = Vec::new();
+        let mut cursor: Option<PageCursor> = None;
+        let mut pages = 0;
+        loop {
+            let message = PrepMessage::QueryPage(PagedQuery {
+                request: QueryRequest::BySession(session.clone()),
+                cursor: cursor.clone(),
+                page_size: 4,
+            });
+            let envelope =
+                Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, message.action())
+                    .with_json_payload(&message)
+                    .unwrap();
+            let page: QueryPage = transport.call(envelope).unwrap().json_payload().unwrap();
+            assert!(page.assertions.len() <= 4 + cluster.shard_count());
+            streamed.extend(page.assertions);
+            pages += 1;
+            match page.next {
+                Some(next) => cursor = Some(next),
+                None => break,
+            }
+        }
+        assert_eq!(streamed, full);
+        assert!(pages >= 3, "page size 4 over 9 items needs several pages");
+        // Growing the cluster mid-pagination does not invalidate a cursor: existing
+        // documentation never moves on add_shard.
+        let first = cluster
+            .query_page(&PagedQuery {
+                request: QueryRequest::BySession(session.clone()),
+                cursor: None,
+                page_size: 4,
+            })
+            .unwrap();
+        cluster.add_shard().unwrap();
+        let mut resumed = first.assertions.clone();
+        let mut cursor = first.next;
+        while let Some(next) = cursor {
+            let page = cluster
+                .query_page(&PagedQuery {
+                    request: QueryRequest::BySession(session.clone()),
+                    cursor: Some(next),
+                    page_size: 4,
+                })
+                .unwrap();
+            resumed.extend(page.assertions);
+            cursor = page.next;
+        }
+        assert_eq!(resumed, full);
+        assert!(cluster.router().stats().page_queries >= pages);
+    }
+
+    #[test]
+    fn oversized_page_requests_and_responses_error_loudly() {
+        use pasoa_core::prep::{PagedQuery, QueryRequest, MAX_PAGE_SIZE};
+        let host = ServiceHost::new();
+        let cluster = PreservCluster::deploy_with(
+            &host,
+            ClusterConfig {
+                shards: 2,
+                // A deliberately tiny single-response ceiling to prove the guard trips.
+                max_response_assertions: 5,
+                ..Default::default()
+            },
+            |_| Ok(Arc::new(pasoa_preserv::MemoryBackend::new()) as _),
+        )
+        .unwrap();
+        let transport = host.transport(TransportConfig::free());
+        let session = SessionId::new("session:cap");
+        let recorder = SyncRecorder::new(
+            session.clone(),
+            ActorId::new("engine"),
+            transport.clone(),
+            IdGenerator::new("cap"),
+        );
+        for i in 0..8 {
+            recorder.record(assertion(session.as_str(), i)).unwrap();
+        }
+        // The unpaginated wire query refuses: 8 assertions > the 5-assertion ceiling.
+        let query = PrepMessage::Query(QueryRequest::BySession(session.clone()));
+        let envelope = Envelope::request(pasoa_core::PROVENANCE_STORE_SERVICE, query.action())
+            .with_json_payload(&query)
+            .unwrap();
+        let err = transport.call(envelope).unwrap_err();
+        assert!(
+            err.to_string().contains("query-page"),
+            "guard must point at the paginated path: {err}"
+        );
+        // The paginated path streams the same data without tripping the ceiling.
+        let page = cluster
+            .query_page(&PagedQuery {
+                request: QueryRequest::BySession(session.clone()),
+                cursor: None,
+                page_size: 5,
+            })
+            .unwrap();
+        assert!(!page.assertions.is_empty());
+        // Out-of-bounds page sizes are refused outright.
+        for page_size in [0usize, MAX_PAGE_SIZE + 1] {
+            assert!(cluster
+                .query_page(&PagedQuery {
+                    request: QueryRequest::BySession(session.clone()),
+                    cursor: None,
+                    page_size,
+                })
+                .is_err());
+        }
+        // Non-pageable requests cannot be paginated.
+        assert!(cluster
+            .query_page(&PagedQuery {
+                request: QueryRequest::Statistics,
+                cursor: None,
+                page_size: 5,
+            })
+            .is_err());
     }
 
     #[test]

@@ -36,7 +36,10 @@ use std::sync::Arc;
 
 use pasoa_core::ids::{IdGenerator, MessageId};
 use pasoa_core::passertion::RecordedAssertion;
-use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck, StoreStatistics};
+use pasoa_core::prep::{
+    PageCursor, PagedQuery, PrepMessage, QueryPage, QueryRequest, QueryResponse, RecordAck,
+    ShardQueryPage, StoreStatistics, MAX_PAGE_SIZE,
+};
 use pasoa_core::Group;
 use pasoa_preserv::plugins::PluginResponse;
 use pasoa_preserv::{LineageGraph, PreservService, ProvenanceStore};
@@ -62,6 +65,11 @@ pub enum InternalHop {
     Wire,
 }
 
+/// Default for [`RouterConfig::max_response_assertions`]: large enough for any interactive
+/// answer, small enough that a runaway result set fails loudly instead of materializing an
+/// unbounded wire message.
+pub const DEFAULT_MAX_RESPONSE_ASSERTIONS: usize = 100_000;
+
 /// Router configuration.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -75,6 +83,10 @@ pub struct RouterConfig {
     /// Total copies of every flushed batch: the primary plus `replication - 1` replica holds.
     /// 1 (the default) disables replication; the cluster then tolerates no shard loss.
     pub replication: usize,
+    /// Ceiling on the p-assertions a single (unpaginated) query response may carry. A merged
+    /// answer above this errors loudly, naming the paginated path, rather than silently
+    /// truncating or shipping an unbounded message.
+    pub max_response_assertions: usize,
 }
 
 impl Default for RouterConfig {
@@ -84,6 +96,7 @@ impl Default for RouterConfig {
             virtual_nodes: 64,
             internal_hop: InternalHop::Direct,
             replication: 1,
+            max_response_assertions: DEFAULT_MAX_RESPONSE_ASSERTIONS,
         }
     }
 }
@@ -103,6 +116,8 @@ pub struct RouterStats {
     pub groups_routed: u64,
     /// Queries answered by scatter-gather.
     pub scatter_queries: u64,
+    /// Bounded pages served by the paginated scatter-gather.
+    pub page_queries: u64,
     /// Shards added after initial deployment.
     pub rebalances: u64,
     /// Shards marked dead after being detected unreachable.
@@ -884,6 +899,7 @@ impl ShardRouter {
                         Ok(PluginResponse::Lineage(response.json_payload()?))
                     }
                     PrepMessage::Query(_) => Ok(PluginResponse::Query(response.json_payload()?)),
+                    PrepMessage::QueryPage(_) => Ok(PluginResponse::Page(response.json_payload()?)),
                 }
             }
         }
@@ -1198,9 +1214,20 @@ impl ShardRouter {
         let merged = match &request {
             QueryRequest::ByInteraction(_)
             | QueryRequest::BySession(_)
+            | QueryRequest::ByActor(_)
+            | QueryRequest::ByRelation(_)
             | QueryRequest::ActorStateByKind { .. } => {
                 let per_shard = collect_assertions(responses)?;
                 let merged = merge::merge_assertions(per_shard);
+                if merged.len() > self.config.max_response_assertions {
+                    return Err(WireError::Payload(format!(
+                        "query answer holds {} p-assertions, above the {}-assertion single-\
+                         response ceiling; fetch it in bounded pages through 'query-page' \
+                         instead",
+                        merged.len(),
+                        self.config.max_response_assertions
+                    )));
+                }
                 if merged.is_empty() {
                     QueryResponse::Empty
                 } else {
@@ -1221,6 +1248,59 @@ impl ShardRouter {
             }
         };
         Ok(merged)
+    }
+
+    /// Answer one cursor-carrying page request by bounded scatter-gather: every live shard is
+    /// asked for at most `page_size` items past the cursor (through the wire when the internal
+    /// hop is [`InternalHop::Wire`]), and the per-shard pages are merged on the router up to
+    /// the *fence* — the smallest last-key of any shard that may still hold more — so no item
+    /// a lagging shard could still produce is ever skipped. The returned cursor is a single
+    /// global sort key: `add_shard` never moves existing documentation, so a cursor taken
+    /// before a rebalance stays valid after it, and each page's gather runs under the shared
+    /// failover lock so it never mixes pre- and post-promotion placements.
+    pub fn query_page(&self, paged: &PagedQuery) -> WireResult<QueryPage> {
+        if !paged.request.is_pageable() {
+            return Err(WireError::Payload(format!(
+                "{:?} does not produce a p-assertion stream and cannot be paginated",
+                paged.request
+            )));
+        }
+        if paged.page_size == 0 || paged.page_size > MAX_PAGE_SIZE {
+            return Err(WireError::Payload(format!(
+                "page size {} outside 1..={MAX_PAGE_SIZE}",
+                paged.page_size
+            )));
+        }
+        self.flush().map_err(WireError::from)?;
+        self.stats.lock().page_queries += 1;
+        let gather = |paged: &PagedQuery| -> WireResult<Vec<ShardQueryPage>> {
+            let _gather = self.gather_guard();
+            self.live_shards()
+                .into_iter()
+                .map(|shard| {
+                    let message = PrepMessage::QueryPage(paged.clone());
+                    match self.call_shard(shard, "query-page", &message)? {
+                        PluginResponse::Page(page) => Ok(page),
+                        other => Err(WireError::Payload(format!(
+                            "unexpected shard page response: {other:?}"
+                        ))),
+                    }
+                })
+                .collect()
+        };
+        let mut attempts = 0;
+        let pages = loop {
+            match gather(paged) {
+                Ok(pages) => break pages,
+                Err(WireError::ServiceDown(_)) if attempts < self.shard_count() => {
+                    attempts += 1;
+                    self.maybe_handle_failures();
+                    self.flush().map_err(WireError::from)?;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(merge_shard_pages(pages, paged.page_size))
     }
 
     /// Answer a lineage request by merging every live shard's session lineage graph.
@@ -1255,6 +1335,60 @@ impl ShardRouter {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// Merge bounded per-shard pages into one client page.
+///
+/// Each shard page covers that shard's full `(cursor, last item]` key range, and within one
+/// shard sort keys are unique (the store's sequence disambiguates) — so every item with a key
+/// at or below the *fence* (the minimum last-key over shards that are not exhausted) is
+/// guaranteed fetched, and emitting up to the fence can never skip an item a lagging shard
+/// still holds. Items past the fence are discarded and refetched on the next page. The emit
+/// cap never splits a run of equal keys (they span shards, at most one per shard), so the
+/// single returned cursor key is always a safe resume point. Within one interaction the merge
+/// orders equal-prefix items by `(sort key, shard)`; for session- and interaction-co-located
+/// data — the router's placement invariant — that coincides with the unpaginated merge order.
+fn merge_shard_pages(pages: Vec<ShardQueryPage>, page_size: usize) -> QueryPage {
+    let fence: Option<String> = pages
+        .iter()
+        .filter(|page| !page.exhausted)
+        .filter_map(|page| page.items.last().map(|(sort, _)| sort.clone()))
+        .min();
+    let all_exhausted = pages.iter().all(|page| {
+        // An unexhausted page with no items cannot make progress claims; treat it as drained.
+        page.exhausted || page.items.is_empty()
+    });
+    let mut merged: Vec<(String, usize, RecordedAssertion)> = Vec::new();
+    for (shard, page) in pages.into_iter().enumerate() {
+        for (sort, recorded) in page.items {
+            if fence.as_deref().is_none_or(|fence| sort.as_str() <= fence) {
+                merged.push((sort, shard, recorded));
+            }
+        }
+    }
+    merged.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+    let total = merged.len();
+    let mut emit = total.min(page_size);
+    // Never split an equal-key run across pages: the resume key must cover it whole.
+    while emit > 0 && emit < total && merged[emit].0 == merged[emit - 1].0 {
+        emit += 1;
+    }
+    let done = all_exhausted && emit == total;
+    let next = if done {
+        None
+    } else {
+        Some(PageCursor {
+            after: merged[emit - 1].0.clone(),
+        })
+    };
+    QueryPage {
+        assertions: merged
+            .into_iter()
+            .take(emit)
+            .map(|(_, _, recorded)| recorded)
+            .collect(),
+        next,
     }
 }
 
@@ -1327,6 +1461,10 @@ impl MessageHandler for ShardRouter {
                 let response = self.handle_query(request)?;
                 Envelope::response("query").with_json_payload(&response)
             }
+            ("query-page", PrepMessage::QueryPage(paged)) => {
+                let page = self.query_page(&paged)?;
+                Envelope::response("query-page").with_json_payload(&page)
+            }
             ("lineage", PrepMessage::Query(request)) => {
                 let graph = self.handle_lineage(request)?;
                 Envelope::response("lineage").with_json_payload(&graph)
@@ -1339,5 +1477,106 @@ impl MessageHandler for ShardRouter {
 
     fn name(&self) -> &str {
         "shard-router"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_core::ids::{ActorId, InteractionKey, SessionId};
+    use pasoa_core::passertion::{
+        ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind,
+    };
+
+    fn item(sort: &str) -> (String, RecordedAssertion) {
+        (
+            sort.to_string(),
+            RecordedAssertion {
+                session: SessionId::new("session:m"),
+                assertion: PAssertion::ActorState(ActorStatePAssertion {
+                    interaction_key: InteractionKey::new("interaction:m"),
+                    asserter: ActorId::new("a"),
+                    view: ViewKind::Receiver,
+                    kind: ActorStateKind::Script,
+                    content: PAssertionContent::text(sort),
+                }),
+            },
+        )
+    }
+
+    fn tag(page: &QueryPage) -> Vec<String> {
+        page.assertions
+            .iter()
+            .map(|r| match &r.assertion {
+                PAssertion::ActorState(a) => a.content.as_text().unwrap().to_string(),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fence_holds_back_items_a_lagging_shard_could_still_produce() {
+        // Shard 0 returned a full page up to "c" (not exhausted); shard 1 already produced
+        // "e". "e" must wait: shard 0 may still hold "d".
+        let pages = vec![
+            ShardQueryPage {
+                items: vec![item("a"), item("c")],
+                exhausted: false,
+            },
+            ShardQueryPage {
+                items: vec![item("b"), item("e")],
+                exhausted: true,
+            },
+        ];
+        let merged = merge_shard_pages(pages, 10);
+        assert_eq!(tag(&merged), vec!["a", "b", "c"]);
+        assert_eq!(merged.next.unwrap().after, "c");
+    }
+
+    #[test]
+    fn all_exhausted_pages_drain_completely() {
+        let pages = vec![
+            ShardQueryPage {
+                items: vec![item("a"), item("c")],
+                exhausted: true,
+            },
+            ShardQueryPage {
+                items: vec![item("b")],
+                exhausted: true,
+            },
+        ];
+        let merged = merge_shard_pages(pages, 10);
+        assert_eq!(tag(&merged), vec!["a", "b", "c"]);
+        assert!(merged.next.is_none());
+    }
+
+    #[test]
+    fn emit_cap_never_splits_an_equal_key_run() {
+        // Two shards share sort key "b" (possible only across shards); a page size of 2 must
+        // stretch to include both copies, or resuming after "b" would skip the second.
+        let pages = vec![
+            ShardQueryPage {
+                items: vec![item("a"), item("b")],
+                exhausted: true,
+            },
+            ShardQueryPage {
+                items: vec![item("b"), item("d")],
+                exhausted: true,
+            },
+        ];
+        let merged = merge_shard_pages(pages, 2);
+        assert_eq!(tag(&merged), vec!["a", "b", "b"]);
+        assert_eq!(merged.next.unwrap().after, "b");
+    }
+
+    #[test]
+    fn empty_result_set_is_done_immediately() {
+        let pages = vec![ShardQueryPage {
+            items: vec![],
+            exhausted: true,
+        }];
+        let merged = merge_shard_pages(pages, 4);
+        assert!(merged.assertions.is_empty());
+        assert!(merged.next.is_none());
     }
 }

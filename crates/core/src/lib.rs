@@ -43,7 +43,10 @@ pub use passertion::{
     ActorStateKind, ActorStatePAssertion, InteractionPAssertion, PAssertion, PAssertionContent,
     RelationshipPAssertion, ViewKind,
 };
-pub use prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck, RecordMessage};
+pub use prep::{
+    PageCursor, PagedQuery, PrepMessage, QueryPage, QueryRequest, QueryResponse, RecordAck,
+    RecordMessage, ShardQueryPage, MAX_PAGE_SIZE,
+};
 pub use recorder::{
     AsyncRecorder, NullRecorder, ProvenanceRecorder, RecorderStats, RecordingConfig, RecordingMode,
     SyncRecorder,

@@ -61,6 +61,11 @@ pub enum QueryRequest {
     ByInteraction(InteractionKey),
     /// All p-assertions recorded under one session.
     BySession(SessionId),
+    /// All p-assertions asserted by one actor (served by the actor secondary index).
+    ByActor(ActorId),
+    /// All relationship p-assertions carrying one relation label (served by the
+    /// interaction-relationship secondary index).
+    ByRelation(String),
     /// All interaction keys known to the store (optionally limited).
     ListInteractions {
         /// Maximum number of keys to return (`None` = all).
@@ -77,6 +82,72 @@ pub enum QueryRequest {
     },
     /// The store's record counts (diagnostics).
     Statistics,
+}
+
+impl QueryRequest {
+    /// Whether this request produces a stream of p-assertions and therefore supports
+    /// cursor-based pagination ([`PagedQuery`]).
+    pub fn is_pageable(&self) -> bool {
+        matches!(
+            self,
+            QueryRequest::ByInteraction(_)
+                | QueryRequest::BySession(_)
+                | QueryRequest::ByActor(_)
+                | QueryRequest::ByRelation(_)
+                | QueryRequest::ActorStateByKind { .. }
+        )
+    }
+}
+
+/// Hard ceiling on the page size of a [`PagedQuery`]: a page request above this (or of zero)
+/// is refused loudly rather than silently truncated or allowed to balloon into the unbounded
+/// single-message responses pagination exists to replace.
+pub const MAX_PAGE_SIZE: usize = 10_000;
+
+/// A resumption point in a paginated query: the last sort key served. Sort keys are the
+/// store's `"<escaped interaction>/<zero-padded seq>"` ordering keys, which are stable across
+/// cluster rebalances (`add_shard` never moves existing documentation), so a cursor taken
+/// before a rebalance remains valid after it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageCursor {
+    /// The sort key of the last p-assertion already served; the next page resumes strictly
+    /// after it.
+    pub after: String,
+}
+
+/// A cursor-carrying query: fetch one bounded page of an assertion-producing [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PagedQuery {
+    /// The underlying request; must satisfy [`QueryRequest::is_pageable`].
+    pub request: QueryRequest,
+    /// Where to resume (`None` = from the start).
+    pub cursor: Option<PageCursor>,
+    /// Maximum p-assertions in the returned page (1..=[`MAX_PAGE_SIZE`]).
+    pub page_size: usize,
+}
+
+/// One page of a paginated query answer, as returned to clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPage {
+    /// The p-assertions of this page, in ascending `(sort key, shard)` order. Whenever the
+    /// result's interactions are each resident on one shard — guaranteed for `BySession` by
+    /// the router's session co-location, and true of every co-located workload — this is
+    /// exactly the order the unpaginated query answers in; an interaction key genuinely split
+    /// across shards may interleave its assertions differently than the unpaginated
+    /// shard-major merge, though never across page boundaries.
+    pub assertions: Vec<RecordedAssertion>,
+    /// Cursor for the next page; `None` means the result set is exhausted.
+    pub next: Option<PageCursor>,
+}
+
+/// One shard's bounded page: items tagged with their global sort keys plus an exhaustion flag,
+/// which is what the router's merge needs to combine per-shard pages without unbounded fetches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardQueryPage {
+    /// `(sort key, p-assertion)` pairs in ascending sort-key order.
+    pub items: Vec<(String, RecordedAssertion)>,
+    /// Whether the shard has no further items after this page.
+    pub exhausted: bool,
 }
 
 /// Response to a [`QueryRequest`].
@@ -127,6 +198,8 @@ pub enum PrepMessage {
     RegisterGroup(Group),
     /// Query the store.
     Query(QueryRequest),
+    /// Fetch one bounded page of a query (cursor-carrying).
+    QueryPage(PagedQuery),
 }
 
 impl PrepMessage {
@@ -136,6 +209,7 @@ impl PrepMessage {
             PrepMessage::Record(_) => "record",
             PrepMessage::RegisterGroup(_) => "register-group",
             PrepMessage::Query(_) => "query",
+            PrepMessage::QueryPage(_) => "query-page",
         }
     }
 }
@@ -209,6 +283,52 @@ mod tests {
             PrepMessage::Query(QueryRequest::Statistics).action(),
             "query"
         );
+        assert_eq!(
+            PrepMessage::QueryPage(PagedQuery {
+                request: QueryRequest::Statistics,
+                cursor: None,
+                page_size: 1,
+            })
+            .action(),
+            "query-page"
+        );
+    }
+
+    #[test]
+    fn pageable_requests_are_exactly_the_assertion_streams() {
+        assert!(QueryRequest::ByInteraction(InteractionKey::new("i")).is_pageable());
+        assert!(QueryRequest::BySession(SessionId::new("s")).is_pageable());
+        assert!(QueryRequest::ByActor(ActorId::new("a")).is_pageable());
+        assert!(QueryRequest::ByRelation("r".into()).is_pageable());
+        assert!(QueryRequest::ActorStateByKind {
+            interaction: InteractionKey::new("i"),
+            kind: "script".into(),
+        }
+        .is_pageable());
+        assert!(!QueryRequest::ListInteractions { limit: None }.is_pageable());
+        assert!(!QueryRequest::GroupsByKind("session".into()).is_pageable());
+        assert!(!QueryRequest::Statistics.is_pageable());
+    }
+
+    #[test]
+    fn query_page_roundtrips_through_json() {
+        let page = QueryPage {
+            assertions: vec![],
+            next: Some(PageCursor {
+                after: "k/1".into(),
+            }),
+        };
+        let json = serde_json::to_string(&page).unwrap();
+        assert_eq!(serde_json::from_str::<QueryPage>(&json).unwrap(), page);
+        let shard_page = ShardQueryPage {
+            items: vec![],
+            exhausted: true,
+        };
+        let json = serde_json::to_string(&shard_page).unwrap();
+        assert_eq!(
+            serde_json::from_str::<ShardQueryPage>(&json).unwrap(),
+            shard_page
+        );
     }
 
     #[test]
@@ -226,7 +346,16 @@ mod tests {
                 interaction: InteractionKey::new("interaction:2"),
                 kind: "script".into(),
             }),
+            PrepMessage::Query(QueryRequest::ByActor(ActorId::new("shuffler"))),
+            PrepMessage::Query(QueryRequest::ByRelation("derived-from".into())),
             PrepMessage::Query(QueryRequest::Statistics),
+            PrepMessage::QueryPage(PagedQuery {
+                request: QueryRequest::BySession(SessionId::new("session:1")),
+                cursor: Some(PageCursor {
+                    after: "interaction%2F1/000000000004".into(),
+                }),
+                page_size: 32,
+            }),
         ];
         for msg in messages {
             let json = serde_json::to_string(&msg).unwrap();

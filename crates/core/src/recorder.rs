@@ -395,7 +395,9 @@ mod tests {
                 PrepMessage::RegisterGroup(_) => {
                     Ok(Envelope::response("register-group").with_body(XmlElement::new("ok")))
                 }
-                PrepMessage::Query(_) => Ok(Envelope::fault("queries unsupported in fake store")),
+                PrepMessage::Query(_) | PrepMessage::QueryPage(_) => {
+                    Ok(Envelope::fault("queries unsupported in fake store"))
+                }
             }
         }
     }

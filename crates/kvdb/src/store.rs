@@ -455,6 +455,24 @@ impl Db {
             .collect())
     }
 
+    /// At most `limit` keys in the half-open range `[start, end)`, in order. The iteration
+    /// stops at the limit, so a bounded page over a huge range costs O(limit), not O(range) —
+    /// what the provenance store's paginated queries run per page.
+    pub fn scan_range_limited(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> DbResult<Vec<Vec<u8>>> {
+        self.check_open()?;
+        let index = self.inner.index.read();
+        Ok(index
+            .iter_range(start, end)
+            .take(limit)
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
     /// Force all appended data to stable storage.
     pub fn sync(&self) -> DbResult<()> {
         self.check_open()?;

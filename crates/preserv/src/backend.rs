@@ -79,6 +79,31 @@ pub trait StorageBackend: Send + Sync {
         Ok(self.scan_prefix(prefix)?.len())
     }
 
+    /// Up to `limit` keys with the given prefix that sort strictly after `after` (all of them
+    /// from the start when `after` is `None`), in ascending key order — the bounded-page scan
+    /// the paginated query path runs per request. The default walks the full prefix; ordered
+    /// backends override it with a real range scan.
+    fn scan_prefix_page(
+        &self,
+        prefix: &[u8],
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, BackendError> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        for key in self.scan_prefix(prefix)? {
+            if let Some(after) = after {
+                if key.as_slice() <= after {
+                    continue;
+                }
+            }
+            out.push(key);
+            if out.len() >= limit {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
     /// Force pending writes to stable storage (no-op for memory).
     fn sync(&self) -> Result<(), BackendError> {
         Ok(())
@@ -173,6 +198,27 @@ impl StorageBackend for MemoryBackend {
             .collect())
     }
 
+    fn scan_prefix_page(
+        &self,
+        prefix: &[u8],
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, BackendError> {
+        let map = self.map.read();
+        let start = match after {
+            // An `after` below the prefix must not stall the scan on intervening
+            // foreign-prefix keys: clamp it up to the prefix start (as KvBackend does).
+            Some(after) if after >= prefix => std::ops::Bound::Excluded(after),
+            _ => std::ops::Bound::Included(prefix),
+        };
+        Ok(map
+            .range::<[u8], _>((start, std::ops::Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .take(limit)
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
     fn kind(&self) -> BackendKind {
         BackendKind::Memory
     }
@@ -212,6 +258,20 @@ impl FileBackend {
     fn path_for(&self, key: &[u8]) -> PathBuf {
         self.dir.join(encode_hex(key))
     }
+}
+
+/// The smallest byte string greater than every key with `prefix`: the prefix with its last
+/// non-0xFF byte incremented (and the tail dropped). `None` when no such bound exists.
+fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    while let Some(&last) = end.last() {
+        if last < 0xFF {
+            *end.last_mut().expect("non-empty") = last + 1;
+            return Some(end);
+        }
+        end.pop();
+    }
+    None
 }
 
 fn encode_hex(bytes: &[u8]) -> String {
@@ -339,6 +399,45 @@ impl StorageBackend for KvBackend {
             .map_err(|e| BackendError::new(e.to_string()))
     }
 
+    fn scan_prefix_page(
+        &self,
+        prefix: &[u8],
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, BackendError> {
+        // [start, end) range bounded by the prefix's upper bound, stopping at `limit` inside
+        // the database — a page over a huge keyspace costs O(limit).
+        let Some(end) = prefix_upper_bound(prefix) else {
+            // Degenerate all-0xFF prefix: no exclusive upper bound exists, fall back.
+            let mut out = Vec::new();
+            for key in StorageBackend::scan_prefix(self, prefix)? {
+                if after.is_none_or(|after| key.as_slice() > after) {
+                    out.push(key);
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+            return Ok(out);
+        };
+        let start: Vec<u8> = match after {
+            // The smallest key strictly greater than `after` is `after` + 0x00.
+            Some(after) => {
+                let mut start = after.to_vec();
+                start.push(0);
+                if start.as_slice() < prefix {
+                    prefix.to_vec()
+                } else {
+                    start
+                }
+            }
+            None => prefix.to_vec(),
+        };
+        self.db
+            .scan_range_limited(&start, &end, limit)
+            .map_err(|e| BackendError::new(e.to_string()))
+    }
+
     fn sync(&self) -> Result<(), BackendError> {
         self.db.sync().map_err(|e| BackendError::new(e.to_string()))
     }
@@ -388,6 +487,20 @@ mod tests {
         // Overwrite keeps the latest value.
         backend.put(b"a/int1/000", b"replaced").unwrap();
         assert_eq!(backend.get(b"a/int1/000").unwrap().unwrap(), b"replaced");
+        // Bounded page scans: from the start, resuming mid-stream, and past the end.
+        let page = backend.scan_prefix_page(b"a/", None, 2).unwrap();
+        assert_eq!(page, vec![b"a/int1/000".to_vec(), b"a/int1/001".to_vec()]);
+        let page = backend
+            .scan_prefix_page(b"a/", Some(b"a/int1/001"), 10)
+            .unwrap();
+        assert_eq!(page, vec![b"a/int2/000".to_vec()]);
+        // An `after` sorting below the prefix behaves like no cursor at all.
+        let page = backend.scan_prefix_page(b"i/", Some(b"a/zzz"), 10).unwrap();
+        assert_eq!(page, vec![b"i/int1".to_vec()]);
+        assert!(backend
+            .scan_prefix_page(b"a/", Some(b"a/int2/000"), 10)
+            .unwrap()
+            .is_empty());
         backend.sync().unwrap();
     }
 
@@ -510,6 +623,15 @@ mod tests {
         assert!((&backend as &dyn StorageBackend)
             .recovery_report()
             .is_none());
+    }
+
+    #[test]
+    fn prefix_upper_bound_covers_edge_cases() {
+        assert_eq!(prefix_upper_bound(b"a/").unwrap(), b"a0".to_vec());
+        assert_eq!(prefix_upper_bound(b"x/s/").unwrap(), b"x/s0".to_vec());
+        assert_eq!(prefix_upper_bound(&[0x61, 0xFF]).unwrap(), vec![0x62]);
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_upper_bound(b""), None);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! database backend recovers every p-assertion.
 
 pub mod backend;
+pub mod index;
 pub mod keys;
 pub mod lineage;
 pub mod plugins;
@@ -33,6 +34,7 @@ pub mod service;
 pub mod store;
 
 pub use backend::{BackendKind, FileBackend, KvBackend, MemoryBackend, StorageBackend};
+pub use index::EdgeRecord;
 pub use lineage::{LineageGraph, LineageNode};
 pub use service::{PreservService, ServiceConfig};
-pub use store::{ProvenanceStore, StoreError};
+pub use store::{IndexReport, ProvenanceStore, StoreError, StoreOptions};

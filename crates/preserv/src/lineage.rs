@@ -11,7 +11,6 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use serde::{Deserialize, Serialize};
 
 use pasoa_core::ids::{DataId, SessionId};
-use pasoa_core::passertion::PAssertion;
 
 use crate::store::{ProvenanceStore, StoreError};
 
@@ -35,29 +34,38 @@ pub struct LineageGraph {
 
 impl LineageGraph {
     /// Build the full derivation graph of a session from its relationship p-assertions.
+    ///
+    /// The edges come from [`ProvenanceStore::session_edges`] — the lineage adjacency index
+    /// when the store maintains indexes, the bulk-retrieval scan otherwise — so building the
+    /// graph no longer re-deserializes every assertion of the session just to discard the
+    /// non-relationship ones.
     pub fn trace_session(store: &ProvenanceStore, session: &SessionId) -> Result<Self, StoreError> {
         let mut graph = LineageGraph::default();
-        for recorded in store.assertions_for_session(session)? {
-            if let PAssertion::Relationship(rel) = recorded.assertion {
-                let node = graph
-                    .nodes
-                    .entry(rel.effect.as_str().to_string())
-                    .or_insert_with(|| LineageNode {
-                        data: rel.effect.clone(),
-                        derived_from: Vec::new(),
-                        relations: Vec::new(),
-                    });
-                for (_, cause) in &rel.causes {
-                    if !node.derived_from.contains(cause) {
-                        node.derived_from.push(cause.clone());
-                    }
-                }
-                if !node.relations.contains(&rel.relation) {
-                    node.relations.push(rel.relation.clone());
-                }
-            }
+        for edge in store.session_edges(session)? {
+            graph.absorb_edge(&edge);
         }
         Ok(graph)
+    }
+
+    /// Fold one derivation edge into the graph, deduplicating repeated causes and relation
+    /// labels exactly as repeated relationship p-assertions always were.
+    pub fn absorb_edge(&mut self, edge: &crate::index::EdgeRecord) {
+        let node = self
+            .nodes
+            .entry(edge.effect.as_str().to_string())
+            .or_insert_with(|| LineageNode {
+                data: edge.effect.clone(),
+                derived_from: Vec::new(),
+                relations: Vec::new(),
+            });
+        for cause in &edge.causes {
+            if !node.derived_from.contains(cause) {
+                node.derived_from.push(cause.clone());
+            }
+        }
+        if !node.relations.contains(&edge.relation) {
+            node.relations.push(edge.relation.clone());
+        }
     }
 
     /// Trace the ancestry of one data item within a session: the subgraph reachable from
@@ -67,7 +75,13 @@ impl LineageGraph {
         session: &SessionId,
         target: &DataId,
     ) -> Result<Self, StoreError> {
-        let full = Self::trace_session(store, session)?;
+        Ok(Self::trace_session(store, session)?.closure_of(target))
+    }
+
+    /// The subgraph reachable from `target` by following derivation edges backwards — the
+    /// lineage-closure filter [`Self::trace`] applies, exposed so an index-driven traversal
+    /// can be checked against the full-graph answer.
+    pub fn closure_of(&self, target: &DataId) -> LineageGraph {
         let mut keep = BTreeSet::new();
         let mut queue = VecDeque::new();
         queue.push_back(target.as_str().to_string());
@@ -75,18 +89,19 @@ impl LineageGraph {
             if !keep.insert(current.clone()) {
                 continue;
             }
-            if let Some(node) = full.nodes.get(&current) {
+            if let Some(node) = self.nodes.get(&current) {
                 for parent in &node.derived_from {
                     queue.push_back(parent.as_str().to_string());
                 }
             }
         }
-        let nodes = full
+        let nodes = self
             .nodes
-            .into_iter()
-            .filter(|(id, _)| keep.contains(id))
+            .iter()
+            .filter(|(id, _)| keep.contains(*id))
+            .map(|(id, node)| (id.clone(), node.clone()))
             .collect();
-        Ok(LineageGraph { nodes })
+        LineageGraph { nodes }
     }
 
     /// Every ancestor (transitively) of `data`, not including `data` itself.
@@ -128,7 +143,7 @@ mod tests {
     use super::*;
     use crate::backend::MemoryBackend;
     use pasoa_core::ids::{ActorId, InteractionKey};
-    use pasoa_core::passertion::{RecordedAssertion, RelationshipPAssertion};
+    use pasoa_core::passertion::{PAssertion, RecordedAssertion, RelationshipPAssertion};
     use std::sync::Arc;
 
     fn relationship(

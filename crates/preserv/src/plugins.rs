@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck};
+use pasoa_core::prep::{PrepMessage, QueryRequest, QueryResponse, RecordAck, ShardQueryPage};
 
 use crate::lineage::LineageGraph;
 use crate::store::{ProvenanceStore, StoreError};
@@ -21,6 +21,8 @@ pub enum PluginResponse {
     Ack(RecordAck),
     /// Result of a query.
     Query(QueryResponse),
+    /// One bounded page of a paginated query.
+    Page(ShardQueryPage),
     /// Result of a lineage traversal.
     Lineage(LineageGraph),
     /// Acknowledgement of a group registration.
@@ -74,7 +76,7 @@ impl PlugIn for StorePlugin {
                 self.store.register_group(group)?;
                 Ok(PluginResponse::GroupRegistered)
             }
-            PrepMessage::Query(_) => Err(StoreError::Corrupt(
+            PrepMessage::Query(_) | PrepMessage::QueryPage(_) => Err(StoreError::Corrupt(
                 "query message routed to the store plug-in".into(),
             )),
         }
@@ -107,6 +109,42 @@ impl PlugIn for BasicQueryPlugin {
             PrepMessage::Query(request) => Ok(PluginResponse::Query(self.store.query(request)?)),
             _ => Err(StoreError::Corrupt(
                 "non-query message routed to the query plug-in".into(),
+            )),
+        }
+    }
+}
+
+/// The Paged Query PlugIn: serves cursor-carrying query pages, so a reasoner can stream a
+/// large result set in bounded messages instead of one unbounded response. Page-size bounds
+/// are enforced by the store ([`ProvenanceStore::query_page`]) — out-of-range requests fail
+/// loudly rather than being clamped.
+pub struct PagedQueryPlugin {
+    store: Arc<ProvenanceStore>,
+}
+
+impl PagedQueryPlugin {
+    /// Create a paged-query plug-in over `store`.
+    pub fn new(store: Arc<ProvenanceStore>) -> Self {
+        PagedQueryPlugin { store }
+    }
+}
+
+impl PlugIn for PagedQueryPlugin {
+    fn name(&self) -> &str {
+        "paged-query"
+    }
+
+    fn handles(&self, action: &str) -> bool {
+        action == "query-page"
+    }
+
+    fn handle(&self, message: &PrepMessage) -> Result<PluginResponse, StoreError> {
+        match message {
+            PrepMessage::QueryPage(paged) => {
+                Ok(PluginResponse::Page(self.store.query_page(paged)?))
+            }
+            _ => Err(StoreError::Corrupt(
+                "non-page message routed to the paged-query plug-in".into(),
             )),
         }
     }

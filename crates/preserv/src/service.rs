@@ -13,7 +13,7 @@ use pasoa_core::prep::PrepMessage;
 use pasoa_wire::{Envelope, MessageHandler, ServiceHost, WireError, WireResult};
 
 use crate::backend::{FileBackend, KvBackend, MemoryBackend, StorageBackend};
-use crate::plugins::{BasicQueryPlugin, LineageQueryPlugin, PlugIn, StorePlugin};
+use crate::plugins::{BasicQueryPlugin, LineageQueryPlugin, PagedQueryPlugin, PlugIn, StorePlugin};
 use crate::store::ProvenanceStore;
 
 /// Configuration of a PReServ deployment.
@@ -45,6 +45,7 @@ impl PreservService {
         let plugins: Vec<Arc<dyn PlugIn>> = vec![
             Arc::new(StorePlugin::new(Arc::clone(&store))),
             Arc::new(BasicQueryPlugin::new(Arc::clone(&store))),
+            Arc::new(PagedQueryPlugin::new(Arc::clone(&store))),
             Arc::new(LineageQueryPlugin::new(Arc::clone(&store))),
         ];
         Ok(PreservService {
@@ -154,6 +155,9 @@ impl MessageHandler for PreservService {
             }
             crate::plugins::PluginResponse::Query(q) => {
                 Envelope::response(&action).with_json_payload(&q)
+            }
+            crate::plugins::PluginResponse::Page(page) => {
+                Envelope::response(&action).with_json_payload(&page)
             }
             crate::plugins::PluginResponse::Lineage(graph) => {
                 Envelope::response(&action).with_json_payload(&graph)
@@ -307,7 +311,10 @@ mod tests {
     fn service_exposes_its_plugins_and_accepts_new_ones() {
         let (service, _) = deploy();
         let names = service.plugin_names();
-        assert_eq!(names, vec!["store", "basic-query", "lineage-query"]);
+        assert_eq!(
+            names,
+            vec!["store", "basic-query", "paged-query", "lineage-query"]
+        );
         assert_eq!(MessageHandler::name(service.as_ref()), "preserv");
     }
 

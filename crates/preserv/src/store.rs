@@ -9,12 +9,17 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use pasoa_core::group::Group;
 use pasoa_core::ids::{InteractionKey, SessionId};
 use pasoa_core::passertion::{PAssertion, RecordedAssertion};
-use pasoa_core::prep::{QueryRequest, QueryResponse, StoreStatistics};
+use pasoa_core::prep::{
+    PagedQuery, QueryRequest, QueryResponse, ShardQueryPage, StoreStatistics, MAX_PAGE_SIZE,
+};
 
 use crate::backend::{BackendError, StorageBackend};
+use crate::index::{self, EdgeRecord, IndexMarker};
 use crate::keys;
 
 /// Error produced by store operations.
@@ -24,6 +29,10 @@ pub enum StoreError {
     Backend(BackendError),
     /// A stored document could not be deserialized.
     Corrupt(String),
+    /// The request itself is invalid (e.g. a page size of zero or beyond the hard ceiling);
+    /// retrying without fixing the request cannot succeed. Raised loudly instead of silently
+    /// truncating or clamping.
+    InvalidRequest(String),
     /// The store (or part of a store tier) cannot currently accept or serve the named
     /// sessions; retrying later — or retrying just those sessions — may succeed. Produced by
     /// the cluster tier when a flush cannot deliver every buffered batch, so callers get the
@@ -41,6 +50,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Backend(e) => write!(f, "store backend failure: {e}"),
             StoreError::Corrupt(reason) => write!(f, "corrupt store document: {reason}"),
+            StoreError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
             StoreError::Unavailable {
                 failed_sessions,
                 reason,
@@ -62,6 +72,35 @@ impl From<BackendError> for StoreError {
     }
 }
 
+/// How a store is opened.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Maintain the secondary-index keyspaces (see [`crate::index`]) write-through, and serve
+    /// queries from them. Disabling reverts every query to the paper's bulk-retrieval scans —
+    /// the configuration the planner's scan fallback and the equivalence oracles run against.
+    pub maintain_indexes: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            maintain_indexes: true,
+        }
+    }
+}
+
+/// What the open-time index consistency check found and did (see [`crate::index`] for the
+/// check itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexReport {
+    /// Whether the store maintains indexes at all.
+    pub enabled: bool,
+    /// Whether the open-time check found the index stale or absent and rebuilt it.
+    pub rebuilt: bool,
+    /// Index entries written by the rebuild (0 when no rebuild ran).
+    pub entries_rebuilt: usize,
+}
+
 /// A provenance store over some backend.
 pub struct ProvenanceStore {
     backend: Arc<dyn StorageBackend>,
@@ -74,11 +113,28 @@ pub struct ProvenanceStore {
     relationship_assertions: AtomicU64,
     group_count: AtomicU64,
     content_bytes: AtomicU64,
+    /// Whether secondary indexes are maintained and served (see [`StoreOptions`]).
+    maintain_indexes: bool,
+    /// What the open-time consistency check did.
+    index_report: Mutex<IndexReport>,
 }
 
 impl ProvenanceStore {
-    /// Open a store over `backend`, rebuilding counters from its contents.
+    /// Open a store over `backend` with default options (secondary indexes maintained),
+    /// rebuilding counters from its contents.
     pub fn open(backend: Arc<dyn StorageBackend>) -> Result<Self, StoreError> {
+        Self::open_with_options(backend, StoreOptions::default())
+    }
+
+    /// Open a store over `backend` with explicit options. When indexes are enabled this runs
+    /// the open-time consistency check: a store whose index keyspaces do not account for every
+    /// assertion (a power loss truncated a write mid-batch, or the store was last written with
+    /// indexing disabled or by an older layout) is rebuilt from the primary keyspace before any
+    /// query is served — a stale index is never consulted.
+    pub fn open_with_options(
+        backend: Arc<dyn StorageBackend>,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
         let store = ProvenanceStore {
             backend,
             sequence: AtomicU64::new(0),
@@ -88,8 +144,15 @@ impl ProvenanceStore {
             relationship_assertions: AtomicU64::new(0),
             group_count: AtomicU64::new(0),
             content_bytes: AtomicU64::new(0),
+            maintain_indexes: options.maintain_indexes,
+            index_report: Mutex::new(IndexReport::default()),
         };
         store.rebuild_counters()?;
+        if options.maintain_indexes {
+            store.ensure_indexes()?;
+        } else {
+            store.mark_indexes_disabled()?;
+        }
         Ok(store)
     }
 
@@ -139,6 +202,101 @@ impl ProvenanceStore {
         Ok(())
     }
 
+    /// Verify the secondary indexes account for every stored assertion, rebuilding them when
+    /// they don't (see [`crate::index`] for why count equality is a sufficient check).
+    fn ensure_indexes(&self) -> Result<IndexReport, StoreError> {
+        let assertions = self
+            .backend
+            .count_prefix(keys::ASSERTION_PREFIX.as_bytes())?;
+        let marker_ok = self
+            .backend
+            .get(index::VERSION_KEY)?
+            .map(|payload| IndexMarker::payload_is_current(&payload))
+            .unwrap_or(false);
+        let by_session = self
+            .backend
+            .count_prefix(index::SESSION_IDX_PREFIX.as_bytes())?;
+        let by_actor = self
+            .backend
+            .count_prefix(index::ACTOR_IDX_PREFIX.as_bytes())?;
+        let report = if marker_ok && by_session == assertions && by_actor == assertions {
+            IndexReport {
+                enabled: true,
+                rebuilt: false,
+                entries_rebuilt: 0,
+            }
+        } else if assertions == 0 && by_session == 0 && by_actor == 0 {
+            // Fresh (or empty) store: initialize the marker, nothing to rebuild.
+            self.backend
+                .put(index::VERSION_KEY, &IndexMarker::current().payload())?;
+            IndexReport {
+                enabled: true,
+                rebuilt: false,
+                entries_rebuilt: 0,
+            }
+        } else {
+            self.rebuild_indexes()?
+        };
+        *self.index_report.lock() = report;
+        Ok(report)
+    }
+
+    /// Regenerate every index keyspace from the primary `a/` scan and stamp the version
+    /// marker (written last, so a crash mid-rebuild is re-detected on the next open).
+    /// Backends have no delete, but index entries are pure functions of their assertions and
+    /// assertions are immutable, so rewriting in place converges; orphan entries cannot exist
+    /// because index entries are always staged after their assertion document.
+    pub fn rebuild_indexes(&self) -> Result<IndexReport, StoreError> {
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (key, value) in self
+            .backend
+            .scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
+        {
+            let recorded: RecordedAssertion =
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            index::stage_assertion_entries(&mut entries, &recorded, key_seq(&key)?);
+        }
+        entries.push((
+            index::VERSION_KEY.to_vec(),
+            IndexMarker::current().payload(),
+        ));
+        let written = entries.len();
+        self.backend.put_many(&entries)?;
+        let report = IndexReport {
+            enabled: true,
+            rebuilt: true,
+            entries_rebuilt: written,
+        };
+        *self.index_report.lock() = report;
+        Ok(report)
+    }
+
+    /// Invalidate the version marker on an index-disabled open: assertions recorded without
+    /// index maintenance would otherwise leave a *stale* index that a later indexed open
+    /// trusts. Downgrading the marker forces that open to rebuild.
+    fn mark_indexes_disabled(&self) -> Result<(), StoreError> {
+        let currently_valid = self
+            .backend
+            .get(index::VERSION_KEY)?
+            .map(|payload| IndexMarker::payload_is_current(&payload))
+            .unwrap_or(false);
+        if currently_valid {
+            self.backend
+                .put(index::VERSION_KEY, &IndexMarker::disabled().payload())?;
+        }
+        Ok(())
+    }
+
+    /// Whether this store maintains and serves secondary indexes.
+    pub fn indexes_enabled(&self) -> bool {
+        self.maintain_indexes
+    }
+
+    /// What the open-time index consistency check (or the last explicit rebuild) did.
+    pub fn index_report(&self) -> IndexReport {
+        *self.index_report.lock()
+    }
+
     /// The backend kind in use (reported by benchmarks).
     pub fn backend_kind(&self) -> crate::backend::BackendKind {
         self.backend.kind()
@@ -165,7 +323,7 @@ impl ProvenanceStore {
         if recorded.is_empty() {
             return Ok(0);
         }
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(recorded.len() * 3);
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(recorded.len() * 6);
         let mut markers_in_batch = std::collections::BTreeSet::new();
         let mut new_interactions = 0u64;
         let mut interaction_assertions = 0u64;
@@ -190,6 +348,13 @@ impl ProvenanceStore {
                 keys::session_member_key(r.session.as_str(), interaction),
                 Vec::new(),
             ));
+            if self.maintain_indexes {
+                // Index entries follow their document inside the same backend batch, by-actor
+                // last: a power loss can leave an assertion missing index entries (caught and
+                // rebuilt by the open-time count check) but never an index entry without its
+                // assertion.
+                index::stage_assertion_entries(&mut entries, r, seq);
+            }
 
             match &r.assertion {
                 PAssertion::Interaction(_) => interaction_assertions += 1,
@@ -240,14 +405,142 @@ impl ProvenanceStore {
         Ok(out)
     }
 
-    /// All p-assertions recorded under `session`.
+    /// All p-assertions recorded under `session`, in `(interaction key, recording order)`
+    /// order — served by the by-session secondary index when enabled, by a bulk-retrieval scan
+    /// otherwise. Both paths answer identically (the equivalence proptests pin this).
     pub fn assertions_for_session(
         &self,
         session: &SessionId,
     ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        if self.maintain_indexes {
+            self.assertions_for_session_via_index(session)
+        } else {
+            self.assertions_filtered_scan(&QueryRequest::BySession(session.clone()))
+        }
+    }
+
+    /// [`Self::assertions_for_session`] forced through the by-session index.
+    pub fn assertions_for_session_via_index(
+        &self,
+        session: &SessionId,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        self.fetch_via_entries(&index::session_idx_prefix(session.as_str()))
+    }
+
+    /// All p-assertions asserted by `actor`, in `(interaction key, recording order)` order.
+    pub fn assertions_by_actor(
+        &self,
+        actor: &pasoa_core::ids::ActorId,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        if self.maintain_indexes {
+            self.assertions_by_actor_via_index(actor)
+        } else {
+            self.assertions_filtered_scan(&QueryRequest::ByActor(actor.clone()))
+        }
+    }
+
+    /// [`Self::assertions_by_actor`] forced through the by-actor index.
+    pub fn assertions_by_actor_via_index(
+        &self,
+        actor: &pasoa_core::ids::ActorId,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        self.fetch_via_entries(&index::actor_idx_prefix(actor.as_str()))
+    }
+
+    /// All relationship p-assertions carrying `relation`, in `(interaction key, recording
+    /// order)` order.
+    pub fn assertions_by_relation(
+        &self,
+        relation: &str,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        if self.maintain_indexes {
+            self.assertions_by_relation_via_index(relation)
+        } else {
+            self.assertions_filtered_scan(&QueryRequest::ByRelation(relation.to_string()))
+        }
+    }
+
+    /// [`Self::assertions_by_relation`] forced through the by-relation index.
+    pub fn assertions_by_relation_via_index(
+        &self,
+        relation: &str,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        self.fetch_via_entries(&index::relation_idx_prefix(relation))
+    }
+
+    /// Resolve every entry under an index prefix to its p-assertion, in entry order (which is
+    /// the primary keyspace's `(escaped interaction, seq)` order by construction).
+    fn fetch_via_entries(&self, prefix: &[u8]) -> Result<Vec<RecordedAssertion>, StoreError> {
         let mut out = Vec::new();
-        for interaction in self.interactions_in_session(session)? {
-            out.extend(self.assertions_for_interaction(&interaction)?);
+        for entry in self.backend.scan_prefix(prefix)? {
+            let sort = index::sort_key_from_entry(&entry, prefix).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "malformed index entry {}",
+                    String::from_utf8_lossy(&entry)
+                ))
+            })?;
+            out.push(self.fetch_assertion(&sort)?);
+        }
+        Ok(out)
+    }
+
+    /// Fetch the p-assertion a sort key points at. A dangling entry is corruption by
+    /// definition — index entries are never written before their document.
+    fn fetch_assertion(&self, sort_key: &str) -> Result<RecordedAssertion, StoreError> {
+        let key = index::assertion_key_for_sort_key(sort_key);
+        let value = self.backend.get(&key)?.ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "index entry points at missing assertion {sort_key}"
+            ))
+        })?;
+        serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))
+    }
+
+    /// Whether `recorded` matches an assertion-producing request — the predicate the scan
+    /// fallback applies to the full bulk retrieval.
+    fn scan_filter(request: &QueryRequest, recorded: &RecordedAssertion) -> bool {
+        match request {
+            QueryRequest::ByInteraction(key) => recorded.assertion.interaction_key() == key,
+            QueryRequest::BySession(session) => recorded.session.as_str() == session.as_str(),
+            QueryRequest::ByActor(actor) => {
+                recorded.assertion.asserter().as_str() == actor.as_str()
+            }
+            QueryRequest::ByRelation(relation) => matches!(
+                &recorded.assertion,
+                PAssertion::Relationship(rel) if rel.relation == *relation
+            ),
+            QueryRequest::ActorStateByKind { interaction, kind } => matches!(
+                &recorded.assertion,
+                PAssertion::ActorState(state)
+                    if recorded.assertion.interaction_key() == interaction
+                        && state.kind.label() == kind
+            ),
+            _ => false,
+        }
+    }
+
+    /// The paper's bulk-retrieval path, kept as the planner's explicit fallback and the
+    /// equivalence oracle: deserialize every stored assertion and filter. Errors on requests
+    /// that do not produce assertions.
+    pub fn assertions_filtered_scan(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<Vec<RecordedAssertion>, StoreError> {
+        if !request.is_pageable() {
+            return Err(StoreError::InvalidRequest(format!(
+                "{request:?} does not produce a p-assertion stream"
+            )));
+        }
+        let mut out = Vec::new();
+        for (_, value) in self
+            .backend
+            .scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
+        {
+            let recorded: RecordedAssertion =
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            if Self::scan_filter(request, &recorded) {
+                out.push(recorded);
+            }
         }
         Ok(out)
     }
@@ -317,6 +610,248 @@ impl ProvenanceStore {
         Ok(out)
     }
 
+    /// The lineage edges recorded under `session`, in recording order — what the lineage
+    /// traversals consume. Served by the adjacency index when enabled; the fallback extracts
+    /// them from the bulk session retrieval.
+    pub fn session_edges(&self, session: &SessionId) -> Result<Vec<EdgeRecord>, StoreError> {
+        if self.maintain_indexes {
+            self.session_edges_via_index(session)
+        } else {
+            self.session_edges_scan(session)
+        }
+    }
+
+    /// [`Self::session_edges`] forced through the adjacency index.
+    pub fn session_edges_via_index(
+        &self,
+        session: &SessionId,
+    ) -> Result<Vec<EdgeRecord>, StoreError> {
+        let prefix = index::edge_session_prefix(session.as_str());
+        let mut edges: Vec<(u64, EdgeRecord)> = Vec::new();
+        for (key, value) in self.backend.scan_prefix_values(&prefix)? {
+            edges.push((key_seq(&key)?, decode_edge(&value)?));
+        }
+        // The adjacency keyspace orders by (effect, seq); recording order is plain seq order.
+        edges.sort_by_key(|(seq, _)| *seq);
+        Ok(edges.into_iter().map(|(_, edge)| edge).collect())
+    }
+
+    /// [`Self::session_edges`] forced through the bulk-retrieval scan.
+    pub fn session_edges_scan(&self, session: &SessionId) -> Result<Vec<EdgeRecord>, StoreError> {
+        let mut edges: Vec<(u64, EdgeRecord)> = Vec::new();
+        for (key, value) in self
+            .backend
+            .scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
+        {
+            let recorded: RecordedAssertion =
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            if recorded.session.as_str() != session.as_str() {
+                continue;
+            }
+            if let PAssertion::Relationship(rel) = &recorded.assertion {
+                edges.push((key_seq(&key)?, EdgeRecord::from_relationship(rel)));
+            }
+        }
+        edges.sort_by_key(|(seq, _)| *seq);
+        Ok(edges.into_iter().map(|(_, edge)| edge).collect())
+    }
+
+    /// The derivation edges of one `(session, effect)` pair, in recording order — the per-node
+    /// lookup a backward lineage traversal performs. Falls back to filtering the session's
+    /// edges when indexes are disabled.
+    pub fn edges_for_effect(
+        &self,
+        session: &SessionId,
+        effect: &pasoa_core::ids::DataId,
+    ) -> Result<Vec<EdgeRecord>, StoreError> {
+        if !self.maintain_indexes {
+            return Ok(self
+                .session_edges_scan(session)?
+                .into_iter()
+                .filter(|edge| edge.effect.as_str() == effect.as_str())
+                .collect());
+        }
+        let prefix = index::edge_effect_prefix(session.as_str(), effect.as_str());
+        let mut edges = Vec::new();
+        for (_, value) in self.backend.scan_prefix_values(&prefix)? {
+            edges.push(decode_edge(&value)?);
+        }
+        // One (session, effect) prefix orders by seq already.
+        Ok(edges)
+    }
+
+    /// One bounded page of an assertion-producing request: up to `limit` `(sort key,
+    /// assertion)` pairs whose sort key is strictly greater than `after`, in global sort-key
+    /// order, plus whether the result set is exhausted. This is the primitive under the
+    /// cursor-carrying [`Self::query_page`]; the per-page cost is O(limit) through the indexes
+    /// (modulo filtering for `ActorStateByKind`).
+    pub fn assertions_page(
+        &self,
+        request: &QueryRequest,
+        after: Option<&str>,
+        limit: usize,
+    ) -> Result<(Vec<(String, RecordedAssertion)>, bool), StoreError> {
+        if !request.is_pageable() {
+            return Err(StoreError::InvalidRequest(format!(
+                "{request:?} does not produce a p-assertion stream and cannot be paginated"
+            )));
+        }
+        if !self.maintain_indexes {
+            return self.assertions_page_scan(request, after, limit);
+        }
+        match request {
+            QueryRequest::ByInteraction(key) => {
+                // The primary keyspace is already interaction-ordered; page it directly.
+                self.page_primary_prefix(&keys::assertion_prefix(key.as_str()), after, limit)
+            }
+            QueryRequest::ActorStateByKind { interaction, .. } => {
+                // Page the interaction's assertions and filter; keep fetching raw pages until
+                // the page fills or the interaction is exhausted.
+                let prefix = keys::assertion_prefix(interaction.as_str());
+                let mut items = Vec::new();
+                let mut cursor = after.map(str::to_string);
+                loop {
+                    let (raw, exhausted) =
+                        self.page_primary_prefix(&prefix, cursor.as_deref(), limit)?;
+                    cursor = raw.last().map(|(sort, _)| sort.clone());
+                    for (sort, recorded) in raw {
+                        if Self::scan_filter(request, &recorded) {
+                            items.push((sort, recorded));
+                        }
+                    }
+                    if items.len() >= limit {
+                        items.truncate(limit);
+                        return Ok((items, false));
+                    }
+                    if exhausted {
+                        return Ok((items, true));
+                    }
+                }
+            }
+            QueryRequest::BySession(session) => {
+                self.page_index_prefix(&index::session_idx_prefix(session.as_str()), after, limit)
+            }
+            QueryRequest::ByActor(actor) => {
+                self.page_index_prefix(&index::actor_idx_prefix(actor.as_str()), after, limit)
+            }
+            QueryRequest::ByRelation(relation) => {
+                self.page_index_prefix(&index::relation_idx_prefix(relation), after, limit)
+            }
+            _ => unreachable!("is_pageable() admitted the request"),
+        }
+    }
+
+    /// One bounded page straight off the primary keyspace (sort keys are primary-key derived).
+    fn page_primary_prefix(
+        &self,
+        prefix: &[u8],
+        after: Option<&str>,
+        limit: usize,
+    ) -> Result<(Vec<(String, RecordedAssertion)>, bool), StoreError> {
+        let after_key = after.map(index::assertion_key_for_sort_key);
+        let keys = self
+            .backend
+            .scan_prefix_page(prefix, after_key.as_deref(), limit)?;
+        let exhausted = keys.len() < limit;
+        let mut items = Vec::with_capacity(keys.len());
+        for key in keys {
+            let sort = index::sort_key_from_assertion_key(&key).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "malformed assertion key {}",
+                    String::from_utf8_lossy(&key)
+                ))
+            })?;
+            let value = self.backend.get(&key)?.ok_or_else(|| {
+                StoreError::Corrupt(format!("assertion {sort} vanished mid-page"))
+            })?;
+            let recorded =
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            items.push((sort, recorded));
+        }
+        Ok((items, exhausted))
+    }
+
+    /// One bounded page through a secondary-index prefix.
+    fn page_index_prefix(
+        &self,
+        prefix: &[u8],
+        after: Option<&str>,
+        limit: usize,
+    ) -> Result<(Vec<(String, RecordedAssertion)>, bool), StoreError> {
+        let after_entry: Option<Vec<u8>> = after.map(|sort| {
+            let mut entry = prefix.to_vec();
+            entry.extend_from_slice(sort.as_bytes());
+            entry
+        });
+        let entries = self
+            .backend
+            .scan_prefix_page(prefix, after_entry.as_deref(), limit)?;
+        let exhausted = entries.len() < limit;
+        let mut items = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let sort = index::sort_key_from_entry(&entry, prefix).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "malformed index entry {}",
+                    String::from_utf8_lossy(&entry)
+                ))
+            })?;
+            let recorded = self.fetch_assertion(&sort)?;
+            items.push((sort, recorded));
+        }
+        Ok((items, exhausted))
+    }
+
+    /// The scan fallback of [`Self::assertions_page`]: one full bulk retrieval per page,
+    /// filtered and windowed to the same `(after, limit]` slice the indexed path serves.
+    fn assertions_page_scan(
+        &self,
+        request: &QueryRequest,
+        after: Option<&str>,
+        limit: usize,
+    ) -> Result<(Vec<(String, RecordedAssertion)>, bool), StoreError> {
+        let mut items = Vec::new();
+        let mut more = false;
+        for (key, value) in self
+            .backend
+            .scan_prefix_values(keys::ASSERTION_PREFIX.as_bytes())?
+        {
+            let sort = match index::sort_key_from_assertion_key(&key) {
+                Some(sort) => sort,
+                None => continue,
+            };
+            if let Some(after) = after {
+                if sort.as_str() <= after {
+                    continue;
+                }
+            }
+            let recorded: RecordedAssertion =
+                serde_json::from_slice(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            if !Self::scan_filter(request, &recorded) {
+                continue;
+            }
+            if items.len() >= limit {
+                more = true;
+                break;
+            }
+            items.push((sort, recorded));
+        }
+        Ok((items, !more))
+    }
+
+    /// Serve one cursor-carrying page request, validating its bounds loudly: a page size of
+    /// zero or beyond [`MAX_PAGE_SIZE`] is refused, never clamped or truncated.
+    pub fn query_page(&self, paged: &PagedQuery) -> Result<ShardQueryPage, StoreError> {
+        if paged.page_size == 0 || paged.page_size > MAX_PAGE_SIZE {
+            return Err(StoreError::InvalidRequest(format!(
+                "page size {} outside 1..={MAX_PAGE_SIZE}",
+                paged.page_size
+            )));
+        }
+        let after = paged.cursor.as_ref().map(|cursor| cursor.after.as_str());
+        let (items, exhausted) = self.assertions_page(&paged.request, after, paged.page_size)?;
+        Ok(ShardQueryPage { items, exhausted })
+    }
+
     /// Actor-state p-assertions of a given kind label for one interaction.
     pub fn actor_state_by_kind(
         &self,
@@ -364,6 +899,22 @@ impl ProvenanceStore {
                     QueryResponse::Assertions(assertions)
                 }
             }
+            QueryRequest::ByActor(actor) => {
+                let assertions = self.assertions_by_actor(actor)?;
+                if assertions.is_empty() {
+                    QueryResponse::Empty
+                } else {
+                    QueryResponse::Assertions(assertions)
+                }
+            }
+            QueryRequest::ByRelation(relation) => {
+                let assertions = self.assertions_by_relation(relation)?;
+                if assertions.is_empty() {
+                    QueryResponse::Empty
+                } else {
+                    QueryResponse::Assertions(assertions)
+                }
+            }
             QueryRequest::ListInteractions { limit } => {
                 QueryResponse::Interactions(self.list_interactions(*limit)?)
             }
@@ -386,6 +937,24 @@ impl ProvenanceStore {
         self.backend.sync()?;
         Ok(())
     }
+}
+
+/// The sequence number an assertion or index key ends with.
+fn key_seq(key: &[u8]) -> Result<u64, StoreError> {
+    key.rsplit(|&b| b == b'/')
+        .next()
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "key without a sequence number: {}",
+                String::from_utf8_lossy(key)
+            ))
+        })
+}
+
+fn decode_edge(value: &[u8]) -> Result<EdgeRecord, StoreError> {
+    serde_json::from_slice(value).map_err(|e| StoreError::Corrupt(e.to_string()))
 }
 
 #[cfg(test)]
@@ -590,6 +1159,223 @@ mod tests {
             store.query(&QueryRequest::Statistics).unwrap(),
             QueryResponse::Statistics(_)
         ));
+    }
+
+    fn relationship_assertion(session: &str, key: &str, effect: &str) -> RecordedAssertion {
+        RecordedAssertion {
+            session: SessionId::new(session),
+            assertion: PAssertion::Relationship(RelationshipPAssertion {
+                interaction_key: InteractionKey::new(key),
+                asserter: ActorId::new("gzip"),
+                effect: DataId::new(effect),
+                causes: vec![(
+                    InteractionKey::new(key),
+                    DataId::new(format!("{effect}:in")),
+                )],
+                relation: "compressed-from".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn indexed_answers_match_scan_answers() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        store
+            .record(&relationship_assertion(
+                "session:A",
+                "interaction:1",
+                "data:out",
+            ))
+            .unwrap();
+        let requests = vec![
+            QueryRequest::BySession(SessionId::new("session:A")),
+            QueryRequest::BySession(SessionId::new("session:none")),
+            QueryRequest::ByInteraction(InteractionKey::new("interaction:1")),
+            QueryRequest::ByActor(ActorId::new("workflow-engine")),
+            QueryRequest::ByActor(ActorId::new("nobody")),
+            QueryRequest::ByRelation("compressed-from".into()),
+            QueryRequest::ActorStateByKind {
+                interaction: InteractionKey::new("interaction:1"),
+                kind: "script".into(),
+            },
+        ];
+        for request in requests {
+            let indexed = store.query(&request).unwrap();
+            let scanned = store.assertions_filtered_scan(&request).unwrap();
+            match indexed {
+                QueryResponse::Assertions(indexed) => assert_eq!(indexed, scanned, "{request:?}"),
+                QueryResponse::Empty => assert!(scanned.is_empty(), "{request:?}"),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_index_store_answers_identically() {
+        let backend = Arc::new(MemoryBackend::new());
+        let indexed =
+            ProvenanceStore::open(Arc::clone(&backend) as Arc<dyn StorageBackend>).unwrap();
+        populate(&indexed);
+        assert!(indexed.indexes_enabled());
+        let unindexed = ProvenanceStore::open_with_options(
+            backend,
+            StoreOptions {
+                maintain_indexes: false,
+            },
+        )
+        .unwrap();
+        assert!(!unindexed.indexes_enabled());
+        let session = SessionId::new("session:A");
+        assert_eq!(
+            indexed.assertions_for_session(&session).unwrap(),
+            unindexed.assertions_for_session(&session).unwrap()
+        );
+        assert_eq!(
+            indexed.session_edges(&session).unwrap(),
+            unindexed.session_edges(&session).unwrap()
+        );
+    }
+
+    #[test]
+    fn session_edges_come_from_the_adjacency_index_in_recording_order() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        // Two edges for the same effect across differently-sorted interactions, plus one
+        // other effect: recording order must win over keyspace order.
+        store
+            .record(&relationship_assertion(
+                "session:E",
+                "interaction:z",
+                "data:x",
+            ))
+            .unwrap();
+        store
+            .record(&relationship_assertion(
+                "session:E",
+                "interaction:a",
+                "data:x",
+            ))
+            .unwrap();
+        store
+            .record(&relationship_assertion(
+                "session:E",
+                "interaction:m",
+                "data:y",
+            ))
+            .unwrap();
+        let via_index = store
+            .session_edges_via_index(&SessionId::new("session:E"))
+            .unwrap();
+        let via_scan = store
+            .session_edges_scan(&SessionId::new("session:E"))
+            .unwrap();
+        assert_eq!(via_index, via_scan);
+        assert_eq!(via_index.len(), 3);
+        assert_eq!(via_index[0].effect, DataId::new("data:x"));
+        assert_eq!(via_index[2].effect, DataId::new("data:y"));
+        let for_x = store
+            .edges_for_effect(&SessionId::new("session:E"), &DataId::new("data:x"))
+            .unwrap();
+        assert_eq!(for_x.len(), 2);
+    }
+
+    #[test]
+    fn pages_concatenate_to_the_full_answer() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        let request = QueryRequest::BySession(SessionId::new("session:A"));
+        let full = store
+            .assertions_for_session(&SessionId::new("session:A"))
+            .unwrap();
+        for page_size in [1usize, 3, 7, 100] {
+            let mut collected = Vec::new();
+            let mut after: Option<String> = None;
+            loop {
+                let (items, exhausted) = store
+                    .assertions_page(&request, after.as_deref(), page_size)
+                    .unwrap();
+                assert!(items.len() <= page_size);
+                after = items.last().map(|(sort, _)| sort.clone());
+                collected.extend(items.into_iter().map(|(_, recorded)| recorded));
+                if exhausted {
+                    break;
+                }
+            }
+            assert_eq!(collected, full, "page_size {page_size}");
+        }
+    }
+
+    #[test]
+    fn page_requests_outside_bounds_error_loudly() {
+        let store = ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap();
+        populate(&store);
+        let request = QueryRequest::BySession(SessionId::new("session:A"));
+        for page_size in [0usize, MAX_PAGE_SIZE + 1] {
+            let err = store
+                .query_page(&PagedQuery {
+                    request: request.clone(),
+                    cursor: None,
+                    page_size,
+                })
+                .unwrap_err();
+            assert!(matches!(err, StoreError::InvalidRequest(_)), "{page_size}");
+        }
+        // Non-pageable requests are refused, not silently answered.
+        assert!(matches!(
+            store.query_page(&PagedQuery {
+                request: QueryRequest::Statistics,
+                cursor: None,
+                page_size: 10,
+            }),
+            Err(StoreError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn writes_without_indexes_force_a_rebuild_on_the_next_indexed_open() {
+        let dir = std::env::temp_dir().join(format!(
+            "preserv-store-idx-rebuild-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = ProvenanceStore::open(Arc::new(KvBackend::open(&dir).unwrap())).unwrap();
+            populate(&store);
+            assert!(!store.index_report().rebuilt);
+            store.sync().unwrap();
+        }
+        {
+            // Record more with indexing off: the marker is downgraded, the index goes stale.
+            let store = ProvenanceStore::open_with_options(
+                Arc::new(KvBackend::open(&dir).unwrap()),
+                StoreOptions {
+                    maintain_indexes: false,
+                },
+            )
+            .unwrap();
+            store
+                .record(&interaction_assertion(
+                    "session:C",
+                    "interaction:50",
+                    "ppmz",
+                ))
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let store = ProvenanceStore::open(Arc::new(KvBackend::open(&dir).unwrap())).unwrap();
+        let report = store.index_report();
+        assert!(report.enabled && report.rebuilt);
+        assert!(report.entries_rebuilt > 0);
+        // The rebuilt index serves the assertion recorded while indexing was off.
+        let found = store
+            .assertions_for_session_via_index(&SessionId::new("session:C"))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

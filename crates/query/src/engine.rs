@@ -1,0 +1,180 @@
+//! Executing compiled plans against a [`ProvenanceStore`].
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use pasoa_core::ids::{DataId, SessionId};
+use pasoa_core::prep::{PagedQuery, QueryRequest, QueryResponse, ShardQueryPage};
+use pasoa_preserv::{LineageGraph, ProvenanceStore};
+
+use crate::plan::{AccessPath, Explain};
+use crate::planner::{PlanMode, Planner};
+use crate::QueryError;
+
+/// The query engine: plans a request, executes the plan, and can explain itself.
+///
+/// The engine never changes what a query *answers* — every access path returns bit-identical
+/// results (pinned by the equivalence proptests) — only what it *costs*.
+pub struct QueryEngine {
+    store: Arc<ProvenanceStore>,
+    planner: Planner,
+}
+
+impl QueryEngine {
+    /// An engine in [`PlanMode::Auto`] over `store`.
+    pub fn new(store: Arc<ProvenanceStore>) -> Self {
+        Self::with_mode(store, PlanMode::Auto)
+    }
+
+    /// An engine with an explicit planning mode.
+    pub fn with_mode(store: Arc<ProvenanceStore>, mode: PlanMode) -> Self {
+        QueryEngine {
+            store,
+            planner: Planner::new(mode),
+        }
+    }
+
+    /// The store under the engine.
+    pub fn store(&self) -> &Arc<ProvenanceStore> {
+        &self.store
+    }
+
+    /// What plan `request` would run under, without running it.
+    pub fn explain(&self, request: &QueryRequest) -> Result<Explain, QueryError> {
+        Ok(Explain {
+            request: format!("{request:?}"),
+            plan: self.planner.plan(self.store.indexes_enabled(), request)?,
+        })
+    }
+
+    /// What plan a lineage request would run under.
+    pub fn explain_lineage(&self, closure: bool) -> Result<Explain, QueryError> {
+        Ok(Explain {
+            request: if closure {
+                "LineageClosure".into()
+            } else {
+                "LineageSession".into()
+            },
+            plan: self
+                .planner
+                .plan_lineage(self.store.indexes_enabled(), closure)?,
+        })
+    }
+
+    /// Plan and execute one protocol query.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+        let plan = self.planner.plan(self.store.indexes_enabled(), request)?;
+        let response = match plan.path {
+            AccessPath::SessionIndex => {
+                let QueryRequest::BySession(session) = request else {
+                    unreachable!("planner maps only BySession to the session index")
+                };
+                assertions_response(self.store.assertions_for_session_via_index(session)?)
+            }
+            AccessPath::ActorIndex => {
+                let QueryRequest::ByActor(actor) = request else {
+                    unreachable!("planner maps only ByActor to the actor index")
+                };
+                assertions_response(self.store.assertions_by_actor_via_index(actor)?)
+            }
+            AccessPath::RelationIndex => {
+                let QueryRequest::ByRelation(relation) = request else {
+                    unreachable!("planner maps only ByRelation to the relation index")
+                };
+                assertions_response(self.store.assertions_by_relation_via_index(relation)?)
+            }
+            AccessPath::FullScan => {
+                assertions_response(self.store.assertions_filtered_scan(request)?)
+            }
+            AccessPath::AssertionPrefix => match request {
+                QueryRequest::ByInteraction(key) => {
+                    assertions_response(self.store.assertions_for_interaction(key)?)
+                }
+                QueryRequest::ActorStateByKind { interaction, kind } => {
+                    assertions_response(self.store.actor_state_by_kind(interaction, kind)?)
+                }
+                _ => unreachable!("planner maps only interaction requests to the prefix"),
+            },
+            AccessPath::InteractionMarkers => {
+                let QueryRequest::ListInteractions { limit } = request else {
+                    unreachable!("planner maps only listings to the markers")
+                };
+                QueryResponse::Interactions(self.store.list_interactions(*limit)?)
+            }
+            AccessPath::GroupPrefix => {
+                let QueryRequest::GroupsByKind(kind) = request else {
+                    unreachable!("planner maps only group requests to the group prefix")
+                };
+                QueryResponse::Groups(self.store.groups_by_kind(kind)?)
+            }
+            AccessPath::Counters => QueryResponse::Statistics(self.store.statistics()),
+            AccessPath::EdgeIndex => {
+                unreachable!("protocol queries never plan to the edge index")
+            }
+        };
+        Ok(response)
+    }
+
+    /// Serve one bounded page. Pagination always runs the store's own (index or scan)
+    /// configuration: both serve the same `(after, limit]` windows of the same global order.
+    pub fn page(&self, paged: &PagedQuery) -> Result<ShardQueryPage, QueryError> {
+        Ok(self.store.query_page(paged)?)
+    }
+
+    /// The session's full derivation graph, through the planned path.
+    pub fn lineage_session(&self, session: &SessionId) -> Result<LineageGraph, QueryError> {
+        let plan = self
+            .planner
+            .plan_lineage(self.store.indexes_enabled(), false)?;
+        let edges = match plan.path {
+            AccessPath::EdgeIndex => self.store.session_edges_via_index(session)?,
+            _ => self.store.session_edges_scan(session)?,
+        };
+        let mut graph = LineageGraph::default();
+        for edge in &edges {
+            graph.absorb_edge(edge);
+        }
+        Ok(graph)
+    }
+
+    /// The lineage closure of one data item: the subgraph reachable backwards from `target`.
+    /// Through the adjacency index this reads only the reachable edges — cost proportional to
+    /// the answer, not to the session (let alone the store).
+    pub fn lineage_closure(
+        &self,
+        session: &SessionId,
+        target: &DataId,
+    ) -> Result<LineageGraph, QueryError> {
+        let plan = self
+            .planner
+            .plan_lineage(self.store.indexes_enabled(), true)?;
+        if plan.path != AccessPath::EdgeIndex {
+            return Ok(self.lineage_session(session)?.closure_of(target));
+        }
+        let mut graph = LineageGraph::default();
+        let mut visited: BTreeSet<String> = BTreeSet::new();
+        let mut queue: Vec<DataId> = vec![target.clone()];
+        while let Some(current) = queue.pop() {
+            if !visited.insert(current.as_str().to_string()) {
+                continue;
+            }
+            for edge in self.store.edges_for_effect(session, &current)? {
+                for cause in &edge.causes {
+                    queue.push(cause.clone());
+                }
+                graph.absorb_edge(&edge);
+            }
+        }
+        Ok(graph)
+    }
+}
+
+fn assertions_response(
+    assertions: Vec<pasoa_core::passertion::RecordedAssertion>,
+) -> QueryResponse {
+    if assertions.is_empty() {
+        QueryResponse::Empty
+    } else {
+        QueryResponse::Assertions(assertions)
+    }
+}

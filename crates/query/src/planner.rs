@@ -1,0 +1,262 @@
+//! Compiling [`QueryRequest`]s and lineage requests into [`QueryPlan`]s.
+
+use pasoa_core::prep::QueryRequest;
+
+use crate::plan::{AccessPath, QueryPlan};
+use crate::QueryError;
+
+/// How the planner chooses between indexes and scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Use an index whenever the store maintains one, fall back to scans otherwise.
+    #[default]
+    Auto,
+    /// Always take the bulk-retrieval scan — the oracle mode equivalence checks and the
+    /// `query_latency` bench run against.
+    ForceScan,
+    /// Demand an index; planning fails if the store does not maintain one. For callers that
+    /// would rather error than absorb a surprise full scan.
+    ForceIndex,
+}
+
+/// The query planner: a pure function of `(mode, store-has-indexes, request)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner {
+    mode: PlanMode,
+}
+
+impl Planner {
+    /// A planner in the given mode.
+    pub fn new(mode: PlanMode) -> Self {
+        Planner { mode }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    fn indexed(path: AccessPath) -> QueryPlan {
+        QueryPlan {
+            path,
+            reason: "secondary index maintained by the store".into(),
+        }
+    }
+
+    fn scan(reason: &str) -> QueryPlan {
+        QueryPlan {
+            path: AccessPath::FullScan,
+            reason: reason.into(),
+        }
+    }
+
+    /// The only access path a request has regardless of indexes (markers, groups, counters,
+    /// and the interaction-ordered primary keyspace).
+    fn sole_path(request: &QueryRequest) -> Option<QueryPlan> {
+        let (path, reason) = match request {
+            QueryRequest::ByInteraction(_) | QueryRequest::ActorStateByKind { .. } => (
+                AccessPath::AssertionPrefix,
+                "primary keyspace is interaction-ordered",
+            ),
+            QueryRequest::ListInteractions { .. } => (
+                AccessPath::InteractionMarkers,
+                "keys-only scan of the interaction markers",
+            ),
+            QueryRequest::GroupsByKind(_) => {
+                (AccessPath::GroupPrefix, "groups are stored kind-first")
+            }
+            QueryRequest::Statistics => (AccessPath::Counters, "served from in-memory counters"),
+            _ => return None,
+        };
+        Some(QueryPlan {
+            path,
+            reason: reason.into(),
+        })
+    }
+
+    /// Compile one protocol query against a store that does (or does not) maintain indexes.
+    pub fn plan(
+        &self,
+        indexes_enabled: bool,
+        request: &QueryRequest,
+    ) -> Result<QueryPlan, QueryError> {
+        let index_path = match request {
+            QueryRequest::BySession(_) => Some(AccessPath::SessionIndex),
+            QueryRequest::ByActor(_) => Some(AccessPath::ActorIndex),
+            QueryRequest::ByRelation(_) => Some(AccessPath::RelationIndex),
+            _ => None,
+        };
+        match self.mode {
+            PlanMode::ForceScan => match request {
+                request if request.is_pageable() => {
+                    Ok(Self::scan("scan forced by the caller (oracle mode)"))
+                }
+                request => Ok(Self::sole_path(request).expect("non-pageable requests have one")),
+            },
+            PlanMode::ForceIndex => {
+                if let Some(plan) = Self::sole_path(request) {
+                    return Ok(plan);
+                }
+                let path = index_path.expect("requests without a sole path have an index path");
+                if indexes_enabled {
+                    Ok(Self::indexed(path))
+                } else {
+                    Err(QueryError::IndexUnavailable(format!(
+                        "{} required but the store was opened without index maintenance",
+                        path.label()
+                    )))
+                }
+            }
+            PlanMode::Auto => {
+                if let Some(plan) = Self::sole_path(request) {
+                    return Ok(plan);
+                }
+                let path = index_path.expect("requests without a sole path have an index path");
+                if indexes_enabled {
+                    Ok(Self::indexed(path))
+                } else {
+                    Ok(Self::scan(
+                        "store opened without index maintenance; falling back to bulk retrieval",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Compile a lineage request (`closure` = targeted ancestry rather than the whole
+    /// session graph).
+    pub fn plan_lineage(
+        &self,
+        indexes_enabled: bool,
+        closure: bool,
+    ) -> Result<QueryPlan, QueryError> {
+        let what = if closure {
+            "backward traversal over the adjacency index, reading only reachable edges"
+        } else {
+            "session's adjacency entries, no full-assertion deserialization"
+        };
+        match self.mode {
+            PlanMode::ForceScan => Ok(Self::scan(
+                "scan forced by the caller: edges extracted from the bulk session retrieval",
+            )),
+            PlanMode::ForceIndex if !indexes_enabled => Err(QueryError::IndexUnavailable(
+                "edge-index required but the store was opened without index maintenance".into(),
+            )),
+            PlanMode::ForceIndex => Ok(QueryPlan {
+                path: AccessPath::EdgeIndex,
+                reason: what.into(),
+            }),
+            PlanMode::Auto if indexes_enabled => Ok(QueryPlan {
+                path: AccessPath::EdgeIndex,
+                reason: what.into(),
+            }),
+            PlanMode::Auto => Ok(Self::scan(
+                "store opened without index maintenance; falling back to bulk retrieval",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_core::ids::{ActorId, InteractionKey, SessionId};
+
+    #[test]
+    fn auto_mode_prefers_indexes_and_falls_back() {
+        let planner = Planner::default();
+        let by_session = QueryRequest::BySession(SessionId::new("s"));
+        assert_eq!(
+            planner.plan(true, &by_session).unwrap().path,
+            AccessPath::SessionIndex
+        );
+        assert_eq!(
+            planner.plan(false, &by_session).unwrap().path,
+            AccessPath::FullScan
+        );
+        assert_eq!(
+            planner
+                .plan(true, &QueryRequest::ByActor(ActorId::new("a")))
+                .unwrap()
+                .path,
+            AccessPath::ActorIndex
+        );
+        assert_eq!(
+            planner
+                .plan(true, &QueryRequest::ByRelation("r".into()))
+                .unwrap()
+                .path,
+            AccessPath::RelationIndex
+        );
+    }
+
+    #[test]
+    fn sole_path_requests_ignore_the_mode() {
+        for mode in [PlanMode::Auto, PlanMode::ForceScan, PlanMode::ForceIndex] {
+            let planner = Planner::new(mode);
+            assert_eq!(
+                planner.plan(false, &QueryRequest::Statistics).unwrap().path,
+                AccessPath::Counters
+            );
+            assert_eq!(
+                planner
+                    .plan(false, &QueryRequest::ListInteractions { limit: None })
+                    .unwrap()
+                    .path,
+                AccessPath::InteractionMarkers
+            );
+            assert_eq!(
+                planner
+                    .plan(false, &QueryRequest::GroupsByKind("session".into()))
+                    .unwrap()
+                    .path,
+                AccessPath::GroupPrefix
+            );
+        }
+    }
+
+    #[test]
+    fn force_index_fails_without_indexes() {
+        let planner = Planner::new(PlanMode::ForceIndex);
+        let err = planner
+            .plan(false, &QueryRequest::BySession(SessionId::new("s")))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IndexUnavailable(_)));
+        // But interaction-prefix requests still plan: the primary keyspace is their index.
+        assert_eq!(
+            planner
+                .plan(
+                    false,
+                    &QueryRequest::ByInteraction(InteractionKey::new("i"))
+                )
+                .unwrap()
+                .path,
+            AccessPath::AssertionPrefix
+        );
+        assert!(planner.plan_lineage(false, true).is_err());
+        assert_eq!(
+            planner.plan_lineage(true, true).unwrap().path,
+            AccessPath::EdgeIndex
+        );
+    }
+
+    #[test]
+    fn force_scan_always_scans_assertion_streams() {
+        let planner = Planner::new(PlanMode::ForceScan);
+        for request in [
+            QueryRequest::BySession(SessionId::new("s")),
+            QueryRequest::ByInteraction(InteractionKey::new("i")),
+            QueryRequest::ByActor(ActorId::new("a")),
+            QueryRequest::ByRelation("r".into()),
+        ] {
+            assert_eq!(
+                planner.plan(true, &request).unwrap().path,
+                AccessPath::FullScan
+            );
+        }
+        assert_eq!(
+            planner.plan_lineage(true, false).unwrap().path,
+            AccessPath::FullScan
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests: every access path answers bit-identically.
+//!
+//! For arbitrary assertion sets — mixed kinds, sessions that share interaction keys, repeated
+//! effects, duplicate relations — the planner's indexed paths, the bulk-retrieval scan
+//! fallback, and the paginated path must return exactly the same answers in exactly the same
+//! order. This is the contract that lets the planner choose plans on cost alone.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pasoa_core::ids::{ActorId, DataId, InteractionKey, SessionId};
+use pasoa_core::passertion::{
+    ActorStateKind, ActorStatePAssertion, InteractionPAssertion, PAssertion, PAssertionContent,
+    RecordedAssertion, RelationshipPAssertion, ViewKind,
+};
+use pasoa_core::prep::{PageCursor, PagedQuery, QueryRequest, QueryResponse};
+use pasoa_preserv::{LineageGraph, MemoryBackend, ProvenanceStore};
+use pasoa_query::{PlanMode, QueryEngine};
+
+const RELATIONS: [&str; 3] = ["compressed-from", "encoded-from", "shuffled-from"];
+
+/// One assertion spec: (session, kind selector, interaction, actor, effect, causes, relation).
+type Spec = (u8, u8, u8, u8, u8, Vec<u8>, u8);
+
+fn assertion_strategy() -> impl Strategy<Value = Spec> {
+    (
+        0u8..4,
+        0u8..3,
+        0u8..6,
+        0u8..3,
+        0u8..8,
+        prop::collection::vec(0u8..8, 0..3),
+        0u8..3,
+    )
+}
+
+fn build(specs: &[Spec]) -> Vec<RecordedAssertion> {
+    specs
+        .iter()
+        .map(
+            |(session, kind, interaction, actor, effect, causes, relation)| {
+                let session = SessionId::new(format!("session:eq:{session}"));
+                // Interactions are deliberately shared across sessions: the by-session semantics
+                // ("recorded under the session") must hold on every path even then.
+                let key = InteractionKey::new(format!("interaction:eq:{interaction}"));
+                let asserter = ActorId::new(format!("actor:eq:{actor}"));
+                let assertion = match kind % 3 {
+                    0 => PAssertion::Interaction(InteractionPAssertion {
+                        interaction_key: key,
+                        asserter: asserter.clone(),
+                        view: ViewKind::Sender,
+                        sender: asserter,
+                        receiver: ActorId::new("service"),
+                        operation: "op".into(),
+                        content: PAssertionContent::text("payload"),
+                        data_ids: vec![DataId::new(format!("data:eq:{effect}"))],
+                    }),
+                    1 => PAssertion::ActorState(ActorStatePAssertion {
+                        interaction_key: key,
+                        asserter,
+                        view: ViewKind::Receiver,
+                        kind: ActorStateKind::Script,
+                        content: PAssertionContent::text("script"),
+                    }),
+                    _ => PAssertion::Relationship(RelationshipPAssertion {
+                        interaction_key: key.clone(),
+                        asserter,
+                        effect: DataId::new(format!("data:eq:{effect}")),
+                        causes: causes
+                            .iter()
+                            .map(|cause| (key.clone(), DataId::new(format!("data:eq:{cause}"))))
+                            .collect(),
+                        relation: RELATIONS[*relation as usize % RELATIONS.len()].to_string(),
+                    }),
+                };
+                RecordedAssertion { session, assertion }
+            },
+        )
+        .collect()
+}
+
+fn requests() -> Vec<QueryRequest> {
+    let mut requests = Vec::new();
+    for session in 0..4 {
+        requests.push(QueryRequest::BySession(SessionId::new(format!(
+            "session:eq:{session}"
+        ))));
+    }
+    for interaction in 0..6 {
+        requests.push(QueryRequest::ByInteraction(InteractionKey::new(format!(
+            "interaction:eq:{interaction}"
+        ))));
+        requests.push(QueryRequest::ActorStateByKind {
+            interaction: InteractionKey::new(format!("interaction:eq:{interaction}")),
+            kind: "script".into(),
+        });
+    }
+    for actor in 0..3 {
+        requests.push(QueryRequest::ByActor(ActorId::new(format!(
+            "actor:eq:{actor}"
+        ))));
+    }
+    for relation in RELATIONS {
+        requests.push(QueryRequest::ByRelation(relation.to_string()));
+    }
+    requests
+}
+
+fn response_assertions(response: QueryResponse) -> Vec<RecordedAssertion> {
+    match response {
+        QueryResponse::Assertions(list) => list,
+        QueryResponse::Empty => Vec::new(),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn indexed_scan_and_paginated_answers_are_bit_identical(
+        specs in prop::collection::vec(assertion_strategy(), 1..60),
+        page_size in 1usize..7,
+    ) {
+        let store = Arc::new(ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap());
+        store.record_all(&build(&specs)).unwrap();
+        let auto = QueryEngine::new(Arc::clone(&store));
+        let forced_index = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceIndex);
+        let forced_scan = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceScan);
+
+        for request in requests() {
+            let expected = response_assertions(store.query(&request).unwrap());
+            let via_auto = response_assertions(auto.query(&request).unwrap());
+            let via_index = response_assertions(forced_index.query(&request).unwrap());
+            let via_scan = response_assertions(forced_scan.query(&request).unwrap());
+            prop_assert_eq!(&via_auto, &expected, "auto diverged on {:?}", &request);
+            prop_assert_eq!(&via_index, &expected, "index diverged on {:?}", &request);
+            prop_assert_eq!(&via_scan, &expected, "scan diverged on {:?}", &request);
+
+            // Paginated: concatenated pages reproduce the full answer exactly.
+            let mut paged = Vec::new();
+            let mut cursor: Option<PageCursor> = None;
+            loop {
+                let page = auto
+                    .page(&PagedQuery {
+                        request: request.clone(),
+                        cursor: cursor.clone(),
+                        page_size,
+                    })
+                    .unwrap();
+                prop_assert!(page.items.len() <= page_size);
+                cursor = page.items.last().map(|(sort, _)| PageCursor {
+                    after: sort.clone(),
+                });
+                paged.extend(page.items.into_iter().map(|(_, recorded)| recorded));
+                if page.exhausted {
+                    break;
+                }
+            }
+            prop_assert_eq!(&paged, &expected, "pagination diverged on {:?}", &request);
+        }
+    }
+
+    #[test]
+    fn lineage_paths_are_bit_identical(
+        specs in prop::collection::vec(assertion_strategy(), 1..60),
+    ) {
+        let store = Arc::new(ProvenanceStore::open(Arc::new(MemoryBackend::new())).unwrap());
+        store.record_all(&build(&specs)).unwrap();
+        let forced_index = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceIndex);
+        let forced_scan = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceScan);
+
+        for session in (0..4).map(|s| SessionId::new(format!("session:eq:{s}"))) {
+            let expected = LineageGraph::trace_session(&store, &session).unwrap();
+            let via_index = forced_index.lineage_session(&session).unwrap();
+            let via_scan = forced_scan.lineage_session(&session).unwrap();
+            prop_assert_eq!(&via_index, &expected);
+            prop_assert_eq!(&via_scan, &expected);
+
+            // Closure of every data id that appears at all: the index traversal (which reads
+            // only reachable edges) must equal the trace-then-filter answer.
+            for effect in 0..8 {
+                let target = DataId::new(format!("data:eq:{effect}"));
+                let expected = LineageGraph::trace(&store, &session, &target).unwrap();
+                let via_index = forced_index.lineage_closure(&session, &target).unwrap();
+                let via_scan = forced_scan.lineage_closure(&session, &target).unwrap();
+                prop_assert_eq!(&via_index, &expected, "closure of {:?}", &target);
+                prop_assert_eq!(&via_scan, &expected, "scan closure of {:?}", &target);
+            }
+        }
+    }
+}

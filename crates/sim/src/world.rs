@@ -26,6 +26,7 @@ use pasoa_core::prep::{PrepMessage, QueryRequest, RecordAck, RecordMessage};
 use pasoa_core::{Group, GroupKind, PROVENANCE_STORE_SERVICE};
 use pasoa_kvdb::{Db, DbOptions};
 use pasoa_preserv::{KvBackend, LineageGraph, MemoryBackend, ProvenanceStore, StorageBackend};
+use pasoa_query::{PlanMode, QueryEngine};
 use pasoa_wire::{Envelope, ServiceHost, Transport, TransportConfig};
 
 use crate::plan::{QueryKind, SimBackend, SimConfig, SimOp};
@@ -84,7 +85,7 @@ pub(crate) struct SimWorld {
     host: ServiceHost,
     cluster: Arc<PreservCluster>,
     transport: Transport,
-    golden: ProvenanceStore,
+    golden: Arc<ProvenanceStore>,
     /// Per-shard database handles (durable backend only), in shard-index order.
     dbs: Vec<Db>,
     scratch: Option<ScratchDir>,
@@ -138,8 +139,10 @@ impl SimWorld {
                 (cluster, dbs, Some(scratch))
             }
         };
-        let golden = ProvenanceStore::open(Arc::new(MemoryBackend::new()))
-            .map_err(|e| Violation::new("deploy", format!("golden store: {e}")))?;
+        let golden = Arc::new(
+            ProvenanceStore::open(Arc::new(MemoryBackend::new()))
+                .map_err(|e| Violation::new("deploy", format!("golden store: {e}")))?,
+        );
         Ok(SimWorld {
             host: host.clone(),
             transport: host.transport(TransportConfig::free()),
@@ -593,10 +596,110 @@ impl SimWorld {
                 ),
             ));
         }
+        // Index/scan equivalence: every live shard's indexed answer and its bulk-retrieval
+        // scan answer, merged, must both reproduce the golden answer bit-for-bit — the query
+        // runs both ways against the oracle on every schedule.
+        self.check_dual_path_session(&sid, &expected)?;
+        // And the paginated scatter-gather must stream the same answer in bounded pages.
+        self.check_paginated_session(&sid, &expected)?;
         self.trace.push(format!(
             "      session answer ok ({} assertions)",
             got.len()
         ));
+        Ok(())
+    }
+
+    /// Merge every live shard's indexed answer and scan answer separately; both must equal
+    /// the golden store's.
+    fn check_dual_path_session(
+        &mut self,
+        sid: &SessionId,
+        expected: &[RecordedAssertion],
+    ) -> Result<(), Violation> {
+        let request = QueryRequest::BySession(sid.clone());
+        let mut indexed_per_shard = Vec::new();
+        let mut scanned_per_shard = Vec::new();
+        for store in self.cluster.live_stores() {
+            indexed_per_shard.push(
+                store
+                    .assertions_for_session_via_index(sid)
+                    .map_err(|e| Violation::new("availability", e.to_string()))?,
+            );
+            scanned_per_shard.push(
+                store
+                    .assertions_filtered_scan(&request)
+                    .map_err(|e| Violation::new("availability", e.to_string()))?,
+            );
+        }
+        let indexed = pasoa_cluster::merge::merge_assertions(indexed_per_shard);
+        if indexed != expected {
+            return Err(Violation::new(
+                "index-equivalence",
+                format!(
+                    "indexed answer for {} has {} assertions, golden {}",
+                    sid.as_str(),
+                    indexed.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        let scanned = pasoa_cluster::merge::merge_assertions(scanned_per_shard);
+        if scanned != expected {
+            return Err(Violation::new(
+                "index-equivalence",
+                format!(
+                    "scan answer for {} has {} assertions, golden {}",
+                    sid.as_str(),
+                    scanned.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Page through the cluster's cursor-carrying path and compare the concatenation.
+    fn check_paginated_session(
+        &mut self,
+        sid: &SessionId,
+        expected: &[RecordedAssertion],
+    ) -> Result<(), Violation> {
+        let mut streamed: Vec<RecordedAssertion> = Vec::new();
+        let mut cursor: Option<pasoa_core::prep::PageCursor> = None;
+        loop {
+            let page = {
+                let sid = sid.clone();
+                let cursor = cursor.clone();
+                self.with_crash_retry("paged session query", move |w| {
+                    w.cluster
+                        .query_page(&pasoa_core::prep::PagedQuery {
+                            request: QueryRequest::BySession(sid.clone()),
+                            cursor: cursor.clone(),
+                            page_size: 3,
+                        })
+                        .map_err(|e| e.to_string())
+                })?
+            };
+            streamed.extend(page.assertions);
+            if streamed.len() > expected.len() {
+                break; // caught below: more pages than the golden answer holds
+            }
+            match page.next {
+                Some(next) => cursor = Some(next),
+                None => break,
+            }
+        }
+        if streamed != expected {
+            return Err(Violation::new(
+                "pagination",
+                format!(
+                    "paged answer for {} streamed {} assertions, golden holds {}",
+                    sid.as_str(),
+                    streamed.len(),
+                    expected.len()
+                ),
+            ));
+        }
         Ok(())
     }
 
@@ -687,6 +790,58 @@ impl SimWorld {
                     expected.nodes.len()
                 ),
             ));
+        }
+        // Index/scan equivalence for the lineage paths: the per-shard edge-index graphs and
+        // the per-shard scan graphs must both merge to the golden graph, and a lineage
+        // closure through the adjacency index must match the trace-then-filter answer.
+        {
+            let mut indexed_per_shard = Vec::new();
+            let mut scanned_per_shard = Vec::new();
+            for store in self.cluster.live_stores() {
+                let indexed = QueryEngine::with_mode(Arc::clone(&store), PlanMode::ForceIndex)
+                    .lineage_session(&sid)
+                    .map_err(|e| Violation::new("availability", e.to_string()))?;
+                let scanned = QueryEngine::with_mode(store, PlanMode::ForceScan)
+                    .lineage_session(&sid)
+                    .map_err(|e| Violation::new("availability", e.to_string()))?;
+                indexed_per_shard.push(indexed);
+                scanned_per_shard.push(scanned);
+            }
+            for (label, graphs) in [("indexed", indexed_per_shard), ("scan", scanned_per_shard)] {
+                let merged = pasoa_cluster::merge::merge_lineage(graphs);
+                if merged != expected {
+                    return Err(Violation::new(
+                        "index-equivalence",
+                        format!(
+                            "{label} lineage of {} has {} nodes, golden {}",
+                            sid.as_str(),
+                            merged.nodes.len(),
+                            expected.nodes.len()
+                        ),
+                    ));
+                }
+            }
+            if let Some(target) = expected.nodes.keys().next_back().cloned() {
+                let target = DataId::new(target);
+                let closure_expected = LineageGraph::trace(&self.golden, &sid, &target)
+                    .map_err(|e| Violation::new("golden", e.to_string()))?;
+                let closure_indexed =
+                    QueryEngine::with_mode(Arc::clone(&self.golden), PlanMode::ForceIndex)
+                        .lineage_closure(&sid, &target)
+                        .map_err(|e| Violation::new("golden", e.to_string()))?;
+                if closure_indexed != closure_expected {
+                    return Err(Violation::new(
+                        "index-equivalence",
+                        format!(
+                            "edge-index closure of {} in {} has {} nodes, trace has {}",
+                            target.as_str(),
+                            sid.as_str(),
+                            closure_indexed.nodes.len(),
+                            closure_expected.nodes.len()
+                        ),
+                    ));
+                }
+            }
         }
         // Closure: walking every edge backwards stays inside the graph-or-roots universe —
         // a lost shard must never leave a dangling derivation.

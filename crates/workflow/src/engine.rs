@@ -406,9 +406,9 @@ mod tests {
                         self.groups.fetch_add(1, Ordering::SeqCst);
                         Envelope::response("register-group").with_json_payload(&"ok")
                     }
-                    PrepMessage::Query(QueryRequest::Statistics) | PrepMessage::Query(_) => {
-                        Ok(Envelope::fault("not supported"))
-                    }
+                    PrepMessage::Query(QueryRequest::Statistics)
+                    | PrepMessage::Query(_)
+                    | PrepMessage::QueryPage(_) => Ok(Envelope::fault("not supported")),
                 }
             }
         }

@@ -5,6 +5,7 @@
 //!
 //! * [`model`] (`pasoa-core`) — p-assertions, groups, the PReP protocol and recording clients;
 //! * [`preserv`] — the provenance store service with memory / file / database backends;
+//! * [`query`] — the indexed query engine: planner, executor, `Explain` and lineage closure;
 //! * [`registry`] — the Grimoires-style semantic registry;
 //! * [`wire`] — envelopes, the simulated transport and latency models;
 //! * [`kvdb`] — the embedded key-value store backing the database backend;
@@ -24,6 +25,7 @@ pub use pasoa_core as model;
 pub use pasoa_experiment as experiment;
 pub use pasoa_kvdb as kvdb;
 pub use pasoa_preserv as preserv;
+pub use pasoa_query as query;
 pub use pasoa_registry as registry;
 pub use pasoa_sim as sim;
 pub use pasoa_usecases as usecases;
