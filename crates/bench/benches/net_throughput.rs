@@ -1,0 +1,59 @@
+//! E8 — transport tier: recording throughput of the in-process transport vs. real TCP
+//! loopback sockets, single-shard vs 4-shard, at fixed client concurrency (8 concurrent
+//! recorders, memory backends so the comparison isolates transport cost).
+//!
+//! Over TCP every record message is framed (magic + version + CRC + length + the envelope's
+//! wire form), crosses the client→router socket, and each flushed batch crosses a
+//! router→shard socket — the deployment shape of the paper's evaluation, where the ~18 ms
+//! record round trip is transport-dominated. The closing summary prints assertions/second
+//! and the TCP-vs-in-process ratio per shard count.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use pasoa_bench::cluster_setup::{load_config, CLIENTS};
+use pasoa_bench::net_setup::{in_process_host, tcp_host};
+use pasoa_cluster::LoadGenerator;
+
+fn bench_net_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_transport_recording");
+    group.sample_size(10);
+
+    for shards in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("in_process", shards), |b| {
+            b.iter_batched(
+                || in_process_host(shards),
+                |host| LoadGenerator::new(host, load_config(16)).run(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("tcp_loopback", shards), |b| {
+            b.iter_batched(
+                || tcp_host(shards),
+                |(host, _cluster)| LoadGenerator::new(host, load_config(16)).run(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Closing summary: one full run per deployment, reported as assertions/second.
+    for shards in [1usize, 4] {
+        let in_process = LoadGenerator::new(in_process_host(shards), load_config(16)).run();
+        let (host, _cluster) = tcp_host(shards);
+        let tcp = LoadGenerator::new(host, load_config(16)).run();
+        println!(
+            "[E8] {shards}-shard in-process ({CLIENTS} clients): {:>9.0} assertions/s  (p99 {:?})",
+            in_process.throughput_per_sec, in_process.latency_p99
+        );
+        println!(
+            "[E8] {shards}-shard tcp loopback ({CLIENTS} clients): {:>9.0} assertions/s  \
+             (p99 {:?}, {:.2}x of in-process)",
+            tcp.throughput_per_sec,
+            tcp.latency_p99,
+            tcp.throughput_per_sec / in_process.throughput_per_sec.max(1e-9)
+        );
+    }
+}
+
+criterion_group!(benches, bench_net_throughput);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Record the transport-comparison baseline into `BENCH_net.json`.
+//!
+//! ```sh
+//! cargo run --release -p pasoa-bench --example record_net_baseline [output.json]
+//! ```
+//!
+//! Runs the same four memory-backed deployments the `net_throughput` bench compares —
+//! in-process vs real TCP loopback, single-shard vs 4-shard, 8 concurrent recorders each —
+//! once per configuration, and writes the results as JSON so future PRs can see how the
+//! socket tax and the sharding speedup move instead of guessing. Deployments and workload
+//! come from [`pasoa_bench::net_setup`] / [`pasoa_bench::cluster_setup`], shared with the
+//! bench, so the baseline measures exactly what the bench measures.
+
+use pasoa_bench::cluster_setup::{load_config, CLIENTS};
+use pasoa_bench::net_setup::{in_process_host, tcp_host};
+use pasoa_cluster::LoadGenerator;
+use serde_json::json;
+
+struct Measurement {
+    name: &'static str,
+    throughput_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p99_us: f64,
+}
+
+fn measure(name: &'static str, report: pasoa_cluster::LoadReport) -> Measurement {
+    assert_eq!(report.failures, 0, "{name}: baseline run must not fail");
+    println!(
+        "{name:<24} {:>9.0} assertions/s  p50 {:?}  p99 {:?}",
+        report.throughput_per_sec, report.latency_p50, report.latency_p99
+    );
+    Measurement {
+        name,
+        throughput_per_sec: report.throughput_per_sec,
+        latency_p50_us: report.latency_p50.as_secs_f64() * 1e6,
+        latency_p99_us: report.latency_p99.as_secs_f64() * 1e6,
+    }
+}
+
+fn round1(value: f64) -> f64 {
+    (value * 10.0).round() / 10.0
+}
+
+fn round3(value: f64) -> f64 {
+    (value * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+
+    let inproc_1 = measure(
+        "in_process_1shard",
+        LoadGenerator::new(in_process_host(1), load_config(16)).run(),
+    );
+    let inproc_4 = measure(
+        "in_process_4shard",
+        LoadGenerator::new(in_process_host(4), load_config(16)).run(),
+    );
+    let tcp_1 = {
+        let (host, cluster) = tcp_host(1);
+        let m = measure(
+            "tcp_1shard",
+            LoadGenerator::new(host, load_config(16)).run(),
+        );
+        // The workload really crossed sockets; refuse to record a baseline that did not.
+        let served: u64 = cluster
+            .net_server_stats()
+            .iter()
+            .map(|(_, stats)| stats.requests)
+            .sum();
+        assert!(served > 0, "tcp_1shard: no frame crossed a socket");
+        m
+    };
+    let tcp_4 = {
+        let (host, cluster) = tcp_host(4);
+        let m = measure(
+            "tcp_4shard",
+            LoadGenerator::new(host, load_config(16)).run(),
+        );
+        let served: u64 = cluster
+            .net_server_stats()
+            .iter()
+            .map(|(_, stats)| stats.requests)
+            .sum();
+        assert!(served > 0, "tcp_4shard: no frame crossed a socket");
+        m
+    };
+
+    let mut deployments = serde_json::Map::new();
+    for m in [&inproc_1, &inproc_4, &tcp_1, &tcp_4] {
+        deployments.insert(
+            m.name.to_string(),
+            json!({
+                "throughput_per_sec": m.throughput_per_sec.round(),
+                "latency_p50_us": round1(m.latency_p50_us),
+                "latency_p99_us": round1(m.latency_p99_us),
+            }),
+        );
+    }
+    let floor = |v: f64| v.max(1e-9);
+    let baseline = json!({
+        "bench": "net_throughput",
+        "clients": CLIENTS,
+        "backend": "memory",
+        "deployments": serde_json::Value::Object(deployments),
+        // The socket tax: TCP-loopback throughput as a fraction of in-process, per shape.
+        "tcp_vs_in_process_1shard": round3(tcp_1.throughput_per_sec / floor(inproc_1.throughput_per_sec)),
+        "tcp_vs_in_process_4shard": round3(tcp_4.throughput_per_sec / floor(inproc_4.throughput_per_sec)),
+        // Does sharding still pay once every hop is a real socket?
+        "tcp_sharding_speedup": round3(tcp_4.throughput_per_sec / floor(tcp_1.throughput_per_sec)),
+    });
+    let mut json = serde_json::to_string(&baseline).expect("serialize baseline");
+    json.push('\n');
+    std::fs::write(&output, json).expect("write baseline json");
+    println!("baseline written to {output}");
+}

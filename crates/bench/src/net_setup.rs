@@ -1,0 +1,28 @@
+//! Shared deployment setup for the transport-comparison measurements.
+//!
+//! Both the `net_throughput` Criterion bench and the `record_net_baseline` example (which
+//! writes `BENCH_net.json`) deploy here, so the recorded baseline measures exactly the
+//! workload the bench measures: the same memory-backed cluster, reached either in process or
+//! with every envelope crossing a loopback TCP socket.
+//!
+//! Memory backends on purpose: the comparison isolates the *transport* cost (framing, socket
+//! hops, connection pooling) from storage, which `cluster_setup` already covers.
+
+use pasoa_cluster::PreservCluster;
+use pasoa_wire::ServiceHost;
+
+/// An in-process memory cluster of `shards` shards behind the well-known store name.
+pub fn in_process_host(shards: usize) -> ServiceHost {
+    let host = ServiceHost::new();
+    let _cluster = PreservCluster::deploy_in_memory(&host, shards).unwrap();
+    host
+}
+
+/// The same cluster with every envelope crossing a real TCP socket on loopback: each shard
+/// behind its own listener, the router behind its own, the caller holding only a proxy.
+/// The cluster handle is returned too — dropping it would shut the servers down.
+pub fn tcp_host(shards: usize) -> (ServiceHost, std::sync::Arc<PreservCluster>) {
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_tcp(&host, shards).unwrap();
+    (host, cluster)
+}

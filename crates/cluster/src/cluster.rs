@@ -1,5 +1,7 @@
-//! Cluster deployment: N `PreservService` shards plus a [`ShardRouter`] on one [`ServiceHost`].
+//! Cluster deployment: N `PreservService` shards plus a [`ShardRouter`] on one [`ServiceHost`]
+//! — reachable in process, or over real TCP sockets when the configuration asks for it.
 
+use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -9,6 +11,9 @@ use pasoa_core::ids::SessionId;
 use pasoa_core::passertion::RecordedAssertion;
 use pasoa_core::prep::StoreStatistics;
 use pasoa_core::Group;
+use pasoa_net::{
+    register_remote, NetClient, NetClientConfig, NetServer, NetServerConfig, NetServerStats,
+};
 use pasoa_preserv::{
     LineageGraph, MemoryBackend, PreservService, ProvenanceStore, ServiceConfig, StorageBackend,
     StoreError,
@@ -16,7 +21,23 @@ use pasoa_preserv::{
 use pasoa_wire::ServiceHost;
 
 use crate::merge;
-use crate::router::{RouterConfig, ShardRouter};
+use crate::router::{InternalHop, RouterConfig, ShardRouter};
+
+/// How the cluster's services are reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterTransport {
+    /// Router and shards are plain in-process services on the caller's host; internal hops
+    /// dispatch directly. The fastest configuration, and the only one available to the
+    /// deterministic simulation harness.
+    #[default]
+    InProcess,
+    /// Every shard runs behind its own TCP listener on loopback, the router reaches them
+    /// through pooled [`pasoa_net::NetClient`] proxies, and the router itself is served over
+    /// TCP — the caller's host holds only a proxy under the well-known store name. This is
+    /// the paper's deployment shape (separate communicating processes) with every message
+    /// really crossing a socket.
+    Tcp,
+}
 
 /// Configuration of a cluster deployment.
 #[derive(Debug, Clone)]
@@ -36,6 +57,14 @@ pub struct ClusterConfig {
     pub service_name: String,
     /// Prefix for shard service names; shard `i` registers as `<prefix><i>`.
     pub shard_name_prefix: String,
+    /// Whether envelopes travel in process or over TCP sockets.
+    pub transport: ClusterTransport,
+    /// Worker threads per TCP server (TCP transport only) — the bound on concurrently
+    /// *served* connections per listener, since a worker is pinned to its connection until
+    /// it closes or idles out. Size at or above the expected concurrently-open client
+    /// connections (each recording client typically pins one pooled connection on the
+    /// router's server, and each concurrent router worker one per shard server).
+    pub net_workers: usize,
 }
 
 impl Default for ClusterConfig {
@@ -48,6 +77,8 @@ impl Default for ClusterConfig {
             max_response_assertions: crate::router::DEFAULT_MAX_RESPONSE_ASSERTIONS,
             service_name: pasoa_core::PROVENANCE_STORE_SERVICE.to_string(),
             shard_name_prefix: "provenance-store-shard-".to_string(),
+            transport: ClusterTransport::InProcess,
+            net_workers: 16,
         }
     }
 }
@@ -69,13 +100,35 @@ impl ClusterConfig {
             ..Default::default()
         }
     }
+
+    /// Switch this configuration to the TCP transport.
+    pub fn over_tcp(mut self) -> Self {
+        self.transport = ClusterTransport::Tcp;
+        self
+    }
+}
+
+/// One shard's TCP endpoint: its listening server (the shard's own backend host serves only
+/// that shard, so shutting the server down is indistinguishable from the shard's machine
+/// dying).
+struct ShardNet {
+    name: String,
+    server: NetServer,
 }
 
 /// A deployed provenance store cluster: the shards, their router, and direct query access.
 pub struct PreservCluster {
+    /// The caller-facing host (where clients' transports are bound).
     host: ServiceHost,
+    /// The host the router and shard endpoints live on: identical to `host` for the
+    /// in-process transport, a private fabric holding the shard proxies for TCP.
+    fabric: ServiceHost,
     router: Arc<ShardRouter>,
     shards: RwLock<Vec<Arc<PreservService>>>,
+    /// Per-shard TCP servers, in shard-index order (empty for the in-process transport).
+    net: RwLock<Vec<ShardNet>>,
+    /// The router's own TCP server (None for the in-process transport).
+    router_server: Option<NetServer>,
     config: ClusterConfig,
 }
 
@@ -116,6 +169,31 @@ impl PreservCluster {
         })
     }
 
+    /// Deploy an in-memory cluster whose every envelope really crosses a TCP socket: each
+    /// shard listens on its own loopback port, the router reaches shards through pooled
+    /// socket clients, and the caller's host holds a TCP proxy to the router under the
+    /// provenance store's well-known name. See [`ClusterTransport::Tcp`].
+    pub fn deploy_tcp(host: &ServiceHost, shards: usize) -> Result<Arc<Self>, StoreError> {
+        Self::deploy_with(host, ClusterConfig::with_shards(shards).over_tcp(), |_| {
+            Ok(Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
+        })
+    }
+
+    /// [`Self::deploy_tcp`] with synchronous replication: killing any single shard's server —
+    /// a real socket kill, not an injected fault — loses no acked p-assertion (for
+    /// `replication` ≥ 2).
+    pub fn deploy_tcp_replicated(
+        host: &ServiceHost,
+        shards: usize,
+        replication: usize,
+    ) -> Result<Arc<Self>, StoreError> {
+        Self::deploy_with(
+            host,
+            ClusterConfig::replicated(shards, replication).over_tcp(),
+            |_| Ok(Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>),
+        )
+    }
+
     /// Deploy a cluster with an explicit configuration and per-shard backend factory.
     pub fn deploy_with(
         host: &ServiceHost,
@@ -123,8 +201,16 @@ impl PreservCluster {
         backend_for_shard: impl Fn(usize) -> Result<Arc<dyn StorageBackend>, StoreError>,
     ) -> Result<Arc<Self>, StoreError> {
         assert!(config.shards >= 1, "a cluster needs at least one shard");
+        // For TCP the router and the shard proxies live on a private fabric host: the
+        // caller's host sees only the router's proxy, exactly as a client machine sees only
+        // the store's published endpoint.
+        let fabric = match config.transport {
+            ClusterTransport::InProcess => host.clone(),
+            ClusterTransport::Tcp => ServiceHost::new(),
+        };
         let mut shards = Vec::with_capacity(config.shards);
         let mut router_shards = Vec::with_capacity(config.shards);
+        let mut net = Vec::with_capacity(config.shards);
         for index in 0..config.shards {
             let name = format!("{}{index}", config.shard_name_prefix);
             let service = Arc::new(
@@ -134,26 +220,66 @@ impl PreservCluster {
                     },
                 ),
             );
-            service.register(host);
+            match config.transport {
+                ClusterTransport::InProcess => {
+                    service.register(&fabric);
+                }
+                ClusterTransport::Tcp => {
+                    net.push(serve_shard_tcp(&fabric, &name, &service, &config)?)
+                }
+            }
             router_shards.push((name, Arc::clone(&service)));
             shards.push(service);
         }
         let router = Arc::new(ShardRouter::new(
-            host,
+            &fabric,
             router_shards,
             RouterConfig {
                 batch_size: config.batch_size,
                 virtual_nodes: config.virtual_nodes,
                 replication: config.replication,
                 max_response_assertions: config.max_response_assertions,
-                ..Default::default()
+                internal_hop: match config.transport {
+                    ClusterTransport::InProcess => InternalHop::Direct,
+                    // Over TCP every internal hop must be a real envelope: the wire hop
+                    // serializes the message and the fabric proxy ships it over the socket.
+                    ClusterTransport::Tcp => InternalHop::Wire,
+                },
             },
         ));
-        router.register(host, &config.service_name);
+        router.register(&fabric, &config.service_name);
+        let router_server = match config.transport {
+            ClusterTransport::InProcess => None,
+            ClusterTransport::Tcp => {
+                let server = NetServer::bind(("127.0.0.1", 0), &fabric, net_server_config(&config))
+                    .map_err(bind_to_store)?;
+                // The caller-side router proxy deliberately carries NO failure notice,
+                // unlike the shard proxies on the fabric. A shard-proxy kill feeds the
+                // router's failure detection, which owns failover and recovery; nothing
+                // watches the caller's injector, and a killed name short-circuits dispatch
+                // before the proxy could ever try again — so a notice here would turn one
+                // transient socket error into a permanent client-side outage. Without it,
+                // each failed call surfaces as its own `ServiceDown` and the next call
+                // re-attempts on a fresh connection.
+                let proxy = Arc::new(NetClient::new(
+                    server.local_addr(),
+                    &config.service_name,
+                    net_client_config(),
+                ));
+                host.register(
+                    &config.service_name,
+                    proxy as Arc<dyn pasoa_wire::MessageHandler>,
+                );
+                Some(server)
+            }
+        };
         Ok(Arc::new(PreservCluster {
             host: host.clone(),
+            fabric,
             router,
             shards: RwLock::new(shards),
+            net: RwLock::new(net),
+            router_server,
             config,
         }))
     }
@@ -166,6 +292,57 @@ impl PreservCluster {
     /// The host the cluster is deployed on.
     pub fn host(&self) -> &ServiceHost {
         &self.host
+    }
+
+    /// The host the router and shard endpoints are registered on: the caller's host for the
+    /// in-process transport, the private fabric (holding the shard TCP proxies) for TCP.
+    pub fn fabric(&self) -> &ServiceHost {
+        &self.fabric
+    }
+
+    /// The configured transport.
+    pub fn transport(&self) -> ClusterTransport {
+        self.config.transport
+    }
+
+    /// The address clients connect to for the router, when deployed over TCP.
+    pub fn router_addr(&self) -> Option<SocketAddr> {
+        self.router_server.as_ref().map(|s| s.local_addr())
+    }
+
+    /// The loopback address `shard`'s server listens on, when deployed over TCP.
+    pub fn shard_server_addr(&self, shard: usize) -> Option<SocketAddr> {
+        self.net.read().get(shard).map(|n| n.server.local_addr())
+    }
+
+    /// Kill `shard`'s TCP server — a *real* socket kill: in-flight requests drain, further
+    /// connections are refused, and the router discovers the death through connection errors
+    /// mapped onto `ServiceDown`, exactly as it discovers injected faults. Returns whether a
+    /// server existed and was still up. (TCP transport only.)
+    pub fn shutdown_shard_server(&self, shard: usize) -> bool {
+        let net = self.net.read();
+        match net.get(shard) {
+            Some(endpoint) if !endpoint.server.is_shut_down() => {
+                endpoint.server.shutdown();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Traffic counters of every TCP server — shards in index order, then the router's —
+    /// as `(service name, stats)`. Empty for the in-process transport.
+    pub fn net_server_stats(&self) -> Vec<(String, NetServerStats)> {
+        let mut stats: Vec<(String, NetServerStats)> = self
+            .net
+            .read()
+            .iter()
+            .map(|endpoint| (endpoint.name.clone(), endpoint.server.stats()))
+            .collect();
+        if let Some(server) = &self.router_server {
+            stats.push((self.config.service_name.clone(), server.stats()));
+        }
+        stats
     }
 
     /// Number of shards currently deployed.
@@ -195,7 +372,8 @@ impl PreservCluster {
         self.add_shard_with(Arc::new(MemoryBackend::new()))
     }
 
-    /// Add one shard over an explicit backend. Returns its service name.
+    /// Add one shard over an explicit backend. Returns its service name. Under the TCP
+    /// transport the new shard gets its own listening server, like the initial shards.
     pub fn add_shard_with(&self, backend: Arc<dyn StorageBackend>) -> Result<String, StoreError> {
         // The shards write lock is held across the router update so concurrent add_shard
         // calls cannot interleave and leave `self.shards` ordered differently from the
@@ -207,11 +385,31 @@ impl PreservCluster {
                 service_name: name.clone(),
             }),
         );
-        // Register the service before the router can route to it.
-        service.register(&self.host);
-        self.router
-            .add_shard(name.clone(), Arc::clone(&service))
-            .map_err(wire_to_store)?;
+        // Make the service reachable before the router can route to it.
+        let tcp_endpoint = match self.config.transport {
+            ClusterTransport::InProcess => {
+                service.register(&self.fabric);
+                None
+            }
+            ClusterTransport::Tcp => Some(serve_shard_tcp(
+                &self.fabric,
+                &name,
+                &service,
+                &self.config,
+            )?),
+        };
+        if let Err(error) = self.router.add_shard(name.clone(), Arc::clone(&service)) {
+            // Roll back reachability: the fabric must not keep a proxy (or service) for a
+            // shard the router never adopted, and `self.net` must stay index-aligned with
+            // `self.shards` — pushing the endpoint before this point would leave
+            // `shard_server_addr`/`shutdown_shard_server` resolving wrong servers forever
+            // after one failed add. (The endpoint's listener shuts down when it drops.)
+            self.fabric.deregister(&name);
+            return Err(wire_to_store(error));
+        }
+        if let Some(endpoint) = tcp_endpoint {
+            self.net.write().push(endpoint);
+        }
         shards.push(service);
         Ok(name)
     }
@@ -304,6 +502,49 @@ impl PreservCluster {
             .map(|store| LineageGraph::trace_session(store, session))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(merge::merge_lineage(per_shard))
+    }
+}
+
+/// Serve one shard over TCP: the shard gets a private backend host (so the server exposes
+/// exactly that shard, as a dedicated machine would), a loopback listener, and a pooled proxy
+/// under its name on the fabric so the router reaches it through real sockets. Connection
+/// failures are reported to the fabric's fault injector, which is what the router's failure
+/// detection scans.
+fn serve_shard_tcp(
+    fabric: &ServiceHost,
+    name: &str,
+    service: &Arc<PreservService>,
+    config: &ClusterConfig,
+) -> Result<ShardNet, StoreError> {
+    let backend_host = ServiceHost::new();
+    service.register(&backend_host);
+    let server = NetServer::bind(("127.0.0.1", 0), &backend_host, net_server_config(config))
+        .map_err(bind_to_store)?;
+    register_remote(fabric, name, server.local_addr(), net_client_config());
+    Ok(ShardNet {
+        name: name.to_string(),
+        server,
+    })
+}
+
+/// Server tuning for cluster deployments: [`ClusterConfig::net_workers`] workers (default
+/// 16 — headroom over the standard 8-recorder workloads); the library's default timeouts
+/// (30 s read / 10 s write) bound how long a wedged peer can pin a worker.
+fn net_server_config(config: &ClusterConfig) -> NetServerConfig {
+    NetServerConfig {
+        workers: config.net_workers.max(1),
+        ..Default::default()
+    }
+}
+
+fn net_client_config() -> NetClientConfig {
+    NetClientConfig::default()
+}
+
+fn bind_to_store(error: std::io::Error) -> StoreError {
+    StoreError::Unavailable {
+        failed_sessions: Vec::new(),
+        reason: format!("tcp listener bind failed: {error}"),
     }
 }
 

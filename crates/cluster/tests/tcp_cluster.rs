@@ -1,0 +1,269 @@
+//! The cluster tier over real sockets: `deploy_tcp` must behave exactly like the in-process
+//! deployment — same answers, same elasticity, same failover guarantees — with every envelope
+//! crossing a loopback TCP connection.
+
+use pasoa_cluster::{ClusterTransport, LoadGenConfig, LoadGenerator, PreservCluster};
+use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
+use pasoa_core::passertion::{
+    ActorStateKind, ActorStatePAssertion, PAssertion, PAssertionContent, ViewKind,
+};
+use pasoa_core::recorder::{ProvenanceRecorder, SyncRecorder};
+use pasoa_core::{Group, GroupKind};
+use pasoa_wire::{ServiceHost, TransportConfig};
+
+fn assertion(session: &str, i: usize) -> PAssertion {
+    PAssertion::ActorState(ActorStatePAssertion {
+        interaction_key: pasoa_core::ids::InteractionKey::new(format!(
+            "interaction:{session}:{i:04}"
+        )),
+        asserter: ActorId::new("engine"),
+        view: ViewKind::Receiver,
+        kind: ActorStateKind::Script,
+        content: PAssertionContent::text(format!("script {i} <with> & \"escapes\"")),
+    })
+}
+
+#[test]
+fn tcp_cluster_answers_match_the_in_process_cluster() {
+    let record_into = |host: &ServiceHost| {
+        for s in 0..6 {
+            let session = SessionId::new(format!("session:tcp-parity:{s}"));
+            let recorder = SyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                host.transport(TransportConfig::free()),
+                IdGenerator::new(format!("r{s}")),
+            );
+            for i in 0..15 {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+            recorder
+                .register_group(Group::new(session.as_str(), GroupKind::Session))
+                .unwrap();
+        }
+    };
+
+    let inproc_host = ServiceHost::new();
+    let inproc = PreservCluster::deploy_in_memory(&inproc_host, 4).unwrap();
+    record_into(&inproc_host);
+
+    let tcp_host = ServiceHost::new();
+    let tcp = PreservCluster::deploy_tcp(&tcp_host, 4).unwrap();
+    assert_eq!(tcp.transport(), ClusterTransport::Tcp);
+    assert!(tcp.router_addr().is_some());
+    record_into(&tcp_host);
+
+    // Every query a reasoner can pose agrees bit-for-bit across the two transports.
+    assert_eq!(tcp.statistics().unwrap(), inproc.statistics().unwrap());
+    assert_eq!(
+        tcp.list_interactions(None).unwrap(),
+        inproc.list_interactions(None).unwrap()
+    );
+    assert_eq!(
+        tcp.groups_by_kind("session").unwrap(),
+        inproc.groups_by_kind("session").unwrap()
+    );
+    for s in 0..6 {
+        let session = SessionId::new(format!("session:tcp-parity:{s}"));
+        assert_eq!(
+            tcp.assertions_for_session(&session).unwrap(),
+            inproc.assertions_for_session(&session).unwrap()
+        );
+        assert_eq!(
+            tcp.lineage_session(&session).unwrap(),
+            inproc.lineage_session(&session).unwrap()
+        );
+    }
+
+    // The messages really crossed sockets: the router's server carried every client call,
+    // and the shard servers carried the flushed batches (a shard owning no session may
+    // legitimately be idle, but the tier as a whole must have moved real bytes).
+    let stats = tcp.net_server_stats();
+    assert_eq!(stats.len(), 5, "4 shard servers + the router server");
+    let router_stats = &stats.last().unwrap().1;
+    assert!(
+        router_stats.requests >= 6 * 15,
+        "one frame per recorded assertion"
+    );
+    assert!(router_stats.bytes_in > 0 && router_stats.bytes_out > 0);
+    let shard_requests: u64 = stats[..4].iter().map(|(_, s)| s.requests).sum();
+    assert!(shard_requests > 0, "no batch ever crossed a shard socket");
+}
+
+#[test]
+fn add_shard_works_over_tcp() {
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_tcp(&host, 2).unwrap();
+    let generator = LoadGenerator::new(
+        host.clone(),
+        LoadGenConfig {
+            clients: 4,
+            sessions_per_client: 2,
+            assertions_per_session: 24,
+            batch_size: 8,
+            payload_bytes: 64,
+            ..Default::default()
+        },
+    );
+    let before = generator.run();
+    assert_eq!(before.failures, 0);
+
+    let name = cluster.add_shard().unwrap();
+    assert_eq!(cluster.shard_count(), 3);
+    assert!(cluster.shard_server_addr(2).is_some(), "new shard listens");
+
+    let after = generator.run();
+    assert_eq!(after.failures, 0);
+    let stats = cluster.statistics().unwrap();
+    assert_eq!(
+        stats.total_passertions(),
+        before.total_assertions + after.total_assertions
+    );
+    // The new shard's server is live on the fabric (the router can reach it).
+    assert!(cluster.fabric().has_service(&name));
+}
+
+/// Killing a shard's *server* — a real socket kill, no injected fault anywhere — must flow
+/// through connection errors into the same ServiceDown/failover path, with zero acked loss.
+#[test]
+fn real_socket_kill_fails_over_with_zero_acked_loss() {
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_tcp_replicated(&host, 4, 2).unwrap();
+    let reference_host = ServiceHost::new();
+    let reference = PreservCluster::deploy_replicated(&reference_host, 4, 2).unwrap();
+
+    let record_sessions = |host: &ServiceHost, upto: std::ops::Range<usize>| {
+        for s in upto {
+            let session = SessionId::new(format!("session:socket-kill:{s}"));
+            let recorder = SyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                host.transport(TransportConfig::free()),
+                IdGenerator::new(format!("k{s}")),
+            );
+            for i in 0..20 {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+        }
+    };
+
+    // Phase 1: record half the workload, fully flushed and replicated.
+    record_sessions(&host, 0..4);
+    record_sessions(&reference_host, 0..4);
+    cluster.flush().unwrap();
+
+    // Real kill: shut down shard 1's listener. No fault injector involved.
+    assert!(cluster.shutdown_shard_server(1));
+    assert!(!cluster.shutdown_shard_server(1), "second kill is a no-op");
+
+    // Phase 2: keep recording; the dead server must be invisible to clients.
+    record_sessions(&host, 4..8);
+    record_sessions(&reference_host, 4..8);
+
+    // The next flush touches the dead endpoint, maps the connection failure onto
+    // ServiceDown, and fails over — exactly as an injected fault would.
+    cluster.flush().unwrap();
+    let stats = cluster.router().stats();
+    assert_eq!(
+        stats.failovers, 1,
+        "the socket error drove exactly one failover"
+    );
+    assert_eq!(cluster.router().live_shards().len(), 3);
+    // The connection failure was reported to the fabric's injector — fault parity.
+    assert!(cluster
+        .fabric()
+        .fault_injector()
+        .is_down(&cluster.router().shard_names()[1]));
+
+    // Zero acked loss: every answer matches the fault-free reference run bit-for-bit.
+    assert_eq!(
+        cluster.statistics().unwrap(),
+        reference.statistics().unwrap()
+    );
+    for s in 0..8 {
+        let session = SessionId::new(format!("session:socket-kill:{s}"));
+        assert_eq!(
+            cluster.assertions_for_session(&session).unwrap(),
+            reference.assertions_for_session(&session).unwrap(),
+            "session {s} diverged after the socket kill"
+        );
+    }
+}
+
+/// `query_page` returns identical pages over both transports, page by page, cursor by cursor.
+#[test]
+fn paginated_scatter_gather_pages_identically_over_tcp() {
+    use pasoa_core::prep::{PagedQuery, QueryRequest};
+
+    let record_into = |host: &ServiceHost| {
+        for s in 0..3 {
+            let session = SessionId::new(format!("session:page:{s}"));
+            let recorder = SyncRecorder::new(
+                session.clone(),
+                ActorId::new("engine"),
+                host.transport(TransportConfig::free()),
+                IdGenerator::new(format!("p{s}")),
+            );
+            for i in 0..40 {
+                recorder.record(assertion(session.as_str(), i)).unwrap();
+            }
+        }
+    };
+    let inproc_host = ServiceHost::new();
+    let inproc = PreservCluster::deploy_in_memory(&inproc_host, 4).unwrap();
+    record_into(&inproc_host);
+    let tcp_host = ServiceHost::new();
+    let tcp = PreservCluster::deploy_tcp(&tcp_host, 4).unwrap();
+    record_into(&tcp_host);
+
+    for s in 0..3 {
+        let session = SessionId::new(format!("session:page:{s}"));
+        let mut cursor = None;
+        let mut pages = 0;
+        loop {
+            let paged = PagedQuery {
+                request: QueryRequest::BySession(session.clone()),
+                page_size: 7,
+                cursor: cursor.clone(),
+            };
+            let a = inproc.query_page(&paged).unwrap();
+            let b = tcp.query_page(&paged).unwrap();
+            assert_eq!(a.assertions, b.assertions, "page {pages} diverged");
+            assert_eq!(a.next, b.next, "cursor after page {pages} diverged");
+            pages += 1;
+            match a.next {
+                Some(next) => cursor = Some(next),
+                None => break,
+            }
+        }
+        assert!(
+            pages >= 6,
+            "40 items at page size 7 must take several pages"
+        );
+    }
+}
+
+/// Shard stores behind TCP still plug into the direct store surface the experiment harness
+/// and the promotion replay depend on.
+#[test]
+fn direct_store_access_remains_available_under_tcp() {
+    let host = ServiceHost::new();
+    let cluster = PreservCluster::deploy_tcp(&host, 2).unwrap();
+    let session = SessionId::new("session:direct");
+    let recorder = SyncRecorder::new(
+        session.clone(),
+        ActorId::new("engine"),
+        host.transport(TransportConfig::free()),
+        IdGenerator::new("d"),
+    );
+    for i in 0..5 {
+        recorder.record(assertion(session.as_str(), i)).unwrap();
+    }
+    cluster.flush().unwrap();
+    let total: usize = cluster
+        .shard_stores()
+        .iter()
+        .map(|store| store.assertions_for_session(&session).unwrap().len())
+        .sum();
+    assert_eq!(total, 5);
+}

@@ -161,6 +161,42 @@ impl StoreDeployment {
         }
     }
 
+    /// Deploy a sharded in-memory cluster whose every envelope crosses a real TCP socket on
+    /// loopback (shards and router each behind their own listener — the paper's
+    /// separate-hosts deployment shape). Recorders and reasoners need no changes: the
+    /// caller's host holds a TCP proxy under the provenance store's well-known name.
+    pub fn sharded_tcp(shards: usize, latency: LatencyModel, sleep_latency: bool) -> Self {
+        let host = ServiceHost::new();
+        let cluster = pasoa_cluster::PreservCluster::deploy_tcp(&host, shards)
+            .expect("loopback tcp cluster deploys");
+        StoreDeployment {
+            host,
+            access: StoreAccess::Sharded(cluster),
+            latency,
+            sleep_latency,
+        }
+    }
+
+    /// [`Self::sharded_tcp`] with synchronous replication: killing any single shard's TCP
+    /// server mid-run loses no acked p-assertion (for `replication` ≥ 2).
+    pub fn replicated_tcp(
+        shards: usize,
+        replication: usize,
+        latency: LatencyModel,
+        sleep_latency: bool,
+    ) -> Self {
+        let host = ServiceHost::new();
+        let cluster =
+            pasoa_cluster::PreservCluster::deploy_tcp_replicated(&host, shards, replication)
+                .expect("loopback tcp cluster deploys");
+        StoreDeployment {
+            host,
+            access: StoreAccess::Sharded(cluster),
+            latency,
+            sleep_latency,
+        }
+    }
+
     /// A uniform query handle over whatever tier is deployed.
     pub fn store_handle(&self) -> StoreHandle {
         self.access.store_handle()

@@ -1,0 +1,410 @@
+//! A connection-pooled TCP client that stands in for a remote service on a local
+//! [`ServiceHost`].
+//!
+//! [`NetClient`] implements [`MessageHandler`], so registering it under a service's name makes
+//! every in-process caller — recorders, the shard router, the registry clients, paginated
+//! scatter-gather — reach the remote server over real sockets *without modification*: their
+//! `Transport::call` finds the proxy where the service used to be.
+//!
+//! # Fault parity
+//!
+//! A refused connection, a dropped connection or a dead server maps onto
+//! [`WireError::ServiceDown`] — exactly what the in-process fault injector produces for a
+//! killed service — and the client reports the failure to the injector it was built with
+//! ([`NetClient::with_failure_notice`]), so the cluster tier's failure detection
+//! (epoch-checked injector scans) fires off real socket errors just as it does off injected
+//! ones. Failover, replica promotion and the zero-acked-loss guarantees therefore hold
+//! unchanged over TCP.
+//!
+//! # Retry discipline
+//!
+//! A pooled connection may have been closed by the server (idle timeout, restart) after the
+//! previous call. Retrying is only safe while the request cannot have been processed, so the
+//! client retries on a **fresh** connection only when the failure was on a *reused*
+//! connection during the **write phase** — the request frame never fully left, so no handler
+//! can have seen it. Read-phase failures are never retried: once the frame is on the wire,
+//! an EOF before the response is ambiguous (the server may have dispatched the request and
+//! then failed to write the response), and replaying a `Record` there would commit it twice.
+//! Instead the pool evicts connections idle longer than
+//! [`NetClientConfig::pool_idle_timeout`] (kept well under the server's read timeout), so a
+//! server-side idle close is almost never encountered mid-call in the first place. Timeouts
+//! are never retried either; all non-retried transport failures surface as
+//! [`WireError::ServiceDown`] for the failover tier to handle.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use pasoa_wire::{Envelope, FaultInjector, MessageHandler, ServiceHost, WireError, WireResult};
+
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::proto;
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Ceiling on one response frame's payload.
+    pub max_frame_bytes: usize,
+    /// Timeout for establishing a connection.
+    pub connect_timeout: Duration,
+    /// Per-call read timeout (how long to wait for a response).
+    pub read_timeout: Option<Duration>,
+    /// Per-call write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Idle connections kept for reuse; extras are closed on check-in.
+    pub pool_capacity: usize,
+    /// Pooled connections idle longer than this are discarded at checkout instead of
+    /// reused. Kept well below the server's read timeout (30 s default), so the client
+    /// practically never sends a request down a connection the server has already closed —
+    /// the situation whose failure modes are ambiguous to retry.
+    pub pool_idle_timeout: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            pool_capacity: 8,
+            pool_idle_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Client-side traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetClientStats {
+    /// Calls that returned a response envelope.
+    pub calls: u64,
+    /// New connections established (first call, pool misses, retries).
+    pub connects: u64,
+    /// Calls retried once on a fresh connection after a stale pooled connection failed.
+    pub retries: u64,
+    /// Calls that failed at the connection level (mapped to `ServiceDown`).
+    pub transport_failures: u64,
+    /// Calls that failed at the frame-protocol level (oversized/corrupt frames — per-call
+    /// errors, NOT evidence the host is dead).
+    pub protocol_failures: u64,
+    /// Frame bytes sent.
+    pub bytes_sent: u64,
+    /// Frame bytes received.
+    pub bytes_received: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    calls: AtomicU64,
+    connects: AtomicU64,
+    retries: AtomicU64,
+    transport_failures: AtomicU64,
+    protocol_failures: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// Which phase of a call failed — decides whether a retry is safe.
+enum Phase {
+    /// The request frame never fully left: the server cannot have processed it.
+    Write,
+    /// The request left but the response failed.
+    Read,
+}
+
+/// A pooled client towards one remote service.
+pub struct NetClient {
+    addr: SocketAddr,
+    service: String,
+    config: NetClientConfig,
+    /// Idle connections with the instant they were checked in (for idle eviction).
+    pool: Mutex<Vec<(TcpStream, Instant)>>,
+    counters: Counters,
+    on_down: Option<FaultInjector>,
+}
+
+impl NetClient {
+    /// Create a client for the service named `service` listening at `addr`. No connection is
+    /// opened until the first call.
+    pub fn new(addr: SocketAddr, service: impl Into<String>, config: NetClientConfig) -> Self {
+        NetClient {
+            addr,
+            service: service.into(),
+            config,
+            pool: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+            on_down: None,
+        }
+    }
+
+    /// Report transport-level failures to `injector` (killing this client's service name), so
+    /// in-process failure detection — the shard router's epoch-checked injector scan — fires
+    /// off real socket errors exactly as it fires off injected faults.
+    pub fn with_failure_notice(mut self, injector: FaultInjector) -> Self {
+        self.on_down = Some(injector);
+        self
+    }
+
+    /// The remote address this client connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The remote service this client proxies.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// Snapshot of the client's counters.
+    pub fn stats(&self) -> NetClientStats {
+        NetClientStats {
+            calls: self.counters.calls.load(Ordering::Relaxed),
+            connects: self.counters.connects.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            transport_failures: self.counters.transport_failures.load(Ordering::Relaxed),
+            protocol_failures: self.counters.protocol_failures.load(Ordering::Relaxed),
+            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Send one request frame and return the decoded response. Server-reported errors are
+    /// rebuilt into the [`WireError`] the in-process transport would have returned;
+    /// connection-level failures become [`WireError::ServiceDown`]; frame-protocol failures
+    /// (oversized or corrupt frames) are per-call [`WireError::Payload`] errors — a capacity
+    /// or corruption problem is NOT evidence the host is dead, so it never feeds the fault
+    /// injector or triggers a failover.
+    pub fn call(&self, request: &Envelope) -> WireResult<Envelope> {
+        let frame = frame::encode_frame(request);
+        if frame.len() > self.config.max_frame_bytes + frame::HEADER_LEN {
+            // Refuse loudly before sending: the server would reject it anyway, and the
+            // caller should hear "your message is too large", not "the host died".
+            self.counters
+                .protocol_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Payload(format!(
+                "tcp transport: request frame of {} bytes exceeds the {}-byte ceiling; \
+                 fetch/ship it in bounded pieces instead",
+                frame.len() - frame::HEADER_LEN,
+                self.config.max_frame_bytes
+            )));
+        }
+
+        let (stream, reused) = match self.checkout() {
+            Some(stream) => (stream, true),
+            None => (self.connect()?, false),
+        };
+        let outcome = self.call_on(stream, &frame);
+        let (phase, error) = match outcome {
+            Ok((response, stream)) => return self.finish(response, stream),
+            Err(failure) => failure,
+        };
+        if reused && retry_is_safe(&phase, &error) {
+            // The stale pooled connection demonstrably never delivered the request; one
+            // fresh connection gets to try again.
+            self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            let stream = self.connect()?;
+            match self.call_on(stream, &frame) {
+                Ok((response, stream)) => return self.finish(response, stream),
+                Err((_, error)) => return Err(self.fail(error)),
+            }
+        }
+        Err(self.fail(error))
+    }
+
+    fn finish(&self, response: Envelope, stream: TcpStream) -> WireResult<Envelope> {
+        // Pool the connection only if the server did not announce it is closing it (it does
+        // after frame-level errors, whose responses precede a guaranteed close — pooling
+        // such a stream would hand the next call a dead connection).
+        if !proto::announces_close(&response) {
+            self.checkin(stream);
+        }
+        self.counters.calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(error) = proto::decode_error(&response) {
+            // The server answered: the service is reachable, the *request* failed. No
+            // injector notice — this mirrors an in-process handler error, not a dead host.
+            return Err(error);
+        }
+        Ok(response)
+    }
+
+    /// One request/response exchange on `stream`; the caller decides whether the stream
+    /// returns to the pool.
+    fn call_on(
+        &self,
+        mut stream: TcpStream,
+        request_frame: &[u8],
+    ) -> Result<(Envelope, TcpStream), (Phase, FrameError)> {
+        use std::io::Write as _;
+        let _ = stream.set_read_timeout(self.config.read_timeout);
+        let _ = stream.set_write_timeout(self.config.write_timeout);
+        let _ = stream.set_nodelay(true);
+        stream.write_all(request_frame).map_err(|e| {
+            (
+                Phase::Write,
+                FrameError::Io {
+                    kind: e.kind(),
+                    detail: e.to_string(),
+                },
+            )
+        })?;
+        stream.flush().map_err(|e| {
+            (
+                Phase::Write,
+                FrameError::Io {
+                    kind: e.kind(),
+                    detail: e.to_string(),
+                },
+            )
+        })?;
+        // Counted at write success, so traffic sent before a failed read — and each send of
+        // a retried call — is accounted, not just completed exchanges.
+        self.counters
+            .bytes_sent
+            .fetch_add(request_frame.len() as u64, Ordering::Relaxed);
+        match frame::read_frame(&mut stream, self.config.max_frame_bytes) {
+            Ok((envelope, bytes)) => {
+                self.counters
+                    .bytes_received
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                Ok((envelope, stream))
+            }
+            Err(error) => Err((Phase::Read, error)),
+        }
+    }
+
+    fn connect(&self) -> WireResult<TcpStream> {
+        match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
+            Ok(stream) => {
+                self.counters.connects.fetch_add(1, Ordering::Relaxed);
+                Ok(stream)
+            }
+            Err(error) => Err(self.fail(FrameError::Io {
+                kind: error.kind(),
+                detail: error.to_string(),
+            })),
+        }
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        let mut pool = self.pool.lock();
+        while let Some((stream, idle_since)) = pool.pop() {
+            // A connection idle long enough that the server may have reclaimed it is
+            // discarded: reusing it risks the ambiguous mid-call failures retry cannot
+            // safely paper over.
+            if idle_since.elapsed() < self.config.pool_idle_timeout {
+                return Some(stream);
+            }
+        }
+        None
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.config.pool_capacity {
+            pool.push((stream, Instant::now()));
+        }
+    }
+
+    /// Record a failed exchange, distinguishing how it failed. Connection-level failures
+    /// (refused, dropped, truncated mid-frame, timed out) mean the host is unreachable:
+    /// count them, notify the fault injector, and produce the `ServiceDown` the failover
+    /// tier keys on. Frame-protocol failures (oversized or corrupt frames) mean the host is
+    /// alive but this *exchange* is unusable: they surface as per-call payload errors and
+    /// never touch the injector — a legitimately-too-large response must not get a healthy
+    /// shard declared dead and failed over.
+    ///
+    /// Timeouts are deliberately in the connection-level (crash-equivalent) bucket even
+    /// though the host may merely be slow: a response that timed out is an
+    /// *ambiguous commit* (the request may or may not have been handled), and declaring the
+    /// shard dead is the one treatment that stays consistent — the failover tier excludes
+    /// the shard, so its maybe-committed copy can never surface alongside a redelivered
+    /// one. With replication ≥ 2 the promoted replica preserves every acked assertion; at
+    /// R = 1 a false-positive timeout has the same consequences as a real crash (the
+    /// documented non-guarantee of unreplicated deployments). Raising
+    /// [`NetClientConfig::read_timeout`] is the lever against false positives.
+    fn fail(&self, error: FrameError) -> WireError {
+        match error {
+            FrameError::Closed | FrameError::Truncated { .. } | FrameError::Io { .. } => {
+                self.counters
+                    .transport_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(injector) = &self.on_down {
+                    injector.kill(self.service.clone());
+                }
+                WireError::ServiceDown(self.service.clone())
+            }
+            protocol @ (FrameError::BadMagic(_)
+            | FrameError::BadVersion(_)
+            | FrameError::Oversized { .. }
+            | FrameError::BadCrc { .. }
+            | FrameError::BadUtf8
+            | FrameError::BadEnvelope(_)) => {
+                self.counters
+                    .protocol_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                WireError::from(protocol)
+            }
+        }
+    }
+
+    /// Drop every pooled connection (e.g. after the remote restarted).
+    pub fn clear_pool(&self) {
+        self.pool.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("addr", &self.addr)
+            .field("service", &self.service)
+            .finish()
+    }
+}
+
+impl MessageHandler for NetClient {
+    fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+        self.call(&request)
+    }
+
+    fn name(&self) -> &str {
+        "net-client-proxy"
+    }
+}
+
+/// Whether a failed exchange may be replayed on a fresh connection without risking duplicate
+/// processing: only failures proving the server never handled the frame qualify.
+fn retry_is_safe(phase: &Phase, error: &FrameError) -> bool {
+    match phase {
+        // The request never fully left this connection: no handler can have seen it.
+        Phase::Write => !error.is_timeout(),
+        // Once the frame is on the wire, any read-phase failure — even a clean EOF at the
+        // response boundary — is ambiguous: the server dispatches before writing its
+        // response, so a response-write failure closes the connection AFTER the request was
+        // handled, and a replay would process (e.g. commit) it twice. Never retried; the
+        // pool's idle eviction keeps the benign stale-connection case from arising.
+        Phase::Read => {
+            let _ = error;
+            false
+        }
+    }
+}
+
+/// Register a TCP proxy for `service` (listening at `addr`) on `host`: local callers reach
+/// the remote transparently, and transport failures are reported to `host`'s fault injector
+/// so the existing failure-detection/failover machinery observes real socket errors.
+pub fn register_remote(
+    host: &ServiceHost,
+    service: &str,
+    addr: SocketAddr,
+    config: NetClientConfig,
+) -> Arc<NetClient> {
+    let client =
+        Arc::new(NetClient::new(addr, service, config).with_failure_notice(host.fault_injector()));
+    host.register(service, Arc::clone(&client) as Arc<dyn MessageHandler>);
+    client
+}

@@ -1,0 +1,414 @@
+//! Length-prefixed binary framing of [`Envelope`]s for stream transports.
+//!
+//! One frame is:
+//!
+//! ```text
+//! | magic "PSOA" | version u8 | crc32 u32 LE | length u32 LE | payload (length bytes) |
+//! ```
+//!
+//! The payload is the envelope's textual wire form ([`Envelope::to_wire`]) as UTF-8, so a
+//! framed message crossing a socket is byte-for-byte the message the in-process transport
+//! serializes — the two transports are wire-compatible by construction. The CRC covers the
+//! payload, so *any* byte-level corruption of a frame is detected and reported as a clean
+//! [`FrameError`] instead of being decoded into a silently different message, and the length
+//! field is validated against a configurable ceiling **before** any payload allocation, so a
+//! corrupt or hostile length can never OOM the receiver.
+
+use std::io::{ErrorKind, Read, Write};
+
+use pasoa_wire::{Envelope, WireError};
+
+/// First bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PSOA";
+
+/// Protocol version carried in every frame.
+pub const VERSION: u8 = 1;
+
+/// Bytes before the payload: magic + version + crc32 + length.
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 4;
+
+/// Default ceiling on a frame's payload size (64 MiB): far above any legitimate envelope
+/// (unpaginated query responses are already capped by the router), far below an allocation
+/// that could take the process down.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Why a frame could not be read or decoded. Every variant is a clean, reportable error —
+/// the decoder never panics and never treats a short read as success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream ended cleanly on a frame boundary (the peer closed the connection).
+    Closed,
+    /// The stream ended mid-frame: `got` of `expected` bytes arrived.
+    Truncated {
+        /// Bytes the frame section needed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte named a protocol this decoder does not speak.
+    BadVersion(u8),
+    /// The header claimed a payload larger than the configured ceiling. Rejected before any
+    /// allocation.
+    Oversized {
+        /// Claimed payload length.
+        len: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// The payload arrived but its checksum disagrees with the header.
+    BadCrc {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum of the received payload.
+        actual: u32,
+    },
+    /// The payload was not valid UTF-8.
+    BadUtf8,
+    /// The payload was UTF-8 but not a parseable envelope.
+    BadEnvelope(String),
+    /// The underlying stream failed.
+    Io {
+        /// The I/O error kind (`TimedOut`/`WouldBlock` are idle-timeout signals).
+        kind: ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: got {got} of {expected} bytes")
+            }
+            FrameError::BadMagic(bytes) => write!(f, "bad frame magic {bytes:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte ceiling"
+                )
+            }
+            FrameError::BadCrc { stored, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: stored {stored:#010x}, actual {actual:#010x}"
+                )
+            }
+            FrameError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            FrameError::BadEnvelope(reason) => {
+                write!(f, "frame payload is not an envelope: {reason}")
+            }
+            FrameError::Io { kind, detail } => write!(f, "frame i/o error ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// Whether this is an idle-timeout signal rather than a broken stream or bad bytes.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io {
+                kind: ErrorKind::TimedOut | ErrorKind::WouldBlock,
+                ..
+            }
+        )
+    }
+
+    fn from_io(error: std::io::Error) -> Self {
+        FrameError::Io {
+            kind: error.kind(),
+            detail: error.to_string(),
+        }
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(error: FrameError) -> Self {
+        WireError::Payload(format!("tcp transport: {error}"))
+    }
+}
+
+/// CRC-32 (IEEE) of `data`. `pasoa_kvdb::record::crc32` is the same routine, duplicated on
+/// purpose: the transport must not depend on the storage engine (nor the storage engine on
+/// the transport) for a 20-line checksum, so each keeps its own copy pinned to the standard
+/// check value (`crc32(b"123456789") == 0xCBF4_3926`) by its own unit test.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Encode one envelope as a complete frame.
+pub fn encode_frame(envelope: &Envelope) -> Vec<u8> {
+    let payload = envelope.to_wire().into_bytes();
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload fits u32")
+            .to_le_bytes(),
+    );
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decode exactly one frame from the front of `buf`, enforcing `max_payload`. Returns the
+/// envelope and how many bytes the frame occupied, so callers can resume at the next frame.
+pub fn decode_frame(buf: &[u8], max_payload: usize) -> Result<(Envelope, usize), FrameError> {
+    if buf.is_empty() {
+        return Err(FrameError::Closed);
+    }
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            expected: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let (crc_stored, len) = check_header(&buf[..HEADER_LEN], max_payload)?;
+    let rest = &buf[HEADER_LEN..];
+    if rest.len() < len {
+        return Err(FrameError::Truncated {
+            expected: len,
+            got: rest.len(),
+        });
+    }
+    let payload = &rest[..len];
+    let envelope = check_payload(payload, crc_stored)?;
+    Ok((envelope, HEADER_LEN + len))
+}
+
+/// Write one envelope as a frame. Returns the bytes written.
+pub fn write_frame(writer: &mut impl Write, envelope: &Envelope) -> Result<usize, FrameError> {
+    let frame = encode_frame(envelope);
+    writer.write_all(&frame).map_err(FrameError::from_io)?;
+    writer.flush().map_err(FrameError::from_io)?;
+    Ok(frame.len())
+}
+
+/// Read one frame off a stream, enforcing `max_payload` before the payload is allocated.
+/// Returns the envelope and the bytes consumed. A clean EOF before any header byte is
+/// [`FrameError::Closed`]; an EOF anywhere later is [`FrameError::Truncated`].
+pub fn read_frame(
+    reader: &mut impl Read,
+    max_payload: usize,
+) -> Result<(Envelope, usize), FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_counted(reader, &mut header)? {
+        0 => return Err(FrameError::Closed),
+        got if got < HEADER_LEN => {
+            return Err(FrameError::Truncated {
+                expected: HEADER_LEN,
+                got,
+            })
+        }
+        _ => {}
+    }
+    let (crc_stored, len) = check_header(&header, max_payload)?;
+    let mut payload = vec![0u8; len];
+    let got = read_exact_counted(reader, &mut payload)?;
+    if got < len {
+        return Err(FrameError::Truncated { expected: len, got });
+    }
+    let envelope = check_payload(&payload, crc_stored)?;
+    Ok((envelope, HEADER_LEN + len))
+}
+
+/// Validate magic, version and length; returns `(stored crc, payload length)`.
+fn check_header(header: &[u8], max_payload: usize) -> Result<(u32, usize), FrameError> {
+    let magic: [u8; 4] = header[..4].try_into().expect("header holds 4 magic bytes");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let crc_stored = u32::from_le_bytes(header[5..9].try_into().expect("4 crc bytes"));
+    let len = u32::from_le_bytes(header[9..13].try_into().expect("4 length bytes")) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok((crc_stored, len))
+}
+
+/// Verify the payload checksum and parse the envelope.
+fn check_payload(payload: &[u8], crc_stored: u32) -> Result<Envelope, FrameError> {
+    let actual = crc32(payload);
+    if actual != crc_stored {
+        return Err(FrameError::BadCrc {
+            stored: crc_stored,
+            actual,
+        });
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| FrameError::BadUtf8)?;
+    Envelope::from_wire(text).map_err(|e| FrameError::BadEnvelope(e.to_string()))
+}
+
+/// Fill `buf` from `reader`, returning how many bytes actually arrived (short only on EOF).
+/// `Interrupted` reads are retried; every other I/O error (including read timeouts) is
+/// surfaced as [`FrameError::Io`].
+fn read_exact_counted(reader: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::from_io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_wire::XmlElement;
+
+    fn sample() -> Envelope {
+        Envelope::request("provenance-store", "record")
+            .with_header("message-id", "m-1")
+            .with_body(XmlElement::new("data").text("a<b&c\"d'é"))
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_exact() {
+        let envelope = sample();
+        let frame = encode_frame(&envelope);
+        let (decoded, consumed) = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(consumed, frame.len());
+        assert_eq!(decoded, envelope);
+        assert_eq!(decoded.to_wire(), envelope.to_wire());
+    }
+
+    #[test]
+    fn stream_roundtrip_pipelined() {
+        let a = sample();
+        let b = Envelope::response("record").with_body(XmlElement::new("ok"));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (first, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let (second, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(first, a);
+        assert_eq!(second, b);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::Closed
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut frame = encode_frame(&sample());
+        // Claim a 3 GiB payload; the decoder must refuse using only the header.
+        frame[9..13].copy_from_slice(&(3u32 * 1024 * 1024 * 1024).to_le_bytes());
+        match decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
+            FrameError::Oversized { len, max } => {
+                assert_eq!(len, 3 * 1024 * 1024 * 1024);
+                assert_eq!(max, DEFAULT_MAX_FRAME_BYTES);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Same guard on the streaming reader.
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_version_and_crc_are_distinct_errors() {
+        let envelope = sample();
+        let good = encode_frame(&envelope);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad_magic, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::BadMagic(_)
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_frame(&bad_version, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::BadVersion(9)
+        );
+
+        let mut bad_payload = good.clone();
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bad_payload, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::BadCrc { .. }
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_clean_error() {
+        let frame = encode_frame(&sample());
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut], DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+            match err {
+                FrameError::Closed => assert_eq!(cut, 0),
+                FrameError::Truncated { .. } => {}
+                other => panic!("cut at {cut}: unexpected error {other:?}"),
+            }
+            let mut cursor = std::io::Cursor::new(&frame[..cut]);
+            assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).is_err());
+        }
+    }
+
+    #[test]
+    fn non_utf8_payload_is_rejected() {
+        let payload = vec![0xFF, 0xFE, 0xFD];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(VERSION);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::BadUtf8
+        );
+    }
+}

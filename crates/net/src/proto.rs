@@ -1,0 +1,108 @@
+//! In-band error encoding: how a [`crate::NetServer`] reports a dispatch failure so the
+//! client can rebuild the exact [`WireError`] the in-process transport would have returned.
+//!
+//! Server-side dispatch produces only routing-level errors — [`WireError::UnknownService`],
+//! [`WireError::ServiceDown`], [`WireError::Fault`] (handler failures are already wrapped by
+//! [`pasoa_wire::ServiceHost::dispatch`]) — each of which maps to one error-kind header on a
+//! fault envelope. Anything else (a frame-level protocol failure the server chooses to report
+//! before closing) travels as a generic fault.
+
+use pasoa_wire::{Envelope, WireError};
+
+/// Header naming the error kind on an error envelope.
+pub const ERROR_KIND_HEADER: &str = "net-error-kind";
+
+/// Header a server sets (value `close`) on a response after which it will close the
+/// connection — frame-level protocol errors leave the stream unsynchronized, so the client
+/// must not return that connection to its pool.
+pub const CONNECTION_HEADER: &str = "net-connection";
+
+/// The [`CONNECTION_HEADER`] value announcing an imminent close.
+pub const CONNECTION_CLOSE: &str = "close";
+
+/// Whether the peer announced it will close the connection after this response.
+pub fn announces_close(envelope: &Envelope) -> bool {
+    envelope.header(CONNECTION_HEADER) == Some(CONNECTION_CLOSE)
+}
+
+/// Header naming the service an error concerns.
+pub const ERROR_SERVICE_HEADER: &str = "net-error-service";
+
+const KIND_UNKNOWN_SERVICE: &str = "unknown-service";
+const KIND_SERVICE_DOWN: &str = "service-down";
+const KIND_FAULT: &str = "fault";
+
+/// Encode a dispatch error as an envelope the peer can decode back into the same error.
+pub fn error_envelope(error: &WireError) -> Envelope {
+    let (kind, service, reason) = match error {
+        WireError::UnknownService(name) => (KIND_UNKNOWN_SERVICE, name.clone(), error.to_string()),
+        WireError::ServiceDown(name) => (KIND_SERVICE_DOWN, name.clone(), error.to_string()),
+        WireError::Fault { service, reason } => (KIND_FAULT, service.clone(), reason.clone()),
+        other => (KIND_FAULT, String::new(), other.to_string()),
+    };
+    Envelope::fault(reason)
+        .with_header(ERROR_KIND_HEADER, kind)
+        .with_header(ERROR_SERVICE_HEADER, service)
+}
+
+/// Decode an error envelope produced by [`error_envelope`]; `None` for ordinary responses
+/// (including plain fault envelopes minted by services themselves).
+pub fn decode_error(envelope: &Envelope) -> Option<WireError> {
+    let kind = envelope.header(ERROR_KIND_HEADER)?;
+    let service = envelope
+        .header(ERROR_SERVICE_HEADER)
+        .unwrap_or_default()
+        .to_string();
+    let reason = envelope.fault_reason().unwrap_or_default();
+    Some(match kind {
+        KIND_UNKNOWN_SERVICE => WireError::UnknownService(service),
+        KIND_SERVICE_DOWN => WireError::ServiceDown(service),
+        _ => WireError::Fault { service, reason },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_errors_roundtrip() {
+        for error in [
+            WireError::UnknownService("store".into()),
+            WireError::ServiceDown("shard-1".into()),
+            WireError::Fault {
+                service: "registry".into(),
+                reason: "no plug-in handles action 'x'".into(),
+            },
+        ] {
+            let envelope = error_envelope(&error);
+            assert!(envelope.is_fault());
+            assert_eq!(decode_error(&envelope), Some(error));
+        }
+    }
+
+    #[test]
+    fn other_errors_degrade_to_faults() {
+        let error = WireError::Payload("bad json".into());
+        let decoded = decode_error(&error_envelope(&error)).unwrap();
+        match decoded {
+            WireError::Fault { reason, .. } => assert!(reason.contains("bad json")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordinary_envelopes_are_not_errors() {
+        assert_eq!(decode_error(&Envelope::response("record")), None);
+        // A service-minted fault without the kind header is not a transport error either.
+        assert_eq!(decode_error(&Envelope::fault("boom")), None);
+    }
+
+    #[test]
+    fn close_announcements_are_recognized() {
+        assert!(!announces_close(&Envelope::response("record")));
+        let closing = error_envelope(&WireError::Payload("oversized".into()))
+            .with_header(CONNECTION_HEADER, CONNECTION_CLOSE);
+        assert!(announces_close(&closing));
+    }
+}

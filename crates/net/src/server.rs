@@ -1,0 +1,409 @@
+//! A TCP server exposing one [`ServiceHost`]'s services over framed envelopes.
+//!
+//! The accept loop hands connections to a **bounded** pool of worker threads (a connection
+//! past the pool size waits its turn instead of spawning unbounded threads). Each worker
+//! serves its connection's request/response frames pipelined — read a frame, dispatch it on
+//! the host, write the response frame — under per-connection read/write timeouts, so a
+//! stalled peer reclaims its worker instead of pinning it forever.
+//!
+//! Shutdown is graceful: the listener stops accepting (new connections are refused), the read
+//! half of every active connection is closed so idle workers wake immediately, and requests
+//! already being dispatched still deliver their responses on the intact write half before the
+//! connection closes — in-flight work drains, nothing new is admitted.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use pasoa_wire::{ServiceHost, WireError};
+
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::proto;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Worker threads — the bound on concurrently *served* connections. A worker is pinned
+    /// to its connection until the peer closes it or it idles past the read timeout, so a
+    /// deployment must size `workers` at or above its expected concurrently-open client
+    /// connections (pooled connections included); connections beyond the bound wait
+    /// unserved until a worker frees up, which a client sees as response latency. (An
+    /// evented single-thread serving unlimited idle connections is future work — this is a
+    /// std-only crate.)
+    pub workers: usize,
+    /// Ceiling on one frame's payload; oversized frames are rejected loudly (counted in
+    /// [`NetServerStats::rejected_frames`]) and the connection closed, never buffered.
+    pub max_frame_bytes: usize,
+    /// Per-connection read timeout; an idle connection exceeding it is closed and its worker
+    /// reclaimed. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            workers: 16,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Snapshot of a server's counters — the [`ServiceHost`]-style observability surface of the
+/// TCP tier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections currently being served.
+    pub active_connections: u64,
+    /// Request frames decoded and dispatched.
+    pub requests: u64,
+    /// Payload + header bytes received in request frames.
+    pub bytes_in: u64,
+    /// Payload + header bytes written in response frames.
+    pub bytes_out: u64,
+    /// Dispatches that failed and were answered with an in-band error envelope.
+    pub faults: u64,
+    /// Frames refused for exceeding the configured payload ceiling.
+    pub rejected_frames: u64,
+    /// Malformed frames (bad magic/version/crc/UTF-8/envelope, truncation mid-frame).
+    pub protocol_errors: u64,
+    /// Requests dispatched per destination service, sorted by name.
+    pub per_service: Vec<(String, u64)>,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    active_connections: AtomicU64,
+    requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    faults: AtomicU64,
+    rejected_frames: AtomicU64,
+    protocol_errors: AtomicU64,
+    per_service: Mutex<HashMap<String, u64>>,
+}
+
+impl Counters {
+    fn snapshot(&self) -> NetServerStats {
+        let mut per_service: Vec<(String, u64)> = self
+            .per_service
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        per_service.sort();
+        NetServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            per_service,
+        }
+    }
+}
+
+/// Read halves of live connections, closable by [`NetServer::shutdown`] to wake blocked
+/// workers without cutting their in-flight response writes.
+#[derive(Default)]
+struct ActiveConnections {
+    next_id: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ActiveConnections {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.streams.lock().remove(&id);
+        }
+    }
+
+    fn close_read_halves(&self) {
+        for stream in self.streams.lock().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A listening envelope server over one [`ServiceHost`]. Dropping the server shuts it down.
+pub struct NetServer {
+    addr: SocketAddr,
+    config: NetServerConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    active: Arc<ActiveConnections>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving `host`'s services.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        host: &ServiceHost,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let active = Arc::new(ActiveConnections::default());
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+        for worker in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let host = host.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let active = Arc::clone(&active);
+            let config = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pasoa-net-worker-{worker}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let guard = rx.lock();
+                            guard.recv()
+                        };
+                        match stream {
+                            // Refuse (drop unanswered) connections queued behind a shutdown.
+                            Ok(stream) if !shutdown.load(Ordering::SeqCst) => {
+                                // Contain any panic to the one connection: an unwinding
+                                // worker would silently and permanently shrink the pool.
+                                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    serve_connection(
+                                        stream, &host, &shutdown, &counters, &active, &config,
+                                    );
+                                }));
+                            }
+                            Ok(_) => {}
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn net worker"),
+            );
+        }
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            // Non-blocking accept with a short poll: the only std-portable way to guarantee
+            // shutdown can always stop this loop. (A blocking accept would need a self-
+            // connect to wake it, which fails for wildcard/external binds and would leave
+            // `shutdown()` joining a thread that never exits.)
+            listener.set_nonblocking(true)?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pasoa-net-accept".to_string())
+                    .spawn(move || {
+                        loop {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    // Accepted sockets may inherit non-blocking mode on
+                                    // some platforms; workers need blocking reads.
+                                    if stream.set_nonblocking(false).is_err() {
+                                        continue;
+                                    }
+                                    counters
+                                        .connections_accepted
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    if tx.send(stream).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                                Err(_) => {
+                                    // Transient accept failure (e.g. fd exhaustion): back
+                                    // off like the idle arm instead of hot-spinning a core
+                                    // for as long as the condition persists.
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                            }
+                        }
+                        // Dropping the listener here is what makes post-shutdown connections
+                        // refused rather than silently queued.
+                    })
+                    .expect("spawn net acceptor"),
+            );
+        }
+
+        Ok(NetServer {
+            addr,
+            config,
+            shutdown,
+            counters,
+            active,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &NetServerConfig {
+        &self.config
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> NetServerStats {
+        self.counters.snapshot()
+    }
+
+    /// Whether [`Self::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop the server: refuse new connections, wake idle workers, let in-flight requests
+    /// write their responses, then join every thread. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close only the read halves: a worker blocked waiting for the next frame sees EOF
+        // and exits, while a worker mid-dispatch still delivers its response. The polling
+        // accept loop notices the flag on its own within its poll interval.
+        self.active.close_read_halves();
+        let mut threads = self.threads.lock();
+        for thread in threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("shut_down", &self.is_shut_down())
+            .finish()
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    host: &ServiceHost,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+    active: &ActiveConnections,
+    config: &NetServerConfig,
+) {
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let _ = stream.set_nodelay(true);
+    let id = active.register(&stream);
+    // A shutdown sweeping the registry just before this registration would miss the stream;
+    // re-checking the flag after registering closes that window.
+    if shutdown.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    counters.active_connections.fetch_add(1, Ordering::Relaxed);
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match frame::read_frame(&mut stream, config.max_frame_bytes) {
+            Ok((envelope, frame_bytes)) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .bytes_in
+                    .fetch_add(frame_bytes as u64, Ordering::Relaxed);
+                let service = envelope.service().unwrap_or_default().to_string();
+                *counters
+                    .per_service
+                    .lock()
+                    .entry(service.clone())
+                    .or_insert(0) += 1;
+                let response =
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| host.dispatch(envelope))) {
+                        Ok(Ok(response)) => response,
+                        Ok(Err(error)) => {
+                            counters.faults.fetch_add(1, Ordering::Relaxed);
+                            proto::error_envelope(&error)
+                        }
+                        Err(_) => {
+                            counters.faults.fetch_add(1, Ordering::Relaxed);
+                            proto::error_envelope(&WireError::Fault {
+                                service,
+                                reason: "service panicked while handling the request".into(),
+                            })
+                        }
+                    };
+                match frame::write_frame(&mut stream, &response) {
+                    Ok(written) => {
+                        counters
+                            .bytes_out
+                            .fetch_add(written as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            }
+            Err(FrameError::Closed) => break,
+            Err(e) if e.is_timeout() => break, // idle connection reclaimed
+            Err(e @ FrameError::Oversized { .. }) => {
+                counters.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                // The stream position is unknown past a refused length; report — announcing
+                // the close, so the client drops the connection instead of pooling it — and
+                // close.
+                let _ = frame::write_frame(&mut stream, &closing_error(&WireError::from(e)));
+                break;
+            }
+            Err(FrameError::Io { .. }) => break,
+            Err(e) => {
+                // Bad magic/version/crc/UTF-8/envelope or mid-frame truncation: the framing
+                // is out of sync, so answer once (best effort, close announced) and drop the
+                // connection.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = frame::write_frame(&mut stream, &closing_error(&WireError::from(e)));
+                break;
+            }
+        }
+    }
+
+    counters.active_connections.fetch_sub(1, Ordering::Relaxed);
+    active.deregister(id);
+}
+
+/// An error response after which this connection closes (frame-level failures leave the
+/// stream unsynchronized), announced so the peer does not pool the dying connection.
+fn closing_error(error: &WireError) -> pasoa_wire::Envelope {
+    proto::error_envelope(error).with_header(proto::CONNECTION_HEADER, proto::CONNECTION_CLOSE)
+}

@@ -1,0 +1,163 @@
+//! Frame-decoder robustness properties.
+//!
+//! The TCP tier must survive any sequence of bytes a network (or an adversary) can deliver:
+//! truncating or corrupting a framed envelope at *any* byte offset must yield a clean
+//! protocol error — never a panic, never a short read treated as success, never a silently
+//! different envelope. The CRC in the frame header is what turns "corrupted payload" from a
+//! wrong-answer hazard into a detected error.
+
+use proptest::prelude::*;
+
+use pasoa_net::{decode_frame, encode_frame, read_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use pasoa_wire::{Envelope, XmlElement};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,12}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // XML-hostile characters, whitespace and multi-width UTF-8, as in the wire proptests.
+    prop::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            prop::char::range('a', 'z'),
+            prop::char::range('0', '9'),
+            Just(' '),
+            Just('\n'),
+            Just('\r'),
+            Just('é'),
+            Just('環'),
+            Just('💡'),
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = XmlElement> {
+    let leaf = (
+        name_strategy(),
+        text_strategy(),
+        prop::collection::btree_map(name_strategy(), text_strategy(), 0..3),
+    )
+        .prop_map(|(name, text, attrs)| {
+            let mut el = XmlElement::new(name);
+            el.attributes = attrs;
+            if !text.is_empty() {
+                el.push_text(text);
+            }
+            el
+        });
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..3)).prop_map(|(name, children)| {
+            let mut el = XmlElement::new(name);
+            for c in children {
+                el.push_child(c);
+            }
+            el
+        })
+    })
+}
+
+fn envelope_strategy() -> impl Strategy<Value = Envelope> {
+    (
+        name_strategy(),
+        name_strategy(),
+        text_strategy(),
+        text_strategy(),
+        element_strategy(),
+    )
+        .prop_map(|(service, action, msg_id, sender, body)| {
+            Envelope::request(&service, &action)
+                .with_header("message-id", msg_id)
+                .with_header("sender", sender)
+                .with_body(body)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192 })]
+
+    /// The socket path is bit-for-bit: envelope → frame → bytes → frame → envelope
+    /// reproduces both the envelope and its serialized wire form exactly, hostile escaping
+    /// edge cases included.
+    #[test]
+    fn frame_roundtrip_is_bit_for_bit(envelope in envelope_strategy()) {
+        let frame = encode_frame(&envelope);
+        let (decoded, consumed) = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded.to_wire(), envelope.to_wire());
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// Truncating a frame at any byte offset is a clean error: `Closed` exactly at offset 0,
+    /// `Truncated` everywhere else — from both the slice decoder and the stream reader.
+    #[test]
+    fn truncation_at_any_offset_is_a_clean_error(
+        envelope in envelope_strategy(),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let frame = encode_frame(&envelope);
+        let cut = cut_seed % frame.len(); // every prefix strictly shorter than the frame
+        match decode_frame(&frame[..cut], DEFAULT_MAX_FRAME_BYTES) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated { expected, got }) => prop_assert!(got < expected),
+            Err(other) => prop_assert!(false, "cut {}: unexpected error {:?}", cut, other),
+            Ok(_) => prop_assert!(false, "cut {}: a short read decoded successfully", cut),
+        }
+        let mut cursor = std::io::Cursor::new(&frame[..cut]);
+        prop_assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).is_err());
+    }
+
+    /// Flipping any byte of a frame is detected: the decode either fails cleanly or — never —
+    /// succeeds. Magic and version corruption are caught structurally, length corruption by
+    /// the resulting truncation/checksum mismatch, payload and checksum corruption by the CRC.
+    #[test]
+    fn single_byte_corruption_never_decodes(
+        envelope in envelope_strategy(),
+        pos_seed in 0usize..1_000_000,
+        xor in 1u8..255,
+    ) {
+        let mut frame = encode_frame(&envelope);
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= xor;
+        match decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES) {
+            Err(_) => {}
+            Ok((decoded, consumed)) => {
+                // A corrupted frame must never decode at all — not even back to the
+                // original (which cannot happen for a real flip, so fail loudly).
+                prop_assert!(
+                    false,
+                    "flip of byte {} decoded to {:?} ({} bytes)",
+                    pos,
+                    decoded.action(),
+                    consumed
+                );
+            }
+        }
+    }
+
+    /// A header claiming any payload length above the ceiling is rejected from the header
+    /// alone, whatever the claimed size.
+    #[test]
+    fn oversized_claims_are_rejected_before_allocation(
+        envelope in envelope_strategy(),
+        extra in 1u32..1_000_000,
+        max in 64usize..4096,
+    ) {
+        let mut frame = encode_frame(&envelope);
+        let claimed = max as u32 + extra;
+        frame[9..13].copy_from_slice(&claimed.to_le_bytes());
+        match decode_frame(&frame, max) {
+            Err(FrameError::Oversized { len, max: reported }) => {
+                prop_assert_eq!(len, claimed as usize);
+                prop_assert_eq!(reported, max);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+}

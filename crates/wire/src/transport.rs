@@ -171,6 +171,41 @@ impl ServiceHost {
         self.services.read().get(name).cloned()
     }
 
+    /// Route one decoded envelope to its destination service: the dispatch core shared by the
+    /// in-process [`Transport`] and the TCP tier's `NetServer` (which decodes frames off a
+    /// socket and must not pay a second in-process serialization). Applies the host's fault
+    /// state and per-service dispatch counters.
+    ///
+    /// Handler errors that are themselves routing outcomes — [`WireError::ServiceDown`],
+    /// [`WireError::UnknownService`], [`WireError::Fault`] — pass through unchanged: a handler
+    /// may be a transport hop in its own right (a TCP proxy towards a remote host, the shard
+    /// router mid-failover), and wrapping its verdict would erase the distinction failover
+    /// logic keys on (a `ServiceDown` is safely retriable against a replica; a `Fault` is
+    /// not). Every other handler error is wrapped as a [`WireError::Fault`] naming the
+    /// service.
+    pub fn dispatch(&self, request: Envelope) -> WireResult<Envelope> {
+        let service_name = request
+            .service()
+            .ok_or_else(|| WireError::InvalidEnvelope("missing service header".into()))?
+            .to_string();
+        let handler = self
+            .lookup(&service_name)
+            .ok_or_else(|| WireError::UnknownService(service_name.clone()))?;
+        if self.faults.is_down(&service_name) {
+            return Err(WireError::ServiceDown(service_name));
+        }
+        self.note_dispatch(&service_name);
+        handler.handle(request).map_err(|error| match error {
+            routed @ (WireError::ServiceDown(_)
+            | WireError::UnknownService(_)
+            | WireError::Fault { .. }) => routed,
+            other => WireError::Fault {
+                service: service_name,
+                reason: other.to_string(),
+            },
+        })
+    }
+
     fn note_dispatch(&self, name: &str) {
         *self.dispatch.lock().entry(name.to_string()).or_insert(0) += 1;
     }
@@ -240,37 +275,16 @@ impl std::fmt::Debug for Transport {
 impl Transport {
     /// Send `request` to the service named in its `service` header and return the response.
     pub fn call(&self, request: Envelope) -> WireResult<Envelope> {
-        let service_name = request
-            .service()
-            .ok_or_else(|| WireError::InvalidEnvelope("missing service header".into()))?
-            .to_string();
-
         // Serialize and re-parse the request: this is what would cross the network.
         let request_text = request.to_wire();
         let request_bytes = request_text.len();
         let decoded_request = Envelope::from_wire(&request_text)?;
 
-        let handler = match self.host.lookup(&service_name) {
-            Some(h) => h,
-            None => {
-                self.stats.lock().failures += 1;
-                return Err(WireError::UnknownService(service_name));
-            }
-        };
-        if self.host.faults.is_down(&service_name) {
-            self.stats.lock().failures += 1;
-            return Err(WireError::ServiceDown(service_name));
-        }
-        self.host.note_dispatch(&service_name);
-
-        let response = match handler.handle(decoded_request) {
+        let response = match self.host.dispatch(decoded_request) {
             Ok(r) => r,
             Err(e) => {
                 self.stats.lock().failures += 1;
-                return Err(WireError::Fault {
-                    service: service_name,
-                    reason: e.to_string(),
-                });
+                return Err(e);
             }
         };
 
@@ -399,6 +413,48 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, WireError::Fault { .. }));
         assert_eq!(transport.stats().failures, 1);
+    }
+
+    #[test]
+    fn routing_errors_from_handlers_pass_through_unchanged() {
+        // A handler acting as a transport hop (e.g. a TCP proxy) reports ServiceDown; the
+        // transport must not blur it into a Fault, or failover logic loses its retry signal.
+        let host = ServiceHost::new();
+        host.register(
+            "proxied",
+            Arc::new(|_req: Envelope| -> WireResult<Envelope> {
+                Err(WireError::ServiceDown("proxied".into()))
+            }),
+        );
+        let transport = host.transport(TransportConfig::free());
+        let err = transport
+            .call(Envelope::request("proxied", "x"))
+            .unwrap_err();
+        assert!(matches!(err, WireError::ServiceDown(name) if name == "proxied"));
+        assert_eq!(transport.stats().failures, 1);
+    }
+
+    #[test]
+    fn host_dispatch_matches_transport_semantics() {
+        let host = host_with_echo();
+        let ok = host
+            .dispatch(
+                Envelope::request("echo", "ping").with_body(XmlElement::new("data").text("d")),
+            )
+            .unwrap();
+        assert_eq!(ok.body.text_content(), "d");
+        assert!(matches!(
+            host.dispatch(Envelope::request("nowhere", "x"))
+                .unwrap_err(),
+            WireError::UnknownService(_)
+        ));
+        host.fault_injector().kill("echo");
+        assert!(matches!(
+            host.dispatch(Envelope::request("echo", "x")).unwrap_err(),
+            WireError::ServiceDown(_)
+        ));
+        // The dispatch core maintains the same per-service counters the transport does.
+        assert_eq!(host.dispatch_counts(), vec![("echo".to_string(), 1)]);
     }
 
     #[test]

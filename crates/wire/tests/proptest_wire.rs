@@ -12,7 +12,9 @@ fn name_strategy() -> impl Strategy<Value = String> {
 }
 
 fn text_strategy() -> impl Strategy<Value = String> {
-    // Include XML-hostile characters deliberately.
+    // Include XML-hostile characters deliberately: the five escaped specials, whitespace
+    // (incl. \r, which must survive un-normalized), and non-ASCII across UTF-8 widths
+    // (2-byte é, 2-byte λ, 3-byte 環, 4-byte 💡).
     prop::collection::vec(
         prop_oneof![
             Just('<'),
@@ -23,6 +25,13 @@ fn text_strategy() -> impl Strategy<Value = String> {
             prop::char::range('a', 'z'),
             prop::char::range('0', '9'),
             Just(' '),
+            Just('\n'),
+            Just('\t'),
+            Just('\r'),
+            Just('é'),
+            Just('λ'),
+            Just('環'),
+            Just('💡'),
         ],
         0..40,
     )
@@ -75,19 +84,27 @@ proptest! {
         prop_assert_eq!(parsed, el);
     }
 
+    /// The full envelope codec is loss-free AND stable: parsing the wire form reproduces the
+    /// envelope exactly, and re-serializing the parse reproduces the wire bytes exactly —
+    /// the bit-for-bit guarantee the TCP framing (which checksums those bytes) builds on.
+    /// Header *values* are arbitrary hostile text, not just names.
     #[test]
-    fn envelope_roundtrip(
+    fn envelope_roundtrip_is_bit_for_bit(
         body in element_strategy(),
         service in name_strategy(),
         action in name_strategy(),
-        msg_id in name_strategy(),
+        msg_id in text_strategy(),
+        sender in text_strategy(),
     ) {
         let env = Envelope::request(&service, &action)
             .with_header("message-id", msg_id)
+            .with_header("sender", sender)
             .with_body(body);
         let text = env.to_wire();
         let parsed = Envelope::from_wire(&text).unwrap();
-        prop_assert_eq!(parsed, env);
+        prop_assert_eq!(&parsed, &env);
+        // Stability: serialize(parse(serialize(e))) == serialize(e), byte for byte.
+        prop_assert_eq!(parsed.to_wire(), text);
     }
 
     #[test]

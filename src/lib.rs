@@ -8,6 +8,7 @@
 //! * [`query`] — the indexed query engine: planner, executor, `Explain` and lineage closure;
 //! * [`registry`] — the Grimoires-style semantic registry;
 //! * [`wire`] — envelopes, the simulated transport and latency models;
+//! * [`net`] — the real TCP transport: framed envelopes, `NetServer`, pooled `NetClient`;
 //! * [`kvdb`] — the embedded key-value store backing the database backend;
 //! * [`compress`] — gzip-, bzip2- and ppm-class codecs;
 //! * [`bioseq`] — sequences, group codings, shuffling and synthetic data;
@@ -24,6 +25,7 @@ pub use pasoa_compress as compress;
 pub use pasoa_core as model;
 pub use pasoa_experiment as experiment;
 pub use pasoa_kvdb as kvdb;
+pub use pasoa_net as net;
 pub use pasoa_preserv as preserv;
 pub use pasoa_query as query;
 pub use pasoa_registry as registry;
@@ -41,6 +43,7 @@ mod tests {
         let _ = crate::compress::Method::ALL;
         let _ = crate::bioseq::AMINO_ACIDS;
         let _ = crate::wire::LatencyModel::zero();
+        let _ = crate::net::DEFAULT_MAX_FRAME_BYTES;
         let _ = crate::experiment::RunRecording::ALL;
     }
 }
