@@ -1,0 +1,101 @@
+//! Record the DAG workflow baseline into `BENCH_workflow.json`.
+//!
+//! ```sh
+//! cargo run --release -p pasoa-bench --example record_workflow_baseline [output.json]
+//! ```
+//!
+//! Runs the protein pipeline (collate → encode → 4 parallel measurement slices → collate
+//! sizes → average) through the `pasoa-dag` executor twice — once with a 4-worker pool and
+//! once sequentially — under a slept grid-scheduling overhead, and records how much of the
+//! overhead the parallel measurement stage overlaps. The sleep-based model makes the
+//! comparison meaningful even on a single-core CI host: the speedup measures scheduling
+//! overlap, not CPU parallelism. The run refuses to write a baseline where the parallel
+//! stage is not at least 2x faster than the sequential one, or where the two runs disagree
+//! on the science.
+
+use std::time::Duration;
+
+use pasoa_experiment::{PipelineConfig, PipelineReport, PipelineRunner, RunRecording};
+use pasoa_wire::NetworkProfile;
+use pasoa_workflow::OverheadModel;
+use serde_json::json;
+
+fn measure(runner: &PipelineRunner, config: &PipelineConfig) -> (PipelineReport, Duration) {
+    let report = runner.run(config);
+    assert!(report.succeeded(), "baseline pipeline run must succeed");
+    let span = report
+        .measure_stage_span()
+        .expect("the measurement stage ran");
+    println!(
+        "{} worker(s): measure stage {:?}, whole dag {:?}, {} p-assertions",
+        config.workers, span, report.report.wall_time, report.passertions
+    );
+    (report, span)
+}
+
+fn round2(value: f64) -> f64 {
+    (value * 100.0).round() / 100.0
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_workflow.json".to_string());
+
+    let runner = PipelineRunner::new(pasoa_experiment::StoreDeployment::in_memory(
+        NetworkProfile::InProcess.latency_model(),
+        false,
+    ));
+    let base = PipelineConfig {
+        overhead: OverheadModel::sleeping(Duration::from_millis(60), Duration::ZERO),
+        ..PipelineConfig::small(3, RunRecording::Synchronous)
+    };
+    let (parallel, par_span) = measure(
+        &runner,
+        &PipelineConfig {
+            workers: 4,
+            ..base.clone()
+        },
+    );
+    let (sequential, seq_span) = measure(
+        &runner,
+        &PipelineConfig {
+            workers: 1,
+            ..base.clone()
+        },
+    );
+
+    assert_eq!(
+        parallel.sizes, sequential.sizes,
+        "worker count must not perturb the science"
+    );
+    let speedup = seq_span.as_secs_f64() / par_span.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "parallel measure stage must be at least 2x faster than sequential, got {speedup:.2}x"
+    );
+
+    let stage = |report: &PipelineReport, span: Duration| {
+        json!({
+            "measure_stage_ms": round2(span.as_secs_f64() * 1e3),
+            "dag_wall_ms": round2(report.report.wall_time.as_secs_f64() * 1e3),
+            "passertions": report.passertions,
+        })
+    };
+    let baseline = json!({
+        "bench": "workflow_dag",
+        "pipeline": "protein-pipeline",
+        "slices": base.slices,
+        "permutations": base.permutations,
+        "scheduling_overhead_ms": 60,
+        "recording": "synchronous",
+        "parallel_4_workers": stage(&parallel, par_span),
+        "sequential_1_worker": stage(&sequential, seq_span),
+        // How much of the 4-wide stage's scheduling overhead the worker pool overlaps.
+        "measure_stage_speedup": round2(speedup),
+    });
+    let mut json = serde_json::to_string(&baseline).expect("serialize baseline");
+    json.push('\n');
+    std::fs::write(&output, json).expect("write baseline json");
+    println!("baseline written to {output}");
+}

@@ -1,0 +1,172 @@
+//! Integration: DAG execution recording through a real provenance store (PReServ), with the
+//! executed DAG — topology, retry counts, skip set — and the data lineage both recovered from
+//! the recorded p-assertions alone.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pasoa_core::ids::{ActorId, IdGenerator, SessionId};
+use pasoa_core::recorder::{ProvenanceRecorder, SyncRecorder};
+use pasoa_dag::{
+    ActivityError, DagSpec, DataItem, ExecutedDag, Executor, ExecutorConfig, FailurePolicy,
+    FnActivity, RetryPolicy, TaskState,
+};
+use pasoa_preserv::PreservService;
+use pasoa_query::QueryEngine;
+use pasoa_wire::{ServiceHost, TransportConfig};
+
+/// An activity that concatenates its inputs and appends `tag`.
+fn stage(name: &str, tag: &str) -> Arc<FnActivity> {
+    let name = name.to_string();
+    let tag = tag.to_string();
+    Arc::new(FnActivity::new(
+        name.clone(),
+        format!("run {name}"),
+        move |inputs, ctx| {
+            let mut bytes = Vec::new();
+            for item in inputs {
+                bytes.extend_from_slice(&item.bytes);
+            }
+            bytes.extend_from_slice(tag.as_bytes());
+            Ok(vec![DataItem::new(ctx.ids.data_id(), name.clone(), bytes)])
+        },
+    ))
+}
+
+#[test]
+fn executed_dag_and_lineage_are_recoverable_from_the_store() {
+    // A protein-pipeline-shaped DAG: sample -> prep -> 4-wide compression -> collate, plus a
+    // transiently-failing stage (succeeds on retry) and a doomed branch whose descendant must
+    // be skipped under the continue policy.
+    let mut spec = DagSpec::new("protein-roundtrip");
+    let sample = spec.add_task("sample", stage("sample", "S")).unwrap();
+    let prep = spec.add_task("prep", stage("prep", "P")).unwrap();
+    spec.add_data_edge(&sample, &prep).unwrap();
+    let mut compress = Vec::new();
+    for i in 0..4 {
+        let c = spec
+            .add_task(
+                format!("compress-{i}"),
+                stage(&format!("compress-{i}"), "C"),
+            )
+            .unwrap();
+        spec.add_data_edge(&prep, &c).unwrap();
+        compress.push(c);
+    }
+    let flaky_attempts = Arc::new(AtomicUsize::new(0));
+    let attempts = Arc::clone(&flaky_attempts);
+    let flaky = spec
+        .add_task(
+            "flaky",
+            Arc::new(FnActivity::new("flaky", "run flaky", move |inputs, ctx| {
+                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    return Err(ActivityError::new("flaky", "transient"));
+                }
+                Ok(vec![DataItem::new(
+                    ctx.ids.data_id(),
+                    "flaky",
+                    inputs.iter().flat_map(|i| i.bytes.clone()).collect(),
+                )])
+            })),
+        )
+        .unwrap();
+    spec.add_data_edge(&prep, &flaky).unwrap();
+    let collate = spec.add_task("collate", stage("collate", "!")).unwrap();
+    for c in &compress {
+        spec.add_data_edge(c, &collate).unwrap();
+    }
+    spec.add_data_edge(&flaky, &collate).unwrap();
+    let bad = spec
+        .add_task(
+            "bad",
+            Arc::new(FnActivity::new("bad", "run bad", |_, _| {
+                Err(ActivityError::new("bad", "kaput"))
+            })),
+        )
+        .unwrap();
+    spec.add_ordering_edge(&sample, &bad).unwrap();
+    let dead = spec.add_task("dead", stage("dead", "D")).unwrap();
+    spec.add_data_edge(&bad, &dead).unwrap();
+    let dag = spec.build().unwrap();
+
+    // A real store behind the wire layer, recorded to synchronously.
+    let host = ServiceHost::new();
+    let service = Arc::new(PreservService::in_memory().unwrap());
+    service.register(&host);
+    let session = SessionId::new("session:dag-roundtrip");
+    let ids = IdGenerator::new("dagrt");
+    let recorder = Arc::new(SyncRecorder::new(
+        session.clone(),
+        ActorId::new("dag-executor"),
+        host.transport(TransportConfig::free()),
+        ids.clone(),
+    ));
+
+    let executor = Executor::new(
+        Arc::clone(&recorder) as Arc<dyn ProvenanceRecorder>,
+        ids.clone(),
+        ExecutorConfig {
+            workers: 4,
+            failure_policy: FailurePolicy::Continue,
+            retry: RetryPolicy::retries(3, std::time::Duration::ZERO, std::time::Duration::ZERO),
+            ..ExecutorConfig::default()
+        },
+    );
+    let raw = DataItem::new(ids.data_id(), "raw", b"ACDEFGHIKLMNPQRSTVWY".to_vec());
+    let raw_id = raw.id.clone();
+    let report = executor
+        .run(&dag, BTreeMap::from([("sample".to_string(), vec![raw])]))
+        .unwrap();
+
+    // The run went as scripted: one retry, one failure, one skip, everything else completed.
+    assert_eq!(report.count(TaskState::Completed), 8);
+    assert_eq!(report.count(TaskState::Failed), 1);
+    assert_eq!(report.count(TaskState::Skipped), 1);
+    assert_eq!(report.outcome("flaky").unwrap().attempts, 2);
+    assert_eq!(report.outcome("bad").unwrap().attempts, 3);
+    assert_eq!(flaky_attempts.load(Ordering::SeqCst), 2);
+
+    // Reconstruction from recorded provenance alone is bit-exact against the executor's own
+    // report: same topology, same retry counts, same skip set.
+    let store = service.store();
+    let assertions = store.assertions_for_session(&session).unwrap();
+    assert_eq!(assertions.len() as u64, report.passertions_recorded);
+    let from_provenance = ExecutedDag::from_assertions("protein-roundtrip", &assertions);
+    let from_report = ExecutedDag::from_report(&dag, &report);
+    assert_eq!(from_provenance, from_report);
+    assert_eq!(
+        from_provenance.skipped,
+        BTreeMap::from([("dead".to_string(), "upstream-failed:bad".to_string())])
+    );
+    assert_eq!(from_provenance.attempts["flaky"], 2);
+    assert_eq!(from_provenance.attempts["bad"], 3);
+
+    // The query engine's targeted lineage closure walks the collated result back to the raw
+    // sample through every completed stage, touching nothing from the doomed branch.
+    let engine = QueryEngine::new(store);
+    let collate_out = report.outputs_of(collate.as_str()).unwrap()[0].id.clone();
+    let closure = engine.lineage_closure(&session, &collate_out).unwrap();
+    let ancestors = closure.ancestors(&collate_out);
+    assert!(ancestors.contains(&raw_id));
+    let prep_out = report.outputs_of(prep.as_str()).unwrap()[0].id.clone();
+    let flaky_out = report.outputs_of(flaky.as_str()).unwrap()[0].id.clone();
+    assert!(ancestors.contains(&prep_out));
+    assert!(ancestors.contains(&flaky_out));
+    for c in &compress {
+        let out = report.outputs_of(c.as_str()).unwrap()[0].id.clone();
+        assert!(ancestors.contains(&out));
+    }
+    // 1 raw + sample + prep + 4 compress + flaky outputs = 8 strict ancestors.
+    assert_eq!(ancestors.len(), 8);
+
+    // A narrower closure (one compression slice) excludes its siblings.
+    let c0_out = report.outputs_of(compress[0].as_str()).unwrap()[0]
+        .id
+        .clone();
+    let narrow = engine.lineage_closure(&session, &c0_out).unwrap();
+    let narrow_ancestors = narrow.ancestors(&c0_out);
+    assert!(narrow_ancestors.contains(&prep_out));
+    assert!(!narrow_ancestors.contains(&flaky_out));
+    assert_eq!(narrow_ancestors.len(), 3);
+}

@@ -103,7 +103,12 @@ impl Activity for EncodeByGroupsActivity {
     }
 
     fn input_types(&self) -> Vec<String> {
-        vec![semantic::AMINO_ACID_SEQUENCE.to_string()]
+        // A protein sample is a subtype of an amino-acid sequence in the registry ontology;
+        // both are listed so the DAG builder's flat overlap check accepts either producer.
+        vec![
+            semantic::PROTEIN_SAMPLE.to_string(),
+            semantic::AMINO_ACID_SEQUENCE.to_string(),
+        ]
     }
 
     fn output_types(&self) -> Vec<String> {
@@ -316,10 +321,10 @@ mod tests {
             collate.output_types(),
             vec![semantic::PROTEIN_SAMPLE.to_string()]
         );
-        assert_eq!(
-            encode.input_types(),
-            vec![semantic::AMINO_ACID_SEQUENCE.to_string()]
-        );
+        assert!(encode
+            .input_types()
+            .contains(&semantic::AMINO_ACID_SEQUENCE.to_string()));
+        assert!(encode.input_types().contains(&collate.output_types()[0]));
         assert_eq!(CollateSizesActivity.name(), "collate-sizes");
         assert_eq!(AverageActivity.name(), "average");
         assert!(!CollateSizesActivity.script().is_empty());

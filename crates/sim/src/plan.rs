@@ -162,6 +162,23 @@ pub enum SimOp {
         /// Initial-shard index to revive.
         victim: usize,
     },
+    /// Execute a small workflow DAG through the `pasoa-dag` executor, recording every state
+    /// transition into the cluster, then verify the executed DAG is reconstructible from the
+    /// cluster's provenance answer alone. Shapes and fault masks are pure data, so a replayed
+    /// schedule runs the identical DAG.
+    RunDag {
+        /// Display tag (the world numbers runs itself, so duplicates are harmless).
+        tag: u8,
+        /// Topology selector, normalized modulo 4: 0 chain, 1 diamond, 2 fan-out/fan-in,
+        /// 3 two independent chains.
+        shape: u8,
+        /// Bitmask of tasks that fail their first attempt, then succeed on retry.
+        transient: u8,
+        /// Bitmask of tasks that fail every attempt (wins over `transient`).
+        broken: u8,
+        /// Failure policy, normalized modulo 2: 0 continue, 1 fail-fast.
+        policy: u8,
+    },
 }
 
 impl std::fmt::Display for SimOp {
@@ -188,6 +205,22 @@ impl std::fmt::Display for SimOp {
                 "arm-crash-point shard {victim} after {after_appends} appends"
             ),
             SimOp::Revive { victim } => write!(f, "revive shard {victim}"),
+            SimOp::RunDag {
+                tag,
+                shape,
+                transient,
+                broken,
+                policy,
+            } => write!(
+                f,
+                "run-dag #{tag} shape {shape} transient {transient:05b} broken {broken:05b} \
+                 policy {}",
+                if policy.is_multiple_of(2) {
+                    "continue"
+                } else {
+                    "fail-fast"
+                }
+            ),
         }
     }
 }
@@ -282,6 +315,13 @@ impl SimPlan {
             },
             55..=64 => SimOp::Flush,
             65..=74 => SimOp::RegisterGroup { client, session },
+            75..=79 => SimOp::RunDag {
+                tag: rng.gen_range(0..=255u32) as u8,
+                shape: rng.gen_range(0..4u32) as u8,
+                transient: rng.gen_range(0..32u32) as u8,
+                broken: rng.gen_range(0..32u32) as u8,
+                policy: rng.gen_range(0..2u32) as u8,
+            },
             _ => SimOp::Query(match rng.gen_range(0..7u32) {
                 0 => QueryKind::Session { client, session },
                 1 => QueryKind::Statistics,

@@ -14,7 +14,8 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use pasoa_cluster::{ClusterConfig, PreservCluster};
 use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
@@ -23,7 +24,12 @@ use pasoa_core::passertion::{
     RecordedAssertion, RelationshipPAssertion, ViewKind,
 };
 use pasoa_core::prep::{PrepMessage, QueryRequest, RecordAck, RecordMessage};
+use pasoa_core::recorder::{ProvenanceRecorder, RecordError, RecorderStats, RecordingMode};
 use pasoa_core::{Group, GroupKind, PROVENANCE_STORE_SERVICE};
+use pasoa_dag::{
+    ActivityError, Dag, DagSpec, DataItem, ExecutedDag, Executor, ExecutorConfig, FailurePolicy,
+    FnActivity, RetryPolicy,
+};
 use pasoa_kvdb::{Db, DbOptions};
 use pasoa_preserv::{KvBackend, LineageGraph, MemoryBackend, ProvenanceStore, StorageBackend};
 use pasoa_query::{PlanMode, QueryEngine};
@@ -80,6 +86,166 @@ impl Drop for ScratchDir {
     }
 }
 
+/// Synchronous recorder shipping every p-assertion of a DAG run straight into the cluster
+/// over the simulated wire, one record message each, while mirroring what the tier durably
+/// holds so the golden oracle can be brought up to date after the run.
+///
+/// A send that fails at an armed crash point follows the same contract as a failed batched
+/// record: the assertion was restored into the dead shard's buffer and failover redelivers
+/// it, so it still counts as durably held. Any failure is also remembered so the world can
+/// check it is explained by an injected fault.
+struct MirrorRecorder {
+    session: SessionId,
+    transport: Transport,
+    ids: IdGenerator,
+    asserter: ActorId,
+    /// Everything the tier durably holds (acked, or preserved for redelivery), in call order.
+    sent: Mutex<Vec<RecordedAssertion>>,
+    /// Errors surfaced to the executor; each must be explained by an armed crash point.
+    failures: Mutex<Vec<String>>,
+}
+
+impl MirrorRecorder {
+    fn new(session: SessionId, transport: Transport, ids: IdGenerator) -> Self {
+        MirrorRecorder {
+            session,
+            transport,
+            ids,
+            asserter: ActorId::new("sim-dag-executor"),
+            sent: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn sent(&self) -> Vec<RecordedAssertion> {
+        self.sent.lock().expect("mirror lock").clone()
+    }
+
+    fn failures(&self) -> Vec<String> {
+        self.failures.lock().expect("mirror lock").clone()
+    }
+}
+
+impl ProvenanceRecorder for MirrorRecorder {
+    fn session(&self) -> &SessionId {
+        &self.session
+    }
+
+    fn record(&self, assertion: PAssertion) -> Result<(), RecordError> {
+        let recorded = RecordedAssertion {
+            session: self.session.clone(),
+            assertion,
+        };
+        let message = PrepMessage::Record(RecordMessage {
+            message_id: self.ids.message_id(),
+            asserter: self.asserter.clone(),
+            assertions: vec![recorded.clone()],
+        });
+        let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
+            .with_json_payload(&message)
+            .map_err(RecordError::Wire)?;
+        match self.transport.call(envelope) {
+            Ok(response) => {
+                let ack: RecordAck = response.json_payload().map_err(RecordError::Wire)?;
+                if ack.accepted == 1 && ack.fully_accepted() {
+                    self.sent.lock().expect("mirror lock").push(recorded);
+                    Ok(())
+                } else {
+                    self.failures
+                        .lock()
+                        .expect("mirror lock")
+                        .push(format!("record rejected: {:?}", ack.rejected));
+                    Err(RecordError::Rejected(ack.rejected))
+                }
+            }
+            Err(error) => {
+                self.sent.lock().expect("mirror lock").push(recorded);
+                self.failures
+                    .lock()
+                    .expect("mirror lock")
+                    .push(error.to_string());
+                Err(RecordError::Wire(error))
+            }
+        }
+    }
+
+    fn register_group(&self, _group: Group) -> Result<(), RecordError> {
+        // The world registers the session group itself, with crash-point-aware retries.
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), RecordError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> RecorderStats {
+        let sent = self.sent.lock().expect("mirror lock").len() as u64;
+        RecorderStats {
+            assertions_recorded: sent,
+            messages_sent: sent,
+            assertions_accepted: sent,
+            ..Default::default()
+        }
+    }
+
+    fn mode(&self) -> RecordingMode {
+        RecordingMode::Synchronous
+    }
+}
+
+/// Build one of four small fixed topologies with per-task fault behaviour. Everything is a
+/// pure function of the operands, so a replayed schedule executes the identical DAG.
+fn build_sim_dag(name: &str, shape: u8, transient: u8, broken: u8) -> Result<Dag, Violation> {
+    let edges: &[(usize, usize)] = match shape % 4 {
+        0 => &[(0, 1), (1, 2), (2, 3)],
+        1 => &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        2 => &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)],
+        _ => &[(0, 1), (2, 3)],
+    };
+    let task_count = if shape % 4 == 2 { 5 } else { 4 };
+    let build_error = |e: pasoa_dag::DagError| Violation::new("plan", format!("dag build: {e}"));
+    let mut spec = DagSpec::new(name);
+    let mut ids = Vec::with_capacity(task_count);
+    for i in 0..task_count {
+        let task = format!("t{i}");
+        let doomed = broken & (1 << i) != 0;
+        let flaky = transient & (1 << i) != 0;
+        let attempts = Arc::new(AtomicU64::new(0));
+        let marker = task.clone();
+        let activity = FnActivity::new(
+            format!("sim-activity-{i}"),
+            format!("simulate --task {task}"),
+            move |inputs, ctx| {
+                let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+                if doomed {
+                    return Err(ActivityError::new(&marker, "deliberate permanent failure"));
+                }
+                if flaky && attempt == 0 {
+                    return Err(ActivityError::new(&marker, "deliberate transient failure"));
+                }
+                let mut bytes = Vec::new();
+                for item in inputs {
+                    bytes.extend_from_slice(&item.bytes);
+                }
+                bytes.extend_from_slice(marker.as_bytes());
+                Ok(vec![DataItem::new(
+                    ctx.ids.data_id(),
+                    format!("{marker}-out"),
+                    bytes,
+                )])
+            },
+        );
+        ids.push(
+            spec.add_task(task, Arc::new(activity))
+                .map_err(build_error)?,
+        );
+    }
+    for &(p, c) in edges {
+        spec.add_data_edge(&ids[p], &ids[c]).map_err(build_error)?;
+    }
+    spec.build().map_err(build_error)
+}
+
 pub(crate) struct SimWorld {
     config: SimConfig,
     host: ServiceHost,
@@ -96,6 +262,9 @@ pub(crate) struct SimWorld {
     killed: Option<usize>,
     /// The shard with an armed crash point, if any.
     armed: Option<usize>,
+    /// Sessions written by executed DAG runs: `(session name, dag name)` in run order. These
+    /// take part in every session-level invariant alongside the synthetic client sessions.
+    dag_sessions: Vec<(String, String)>,
     pub(crate) trace: Vec<String>,
 }
 
@@ -154,6 +323,7 @@ impl SimWorld {
             ids: IdGenerator::new("sim"),
             killed: None,
             armed: None,
+            dag_sessions: Vec::new(),
             trace: Vec::new(),
             config: config.clone(),
         })
@@ -167,6 +337,22 @@ impl SimWorld {
         (0..self.config.clients)
             .flat_map(|c| (0..self.config.sessions_per_client).map(move |s| (c, s)))
             .collect()
+    }
+
+    /// Every session id the world may have written: the synthetic client sessions plus one
+    /// session per executed DAG run.
+    fn all_session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .every_session()
+            .into_iter()
+            .map(|(c, s)| SessionId::new(self.session_name(c, s)))
+            .collect();
+        ids.extend(
+            self.dag_sessions
+                .iter()
+                .map(|(session, _)| SessionId::new(session.clone())),
+        );
+        ids
     }
 
     /// The deterministic p-assertion `k` of session `(client, session)` — a pure function, so
@@ -314,7 +500,8 @@ impl SimWorld {
                 }
                 shard_in_range(victim)
             }
-            SimOp::Flush | SimOp::AddShard | SimOp::Query(_) => Ok(()),
+            // RunDag normalizes all of its operands internally, so any byte pattern is valid.
+            SimOp::Flush | SimOp::AddShard | SimOp::Query(_) | SimOp::RunDag { .. } => Ok(()),
         }
     }
 
@@ -374,7 +561,136 @@ impl SimWorld {
                 ));
                 Ok(())
             }
+            SimOp::RunDag {
+                shape,
+                transient,
+                broken,
+                policy,
+                ..
+            } => self.execute_run_dag(*shape, *transient, *broken, *policy),
         }
+    }
+
+    /// Execute a small DAG through the real `pasoa-dag` executor, every state transition
+    /// recorded into the cluster over the simulated wire. Afterwards the executed DAG must be
+    /// reconstructible bit-exactly from the cluster's provenance answer alone — unless an
+    /// armed crash point interrupted recording, in which case only durability is owed (a
+    /// best-effort failure event may legitimately be missing from the record).
+    fn execute_run_dag(
+        &mut self,
+        shape: u8,
+        transient: u8,
+        broken: u8,
+        policy: u8,
+    ) -> Result<(), Violation> {
+        let ordinal = self.dag_sessions.len();
+        let session = format!("session:sim:dag:{ordinal}");
+        let dag_name = format!("sim-dag-{ordinal}");
+        let dag = build_sim_dag(&dag_name, shape, transient, broken)?;
+        let failure_policy = if policy.is_multiple_of(2) {
+            FailurePolicy::Continue
+        } else {
+            FailurePolicy::FailFast
+        };
+        // A dedicated id generator per run keeps the main sequence untouched and the run a
+        // pure function of its ordinal; one worker keeps the transition order deterministic.
+        let ids = IdGenerator::new(format!("simdag{ordinal}"));
+        let recorder = Arc::new(MirrorRecorder::new(
+            SessionId::new(session.clone()),
+            self.host.transport(TransportConfig::free()),
+            ids.clone(),
+        ));
+        let executor = Executor::new(
+            Arc::clone(&recorder) as Arc<dyn ProvenanceRecorder>,
+            ids,
+            ExecutorConfig {
+                workers: 1,
+                failure_policy,
+                retry: RetryPolicy::retries(2, Duration::ZERO, Duration::ZERO),
+                record_extra_actor_state: false,
+                register_group: false,
+            },
+        )
+        .with_actor(ActorId::new("sim-dag-executor"));
+        let run = executor.run(&dag, BTreeMap::new());
+
+        // Whatever the tier durably holds — acked, or preserved for redelivery after a
+        // crash-point send failure — the golden model must also hold.
+        let sent = recorder.sent();
+        self.golden_record(&sent)?;
+        self.dag_sessions.push((session.clone(), dag_name.clone()));
+        let failures = recorder.failures();
+        if !failures.is_empty() {
+            if !self.absorb_crash_point() {
+                return Err(Violation::new(
+                    "availability",
+                    format!(
+                        "dag {dag_name} recording failed without an injected cause: {}",
+                        failures[0]
+                    ),
+                ));
+            }
+            self.trace.push(format!(
+                "      dag {dag_name} hit the crash point ({} failed sends preserved)",
+                failures.len()
+            ));
+        }
+
+        let report = match run {
+            Ok(report) => report,
+            Err(error) => {
+                // `run` only errors on run-level recording failures; those must be explained
+                // by the crash point absorbed above.
+                if failures.is_empty() {
+                    return Err(Violation::new(
+                        "availability",
+                        format!("dag {dag_name} aborted without an injected cause: {error}"),
+                    ));
+                }
+                self.trace
+                    .push(format!("      dag {dag_name} aborted at the crash point"));
+                return Ok(());
+            }
+        };
+        self.register_group_with_retry(executor.session_group(), &dag_name)?;
+
+        if failures.is_empty() {
+            self.with_crash_retry("dag flush", |w| {
+                w.cluster.flush().map_err(|e| e.to_string())
+            })?;
+            let answer = {
+                let sid = SessionId::new(session.clone());
+                self.with_crash_retry("dag session query", move |w| {
+                    w.cluster
+                        .assertions_for_session(&sid)
+                        .map_err(|e| e.to_string())
+                })?
+            };
+            let from_provenance = ExecutedDag::from_assertions(&dag_name, &answer);
+            let from_report = ExecutedDag::from_report(&dag, &report);
+            if from_provenance != from_report {
+                return Err(Violation::new(
+                    "dag-reconstruction",
+                    format!(
+                        "dag {dag_name} reconstructed from provenance diverges from the \
+                         executor's report: provenance {}, report {}",
+                        serde_json::to_string(&from_provenance).expect("executed dag serializes"),
+                        serde_json::to_string(&from_report).expect("executed dag serializes"),
+                    ),
+                ));
+            }
+        }
+        self.trace.push(format!(
+            "      dag {dag_name} ran ({}, shape {}): {} completed, {} failed, {} skipped, \
+             {} attempts",
+            failure_policy.label(),
+            shape % 4,
+            report.count(pasoa_dag::TaskState::Completed),
+            report.count(pasoa_dag::TaskState::Failed),
+            report.count(pasoa_dag::TaskState::Skipped),
+            report.total_attempts(),
+        ));
+        Ok(())
     }
 
     fn execute_record(
@@ -451,6 +767,13 @@ impl SimWorld {
 
     fn execute_register_group(&mut self, client: usize, session: usize) -> Result<(), Violation> {
         let group = Group::new(self.session_name(client, session), GroupKind::Session);
+        let what = format!("c{client}s{session}");
+        self.register_group_with_retry(group, &what)
+    }
+
+    /// Register a group over the wire with crash-point-aware retries, mirroring it into the
+    /// golden store on success.
+    fn register_group_with_retry(&mut self, group: Group, what: &str) -> Result<(), Violation> {
         for _ in 0..3 {
             let message = PrepMessage::RegisterGroup(group.clone());
             let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
@@ -475,9 +798,7 @@ impl SimWorld {
                     }
                     return Err(Violation::new(
                         "availability",
-                        format!(
-                            "register-group c{client}s{session} failed without an injected cause: {error}"
-                        ),
+                        format!("register-group {what} failed without an injected cause: {error}"),
                     ));
                 }
             }
@@ -553,6 +874,12 @@ impl SimWorld {
     /// the golden store's, and its assertions live on exactly one live shard each.
     fn check_session(&mut self, client: usize, session: usize) -> Result<(), Violation> {
         let sid = SessionId::new(self.session_name(client, session));
+        self.check_named_session(&sid)
+    }
+
+    /// [`check_session`](Self::check_session) by session id, shared with DAG run sessions.
+    fn check_named_session(&mut self, sid: &SessionId) -> Result<(), Violation> {
+        let sid = sid.clone();
         let got = {
             let sid = sid.clone();
             self.with_crash_retry("session query", move |w| {
@@ -772,6 +1099,12 @@ impl SimWorld {
     /// cause referenced by a relationship is present as a node or a known root.
     fn check_lineage(&mut self, client: usize, session: usize) -> Result<(), Violation> {
         let sid = SessionId::new(self.session_name(client, session));
+        self.check_named_lineage(&sid)
+    }
+
+    /// [`check_lineage`](Self::check_lineage) by session id, shared with DAG run sessions.
+    fn check_named_lineage(&mut self, sid: &SessionId) -> Result<(), Violation> {
+        let sid = sid.clone();
         let got = {
             let sid = sid.clone();
             self.with_crash_retry("lineage query", move |w| {
@@ -915,9 +1248,9 @@ impl SimWorld {
         self.with_crash_retry("final flush", |w| {
             w.cluster.flush().map_err(|e| e.to_string())
         })?;
-        for (client, session) in self.every_session() {
-            self.check_session(client, session)?;
-            self.check_lineage(client, session)?;
+        for sid in self.all_session_ids() {
+            self.check_named_session(&sid)?;
+            self.check_named_lineage(&sid)?;
         }
         self.check_statistics()?;
         self.check_interactions()?;
@@ -1073,8 +1406,7 @@ impl SimWorld {
             }
             let recovered = ProvenanceStore::open(Arc::new(backend))
                 .map_err(|e| Violation::new("recovery", e.to_string()))?;
-            for (client, session) in self.every_session() {
-                let sid = SessionId::new(self.session_name(client, session));
+            for sid in self.all_session_ids() {
                 let salvaged = recovered
                     .assertions_for_session(&sid)
                     .map_err(|e| Violation::new("recovery", e.to_string()))?;
@@ -1114,8 +1446,7 @@ impl SimWorld {
     /// Lines summarizing the final observable state, hashed into the run fingerprint.
     pub(crate) fn digest(&self) -> Vec<String> {
         let mut lines = Vec::new();
-        for (client, session) in self.every_session() {
-            let sid = SessionId::new(self.session_name(client, session));
+        for sid in self.all_session_ids() {
             let answer = self
                 .cluster
                 .assertions_for_session(&sid)
@@ -1128,6 +1459,18 @@ impl SimWorld {
                 .map(|g| serde_json::to_string(&g).expect("lineage serializes"))
                 .unwrap_or_else(|e| format!("error: {e}"));
             lines.push(format!("lineage {}: {lineage}", sid.as_str()));
+        }
+        for (session, dag_name) in &self.dag_sessions {
+            let sid = SessionId::new(session.clone());
+            let executed = self
+                .cluster
+                .assertions_for_session(&sid)
+                .map(|a| {
+                    serde_json::to_string(&ExecutedDag::from_assertions(dag_name, &a))
+                        .expect("executed dag serializes")
+                })
+                .unwrap_or_else(|e| format!("error: {e}"));
+            lines.push(format!("dag {dag_name}: {executed}"));
         }
         lines.push(format!(
             "statistics: {:?}",

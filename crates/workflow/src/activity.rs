@@ -1,172 +1,7 @@
 //! Activities: the services composed by a workflow.
 //!
-//! An activity is an actor in the paper's sense: it "takes some inputs and returns some
-//! outputs". Activities receive an [`ActivityContext`] giving them access to the identifier
-//! generator and to descriptive information they may wish to document as actor-state
-//! p-assertions (the engine records the standard set on their behalf).
+//! The `Activity` trait family moved to `pasoa-dag` when DAG execution became its own
+//! subsystem; this module re-exports it so existing `pasoa_workflow::activity` paths keep
+//! working unchanged.
 
-use std::sync::Arc;
-
-use pasoa_core::ids::IdGenerator;
-
-use crate::data::DataItem;
-
-/// Error raised by an activity.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ActivityError {
-    /// Which activity failed.
-    pub activity: String,
-    /// Why.
-    pub reason: String,
-}
-
-impl ActivityError {
-    /// Create an error.
-    pub fn new(activity: impl Into<String>, reason: impl Into<String>) -> Self {
-        ActivityError {
-            activity: activity.into(),
-            reason: reason.into(),
-        }
-    }
-}
-
-impl std::fmt::Display for ActivityError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "activity {} failed: {}", self.activity, self.reason)
-    }
-}
-
-impl std::error::Error for ActivityError {}
-
-/// Invocation context handed to every activity.
-#[derive(Clone)]
-pub struct ActivityContext {
-    /// Identifier generator shared by the whole run (fresh data ids come from here).
-    pub ids: IdGenerator,
-    /// Index of this invocation among the node's invocations (0 except for partitioned fan-out
-    /// nodes, where it is the permutation number).
-    pub invocation: usize,
-}
-
-impl ActivityContext {
-    /// Create a context.
-    pub fn new(ids: IdGenerator, invocation: usize) -> Self {
-        ActivityContext { ids, invocation }
-    }
-}
-
-/// A workflow step.
-pub trait Activity: Send + Sync {
-    /// The activity's (service) name, used as its actor identity in provenance.
-    fn name(&self) -> &str;
-
-    /// The script or command-line this activity stands for. Recorded as a `script` actor-state
-    /// p-assertion so use case 1 can compare configurations across runs.
-    fn script(&self) -> String;
-
-    /// Execute the activity.
-    fn invoke(
-        &self,
-        inputs: &[DataItem],
-        ctx: &ActivityContext,
-    ) -> Result<Vec<DataItem>, ActivityError>;
-
-    /// Semantic types this activity expects for its inputs, in input order (used by the
-    /// registry population helpers). Empty when unspecified.
-    fn input_types(&self) -> Vec<String> {
-        Vec::new()
-    }
-
-    /// Semantic types this activity claims for its outputs, in output order.
-    fn output_types(&self) -> Vec<String> {
-        Vec::new()
-    }
-}
-
-/// An activity built from a closure — convenient for tests and small glue steps.
-pub struct FnActivity {
-    name: String,
-    script: String,
-    #[allow(clippy::type_complexity)]
-    body: Arc<
-        dyn Fn(&[DataItem], &ActivityContext) -> Result<Vec<DataItem>, ActivityError> + Send + Sync,
-    >,
-}
-
-impl FnActivity {
-    /// Create a closure-backed activity.
-    pub fn new<F>(name: impl Into<String>, script: impl Into<String>, body: F) -> Self
-    where
-        F: Fn(&[DataItem], &ActivityContext) -> Result<Vec<DataItem>, ActivityError>
-            + Send
-            + Sync
-            + 'static,
-    {
-        FnActivity {
-            name: name.into(),
-            script: script.into(),
-            body: Arc::new(body),
-        }
-    }
-}
-
-impl Activity for FnActivity {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn script(&self) -> String {
-        self.script.clone()
-    }
-
-    fn invoke(
-        &self,
-        inputs: &[DataItem],
-        ctx: &ActivityContext,
-    ) -> Result<Vec<DataItem>, ActivityError> {
-        (self.body)(inputs, ctx)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pasoa_core::ids::DataId;
-
-    #[test]
-    fn fn_activity_invokes_its_closure() {
-        let upper = FnActivity::new("uppercase", "tr a-z A-Z", |inputs, ctx| {
-            Ok(inputs
-                .iter()
-                .map(|i| {
-                    DataItem::new(
-                        ctx.ids.data_id(),
-                        format!("{}-upper", i.name),
-                        i.as_text().to_uppercase().into_bytes(),
-                    )
-                })
-                .collect())
-        });
-        assert_eq!(upper.name(), "uppercase");
-        assert_eq!(upper.script(), "tr a-z A-Z");
-        let ctx = ActivityContext::new(IdGenerator::new("test"), 0);
-        let input = DataItem::new(DataId::new("data:in"), "text", b"hello".to_vec());
-        let out = upper.invoke(&[input], &ctx).unwrap();
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].as_text(), "HELLO");
-        assert!(upper.input_types().is_empty());
-        assert!(upper.output_types().is_empty());
-    }
-
-    #[test]
-    fn activity_errors_carry_context() {
-        let failing = FnActivity::new("broken", "false", |_, _| {
-            Err(ActivityError::new("broken", "deliberate failure"))
-        });
-        let ctx = ActivityContext::new(IdGenerator::new("test"), 3);
-        assert_eq!(ctx.invocation, 3);
-        let err = failing.invoke(&[], &ctx).unwrap_err();
-        assert_eq!(err.activity, "broken");
-        assert!(err.to_string().contains("deliberate failure"));
-    }
-}
+pub use pasoa_dag::task::{Activity, ActivityContext, ActivityError, FnActivity};

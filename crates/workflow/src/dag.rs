@@ -41,6 +41,8 @@ pub enum WorkflowError {
     UnknownNode(String),
     /// The graph contains a cycle.
     Cycle,
+    /// A data edge connects activities whose declared semantic types are incompatible.
+    IncompatibleTypes(String),
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -49,11 +51,27 @@ impl std::fmt::Display for WorkflowError {
             WorkflowError::DuplicateNode(n) => write!(f, "duplicate node id: {n}"),
             WorkflowError::UnknownNode(n) => write!(f, "edge refers to unknown node: {n}"),
             WorkflowError::Cycle => write!(f, "workflow contains a cycle"),
+            WorkflowError::IncompatibleTypes(detail) => {
+                write!(f, "incompatible activity types: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for WorkflowError {}
+
+impl From<pasoa_dag::DagError> for WorkflowError {
+    fn from(e: pasoa_dag::DagError) -> Self {
+        match e {
+            pasoa_dag::DagError::DuplicateTask(t) => WorkflowError::DuplicateNode(t),
+            pasoa_dag::DagError::UnknownTask(t) => WorkflowError::UnknownNode(t),
+            pasoa_dag::DagError::Cycle => WorkflowError::Cycle,
+            mismatch @ pasoa_dag::DagError::TypeMismatch { .. } => {
+                WorkflowError::IncompatibleTypes(mismatch.to_string())
+            }
+        }
+    }
+}
 
 /// A workflow definition.
 pub struct Workflow {
@@ -210,6 +228,24 @@ impl Workflow {
         out
     }
 
+    /// Lower this definition into a frozen [`pasoa_dag::Dag`] ready for the parallel
+    /// executor. Every workflow edge becomes a data edge; builder errors map back onto
+    /// [`WorkflowError`].
+    pub fn to_dag(&self) -> Result<pasoa_dag::Dag, WorkflowError> {
+        let mut spec = pasoa_dag::DagSpec::new(self.name.clone());
+        let mut tasks: BTreeMap<&NodeId, pasoa_dag::TaskId> = BTreeMap::new();
+        for (id, activity) in &self.nodes {
+            let task = spec.add_task(id.as_str(), Arc::clone(activity))?;
+            tasks.insert(id, task);
+        }
+        for (consumer, producers) in &self.inputs {
+            for producer in producers {
+                spec.add_data_edge(&tasks[producer], &tasks[consumer])?;
+            }
+        }
+        Ok(spec.build()?)
+    }
+
     /// Breadth-first reachability from `start` following data-flow edges forwards.
     pub fn reachable_from(&self, start: &NodeId) -> BTreeSet<NodeId> {
         let mut consumers: BTreeMap<&NodeId, Vec<&NodeId>> = BTreeMap::new();
@@ -336,6 +372,24 @@ mod tests {
     }
 
     #[test]
+    fn lowering_to_dag_preserves_structure() {
+        let (wf, _a, _b, _c, d) = diamond();
+        let dag = wf.to_dag().unwrap();
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.edges().len(), 4);
+        assert!(dag.edges().iter().all(|(_, _, kind)| kind == "data"));
+        let di = dag.index_of(d.as_str()).unwrap();
+        assert_eq!(dag.data_parents(di).len(), 2);
+
+        let mut cyclic = Workflow::new("cyclic");
+        let a = cyclic.add_node("a", noop("a")).unwrap();
+        let b = cyclic.add_node("b", noop("b")).unwrap();
+        cyclic.add_edge(&a, &b).unwrap();
+        cyclic.add_edge(&b, &a).unwrap();
+        assert_eq!(cyclic.to_dag().unwrap_err(), WorkflowError::Cycle);
+    }
+
+    #[test]
     fn error_display() {
         assert!(WorkflowError::Cycle.to_string().contains("cycle"));
         assert!(WorkflowError::DuplicateNode("x".into())
@@ -344,5 +398,8 @@ mod tests {
         assert!(WorkflowError::UnknownNode("y".into())
             .to_string()
             .contains('y'));
+        assert!(WorkflowError::IncompatibleTypes("p -> c".into())
+            .to_string()
+            .contains("incompatible"));
     }
 }

@@ -1,84 +1,6 @@
 //! Data items flowing along workflow edges.
+//!
+//! [`DataItem`] moved to `pasoa-dag` when DAG execution became its own subsystem; this module
+//! re-exports it so existing `pasoa_workflow::data` paths keep working unchanged.
 
-use serde::{Deserialize, Serialize};
-
-use pasoa_core::ids::DataId;
-
-/// A named, identified piece of data produced or consumed by an activity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DataItem {
-    /// Stable identifier used by relationship p-assertions.
-    pub id: DataId,
-    /// Logical name of the slot this item fills (e.g. "sample", "encoded", "sizes").
-    pub name: String,
-    /// The bytes themselves.
-    pub bytes: Vec<u8>,
-    /// The semantic type claimed by the producer (an ontology term), if any. Carrying the claim
-    /// with the data is what lets the post-hoc semantic validator compare producer claims with
-    /// consumer expectations.
-    pub semantic_type: Option<String>,
-}
-
-impl DataItem {
-    /// Create a data item.
-    pub fn new(id: DataId, name: impl Into<String>, bytes: Vec<u8>) -> Self {
-        DataItem {
-            id,
-            name: name.into(),
-            bytes,
-            semantic_type: None,
-        }
-    }
-
-    /// Builder-style: declare the semantic type of this item.
-    pub fn with_semantic_type(mut self, semantic_type: impl Into<String>) -> Self {
-        self.semantic_type = Some(semantic_type.into());
-        self
-    }
-
-    /// Size of the payload in bytes (what the staging-overhead model charges for).
-    pub fn len(&self) -> usize {
-        self.bytes.len()
-    }
-
-    /// Whether the payload is empty.
-    pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
-    }
-
-    /// Interpret the payload as UTF-8 text (lossy).
-    pub fn as_text(&self) -> String {
-        String::from_utf8_lossy(&self.bytes).into_owned()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn construction_and_accessors() {
-        let item = DataItem::new(DataId::new("data:1"), "sample", b"MKVL".to_vec())
-            .with_semantic_type("bio:ProteinSample");
-        assert_eq!(item.len(), 4);
-        assert!(!item.is_empty());
-        assert_eq!(item.as_text(), "MKVL");
-        assert_eq!(item.semantic_type.as_deref(), Some("bio:ProteinSample"));
-        assert_eq!(item.name, "sample");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let item = DataItem::new(DataId::new("data:2"), "sizes", vec![1, 2, 3]);
-        let json = serde_json::to_string(&item).unwrap();
-        assert_eq!(serde_json::from_str::<DataItem>(&json).unwrap(), item);
-    }
-
-    #[test]
-    fn empty_item() {
-        let item = DataItem::new(DataId::new("data:3"), "empty", Vec::new());
-        assert!(item.is_empty());
-        assert_eq!(item.as_text(), "");
-        assert!(item.semantic_type.is_none());
-    }
-}
+pub use pasoa_dag::data::DataItem;

@@ -1,12 +1,16 @@
 //! The workflow execution engine.
 //!
-//! The engine plays the role VDT/Condor play in the paper: it walks the workflow DAG level by
-//! level, runs independent activities in parallel (rayon), charges the configured grid
-//! overhead per scheduled activity, and — crucially — documents every invocation in the
-//! provenance store through whichever [`ProvenanceRecorder`] it was given.
+//! The engine plays the role VDT/Condor play in the paper: it lowers the workflow definition
+//! onto the `pasoa-dag` parallel executor ([`Workflow::to_dag`]), which schedules independent
+//! activities concurrently on a bounded worker pool, charges the configured grid overhead per
+//! scheduled activity, and — crucially — documents every invocation in the provenance store
+//! through whichever [`ProvenanceRecorder`] it was given. DAG execution additionally records a
+//! `dag-transition` actor-state p-assertion at the start and end of every task, so the executed
+//! graph can be reconstructed bit-exactly from provenance alone.
 //!
-//! Each activity invocation produces the standard set of p-assertions the paper counts
-//! ("each permutation involves the creation of 6 records"):
+//! [`WorkflowEngine::invoke_activity`] remains the direct invocation path for applications with
+//! dynamic fan-out (the permutation sweep); it produces the standard set of p-assertions the
+//! paper counts ("each permutation involves the creation of 6 records"):
 //!
 //! 1. the request interaction, asserted by the engine (sender view),
 //! 2. the request interaction, asserted by the activity (receiver view),
@@ -16,7 +20,7 @@
 //! 6. the response interaction, asserted by the engine (receiver view).
 //!
 //! With [`EngineConfig::record_extra_actor_state`] enabled (the paper's fourth configuration,
-//! "synchronous recording with extra actor provenance"), the engine additionally records the
+//! "synchronous recording with extra actor provenance"), both paths additionally record the
 //! activity's configuration and resource usage.
 
 use std::collections::BTreeMap;
@@ -24,7 +28,6 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use rayon::prelude::*;
 
 use pasoa_core::group::{Group, GroupKind};
 use pasoa_core::ids::{ActorId, DataId, IdGenerator};
@@ -146,69 +149,69 @@ impl WorkflowEngine {
         &self.recorder
     }
 
-    /// Execute `workflow`. `initial_inputs` provides the inputs of source nodes (nodes with no
-    /// producers); all other nodes receive the concatenated outputs of their producers.
+    /// Execute `workflow` by lowering it onto the `pasoa-dag` parallel executor.
+    /// `initial_inputs` provides the inputs of source nodes (nodes with no producers); all
+    /// other nodes receive the concatenated outputs of their producers. The executor records
+    /// the run's provenance (including the session group) through this engine's recorder.
     pub fn execute(
         &self,
         workflow: &Workflow,
         initial_inputs: BTreeMap<NodeId, Vec<DataItem>>,
     ) -> Result<ExecutionReport, EngineError> {
         let start = Instant::now();
-        let levels = workflow.levels()?;
+        let dag = workflow.to_dag()?;
 
-        // Document the workflow definition itself for the session.
-        let workflow_interaction = self.ids.interaction_key();
-        self.recorder
-            .record(PAssertion::ActorState(ActorStatePAssertion {
-                interaction_key: workflow_interaction.clone(),
-                asserter: self.engine_actor.clone(),
-                view: ViewKind::Sender,
-                kind: ActorStateKind::Workflow,
-                content: PAssertionContent::text(workflow.describe()),
-            }))?;
-        self.session_group.lock().add(workflow_interaction);
+        let overhead = self.config.overhead.clone();
+        let executor = pasoa_dag::Executor::new(
+            Arc::clone(&self.recorder),
+            self.ids.clone(),
+            pasoa_dag::ExecutorConfig {
+                workers: dag.max_level_width().max(1),
+                failure_policy: pasoa_dag::FailurePolicy::FailFast,
+                retry: pasoa_dag::RetryPolicy::none(),
+                record_extra_actor_state: self.config.record_extra_actor_state,
+                register_group: true,
+            },
+        )
+        .with_actor(self.engine_actor.clone())
+        .with_stage_charge(Arc::new(move |bytes| overhead.charge(bytes)));
 
-        let outputs: Mutex<BTreeMap<String, Vec<DataItem>>> = Mutex::new(BTreeMap::new());
-        let invocations = Mutex::new(0usize);
-
-        for level in levels {
-            let results: Vec<Result<(NodeId, Vec<DataItem>), EngineError>> = level
-                .par_iter()
-                .map(|node| {
-                    let activity = workflow
-                        .activity(node)
-                        .expect("levels only contain nodes of this workflow");
-                    // Assemble inputs: initial inputs first, then producer outputs in edge order.
-                    let mut inputs: Vec<DataItem> =
-                        initial_inputs.get(node).cloned().unwrap_or_default();
-                    {
-                        let outputs = outputs.lock();
-                        for producer in workflow.producers(node) {
-                            if let Some(produced) = outputs.get(producer.as_str()) {
-                                inputs.extend(produced.iter().cloned());
-                            }
-                        }
-                    }
-                    let produced = self.invoke_activity(activity.as_ref(), &inputs, 0)?;
-                    Ok((node.clone(), produced))
-                })
-                .collect();
-            for result in results {
-                let (node, produced) = result?;
-                outputs.lock().insert(node.as_str().to_string(), produced);
-                *invocations.lock() += 1;
+        let inputs: BTreeMap<String, Vec<DataItem>> = initial_inputs
+            .into_iter()
+            .map(|(node, items)| (node.0, items))
+            .collect();
+        let report = executor.run(&dag, inputs).map_err(|e| match e {
+            pasoa_dag::DagRunError::UnknownTask(t) => {
+                EngineError::Workflow(WorkflowError::UnknownNode(t))
             }
+            pasoa_dag::DagRunError::Recording(e) => EngineError::Recording(e),
+        })?;
+
+        // Preserve the legacy fail-fast contract: a failed task surfaces as an activity error.
+        if let Some(failed) = report.first_failure() {
+            let activity = workflow
+                .activity(&NodeId::new(failed.task.clone()))
+                .map(|a| a.name().to_string())
+                .unwrap_or_else(|| failed.task.clone());
+            let raw = failed
+                .error
+                .clone()
+                .unwrap_or_else(|| "task failed".to_string());
+            let reason = raw
+                .strip_prefix(&format!("activity {activity} failed: "))
+                .map(str::to_string)
+                .unwrap_or(raw);
+            return Err(EngineError::Activity(ActivityError::new(activity, reason)));
         }
 
-        // Register the session group now that every interaction key is known.
-        self.recorder
-            .register_group(self.session_group.lock().clone())?;
-
-        let invocations = invocations.into_inner();
-        let outputs = outputs.into_inner();
+        let outputs: BTreeMap<String, Vec<DataItem>> = report
+            .outcomes
+            .iter()
+            .map(|(task, outcome)| (task.clone(), outcome.outputs.clone()))
+            .collect();
         Ok(ExecutionReport {
             workflow: workflow.name.clone(),
-            invocations,
+            invocations: report.count(pasoa_dag::TaskState::Completed),
             passertions_recorded: self.recorder.stats().assertions_recorded,
             wall_time: start.elapsed(),
             outputs,
@@ -507,11 +510,11 @@ mod tests {
             ids.clone(),
         ));
         let engine = WorkflowEngine::new(recorder, ids.clone(), EngineConfig::default());
-        // Each invocation produces 1 output → 6 p-assertions; 3 invocations plus the workflow
-        // description assertion = 19.
+        // Direct invocation records the paper's 6 per activity; DAG execution adds the two
+        // dag-transition events per task (8), plus the run-level workflow assertion = 25.
         assert_eq!(engine.passertions_per_invocation(1), 6);
         let report = engine.execute(&wf, initial_inputs(&a, &b, &ids)).unwrap();
-        assert_eq!(report.passertions_recorded, 3 * 6 + 1);
+        assert_eq!(report.passertions_recorded, 3 * 8 + 1);
         assert_eq!(
             store.assertions.load(std::sync::atomic::Ordering::SeqCst) as u64,
             report.passertions_recorded
@@ -540,7 +543,7 @@ mod tests {
         );
         assert_eq!(engine.passertions_per_invocation(1), 8);
         let report = engine.execute(&wf, initial_inputs(&a, &b, &ids)).unwrap();
-        assert_eq!(report.passertions_recorded, 3 * 8 + 1);
+        assert_eq!(report.passertions_recorded, 3 * 10 + 1);
     }
 
     #[test]
@@ -568,7 +571,7 @@ mod tests {
         recorder.flush().unwrap();
         assert_eq!(
             store.assertions.load(std::sync::atomic::Ordering::SeqCst),
-            19
+            25
         );
     }
 

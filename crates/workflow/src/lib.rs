@@ -6,17 +6,18 @@
 //! order to offset the overhead of grid scheduling and file transfer". This crate is the
 //! from-scratch substitute for that substrate:
 //!
-//! * [`data`] — the data items that flow along workflow edges;
+//! * [`data`] — the data items that flow along workflow edges (re-exported from `pasoa-dag`);
 //! * [`activity`] — the [`activity::Activity`] trait every workflow step implements, plus the
-//!   invocation context through which activities see the provenance recorder;
+//!   invocation context through which activities see the provenance recorder (re-exported
+//!   from `pasoa-dag`);
 //! * [`dag`] — workflow definitions: named nodes, data-flow edges, cycle detection and
-//!   topological ordering;
+//!   topological ordering, plus the lowering onto `pasoa-dag` ([`dag::Workflow::to_dag`]);
 //! * [`scheduler`] — the grid-overhead model (scheduling delay + data staging) and the
 //!   granularity partitioner that groups fine-grained tasks into coarser jobs;
-//! * [`engine`] — the execution engine: runs the DAG level by level (independent nodes in
-//!   parallel through rayon), invokes each activity as an actor, and records interaction,
-//!   actor-state and relationship p-assertions for every invocation through whichever
-//!   [`pasoa_core::ProvenanceRecorder`] is configured.
+//! * [`engine`] — the execution engine: lowers the workflow onto the `pasoa-dag` parallel
+//!   executor (independent nodes run concurrently on a bounded thread pool), invokes each
+//!   activity as an actor, and records interaction, actor-state and relationship p-assertions
+//!   for every invocation through whichever [`pasoa_core::ProvenanceRecorder`] is configured.
 //!
 //! The engine is deliberately unaware of *how* provenance is delivered (none / asynchronous /
 //! synchronous): that is the recorder's concern, which is exactly the separation the paper's

@@ -12,7 +12,9 @@
 //! * [`kvdb`] — the embedded key-value store backing the database backend;
 //! * [`compress`] — gzip-, bzip2- and ppm-class codecs;
 //! * [`bioseq`] — sequences, group codings, shuffling and synthetic data;
-//! * [`workflow`] — the DAG workflow engine with provenance hooks;
+//! * [`dag`] — the parallel DAG executor: typed task graphs, bounded worker pool, retry and
+//!   skip policies, every state transition recorded as p-assertions;
+//! * [`workflow`] — the workflow definition layer, lowered onto [`dag`] for execution;
 //! * [`experiment`] — the protein compressibility experiment and the Figure 4 harness;
 //! * [`usecases`] — execution comparison, semantic validation and the Figure 5 harness.
 //!
@@ -23,6 +25,7 @@ pub use pasoa_bioseq as bioseq;
 pub use pasoa_cluster as cluster;
 pub use pasoa_compress as compress;
 pub use pasoa_core as model;
+pub use pasoa_dag as dag;
 pub use pasoa_experiment as experiment;
 pub use pasoa_kvdb as kvdb;
 pub use pasoa_net as net;
@@ -45,5 +48,6 @@ mod tests {
         let _ = crate::wire::LatencyModel::zero();
         let _ = crate::net::DEFAULT_MAX_FRAME_BYTES;
         let _ = crate::experiment::RunRecording::ALL;
+        let _ = crate::dag::FailurePolicy::FailFast;
     }
 }
