@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use pasoa_bench::cluster_setup::{load_config, CLIENTS};
-use pasoa_bench::net_setup::{in_process_host, tcp_host};
+use pasoa_bench::net_setup::{in_process_host, tcp_host, tcp_load_config};
 use pasoa_cluster::LoadGenerator;
 
 fn bench_net_throughput(c: &mut Criterion) {
@@ -29,7 +29,7 @@ fn bench_net_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("tcp_loopback", shards), |b| {
             b.iter_batched(
                 || tcp_host(shards),
-                |(host, _cluster)| LoadGenerator::new(host, load_config(16)).run(),
+                |(host, _cluster)| LoadGenerator::new(host, tcp_load_config(16)).run(),
                 BatchSize::SmallInput,
             )
         });
@@ -40,7 +40,7 @@ fn bench_net_throughput(c: &mut Criterion) {
     for shards in [1usize, 4] {
         let in_process = LoadGenerator::new(in_process_host(shards), load_config(16)).run();
         let (host, _cluster) = tcp_host(shards);
-        let tcp = LoadGenerator::new(host, load_config(16)).run();
+        let tcp = LoadGenerator::new(host, tcp_load_config(16)).run();
         println!(
             "[E8] {shards}-shard in-process ({CLIENTS} clients): {:>9.0} assertions/s  (p99 {:?})",
             in_process.throughput_per_sec, in_process.latency_p99

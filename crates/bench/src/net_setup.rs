@@ -8,7 +8,7 @@
 //! Memory backends on purpose: the comparison isolates the *transport* cost (framing, socket
 //! hops, connection pooling) from storage, which `cluster_setup` already covers.
 
-use pasoa_cluster::PreservCluster;
+use pasoa_cluster::{LoadGenConfig, PreservCluster};
 use pasoa_wire::ServiceHost;
 
 /// An in-process memory cluster of `shards` shards behind the well-known store name.
@@ -25,4 +25,15 @@ pub fn tcp_host(shards: usize) -> (ServiceHost, std::sync::Arc<PreservCluster>) 
     let host = ServiceHost::new();
     let cluster = PreservCluster::deploy_tcp(&host, shards).unwrap();
     (host, cluster)
+}
+
+/// The standard workload against a [`tcp_host`]: identical to
+/// [`crate::cluster_setup::load_config`] except the caller dispatches through a passthrough
+/// transport — the socket frames already serialize every envelope, so the textual wire
+/// simulation would tax the TCP deployment with a second, redundant codec per call.
+pub fn tcp_load_config(batch_size: usize) -> LoadGenConfig {
+    LoadGenConfig {
+        real_wire: true,
+        ..crate::cluster_setup::load_config(batch_size)
+    }
 }

@@ -245,6 +245,11 @@ impl PreservCluster {
                     // serializes the message and the fabric proxy ships it over the socket.
                     ClusterTransport::Tcp => InternalHop::Wire,
                 },
+                // The socket framing already serializes (and accounts) every envelope, so
+                // the wire hop skips the in-process textual simulation instead of paying
+                // the codec twice per message.
+                real_wire: matches!(config.transport, ClusterTransport::Tcp),
+                ..RouterConfig::default()
             },
         ));
         router.register(&fabric, &config.service_name);

@@ -35,6 +35,7 @@ pub mod ids;
 pub mod journal;
 pub mod passertion;
 pub mod prep;
+pub mod prepwire;
 pub mod recorder;
 
 pub use group::{Group, GroupKind};

@@ -27,9 +27,21 @@
 //! then failed to write the response), and replaying a `Record` there would commit it twice.
 //! Instead the pool evicts connections idle longer than
 //! [`NetClientConfig::pool_idle_timeout`] (kept well under the server's read timeout), so a
-//! server-side idle close is almost never encountered mid-call in the first place. Timeouts
-//! are never retried either; all non-retried transport failures surface as
-//! [`WireError::ServiceDown`] for the failover tier to handle.
+//! server-side idle close is almost never encountered mid-call in the first place — and the
+//! first stale-connection detection clears the whole pool, since after a server restart its
+//! siblings are just as dead. Timeouts are never retried either; all non-retried transport
+//! failures surface as [`WireError::ServiceDown`] for the failover tier to handle.
+//!
+//! # Wire-version negotiation and batching
+//!
+//! The first request on a fresh connection goes out as a textual (version 1) frame carrying
+//! a [`proto::WIRE_VERSION_HEADER`] advertisement; the server's response *frame* arrives in
+//! the highest version both sides speak and settles the connection's version for its
+//! lifetime. Against a binary-capable (version 2) peer, [`NetClient::call_many`] sends a
+//! whole request batch as one multi-envelope frame — a batched record flush crosses the
+//! socket in a single write — and serialization runs through pooled scratch buffers, so
+//! steady-state calls stop allocating per exchange. Old textual peers keep working
+//! untouched: they ignore the advertisement header and answer textually.
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,7 +52,7 @@ use parking_lot::Mutex;
 
 use pasoa_wire::{Envelope, FaultInjector, MessageHandler, ServiceHost, WireError, WireResult};
 
-use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION, VERSION_BINARY};
 use crate::proto;
 
 /// Client configuration.
@@ -56,11 +68,22 @@ pub struct NetClientConfig {
     pub write_timeout: Option<Duration>,
     /// Idle connections kept for reuse; extras are closed on check-in.
     pub pool_capacity: usize,
-    /// Pooled connections idle longer than this are discarded at checkout instead of
-    /// reused. Kept well below the server's read timeout (30 s default), so the client
-    /// practically never sends a request down a connection the server has already closed —
-    /// the situation whose failure modes are ambiguous to retry.
+    /// Pooled connections idle longer than this are discarded instead of reused (pruned
+    /// eagerly on check-in and again at checkout). Kept well below the server's read
+    /// timeout (30 s default), so the client practically never sends a request down a
+    /// connection the server has already closed — the situation whose failure modes are
+    /// ambiguous to retry.
     pub pool_idle_timeout: Duration,
+    /// Highest frame version to advertise and accept. Defaults to the binary version; set
+    /// to [`frame::VERSION_TEXT`] to emulate an old textual-only peer (the negotiation then
+    /// settles on textual frames in both directions).
+    pub max_wire_version: u8,
+    /// Coalesce concurrent single calls into shared multi-envelope frames: while one
+    /// caller's exchange is in flight, other callers' requests queue, and the next exchange
+    /// ships the whole queue as ONE frame (one write, one read, one response frame) instead
+    /// of one socket round trip per caller. Sequential callers are unaffected — an empty
+    /// queue degrades to the plain single-call path.
+    pub coalesce: bool,
 }
 
 impl Default for NetClientConfig {
@@ -72,6 +95,8 @@ impl Default for NetClientConfig {
             write_timeout: Some(Duration::from_secs(10)),
             pool_capacity: 8,
             pool_idle_timeout: Duration::from_secs(10),
+            max_wire_version: MAX_VERSION,
+            coalesce: false,
         }
     }
 }
@@ -94,6 +119,12 @@ pub struct NetClientStats {
     pub bytes_sent: u64,
     /// Frame bytes received.
     pub bytes_received: u64,
+    /// Pooled connections dropped without being reused: idle-expired prunes (at check-in
+    /// and checkout) plus pool clears after a stale-connection detection.
+    pub pool_evictions: u64,
+    /// Calls that shared a coalesced multi-envelope frame with at least one concurrent
+    /// caller (counted per call, so one shared frame of N requests adds N).
+    pub coalesced_calls: u64,
 }
 
 #[derive(Default)]
@@ -105,6 +136,8 @@ struct Counters {
     protocol_failures: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    pool_evictions: AtomicU64,
+    coalesced_calls: AtomicU64,
 }
 
 /// Which phase of a call failed — decides whether a retry is safe.
@@ -115,13 +148,73 @@ enum Phase {
     Read,
 }
 
+/// A live connection with its negotiated frame version. Fresh connections start
+/// un-negotiated (textual frames plus a version advertisement); the first response frame's
+/// version settles the connection's version for its lifetime.
+struct Conn {
+    stream: TcpStream,
+    version: u8,
+    negotiated: bool,
+}
+
+/// A pooled idle connection: negotiated version plus the check-in instant (for idle
+/// eviction).
+struct PooledConn {
+    stream: TcpStream,
+    version: u8,
+    idle_since: Instant,
+}
+
+/// One caller's place in a coalesced exchange: its request rides the leader's frame, and the
+/// result comes back through the slot.
+struct PendingCall {
+    request: Envelope,
+    slot: Arc<CallSlot>,
+}
+
+/// Where a coalesced caller parks until the leader fills in its result. Built on
+/// `std::sync` directly because the condvar must pair with the mutex it waits on.
+#[derive(Default)]
+struct CallSlot {
+    result: std::sync::Mutex<Option<WireResult<Envelope>>>,
+    ready: std::sync::Condvar,
+}
+
+impl CallSlot {
+    fn fill(&self, result: WireResult<Envelope>) {
+        *self.result.lock().expect("call slot poisoned") = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> WireResult<Envelope> {
+        let mut guard = self.result.lock().expect("call slot poisoned");
+        while guard.is_none() {
+            guard = self.ready.wait(guard).expect("call slot poisoned");
+        }
+        guard
+            .take()
+            .expect("loop exits only once the result is set")
+    }
+}
+
+/// Cross-caller coalescing state: requests queued while another caller's exchange is in
+/// flight, plus whether a leader is currently draining the queue.
+#[derive(Default)]
+struct CoalesceState {
+    queue: Vec<PendingCall>,
+    leader_active: bool,
+}
+
 /// A pooled client towards one remote service.
 pub struct NetClient {
     addr: SocketAddr,
     service: String,
     config: NetClientConfig,
-    /// Idle connections with the instant they were checked in (for idle eviction).
-    pool: Mutex<Vec<(TcpStream, Instant)>>,
+    pool: Mutex<Vec<PooledConn>>,
+    /// Reusable serialization buffers (frame encode + response payload), so steady-state
+    /// calls stop allocating per exchange.
+    buffers: Mutex<Vec<Vec<u8>>>,
+    coalescer: Mutex<CoalesceState>,
     counters: Counters,
     on_down: Option<FaultInjector>,
 }
@@ -135,6 +228,8 @@ impl NetClient {
             service: service.into(),
             config,
             pool: Mutex::new(Vec::new()),
+            buffers: Mutex::new(Vec::new()),
+            coalescer: Mutex::new(CoalesceState::default()),
             counters: Counters::default(),
             on_down: None,
         }
@@ -168,6 +263,8 @@ impl NetClient {
             protocol_failures: self.counters.protocol_failures.load(Ordering::Relaxed),
             bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
+            pool_evictions: self.counters.pool_evictions.load(Ordering::Relaxed),
+            coalesced_calls: self.counters.coalesced_calls.load(Ordering::Relaxed),
         }
     }
 
@@ -178,50 +275,264 @@ impl NetClient {
     /// or corruption problem is NOT evidence the host is dead, so it never feeds the fault
     /// injector or triggers a failover.
     pub fn call(&self, request: &Envelope) -> WireResult<Envelope> {
-        let frame = frame::encode_frame(request);
-        if frame.len() > self.config.max_frame_bytes + frame::HEADER_LEN {
-            // Refuse loudly before sending: the server would reject it anyway, and the
-            // caller should hear "your message is too large", not "the host died".
-            self.counters
-                .protocol_failures
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(WireError::Payload(format!(
-                "tcp transport: request frame of {} bytes exceeds the {}-byte ceiling; \
-                 fetch/ship it in bounded pieces instead",
-                frame.len() - frame::HEADER_LEN,
-                self.config.max_frame_bytes
-            )));
+        if !self.config.coalesce {
+            return self.call_single(request);
         }
+        self.call_coalesced(request.clone())
+    }
 
-        let (stream, reused) = match self.checkout() {
-            Some(stream) => (stream, true),
-            None => (self.connect()?, false),
+    /// One plain request/response exchange, no coalescing.
+    fn call_single(&self, request: &Envelope) -> WireResult<Envelope> {
+        let mut scratch = self.take_buffer();
+        let mut payload_buf = self.take_buffer();
+        let result = self.call_buffered(request, &mut scratch, &mut payload_buf);
+        self.put_buffer(scratch);
+        self.put_buffer(payload_buf);
+        result
+    }
+
+    /// [`Self::call`] through the cross-caller coalescer: enqueue the request; if another
+    /// caller's exchange is in flight, park until that leader ships the queue — this
+    /// request included — as one multi-envelope frame. Otherwise become the leader and
+    /// drain the queue (starting with this request, possibly joined by callers that arrive
+    /// during the exchange) until it is empty.
+    fn call_coalesced(&self, request: Envelope) -> WireResult<Envelope> {
+        let slot = Arc::new(CallSlot::default());
+        let lead = {
+            let mut state = self.coalescer.lock();
+            state.queue.push(PendingCall {
+                request,
+                slot: Arc::clone(&slot),
+            });
+            if state.leader_active {
+                false
+            } else {
+                state.leader_active = true;
+                true
+            }
         };
-        let outcome = self.call_on(stream, &frame);
-        let (phase, error) = match outcome {
-            Ok((response, stream)) => return self.finish(response, stream),
+        if !lead {
+            return slot.wait();
+        }
+        loop {
+            let batch = {
+                let mut state = self.coalescer.lock();
+                if state.queue.is_empty() {
+                    // Checked under the same lock callers enqueue under, so nobody can
+                    // slip into the queue after this leader steps down without becoming
+                    // (or finding) a leader themselves.
+                    state.leader_active = false;
+                    break;
+                }
+                std::mem::take(&mut state.queue)
+            };
+            if batch.len() == 1 {
+                let PendingCall { request, slot } = batch.into_iter().next().expect("one call");
+                slot.fill(self.call_single(&request));
+                continue;
+            }
+            self.counters
+                .coalesced_calls
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            let (requests, slots): (Vec<_>, Vec<_>) = batch
+                .into_iter()
+                .map(|pending| (pending.request, pending.slot))
+                .unzip();
+            let results = self.call_many(&requests);
+            for (slot, result) in slots.iter().zip(results) {
+                slot.fill(result);
+            }
+        }
+        // The leader's own request was in the first batch it drained, so this never blocks.
+        slot.wait()
+    }
+
+    /// Send `requests` and collect one result per request, in order. On a connection
+    /// already negotiated to the binary version the whole remainder crosses the socket as
+    /// ONE multi-envelope frame — so a batched record flush pays a single round trip
+    /// instead of one per envelope — while textual peers transparently fall back to
+    /// per-request calls. Write-atomicity is preserved: a batch is a single frame, so the
+    /// single-call retry discipline (retry only write-phase failures of a reused
+    /// connection) applies to the batch as a whole.
+    pub fn call_many(&self, requests: &[Envelope]) -> Vec<WireResult<Envelope>> {
+        let mut results = Vec::with_capacity(requests.len());
+        if requests.is_empty() {
+            return results;
+        }
+        let mut scratch = self.take_buffer();
+        let mut payload_buf = self.take_buffer();
+        while results.len() < requests.len() {
+            let remaining = &requests[results.len()..];
+            // Batching needs a connection already negotiated to the binary version.
+            // Without one, a single (negotiating) call either mints one — pooled for the
+            // next loop iteration to batch over — or proves the peer is textual, in which
+            // case every request goes out individually.
+            let Some(conn) = self.checkout_binary() else {
+                let result = self.call_buffered(&remaining[0], &mut scratch, &mut payload_buf);
+                results.push(result);
+                continue;
+            };
+            let encoded = frame::encode_frame_into(&mut scratch, remaining, conn.version);
+            let fits = matches!(
+                encoded,
+                Ok(total) if total <= self.config.max_frame_bytes + frame::HEADER_LEN
+            );
+            if !fits {
+                // A batch too large for one frame degrades to one-at-a-time calls (each
+                // individually size-checked) instead of failing outright.
+                self.checkin(conn);
+                let result = self.call_buffered(&remaining[0], &mut scratch, &mut payload_buf);
+                results.push(result);
+                continue;
+            }
+            match self.exchange(conn, &scratch, &mut payload_buf) {
+                Ok((responses, conn)) => {
+                    if responses.len() != remaining.len() {
+                        // Wrong arity is a server-side protocol bug, not a dead host: the
+                        // in-flight remainder fails as per-call errors, and the connection
+                        // is dropped rather than trusted again.
+                        self.counters
+                            .protocol_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        let error = WireError::Payload(format!(
+                            "tcp transport: batched {} requests but received {} responses",
+                            remaining.len(),
+                            responses.len()
+                        ));
+                        results.extend(remaining.iter().map(|_| Err(error.clone())));
+                        continue;
+                    }
+                    if !responses.iter().any(proto::announces_close) {
+                        self.checkin(conn);
+                    }
+                    results.extend(responses.into_iter().map(|r| self.decode_response(r)));
+                }
+                Err((phase, error)) => {
+                    if retry_is_safe(&phase, &error) {
+                        // The pooled connection went stale without delivering the batch;
+                        // its pool siblings point at the same (likely restarted) server,
+                        // so clear them all and rebuild from a fresh negotiating call on
+                        // the next iteration.
+                        self.clear_pool();
+                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let wire_error = self.fail(error);
+                    results.extend(remaining.iter().map(|_| Err(wire_error.clone())));
+                }
+            }
+        }
+        self.put_buffer(scratch);
+        self.put_buffer(payload_buf);
+        results
+    }
+
+    /// One request through checkout → encode → exchange → retry, serializing through the
+    /// caller's reusable buffers.
+    fn call_buffered(
+        &self,
+        request: &Envelope,
+        scratch: &mut Vec<u8>,
+        payload_buf: &mut Vec<u8>,
+    ) -> WireResult<Envelope> {
+        let (conn, reused) = match self.checkout() {
+            Some(conn) => {
+                // The connection is untouched if encoding fails (an oversized request is a
+                // per-call error) — hand it back before reporting.
+                if let Err(error) = self.encode_single(true, conn.version, request, scratch) {
+                    self.checkin(conn);
+                    return Err(error);
+                }
+                (conn, true)
+            }
+            None => {
+                // Encode before dialing: an oversized request must fail without consuming
+                // a connection (or a server accept).
+                self.encode_single(false, frame::VERSION_TEXT, request, scratch)?;
+                (self.fresh_conn()?, false)
+            }
+        };
+        let (phase, error) = match self.exchange_single(conn, scratch, payload_buf) {
+            Ok((response, conn)) => return self.finish(response, conn),
             Err(failure) => failure,
         };
         if reused && retry_is_safe(&phase, &error) {
-            // The stale pooled connection demonstrably never delivered the request; one
-            // fresh connection gets to try again.
+            // The stale pooled connection demonstrably never delivered the request. Its
+            // pool siblings were opened against the same (likely restarted) server, so
+            // drop them all — otherwise every one of them burns a failed call and a
+            // one-shot retry before the pool heals — and let one fresh connection try.
+            self.clear_pool();
             self.counters.retries.fetch_add(1, Ordering::Relaxed);
-            let stream = self.connect()?;
-            match self.call_on(stream, &frame) {
-                Ok((response, stream)) => return self.finish(response, stream),
+            self.encode_single(false, frame::VERSION_TEXT, request, scratch)?;
+            let conn = self.fresh_conn()?;
+            match self.exchange_single(conn, scratch, payload_buf) {
+                Ok((response, conn)) => return self.finish(response, conn),
                 Err((_, error)) => return Err(self.fail(error)),
             }
         }
         Err(self.fail(error))
     }
 
-    fn finish(&self, response: Envelope, stream: TcpStream) -> WireResult<Envelope> {
+    /// Encode one request into `scratch` as the right frame for the connection's
+    /// negotiation state: a fresh connection sends a textual frame carrying the client's
+    /// version advertisement (so any peer can read it); a negotiated connection uses the
+    /// settled version. Enforces the frame ceiling before anything is sent — the server
+    /// would reject the frame anyway, and the caller should hear "your message is too
+    /// large", not "the host died".
+    fn encode_single(
+        &self,
+        negotiated: bool,
+        version: u8,
+        request: &Envelope,
+        scratch: &mut Vec<u8>,
+    ) -> WireResult<()> {
+        let encoded = if negotiated {
+            frame::encode_frame_into(scratch, std::slice::from_ref(request), version)
+        } else if self.config.max_wire_version > frame::VERSION_TEXT {
+            let advertised = proto::advertise_version(request, self.config.max_wire_version);
+            frame::encode_frame_into(
+                scratch,
+                std::slice::from_ref(&advertised),
+                frame::VERSION_TEXT,
+            )
+        } else {
+            frame::encode_frame_into(scratch, std::slice::from_ref(request), frame::VERSION_TEXT)
+        };
+        let total = match encoded {
+            Ok(total) => total,
+            Err(error) => {
+                self.counters
+                    .protocol_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(WireError::from(error));
+            }
+        };
+        if total > self.config.max_frame_bytes + frame::HEADER_LEN {
+            self.counters
+                .protocol_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Payload(format!(
+                "tcp transport: request frame of {} bytes exceeds the {}-byte ceiling; \
+                 fetch/ship it in bounded pieces instead",
+                total - frame::HEADER_LEN,
+                self.config.max_frame_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, response: Envelope, conn: Conn) -> WireResult<Envelope> {
         // Pool the connection only if the server did not announce it is closing it (it does
         // after frame-level errors, whose responses precede a guaranteed close — pooling
         // such a stream would hand the next call a dead connection).
         if !proto::announces_close(&response) {
-            self.checkin(stream);
+            self.checkin(conn);
         }
+        self.decode_response(response)
+    }
+
+    /// Count a completed exchange and rebuild any server-reported error.
+    fn decode_response(&self, response: Envelope) -> WireResult<Envelope> {
         self.counters.calls.fetch_add(1, Ordering::Relaxed);
         if let Some(error) = proto::decode_error(&response) {
             // The server answered: the service is reachable, the *request* failed. No
@@ -231,18 +542,20 @@ impl NetClient {
         Ok(response)
     }
 
-    /// One request/response exchange on `stream`; the caller decides whether the stream
-    /// returns to the pool.
-    fn call_on(
+    /// One frame exchange on `conn`; the caller decides whether the connection returns to
+    /// the pool. The response frame's version is the negotiation verdict — the highest
+    /// version both sides speak — and settles the connection's version for its lifetime.
+    fn exchange(
         &self,
-        mut stream: TcpStream,
+        mut conn: Conn,
         request_frame: &[u8],
-    ) -> Result<(Envelope, TcpStream), (Phase, FrameError)> {
+        payload_buf: &mut Vec<u8>,
+    ) -> Result<(Vec<Envelope>, Conn), (Phase, FrameError)> {
         use std::io::Write as _;
-        let _ = stream.set_read_timeout(self.config.read_timeout);
-        let _ = stream.set_write_timeout(self.config.write_timeout);
-        let _ = stream.set_nodelay(true);
-        stream.write_all(request_frame).map_err(|e| {
+        let _ = conn.stream.set_read_timeout(self.config.read_timeout);
+        let _ = conn.stream.set_write_timeout(self.config.write_timeout);
+        let _ = conn.stream.set_nodelay(true);
+        let write_failure = |e: std::io::Error| {
             (
                 Phase::Write,
                 FrameError::Io {
@@ -250,30 +563,52 @@ impl NetClient {
                     detail: e.to_string(),
                 },
             )
-        })?;
-        stream.flush().map_err(|e| {
-            (
-                Phase::Write,
-                FrameError::Io {
-                    kind: e.kind(),
-                    detail: e.to_string(),
-                },
-            )
-        })?;
+        };
+        conn.stream
+            .write_all(request_frame)
+            .map_err(write_failure)?;
+        conn.stream.flush().map_err(write_failure)?;
         // Counted at write success, so traffic sent before a failed read — and each send of
         // a retried call — is accounted, not just completed exchanges.
         self.counters
             .bytes_sent
             .fetch_add(request_frame.len() as u64, Ordering::Relaxed);
-        match frame::read_frame(&mut stream, self.config.max_frame_bytes) {
-            Ok((envelope, bytes)) => {
+        match frame::read_frame_any(
+            &mut conn.stream,
+            self.config.max_frame_bytes,
+            self.config.max_wire_version,
+            payload_buf,
+        ) {
+            Ok(decoded) => {
                 self.counters
                     .bytes_received
-                    .fetch_add(bytes as u64, Ordering::Relaxed);
-                Ok((envelope, stream))
+                    .fetch_add(decoded.bytes as u64, Ordering::Relaxed);
+                conn.version = decoded.version;
+                conn.negotiated = true;
+                Ok((decoded.envelopes, conn))
             }
             Err(error) => Err((Phase::Read, error)),
         }
+    }
+
+    /// [`Self::exchange`], insisting on a single-envelope response.
+    fn exchange_single(
+        &self,
+        conn: Conn,
+        request_frame: &[u8],
+        payload_buf: &mut Vec<u8>,
+    ) -> Result<(Envelope, Conn), (Phase, FrameError)> {
+        let (mut envelopes, conn) = self.exchange(conn, request_frame, payload_buf)?;
+        if envelopes.len() != 1 {
+            return Err((
+                Phase::Read,
+                FrameError::BadEnvelope(format!(
+                    "expected a single-envelope response, got {} envelopes",
+                    envelopes.len()
+                )),
+            ));
+        }
+        Ok((envelopes.pop().expect("one envelope"), conn))
     }
 
     fn connect(&self) -> WireResult<TcpStream> {
@@ -289,23 +624,84 @@ impl NetClient {
         }
     }
 
-    fn checkout(&self) -> Option<TcpStream> {
-        let mut pool = self.pool.lock();
-        while let Some((stream, idle_since)) = pool.pop() {
-            // A connection idle long enough that the server may have reclaimed it is
-            // discarded: reusing it risks the ambiguous mid-call failures retry cannot
-            // safely paper over.
-            if idle_since.elapsed() < self.config.pool_idle_timeout {
-                return Some(stream);
-            }
-        }
-        None
+    fn fresh_conn(&self) -> WireResult<Conn> {
+        Ok(Conn {
+            stream: self.connect()?,
+            version: frame::VERSION_TEXT,
+            negotiated: false,
+        })
     }
 
-    fn checkin(&self, stream: TcpStream) {
+    /// Drop idle-expired pooled connections, counting them as evictions. A connection idle
+    /// long enough that the server may have reclaimed it must not be reused: doing so
+    /// risks the ambiguous mid-call failures retry cannot safely paper over.
+    fn prune_expired(&self, pool: &mut Vec<PooledConn>) {
+        let before = pool.len();
+        pool.retain(|conn| conn.idle_since.elapsed() < self.config.pool_idle_timeout);
+        let evicted = before - pool.len();
+        if evicted > 0 {
+            self.counters
+                .pool_evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn checkout(&self) -> Option<Conn> {
         let mut pool = self.pool.lock();
+        self.prune_expired(&mut pool);
+        pool.pop().map(|pooled| Conn {
+            stream: pooled.stream,
+            version: pooled.version,
+            negotiated: true,
+        })
+    }
+
+    /// Check out a pooled connection negotiated to the binary version (for batching),
+    /// leaving textual connections in place for single calls.
+    fn checkout_binary(&self) -> Option<Conn> {
+        let mut pool = self.pool.lock();
+        self.prune_expired(&mut pool);
+        let index = pool
+            .iter()
+            .position(|pooled| pooled.version >= VERSION_BINARY)?;
+        let pooled = pool.swap_remove(index);
+        Some(Conn {
+            stream: pooled.stream,
+            version: pooled.version,
+            negotiated: true,
+        })
+    }
+
+    fn checkin(&self, conn: Conn) {
+        // A never-negotiated connection is not pooled: it has not proven an exchange, and
+        // pooling it would freeze the connection at the textual version without ever
+        // having asked the server for better.
+        if !conn.negotiated {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        // Eager prune at check-in (not just checkout): entries that expired while the pool
+        // sat idle are released now instead of lingering until the next checkout.
+        self.prune_expired(&mut pool);
         if pool.len() < self.config.pool_capacity {
-            pool.push((stream, Instant::now()));
+            pool.push(PooledConn {
+                stream: conn.stream,
+                version: conn.version,
+                idle_since: Instant::now(),
+            });
+        }
+    }
+
+    fn take_buffer(&self) -> Vec<u8> {
+        self.buffers.lock().pop().unwrap_or_default()
+    }
+
+    fn put_buffer(&self, mut buffer: Vec<u8>) {
+        const MAX_POOLED_BUFFERS: usize = 16;
+        buffer.clear();
+        let mut buffers = self.buffers.lock();
+        if buffers.len() < MAX_POOLED_BUFFERS {
+            buffers.push(buffer);
         }
     }
 
@@ -351,9 +747,19 @@ impl NetClient {
         }
     }
 
-    /// Drop every pooled connection (e.g. after the remote restarted).
+    /// Drop every pooled connection (counted as evictions). Called automatically on the
+    /// first stale-connection detection — after a server restart every pooled connection
+    /// is dead, and clearing them all at once means subsequent calls reconnect directly
+    /// instead of each burning a failed exchange and a one-shot retry.
     pub fn clear_pool(&self) {
-        self.pool.lock().clear();
+        let mut pool = self.pool.lock();
+        let drained = pool.len();
+        pool.clear();
+        if drained > 0 {
+            self.counters
+                .pool_evictions
+                .fetch_add(drained as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -368,7 +774,15 @@ impl std::fmt::Debug for NetClient {
 
 impl MessageHandler for NetClient {
     fn handle(&self, request: Envelope) -> WireResult<Envelope> {
-        self.call(&request)
+        if !self.config.coalesce {
+            return self.call_single(&request);
+        }
+        // Already owns the envelope — skip the clone `call` pays for a borrowed request.
+        self.call_coalesced(request)
+    }
+
+    fn handle_many(&self, requests: Vec<Envelope>) -> Vec<WireResult<Envelope>> {
+        self.call_many(&requests)
     }
 
     fn name(&self) -> &str {

@@ -6,9 +6,11 @@
 //! counterpart of the in-process [`pasoa_wire`] transport — std-only (no async runtime), wire-
 //! compatible with [`pasoa_wire::Envelope`]s by construction:
 //!
-//! * [`frame`] — length-prefixed binary framing (magic + version + CRC-32 + length + the
-//!   envelope's textual wire form), with a max-frame-size guard that rejects corrupt or
-//!   hostile lengths loudly instead of OOMing;
+//! * [`frame`] — length-prefixed framing (magic + version + CRC-32 + length + payload) with
+//!   two negotiated payload formats: version 1, the envelope's textual wire form, and
+//!   version 2, a compact binary multi-envelope encoding (one frame carries a whole request
+//!   batch); every length and count claim is validated before allocation, so corrupt or
+//!   hostile frames are rejected loudly instead of OOMing;
 //! * [`server`] — [`NetServer`]: a `TcpListener` accept loop feeding a bounded worker pool,
 //!   pipelined request/response frames per connection, per-connection read/write timeouts,
 //!   graceful shutdown (drain in-flight, refuse new) and `ServiceHost`-style counters;
@@ -29,7 +31,8 @@ pub mod server;
 
 pub use client::{register_remote, NetClient, NetClientConfig, NetClientStats};
 pub use frame::{
-    crc32, decode_frame, encode_frame, read_frame, write_frame, FrameError,
-    DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, MAGIC, VERSION,
+    crc32, decode_frame, decode_frame_any, encode_frame, encode_frame_into, read_frame,
+    read_frame_any, write_frame, write_frame_into, DecodedFrame, FrameError,
+    DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, MAGIC, MAX_VERSION, VERSION, VERSION_BINARY, VERSION_TEXT,
 };
 pub use server::{NetServer, NetServerConfig, NetServerStats};

@@ -28,6 +28,29 @@ pub fn announces_close(envelope: &Envelope) -> bool {
 /// Header naming the service an error concerns.
 pub const ERROR_SERVICE_HEADER: &str = "net-error-service";
 
+/// Header a client sets on the first request of a fresh connection, advertising the highest
+/// frame version it speaks. The server answers in the highest version both sides speak (its
+/// response *frame* carries the verdict — no extra negotiation round trip), and strips the
+/// header before dispatch so services see exactly what an in-process caller would send. An
+/// old server ignores the unknown header and keeps answering textually; an old client never
+/// sends it and is served textually — both directions fall back by construction.
+pub const WIRE_VERSION_HEADER: &str = "net-wire-version";
+
+/// Stamp the version advertisement on a request (used on the first exchange of a fresh
+/// connection, before the peer's ceiling is known).
+pub fn advertise_version(request: &Envelope, version: u8) -> Envelope {
+    request
+        .clone()
+        .with_header(WIRE_VERSION_HEADER, version.to_string())
+}
+
+/// Remove and return the peer's advertised version, if the request carries one.
+pub fn take_advertised_version(request: &mut Envelope) -> Option<u8> {
+    let advertised = request.header(WIRE_VERSION_HEADER)?.parse().ok();
+    request.headers.retain(|h| h.name != WIRE_VERSION_HEADER);
+    advertised
+}
+
 const KIND_UNKNOWN_SERVICE: &str = "unknown-service";
 const KIND_SERVICE_DOWN: &str = "service-down";
 const KIND_FAULT: &str = "fault";
@@ -96,6 +119,24 @@ mod tests {
         assert_eq!(decode_error(&Envelope::response("record")), None);
         // A service-minted fault without the kind header is not a transport error either.
         assert_eq!(decode_error(&Envelope::fault("boom")), None);
+    }
+
+    #[test]
+    fn version_advertisements_roundtrip_and_strip() {
+        let request = Envelope::request("store", "record");
+        let advertised = advertise_version(&request, 2);
+        assert_eq!(advertised.header(WIRE_VERSION_HEADER), Some("2"));
+        let mut received = advertised;
+        assert_eq!(take_advertised_version(&mut received), Some(2));
+        // Stripped: the dispatched envelope matches what an in-process caller sends.
+        assert_eq!(received, request);
+        // Absent or malformed advertisements read as None.
+        let mut plain = Envelope::request("store", "record");
+        assert_eq!(take_advertised_version(&mut plain), None);
+        let mut garbled = advertise_version(&Envelope::request("s", "a"), 2);
+        garbled.set_header(WIRE_VERSION_HEADER, "not-a-number");
+        assert_eq!(take_advertised_version(&mut garbled), None);
+        assert!(garbled.header(WIRE_VERSION_HEADER).is_none());
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! half of every active connection is closed so idle workers wake immediately, and requests
 //! already being dispatched still deliver their responses on the intact write half before the
 //! connection closes — in-flight work drains, nothing new is admitted.
+//!
+//! Each connection negotiates its wire version: a client advertises its highest frame
+//! version on its first request (or simply sends a binary frame, which is proof enough), and
+//! the server answers in the highest version both sides speak — capped by
+//! [`NetServerConfig::max_wire_version`], so a server can be pinned to the textual baseline
+//! to emulate an old peer. Binary (version 2) frames may carry a whole request batch; the
+//! batch is dispatched through the host's batch path and answered in ONE multi-envelope
+//! response frame, so a batched record flush costs a single socket round trip.
 
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -21,9 +29,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use pasoa_wire::{ServiceHost, WireError};
+use pasoa_wire::{Envelope, ServiceHost, WireError};
 
-use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION};
 use crate::proto;
 
 /// Server configuration.
@@ -45,6 +53,10 @@ pub struct NetServerConfig {
     pub read_timeout: Option<Duration>,
     /// Per-connection write timeout.
     pub write_timeout: Option<Duration>,
+    /// Highest frame version this server speaks. Defaults to the binary version; set to
+    /// [`frame::VERSION_TEXT`] to emulate an old textual-only server (clients then settle
+    /// on textual frames in both directions).
+    pub max_wire_version: u8,
 }
 
 impl Default for NetServerConfig {
@@ -54,6 +66,7 @@ impl Default for NetServerConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
+            max_wire_version: MAX_VERSION,
         }
     }
 }
@@ -78,6 +91,12 @@ pub struct NetServerStats {
     pub rejected_frames: u64,
     /// Malformed frames (bad magic/version/crc/UTF-8/envelope, truncation mid-frame).
     pub protocol_errors: u64,
+    /// Binary (version 2) request frames received — observability for the negotiation:
+    /// zero means every peer spoke (or was pinned to) the textual baseline.
+    pub binary_frames: u64,
+    /// Envelopes that arrived inside multi-envelope frames (frames carrying ≥ 2), i.e. the
+    /// requests that crossed the socket batched instead of one write each.
+    pub batched_envelopes: u64,
     /// Requests dispatched per destination service, sorted by name.
     pub per_service: Vec<(String, u64)>,
 }
@@ -92,6 +111,8 @@ struct Counters {
     faults: AtomicU64,
     rejected_frames: AtomicU64,
     protocol_errors: AtomicU64,
+    binary_frames: AtomicU64,
+    batched_envelopes: AtomicU64,
     per_service: Mutex<HashMap<String, u64>>,
 }
 
@@ -113,6 +134,8 @@ impl Counters {
             faults: self.faults.load(Ordering::Relaxed),
             rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            binary_frames: self.binary_frames.load(Ordering::Relaxed),
+            batched_envelopes: self.batched_envelopes.load(Ordering::Relaxed),
             per_service,
         }
     }
@@ -336,38 +359,85 @@ fn serve_connection(
     }
     counters.active_connections.fetch_add(1, Ordering::Relaxed);
 
+    // Reused across the connection's lifetime, so steady-state frame (de)serialization
+    // stops allocating per exchange.
+    let mut payload_buf = Vec::new();
+    let mut write_buf = Vec::new();
+    // The connection's negotiated wire version: textual until the peer advertises (or
+    // simply sends) something better, capped by the server's own ceiling.
+    let mut conn_version = frame::VERSION_TEXT;
+
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match frame::read_frame(&mut stream, config.max_frame_bytes) {
-            Ok((envelope, frame_bytes)) => {
-                counters.requests.fetch_add(1, Ordering::Relaxed);
+        match frame::read_frame_any(
+            &mut stream,
+            config.max_frame_bytes,
+            config.max_wire_version,
+            &mut payload_buf,
+        ) {
+            Ok(decoded) => {
+                let mut envelopes = decoded.envelopes;
+                counters
+                    .requests
+                    .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
                 counters
                     .bytes_in
-                    .fetch_add(frame_bytes as u64, Ordering::Relaxed);
-                let service = envelope.service().unwrap_or_default().to_string();
-                *counters
-                    .per_service
-                    .lock()
-                    .entry(service.clone())
-                    .or_insert(0) += 1;
-                let response =
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| host.dispatch(envelope))) {
-                        Ok(Ok(response)) => response,
-                        Ok(Err(error)) => {
-                            counters.faults.fetch_add(1, Ordering::Relaxed);
-                            proto::error_envelope(&error)
+                    .fetch_add(decoded.bytes as u64, Ordering::Relaxed);
+                if decoded.version >= frame::VERSION_BINARY {
+                    // A binary frame is itself proof the peer speaks version 2.
+                    conn_version = conn_version.max(decoded.version);
+                    counters.binary_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                if envelopes.len() > 1 {
+                    counters
+                        .batched_envelopes
+                        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
+                }
+                let mut services = Vec::with_capacity(envelopes.len());
+                {
+                    let mut per_service = counters.per_service.lock();
+                    for envelope in &mut envelopes {
+                        if let Some(advertised) = proto::take_advertised_version(envelope) {
+                            // Negotiate the highest version both sides speak, never below
+                            // the textual baseline every peer understands. The response
+                            // frame carries the verdict.
+                            conn_version = advertised
+                                .min(config.max_wire_version)
+                                .max(frame::VERSION_TEXT);
                         }
-                        Err(_) => {
+                        let service = envelope.service().unwrap_or_default().to_string();
+                        *per_service.entry(service.clone()).or_insert(0) += 1;
+                        services.push(service);
+                    }
+                }
+                let outcomes =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| host.dispatch_many(envelopes)));
+                let responses: Vec<Envelope> = match outcomes {
+                    Ok(results) => results
+                        .into_iter()
+                        .map(|result| match result {
+                            Ok(response) => response,
+                            Err(error) => {
+                                counters.faults.fetch_add(1, Ordering::Relaxed);
+                                proto::error_envelope(&error)
+                            }
+                        })
+                        .collect(),
+                    Err(_) => services
+                        .iter()
+                        .map(|service| {
                             counters.faults.fetch_add(1, Ordering::Relaxed);
                             proto::error_envelope(&WireError::Fault {
-                                service,
+                                service: service.clone(),
                                 reason: "service panicked while handling the request".into(),
                             })
-                        }
-                    };
-                match frame::write_frame(&mut stream, &response) {
+                        })
+                        .collect(),
+                };
+                match frame::write_frame_into(&mut stream, &mut write_buf, &responses, conn_version)
+                {
                     Ok(written) => {
                         counters
                             .bytes_out

@@ -8,7 +8,11 @@
 
 use proptest::prelude::*;
 
-use pasoa_net::{decode_frame, encode_frame, read_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use pasoa_net::{
+    crc32, decode_frame, decode_frame_any, encode_frame, encode_frame_into, read_frame,
+    read_frame_any, FrameError, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, MAX_VERSION, VERSION_BINARY,
+    VERSION_TEXT,
+};
 use pasoa_wire::{Envelope, XmlElement};
 
 fn name_strategy() -> impl Strategy<Value = String> {
@@ -158,6 +162,109 @@ proptest! {
                 prop_assert_eq!(reported, max);
             }
             other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    /// A binary multi-envelope frame round-trips every envelope bit-for-bit, through both
+    /// the slice decoder and the buffer-reusing stream reader.
+    #[test]
+    fn binary_multi_envelope_roundtrip_is_bit_for_bit(
+        envelopes in prop::collection::vec(envelope_strategy(), 1..4),
+    ) {
+        let mut frame = Vec::new();
+        let len = encode_frame_into(&mut frame, &envelopes, VERSION_BINARY).unwrap();
+        prop_assert_eq!(len, frame.len());
+        let decoded = decode_frame_any(&frame, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION).unwrap();
+        prop_assert_eq!(decoded.version, VERSION_BINARY);
+        prop_assert_eq!(decoded.bytes, frame.len());
+        prop_assert_eq!(&decoded.envelopes, &envelopes);
+        let mut cursor = std::io::Cursor::new(&frame);
+        let mut payload_buf = Vec::new();
+        let streamed =
+            read_frame_any(&mut cursor, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION, &mut payload_buf)
+                .unwrap();
+        prop_assert_eq!(streamed.envelopes, envelopes);
+    }
+
+    /// Truncating a binary multi-envelope frame at any byte offset is a clean error:
+    /// `Closed` exactly at offset 0, a reportable error everywhere else — never a panic,
+    /// never a short read decoded as success.
+    #[test]
+    fn binary_truncation_at_any_offset_is_a_clean_error(
+        envelopes in prop::collection::vec(envelope_strategy(), 1..4),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let mut frame = Vec::new();
+        encode_frame_into(&mut frame, &envelopes, VERSION_BINARY).unwrap();
+        let cut = cut_seed % frame.len();
+        match decode_frame_any(&frame[..cut], DEFAULT_MAX_FRAME_BYTES, MAX_VERSION) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated { expected, got }) => prop_assert!(got < expected),
+            Err(other) => prop_assert!(false, "cut {}: unexpected error {:?}", cut, other),
+            Ok(_) => prop_assert!(false, "cut {}: a short read decoded successfully", cut),
+        }
+        let mut cursor = std::io::Cursor::new(&frame[..cut]);
+        let mut payload_buf = Vec::new();
+        prop_assert!(
+            read_frame_any(&mut cursor, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION, &mut payload_buf)
+                .is_err()
+        );
+    }
+
+    /// Flipping any byte of a binary frame is detected: payload corruption by the CRC,
+    /// header corruption structurally — including a flipped *version* byte, which the CRC
+    /// does not cover: the payload then simply fails to parse under the other codec.
+    #[test]
+    fn binary_single_byte_corruption_never_decodes(
+        envelopes in prop::collection::vec(envelope_strategy(), 1..4),
+        pos_seed in 0usize..1_000_000,
+        xor in 1u8..255,
+    ) {
+        let mut frame = Vec::new();
+        encode_frame_into(&mut frame, &envelopes, VERSION_BINARY).unwrap();
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= xor;
+        prop_assert!(
+            decode_frame_any(&frame, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION).is_err(),
+            "flip of byte {} decoded successfully",
+            pos
+        );
+    }
+
+    /// A version-1-only peer (`max_version = VERSION_TEXT`) rejects every binary frame
+    /// with a clean `BadVersion` — the negotiation's downgrade signal, not a panic or a
+    /// misparse — while a current peer accepts the same bytes.
+    #[test]
+    fn version_mismatch_downgrades_cleanly(
+        envelopes in prop::collection::vec(envelope_strategy(), 1..4),
+    ) {
+        let mut frame = Vec::new();
+        encode_frame_into(&mut frame, &envelopes, VERSION_BINARY).unwrap();
+        prop_assert_eq!(
+            decode_frame_any(&frame, DEFAULT_MAX_FRAME_BYTES, VERSION_TEXT).unwrap_err(),
+            FrameError::BadVersion(VERSION_BINARY)
+        );
+        prop_assert!(decode_frame_any(&frame, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION).is_ok());
+    }
+
+    /// A CRC-valid binary frame claiming any hostile envelope count or section length fails
+    /// before the claim can size an allocation: the error arrives in bounded time and the
+    /// claimed numbers never become buffer capacities.
+    #[test]
+    fn hostile_binary_claims_fail_before_allocation(
+        envelope in envelope_strategy(),
+        claimed_count in prop_oneof![Just(0u32), Just(u32::MAX), 5u32..1_000_000],
+    ) {
+        let mut frame = Vec::new();
+        encode_frame_into(&mut frame, std::slice::from_ref(&envelope), VERSION_BINARY).unwrap();
+        // Overwrite the envelope count with the hostile claim and refresh the CRC, so the
+        // count guard itself (not the checksum) is what must reject it.
+        frame[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&claimed_count.to_le_bytes());
+        let crc = crc32(&frame[HEADER_LEN..]);
+        frame[5..9].copy_from_slice(&crc.to_le_bytes());
+        match decode_frame_any(&frame, DEFAULT_MAX_FRAME_BYTES, MAX_VERSION) {
+            Err(FrameError::BadEnvelope(_)) | Err(FrameError::Truncated { .. }) => {}
+            other => prop_assert!(false, "count {}: unexpected {:?}", claimed_count, other),
         }
     }
 }

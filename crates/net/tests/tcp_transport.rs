@@ -396,6 +396,138 @@ fn concurrent_clients_share_the_bounded_worker_pool() {
     assert_eq!(server.stats().active_connections, 0);
 }
 
+/// Wire-version negotiation: a current client talking to a version-1-only server settles on
+/// the textual format (no binary frame ever reaches the socket), and a version-1-only client
+/// talking to a current server is answered textually — both directions of the mixed-version
+/// cluster work, with no configuration coordination.
+#[test]
+fn wire_version_negotiation_downgrades_to_the_older_peer() {
+    let backend = ServiceHost::new();
+    backend.register("echo", Arc::new(Echo));
+
+    // Old server, new client: the advertisement is ignored value-wise (capped at v1).
+    let old_server = NetServer::bind(
+        "127.0.0.1:0",
+        &backend,
+        NetServerConfig {
+            max_wire_version: pasoa_net::VERSION_TEXT,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let client =
+        pasoa_net::NetClient::new(old_server.local_addr(), "echo", NetClientConfig::default());
+    for i in 0..4 {
+        let response = client
+            .call(
+                &Envelope::request("echo", "ping")
+                    .with_body(pasoa_wire::XmlElement::new("d").text(format!("old-{i}"))),
+            )
+            .unwrap();
+        assert_eq!(response.body.text_content(), format!("old-{i}"));
+    }
+    assert_eq!(old_server.stats().binary_frames, 0);
+
+    // New server, old client: no advertisement is sent, so the server stays textual.
+    let new_server = NetServer::bind("127.0.0.1:0", &backend, NetServerConfig::default()).unwrap();
+    let old_client = pasoa_net::NetClient::new(
+        new_server.local_addr(),
+        "echo",
+        NetClientConfig {
+            max_wire_version: pasoa_net::VERSION_TEXT,
+            ..Default::default()
+        },
+    );
+    for i in 0..4 {
+        let response = old_client
+            .call(
+                &Envelope::request("echo", "ping")
+                    .with_body(pasoa_wire::XmlElement::new("d").text(format!("new-{i}"))),
+            )
+            .unwrap();
+        assert_eq!(response.body.text_content(), format!("new-{i}"));
+    }
+    assert_eq!(new_server.stats().binary_frames, 0);
+
+    // Current peers on both ends: after the first (advertising, textual) exchange, every
+    // subsequent call rides the binary format on the pooled connection.
+    let current =
+        pasoa_net::NetClient::new(new_server.local_addr(), "echo", NetClientConfig::default());
+    for i in 0..4 {
+        current
+            .call(
+                &Envelope::request("echo", "ping")
+                    .with_body(pasoa_wire::XmlElement::new("d").text(format!("bin-{i}"))),
+            )
+            .unwrap();
+    }
+    assert!(new_server.stats().binary_frames >= 3);
+}
+
+/// Batching: `call_many` ships a whole batch across the socket in as few frames as the
+/// negotiated version allows, and the responses come back in request order, per-call errors
+/// included — without disturbing the single-call path sharing the same pool.
+#[test]
+fn call_many_batches_envelopes_into_shared_frames() {
+    let (server, _backend) = serve_echo();
+    let client = pasoa_net::NetClient::new(server.local_addr(), "echo", NetClientConfig::default());
+
+    let requests: Vec<Envelope> = (0..8)
+        .map(|i| {
+            Envelope::request("echo", "ping")
+                .with_body(pasoa_wire::XmlElement::new("d").text(format!("batch-{i}")))
+        })
+        .collect();
+    let results = client.call_many(&requests);
+    assert_eq!(results.len(), 8);
+    for (i, result) in results.iter().enumerate() {
+        let response = result.as_ref().unwrap();
+        assert_eq!(response.body.text_content(), format!("batch-{i}"));
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 8);
+    // The first request negotiates on a fresh connection; the remaining seven share one
+    // binary multi-envelope frame.
+    assert_eq!(stats.batched_envelopes, 7);
+    assert_eq!(stats.connections_accepted, 1);
+
+    // A second batch finds the pooled binary connection immediately: one frame for all.
+    let results = client.call_many(&requests);
+    assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(server.stats().batched_envelopes, 15);
+    assert_eq!(client.stats().calls, 16);
+}
+
+/// Idle-expired pooled connections are pruned eagerly and the evictions are observable: a
+/// connection that outlives `pool_idle_timeout` is dropped at the next pool touch instead of
+/// being handed to a caller as a soon-to-be-stale stream.
+#[test]
+fn idle_pool_entries_are_evicted_and_counted() {
+    let (server, _backend) = serve_echo();
+    let client = pasoa_net::NetClient::new(
+        server.local_addr(),
+        "echo",
+        NetClientConfig {
+            pool_idle_timeout: std::time::Duration::from_millis(20),
+            ..Default::default()
+        },
+    );
+    let ping =
+        Envelope::request("echo", "ping").with_body(pasoa_wire::XmlElement::new("d").text("hi"));
+
+    client.call(&ping).unwrap();
+    assert_eq!(client.stats().connects, 1);
+    std::thread::sleep(std::time::Duration::from_millis(60));
+
+    // The pooled connection expired while idle: the next call evicts it and dials fresh.
+    client.call(&ping).unwrap();
+    let stats = client.stats();
+    assert_eq!(stats.connects, 2);
+    assert_eq!(stats.pool_evictions, 1);
+    assert_eq!(stats.transport_failures, 0);
+}
+
 #[test]
 fn shutdown_drains_in_flight_requests() {
     struct Slow;
@@ -429,4 +561,59 @@ fn shutdown_drains_in_flight_requests() {
     assert_eq!(caller.join().unwrap().unwrap(), "drain-me");
     // ...and new connections are refused.
     assert!(std::net::TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn concurrent_callers_coalesce_into_shared_frames() {
+    struct SlowEcho;
+    impl MessageHandler for SlowEcho {
+        fn handle(&self, request: Envelope) -> WireResult<Envelope> {
+            // Long enough on the wire that the other barrier-released callers are queued
+            // on the coalescer before the first exchange returns.
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            Ok(Envelope::response("echo").with_body(request.body))
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+    let backend = ServiceHost::new();
+    backend.register("echo", Arc::new(SlowEcho));
+    let server = NetServer::bind("127.0.0.1:0", &backend, NetServerConfig::default()).unwrap();
+    let client = Arc::new(pasoa_net::NetClient::new(
+        server.local_addr(),
+        "echo",
+        NetClientConfig {
+            coalesce: true,
+            ..NetClientConfig::default()
+        },
+    ));
+
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let client = Arc::clone(&client);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let request = Envelope::request("echo", "ping")
+                    .with_body(pasoa_wire::XmlElement::new("data").text(format!("hello-{i}")));
+                let response = client.call(&request).unwrap();
+                // Each caller gets ITS response back, not a neighbour's from the shared frame.
+                assert_eq!(response.body.text_content(), format!("hello-{i}"));
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // The first caller's exchange holds the wire for 40ms, so the stragglers queue up and
+    // ship as shared multi-envelope frames instead of eight sequential round trips.
+    let stats = client.stats();
+    assert_eq!(stats.calls, 8);
+    assert!(
+        stats.coalesced_calls >= 2,
+        "expected shared frames, got {stats:?}"
+    );
 }

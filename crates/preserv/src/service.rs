@@ -10,6 +10,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use pasoa_core::prep::PrepMessage;
+use pasoa_core::prepwire;
 use pasoa_wire::{Envelope, MessageHandler, ServiceHost, WireError, WireResult};
 
 use crate::backend::{FileBackend, KvBackend, MemoryBackend, StorageBackend};
@@ -147,9 +148,22 @@ impl MessageHandler for PreservService {
             .action()
             .ok_or_else(|| WireError::InvalidEnvelope("missing action header".into()))?
             .to_string();
-        let message: PrepMessage = request.json_payload()?;
+        // Record submissions may arrive in the packed binary form (see
+        // [`pasoa_core::prepwire`]); answer those in kind, everything else in JSON.
+        let packed = request.body.name == prepwire::RECORD_ELEMENT;
+        let message: PrepMessage = if packed {
+            PrepMessage::Record(
+                prepwire::record_from_element(&request.body)
+                    .map_err(|e| WireError::Payload(format!("packed record: {e}")))?,
+            )
+        } else {
+            request.json_payload()?
+        };
         let response = self.dispatch(&action, &message)?;
         match response {
+            crate::plugins::PluginResponse::Ack(ack) if packed => {
+                Ok(Envelope::response(&action).with_body(prepwire::ack_to_element(&ack)))
+            }
             crate::plugins::PluginResponse::Ack(ack) => {
                 Envelope::response(&action).with_json_payload(&ack)
             }

@@ -9,6 +9,9 @@
 //!   message payload format (the SOAP-body stand-in),
 //! * [`envelope`] — the message envelope: headers (message id, sender, action) plus a body
 //!   element, mirroring a SOAP envelope,
+//! * [`codec`] — a compact binary encoding of envelopes (wire version 2 of the TCP frame
+//!   protocol), length-prefixed and allocation-hardened, negotiated per connection with the
+//!   textual form as the fallback for old peers,
 //! * [`latency`] — a configurable latency/bandwidth model so the per-call costs the paper
 //!   measures (≈18 ms per record round trip) can be injected deterministically,
 //! * [`clock`] — a virtual clock that accumulates simulated communication time when the
@@ -20,6 +23,7 @@
 //! point: provenance recording should not depend on the particular service plumbing in use.
 
 pub mod clock;
+pub mod codec;
 pub mod envelope;
 pub mod error;
 pub mod fault;
@@ -28,6 +32,7 @@ pub mod transport;
 pub mod xml;
 
 pub use clock::SimClock;
+pub use codec::CodecError;
 pub use envelope::{Envelope, Header};
 pub use error::{WireError, WireResult};
 pub use fault::{FaultAction, FaultActionKind, FaultInjector, FaultSchedule};

@@ -27,6 +27,13 @@ pub trait MessageHandler: Send + Sync {
     /// Handle one request.
     fn handle(&self, request: Envelope) -> WireResult<Envelope>;
 
+    /// Handle a batch of requests, returning one result per request in order. The default
+    /// simply loops over [`Self::handle`]; transport-hop handlers (the TCP client proxy)
+    /// override it to ship the whole batch in one wire exchange.
+    fn handle_many(&self, requests: Vec<Envelope>) -> Vec<WireResult<Envelope>> {
+        requests.into_iter().map(|r| self.handle(r)).collect()
+    }
+
     /// Human-readable name used in diagnostics.
     fn name(&self) -> &str {
         "anonymous-service"
@@ -61,6 +68,11 @@ pub struct TransportConfig {
     pub latency: LatencyModel,
     /// Whether to sleep, accumulate, or ignore the cost.
     pub mode: LatencyMode,
+    /// Skip the textual serialize/re-parse simulation and dispatch envelopes as-is. For a
+    /// transport whose hop already crosses a *real* codec boundary (the shard router's
+    /// internal hop over TCP frames), the simulation would be a second, redundant
+    /// serialization of every message; byte accounting then lives at the frame layer.
+    pub passthrough: bool,
 }
 
 impl TransportConfig {
@@ -69,6 +81,17 @@ impl TransportConfig {
         TransportConfig {
             latency: LatencyModel::zero(),
             mode: LatencyMode::None,
+            passthrough: false,
+        }
+    }
+
+    /// No modelled cost and no simulated serialization: for hops that already pay a real
+    /// codec (see [`TransportConfig::passthrough`]).
+    pub fn passthrough() -> Self {
+        TransportConfig {
+            latency: LatencyModel::zero(),
+            mode: LatencyMode::None,
+            passthrough: true,
         }
     }
 
@@ -77,6 +100,7 @@ impl TransportConfig {
         TransportConfig {
             latency,
             mode: LatencyMode::Sleep,
+            passthrough: false,
         }
     }
 
@@ -85,6 +109,7 @@ impl TransportConfig {
         TransportConfig {
             latency,
             mode: LatencyMode::Virtual,
+            passthrough: false,
         }
     }
 }
@@ -206,8 +231,70 @@ impl ServiceHost {
         })
     }
 
+    /// Route a batch of decoded envelopes, returning one result per envelope in order. A
+    /// batch addressed to a single service resolves the handler once and rides the handler's
+    /// own [`MessageHandler::handle_many`] — a TCP proxy turns it into one multi-envelope
+    /// frame. Mixed-service batches fall back to per-envelope [`Self::dispatch`].
+    pub fn dispatch_many(&self, requests: Vec<Envelope>) -> Vec<WireResult<Envelope>> {
+        let first_service = requests
+            .first()
+            .and_then(|r| r.service())
+            .map(str::to_string);
+        let same_service = first_service.is_some()
+            && requests
+                .iter()
+                .all(|r| r.service() == first_service.as_deref());
+        if !same_service {
+            return requests.into_iter().map(|r| self.dispatch(r)).collect();
+        }
+        let service_name = first_service.expect("non-empty same-service batch");
+        let Some(handler) = self.lookup(&service_name) else {
+            return requests
+                .iter()
+                .map(|_| Err(WireError::UnknownService(service_name.clone())))
+                .collect();
+        };
+        if self.faults.is_down(&service_name) {
+            return requests
+                .iter()
+                .map(|_| Err(WireError::ServiceDown(service_name.clone())))
+                .collect();
+        }
+        let expected = requests.len();
+        self.note_dispatch_many(&service_name, expected as u64);
+        let mut results: Vec<WireResult<Envelope>> = handler
+            .handle_many(requests)
+            .into_iter()
+            .map(|result| {
+                result.map_err(|error| match error {
+                    routed @ (WireError::ServiceDown(_)
+                    | WireError::UnknownService(_)
+                    | WireError::Fault { .. }) => routed,
+                    other => WireError::Fault {
+                        service: service_name.clone(),
+                        reason: other.to_string(),
+                    },
+                })
+            })
+            .collect();
+        // A handler returning the wrong arity is a bug; keep the caller's alignment intact
+        // by erroring the missing tail rather than panicking or misattributing responses.
+        while results.len() < expected {
+            results.push(Err(WireError::Fault {
+                service: service_name.clone(),
+                reason: "batch handler returned fewer responses than requests".into(),
+            }));
+        }
+        results.truncate(expected);
+        results
+    }
+
     fn note_dispatch(&self, name: &str) {
         *self.dispatch.lock().entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn note_dispatch_many(&self, name: &str, n: u64) {
+        *self.dispatch.lock().entry(name.to_string()).or_insert(0) += n;
     }
 
     /// Calls dispatched to each service so far, sorted by service name.
@@ -275,6 +362,9 @@ impl std::fmt::Debug for Transport {
 impl Transport {
     /// Send `request` to the service named in its `service` header and return the response.
     pub fn call(&self, request: Envelope) -> WireResult<Envelope> {
+        if self.config.passthrough {
+            return self.call_passthrough(request);
+        }
         // Serialize and re-parse the request: this is what would cross the network.
         let request_text = request.to_wire();
         let request_bytes = request_text.len();
@@ -309,6 +399,54 @@ impl Transport {
         drop(stats);
 
         Ok(decoded_response)
+    }
+
+    /// Send a batch of requests, returning one result per request in order. Passthrough
+    /// transports hand the whole batch to [`ServiceHost::dispatch_many`] (a single-service
+    /// batch then crosses a TCP hop as one multi-envelope frame); simulating transports pay
+    /// the per-message serialization exactly as today, call by call.
+    pub fn call_many(&self, requests: Vec<Envelope>) -> Vec<WireResult<Envelope>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        if !self.config.passthrough {
+            return requests.into_iter().map(|r| self.call(r)).collect();
+        }
+        let results = self.host.dispatch_many(requests);
+        let mut stats = self.stats.lock();
+        for result in &results {
+            match result {
+                Ok(response) => {
+                    stats.calls += 1;
+                    if response.is_fault() {
+                        stats.failures += 1;
+                    }
+                }
+                Err(_) => stats.failures += 1,
+            }
+        }
+        drop(stats);
+        results
+    }
+
+    /// Dispatch without the wire simulation: the hop's real codec (TCP frames) does the
+    /// serializing, so byte and latency accounting live there, not here.
+    fn call_passthrough(&self, request: Envelope) -> WireResult<Envelope> {
+        match self.host.dispatch(request) {
+            Ok(response) => {
+                let mut stats = self.stats.lock();
+                stats.calls += 1;
+                if response.is_fault() {
+                    stats.failures += 1;
+                }
+                drop(stats);
+                Ok(response)
+            }
+            Err(error) => {
+                self.stats.lock().failures += 1;
+                Err(error)
+            }
+        }
     }
 
     /// The shared virtual clock (meaningful in [`LatencyMode::Virtual`]).
@@ -557,5 +695,88 @@ mod tests {
         }
         assert_eq!(transport.stats().calls, 400);
         assert_eq!(transport.stats().failures, 0);
+    }
+
+    #[test]
+    fn passthrough_dispatches_without_simulated_serialization() {
+        let host = host_with_echo();
+        let transport = host.transport(TransportConfig::passthrough());
+        let resp = transport
+            .call(Envelope::request("echo", "ping").with_body(XmlElement::new("d").text("raw")))
+            .unwrap();
+        assert_eq!(resp.body.text_content(), "raw");
+        let stats = transport.stats();
+        assert_eq!(stats.calls, 1);
+        // No simulated wire: byte accounting belongs to the real codec layer.
+        assert_eq!(stats.bytes_sent, 0);
+        assert!(matches!(
+            transport
+                .call(Envelope::request("nowhere", "x"))
+                .unwrap_err(),
+            WireError::UnknownService(_)
+        ));
+        assert_eq!(transport.stats().failures, 1);
+    }
+
+    #[test]
+    fn dispatch_many_keeps_per_request_alignment() {
+        let host = host_with_echo();
+        let requests: Vec<Envelope> = (0..4)
+            .map(|i| {
+                Envelope::request("echo", "ping")
+                    .with_body(XmlElement::new("d").text(format!("r{i}")))
+            })
+            .collect();
+        let results = host.dispatch_many(requests);
+        assert_eq!(results.len(), 4);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(
+                result.as_ref().unwrap().body.text_content(),
+                format!("r{i}")
+            );
+        }
+        assert_eq!(host.dispatch_counts(), vec![("echo".to_string(), 4)]);
+
+        // Unknown and downed services answer every request in the batch.
+        let missing = host.dispatch_many(vec![
+            Envelope::request("nowhere", "x"),
+            Envelope::request("nowhere", "y"),
+        ]);
+        assert_eq!(missing.len(), 2);
+        assert!(missing
+            .iter()
+            .all(|r| matches!(r, Err(WireError::UnknownService(_)))));
+
+        // A mixed-service batch still answers each request against its own service.
+        let mixed = host.dispatch_many(vec![
+            Envelope::request("echo", "ping").with_body(XmlElement::new("d").text("a")),
+            Envelope::request("nowhere", "x"),
+        ]);
+        assert!(mixed[0].is_ok());
+        assert!(matches!(mixed[1], Err(WireError::UnknownService(_))));
+    }
+
+    #[test]
+    fn call_many_matches_per_call_semantics() {
+        let host = host_with_echo();
+        let passthrough = host.transport(TransportConfig::passthrough());
+        let simulated = host.transport(TransportConfig::free());
+        for transport in [&passthrough, &simulated] {
+            let requests: Vec<Envelope> = (0..3)
+                .map(|i| {
+                    Envelope::request("echo", "ping")
+                        .with_body(XmlElement::new("d").text(format!("b{i}")))
+                })
+                .collect();
+            let results = transport.call_many(requests);
+            assert_eq!(results.len(), 3);
+            for (i, result) in results.iter().enumerate() {
+                assert_eq!(
+                    result.as_ref().unwrap().body.text_content(),
+                    format!("b{i}")
+                );
+            }
+            assert_eq!(transport.stats().calls, 3);
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! Binary↔textual codec parity properties.
+//!
+//! The TCP tier negotiates between two wire formats for the same `Envelope` type: the
+//! textual XML form (version 1) and the compact binary form (version 2). Mixed-version
+//! clusters only stay correct if the two codecs agree *exactly* on what an envelope is —
+//! a record shipped binary to one replica and textual to another must reconstruct the
+//! identical envelope, byte-for-byte in its canonical wire form. These properties pin that
+//! parity, plus the binary decoder's robustness against truncation, corruption and hostile
+//! length claims.
+
+use proptest::prelude::*;
+
+use pasoa_wire::codec::{decode_envelope, encode_envelope};
+use pasoa_wire::envelope::Envelope;
+use pasoa_wire::xml::XmlElement;
+use pasoa_wire::CodecError;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,12}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // XML-hostile characters, whitespace and multi-width UTF-8: anything that survives the
+    // textual codec must survive the binary codec identically.
+    prop::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            prop::char::range('a', 'z'),
+            prop::char::range('0', '9'),
+            Just(' '),
+            Just('\n'),
+            Just('\t'),
+            Just('\r'),
+            Just('é'),
+            Just('λ'),
+            Just('環'),
+            Just('💡'),
+        ],
+        0..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = XmlElement> {
+    // Text runs are only pushed when non-empty: the textual parser cannot represent an
+    // empty text node, and parity is only claimed for envelopes both codecs can express.
+    let leaf = (
+        name_strategy(),
+        text_strategy(),
+        prop::collection::btree_map(name_strategy(), text_strategy(), 0..3),
+    )
+        .prop_map(|(name, text, attrs)| {
+            let mut el = XmlElement::new(name);
+            el.attributes = attrs;
+            if !text.is_empty() {
+                el.push_text(text);
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec(inner, 0..4),
+            text_strategy(),
+        )
+            .prop_map(|(name, children, text)| {
+                let mut el = XmlElement::new(name);
+                for c in children {
+                    el.push_child(c);
+                }
+                if !text.is_empty() {
+                    el.push_text(text);
+                }
+                el
+            })
+    })
+}
+
+fn envelope_strategy() -> impl Strategy<Value = Envelope> {
+    (
+        name_strategy(),
+        name_strategy(),
+        text_strategy(),
+        text_strategy(),
+        element_strategy(),
+    )
+        .prop_map(|(service, action, msg_id, sender, body)| {
+            Envelope::request(&service, &action)
+                .with_header("message-id", msg_id)
+                .with_header("sender", sender)
+                .with_body(body)
+        })
+}
+
+proptest! {
+    /// The binary codec is loss-free and exact about consumption: decoding reproduces the
+    /// envelope and reports exactly the bytes the encoder produced, even with trailing
+    /// data appended (as in a multi-envelope frame).
+    #[test]
+    fn binary_roundtrip_is_lossless(envelope in envelope_strategy()) {
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        let encoded_len = buf.len();
+        buf.extend_from_slice(b"trailing bytes of the next envelope");
+        let (decoded, consumed) = decode_envelope(&buf).unwrap();
+        prop_assert_eq!(consumed, encoded_len);
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// Bit-for-bit parity between the codecs: shipping an envelope binary or textual and
+    /// decoding on the other side yields envelopes whose canonical textual wire forms are
+    /// identical bytes, and whose binary encodings are identical bytes. This is the
+    /// mixed-version-cluster guarantee — the format on the wire never changes the record.
+    #[test]
+    fn binary_and_textual_agree_bit_for_bit(envelope in envelope_strategy()) {
+        // Textual trip.
+        let text = envelope.to_wire();
+        let via_text = Envelope::from_wire(&text).unwrap();
+        // Binary trip.
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        let (via_binary, _) = decode_envelope(&buf).unwrap();
+        // Both trips reproduce the same envelope...
+        prop_assert_eq!(&via_text, &via_binary);
+        prop_assert_eq!(&via_binary, &envelope);
+        // ...and agree on both canonical serializations, byte for byte.
+        prop_assert_eq!(via_binary.to_wire(), text);
+        let mut rebuf = Vec::new();
+        encode_envelope(&via_text, &mut rebuf);
+        prop_assert_eq!(rebuf, buf);
+    }
+
+    /// Truncating a binary envelope at any offset is a clean `Truncated` error — never a
+    /// panic, never a partial decode passed off as success.
+    #[test]
+    fn binary_truncation_is_a_clean_error(
+        envelope in envelope_strategy(),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        let cut = cut_seed % buf.len(); // every prefix strictly shorter than the encoding
+        match decode_envelope(&buf[..cut]) {
+            Err(CodecError::Truncated { .. }) => {}
+            Err(_) => {} // a shortened length prefix can surface as any clean codec error
+            Ok((_, consumed)) => prop_assert!(
+                false,
+                "cut {}: a short read decoded successfully ({} bytes)",
+                cut,
+                consumed
+            ),
+        }
+    }
+
+    /// Flipping any byte never panics and never decodes to the original envelope while
+    /// claiming the same length. (Unlike the frame layer there is no checksum here — a flip
+    /// inside string *content* decodes to a different envelope; the frame CRC above this
+    /// codec is what detects corruption in transit.)
+    #[test]
+    fn binary_corruption_never_panics(
+        envelope in envelope_strategy(),
+        pos_seed in 0usize..1_000_000,
+        xor in 1u8..255,
+    ) {
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        let pos = pos_seed % buf.len();
+        buf[pos] ^= xor;
+        if let Ok((decoded, consumed)) = decode_envelope(&buf) {
+            prop_assert!(
+                !(decoded == envelope && consumed == buf.len()),
+                "flip of byte {} was silently absorbed",
+                pos
+            );
+        }
+    }
+
+    /// Hostile count claims fail before they can size an allocation: a header-count or
+    /// child-count field rewritten to a huge value is rejected from the remaining byte
+    /// budget alone, in bounded time.
+    #[test]
+    fn hostile_counts_fail_before_allocation(
+        envelope in envelope_strategy(),
+        claimed in prop_oneof![Just(u32::MAX), Just(u32::MAX / 2), 1_000_000u32..2_000_000],
+    ) {
+        let mut buf = Vec::new();
+        encode_envelope(&envelope, &mut buf);
+        // The first four bytes are the header count; every strategy-built envelope has two
+        // headers and far fewer spare bytes than any hostile claim needs.
+        buf[0..4].copy_from_slice(&claimed.to_le_bytes());
+        match decode_envelope(&buf) {
+            Err(CodecError::CountOverflow { .. }) | Err(CodecError::Truncated { .. }) => {}
+            other => prop_assert!(false, "claim {}: unexpected {:?}", claimed, other),
+        }
+    }
+}

@@ -62,21 +62,28 @@ fn write_number(number: Number, out: &mut String) {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+    // Copy maximal runs that need no escaping in one append; only the escape bytes
+    // themselves (all ASCII, so always on char boundaries) are handled individually.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
         }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            0x08 => out.push_str("\\b"),
+            0x0C => out.push_str("\\f"),
+            other => out.push_str(&format!("\\u{:04x}", other)),
+        }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -225,6 +232,18 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Take the maximal run up to the next quote or escape in one validated append —
+            // the delimiters are ASCII, so they can never appear inside a multi-byte
+            // UTF-8 sequence, and one `from_utf8` over the run replaces per-byte checks.
+            let start = self.pos;
+            while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::custom("invalid UTF-8 in JSON string"))?;
+                out.push_str(chunk);
+            }
             match self.bump()? {
                 b'"' => return Ok(out),
                 b'\\' => match self.bump()? {
@@ -262,17 +281,7 @@ impl<'a> Parser<'a> {
                         )))
                     }
                 },
-                byte => {
-                    // Collect the full UTF-8 sequence the byte starts.
-                    let len = utf8_len(byte)?;
-                    let start = self.pos - 1;
-                    for _ in 1..len {
-                        self.bump()?;
-                    }
-                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|_| Error::custom("invalid UTF-8 in JSON string"))?;
-                    out.push_str(chunk);
-                }
+                _ => unreachable!("the run scan stops only at '\"' or '\\\\'"),
             }
         }
     }
@@ -337,16 +346,6 @@ impl<'a> Parser<'a> {
             )
         };
         Ok(Value::Number(number))
-    }
-}
-
-fn utf8_len(first: u8) -> Result<usize, Error> {
-    match first {
-        0x00..=0x7F => Ok(1),
-        0xC0..=0xDF => Ok(2),
-        0xE0..=0xEF => Ok(3),
-        0xF0..=0xF7 => Ok(4),
-        _ => Err(Error::custom("invalid UTF-8 lead byte in JSON string")),
     }
 }
 
