@@ -14,11 +14,13 @@ use pasoa_core::Group;
 use pasoa_net::{
     register_remote, NetClient, NetClientConfig, NetServer, NetServerConfig, NetServerStats,
 };
+use pasoa_obs::{RegistrySnapshot, StatsSnapshot};
 use pasoa_preserv::{
     LineageGraph, MemoryBackend, PreservService, ProvenanceStore, ServiceConfig, StorageBackend,
     StoreError,
 };
-use pasoa_wire::ServiceHost;
+use pasoa_wire::{Envelope, ServiceHost, StatsService, TransportConfig, STATS_SNAPSHOT_ACTION};
+use serde::{Deserialize, Serialize};
 
 use crate::merge;
 use crate::router::{InternalHop, RouterConfig, ShardRouter};
@@ -213,21 +215,26 @@ impl PreservCluster {
         let mut net = Vec::with_capacity(config.shards);
         for index in 0..config.shards {
             let name = format!("{}{index}", config.shard_name_prefix);
-            let service = Arc::new(
-                PreservService::with_backend(backend_for_shard(index)?)?.with_config(
-                    ServiceConfig {
-                        service_name: name.clone(),
-                    },
-                ),
+            let service = PreservService::with_backend(backend_for_shard(index)?)?.with_config(
+                ServiceConfig {
+                    service_name: name.clone(),
+                },
             );
-            match config.transport {
+            // Each shard's instruments fold into the registry of the host actually serving
+            // it: the shared fabric in process, the shard's own backend host over TCP — the
+            // same tree a `stats` request against that host reports.
+            let service = match config.transport {
                 ClusterTransport::InProcess => {
+                    let service = Arc::new(service.with_observability(fabric.registry()));
                     service.register(&fabric);
+                    service
                 }
                 ClusterTransport::Tcp => {
-                    net.push(serve_shard_tcp(&fabric, &name, &service, &config)?)
+                    let (service, endpoint) = serve_shard_tcp(&fabric, &name, service, &config)?;
+                    net.push(endpoint);
+                    service
                 }
-            }
+            };
             router_shards.push((name, Arc::clone(&service)));
             shards.push(service);
         }
@@ -253,6 +260,10 @@ impl PreservCluster {
             },
         ));
         router.register(&fabric, &config.service_name);
+        // The well-known `stats` service reports the fabric's whole registry — the router's
+        // child plus (in process) every shard's. Over TCP the router's server makes it
+        // remotely queryable on the same port that serves recording traffic.
+        StatsService::install(&fabric, &config.service_name);
         let router_server = match config.transport {
             ClusterTransport::InProcess => None,
             ClusterTransport::Tcp => {
@@ -266,11 +277,16 @@ impl PreservCluster {
                 // transient socket error into a permanent client-side outage. Without it,
                 // each failed call surfaces as its own `ServiceDown` and the next call
                 // re-attempts on a fresh connection.
-                let proxy = Arc::new(NetClient::new(
-                    server.local_addr(),
-                    &config.service_name,
-                    net_client_config(),
-                ));
+                let proxy = Arc::new(
+                    NetClient::new(
+                        server.local_addr(),
+                        &config.service_name,
+                        net_client_config(),
+                    )
+                    // Callers' retries/evictions/coalescing land in the caller host's
+                    // registry, where a co-located load generator reads them.
+                    .with_observability(host.registry()),
+                );
                 host.register(
                     &config.service_name,
                     proxy as Arc<dyn pasoa_wire::MessageHandler>,
@@ -335,6 +351,29 @@ impl PreservCluster {
         }
     }
 
+    /// Scatter-gather every live shard's observability snapshot plus the router's own.
+    ///
+    /// Each shard is asked with the same [`STATS_SNAPSHOT_ACTION`] envelope the `stats`
+    /// service answers everywhere; through the fabric transport the request dispatches in
+    /// process or crosses the shard's TCP socket, whichever the deployment uses — so the
+    /// gathered structure is identical across transports (the acceptance bar for remote
+    /// monitoring: no side channel, no transport-specific shape).
+    pub fn stats_snapshot(&self) -> Result<ClusterStatsSnapshot, StoreError> {
+        let transport = self.fabric.transport(TransportConfig::free());
+        let names = self.router.shard_names();
+        let mut shards = Vec::new();
+        for shard in self.router.live_shards() {
+            let response = transport
+                .call(Envelope::request(&names[shard], STATS_SNAPSHOT_ACTION))
+                .map_err(wire_to_store)?;
+            shards.push(pasoa_wire::stats::decode_snapshot(&response).map_err(wire_to_store)?);
+        }
+        Ok(ClusterStatsSnapshot {
+            router: self.router.stats_snapshot(),
+            shards,
+        })
+    }
+
     /// Traffic counters of every TCP server — shards in index order, then the router's —
     /// as `(service name, stats)`. Empty for the in-process transport.
     pub fn net_server_stats(&self) -> Vec<(String, NetServerStats)> {
@@ -385,23 +424,21 @@ impl PreservCluster {
         // router's ring indices.
         let mut shards = self.shards.write();
         let name = format!("{}{}", self.config.shard_name_prefix, shards.len());
-        let service = Arc::new(
-            PreservService::with_backend(backend)?.with_config(ServiceConfig {
-                service_name: name.clone(),
-            }),
-        );
+        let service = PreservService::with_backend(backend)?.with_config(ServiceConfig {
+            service_name: name.clone(),
+        });
         // Make the service reachable before the router can route to it.
-        let tcp_endpoint = match self.config.transport {
+        let (service, tcp_endpoint) = match self.config.transport {
             ClusterTransport::InProcess => {
+                let service = Arc::new(service.with_observability(self.fabric.registry()));
                 service.register(&self.fabric);
-                None
+                (service, None)
             }
-            ClusterTransport::Tcp => Some(serve_shard_tcp(
-                &self.fabric,
-                &name,
-                &service,
-                &self.config,
-            )?),
+            ClusterTransport::Tcp => {
+                let (service, endpoint) =
+                    serve_shard_tcp(&self.fabric, &name, service, &self.config)?;
+                (service, Some(endpoint))
+            }
         };
         if let Err(error) = self.router.add_shard(name.clone(), Arc::clone(&service)) {
             // Roll back reachability: the fabric must not keep a proxy (or service) for a
@@ -510,6 +547,28 @@ impl PreservCluster {
     }
 }
 
+/// Observability snapshots gathered across one cluster deployment: the router's registry
+/// plus every live shard's, in shard-index order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterStatsSnapshot {
+    /// The router's own snapshot (flush batching, merge skips, trace events).
+    pub router: StatsSnapshot,
+    /// Per-shard snapshots as served by each shard's `stats-snapshot` responder.
+    pub shards: Vec<StatsSnapshot>,
+}
+
+impl ClusterStatsSnapshot {
+    /// One registry view over the whole cluster: counters summed, histograms bucket-merged
+    /// (percentiles identical to a single registry over the union), events concatenated.
+    pub fn merged(&self) -> RegistrySnapshot {
+        let mut merged = self.router.registry.clone();
+        for shard in &self.shards {
+            merged.merge(&shard.registry);
+        }
+        merged
+    }
+}
+
 /// Serve one shard over TCP: the shard gets a private backend host (so the server exposes
 /// exactly that shard, as a dedicated machine would), a loopback listener, and a pooled proxy
 /// under its name on the fabric so the router reaches it through real sockets. Connection
@@ -518,18 +577,26 @@ impl PreservCluster {
 fn serve_shard_tcp(
     fabric: &ServiceHost,
     name: &str,
-    service: &Arc<PreservService>,
+    service: PreservService,
     config: &ClusterConfig,
-) -> Result<ShardNet, StoreError> {
+) -> Result<(Arc<PreservService>, ShardNet), StoreError> {
     let backend_host = ServiceHost::new();
+    // The shard's instruments (and its backend's kvdb latencies) fold into the backend
+    // host's registry — the tree this shard's server reports through its `stats` service,
+    // alongside the server's own `net.server.*` counters.
+    let service = Arc::new(service.with_observability(backend_host.registry()));
     service.register(&backend_host);
+    StatsService::install(&backend_host, name);
     let server = NetServer::bind(("127.0.0.1", 0), &backend_host, net_server_config(config))
         .map_err(bind_to_store)?;
     register_remote(fabric, name, server.local_addr(), net_client_config());
-    Ok(ShardNet {
-        name: name.to_string(),
-        server,
-    })
+    Ok((
+        service,
+        ShardNet {
+            name: name.to_string(),
+            server,
+        },
+    ))
 }
 
 /// Server tuning for cluster deployments: [`ClusterConfig::net_workers`] workers (default

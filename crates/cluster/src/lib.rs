@@ -37,7 +37,9 @@ pub mod merge;
 pub mod ring;
 pub mod router;
 
-pub use cluster::{ClusterConfig, ClusterTransport, PreservCluster, StoreHandle};
+pub use cluster::{
+    ClusterConfig, ClusterStatsSnapshot, ClusterTransport, PreservCluster, StoreHandle,
+};
 pub use loadgen::{FaultPlan, LoadGenConfig, LoadGenerator, LoadReport};
 pub use ring::HashRing;
 pub use router::{

@@ -17,6 +17,7 @@ use pasoa_core::passertion::{
 };
 use pasoa_core::prep::RecordMessage;
 use pasoa_core::PROVENANCE_STORE_SERVICE;
+use pasoa_obs::{EventLog, TraceIdGen};
 use pasoa_wire::{
     Envelope, FaultAction, FaultActionKind, FaultInjector, FaultSchedule, ServiceHost,
     TransportConfig,
@@ -111,6 +112,18 @@ pub struct LoadReport {
     pub dispatch_counts: Vec<(String, u64)>,
     /// Services killed by the run's fault plans, in firing order.
     pub faults_injected: Vec<String>,
+    /// Network-client call retries during the run (`net.client.retries` registry delta) —
+    /// zero for in-process deployments, which have no socket clients.
+    pub net_retries: u64,
+    /// Pooled connections evicted during the run (`net.client.pool_evictions` delta). The
+    /// clients always counted these, but no report ever surfaced them.
+    pub pool_evictions: u64,
+    /// Calls that rode a coalesced multi-envelope frame (`net.client.coalesced_calls` delta).
+    pub coalesced_calls: u64,
+    /// Batched shard flushes the router committed during the run (`router.flush.batches`
+    /// delta) — zero when the router runs on a different host (TCP deployments), where the
+    /// router's registry is not reachable from the caller's.
+    pub router_flushes: u64,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -139,6 +152,16 @@ impl std::fmt::Display for LoadReport {
         if !self.faults_injected.is_empty() {
             writeln!(f, "faults injected: {}", self.faults_injected.join(", "))?;
         }
+        if self.net_retries + self.pool_evictions + self.coalesced_calls > 0 {
+            writeln!(
+                f,
+                "net: {} retries, {} pool evictions, {} coalesced calls",
+                self.net_retries, self.pool_evictions, self.coalesced_calls
+            )?;
+        }
+        if self.router_flushes > 0 {
+            writeln!(f, "router flushes: {}", self.router_flushes)?;
+        }
         for (service, calls) in &self.dispatch_counts {
             writeln!(f, "  {service:<32} {calls} calls")?;
         }
@@ -153,6 +176,9 @@ pub struct LoadGenerator {
     /// Wave counter: each `run` documents fresh sessions, so repeated runs against a grown
     /// cluster actually exercise the rebalanced ring instead of re-hitting pinned sessions.
     wave: std::sync::atomic::AtomicU64,
+    /// Source of per-message trace ids. Injectable ([`Self::with_trace_source`]) so
+    /// deterministic harnesses replay the same ids, seed for seed.
+    trace_ids: TraceIdGen,
 }
 
 impl LoadGenerator {
@@ -162,12 +188,21 @@ impl LoadGenerator {
             host,
             config,
             wave: std::sync::atomic::AtomicU64::new(0),
+            trace_ids: TraceIdGen::new("load"),
         }
+    }
+
+    /// Replace the trace-id source — the injection point that keeps simulation replays
+    /// bit-identical: a harness hands every run a generator seeded the same way.
+    pub fn with_trace_source(mut self, trace_ids: TraceIdGen) -> Self {
+        self.trace_ids = trace_ids;
+        self
     }
 
     /// Execute the run and gather the report.
     pub fn run(&self) -> LoadReport {
         self.host.reset_dispatch_counts();
+        let obs_before = self.host.registry().snapshot();
         let config = Arc::new(self.config.clone());
         let wave = self.wave.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let trigger = Arc::new(FaultTrigger::new(
@@ -190,8 +225,12 @@ impl LoadGenerator {
                 let host = self.host.clone();
                 let config = Arc::clone(&config);
                 let trigger = Arc::clone(&trigger);
-                handles
-                    .push(scope.spawn(move || client_run(wave, client, &host, &config, &trigger)));
+                let trace_ids = self.trace_ids.clone();
+                handles.push(
+                    scope.spawn(move || {
+                        client_run(wave, client, &host, &config, &trigger, &trace_ids)
+                    }),
+                );
             }
             for handle in handles {
                 let outcome = handle.join().expect("load client panicked");
@@ -223,6 +262,8 @@ impl LoadGenerator {
         } else {
             &latencies
         };
+        let obs_after = self.host.registry().snapshot();
+        let delta = |name: &str| obs_after.counter_delta(&obs_before, name);
         // Count only assertions whose record message succeeded, so a misbehaving
         // deployment is not credited with the configured workload.
         LoadReport {
@@ -244,6 +285,10 @@ impl LoadGenerator {
             flush_latency_p99: percentile_of(&flush_latencies, 0.99),
             dispatch_counts: self.host.dispatch_counts(),
             faults_injected: trigger.fired(),
+            net_retries: delta("net.client.retries"),
+            pool_evictions: delta("net.client.pool_evictions"),
+            coalesced_calls: delta("net.client.coalesced_calls"),
+            router_flushes: delta("router.flush.batches"),
         }
     }
 }
@@ -311,12 +356,14 @@ fn client_run(
     host: &ServiceHost,
     config: &LoadGenConfig,
     trigger: &FaultTrigger,
+    trace_ids: &TraceIdGen,
 ) -> ClientOutcome {
     let transport = host.transport(if config.real_wire {
         TransportConfig::passthrough()
     } else {
         TransportConfig::free()
     });
+    let events: EventLog = host.registry().events();
     let asserter = ActorId::new(format!("load-client-{client}"));
     let payload = "x".repeat(config.payload_bytes.max(1));
     let mut outcome = ClientOutcome {
@@ -356,15 +403,27 @@ fn client_run(
                 asserter: asserter.clone(),
                 assertions: chunk.to_vec(),
             };
+            // Each record message is the entry point of one trace: allocate the root
+            // context here, stamp the envelope, and every downstream hop (router flush,
+            // shard store) logs under the same trace id.
+            let ctx = trace_ids.next();
             // Packed record body: same compact form the router uses towards the shards,
             // so the client→router hop skips the JSON codec too.
             let envelope = Envelope::request(&config.service_name, "record")
                 .with_header("sender", asserter.as_str())
-                .with_body(pasoa_core::prepwire::record_to_element(&record));
+                .with_body(pasoa_core::prepwire::record_to_element(&record))
+                .with_trace(&ctx);
             let call_start = Instant::now();
             match transport.call(envelope) {
                 Ok(response) => {
                     let nanos = u64::try_from(call_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    events.push(
+                        &ctx.trace_id,
+                        ctx.span_id,
+                        "client.record",
+                        format!("client={client} batch={}", record.assertions.len()),
+                        nanos,
+                    );
                     // The router marks acks that triggered a shard flush: their round trip
                     // contains the whole batch's send and is reported separately, so the
                     // headline percentiles describe the wire rather than the batching.
@@ -426,6 +485,46 @@ mod tests {
             report.total_assertions
         );
         assert_eq!(cluster.router().stats().failovers, 1);
+    }
+
+    /// The report reads the host registry: an in-process run sees the router's flush count
+    /// as a per-run delta (not an absolute), and every record message leaves a client-side
+    /// trace event in the host's event log.
+    #[test]
+    fn report_surfaces_registry_counters_as_run_deltas() {
+        let host = ServiceHost::new();
+        let mut config = crate::ClusterConfig::with_shards(2);
+        config.batch_size = 4; // below the per-session assertion count, so the run flushes
+        let cluster = PreservCluster::deploy_with(&host, config, |_| {
+            Ok(Arc::new(pasoa_preserv::MemoryBackend::new())
+                as Arc<dyn pasoa_preserv::StorageBackend>)
+        })
+        .unwrap();
+        let generator = LoadGenerator::new(host.clone(), small_config(vec![]));
+        let first = generator.run();
+        assert!(first.router_flushes > 0, "threshold crossings must flush");
+        assert_eq!(first.net_retries, 0);
+        assert_eq!(first.pool_evictions, 0);
+        let events = host.registry().events();
+        assert!(
+            events.pushed() > 0,
+            "each record message logs a client event"
+        );
+        assert!(events
+            .snapshot()
+            .iter()
+            .any(|event| event.stage == "client.record"));
+        // Deltas, not absolutes: a second identical run reports its own flushes, not the
+        // accumulated registry total (which would roughly double run over run).
+        let registry_total_before = host.registry().snapshot().counter("router.flush.batches");
+        let second = generator.run();
+        assert!(second.router_flushes > 0);
+        assert!(second.router_flushes <= registry_total_before + second.router_flushes);
+        assert!(
+            second.router_flushes < host.registry().snapshot().counter("router.flush.batches"),
+            "the registry keeps accumulating while the report stays per-run"
+        );
+        drop(cluster);
     }
 
     /// A kill threshold beyond the run's total message count never fires: no panic, no hang,

@@ -42,6 +42,7 @@ use pasoa_core::prep::{
 };
 use pasoa_core::prepwire;
 use pasoa_core::Group;
+use pasoa_obs::{Registry, StatsSnapshot, TraceCtx};
 use pasoa_preserv::plugins::PluginResponse;
 use pasoa_preserv::{LineageGraph, PreservService, ProvenanceStore};
 use pasoa_wire::{
@@ -370,6 +371,10 @@ pub struct ShardRouter {
     pending_replays: Mutex<std::collections::BTreeSet<usize>>,
     ids: IdGenerator,
     stats: Mutex<RouterStats>,
+    /// Metrics and trace events, folded into the host registry as a
+    /// [`pasoa_obs::Registry::child`] so `stats-snapshot` answers aggregate the router's
+    /// flush behaviour alongside every other instrument on the host.
+    obs: Registry,
 }
 
 /// Outcome of sending one batch: on failure, which assertions are safe to re-buffer (none, if
@@ -429,6 +434,7 @@ impl ShardRouter {
             pending_replays: Mutex::new(std::collections::BTreeSet::new()),
             ids: IdGenerator::new("shard-router"),
             stats: Mutex::new(RouterStats::default()),
+            obs: host.registry().child(),
         }
     }
 
@@ -452,6 +458,20 @@ impl ShardRouter {
     /// Router counters.
     pub fn stats(&self) -> RouterStats {
         *self.stats.lock()
+    }
+
+    /// The registry the router's instruments (`router.flush.*`) and trace events write into —
+    /// a child of the deployment host's registry.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// The router's own observability snapshot, as served for `stats-snapshot` requests.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            service: "shard-router".to_string(),
+            registry: self.obs.snapshot(),
+        }
     }
 
     /// The configured replication factor.
@@ -935,17 +955,20 @@ impl ShardRouter {
         shard: usize,
         action: &str,
         message: &PrepMessage,
+        trace: Option<&TraceCtx>,
     ) -> WireResult<PluginResponse> {
         let name = self.shard_name(shard);
         if self.injector().is_down(&name) {
             return Err(WireError::ServiceDown(name));
         }
         match self.config.internal_hop {
-            InternalHop::Direct => self.shard_service(shard).dispatch(action, message),
+            InternalHop::Direct => self
+                .shard_service(shard)
+                .dispatch_traced(action, message, trace),
             InternalHop::Wire => {
                 // Record submissions dominate flush traffic; ship them in the packed binary
                 // form (the shard answers in kind), everything else as JSON.
-                let envelope = match message {
+                let mut envelope = match message {
                     PrepMessage::Record(record) => Envelope::request(&name, action)
                         .with_header("sender", "shard-router")
                         .with_body(prepwire::record_to_element(record)),
@@ -953,6 +976,9 @@ impl ShardRouter {
                         .with_header("sender", "shard-router")
                         .with_json_payload(message)?,
                 };
+                if let Some(trace) = trace {
+                    envelope = envelope.with_trace(trace);
+                }
                 let response = self.transport.call(envelope)?;
                 // Rebuild the typed plug-in response from the wire payload.
                 match message {
@@ -980,14 +1006,19 @@ impl ShardRouter {
         &self,
         primary: usize,
         batch: Vec<RecordedAssertion>,
+        trace: Option<&TraceCtx>,
     ) -> Result<(), BatchFailure> {
         if batch.is_empty() {
             return Ok(());
         }
+        self.obs
+            .histogram("router.flush.batch_size")
+            .record(batch.len() as u64);
+        let batch_len = batch.len();
         let chunk = self.config.wire_chunk_assertions;
         if matches!(self.config.internal_hop, InternalHop::Wire) && chunk > 0 && batch.len() > chunk
         {
-            return self.send_batch_wire_chunked(primary, batch);
+            return self.send_batch_wire_chunked(primary, batch, trace);
         }
         let message = PrepMessage::Record(pasoa_core::prep::RecordMessage {
             message_id: self.ids.message_id(),
@@ -1004,7 +1035,9 @@ impl ShardRouter {
             restore,
             error,
         };
-        let ack = match self.call_shard(primary, "record", &message) {
+        let events = self.obs.events();
+        let timer = (trace.is_some() && events.is_enabled()).then(std::time::Instant::now);
+        let ack = match self.call_shard(primary, "record", &message, trace) {
             Ok(PluginResponse::Ack(ack)) => ack,
             Ok(other) => {
                 let error =
@@ -1035,6 +1068,15 @@ impl ShardRouter {
             });
         }
         let batch = reclaim(message);
+        if let (Some(trace), Some(t)) = (trace, timer) {
+            events.push(
+                &trace.trace_id,
+                trace.span_id,
+                "router.flush",
+                format!("shard={primary} batch={batch_len}"),
+                t.elapsed().as_nanos() as u64,
+            );
+        }
 
         // The primary committed; copy into the replica holds. Hold appends are infallible
         // in-process writes, so returning from this block IS the replicated ack: copies =
@@ -1052,6 +1094,7 @@ impl ShardRouter {
             }
         }
         self.stats.lock().batches_flushed += 1;
+        self.obs.counter("router.flush.batches").inc();
         Ok(())
     }
 
@@ -1073,6 +1116,7 @@ impl ShardRouter {
         &self,
         primary: usize,
         batch: Vec<RecordedAssertion>,
+        trace: Option<&TraceCtx>,
     ) -> Result<(), BatchFailure> {
         let name = self.shard_name(primary);
         let failure = |restore: Vec<RecordedAssertion>, error: WireError| BatchFailure {
@@ -1112,13 +1156,26 @@ impl ShardRouter {
                 PrepMessage::Record(record) => record,
                 _ => unreachable!("send_batch_wire_chunked builds record messages"),
             };
-            envelopes.push(
-                Envelope::request(&name, "record")
-                    .with_header("sender", "shard-router")
-                    .with_body(prepwire::record_to_element(record)),
+            let mut envelope = Envelope::request(&name, "record")
+                .with_header("sender", "shard-router")
+                .with_body(prepwire::record_to_element(record));
+            if let Some(trace) = trace {
+                envelope = envelope.with_trace(trace);
+            }
+            envelopes.push(envelope);
+        }
+        let events = self.obs.events();
+        let timer = (trace.is_some() && events.is_enabled()).then(std::time::Instant::now);
+        let results = self.transport.call_many(envelopes);
+        if let (Some(trace), Some(t)) = (trace, timer) {
+            events.push(
+                &trace.trace_id,
+                trace.span_id,
+                "router.flush",
+                format!("shard={primary} chunks={}", messages.len()),
+                t.elapsed().as_nanos() as u64,
             );
         }
-        let results = self.transport.call_many(envelopes);
 
         // Classify each chunk's outcome before touching holds or buffers.
         let mut acked = vec![false; messages.len()];
@@ -1187,6 +1244,7 @@ impl ShardRouter {
                 stats.batches_replicated += 1;
             }
         }
+        self.obs.counter("router.flush.batches").add(flushed);
         match chunk_error {
             Some(error) => Err(failure(restore, error)),
             None => Ok(()),
@@ -1198,15 +1256,16 @@ impl ShardRouter {
     /// buffer mutex itself is held only to drain and to restore, so appends racing the send
     /// proceed immediately. On failure, whatever is safe to resend is restored *ahead of*
     /// anything appended during the send, preserving buffer order.
-    fn send_buffer(&self, shard: usize) -> Result<(), FlushError> {
+    fn send_buffer(&self, shard: usize, trace: Option<&TraceCtx>) -> Result<(), FlushError> {
         let buffer = Arc::clone(&self.buffers.read()[shard]);
         let batch = std::mem::take(&mut *buffer.lock());
         if batch.is_empty() {
             return Ok(());
         }
-        match self.send_batch_replicated(shard, batch) {
+        match self.send_batch_replicated(shard, batch, trace) {
             Ok(()) => Ok(()),
             Err(failure) => {
+                self.obs.counter("router.flush.failed_send_restores").inc();
                 let mut guard = buffer.lock();
                 let mut restored = failure.restore;
                 restored.append(&mut *guard);
@@ -1233,7 +1292,7 @@ impl ShardRouter {
         let _failover = self.failover.read();
         let flusher = Arc::clone(&self.flushers.read()[shard]);
         let _send = flusher.lock();
-        self.send_buffer(shard)
+        self.send_buffer(shard, None)
     }
 
     /// Flush every shard buffer. Called before queries (read-your-writes) and at the end of a
@@ -1298,6 +1357,7 @@ impl ShardRouter {
         &self,
         message_id: MessageId,
         assertions: Vec<RecordedAssertion>,
+        trace: Option<&TraceCtx>,
     ) -> WireResult<(RecordAck, u64)> {
         self.maybe_handle_failures();
         let accepted = assertions.len();
@@ -1336,7 +1396,7 @@ impl ShardRouter {
                     let sent = match flusher.try_lock() {
                         Some(_send) => loop {
                             flushes += 1;
-                            match self.send_buffer(shard) {
+                            match self.send_buffer(shard, trace) {
                                 Ok(()) => {
                                     let refilled = {
                                         let buffer = Arc::clone(&self.buffers.read()[shard]);
@@ -1350,7 +1410,13 @@ impl ShardRouter {
                                 Err(e) => break Err(e),
                             }
                         },
-                        None => Ok(()),
+                        None => {
+                            // A flush for this shard is already on the wire: the just-appended
+                            // records merge into the in-flight holder's re-drain instead of
+                            // paying their own send.
+                            self.obs.counter("router.flush.merge_skips").inc();
+                            Ok(())
+                        }
                     };
                     sent
                 } else {
@@ -1397,6 +1463,7 @@ impl ShardRouter {
                     shard,
                     "register-group",
                     &PrepMessage::RegisterGroup(group.clone()),
+                    None,
                 )
                 .map(|_| {
                     let replication = self.replication();
@@ -1440,7 +1507,12 @@ impl ShardRouter {
             self.live_shards()
                 .into_iter()
                 .map(|shard| {
-                    match self.call_shard(shard, "query", &PrepMessage::Query(request.clone()))? {
+                    match self.call_shard(
+                        shard,
+                        "query",
+                        &PrepMessage::Query(request.clone()),
+                        None,
+                    )? {
                         PluginResponse::Query(response) => Ok(response),
                         other => Err(WireError::Payload(format!(
                             "unexpected shard query response: {other:?}"
@@ -1529,7 +1601,7 @@ impl ShardRouter {
                 .into_iter()
                 .map(|shard| {
                     let message = PrepMessage::QueryPage(paged.clone());
-                    match self.call_shard(shard, "query-page", &message)? {
+                    match self.call_shard(shard, "query-page", &message, None)? {
                         PluginResponse::Page(page) => Ok(page),
                         other => Err(WireError::Payload(format!(
                             "unexpected shard page response: {other:?}"
@@ -1566,13 +1638,15 @@ impl ShardRouter {
                 let _gather = self.gather_guard();
                 self.live_shards()
                     .into_iter()
-                    .map(|shard| match self.call_shard(shard, "lineage", &message) {
-                        Ok(PluginResponse::Lineage(graph)) => Ok(graph),
-                        Ok(other) => Err(WireError::Payload(format!(
-                            "unexpected shard lineage response: {other:?}"
-                        ))),
-                        Err(e) => Err(e),
-                    })
+                    .map(
+                        |shard| match self.call_shard(shard, "lineage", &message, None) {
+                            Ok(PluginResponse::Lineage(graph)) => Ok(graph),
+                            Ok(other) => Err(WireError::Payload(format!(
+                                "unexpected shard lineage response: {other:?}"
+                            ))),
+                            Err(e) => Err(e),
+                        },
+                    )
                     .collect()
             };
             match gathered {
@@ -1697,6 +1771,12 @@ impl MessageHandler for ShardRouter {
             .action()
             .ok_or_else(|| WireError::InvalidEnvelope("missing action header".into()))?
             .to_string();
+        // Answer stats requests before touching the body (the request carries no PReP
+        // message); the same envelope works in process and over the TCP fabric.
+        if action == pasoa_wire::STATS_SNAPSHOT_ACTION {
+            return Envelope::response(&action).with_json_payload(&self.stats_snapshot());
+        }
+        let trace = request.trace_ctx();
         // Packed record bodies skip the JSON round trip on the client→router hop, exactly
         // as on the router→shard hop; the ack answers in the form the request arrived in,
         // so textual JSON callers keep working untouched.
@@ -1711,8 +1791,11 @@ impl MessageHandler for ShardRouter {
         };
         match (action.as_str(), message) {
             ("record", PrepMessage::Record(record)) => {
+                // The router is its own hop on the trace: shard-bound envelopes carry a
+                // child span so per-hop timings nest under the client's span.
+                let hop = trace.as_ref().map(|t| t.child());
                 let (ack, flushes) =
-                    self.handle_record(record.message_id.clone(), record.assertions)?;
+                    self.handle_record(record.message_id.clone(), record.assertions, hop.as_ref())?;
                 let response = if packed {
                     Envelope::response("record").with_body(prepwire::ack_to_element(&ack))
                 } else {

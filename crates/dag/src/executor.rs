@@ -34,6 +34,7 @@ use pasoa_core::passertion::{
     RelationshipPAssertion, ViewKind,
 };
 use pasoa_core::recorder::{ProvenanceRecorder, RecordError};
+use pasoa_obs::Registry;
 
 use crate::data::DataItem;
 use crate::report::{DagRunReport, TaskOutcome, TRANSITION_KIND};
@@ -74,6 +75,8 @@ struct TaskCell {
     outputs: Vec<DataItem>,
     error: Option<String>,
     skip_cause: Option<SkipCause>,
+    /// When the task became runnable (all parents terminal), for queue-wait measurement.
+    ready_at: Option<Duration>,
     started_at: Option<Duration>,
     finished_at: Option<Duration>,
 }
@@ -103,6 +106,7 @@ pub struct Executor {
     group: Mutex<Group>,
     passertions: AtomicU64,
     recording_errors: AtomicU64,
+    obs: Registry,
 }
 
 impl Executor {
@@ -122,7 +126,24 @@ impl Executor {
             group: Mutex::new(group),
             passertions: AtomicU64::new(0),
             recording_errors: AtomicU64::new(0),
+            obs: Registry::new(),
         }
+    }
+
+    /// Fold this executor's metrics (`dag.transition.*` counters and the
+    /// `dag.queue_wait_nanos` histogram) into `registry`.
+    pub fn with_observability(mut self, registry: &Registry) -> Self {
+        self.obs = registry.child();
+        self
+    }
+
+    /// The registry the executor's instruments write into.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    fn note_transition(&self, to: &str) {
+        self.obs.counter(&format!("dag.transition.{to}")).inc();
     }
 
     /// Override the actor identity the executor asserts under (default `dag-executor`).
@@ -176,19 +197,23 @@ impl Executor {
         }))?;
         self.group.lock().add(dag_key);
 
-        let cells = (0..n)
+        let mut cells: Vec<TaskCell> = (0..n)
             .map(|_| TaskCell {
                 state: TaskState::Pending,
                 attempts: 0,
                 outputs: Vec::new(),
                 error: None,
                 skip_cause: None,
+                ready_at: None,
                 started_at: None,
                 finished_at: None,
             })
             .collect();
         let remaining_parents: Vec<usize> = (0..n).map(|i| dag.parents(i).len()).collect();
         let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining_parents[i] == 0).collect();
+        for &i in &ready {
+            cells[i].ready_at = Some(Duration::ZERO);
+        }
         let shared = Shared {
             inner: Mutex::new(Inner {
                 cells,
@@ -257,7 +282,7 @@ impl Executor {
         run_start: Instant,
     ) {
         loop {
-            let task = {
+            let (task, queue_wait) = {
                 let mut inner = shared.inner.lock();
                 loop {
                     if inner.unresolved == 0 {
@@ -267,8 +292,12 @@ impl Executor {
                     if let Some(&t) = inner.ready.iter().next() {
                         inner.ready.remove(&t);
                         inner.cells[t].state = TaskState::Running;
-                        inner.cells[t].started_at = Some(run_start.elapsed());
-                        break t;
+                        let started = run_start.elapsed();
+                        inner.cells[t].started_at = Some(started);
+                        let waited = inner.cells[t]
+                            .ready_at
+                            .map(|ready| started.saturating_sub(ready));
+                        break (t, waited);
                     }
                     inner = shared
                         .cv
@@ -276,6 +305,12 @@ impl Executor {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
+            self.note_transition("running");
+            if let Some(waited) = queue_wait {
+                self.obs
+                    .histogram("dag.queue_wait_nanos")
+                    .record_duration(waited);
+            }
 
             // Assemble inputs: initial inputs first, then data parents in declaration order.
             // Parents are terminal by construction, so their outputs are stable.
@@ -304,11 +339,13 @@ impl Executor {
                         Ok(outputs) => {
                             cell.state = TaskState::Completed;
                             cell.outputs = outputs;
+                            self.note_transition("completed");
                             false
                         }
                         Err(reason) => {
                             cell.state = TaskState::Failed;
                             cell.error = Some(reason);
+                            self.note_transition("failed");
                             true
                         }
                     }
@@ -359,6 +396,7 @@ impl Executor {
                 match bad_parent {
                     None => {
                         inner.ready.insert(child);
+                        inner.cells[child].ready_at = Some(elapsed);
                     }
                     Some(bad) => {
                         let cause = SkipCause::UpstreamFailed {
@@ -416,6 +454,7 @@ impl Executor {
         cell.skip_cause = Some(cause.clone());
         cell.finished_at = Some(elapsed);
         inner.unresolved -= 1;
+        self.note_transition("skipped");
         skips.push((task, cause));
     }
 
@@ -441,6 +480,7 @@ impl Executor {
                 Err(reason) => {
                     if attempt < max_attempts {
                         shared.inner.lock().cells[task].state = TaskState::Retrying;
+                        self.note_transition("retrying");
                         self.emit_transition(
                             self.ids.interaction_key(),
                             serde_json::json!({

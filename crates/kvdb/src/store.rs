@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use pasoa_obs::{Histogram, Registry};
+
 use crate::batch::WriteBatch;
 use crate::error::{DbError, DbResult};
 use crate::index::{IndexEntry, KeyIndex};
@@ -138,6 +140,24 @@ pub(crate) struct DbInner {
     /// Armed crash point: 0 = disarmed, k > 0 = the k-th record append from now simulates a
     /// power loss instead of appending (see [`Db::arm_crash_after_appends`]).
     pub(crate) crash_after_appends: std::sync::atomic::AtomicU64,
+    /// Observability handles, attached after open via [`Db::attach_observability`]. Until
+    /// then every handle is disabled and the hot path pays one branch per sample.
+    pub(crate) obs: RwLock<DbObs>,
+}
+
+/// Timing instruments for the append path.
+pub(crate) struct DbObs {
+    pub(crate) append_nanos: Histogram,
+    pub(crate) fsync_nanos: Histogram,
+}
+
+impl DbObs {
+    fn detached() -> Self {
+        DbObs {
+            append_nanos: Histogram::disabled(),
+            fsync_nanos: Histogram::disabled(),
+        }
+    }
 }
 
 pub(crate) struct LogState {
@@ -269,6 +289,7 @@ impl Db {
             recovery,
             crashed: std::sync::atomic::AtomicBool::new(false),
             crash_after_appends: std::sync::atomic::AtomicU64::new(0),
+            obs: RwLock::new(DbObs::detached()),
         };
         Ok(Db {
             inner: Arc::new(inner),
@@ -278,6 +299,28 @@ impl Db {
     /// What the opening log scan found and repaired.
     pub fn recovery_report(&self) -> &RecoveryReport {
         &self.inner.recovery
+    }
+
+    /// Attach this database to an observability registry: append/fsync latency lands in the
+    /// `kvdb.append_nanos` / `kvdb.fsync_nanos` histograms and what the opening recovery scan
+    /// repaired is published as `kvdb.recovery.*` counters. Until attached (and on a detached
+    /// handle forever) the instruments are disabled and the append path pays one branch.
+    pub fn attach_observability(&self, registry: &Registry) {
+        {
+            let mut obs = self.inner.obs.write();
+            obs.append_nanos = registry.histogram("kvdb.append_nanos");
+            obs.fsync_nanos = registry.histogram("kvdb.fsync_nanos");
+        }
+        let report = &self.inner.recovery;
+        registry
+            .counter("kvdb.recovery.torn_segments")
+            .add(report.torn_segments() as u64);
+        registry
+            .counter("kvdb.recovery.truncated_bytes")
+            .add(report.truncated_bytes());
+        registry
+            .counter("kvdb.recovery.records_recovered")
+            .add(report.records_recovered());
     }
 
     /// Simulate a crash: drop the writer's in-process buffer and truncate the active segment
@@ -476,11 +519,17 @@ impl Db {
     /// Force all appended data to stable storage.
     pub fn sync(&self) -> DbResult<()> {
         self.check_open()?;
+        let fsync_hist = self.inner.obs.read().fsync_nanos.clone();
+        let fsync_timer = fsync_hist.is_enabled().then(std::time::Instant::now);
         let mut log = self.inner.log.lock();
         // Re-checked under the log lock: a crash() that won the lock first has already
         // truncated to the last fsync point, and a sync landing after it must not ack.
         self.check_open()?;
-        log.active.sync()
+        log.active.sync()?;
+        if let Some(t) = fsync_timer {
+            fsync_hist.record_duration(t.elapsed());
+        }
+        Ok(())
     }
 
     /// A snapshot of operational statistics.
@@ -501,6 +550,11 @@ impl Db {
 
     fn append_records(&self, records: &[Record]) -> DbResult<()> {
         self.check_open()?;
+        let (append_hist, fsync_hist) = {
+            let obs = self.inner.obs.read();
+            (obs.append_nanos.clone(), obs.fsync_nanos.clone())
+        };
+        let append_timer = append_hist.is_enabled().then(std::time::Instant::now);
         let mut pointers = Vec::with_capacity(records.len());
         {
             let mut log = self.inner.log.lock();
@@ -523,7 +577,13 @@ impl Db {
                 pointers.push(ptr);
             }
             match self.inner.options.sync {
-                SyncPolicy::Always => log.active.sync()?,
+                SyncPolicy::Always => {
+                    let fsync_timer = fsync_hist.is_enabled().then(std::time::Instant::now);
+                    log.active.sync()?;
+                    if let Some(t) = fsync_timer {
+                        fsync_hist.record_duration(t.elapsed());
+                    }
+                }
                 SyncPolicy::OsFlush => log.active.flush()?,
                 SyncPolicy::Never => {}
             }
@@ -562,6 +622,9 @@ impl Db {
         }
 
         self.maybe_auto_compact()?;
+        if let Some(t) = append_timer {
+            append_hist.record_duration(t.elapsed());
+        }
         Ok(())
     }
 
@@ -628,6 +691,42 @@ mod tests {
             .duration_since(UNIX_EPOCH)
             .unwrap()
             .subsec_nanos() as u64
+    }
+
+    #[test]
+    fn attached_registry_sees_append_and_fsync_latency() {
+        let dir = tempdir("obs");
+        let registry = Registry::new();
+        {
+            let db = Db::open_with(&dir, DbOptions::durable()).unwrap();
+            db.attach_observability(&registry);
+            db.put(b"k1", b"v1").unwrap();
+            db.put(b"k2", b"v2").unwrap();
+            db.sync().unwrap();
+        }
+        let snapshot = registry.snapshot();
+        let appends = snapshot.histogram("kvdb.append_nanos").unwrap();
+        assert_eq!(appends.count, 2);
+        // Two durable puts plus the explicit sync.
+        let fsyncs = snapshot.histogram("kvdb.fsync_nanos").unwrap();
+        assert_eq!(fsyncs.count, 3);
+        assert_eq!(snapshot.counter("kvdb.recovery.torn_segments"), 0);
+        // Reopen after a clean close: recovery counters report the replayed records.
+        let registry = Registry::new();
+        let db = Db::open(&dir).unwrap();
+        db.attach_observability(&registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("kvdb.recovery.records_recovered"), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detached_db_pays_no_observability() {
+        let dir = tempdir("obs-off");
+        let db = Db::open(&dir).unwrap();
+        db.put(b"k", b"v").unwrap();
+        assert!(!db.inner.obs.read().append_nanos.is_enabled());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -44,11 +44,11 @@
 //! untouched: they ignore the advertisement header and answer textually.
 
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use pasoa_obs::{Counter, Histogram, Registry};
 
 use pasoa_wire::{Envelope, FaultInjector, MessageHandler, ServiceHost, WireError, WireResult};
 
@@ -127,17 +127,41 @@ pub struct NetClientStats {
     pub coalesced_calls: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    calls: AtomicU64,
-    connects: AtomicU64,
-    retries: AtomicU64,
-    transport_failures: AtomicU64,
-    protocol_failures: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    pool_evictions: AtomicU64,
-    coalesced_calls: AtomicU64,
+/// The client's instrument handles, backed by a `pasoa-obs` registry (by default its own;
+/// [`NetClient::with_observability`] rebinds them into a child of a host registry so the
+/// host's snapshot aggregates every proxy bound to it).
+struct ClientObs {
+    registry: Registry,
+    calls: Counter,
+    connects: Counter,
+    retries: Counter,
+    transport_failures: Counter,
+    protocol_failures: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    pool_evictions: Counter,
+    coalesced_calls: Counter,
+    /// Distribution of coalesced frame sizes (requests per shared frame, ≥ 2 by
+    /// construction).
+    coalesce_group: Histogram,
+}
+
+impl ClientObs {
+    fn new(registry: Registry) -> Self {
+        ClientObs {
+            calls: registry.counter("net.client.calls"),
+            connects: registry.counter("net.client.connects"),
+            retries: registry.counter("net.client.retries"),
+            transport_failures: registry.counter("net.client.transport_failures"),
+            protocol_failures: registry.counter("net.client.protocol_failures"),
+            bytes_sent: registry.counter("net.client.bytes_sent"),
+            bytes_received: registry.counter("net.client.bytes_received"),
+            pool_evictions: registry.counter("net.client.pool_evictions"),
+            coalesced_calls: registry.counter("net.client.coalesced_calls"),
+            coalesce_group: registry.histogram("net.client.coalesce_group"),
+            registry,
+        }
+    }
 }
 
 /// Which phase of a call failed — decides whether a retry is safe.
@@ -215,7 +239,7 @@ pub struct NetClient {
     /// calls stop allocating per exchange.
     buffers: Mutex<Vec<Vec<u8>>>,
     coalescer: Mutex<CoalesceState>,
-    counters: Counters,
+    counters: ClientObs,
     on_down: Option<FaultInjector>,
 }
 
@@ -230,9 +254,23 @@ impl NetClient {
             pool: Mutex::new(Vec::new()),
             buffers: Mutex::new(Vec::new()),
             coalescer: Mutex::new(CoalesceState::default()),
-            counters: Counters::default(),
+            counters: ClientObs::new(Registry::new()),
             on_down: None,
         }
+    }
+
+    /// Record this client's counters into a child of `registry`, so the registry's snapshot
+    /// aggregates them (under `net.client.*`) across every client bound to it — the one
+    /// accounting path the load generator and the `stats` service read. Call before the
+    /// first exchange; counts recorded before the rebind stay in the old registry.
+    pub fn with_observability(mut self, registry: &Registry) -> Self {
+        self.counters = ClientObs::new(registry.child());
+        self
+    }
+
+    /// The registry this client records into.
+    pub fn registry(&self) -> &Registry {
+        &self.counters.registry
     }
 
     /// Report transport-level failures to `injector` (killing this client's service name), so
@@ -256,15 +294,15 @@ impl NetClient {
     /// Snapshot of the client's counters.
     pub fn stats(&self) -> NetClientStats {
         NetClientStats {
-            calls: self.counters.calls.load(Ordering::Relaxed),
-            connects: self.counters.connects.load(Ordering::Relaxed),
-            retries: self.counters.retries.load(Ordering::Relaxed),
-            transport_failures: self.counters.transport_failures.load(Ordering::Relaxed),
-            protocol_failures: self.counters.protocol_failures.load(Ordering::Relaxed),
-            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
-            pool_evictions: self.counters.pool_evictions.load(Ordering::Relaxed),
-            coalesced_calls: self.counters.coalesced_calls.load(Ordering::Relaxed),
+            calls: self.counters.calls.get(),
+            connects: self.counters.connects.get(),
+            retries: self.counters.retries.get(),
+            transport_failures: self.counters.transport_failures.get(),
+            protocol_failures: self.counters.protocol_failures.get(),
+            bytes_sent: self.counters.bytes_sent.get(),
+            bytes_received: self.counters.bytes_received.get(),
+            pool_evictions: self.counters.pool_evictions.get(),
+            coalesced_calls: self.counters.coalesced_calls.get(),
         }
     }
 
@@ -331,9 +369,8 @@ impl NetClient {
                 slot.fill(self.call_single(&request));
                 continue;
             }
-            self.counters
-                .coalesced_calls
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.counters.coalesced_calls.add(batch.len() as u64);
+            self.counters.coalesce_group.record(batch.len() as u64);
             let (requests, slots): (Vec<_>, Vec<_>) = batch
                 .into_iter()
                 .map(|pending| (pending.request, pending.slot))
@@ -391,9 +428,7 @@ impl NetClient {
                         // Wrong arity is a server-side protocol bug, not a dead host: the
                         // in-flight remainder fails as per-call errors, and the connection
                         // is dropped rather than trusted again.
-                        self.counters
-                            .protocol_failures
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.counters.protocol_failures.inc();
                         let error = WireError::Payload(format!(
                             "tcp transport: batched {} requests but received {} responses",
                             remaining.len(),
@@ -414,7 +449,7 @@ impl NetClient {
                         // so clear them all and rebuild from a fresh negotiating call on
                         // the next iteration.
                         self.clear_pool();
-                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        self.counters.retries.inc();
                         continue;
                     }
                     let wire_error = self.fail(error);
@@ -462,7 +497,7 @@ impl NetClient {
             // drop them all — otherwise every one of them burns a failed call and a
             // one-shot retry before the pool heals — and let one fresh connection try.
             self.clear_pool();
-            self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            self.counters.retries.inc();
             self.encode_single(false, frame::VERSION_TEXT, request, scratch)?;
             let conn = self.fresh_conn()?;
             match self.exchange_single(conn, scratch, payload_buf) {
@@ -501,16 +536,12 @@ impl NetClient {
         let total = match encoded {
             Ok(total) => total,
             Err(error) => {
-                self.counters
-                    .protocol_failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.protocol_failures.inc();
                 return Err(WireError::from(error));
             }
         };
         if total > self.config.max_frame_bytes + frame::HEADER_LEN {
-            self.counters
-                .protocol_failures
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.protocol_failures.inc();
             return Err(WireError::Payload(format!(
                 "tcp transport: request frame of {} bytes exceeds the {}-byte ceiling; \
                  fetch/ship it in bounded pieces instead",
@@ -533,7 +564,7 @@ impl NetClient {
 
     /// Count a completed exchange and rebuild any server-reported error.
     fn decode_response(&self, response: Envelope) -> WireResult<Envelope> {
-        self.counters.calls.fetch_add(1, Ordering::Relaxed);
+        self.counters.calls.inc();
         if let Some(error) = proto::decode_error(&response) {
             // The server answered: the service is reachable, the *request* failed. No
             // injector notice — this mirrors an in-process handler error, not a dead host.
@@ -570,9 +601,7 @@ impl NetClient {
         conn.stream.flush().map_err(write_failure)?;
         // Counted at write success, so traffic sent before a failed read — and each send of
         // a retried call — is accounted, not just completed exchanges.
-        self.counters
-            .bytes_sent
-            .fetch_add(request_frame.len() as u64, Ordering::Relaxed);
+        self.counters.bytes_sent.add(request_frame.len() as u64);
         match frame::read_frame_any(
             &mut conn.stream,
             self.config.max_frame_bytes,
@@ -580,9 +609,7 @@ impl NetClient {
             payload_buf,
         ) {
             Ok(decoded) => {
-                self.counters
-                    .bytes_received
-                    .fetch_add(decoded.bytes as u64, Ordering::Relaxed);
+                self.counters.bytes_received.add(decoded.bytes as u64);
                 conn.version = decoded.version;
                 conn.negotiated = true;
                 Ok((decoded.envelopes, conn))
@@ -614,7 +641,7 @@ impl NetClient {
     fn connect(&self) -> WireResult<TcpStream> {
         match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
             Ok(stream) => {
-                self.counters.connects.fetch_add(1, Ordering::Relaxed);
+                self.counters.connects.inc();
                 Ok(stream)
             }
             Err(error) => Err(self.fail(FrameError::Io {
@@ -640,9 +667,7 @@ impl NetClient {
         pool.retain(|conn| conn.idle_since.elapsed() < self.config.pool_idle_timeout);
         let evicted = before - pool.len();
         if evicted > 0 {
-            self.counters
-                .pool_evictions
-                .fetch_add(evicted as u64, Ordering::Relaxed);
+            self.counters.pool_evictions.add(evicted as u64);
         }
     }
 
@@ -725,9 +750,7 @@ impl NetClient {
     fn fail(&self, error: FrameError) -> WireError {
         match error {
             FrameError::Closed | FrameError::Truncated { .. } | FrameError::Io { .. } => {
-                self.counters
-                    .transport_failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.transport_failures.inc();
                 if let Some(injector) = &self.on_down {
                     injector.kill(self.service.clone());
                 }
@@ -739,9 +762,7 @@ impl NetClient {
             | FrameError::BadCrc { .. }
             | FrameError::BadUtf8
             | FrameError::BadEnvelope(_)) => {
-                self.counters
-                    .protocol_failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.protocol_failures.inc();
                 WireError::from(protocol)
             }
         }
@@ -756,9 +777,7 @@ impl NetClient {
         let drained = pool.len();
         pool.clear();
         if drained > 0 {
-            self.counters
-                .pool_evictions
-                .fetch_add(drained as u64, Ordering::Relaxed);
+            self.counters.pool_evictions.add(drained as u64);
         }
     }
 }
@@ -817,8 +836,11 @@ pub fn register_remote(
     addr: SocketAddr,
     config: NetClientConfig,
 ) -> Arc<NetClient> {
-    let client =
-        Arc::new(NetClient::new(addr, service, config).with_failure_notice(host.fault_injector()));
+    let client = Arc::new(
+        NetClient::new(addr, service, config)
+            .with_observability(host.registry())
+            .with_failure_notice(host.fault_injector()),
+    );
     host.register(service, Arc::clone(&client) as Arc<dyn MessageHandler>);
     client
 }

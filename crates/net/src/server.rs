@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use pasoa_obs::{Counter, Gauge, Registry};
 
 use pasoa_wire::{Envelope, ServiceHost, WireError};
 
@@ -101,41 +102,65 @@ pub struct NetServerStats {
     pub per_service: Vec<(String, u64)>,
 }
 
-#[derive(Default)]
-struct Counters {
-    connections_accepted: AtomicU64,
-    active_connections: AtomicU64,
-    requests: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    faults: AtomicU64,
-    rejected_frames: AtomicU64,
-    protocol_errors: AtomicU64,
-    binary_frames: AtomicU64,
-    batched_envelopes: AtomicU64,
-    per_service: Mutex<HashMap<String, u64>>,
+/// Metric-name prefix for per-service request counters in the host registry.
+const SERVICE_PREFIX: &str = "net.server.service.";
+
+/// The server's instrument handles into the host registry — one accounting path shared with
+/// the `stats` service instead of a bespoke atomics struct.
+struct ServerObs {
+    registry: Registry,
+    connections_accepted: Counter,
+    active_connections: Gauge,
+    requests: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    faults: Counter,
+    rejected_frames: Counter,
+    protocol_errors: Counter,
+    binary_frames: Counter,
+    batched_envelopes: Counter,
 }
 
-impl Counters {
+impl ServerObs {
+    fn new(registry: Registry) -> Self {
+        ServerObs {
+            connections_accepted: registry.counter("net.server.connections_accepted"),
+            active_connections: registry.gauge("net.server.active_connections"),
+            requests: registry.counter("net.server.requests"),
+            bytes_in: registry.counter("net.server.bytes_in"),
+            bytes_out: registry.counter("net.server.bytes_out"),
+            faults: registry.counter("net.server.faults"),
+            rejected_frames: registry.counter("net.server.rejected_frames"),
+            protocol_errors: registry.counter("net.server.protocol_errors"),
+            binary_frames: registry.counter("net.server.binary_frames"),
+            batched_envelopes: registry.counter("net.server.batched_envelopes"),
+            registry,
+        }
+    }
+
+    fn per_service_counter(&self, service: &str) -> Counter {
+        self.registry.counter(&format!("{SERVICE_PREFIX}{service}"))
+    }
+
     fn snapshot(&self) -> NetServerStats {
-        let mut per_service: Vec<(String, u64)> = self
-            .per_service
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
+        let per_service = self
+            .registry
+            .snapshot()
+            .counters_with_prefix(SERVICE_PREFIX)
+            .into_iter()
+            .map(|(name, count)| (name[SERVICE_PREFIX.len()..].to_string(), count))
             .collect();
-        per_service.sort();
         NetServerStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            active_connections: self.active_connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            faults: self.faults.load(Ordering::Relaxed),
-            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            binary_frames: self.binary_frames.load(Ordering::Relaxed),
-            batched_envelopes: self.batched_envelopes.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.get(),
+            active_connections: u64::try_from(self.active_connections.get()).unwrap_or(0),
+            requests: self.requests.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            faults: self.faults.get(),
+            rejected_frames: self.rejected_frames.get(),
+            protocol_errors: self.protocol_errors.get(),
+            binary_frames: self.binary_frames.get(),
+            batched_envelopes: self.batched_envelopes.get(),
             per_service,
         }
     }
@@ -175,7 +200,7 @@ pub struct NetServer {
     addr: SocketAddr,
     config: NetServerConfig,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    counters: Arc<ServerObs>,
     active: Arc<ActiveConnections>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -190,7 +215,7 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(ServerObs::new(host.registry().clone()));
         let active = Arc::new(ActiveConnections::default());
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -252,9 +277,7 @@ impl NetServer {
                                     if stream.set_nonblocking(false).is_err() {
                                         continue;
                                     }
-                                    counters
-                                        .connections_accepted
-                                        .fetch_add(1, Ordering::Relaxed);
+                                    counters.connections_accepted.inc();
                                     if tx.send(stream).is_err() {
                                         break;
                                     }
@@ -344,7 +367,7 @@ fn serve_connection(
     mut stream: TcpStream,
     host: &ServiceHost,
     shutdown: &AtomicBool,
-    counters: &Counters,
+    counters: &ServerObs,
     active: &ActiveConnections,
     config: &NetServerConfig,
 ) {
@@ -357,10 +380,12 @@ fn serve_connection(
     if shutdown.load(Ordering::SeqCst) {
         let _ = stream.shutdown(Shutdown::Read);
     }
-    counters.active_connections.fetch_add(1, Ordering::Relaxed);
+    counters.active_connections.adjust(1);
 
     // Reused across the connection's lifetime, so steady-state frame (de)serialization
-    // stops allocating per exchange.
+    // stops allocating per exchange. The per-service counter cache keeps the registry's
+    // name lookup off the per-envelope hot path.
+    let mut per_service_cache: HashMap<String, Counter> = HashMap::new();
     let mut payload_buf = Vec::new();
     let mut write_buf = Vec::new();
     // The connection's negotiated wire version: textual until the peer advertises (or
@@ -379,38 +404,32 @@ fn serve_connection(
         ) {
             Ok(decoded) => {
                 let mut envelopes = decoded.envelopes;
-                counters
-                    .requests
-                    .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
-                counters
-                    .bytes_in
-                    .fetch_add(decoded.bytes as u64, Ordering::Relaxed);
+                counters.requests.add(envelopes.len() as u64);
+                counters.bytes_in.add(decoded.bytes as u64);
                 if decoded.version >= frame::VERSION_BINARY {
                     // A binary frame is itself proof the peer speaks version 2.
                     conn_version = conn_version.max(decoded.version);
-                    counters.binary_frames.fetch_add(1, Ordering::Relaxed);
+                    counters.binary_frames.inc();
                 }
                 if envelopes.len() > 1 {
-                    counters
-                        .batched_envelopes
-                        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
+                    counters.batched_envelopes.add(envelopes.len() as u64);
                 }
                 let mut services = Vec::with_capacity(envelopes.len());
-                {
-                    let mut per_service = counters.per_service.lock();
-                    for envelope in &mut envelopes {
-                        if let Some(advertised) = proto::take_advertised_version(envelope) {
-                            // Negotiate the highest version both sides speak, never below
-                            // the textual baseline every peer understands. The response
-                            // frame carries the verdict.
-                            conn_version = advertised
-                                .min(config.max_wire_version)
-                                .max(frame::VERSION_TEXT);
-                        }
-                        let service = envelope.service().unwrap_or_default().to_string();
-                        *per_service.entry(service.clone()).or_insert(0) += 1;
-                        services.push(service);
+                for envelope in &mut envelopes {
+                    if let Some(advertised) = proto::take_advertised_version(envelope) {
+                        // Negotiate the highest version both sides speak, never below
+                        // the textual baseline every peer understands. The response
+                        // frame carries the verdict.
+                        conn_version = advertised
+                            .min(config.max_wire_version)
+                            .max(frame::VERSION_TEXT);
                     }
+                    let service = envelope.service().unwrap_or_default().to_string();
+                    per_service_cache
+                        .entry(service.clone())
+                        .or_insert_with(|| counters.per_service_counter(&service))
+                        .inc();
+                    services.push(service);
                 }
                 let outcomes =
                     std::panic::catch_unwind(AssertUnwindSafe(|| host.dispatch_many(envelopes)));
@@ -420,7 +439,7 @@ fn serve_connection(
                         .map(|result| match result {
                             Ok(response) => response,
                             Err(error) => {
-                                counters.faults.fetch_add(1, Ordering::Relaxed);
+                                counters.faults.inc();
                                 proto::error_envelope(&error)
                             }
                         })
@@ -428,7 +447,7 @@ fn serve_connection(
                     Err(_) => services
                         .iter()
                         .map(|service| {
-                            counters.faults.fetch_add(1, Ordering::Relaxed);
+                            counters.faults.inc();
                             proto::error_envelope(&WireError::Fault {
                                 service: service.clone(),
                                 reason: "service panicked while handling the request".into(),
@@ -439,9 +458,7 @@ fn serve_connection(
                 match frame::write_frame_into(&mut stream, &mut write_buf, &responses, conn_version)
                 {
                     Ok(written) => {
-                        counters
-                            .bytes_out
-                            .fetch_add(written as u64, Ordering::Relaxed);
+                        counters.bytes_out.add(written as u64);
                     }
                     Err(_) => break,
                 }
@@ -449,7 +466,7 @@ fn serve_connection(
             Err(FrameError::Closed) => break,
             Err(e) if e.is_timeout() => break, // idle connection reclaimed
             Err(e @ FrameError::Oversized { .. }) => {
-                counters.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                counters.rejected_frames.inc();
                 // The stream position is unknown past a refused length; report — announcing
                 // the close, so the client drops the connection instead of pooling it — and
                 // close.
@@ -461,14 +478,14 @@ fn serve_connection(
                 // Bad magic/version/crc/UTF-8/envelope or mid-frame truncation: the framing
                 // is out of sync, so answer once (best effort, close announced) and drop the
                 // connection.
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                counters.protocol_errors.inc();
                 let _ = frame::write_frame(&mut stream, &closing_error(&WireError::from(e)));
                 break;
             }
         }
     }
 
-    counters.active_connections.fetch_sub(1, Ordering::Relaxed);
+    counters.active_connections.adjust(-1);
     active.deregister(id);
 }
 

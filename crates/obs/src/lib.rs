@@ -1,0 +1,34 @@
+//! # pasoa-obs — unified observability substrate
+//!
+//! The paper's thesis is that a service-oriented experiment should be inspectable after the
+//! fact through its recorded p-assertions. This crate applies the same discipline to the
+//! system itself: instead of each tier growing bespoke one-off counters, every layer writes
+//! into one substrate that can be snapshotted, merged across shards, shipped over the wire
+//! and exported as JSON.
+//!
+//! Three pieces, all std-only and clock-free:
+//!
+//! * [`metrics`] — atomic [`Counter`]s, [`Gauge`]s and log-bucketed [`Histogram`]s
+//!   (p50/p95/p99 with bounded relative error; snapshots merge bit-identically with a
+//!   histogram over the union of samples),
+//! * [`registry`] — the named-instrument [`Registry`] (one per `ServiceHost` by
+//!   convention), child aggregation for per-client instruments, serializable
+//!   [`RegistrySnapshot`]/[`StatsSnapshot`] answering the `stats` well-known service,
+//! * [`trace`] + [`events`] — [`TraceCtx`] span contexts allocated at client entry points
+//!   from a deterministic, injectable [`TraceIdGen`], propagated across the wire in the
+//!   [`TRACE_HEADER`] envelope header (ignored by old peers, so version-negotiation-safe),
+//!   with per-hop timings landing in a bounded ring-buffer [`EventLog`].
+//!
+//! Disabled mode ([`Registry::disabled`]) hands out inert instruments — every update is a
+//! single branch on a null pointer — so deployments can turn the whole tree off and the
+//! benchmarks gate the enabled overhead at ≤5%.
+
+pub mod events;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use events::{EventLog, TraceEvent, DEFAULT_EVENT_CAPACITY};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Registry, RegistrySnapshot, StatsSnapshot};
+pub use trace::{TraceCtx, TraceIdGen, TRACE_HEADER};

@@ -1,0 +1,132 @@
+//! Span tracing: trace contexts allocated at client entry points and propagated across the
+//! wire as an ordinary envelope header.
+//!
+//! A [`TraceCtx`] is deliberately tiny — a string trace id plus a hop counter — because it
+//! rides every record message. It is carried in the [`TRACE_HEADER`] envelope header in the
+//! textual form `trace_id#span_id`; envelope headers are serialized by both the textual XML
+//! wire form and the binary codec, and unknown headers are ignored by old peers, so trace
+//! propagation is version-negotiation-safe by construction rather than by special-casing
+//! either codec.
+//!
+//! Trace ids come from [`TraceIdGen`], a deterministic prefix+counter source modeled on
+//! `pasoa_core::IdGenerator`: no clocks, no randomness. That makes trace allocation
+//! injectable — the simulation harness seeds one per run and replays bit-identically with
+//! observability enabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Envelope header carrying the trace context across hops.
+pub const TRACE_HEADER: &str = "trace-ctx";
+
+/// Separator between trace id and span id in the header value. `#` cannot appear in
+/// generated trace ids (`prefix:run:counter`), so parsing is unambiguous.
+const SPAN_SEP: char = '#';
+
+/// Identity of one request's journey through the system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Stable id shared by every hop of the journey.
+    pub trace_id: String,
+    /// Hop depth: 0 where the trace was allocated, incremented by [`TraceCtx::child`] at
+    /// each forwarding hop.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// Root context for a freshly allocated trace id.
+    pub fn root(trace_id: impl Into<String>) -> Self {
+        TraceCtx {
+            trace_id: trace_id.into(),
+            span_id: 0,
+        }
+    }
+
+    /// The context a forwarding hop propagates: same trace, one level deeper.
+    pub fn child(&self) -> Self {
+        TraceCtx {
+            trace_id: self.trace_id.clone(),
+            span_id: self.span_id + 1,
+        }
+    }
+
+    /// Wire form for the [`TRACE_HEADER`] header value.
+    pub fn header_value(&self) -> String {
+        format!("{}{}{}", self.trace_id, SPAN_SEP, self.span_id)
+    }
+
+    /// Parse a header value produced by [`TraceCtx::header_value`]. Returns `None` on any
+    /// malformed input — a garbled trace header must never fail the request it rides on.
+    pub fn parse(value: &str) -> Option<Self> {
+        let (trace_id, span) = value.rsplit_once(SPAN_SEP)?;
+        if trace_id.is_empty() {
+            return None;
+        }
+        Some(TraceCtx {
+            trace_id: trace_id.to_string(),
+            span_id: span.parse().ok()?,
+        })
+    }
+}
+
+/// Deterministic trace-id source: `prefix:counter`, counter shared across clones so each
+/// allocation is unique within the generator. Inject one per deployment (or per simulated
+/// run) to keep replays bit-identical.
+#[derive(Clone, Debug)]
+pub struct TraceIdGen {
+    prefix: String,
+    counter: Arc<AtomicU64>,
+}
+
+impl TraceIdGen {
+    /// A generator stamping ids with `prefix`.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        TraceIdGen {
+            prefix: prefix.into(),
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Allocate the next trace id and wrap it in a root context.
+    pub fn next(&self) -> TraceCtx {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        TraceCtx::root(format!("{}:{:08}", self.prefix, n))
+    }
+}
+
+impl Default for TraceIdGen {
+    fn default() -> Self {
+        TraceIdGen::new("trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let ctx = TraceCtx::root("load:w0:00000007");
+        let hop = ctx.child().child();
+        let parsed = TraceCtx::parse(&hop.header_value()).expect("parse");
+        assert_eq!(parsed.trace_id, "load:w0:00000007");
+        assert_eq!(parsed.span_id, 2);
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none() {
+        for bad in ["", "no-sep", "#3", "id#", "id#notanumber"] {
+            assert!(TraceCtx::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_shared() {
+        let gen = TraceIdGen::new("sim:42");
+        let clone = gen.clone();
+        assert_eq!(gen.next().trace_id, "sim:42:00000000");
+        assert_eq!(clone.next().trace_id, "sim:42:00000001");
+        let fresh = TraceIdGen::new("sim:42");
+        assert_eq!(fresh.next().trace_id, "sim:42:00000000");
+    }
+}

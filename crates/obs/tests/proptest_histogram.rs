@@ -1,0 +1,102 @@
+//! Property tests for the histogram's two load-bearing contracts.
+//!
+//! The cluster stats path leans on both: `PreservCluster::stats_snapshot()` merges per-shard
+//! histogram snapshots into one cluster-wide distribution, and operators read p50/p95/p99 off
+//! the result. Merging must therefore be *lossless* (bit-identical to one histogram over the
+//! union of the shards' samples, in any merge order) and quantiles must honor the documented
+//! bound: never understate, relative overshoot ≤ `2^-SUB_BITS`.
+
+use pasoa_obs::metrics::SUB_BITS;
+use pasoa_obs::{HistogramSnapshot, Registry};
+use proptest::prelude::*;
+
+/// Record a batch of samples into a fresh enabled histogram and snapshot it.
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let registry = Registry::new();
+    let histogram = registry.histogram("h");
+    for &value in samples {
+        histogram.record(value);
+    }
+    histogram.snapshot()
+}
+
+/// Spread samples across the bucket range: exact small buckets, mid octaves, and high
+/// octaves where bucket widths are huge. Bounded so summed shards stay within `u64` — the
+/// exact-sum contract only holds without overflow.
+fn sample_vec() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![0u64..16, 16u64..100_000, (1u64 << 40)..(1u64 << 53)],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Merging shard snapshots equals one histogram over the union of their samples —
+    /// regardless of how the samples were split.
+    #[test]
+    fn merged_shards_equal_one_histogram_over_the_union(
+        a in sample_vec(),
+        b in sample_vec(),
+        c in sample_vec(),
+    ) {
+        let mut union = Vec::new();
+        union.extend_from_slice(&a);
+        union.extend_from_slice(&b);
+        union.extend_from_slice(&c);
+
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        merged.merge(&snapshot_of(&c));
+        prop_assert_eq!(&merged, &snapshot_of(&union));
+
+        // Merge order must not matter either (c ∪ a ∪ b == a ∪ b ∪ c).
+        let mut reordered = snapshot_of(&c);
+        reordered.merge(&snapshot_of(&a));
+        reordered.merge(&snapshot_of(&b));
+        prop_assert_eq!(&reordered, &merged);
+    }
+
+    /// Quantile estimates never understate the true order statistic and overshoot by at most
+    /// the documented `2^-SUB_BITS` relative error.
+    #[test]
+    fn quantiles_are_bounded_against_the_exact_order_statistic(
+        samples in prop::collection::vec(0u64..(1u64 << 40), 1..300),
+        q_per_mille in 0u64..1001,
+    ) {
+        let q = q_per_mille as f64 / 1000.0;
+        let snapshot = snapshot_of(&samples);
+        let mut samples = samples;
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let estimate = snapshot.quantile(q);
+        prop_assert!(
+            estimate >= exact,
+            "quantile({q}) = {estimate} understates exact order statistic {exact}"
+        );
+        let allowed = exact / (1 << SUB_BITS) as u64;
+        prop_assert!(
+            estimate <= exact.saturating_add(allowed),
+            "quantile({q}) = {estimate} overshoots {exact} by more than 2^-{SUB_BITS}"
+        );
+    }
+
+    /// The top quantile is exact: p100 is the true max, and count/sum/min/max survive any
+    /// shard split unchanged.
+    #[test]
+    fn extremes_and_exact_fields_survive_sharding(
+        a in prop::collection::vec(0u64..(1u64 << 55), 1..100),
+        b in prop::collection::vec(0u64..(1u64 << 55), 1..100),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged.count, all.len() as u64);
+        prop_assert_eq!(merged.sum, all.iter().sum::<u64>());
+        prop_assert_eq!(merged.min, *all.iter().min().unwrap());
+        prop_assert_eq!(merged.max, *all.iter().max().unwrap());
+        prop_assert_eq!(merged.quantile(1.0), merged.max);
+    }
+}

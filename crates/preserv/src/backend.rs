@@ -117,6 +117,12 @@ pub trait StorageBackend: Send + Sync {
         None
     }
 
+    /// Attach the backend's internal instrumentation (append/fsync latency, recovery repairs)
+    /// to `registry`. Backends with nothing to measure ignore the call.
+    fn attach_observability(&self, registry: &pasoa_obs::Registry) {
+        let _ = registry;
+    }
+
     /// A short name identifying the backend kind in diagnostics and benchmarks.
     fn kind(&self) -> BackendKind;
 }
@@ -444,6 +450,10 @@ impl StorageBackend for KvBackend {
 
     fn recovery_report(&self) -> Option<&pasoa_kvdb::RecoveryReport> {
         Some(self.db.recovery_report())
+    }
+
+    fn attach_observability(&self, registry: &pasoa_obs::Registry) {
+        self.db.attach_observability(registry);
     }
 
     fn kind(&self) -> BackendKind {

@@ -11,7 +11,10 @@ use std::sync::Arc;
 
 use pasoa_core::prep::PrepMessage;
 use pasoa_core::prepwire;
-use pasoa_wire::{Envelope, MessageHandler, ServiceHost, WireError, WireResult};
+use pasoa_obs::{Registry, StatsSnapshot, TraceCtx};
+use pasoa_wire::{
+    Envelope, MessageHandler, ServiceHost, WireError, WireResult, STATS_SNAPSHOT_ACTION,
+};
 
 use crate::backend::{FileBackend, KvBackend, MemoryBackend, StorageBackend};
 use crate::plugins::{BasicQueryPlugin, LineageQueryPlugin, PagedQueryPlugin, PlugIn, StorePlugin};
@@ -35,14 +38,18 @@ impl Default for ServiceConfig {
 /// A deployed provenance store service.
 pub struct PreservService {
     store: Arc<ProvenanceStore>,
+    backend: Arc<dyn StorageBackend>,
     plugins: Vec<Arc<dyn PlugIn>>,
     config: ServiceConfig,
+    obs: Registry,
 }
 
 impl PreservService {
     /// Create a service over an explicit backend.
     pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Result<Self, crate::StoreError> {
-        let store = Arc::new(ProvenanceStore::open(backend)?);
+        let obs = Registry::new();
+        backend.attach_observability(&obs);
+        let store = Arc::new(ProvenanceStore::open(Arc::clone(&backend))?);
         let plugins: Vec<Arc<dyn PlugIn>> = vec![
             Arc::new(StorePlugin::new(Arc::clone(&store))),
             Arc::new(BasicQueryPlugin::new(Arc::clone(&store))),
@@ -51,8 +58,10 @@ impl PreservService {
         ];
         Ok(PreservService {
             store,
+            backend,
             plugins,
             config: ServiceConfig::default(),
+            obs,
         })
     }
 
@@ -86,6 +95,29 @@ impl PreservService {
     pub fn with_config(mut self, config: ServiceConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Fold this service's metrics into `registry`: the service keeps its own exact registry
+    /// (a [`Registry::child`]), the parent's snapshots aggregate it, and the backend's
+    /// instruments are re-attached so kvdb latency lands in the same tree. Passing a disabled
+    /// registry turns the service's observability off entirely.
+    pub fn with_observability(mut self, registry: &Registry) -> Self {
+        self.obs = registry.child();
+        self.backend.attach_observability(&self.obs);
+        self
+    }
+
+    /// The registry this service's instruments (and its backend's) write into.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// The [`StatsSnapshot`] this service answers `stats-snapshot` requests with.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            service: self.config.service_name.clone(),
+            registry: self.obs.snapshot(),
+        }
     }
 
     /// Direct access to the store (for in-process reasoners and tests).
@@ -131,14 +163,42 @@ impl PreservService {
         action: &str,
         message: &PrepMessage,
     ) -> WireResult<crate::plugins::PluginResponse> {
+        self.dispatch_traced(action, message, None)
+    }
+
+    /// [`Self::dispatch`] with an optional trace context: the shard-side hop of a traced batch
+    /// lands in this service's event log (stage `shard.store`) with the plug-in's wall time,
+    /// whether the envelope travelled over TCP or the router handed the message over
+    /// in-process.
+    pub fn dispatch_traced(
+        &self,
+        action: &str,
+        message: &PrepMessage,
+        trace: Option<&TraceCtx>,
+    ) -> WireResult<crate::plugins::PluginResponse> {
+        self.obs
+            .counter(&format!("preserv.dispatch.{action}"))
+            .inc();
         let plugin = self
             .plugins
             .iter()
             .find(|p| p.handles(action))
             .ok_or_else(|| WireError::Payload(format!("no plug-in handles action '{action}'")))?;
-        plugin
+        let events = self.obs.events();
+        let timer = (trace.is_some() && events.is_enabled()).then(std::time::Instant::now);
+        let response = plugin
             .handle(message)
-            .map_err(|e| WireError::Payload(format!("plug-in {} failed: {e}", plugin.name())))
+            .map_err(|e| WireError::Payload(format!("plug-in {} failed: {e}", plugin.name())))?;
+        if let (Some(trace), Some(t)) = (trace, timer) {
+            events.push(
+                &trace.trace_id,
+                trace.span_id,
+                "shard.store",
+                format!("service={} action={action}", self.config.service_name),
+                t.elapsed().as_nanos() as u64,
+            );
+        }
+        Ok(response)
     }
 }
 
@@ -148,6 +208,13 @@ impl MessageHandler for PreservService {
             .action()
             .ok_or_else(|| WireError::InvalidEnvelope("missing action header".into()))?
             .to_string();
+        // Answer stats requests before touching the body: the request carries no PReP message,
+        // and handling it here means the very same envelope works against an in-process shard
+        // and a TCP-served one — the per-shard snapshot is transport-independent.
+        if action == STATS_SNAPSHOT_ACTION {
+            return Envelope::response(&action).with_json_payload(&self.stats_snapshot());
+        }
+        let trace = request.trace_ctx();
         // Record submissions may arrive in the packed binary form (see
         // [`pasoa_core::prepwire`]); answer those in kind, everything else in JSON.
         let packed = request.body.name == prepwire::RECORD_ELEMENT;
@@ -159,7 +226,7 @@ impl MessageHandler for PreservService {
         } else {
             request.json_payload()?
         };
-        let response = self.dispatch(&action, &message)?;
+        let response = self.dispatch_traced(&action, &message, trace.as_ref())?;
         match response {
             crate::plugins::PluginResponse::Ack(ack) if packed => {
                 Ok(Envelope::response(&action).with_body(prepwire::ack_to_element(&ack)))
@@ -297,6 +364,78 @@ mod tests {
             20
         );
         assert_eq!(store.groups_by_kind("session").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats_snapshot_and_trace_events_ride_the_service() {
+        let (service, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+
+        // A traced record lands a shard.store event carrying the caller's trace id.
+        let trace = TraceCtx::root("trace:svc");
+        let message = PrepMessage::Record(RecordMessage {
+            message_id: pasoa_core::ids::MessageId::new("message:traced"),
+            asserter: ActorId::new("engine"),
+            assertions: vec![pasoa_core::passertion::RecordedAssertion {
+                session: SessionId::new("session:traced"),
+                assertion: script_assertion(0),
+            }],
+        });
+        let envelope = Envelope::request("provenance-store", message.action())
+            .with_json_payload(&message)
+            .unwrap()
+            .with_trace(&trace);
+        transport.call(envelope).unwrap();
+        let events = service.registry().events().events_for("trace:svc");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, "shard.store");
+        assert!(events[0].detail.contains("action=record"));
+
+        // The stats action answers without a PReP body, with the same registry the events
+        // live in, over the same transport as everything else.
+        let response = transport
+            .call(Envelope::request("provenance-store", STATS_SNAPSHOT_ACTION))
+            .unwrap();
+        let snapshot: StatsSnapshot = response.json_payload().unwrap();
+        assert_eq!(snapshot.service, "provenance-store");
+        assert_eq!(snapshot.registry.counter("preserv.dispatch.record"), 1);
+        assert_eq!(snapshot.registry.events.len(), 1);
+        // In-process call is byte-for-byte the wire path, so the direct snapshot matches.
+        assert_eq!(
+            service.stats_snapshot().registry.counters,
+            snapshot.registry.counters
+        );
+    }
+
+    #[test]
+    fn database_backend_latency_lands_in_the_service_registry() {
+        let dir = std::env::temp_dir().join(format!(
+            "preserv-service-obs-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(PreservService::with_durable_database_backend(&dir).unwrap());
+        let host = ServiceHost::new();
+        service.register(&host);
+        let recorder = SyncRecorder::new(
+            SessionId::new("session:obs"),
+            ActorId::new("engine"),
+            host.transport(TransportConfig::free()),
+            IdGenerator::new("o"),
+        );
+        for i in 0..3 {
+            recorder.record(script_assertion(i)).unwrap();
+        }
+        let snapshot = service.stats_snapshot();
+        let appends = snapshot.registry.histogram("kvdb.append_nanos").unwrap();
+        assert!(appends.count >= 3);
+        let fsyncs = snapshot.registry.histogram("kvdb.fsync_nanos").unwrap();
+        assert!(fsyncs.count >= 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use pasoa_core::ids::{DataId, SessionId};
 use pasoa_core::prep::{PagedQuery, QueryRequest, QueryResponse, ShardQueryPage};
+use pasoa_obs::Registry;
 use pasoa_preserv::{LineageGraph, ProvenanceStore};
 
 use crate::plan::{AccessPath, Explain};
@@ -18,6 +19,7 @@ use crate::QueryError;
 pub struct QueryEngine {
     store: Arc<ProvenanceStore>,
     planner: Planner,
+    obs: Registry,
 }
 
 impl QueryEngine {
@@ -31,12 +33,30 @@ impl QueryEngine {
         QueryEngine {
             store,
             planner: Planner::new(mode),
+            obs: Registry::new(),
         }
+    }
+
+    /// Fold this engine's metrics (`query.plan.*` choices, pages served) into `registry`.
+    pub fn with_observability(mut self, registry: &Registry) -> Self {
+        self.obs = registry.child();
+        self
+    }
+
+    /// The registry the engine's instruments write into.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
     }
 
     /// The store under the engine.
     pub fn store(&self) -> &Arc<ProvenanceStore> {
         &self.store
+    }
+
+    fn note_plan(&self, path: crate::plan::AccessPath) {
+        self.obs
+            .counter(&format!("query.plan.{}", path.label()))
+            .inc();
     }
 
     /// What plan `request` would run under, without running it.
@@ -64,6 +84,7 @@ impl QueryEngine {
     /// Plan and execute one protocol query.
     pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
         let plan = self.planner.plan(self.store.indexes_enabled(), request)?;
+        self.note_plan(plan.path);
         let response = match plan.path {
             AccessPath::SessionIndex => {
                 let QueryRequest::BySession(session) = request else {
@@ -118,7 +139,12 @@ impl QueryEngine {
     /// Serve one bounded page. Pagination always runs the store's own (index or scan)
     /// configuration: both serve the same `(after, limit]` windows of the same global order.
     pub fn page(&self, paged: &PagedQuery) -> Result<ShardQueryPage, QueryError> {
-        Ok(self.store.query_page(paged)?)
+        let page = self.store.query_page(paged)?;
+        self.obs.counter("query.pages_served").inc();
+        self.obs
+            .histogram("query.page_len")
+            .record(page.items.len() as u64);
+        Ok(page)
     }
 
     /// The session's full derivation graph, through the planned path.
@@ -126,6 +152,7 @@ impl QueryEngine {
         let plan = self
             .planner
             .plan_lineage(self.store.indexes_enabled(), false)?;
+        self.note_plan(plan.path);
         let edges = match plan.path {
             AccessPath::EdgeIndex => self.store.session_edges_via_index(session)?,
             _ => self.store.session_edges_scan(session)?,
@@ -148,6 +175,7 @@ impl QueryEngine {
         let plan = self
             .planner
             .plan_lineage(self.store.indexes_enabled(), true)?;
+        self.note_plan(plan.path);
         if plan.path != AccessPath::EdgeIndex {
             return Ok(self.lineage_session(session)?.closure_of(target));
         }

@@ -80,6 +80,9 @@ pub fn run_ops(config: &SimConfig, ops: &[SimOp]) -> Result<SimReport, SimFailur
     for line in world.digest() {
         fingerprint = combine(fingerprint, &line);
     }
+    for line in world.obs_digest() {
+        fingerprint = combine(fingerprint, &line);
+    }
     Ok(SimReport {
         seed: 0,
         fingerprint,

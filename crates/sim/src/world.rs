@@ -31,6 +31,7 @@ use pasoa_dag::{
     FnActivity, RetryPolicy,
 };
 use pasoa_kvdb::{Db, DbOptions};
+use pasoa_obs::TraceIdGen;
 use pasoa_preserv::{KvBackend, LineageGraph, MemoryBackend, ProvenanceStore, StorageBackend};
 use pasoa_query::{PlanMode, QueryEngine};
 use pasoa_wire::{Envelope, ServiceHost, Transport, TransportConfig};
@@ -98,6 +99,7 @@ struct MirrorRecorder {
     session: SessionId,
     transport: Transport,
     ids: IdGenerator,
+    trace_ids: TraceIdGen,
     asserter: ActorId,
     /// Everything the tier durably holds (acked, or preserved for redelivery), in call order.
     sent: Mutex<Vec<RecordedAssertion>>,
@@ -106,11 +108,17 @@ struct MirrorRecorder {
 }
 
 impl MirrorRecorder {
-    fn new(session: SessionId, transport: Transport, ids: IdGenerator) -> Self {
+    fn new(
+        session: SessionId,
+        transport: Transport,
+        ids: IdGenerator,
+        trace_ids: TraceIdGen,
+    ) -> Self {
         MirrorRecorder {
             session,
             transport,
             ids,
+            trace_ids,
             asserter: ActorId::new("sim-dag-executor"),
             sent: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
@@ -143,7 +151,8 @@ impl ProvenanceRecorder for MirrorRecorder {
         });
         let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
             .with_json_payload(&message)
-            .map_err(RecordError::Wire)?;
+            .map_err(RecordError::Wire)?
+            .with_trace(&self.trace_ids.next());
         match self.transport.call(envelope) {
             Ok(response) => {
                 let ack: RecordAck = response.json_payload().map_err(RecordError::Wire)?;
@@ -265,6 +274,9 @@ pub(crate) struct SimWorld {
     /// Sessions written by executed DAG runs: `(session name, dag name)` in run order. These
     /// take part in every session-level invariant alongside the synthetic client sessions.
     dag_sessions: Vec<(String, String)>,
+    /// Deterministic trace-id source: the injection point that keeps replays bit-identical
+    /// with observability enabled. One fresh generator per world, no clocks, no randomness.
+    trace_ids: TraceIdGen,
     pub(crate) trace: Vec<String>,
 }
 
@@ -324,6 +336,7 @@ impl SimWorld {
             killed: None,
             armed: None,
             dag_sessions: Vec::new(),
+            trace_ids: TraceIdGen::new("sim-trace"),
             trace: Vec::new(),
             config: config.clone(),
         })
@@ -599,6 +612,7 @@ impl SimWorld {
             SessionId::new(session.clone()),
             self.host.transport(TransportConfig::free()),
             ids.clone(),
+            self.trace_ids.clone(),
         ));
         let executor = Executor::new(
             Arc::clone(&recorder) as Arc<dyn ProvenanceRecorder>,
@@ -711,7 +725,8 @@ impl SimWorld {
         });
         let envelope = Envelope::request(PROVENANCE_STORE_SERVICE, message.action())
             .with_json_payload(&message)
-            .map_err(|e| Violation::new("wire", format!("encode record: {e}")))?;
+            .map_err(|e| Violation::new("wire", format!("encode record: {e}")))?
+            .with_trace(&self.trace_ids.next());
         match self.transport.call(envelope) {
             Ok(response) => {
                 let ack: RecordAck = response
@@ -1494,6 +1509,27 @@ impl SimWorld {
             self.cluster.router().hold_snapshot()
         ));
         lines.push(format!("router: {:?}", self.cluster.router().stats()));
+        lines
+    }
+
+    /// Deterministic lines of the observability state, hashed into the run fingerprint: the
+    /// registry's counters and the trace-event sequence (ids, spans, stages, details, order)
+    /// — never the wall-clock timings or latency histograms, which legitimately vary run to
+    /// run. A replay that allocates trace ids differently or routes a batch through
+    /// different hops diverges here even when the stored data agrees.
+    pub(crate) fn obs_digest(&self) -> Vec<String> {
+        let snapshot = self.host.registry().snapshot();
+        let mut lines: Vec<String> = snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| format!("obs.counter {name}={value}"))
+            .collect();
+        lines.extend(snapshot.events.iter().map(|event| {
+            format!(
+                "obs.event {}#{} {} {} seq={}",
+                event.trace_id, event.span_id, event.stage, event.detail, event.seq
+            )
+        }));
         lines
     }
 

@@ -1,0 +1,97 @@
+//! Determinism guard for the observability layer.
+//!
+//! The run fingerprint now folds in `obs_digest()`: the registry's counters plus the full
+//! trace-event sequence (trace ids, spans, stages, details, ordering — never wall-clock
+//! timings). The sim world allocates trace ids from its own seeded `TraceIdGen`, so a replay
+//! must produce the byte-identical event stream; if instrumentation ever picks up a
+//! nondeterministic source (wall clock, thread ids, global counters shared across runs),
+//! these tests catch it as a fingerprint divergence.
+
+use pasoa_sim::{plan_for, run_ops, run_plan, SimBackend, SimConfig, SimOp};
+
+#[test]
+fn seeded_plans_replay_bit_identically_with_observability_in_the_fingerprint() {
+    for backend in [SimBackend::Memory, SimBackend::DurableKv] {
+        for seed in [3u64, 5, 12] {
+            let plan = plan_for(seed, 2, backend);
+            let first = run_plan(&plan).unwrap_or_else(|failure| {
+                panic!("seed {seed} ({}) failed: {failure}", backend.label())
+            });
+            let second = run_plan(&plan).unwrap_or_else(|failure| {
+                panic!(
+                    "seed {seed} ({}) failed on replay: {failure}",
+                    backend.label()
+                )
+            });
+            assert_eq!(
+                first.fingerprint,
+                second.fingerprint,
+                "seed {seed} ({}) diverged once obs counters/events entered the fingerprint",
+                backend.label()
+            );
+        }
+    }
+}
+
+/// Record-heavy explicit schedules push the most trace events (one `client.record` root per
+/// record, a `router.flush` hop per drained batch, a `shard.store` per dispatch), so they are
+/// the sharpest probe for a nondeterministic id or event-ordering leak.
+#[test]
+fn record_heavy_schedules_keep_the_event_stream_deterministic() {
+    let config = SimConfig {
+        virtual_nodes: 8,
+        ..Default::default()
+    };
+    let mut ops = Vec::new();
+    for client in 0..2usize {
+        for session in 0..3usize {
+            ops.push(SimOp::Record {
+                client,
+                session,
+                assertions: 4,
+            });
+        }
+        ops.push(SimOp::Flush);
+    }
+    let first = run_ops(&config, &ops).expect("schedule holds every invariant");
+    let second = run_ops(&config, &ops).expect("schedule holds every invariant");
+    assert_eq!(first.fingerprint, second.fingerprint);
+    assert_eq!(first.trace, second.trace);
+}
+
+/// Fault-injection paths (kill, rebalance) route batches through different shards and restore
+/// failed sends; their counters are part of the digest and must replay too.
+#[test]
+fn faulty_schedules_replay_identically_with_obs_counters_hashed() {
+    let config = SimConfig {
+        replication: 2,
+        backend: SimBackend::DurableKv,
+        virtual_nodes: 8,
+        ..Default::default()
+    };
+    let ops = vec![
+        SimOp::Record {
+            client: 0,
+            session: 0,
+            assertions: 6,
+        },
+        SimOp::Flush,
+        SimOp::AddShard,
+        SimOp::Record {
+            client: 1,
+            session: 1,
+            assertions: 3,
+        },
+        SimOp::KillShard { victim: 1 },
+        SimOp::Flush,
+        SimOp::Record {
+            client: 0,
+            session: 2,
+            assertions: 2,
+        },
+        SimOp::Flush,
+    ];
+    let first = run_ops(&config, &ops).expect("schedule holds every invariant");
+    let second = run_ops(&config, &ops).expect("schedule holds every invariant");
+    assert_eq!(first.fingerprint, second.fingerprint);
+}

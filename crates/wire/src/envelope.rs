@@ -108,6 +108,21 @@ impl Envelope {
         self.header(header_names::ACTION)
     }
 
+    /// Builder-style: attach a trace context. Headers travel in both the textual wire form
+    /// and the binary codec, and unknown headers are ignored on receipt, so traced envelopes
+    /// interoperate with peers that predate tracing regardless of negotiated wire version.
+    pub fn with_trace(mut self, trace: &pasoa_obs::TraceCtx) -> Self {
+        self.set_header(pasoa_obs::TRACE_HEADER, trace.header_value());
+        self
+    }
+
+    /// The trace context riding this envelope, if a well-formed one is present. A garbled
+    /// trace header reads as `None` — tracing must never fail the request it annotates.
+    pub fn trace_ctx(&self) -> Option<pasoa_obs::TraceCtx> {
+        self.header(pasoa_obs::TRACE_HEADER)
+            .and_then(pasoa_obs::TraceCtx::parse)
+    }
+
     /// Builder-style: replace the body element.
     pub fn with_body(mut self, body: XmlElement) -> Self {
         self.body = body;

@@ -28,6 +28,7 @@ pub mod envelope;
 pub mod error;
 pub mod fault;
 pub mod latency;
+pub mod stats;
 pub mod transport;
 pub mod xml;
 
@@ -37,6 +38,7 @@ pub use envelope::{Envelope, Header};
 pub use error::{WireError, WireResult};
 pub use fault::{FaultAction, FaultActionKind, FaultInjector, FaultSchedule};
 pub use latency::{LatencyModel, NetworkProfile};
+pub use stats::{StatsService, STATS_SERVICE, STATS_SNAPSHOT_ACTION};
 pub use transport::{
     LatencyMode, MessageHandler, ServiceHost, Transport, TransportConfig, TransportStats,
 };

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
+use pasoa_obs::Registry;
 
 use crate::clock::SimClock;
 use crate::envelope::Envelope;
@@ -144,13 +145,17 @@ impl TransportStats {
     }
 }
 
+/// Metric-name prefix for per-service dispatch counters in the host registry.
+const DISPATCH_PREFIX: &str = "wire.dispatch.";
+
 /// The "network": a registry of named services reachable from any [`Transport`].
 #[derive(Default, Clone)]
 pub struct ServiceHost {
     services: Arc<RwLock<HashMap<String, Arc<dyn MessageHandler>>>>,
-    /// Calls dispatched per service name, across every transport bound to this host. The
-    /// cluster tier reads these to report how evenly the shard router spreads load.
-    dispatch: Arc<Mutex<HashMap<String, u64>>>,
+    /// The host's observability registry: per-service dispatch counters live here (under
+    /// `wire.dispatch.<service>`), and every component bound to the host — net servers,
+    /// shard routers, client proxies — records into it so one snapshot covers the tier.
+    obs: Registry,
     /// Shared fault state: services listed here are unreachable until revived.
     faults: crate::fault::FaultInjector,
 }
@@ -165,9 +170,23 @@ impl std::fmt::Debug for ServiceHost {
 }
 
 impl ServiceHost {
-    /// Create an empty host.
+    /// Create an empty host with an enabled observability registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty host writing into the given registry — pass
+    /// [`Registry::disabled`] to turn the whole host's observability into near-no-ops.
+    pub fn with_registry(obs: Registry) -> Self {
+        ServiceHost {
+            obs,
+            ..Self::default()
+        }
+    }
+
+    /// The host's observability registry.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
     }
 
     /// Register (or replace) a service under `name`.
@@ -290,28 +309,31 @@ impl ServiceHost {
     }
 
     fn note_dispatch(&self, name: &str) {
-        *self.dispatch.lock().entry(name.to_string()).or_insert(0) += 1;
+        self.obs.counter(&format!("{DISPATCH_PREFIX}{name}")).inc();
     }
 
     fn note_dispatch_many(&self, name: &str, n: u64) {
-        *self.dispatch.lock().entry(name.to_string()).or_insert(0) += n;
+        self.obs.counter(&format!("{DISPATCH_PREFIX}{name}")).add(n);
     }
 
-    /// Calls dispatched to each service so far, sorted by service name.
+    /// Calls dispatched to each service so far, sorted by service name. Reads the
+    /// `wire.dispatch.*` counters of the host registry — the one accounting path — and
+    /// omits zeroed entries so a reset host reports nothing, as it always did.
     pub fn dispatch_counts(&self) -> Vec<(String, u64)> {
-        let mut counts: Vec<(String, u64)> = self
-            .dispatch
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
-        counts.sort();
-        counts
+        self.obs
+            .snapshot()
+            .counters_with_prefix(DISPATCH_PREFIX)
+            .into_iter()
+            .filter(|(_, count)| *count > 0)
+            .map(|(name, count)| (name[DISPATCH_PREFIX.len()..].to_string(), count))
+            .collect()
     }
 
     /// Reset the per-service dispatch counters.
     pub fn reset_dispatch_counts(&self) {
-        self.dispatch.lock().clear();
+        for (name, _) in self.obs.snapshot().counters_with_prefix(DISPATCH_PREFIX) {
+            self.obs.counter(&name).reset();
+        }
     }
 
     /// The host's fault injector: kill a service to make it unreachable, revive it to model a

@@ -9,6 +9,7 @@
 //! * [`registry`] — the Grimoires-style semantic registry;
 //! * [`wire`] — envelopes, the simulated transport and latency models;
 //! * [`net`] — the real TCP transport: framed envelopes, `NetServer`, pooled `NetClient`;
+//! * [`obs`] — the observability substrate: metrics registry, span tracing, stats snapshots;
 //! * [`kvdb`] — the embedded key-value store backing the database backend;
 //! * [`compress`] — gzip-, bzip2- and ppm-class codecs;
 //! * [`bioseq`] — sequences, group codings, shuffling and synthetic data;
@@ -29,6 +30,7 @@ pub use pasoa_dag as dag;
 pub use pasoa_experiment as experiment;
 pub use pasoa_kvdb as kvdb;
 pub use pasoa_net as net;
+pub use pasoa_obs as obs;
 pub use pasoa_preserv as preserv;
 pub use pasoa_query as query;
 pub use pasoa_registry as registry;
