@@ -11,6 +11,7 @@ use pasoa_core::ids::SessionId;
 use pasoa_core::passertion::RecordedAssertion;
 use pasoa_core::prep::StoreStatistics;
 use pasoa_core::Group;
+use pasoa_feed::{FeedClock, FeedConfig, FeedQueue, FeedService, StoreLineageResolver};
 use pasoa_net::{
     register_remote, NetClient, NetClientConfig, NetServer, NetServerConfig, NetServerStats,
 };
@@ -41,6 +42,18 @@ pub enum ClusterTransport {
     Tcp,
 }
 
+/// Change-feed deployment options: when present on a [`ClusterConfig`], every shard opens a
+/// durable [`FeedQueue`] over its own backend, wires it into the store's record batches (so
+/// acked writes durably enqueue their change events in the same backend commit), and answers
+/// the feed wire actions on its shard service name.
+#[derive(Debug, Clone, Default)]
+pub struct FeedOptions {
+    /// Queue tuning (cap, batch size, backoff).
+    pub config: FeedConfig,
+    /// The clock driving backoff deadlines (the simulation harness injects a virtual one).
+    pub clock: FeedClock,
+}
+
 /// Configuration of a cluster deployment.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -67,6 +80,9 @@ pub struct ClusterConfig {
     /// connections (each recording client typically pins one pooled connection on the
     /// router's server, and each concurrent router worker one per shard server).
     pub net_workers: usize,
+    /// Change-feed tier: `Some` deploys a durable [`FeedQueue`] per shard (see
+    /// [`FeedOptions`]); `None` (the default) deploys no feed at all.
+    pub feed: Option<FeedOptions>,
 }
 
 impl Default for ClusterConfig {
@@ -81,6 +97,7 @@ impl Default for ClusterConfig {
             shard_name_prefix: "provenance-store-shard-".to_string(),
             transport: ClusterTransport::InProcess,
             net_workers: 16,
+            feed: None,
         }
     }
 }
@@ -108,6 +125,12 @@ impl ClusterConfig {
         self.transport = ClusterTransport::Tcp;
         self
     }
+
+    /// Enable the change-feed tier with the given options.
+    pub fn with_feed(mut self, options: FeedOptions) -> Self {
+        self.feed = Some(options);
+        self
+    }
 }
 
 /// One shard's TCP endpoint: its listening server (the shard's own backend host serves only
@@ -127,6 +150,8 @@ pub struct PreservCluster {
     fabric: ServiceHost,
     router: Arc<ShardRouter>,
     shards: RwLock<Vec<Arc<PreservService>>>,
+    /// Per-shard feed queues, in shard-index order (empty when the feed tier is disabled).
+    feeds: RwLock<Vec<Arc<FeedQueue>>>,
     /// Per-shard TCP servers, in shard-index order (empty for the in-process transport).
     net: RwLock<Vec<ShardNet>>,
     /// The router's own TCP server (None for the in-process transport).
@@ -211,15 +236,16 @@ impl PreservCluster {
             ClusterTransport::Tcp => ServiceHost::new(),
         };
         let mut shards = Vec::with_capacity(config.shards);
+        let mut feeds = Vec::new();
         let mut router_shards = Vec::with_capacity(config.shards);
         let mut net = Vec::with_capacity(config.shards);
         for index in 0..config.shards {
             let name = format!("{}{index}", config.shard_name_prefix);
-            let service = PreservService::with_backend(backend_for_shard(index)?)?.with_config(
-                ServiceConfig {
+            let backend = backend_for_shard(index)?;
+            let service =
+                PreservService::with_backend(Arc::clone(&backend))?.with_config(ServiceConfig {
                     service_name: name.clone(),
-                },
-            );
+                });
             // Each shard's instruments fold into the registry of the host actually serving
             // it: the shared fabric in process, the shard's own backend host over TCP — the
             // same tree a `stats` request against that host reports.
@@ -235,6 +261,9 @@ impl PreservCluster {
                     service
                 }
             };
+            if let Some(options) = &config.feed {
+                feeds.push(attach_feed(&service, backend, options)?);
+            }
             router_shards.push((name, Arc::clone(&service)));
             shards.push(service);
         }
@@ -299,6 +328,7 @@ impl PreservCluster {
             fabric,
             router,
             shards: RwLock::new(shards),
+            feeds: RwLock::new(feeds),
             net: RwLock::new(net),
             router_server,
             config,
@@ -424,9 +454,10 @@ impl PreservCluster {
         // router's ring indices.
         let mut shards = self.shards.write();
         let name = format!("{}{}", self.config.shard_name_prefix, shards.len());
-        let service = PreservService::with_backend(backend)?.with_config(ServiceConfig {
-            service_name: name.clone(),
-        });
+        let service =
+            PreservService::with_backend(Arc::clone(&backend))?.with_config(ServiceConfig {
+                service_name: name.clone(),
+            });
         // Make the service reachable before the router can route to it.
         let (service, tcp_endpoint) = match self.config.transport {
             ClusterTransport::InProcess => {
@@ -452,8 +483,18 @@ impl PreservCluster {
         if let Some(endpoint) = tcp_endpoint {
             self.net.write().push(endpoint);
         }
+        if let Some(options) = &self.config.feed {
+            self.feeds
+                .write()
+                .push(attach_feed(&service, backend, options)?);
+        }
         shards.push(service);
         Ok(name)
+    }
+
+    /// Per-shard feed queues, in shard-index order (empty when the feed tier is disabled).
+    pub fn feed_queues(&self) -> Vec<Arc<FeedQueue>> {
+        self.feeds.read().clone()
     }
 
     /// Flush every buffered batch down to the shards. On failure the error is
@@ -611,6 +652,32 @@ fn net_server_config(config: &ClusterConfig) -> NetServerConfig {
 
 fn net_client_config() -> NetClientConfig {
     NetClientConfig::default()
+}
+
+/// Open a shard's feed queue over the shard's own backend and wire all three couplings: the
+/// stager into the store's record batches, the lineage resolver onto the store's edge index,
+/// and the feed wire actions onto the shard's service name. Instruments land in the shard
+/// service's registry, so `stats-snapshot` (and [`ClusterStatsSnapshot::merged`]) report them.
+fn attach_feed(
+    service: &Arc<PreservService>,
+    backend: Arc<dyn StorageBackend>,
+    options: &FeedOptions,
+) -> Result<Arc<FeedQueue>, StoreError> {
+    let queue = FeedQueue::open(
+        backend,
+        options.config.clone(),
+        options.clock.clone(),
+        service.registry(),
+    )
+    .map_err(feed_to_store)?;
+    queue.set_resolver(Arc::new(StoreLineageResolver::new(service.store())));
+    service.store().set_record_stager(Some(queue.stager()));
+    service.set_feed_handler(Arc::new(FeedService::new(Arc::clone(&queue))));
+    Ok(queue)
+}
+
+fn feed_to_store(error: pasoa_feed::FeedError) -> StoreError {
+    StoreError::Corrupt(format!("feed deployment failed: {error}"))
 }
 
 fn bind_to_store(error: std::io::Error) -> StoreError {

@@ -38,7 +38,7 @@ pub mod ring;
 pub mod router;
 
 pub use cluster::{
-    ClusterConfig, ClusterStatsSnapshot, ClusterTransport, PreservCluster, StoreHandle,
+    ClusterConfig, ClusterStatsSnapshot, ClusterTransport, FeedOptions, PreservCluster, StoreHandle,
 };
 pub use loadgen::{FaultPlan, LoadGenConfig, LoadGenerator, LoadReport};
 pub use ring::HashRing;
@@ -720,6 +720,14 @@ mod tests {
             prefix: &[u8],
         ) -> Result<Vec<Vec<u8>>, pasoa_preserv::backend::BackendError> {
             self.inner.scan_prefix(prefix)
+        }
+
+        fn delete_many(
+            &self,
+            keys: &[Vec<u8>],
+        ) -> Result<(), pasoa_preserv::backend::BackendError> {
+            self.check()?;
+            self.inner.delete_many(keys)
         }
 
         fn kind(&self) -> pasoa_preserv::BackendKind {

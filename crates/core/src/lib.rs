@@ -57,3 +57,12 @@ pub use recorder::{
 pub const PROVENANCE_STORE_SERVICE: &str = "provenance-store";
 /// Logical service name under which the semantic registry registers on the wire layer.
 pub const REGISTRY_SERVICE: &str = "registry";
+
+/// Wire action registering (or re-attaching) a durable change-feed subscription on a store.
+/// Re-subscribing an existing name resets its in-flight jobs so delivery replays from the
+/// last acknowledged sequence (replay-on-reconnect).
+pub const FEED_SUBSCRIBE_ACTION: &str = "subscribe";
+/// Wire action fetching the next in-order batch of change events for a subscriber.
+pub const FEED_POLL_ACTION: &str = "feed-poll";
+/// Wire action acknowledging every change event up to (and including) a sequence number.
+pub const FEED_ACK_ACTION: &str = "feed-ack";

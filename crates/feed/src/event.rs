@@ -1,0 +1,161 @@
+//! Change events: what a subscriber receives.
+
+use serde::{Deserialize, Serialize};
+
+use pasoa_core::passertion::{PAssertion, RecordedAssertion};
+
+/// What a change event is about.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FeedEventBody {
+    /// A p-assertion was durably recorded.
+    Change(RecordedAssertion),
+    /// The subscriber's queue hit its cap and change events were dropped. The count is the
+    /// subscriber's lifetime dropped total at delivery time — the loud half of the overflow
+    /// contract (the quiet half is the `feed.overflow.dropped` counter).
+    Overflow {
+        /// Lifetime change events dropped for this subscriber.
+        dropped: u64,
+    },
+}
+
+/// One change event, as persisted in a job entry and handed to subscribers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeedEvent {
+    /// What happened.
+    pub body: FeedEventBody,
+    /// Content-derived identity, identical for the same logical assertion on every replica
+    /// shard — the key consumers deduplicate replicated deliveries by.
+    pub event_id: String,
+    /// Feed-clock nanoseconds at enqueue, for end-to-end delivery-lag measurement.
+    pub enqueued_nanos: u64,
+}
+
+impl FeedEvent {
+    /// The session the event belongs to (`None` for overflow notices).
+    pub fn session(&self) -> Option<&str> {
+        match &self.body {
+            FeedEventBody::Change(r) => Some(r.session.as_str()),
+            FeedEventBody::Overflow { .. } => None,
+        }
+    }
+
+    /// The asserting actor (`None` for overflow notices).
+    pub fn asserter(&self) -> Option<&str> {
+        match &self.body {
+            FeedEventBody::Change(r) => Some(r.assertion.asserter().as_str()),
+            FeedEventBody::Overflow { .. } => None,
+        }
+    }
+
+    /// The effect data item, for relationship assertions.
+    pub fn effect(&self) -> Option<&str> {
+        match &self.body {
+            FeedEventBody::Change(r) => match &r.assertion {
+                PAssertion::Relationship(rel) => Some(rel.effect.as_str()),
+                _ => None,
+            },
+            FeedEventBody::Overflow { .. } => None,
+        }
+    }
+}
+
+/// A change event tagged with its per-subscriber queue sequence. Sequences start at 1 and are
+/// contiguous per subscriber; consumers suppress duplicates by ignoring any sequence at or
+/// below the highest one they have already seen.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SequencedEvent {
+    /// Position in the subscriber's queue.
+    pub seq: u64,
+    /// The event.
+    pub event: FeedEvent,
+}
+
+/// FNV-1a 64-bit, the same mixing the cluster ring uses — enough for content identity.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Content identity of a recorded assertion: a digest over its canonical JSON. Two replica
+/// shards committing the same logical assertion produce the same id, so a subscriber merging
+/// replicated feeds can collapse them.
+pub fn event_identity(recorded: &RecordedAssertion) -> String {
+    identity_of_canonical_json(&serde_json::to_vec(recorded).expect("assertions serialize"))
+}
+
+/// [`event_identity`] over an assertion's already-serialized canonical JSON, so callers that
+/// hold the bytes (the staging hot path) serialize the assertion exactly once.
+pub(crate) fn identity_of_canonical_json(payload: &[u8]) -> String {
+    format!("ev:{:016x}", fnv1a64(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasoa_core::ids::{ActorId, DataId, InteractionKey, SessionId};
+    use pasoa_core::passertion::RelationshipPAssertion;
+
+    fn relationship() -> RecordedAssertion {
+        RecordedAssertion {
+            session: SessionId::new("session:ev"),
+            assertion: PAssertion::Relationship(RelationshipPAssertion {
+                interaction_key: InteractionKey::new("interaction:ev"),
+                asserter: ActorId::new("actor:ev"),
+                effect: DataId::new("data:out"),
+                causes: vec![(
+                    InteractionKey::new("interaction:in"),
+                    DataId::new("data:in"),
+                )],
+                relation: "derived-from".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn identity_is_stable_and_content_sensitive() {
+        let a = event_identity(&relationship());
+        let b = event_identity(&relationship());
+        assert_eq!(a, b);
+        let mut other = relationship();
+        other.session = SessionId::new("session:other");
+        assert_ne!(a, event_identity(&other));
+    }
+
+    #[test]
+    fn accessors_expose_filterable_fields() {
+        let event = FeedEvent {
+            body: FeedEventBody::Change(relationship()),
+            event_id: "ev:0".into(),
+            enqueued_nanos: 7,
+        };
+        assert_eq!(event.session(), Some("session:ev"));
+        assert_eq!(event.asserter(), Some("actor:ev"));
+        assert_eq!(event.effect(), Some("data:out"));
+        let overflow = FeedEvent {
+            body: FeedEventBody::Overflow { dropped: 3 },
+            event_id: "overflow:s:1".into(),
+            enqueued_nanos: 0,
+        };
+        assert_eq!(overflow.session(), None);
+        assert_eq!(overflow.effect(), None);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let event = SequencedEvent {
+            seq: 12,
+            event: FeedEvent {
+                body: FeedEventBody::Change(relationship()),
+                event_id: event_identity(&relationship()),
+                enqueued_nanos: 99,
+            },
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: SequencedEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+    }
+}

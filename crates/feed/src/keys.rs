@@ -1,0 +1,107 @@
+//! The `f/` keyspaces: where the feed tier lives inside the store's backend.
+//!
+//! Layout (components percent-escaped exactly like the store's own keys, sequences
+//! zero-padded to 12 digits so lexicographic order is numeric order):
+//!
+//! ```text
+//! f/r/<subscriber>              registration: the JSON Subscription (name + filter)
+//! f/j/<subscriber>/<seq:012>    job: the JSON FeedEvent, staged in the record batch
+//! f/t/<subscriber>/<seq:012>    job state: {"state":"in-flight"|"pending","attempts":n}
+//! f/a/<subscriber>              ack floor: every seq <= floor is acknowledged
+//! f/o/<subscriber>              overflow: total change events dropped at the queue cap
+//! ```
+//!
+//! Jobs are immutable once staged; state records are written by the delivery side only, so a
+//! torn record batch can shorten the job tail but never corrupt an existing job. Acked jobs
+//! (and their state records) are purged with backend tombstones once the floor passes them.
+
+use pasoa_preserv::keys::escape_component;
+
+/// Prefix of subscriber registrations.
+pub const REGISTRATION_PREFIX: &str = "f/r/";
+/// Prefix of job entries.
+pub const JOB_PREFIX: &str = "f/j/";
+/// Prefix of job state records.
+pub const STATE_PREFIX: &str = "f/t/";
+/// Prefix of ack-floor records.
+pub const ACK_PREFIX: &str = "f/a/";
+/// Prefix of overflow (dropped-count) records.
+pub const DROP_PREFIX: &str = "f/o/";
+
+/// Key of a subscriber's registration record.
+pub fn registration_key(subscriber: &str) -> Vec<u8> {
+    format!("{REGISTRATION_PREFIX}{}", escape_component(subscriber)).into_bytes()
+}
+
+/// Key of one job in a subscriber's queue.
+pub fn job_key(subscriber: &str, seq: u64) -> Vec<u8> {
+    format!("{JOB_PREFIX}{}/{seq:012}", escape_component(subscriber)).into_bytes()
+}
+
+/// Prefix spanning every job of one subscriber, in sequence order.
+pub fn job_prefix(subscriber: &str) -> Vec<u8> {
+    format!("{JOB_PREFIX}{}/", escape_component(subscriber)).into_bytes()
+}
+
+/// Key of one job's delivery-state record.
+pub fn state_key(subscriber: &str, seq: u64) -> Vec<u8> {
+    format!("{STATE_PREFIX}{}/{seq:012}", escape_component(subscriber)).into_bytes()
+}
+
+/// Prefix spanning every state record of one subscriber.
+pub fn state_prefix(subscriber: &str) -> Vec<u8> {
+    format!("{STATE_PREFIX}{}/", escape_component(subscriber)).into_bytes()
+}
+
+/// Key of a subscriber's ack floor.
+pub fn ack_key(subscriber: &str) -> Vec<u8> {
+    format!("{ACK_PREFIX}{}", escape_component(subscriber)).into_bytes()
+}
+
+/// Key of a subscriber's dropped-event total.
+pub fn drop_key(subscriber: &str) -> Vec<u8> {
+    format!("{DROP_PREFIX}{}", escape_component(subscriber)).into_bytes()
+}
+
+/// Parse the sequence number out of a job or state key (the trailing 12-digit component).
+pub fn key_seq(key: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(key).ok()?;
+    let tail = text.rsplit('/').next()?;
+    if tail.len() != 12 {
+        return None;
+    }
+    tail.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_keys_sort_in_sequence_order() {
+        let a = job_key("sub", 9);
+        let b = job_key("sub", 10);
+        let c = job_key("sub", 1_000_000);
+        assert!(a < b && b < c);
+        assert_eq!(key_seq(&a), Some(9));
+        assert_eq!(key_seq(&c), Some(1_000_000));
+    }
+
+    #[test]
+    fn subscriber_names_with_separators_cannot_collide() {
+        // "a/b" must not land inside subscriber "a"'s queue.
+        let inner = job_key("a", 1);
+        let tricky = job_key("a/b", 1);
+        assert!(!tricky.starts_with(&job_prefix("a")));
+        assert!(inner.starts_with(&job_prefix("a")));
+        // Same contract as the store's keys: '/' is escaped, '%' round-trips.
+        assert_eq!(registration_key("x/y%z"), b"f/r/x%2Fy%25z".to_vec());
+    }
+
+    #[test]
+    fn key_seq_rejects_foreign_shapes() {
+        assert_eq!(key_seq(b"f/a/sub"), None);
+        assert_eq!(key_seq(b"f/j/sub/000000000abc"), None);
+        assert_eq!(key_seq(&job_key("sub", 42)), Some(42));
+    }
+}

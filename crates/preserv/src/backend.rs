@@ -104,6 +104,11 @@ pub trait StorageBackend: Send + Sync {
         Ok(out)
     }
 
+    /// Remove every key in `keys` (keys that do not exist are ignored). Backends with a
+    /// group-commit primitive override this so a purge lands in one append run. Used by the
+    /// change-feed tier to purge acknowledged jobs out of the `f/` keyspaces.
+    fn delete_many(&self, keys: &[Vec<u8>]) -> Result<(), BackendError>;
+
     /// Force pending writes to stable storage (no-op for memory).
     fn sync(&self) -> Result<(), BackendError> {
         Ok(())
@@ -202,6 +207,14 @@ impl StorageBackend for MemoryBackend {
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect())
+    }
+
+    fn delete_many(&self, keys: &[Vec<u8>]) -> Result<(), BackendError> {
+        let mut map = self.map.write();
+        for key in keys {
+            map.remove(key);
+        }
+        Ok(())
     }
 
     fn scan_prefix_page(
@@ -328,6 +341,20 @@ impl StorageBackend for FileBackend {
             .collect())
     }
 
+    fn delete_many(&self, keys: &[Vec<u8>]) -> Result<(), BackendError> {
+        let mut set = self.keys.write();
+        for key in keys {
+            if set.remove(key).is_some() {
+                match std::fs::remove_file(self.path_for(key)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(BackendError::new(e.to_string())),
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn kind(&self) -> BackendKind {
         BackendKind::FileSystem
     }
@@ -402,6 +429,20 @@ impl StorageBackend for KvBackend {
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Vec<u8>>, BackendError> {
         self.db
             .scan_prefix(prefix)
+            .map_err(|e| BackendError::new(e.to_string()))
+    }
+
+    fn delete_many(&self, keys: &[Vec<u8>]) -> Result<(), BackendError> {
+        // One WriteBatch of tombstones: a purge is a single group append, and the tombstones
+        // ride the same torn-tail recovery contract as every other record.
+        let mut batch = pasoa_kvdb::WriteBatch::new();
+        for key in keys {
+            batch
+                .delete(key)
+                .map_err(|e| BackendError::new(e.to_string()))?;
+        }
+        self.db
+            .write_batch(batch)
             .map_err(|e| BackendError::new(e.to_string()))
     }
 
@@ -511,6 +552,19 @@ mod tests {
             .scan_prefix_page(b"a/", Some(b"a/int2/000"), 10)
             .unwrap()
             .is_empty());
+        // Deletes drop the keys from point reads and scans; missing keys are ignored.
+        backend.put(b"f/j/sub/000", b"job").unwrap();
+        backend.put(b"f/j/sub/001", b"job").unwrap();
+        backend
+            .delete_many(&[
+                b"f/j/sub/000".to_vec(),
+                b"f/j/sub/001".to_vec(),
+                b"f/j/sub/999".to_vec(),
+            ])
+            .unwrap();
+        assert!(backend.get(b"f/j/sub/000").unwrap().is_none());
+        assert!(backend.scan_prefix(b"f/").unwrap().is_empty());
+        assert_eq!(backend.count_prefix(b"a/").unwrap(), 3);
         backend.sync().unwrap();
     }
 

@@ -37,4 +37,4 @@ pub use backend::{BackendKind, FileBackend, KvBackend, MemoryBackend, StorageBac
 pub use index::EdgeRecord;
 pub use lineage::{LineageGraph, LineageNode};
 pub use service::{PreservService, ServiceConfig};
-pub use store::{IndexReport, ProvenanceStore, StoreError, StoreOptions};
+pub use store::{IndexReport, ProvenanceStore, RecordStager, StoreError, StoreOptions};

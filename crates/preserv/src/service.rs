@@ -42,6 +42,11 @@ pub struct PreservService {
     plugins: Vec<Arc<dyn PlugIn>>,
     config: ServiceConfig,
     obs: Registry,
+    /// Handler for the change-feed wire actions (`subscribe`/`feed-poll`/`feed-ack`),
+    /// installed by the feed tier. Feed envelopes arrive on the store's own service name, so
+    /// a remote subscriber reaches the feed through exactly the proxies that carry records.
+    /// Interior-mutable because the feed is wired after deployment shares the service.
+    feed: parking_lot::Mutex<Option<Arc<dyn MessageHandler>>>,
 }
 
 impl PreservService {
@@ -62,6 +67,7 @@ impl PreservService {
             plugins,
             config: ServiceConfig::default(),
             obs,
+            feed: parking_lot::Mutex::new(None),
         })
     }
 
@@ -105,6 +111,20 @@ impl PreservService {
         self.obs = registry.child();
         self.backend.attach_observability(&self.obs);
         self
+    }
+
+    /// Install the handler answering the change-feed actions ([`pasoa_core::FEED_SUBSCRIBE_ACTION`],
+    /// [`pasoa_core::FEED_POLL_ACTION`], [`pasoa_core::FEED_ACK_ACTION`]) on this service's name.
+    pub fn with_feed_handler(self, handler: Arc<dyn MessageHandler>) -> Self {
+        self.set_feed_handler(handler);
+        self
+    }
+
+    /// Install (or replace) the change-feed handler on an already-shared service — the
+    /// deployment path: the feed queue opens over the shard's backend after the service
+    /// exists.
+    pub fn set_feed_handler(&self, handler: Arc<dyn MessageHandler>) {
+        *self.feed.lock() = Some(handler);
     }
 
     /// The registry this service's instruments (and its backend's) write into.
@@ -186,9 +206,28 @@ impl PreservService {
             .ok_or_else(|| WireError::Payload(format!("no plug-in handles action '{action}'")))?;
         let events = self.obs.events();
         let timer = (trace.is_some() && events.is_enabled()).then(std::time::Instant::now);
-        let response = plugin
-            .handle(message)
-            .map_err(|e| WireError::Payload(format!("plug-in {} failed: {e}", plugin.name())))?;
+        // Panic containment: a plug-in is third-party code, and a panic inside it must come
+        // back as a structured fault on this one call instead of poisoning the worker thread
+        // serving it (the DAG executor applies the same discipline to task bodies).
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plugin.handle(message)));
+        let response = match outcome {
+            Ok(result) => result.map_err(|e| {
+                WireError::Payload(format!("plug-in {} failed: {e}", plugin.name()))
+            })?,
+            Err(panic) => {
+                self.obs.counter("preserv.plugin_panics").inc();
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return Err(WireError::Payload(format!(
+                    "plug-in {} panicked handling '{action}': {detail}",
+                    plugin.name()
+                )));
+            }
+        };
         if let (Some(trace), Some(t)) = (trace, timer) {
             events.push(
                 &trace.trace_id,
@@ -213,6 +252,21 @@ impl MessageHandler for PreservService {
         // and a TCP-served one — the per-shard snapshot is transport-independent.
         if action == STATS_SNAPSHOT_ACTION {
             return Envelope::response(&action).with_json_payload(&self.stats_snapshot());
+        }
+        // Change-feed actions carry no PReP message either; hand the whole envelope to the
+        // feed tier when one is installed.
+        if action == pasoa_core::FEED_SUBSCRIBE_ACTION
+            || action == pasoa_core::FEED_POLL_ACTION
+            || action == pasoa_core::FEED_ACK_ACTION
+        {
+            let feed = self.feed.lock().clone();
+            return match feed {
+                Some(feed) => feed.handle(request),
+                None => Err(WireError::Payload(format!(
+                    "no change feed is attached to service '{}'",
+                    self.config.service_name
+                ))),
+            };
         }
         let trace = request.trace_ctx();
         // Record submissions may arrive in the packed binary form (see
@@ -469,6 +523,75 @@ mod tests {
             vec!["store", "basic-query", "paged-query", "lineage-query"]
         );
         assert_eq!(MessageHandler::name(service.as_ref()), "preserv");
+    }
+
+    #[test]
+    fn panicking_plugin_becomes_a_structured_fault_and_the_service_survives() {
+        struct PanickingPlugin;
+        impl PlugIn for PanickingPlugin {
+            fn name(&self) -> &str {
+                "panicker"
+            }
+            fn handles(&self, action: &str) -> bool {
+                action == "panic-action"
+            }
+            fn handle(
+                &self,
+                _message: &PrepMessage,
+            ) -> Result<crate::plugins::PluginResponse, crate::StoreError> {
+                panic!("deliberate test panic");
+            }
+        }
+        let mut service = PreservService::in_memory().unwrap();
+        service.add_plugin(Arc::new(PanickingPlugin));
+        let service = Arc::new(service);
+        let host = ServiceHost::new();
+        service.register(&host);
+        let transport = host.transport(TransportConfig::free());
+
+        // The panic comes back as a fault on this call, naming the plug-in and the action.
+        let envelope = Envelope::request("provenance-store", "panic-action")
+            .with_json_payload(&PrepMessage::Query(QueryRequest::Statistics))
+            .unwrap();
+        let err = transport.call(envelope).unwrap_err();
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("panicker"),
+            "fault names the plug-in: {rendered}"
+        );
+        assert!(
+            rendered.contains("deliberate test panic"),
+            "fault carries the payload: {rendered}"
+        );
+        assert_eq!(
+            service
+                .stats_snapshot()
+                .registry
+                .counter("preserv.plugin_panics"),
+            1
+        );
+
+        // The service (and the worker that served the panicking call) keeps working.
+        let query = PrepMessage::Query(QueryRequest::Statistics);
+        let envelope = Envelope::request("provenance-store", query.action())
+            .with_json_payload(&query)
+            .unwrap();
+        let response = transport.call(envelope).unwrap();
+        let result: QueryResponse = response.json_payload().unwrap();
+        assert!(matches!(result, QueryResponse::Statistics(_)));
+    }
+
+    #[test]
+    fn feed_actions_without_a_feed_handler_fail_loudly() {
+        let (_, host) = deploy();
+        let transport = host.transport(TransportConfig::free());
+        let err = transport
+            .call(Envelope::request(
+                "provenance-store",
+                pasoa_core::FEED_SUBSCRIBE_ACTION,
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("no change feed"));
     }
 
     #[test]

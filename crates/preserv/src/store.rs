@@ -101,6 +101,27 @@ pub struct IndexReport {
     pub entries_rebuilt: usize,
 }
 
+/// A hook staging extra entries into the same backend write batch as a recorded batch of
+/// p-assertions. This is how the change-feed tier (`pasoa-feed`) turns record-path plug-in
+/// dispatch into a durable enqueue: the feed's job entries commit in the very `put_many` run
+/// that commits the assertions, so an acked write can never lose its change events to a power
+/// loss, and a torn batch can never surface a change event without its assertion (stager
+/// entries are appended after every assertion document in the batch).
+pub trait RecordStager: Send + Sync {
+    /// Append extra `(key, value)` entries for `recorded` to `entries`. Keys must live outside
+    /// the store's own keyspaces (the feed uses the dedicated `f/` prefix).
+    fn stage_batch(
+        &self,
+        recorded: &[RecordedAssertion],
+        entries: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), StoreError>;
+
+    /// Called when the batch's backend commit failed: undo whatever allocation the
+    /// immediately preceding [`Self::stage_batch`] made. The store serializes stage+commit
+    /// while a stager is attached, so at most one staged batch is ever outstanding.
+    fn stage_aborted(&self) {}
+}
+
 /// A provenance store over some backend.
 pub struct ProvenanceStore {
     backend: Arc<dyn StorageBackend>,
@@ -117,6 +138,8 @@ pub struct ProvenanceStore {
     maintain_indexes: bool,
     /// What the open-time consistency check did.
     index_report: Mutex<IndexReport>,
+    /// Optional hook staging extra entries (change-feed jobs) into every record batch.
+    stager: Mutex<Option<Arc<dyn RecordStager>>>,
 }
 
 impl ProvenanceStore {
@@ -146,6 +169,7 @@ impl ProvenanceStore {
             content_bytes: AtomicU64::new(0),
             maintain_indexes: options.maintain_indexes,
             index_report: Mutex::new(IndexReport::default()),
+            stager: Mutex::new(None),
         };
         store.rebuild_counters()?;
         if options.maintain_indexes {
@@ -308,6 +332,12 @@ impl ProvenanceStore {
         self.backend.recovery_report()
     }
 
+    /// Attach (or replace, or with `None` detach) the hook that stages extra entries into
+    /// every record batch — see [`RecordStager`].
+    pub fn set_record_stager(&self, stager: Option<Arc<dyn RecordStager>>) {
+        *self.stager.lock() = stager;
+    }
+
     /// Record one p-assertion.
     pub fn record(&self, recorded: &RecordedAssertion) -> Result<(), StoreError> {
         self.record_all(std::slice::from_ref(recorded)).map(|_| ())
@@ -364,7 +394,23 @@ impl ProvenanceStore {
             bytes += r.assertion.content_len() as u64;
         }
 
-        self.backend.put_many(&entries)?;
+        // Stager entries (change-feed jobs) ride the same group commit, appended after every
+        // assertion document: an acked batch durably carries its change events, and a torn
+        // batch prefix can never contain a job whose assertion was lost. The stager lock is
+        // held across the commit so the stager's allocation order is the commit order (keeps
+        // per-subscriber queues gap-free), and a failed commit rolls the allocation back.
+        let stager_guard = self.stager.lock();
+        if let Some(stager) = stager_guard.as_ref() {
+            stager.stage_batch(recorded, &mut entries)?;
+            if let Err(e) = self.backend.put_many(&entries) {
+                stager.stage_aborted();
+                return Err(e.into());
+            }
+            drop(stager_guard);
+        } else {
+            drop(stager_guard);
+            self.backend.put_many(&entries)?;
+        }
 
         self.interaction_count
             .fetch_add(new_interactions, Ordering::Relaxed);

@@ -162,6 +162,32 @@ pub enum SimOp {
         /// Initial-shard index to revive.
         victim: usize,
     },
+    /// Register one change-feed subscriber on every shard (and on the golden feed oracle),
+    /// flushing first so both sides agree on which records precede the subscription. The
+    /// filter byte selects the [`pasoa_feed::FeedFilter`] deterministically (see the world's
+    /// mapping). Re-subscribing an existing subscriber acts as a reconnect with its original
+    /// filter.
+    Subscribe {
+        /// Subscriber ordinal (the world names it `sub-{subscriber}`).
+        subscriber: usize,
+        /// Deterministic filter selector.
+        filter: u8,
+    },
+    /// Drain every registered subscriber's feed from every reachable shard: poll, deliver,
+    /// ack, deduplicate replicated copies by content identity. Polls append delivery state
+    /// to the shard's backend, so an armed crash point can fire *mid-drain* — the schedule
+    /// absorbs it exactly like a crashed record.
+    FeedDrain {
+        /// Poll passes over all subscribers and shards.
+        rounds: usize,
+    },
+    /// Kill one subscriber's consumer process: all of its per-shard connection state
+    /// (watermarks included) is discarded, and the next drain reconnects from the servers'
+    /// durable ack floors — the replay-on-reconnect path.
+    KillSubscriber {
+        /// Subscriber ordinal; a no-op (still traced) if never subscribed.
+        subscriber: usize,
+    },
     /// Execute a small workflow DAG through the `pasoa-dag` executor, recording every state
     /// transition into the cluster, then verify the executed DAG is reconstructible from the
     /// cluster's provenance answer alone. Shapes and fault masks are pure data, so a replayed
@@ -205,6 +231,11 @@ impl std::fmt::Display for SimOp {
                 "arm-crash-point shard {victim} after {after_appends} appends"
             ),
             SimOp::Revive { victim } => write!(f, "revive shard {victim}"),
+            SimOp::Subscribe { subscriber, filter } => {
+                write!(f, "subscribe sub-{subscriber} filter {filter}")
+            }
+            SimOp::FeedDrain { rounds } => write!(f, "feed-drain x{rounds}"),
+            SimOp::KillSubscriber { subscriber } => write!(f, "kill subscriber {subscriber}"),
             SimOp::RunDag {
                 tag,
                 shape,
@@ -246,6 +277,17 @@ impl SimPlan {
     /// shard loss", so a second fault could legitimately lose acked data and would make the
     /// zero-loss oracle unsound. Crash-flavoured faults require the durable backend.
     pub fn expand(&self) -> Vec<SimOp> {
+        self.expand_inner(true)
+    }
+
+    /// The pre-feed expansion, kept compilable so a test can prove the feed stream never
+    /// perturbs the ops the main RNG generates.
+    #[cfg(test)]
+    pub(crate) fn expand_without_feed_for_tests(&self) -> Vec<SimOp> {
+        self.expand_inner(false)
+    }
+
+    fn expand_inner(&self, with_feed: bool) -> Vec<SimOp> {
         let config = &self.config;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let slots = config.ops.max(1);
@@ -282,7 +324,32 @@ impl SimPlan {
             .collect();
         add_shard_at.sort_unstable();
 
-        let mut ops = Vec::with_capacity(slots + 4);
+        // Feed ops ride on a *separately derived* RNG so adding them never shifted the
+        // pre-existing record/fault/query stream — every pinned schedule (and every committed
+        // regression seed) still expands to the same non-feed ops it always did.
+        let mut feed_at: Vec<(usize, SimOp)> = Vec::new();
+        if with_feed {
+            let mut feed_rng = StdRng::seed_from_u64(self.seed ^ 0xFEED_5EED_0A5F_0001);
+            let sub_count = feed_rng.gen_range(1..=3usize);
+            for subscriber in 0..sub_count {
+                // Subscribe in the first half so most schedules actually deliver something.
+                let at = feed_rng.gen_range(0..slots.div_ceil(2));
+                let filter = feed_rng.gen_range(0..=255u32) as u8;
+                feed_at.push((at, SimOp::Subscribe { subscriber, filter }));
+            }
+            for _ in 0..feed_rng.gen_range(2..=4usize) {
+                let at = feed_rng.gen_range(0..slots);
+                let rounds = feed_rng.gen_range(1..=2usize);
+                feed_at.push((at, SimOp::FeedDrain { rounds }));
+            }
+            if feed_rng.gen_bool(0.4) {
+                let at = feed_rng.gen_range(0..slots);
+                let subscriber = feed_rng.gen_range(0..sub_count);
+                feed_at.push((at, SimOp::KillSubscriber { subscriber }));
+            }
+        }
+
+        let mut ops = Vec::with_capacity(slots + 8);
         for slot in 0..slots {
             if let Some((at, op)) = &fault {
                 if *at == slot {
@@ -296,6 +363,9 @@ impl SimPlan {
             }
             for _ in add_shard_at.iter().filter(|&&at| at == slot) {
                 ops.push(SimOp::AddShard);
+            }
+            for (_, op) in feed_at.iter().filter(|(at, _)| *at == slot) {
+                ops.push(op.clone());
             }
             ops.push(self.regular_op(&mut rng));
         }
@@ -392,6 +462,54 @@ mod tests {
             any_fault |= faults == 1;
         }
         assert!(any_fault, "no seed in 0..50 scheduled a fault at all");
+    }
+
+    #[test]
+    fn every_plan_subscribes_and_drains_the_feed() {
+        for seed in 0..50u64 {
+            let ops = SimPlan::new(seed).expand();
+            let subscribes = ops
+                .iter()
+                .filter(|op| matches!(op, SimOp::Subscribe { .. }))
+                .count();
+            let drains = ops
+                .iter()
+                .filter(|op| matches!(op, SimOp::FeedDrain { .. }))
+                .count();
+            let kills = ops
+                .iter()
+                .filter(|op| matches!(op, SimOp::KillSubscriber { .. }))
+                .count();
+            assert!(
+                (1..=3).contains(&subscribes),
+                "seed {seed}: {subscribes} subscribes"
+            );
+            assert!((2..=4).contains(&drains), "seed {seed}: {drains} drains");
+            assert!(kills <= 1, "seed {seed}: {kills} subscriber kills");
+        }
+    }
+
+    #[test]
+    fn feed_ops_leave_the_rest_of_the_schedule_untouched() {
+        // The feed stream rides its own derived RNG: deleting its ops from an expansion must
+        // reproduce exactly the schedule the main RNG always generated (this is what keeps
+        // committed regression seeds meaningful across the feed's introduction).
+        for seed in [0u64, 7, 11, 42] {
+            let plan = SimPlan::new(seed);
+            let without_feed: Vec<SimOp> = plan
+                .expand()
+                .into_iter()
+                .filter(|op| {
+                    !matches!(
+                        op,
+                        SimOp::Subscribe { .. }
+                            | SimOp::FeedDrain { .. }
+                            | SimOp::KillSubscriber { .. }
+                    )
+                })
+                .collect();
+            assert_eq!(without_feed, plan.expand_without_feed_for_tests());
+        }
     }
 
     #[test]

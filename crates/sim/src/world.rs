@@ -11,13 +11,13 @@
 //! answer bit-for-bit** — under batching, sharding, replication, rebalances, shard kills,
 //! database power losses and mid-batch crash points.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use pasoa_cluster::{ClusterConfig, PreservCluster};
+use pasoa_cluster::{ClusterConfig, FeedOptions, PreservCluster};
 use pasoa_core::ids::{ActorId, DataId, IdGenerator, InteractionKey, SessionId};
 use pasoa_core::passertion::{
     ActorStateKind, ActorStatePAssertion, InteractionPAssertion, PAssertion, PAssertionContent,
@@ -30,11 +30,15 @@ use pasoa_dag::{
     ActivityError, Dag, DagSpec, DataItem, ExecutedDag, Executor, ExecutorConfig, FailurePolicy,
     FnActivity, RetryPolicy,
 };
+use pasoa_feed::{
+    event_identity, FeedClock, FeedConfig, FeedEvent, FeedEventBody, FeedFilter, FeedQueue,
+    FeedSubscriberClient,
+};
 use pasoa_kvdb::{Db, DbOptions};
-use pasoa_obs::TraceIdGen;
+use pasoa_obs::{Registry, TraceIdGen};
 use pasoa_preserv::{KvBackend, LineageGraph, MemoryBackend, ProvenanceStore, StorageBackend};
 use pasoa_query::{PlanMode, QueryEngine};
-use pasoa_wire::{Envelope, ServiceHost, Transport, TransportConfig};
+use pasoa_wire::{Envelope, ServiceHost, SimClock, Transport, TransportConfig};
 
 use crate::plan::{QueryKind, SimBackend, SimConfig, SimOp};
 
@@ -255,12 +259,31 @@ fn build_sim_dag(name: &str, shape: u8, transient: u8, broken: u8) -> Result<Dag
     spec.build().map_err(build_error)
 }
 
+/// One simulated feed subscriber: the filter it registered, one wire client per shard it has
+/// reached, and the deduplicated set of change-event identities its consumer has processed.
+struct FeedSubState {
+    /// Durable subscriber name (`sub-{ordinal}`), identical on every shard and the oracle.
+    name: String,
+    filter: FeedFilter,
+    /// Per-shard-index wire clients; a killed consumer drops these and reconnects fresh.
+    clients: BTreeMap<usize, FeedSubscriberClient>,
+    /// Every change-event identity delivered to the consumer, across replicas and replays.
+    delivered: BTreeSet<String>,
+}
+
 pub(crate) struct SimWorld {
     config: SimConfig,
     host: ServiceHost,
     cluster: Arc<PreservCluster>,
     transport: Transport,
     golden: Arc<ProvenanceStore>,
+    /// The deterministic feed clock shared by every shard queue and the golden oracle queue.
+    feed_clock: SimClock,
+    /// The oracle feed: a queue over the golden store's backend, subscribed in lockstep with
+    /// the cluster. Whatever it enqueues after a subscription, the cluster must deliver.
+    golden_feed: Arc<FeedQueue>,
+    /// Registered subscribers by ordinal.
+    feed_subs: BTreeMap<usize, FeedSubState>,
     /// Per-shard database handles (durable backend only), in shard-index order.
     dbs: Vec<Db>,
     scratch: Option<ScratchDir>,
@@ -283,11 +306,16 @@ pub(crate) struct SimWorld {
 impl SimWorld {
     pub(crate) fn new(config: &SimConfig) -> Result<Self, Violation> {
         let host = ServiceHost::new();
+        let feed_clock = SimClock::new();
         let cluster_config = ClusterConfig {
             shards: config.shards,
             batch_size: config.batch_size,
             virtual_nodes: config.virtual_nodes,
             replication: config.replication,
+            feed: Some(FeedOptions {
+                config: FeedConfig::default(),
+                clock: FeedClock::Simulated(feed_clock.clone()),
+            }),
             ..Default::default()
         };
         let deploy_error =
@@ -320,15 +348,29 @@ impl SimWorld {
                 (cluster, dbs, Some(scratch))
             }
         };
+        let golden_backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
         let golden = Arc::new(
-            ProvenanceStore::open(Arc::new(MemoryBackend::new()))
+            ProvenanceStore::open(Arc::clone(&golden_backend))
                 .map_err(|e| Violation::new("deploy", format!("golden store: {e}")))?,
         );
+        // The oracle queue shares the golden store's backend and the cluster's feed clock;
+        // its registry is private so oracle traffic never pollutes the obs fingerprint.
+        let golden_feed = FeedQueue::open(
+            golden_backend,
+            FeedConfig::default(),
+            FeedClock::Simulated(feed_clock.clone()),
+            &Registry::new(),
+        )
+        .map_err(|e| Violation::new("deploy", format!("golden feed: {e}")))?;
+        golden.set_record_stager(Some(golden_feed.stager()));
         Ok(SimWorld {
             host: host.clone(),
             transport: host.transport(TransportConfig::free()),
             cluster,
             golden,
+            feed_clock,
+            golden_feed,
+            feed_subs: BTreeMap::new(),
             dbs,
             scratch,
             next_index: vec![vec![0; config.sessions_per_client]; config.clients],
@@ -513,8 +555,15 @@ impl SimWorld {
                 }
                 shard_in_range(victim)
             }
-            // RunDag normalizes all of its operands internally, so any byte pattern is valid.
-            SimOp::Flush | SimOp::AddShard | SimOp::Query(_) | SimOp::RunDag { .. } => Ok(()),
+            // RunDag normalizes all of its operands internally, so any byte pattern is
+            // valid; the feed ops derive their coordinates from the config the same way.
+            SimOp::Flush
+            | SimOp::AddShard
+            | SimOp::Query(_)
+            | SimOp::RunDag { .. }
+            | SimOp::Subscribe { .. }
+            | SimOp::FeedDrain { .. }
+            | SimOp::KillSubscriber { .. } => Ok(()),
         }
     }
 
@@ -572,6 +621,10 @@ impl SimWorld {
                 self.trace.push(format!(
                     "      shard {victim} revived (was_down={was_down}, failover_already_ran={detected})"
                 ));
+                // The revived shard lost no storage, but it missed any subscription
+                // registered while it was down — re-register before the next record
+                // can route to it, or its change events would never be enqueued.
+                self.ensure_feed_clients()?;
                 Ok(())
             }
             SimOp::RunDag {
@@ -581,6 +634,9 @@ impl SimWorld {
                 policy,
                 ..
             } => self.execute_run_dag(*shape, *transient, *broken, *policy),
+            SimOp::Subscribe { subscriber, filter } => self.execute_subscribe(*subscriber, *filter),
+            SimOp::FeedDrain { rounds } => self.execute_feed_drain(*rounds),
+            SimOp::KillSubscriber { subscriber } => self.execute_kill_subscriber(*subscriber),
         }
     }
 
@@ -868,6 +924,319 @@ impl SimWorld {
             "      cluster grown to {} shards",
             self.cluster.shard_count()
         ));
+        // Register every live subscriber on the new shard before any flush can route a
+        // batch there — an unsubscribed shard would silently swallow its change events.
+        self.ensure_feed_clients()?;
+        Ok(())
+    }
+
+    /// Deterministic filter selection for a [`SimOp::Subscribe`] byte: every third byte picks
+    /// one of the three enqueue-time filter kinds, with the session/actor coordinates drawn
+    /// from the remaining bits. Lineage filters need a chosen ancestor and are exercised by
+    /// the end-to-end tests instead.
+    fn filter_for(&self, byte: u8) -> FeedFilter {
+        let client = ((byte >> 2) as usize) % self.config.clients.max(1);
+        let session = ((byte >> 4) as usize) % self.config.sessions_per_client.max(1);
+        match byte % 3 {
+            0 => FeedFilter::All,
+            1 => FeedFilter::BySession {
+                session: self.session_name(client, session),
+            },
+            _ => FeedFilter::ByActor {
+                actor: format!("sim-client-{client}"),
+            },
+        }
+    }
+
+    /// Register a subscriber on the golden oracle and on every reachable shard. The cluster
+    /// is flushed first so both sides agree bit-for-bit on which records precede the
+    /// subscription. Re-subscribing an existing ordinal reconnects it (original filter kept,
+    /// consumer watermarks discarded) — the same replay path a killed consumer takes.
+    fn execute_subscribe(&mut self, subscriber: usize, filter_byte: u8) -> Result<(), Violation> {
+        if let Some(sub) = self.feed_subs.get_mut(&subscriber) {
+            sub.clients.clear();
+            self.trace.push(format!(
+                "      sub-{subscriber} reconnected; replays from durable floors"
+            ));
+            return self.ensure_feed_clients();
+        }
+        self.with_crash_retry("pre-subscribe flush", |w| {
+            w.cluster.flush().map_err(|e| e.to_string())
+        })?;
+        let filter = self.filter_for(filter_byte);
+        let name = format!("sub-{subscriber}");
+        self.golden_feed
+            .subscribe(&name, filter.clone())
+            .map_err(|e| Violation::new("feed-golden", format!("oracle subscribe: {e}")))?;
+        self.feed_subs.insert(
+            subscriber,
+            FeedSubState {
+                name,
+                filter: filter.clone(),
+                clients: BTreeMap::new(),
+                delivered: BTreeSet::new(),
+            },
+        );
+        self.ensure_feed_clients()?;
+        let shards = self.feed_subs[&subscriber].clients.len();
+        self.trace.push(format!(
+            "      subscribed sub-{subscriber} ({filter:?}) on {shards} shards"
+        ));
+        Ok(())
+    }
+
+    /// Connect (and thereby register) every subscriber on every shard it has not reached
+    /// yet. A connect refused by a killed shard — or by one the armed crash point takes down
+    /// right now — is skipped: its events are owed by the replica holders instead, and a
+    /// later revive re-runs this to close the gap.
+    fn ensure_feed_clients(&mut self) -> Result<(), Violation> {
+        if self.feed_subs.is_empty() {
+            return Ok(());
+        }
+        let names = self.cluster.router().shard_names();
+        let mut subs = std::mem::take(&mut self.feed_subs);
+        let mut result = Ok(());
+        'outer: for sub in subs.values_mut() {
+            for (index, service) in names.iter().enumerate() {
+                if sub.clients.contains_key(&index) {
+                    continue;
+                }
+                let mut client = FeedSubscriberClient::new(
+                    self.host.transport(TransportConfig::free()),
+                    service.clone(),
+                    sub.name.clone(),
+                    sub.filter.clone(),
+                );
+                match client.connect() {
+                    Ok(_) => {
+                        sub.clients.insert(index, client);
+                    }
+                    Err(error) => {
+                        if self.absorb_crash_point() || self.killed == Some(index) {
+                            continue;
+                        }
+                        result = Err(Violation::new(
+                            "feed-availability",
+                            format!(
+                                "subscribing {} on shard {index} failed without an injected \
+                                 cause: {error}",
+                                sub.name
+                            ),
+                        ));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        self.feed_subs = subs;
+        result
+    }
+
+    /// One delivery pass: every subscriber polls every connected shard to quiescence,
+    /// acknowledging as it goes, deduplicating replicated copies by content identity.
+    /// Returns how many events reached consumers for the first time.
+    fn feed_pass(&mut self) -> Result<usize, Violation> {
+        let mut fresh_total = 0usize;
+        let mut subs = std::mem::take(&mut self.feed_subs);
+        let mut failure = None;
+        'outer: for sub in subs.values_mut() {
+            for (&index, client) in sub.clients.iter_mut() {
+                loop {
+                    let watermark = client.last_seen();
+                    match client.poll_once(32) {
+                        Ok(events) => {
+                            let mut last = watermark;
+                            for delivered in &events {
+                                if delivered.seq <= last {
+                                    failure = Some(Violation::new(
+                                        "feed-order",
+                                        format!(
+                                            "{} got seq {} after {} from shard {index}",
+                                            sub.name, delivered.seq, last
+                                        ),
+                                    ));
+                                    break 'outer;
+                                }
+                                last = delivered.seq;
+                                match &delivered.event.body {
+                                    FeedEventBody::Change(_) => {
+                                        if sub.delivered.insert(delivered.event.event_id.clone()) {
+                                            fresh_total += 1;
+                                        }
+                                    }
+                                    FeedEventBody::Overflow { dropped } => {
+                                        failure = Some(Violation::new(
+                                            "feed-overflow",
+                                            format!(
+                                                "{} overflowed on shard {index} ({dropped} \
+                                                 dropped) under a cap the schedule cannot fill",
+                                                sub.name
+                                            ),
+                                        ));
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                            // Progress is watermark movement, not fresh events: a replayed
+                            // window after a reconnect is all duplicates yet must not end
+                            // the drain.
+                            if client.last_seen() == watermark {
+                                break;
+                            }
+                        }
+                        Err(error) => {
+                            if self.absorb_crash_point() || self.killed == Some(index) {
+                                break;
+                            }
+                            failure = Some(Violation::new(
+                                "feed-availability",
+                                format!(
+                                    "feed poll of {} on shard {index} failed without an \
+                                     injected cause: {error}",
+                                    sub.name
+                                ),
+                            ));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        self.feed_subs = subs;
+        match failure {
+            Some(violation) => Err(violation),
+            None => Ok(fresh_total),
+        }
+    }
+
+    fn execute_feed_drain(&mut self, rounds: usize) -> Result<(), Violation> {
+        self.ensure_feed_clients()?;
+        self.feed_clock.advance(Duration::from_millis(50));
+        let mut fresh = 0usize;
+        for _ in 0..rounds.max(1) {
+            fresh += self.feed_pass()?;
+        }
+        self.trace.push(format!(
+            "      feed drained {fresh} fresh events across {} subscribers",
+            self.feed_subs.len()
+        ));
+        Ok(())
+    }
+
+    fn execute_kill_subscriber(&mut self, subscriber: usize) -> Result<(), Violation> {
+        match self.feed_subs.get_mut(&subscriber) {
+            Some(sub) => {
+                sub.clients.clear();
+                self.trace.push(format!(
+                    "      subscriber sub-{subscriber} killed; replacement replays from \
+                     durable floors"
+                ));
+            }
+            None => self.trace.push(format!(
+                "      subscriber sub-{subscriber} never subscribed; kill is a no-op"
+            )),
+        }
+        Ok(())
+    }
+
+    /// Every change-event identity in the golden store that `filter` admits, regardless of
+    /// when it was recorded — the phantom-check universe. A failover legitimately replays a
+    /// promoted session's full history through the record path, so a mid-run subscriber may
+    /// receive matching events from before its subscription; what it must never receive is
+    /// an event outside this universe.
+    fn feed_universe(&self, filter: &FeedFilter) -> Result<BTreeSet<String>, Violation> {
+        let mut universe = BTreeSet::new();
+        for sid in self.all_session_ids() {
+            let assertions = self
+                .golden
+                .assertions_for_session(&sid)
+                .map_err(|e| Violation::new("golden", e.to_string()))?;
+            for recorded in assertions {
+                let event = FeedEvent {
+                    event_id: event_identity(&recorded),
+                    body: FeedEventBody::Change(recorded),
+                    enqueued_nanos: 0,
+                };
+                if filter.enqueue_matches(&event) {
+                    universe.insert(event.event_id);
+                }
+            }
+        }
+        Ok(universe)
+    }
+
+    /// Settle the subscription tier: drain every feed to quiescence (flushing in between, so
+    /// crash-point firings and their promotion replays are absorbed), then hold each
+    /// subscriber against the oracle — exactly-once is the pair of set containments checked
+    /// here. Loss: everything the golden feed enqueued after the subscription reached the
+    /// consumer. Phantom: nothing reached the consumer that no golden assertion explains.
+    fn settle_feed(&mut self) -> Result<(), Violation> {
+        if self.feed_subs.is_empty() {
+            return Ok(());
+        }
+        for _ in 0..6 {
+            self.ensure_feed_clients()?;
+            self.feed_clock.advance(Duration::from_millis(100));
+            if self.feed_pass()? == 0 {
+                break;
+            }
+            self.with_crash_retry("feed settle flush", |w| {
+                w.cluster.flush().map_err(|e| e.to_string())
+            })?;
+        }
+        let ordinals: Vec<usize> = self.feed_subs.keys().copied().collect();
+        for ordinal in ordinals {
+            let (name, filter, delivered) = {
+                let sub = &self.feed_subs[&ordinal];
+                (sub.name.clone(), sub.filter.clone(), sub.delivered.clone())
+            };
+            let golden_fault =
+                |e: pasoa_feed::FeedError| Violation::new("feed-golden", e.to_string());
+            let mut owed = BTreeSet::new();
+            loop {
+                let batch = self.golden_feed.poll(&name, 64).map_err(golden_fault)?;
+                if batch.ack_up_to == 0 {
+                    break;
+                }
+                for event in &batch.events {
+                    if matches!(event.event.body, FeedEventBody::Change(_)) {
+                        owed.insert(event.event.event_id.clone());
+                    }
+                }
+                self.golden_feed
+                    .ack(&name, batch.ack_up_to)
+                    .map_err(golden_fault)?;
+            }
+            for id in &owed {
+                if !delivered.contains(id) {
+                    return Err(Violation::new(
+                        "feed-loss",
+                        format!(
+                            "{name} never received {id}, which the golden feed enqueued after \
+                             its subscription"
+                        ),
+                    ));
+                }
+            }
+            let universe = self.feed_universe(&filter)?;
+            for id in &delivered {
+                if !universe.contains(id) {
+                    return Err(Violation::new(
+                        "feed-phantom",
+                        format!(
+                            "{name} received {id}, which matches no golden assertion under \
+                             its filter"
+                        ),
+                    ));
+                }
+            }
+            self.trace.push(format!(
+                "      feed {name} ok ({} delivered, {} owed, universe {})",
+                delivered.len(),
+                owed.len(),
+                universe.len()
+            ));
+        }
         Ok(())
     }
 
@@ -1263,6 +1632,7 @@ impl SimWorld {
         self.with_crash_retry("final flush", |w| {
             w.cluster.flush().map_err(|e| e.to_string())
         })?;
+        self.settle_feed()?;
         for sid in self.all_session_ids() {
             self.check_named_session(&sid)?;
             self.check_named_lineage(&sid)?;
@@ -1504,6 +1874,14 @@ impl SimWorld {
                 .map(|groups| groups.iter().map(|g| g.id.clone()).collect::<Vec<_>>())
                 .map_err(|e| e.to_string())
         ));
+        for (ordinal, sub) in &self.feed_subs {
+            let joined = sub.delivered.iter().cloned().collect::<Vec<_>>().join(",");
+            lines.push(format!(
+                "feed sub-{ordinal}: {} events {:016x}",
+                sub.delivered.len(),
+                pasoa_cluster::ring::fnv1a64(joined.as_bytes())
+            ));
+        }
         lines.push(format!(
             "holds: {:?}",
             self.cluster.router().hold_snapshot()

@@ -15,6 +15,8 @@
 //! * [`bioseq`] — sequences, group codings, shuffling and synthetic data;
 //! * [`dag`] — the parallel DAG executor: typed task graphs, bounded worker pool, retry and
 //!   skip policies, every state transition recorded as p-assertions;
+//! * [`feed`] — the durable asynchronous subscription tier: provenance change feeds with
+//!   per-subscriber job queues, capped backoff redelivery and replay-on-reconnect;
 //! * [`workflow`] — the workflow definition layer, lowered onto [`dag`] for execution;
 //! * [`experiment`] — the protein compressibility experiment and the Figure 4 harness;
 //! * [`usecases`] — execution comparison, semantic validation and the Figure 5 harness.
@@ -28,6 +30,7 @@ pub use pasoa_compress as compress;
 pub use pasoa_core as model;
 pub use pasoa_dag as dag;
 pub use pasoa_experiment as experiment;
+pub use pasoa_feed as feed;
 pub use pasoa_kvdb as kvdb;
 pub use pasoa_net as net;
 pub use pasoa_obs as obs;
@@ -51,5 +54,6 @@ mod tests {
         let _ = crate::net::DEFAULT_MAX_FRAME_BYTES;
         let _ = crate::experiment::RunRecording::ALL;
         let _ = crate::dag::FailurePolicy::FailFast;
+        let _ = crate::feed::FeedFilter::All;
     }
 }
